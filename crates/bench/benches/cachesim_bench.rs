@@ -1,0 +1,35 @@
+//! Criterion microbench: cache-simulator replay throughput, and the
+//! metric function evaluation cost.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gograph_cachesim::cache_misses_of_order;
+use gograph_core::metric;
+use gograph_graph::generators::{planted_partition, shuffle_labels, PlantedPartitionConfig};
+use gograph_graph::Permutation;
+
+fn bench_cachesim(c: &mut Criterion) {
+    let g = shuffle_labels(
+        &planted_partition(PlantedPartitionConfig {
+            num_vertices: 10_000,
+            num_edges: 60_000,
+            communities: 32,
+            p_intra: 0.85,
+            gamma: 2.4,
+            seed: 4,
+        }),
+        7,
+    );
+    let id = Permutation::identity(g.num_vertices());
+    let mut group = c.benchmark_group("cachesim_10k");
+    group.sample_size(10);
+    group.bench_function("pagerank_round_replay", |b| {
+        b.iter(|| std::hint::black_box(cache_misses_of_order(&g, &id, 1)))
+    });
+    group.bench_function("metric_eval", |b| {
+        b.iter(|| std::hint::black_box(metric(&g, &id)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_cachesim);
+criterion_main!(benches);

@@ -1,0 +1,65 @@
+//! Criterion microbench: per-round engine cost — synchronous vs
+//! asynchronous vs block-parallel PageRank rounds, and the effect of a
+//! GoGraph layout on round cost (the cache half of the paper's win).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gograph_core::GoGraph;
+use gograph_engine::{
+    run, run_delta_round_robin, run_worklist, DeltaPageRank, Mode, PageRank, RunConfig,
+};
+use gograph_graph::generators::{planted_partition, shuffle_labels, PlantedPartitionConfig};
+use gograph_graph::Permutation;
+
+fn bench_rounds(c: &mut Criterion) {
+    let g = shuffle_labels(
+        &planted_partition(PlantedPartitionConfig {
+            num_vertices: 50_000,
+            num_edges: 300_000,
+            communities: 128,
+            p_intra: 0.8,
+            gamma: 2.3,
+            seed: 9,
+        }),
+        3,
+    );
+    let n = g.num_vertices();
+    let id = Permutation::identity(n);
+    let pr = PageRank::default();
+    let one_round = RunConfig {
+        max_rounds: 1,
+        record_trace: false,
+    };
+    let relabeled = g.relabeled(&GoGraph::default().run(&g));
+
+    let mut group = c.benchmark_group("pagerank_round_50k");
+    group.sample_size(10);
+    group.bench_function("sync_default", |b| {
+        b.iter(|| std::hint::black_box(run(&g, &pr, Mode::Sync, &id, &one_round)))
+    });
+    group.bench_function("async_default", |b| {
+        b.iter(|| std::hint::black_box(run(&g, &pr, Mode::Async, &id, &one_round)))
+    });
+    group.bench_function("async_gograph_layout", |b| {
+        b.iter(|| std::hint::black_box(run(&relabeled, &pr, Mode::Async, &id, &one_round)))
+    });
+    group.bench_function("parallel8_default", |b| {
+        b.iter(|| std::hint::black_box(run(&g, &pr, Mode::Parallel(8), &id, &one_round)))
+    });
+    group.bench_function("delta_rr_default", |b| {
+        b.iter(|| {
+            std::hint::black_box(run_delta_round_robin(
+                &g,
+                &DeltaPageRank::default(),
+                &id,
+                &one_round,
+            ))
+        })
+    });
+    group.bench_function("worklist_default", |b| {
+        b.iter(|| std::hint::black_box(run_worklist(&g, &pr, &id, &one_round)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_rounds);
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! Criterion microbench: GetOptVal greedy insertion throughput — the
+//! inner loop of GoGraph's conquer phase (paper §IV-C argues it is cheap
+//! because only neighbor-adjacent positions are scanned).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gograph_core::{InsertionOrder, NeighborLink};
+
+fn bench_insertion(c: &mut Criterion) {
+    // Pre-build deterministic link sets of varying size.
+    let make_links = |id: usize, fan: usize| -> Vec<NeighborLink> {
+        (0..fan.min(id))
+            .map(|k| {
+                let other = (id * 31 + k * 17) % id;
+                if k % 2 == 0 {
+                    NeighborLink::new(other, 1.0, 0.0)
+                } else {
+                    NeighborLink::new(other, 0.0, 1.0)
+                }
+            })
+            .collect()
+    };
+
+    let mut group = c.benchmark_group("greedy_insertion");
+    for &fan in &[4usize, 16, 64] {
+        group.bench_function(format!("10k_items_fan{fan}"), |b| {
+            b.iter(|| {
+                let mut order = InsertionOrder::new(10_000);
+                order.insert(0, &[]);
+                for id in 1..10_000usize {
+                    let links = make_links(id, fan);
+                    order.insert(id, &links);
+                }
+                std::hint::black_box(order.sorted_items().len())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_insertion);
+criterion_main!(benches);

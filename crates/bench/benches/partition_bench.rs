@@ -1,0 +1,39 @@
+//! Criterion microbench: divide-phase partitioner cost (Rabbit vs
+//! Louvain vs Metis-like vs Fennel), the preprocessing trade-off behind
+//! paper Fig. 13.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gograph_graph::generators::{planted_partition, shuffle_labels, PlantedPartitionConfig};
+use gograph_partition::{Fennel, Louvain, MetisLike, Partitioner, RabbitPartition};
+
+fn bench_partitioners(c: &mut Criterion) {
+    let g = shuffle_labels(
+        &planted_partition(PlantedPartitionConfig {
+            num_vertices: 20_000,
+            num_edges: 120_000,
+            communities: 64,
+            p_intra: 0.85,
+            gamma: 2.4,
+            seed: 8,
+        }),
+        21,
+    );
+    let mut group = c.benchmark_group("partition_20k");
+    group.sample_size(10);
+    group.bench_function("rabbit", |b| {
+        b.iter(|| std::hint::black_box(RabbitPartition::default().partition(&g)))
+    });
+    group.bench_function("louvain", |b| {
+        b.iter(|| std::hint::black_box(Louvain::default().partition(&g)))
+    });
+    group.bench_function("metis64", |b| {
+        b.iter(|| std::hint::black_box(MetisLike::with_parts(64).partition(&g)))
+    });
+    group.bench_function("fennel64", |b| {
+        b.iter(|| std::hint::black_box(Fennel::with_parts(64).partition(&g)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_partitioners);
+criterion_main!(benches);

@@ -1,0 +1,32 @@
+//! Criterion microbench: reordering throughput of every method on a
+//! mid-size community graph — the offline preprocessing cost a GoGraph
+//! deployment pays once per graph.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gograph_bench::orderings::paper_methods;
+use gograph_graph::generators::{planted_partition, shuffle_labels, PlantedPartitionConfig};
+
+fn bench_reorder(c: &mut Criterion) {
+    let g = shuffle_labels(
+        &planted_partition(PlantedPartitionConfig {
+            num_vertices: 20_000,
+            num_edges: 120_000,
+            communities: 64,
+            p_intra: 0.8,
+            gamma: 2.3,
+            seed: 5,
+        }),
+        11,
+    );
+    let mut group = c.benchmark_group("reorder_20k");
+    group.sample_size(10);
+    for m in paper_methods() {
+        group.bench_with_input(BenchmarkId::from_parameter(m.name), &g, |b, g| {
+            b.iter(|| std::hint::black_box(m.reorder(g)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_reorder);
+criterion_main!(benches);

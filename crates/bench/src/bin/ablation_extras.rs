@@ -1,0 +1,121 @@
+//! Extension ablations beyond the paper's figures (DESIGN.md §"design
+//! choices"):
+//!
+//! 1. **Ordering family sweep** — GoGraph vs the MAS-style SCC-topological
+//!    order (§III's rejected alternative) vs SlashBurn, on metric,
+//!    rounds and cache misses: shows why maximizing `M` alone (scc-topo)
+//!    or locality alone (slashburn) is not enough.
+//! 2. **Local-search refinement** — how much metric an adjacent-swap
+//!    hill-climb adds on top of each constructive order (GoGraph should
+//!    be near-locally-optimal).
+//! 3. **Scheduling ablation** — the paper fixes scheduling and changes
+//!    the order; here we do the converse: delta round-robin (Maiter)
+//!    with Default vs GoGraph order, and PrIter-style priority
+//!    scheduling, counting vertex updates.
+
+use gograph_bench::datasets::{dataset, default_source, Scale};
+use gograph_bench::harness::{save_results, Table};
+use gograph_cachesim::cache_misses_of_order;
+use gograph_core::{metric_report, refine_adjacent_swaps, GoGraph};
+use gograph_engine::{
+    run, run_delta_priority, run_delta_round_robin, DeltaPageRank, Mode, PageRank, RunConfig,
+};
+use gograph_graph::Permutation;
+use gograph_reorder::{DefaultOrder, Reorderer, SccTopoOrder, SlashBurn};
+
+fn main() {
+    let scale = Scale::from_env();
+    let d = dataset("CP", scale).unwrap();
+    let g = &d.graph;
+    let cfg = RunConfig::default();
+    let src = default_source(g);
+    let _ = src;
+    println!(
+        "Ablations on the CP analogue ({} vertices, {} edges), scale {scale:?}\n",
+        g.num_vertices(),
+        g.num_edges()
+    );
+
+    // --- 1. ordering family sweep ---
+    let methods: Vec<(&str, Box<dyn Reorderer>)> = vec![
+        ("Default", Box::new(DefaultOrder)),
+        ("SccTopo", Box::new(SccTopoOrder)),
+        ("SlashBurn", Box::new(SlashBurn::default())),
+        ("GoGraph", Box::new(GoGraph::default())),
+    ];
+    let mut t1 = Table::new(
+        "ordering families: metric vs rounds vs locality",
+        &["M/|E|", "PR rounds", "cache misses"],
+    );
+    let mut orders: Vec<(&str, Permutation)> = Vec::new();
+    for (name, m) in &methods {
+        let order = m.reorder(g);
+        let frac = metric_report(g, &order).positive_fraction();
+        let relabeled = g.relabeled(&order);
+        let id = Permutation::identity(g.num_vertices());
+        let stats = run(&relabeled, &PageRank::default(), Mode::Async, &id, &cfg);
+        let misses = cache_misses_of_order(g, &order, 2).total_misses();
+        t1.push_row(*name, vec![frac, stats.rounds as f64, misses as f64]);
+        orders.push((name, order));
+    }
+    println!("{}", t1.render());
+    let _ = save_results("ablation_families.tsv", &t1.to_tsv());
+
+    // --- 2. refinement headroom ---
+    let mut t2 = Table::new(
+        "adjacent-swap refinement headroom",
+        &["M before", "M after", "gain %|E|", "swaps"],
+    );
+    for (name, order) in &orders {
+        let r = refine_adjacent_swaps(g, order, 20);
+        t2.push_row(
+            *name,
+            vec![
+                r.metric_before as f64,
+                r.metric_after as f64,
+                100.0 * (r.metric_after - r.metric_before) as f64 / g.num_edges() as f64,
+                r.swaps as f64,
+            ],
+        );
+    }
+    println!("{}", t2.render());
+    let _ = save_results("ablation_refine.tsv", &t2.to_tsv());
+
+    // --- 3. scheduling ablation (delta engines) ---
+    let mut t3 = Table::new(
+        "delta-engine scheduling (PageRank)",
+        &["rounds/batches", "runtime ms"],
+    );
+    let id = Permutation::identity(g.num_vertices());
+    let dpr = DeltaPageRank::default();
+    let rr_def = run_delta_round_robin(g, &dpr, &id, &cfg);
+    t3.push_row(
+        "Maiter RR + Default",
+        vec![rr_def.rounds as f64, rr_def.runtime.as_secs_f64() * 1e3],
+    );
+    let go = orders.iter().find(|(n, _)| *n == "GoGraph").unwrap();
+    let relabeled = g.relabeled(&go.1);
+    let rr_go = run_delta_round_robin(&relabeled, &dpr, &id, &cfg);
+    t3.push_row(
+        "Maiter RR + GoGraph",
+        vec![rr_go.rounds as f64, rr_go.runtime.as_secs_f64() * 1e3],
+    );
+    let pri = run_delta_priority(g, &dpr, 0.05, &cfg);
+    t3.push_row(
+        "PrIter top-5%",
+        vec![pri.rounds as f64, pri.runtime.as_secs_f64() * 1e3],
+    );
+    println!("{}", t3.render());
+    println!(
+        "note: PrIter rounds are batches of 5% of vertices; RR rounds are full scans.\n"
+    );
+    let _ = save_results("ablation_scheduling.tsv", &t3.to_tsv());
+
+    // Consistency: all three engines agree on total mass.
+    let mass_rr: f64 = rr_def.final_states.iter().sum();
+    let mass_pri: f64 = pri.final_states.iter().sum();
+    println!(
+        "fixpoint consistency: |mass_rr - mass_priority| = {:.2e}",
+        (mass_rr - mass_pri).abs()
+    );
+}

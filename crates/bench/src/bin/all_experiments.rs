@@ -1,0 +1,108 @@
+//! Runs every paper experiment back to back and writes all results under
+//! `results/` — the one-shot regeneration entry point referenced by
+//! EXPERIMENTS.md.
+//!
+//! Usage: `cargo run -p gograph-bench --release --bin all_experiments`
+//! (set `GOGRAPH_SCALE=tiny` for a fast smoke pass).
+
+use gograph_bench::datasets::{dataset, Scale};
+use gograph_bench::experiments::*;
+use gograph_bench::harness::save_results;
+use std::fmt::Write as _;
+use std::time::Instant;
+
+fn main() {
+    let scale = Scale::from_env();
+    let t0 = Instant::now();
+    println!("== GoGraph reproduction: all experiments (scale {scale:?}) ==\n");
+
+    println!("[fig 1] motivation rounds");
+    let fig1 = motivation_rounds(scale);
+    println!("{}", fig1.render());
+    let _ = save_results("fig01_rounds.tsv", &fig1.to_tsv());
+
+    println!("[figs 5+6] overall grid (runtime + rounds, 4 workloads x 7 methods x 6 graphs)");
+    for (alg, runtime, rounds) in overall_grid(scale) {
+        println!("{}", runtime.normalized("Default").render());
+        println!("{}", rounds.normalized("Default").render());
+        println!(
+            "  {alg}: GoGraph vs Default — runtime {:.2}x avg ({:.2}x max), rounds {:.2}x avg",
+            runtime.speedup("Default", "GoGraph"),
+            runtime.max_speedup("Default", "GoGraph"),
+            rounds.speedup("Default", "GoGraph"),
+        );
+        let _ = save_results(&format!("fig05_{}.tsv", alg.to_lowercase()), &runtime.to_tsv());
+        let _ = save_results(&format!("fig06_{}.tsv", alg.to_lowercase()), &rounds.to_tsv());
+    }
+
+    println!("\n[fig 7] convergence curves (PageRank & SSSP on CP, LJ)");
+    for ds in ["CP", "LJ"] {
+        let d = dataset(ds, scale).unwrap();
+        for alg in ["PageRank", "SSSP"] {
+            let curves = convergence_curves(&d, alg);
+            let mut tsv = String::from("method\tseconds\tdistance\n");
+            for (method, curve) in &curves {
+                for &(t, dist) in curve {
+                    let _ = writeln!(tsv, "{method}\t{t}\t{dist}");
+                }
+            }
+            let _ = save_results(
+                &format!("fig07_{}_{}.tsv", alg.to_lowercase(), ds.to_lowercase()),
+                &tsv,
+            );
+        }
+    }
+    println!("  saved fig07_*.tsv");
+
+    println!("\n[fig 8] async impact");
+    for (alg, table) in async_impact(scale, &["PageRank", "SSSP"]) {
+        println!("{}", table.normalized("Sync+Def.").render());
+        println!(
+            "  {alg}: Async+GoGraph over Sync+Def. {:.2}x avg, {:.2}x max",
+            table.speedup("Sync+Def.", "Async+GoGraph"),
+            table.max_speedup("Sync+Def.", "Async+GoGraph"),
+        );
+        let _ = save_results(&format!("fig08_{}.tsv", alg.to_lowercase()), &table.to_tsv());
+    }
+
+    println!("\n[fig 9] cache misses");
+    let fig9 = cache_miss_table(scale, 2);
+    println!("{}", fig9.normalized("Default").render());
+    let _ = save_results("fig09_cache_miss.tsv", &fig9.to_tsv());
+
+    println!("[fig 10] partitioning cache ablation");
+    let fig10 = partition_cache_ablation(scale, 2);
+    println!("{}", fig10.normalized("GoGraph w/o partitioning").render());
+    let _ = save_results("fig10_partition_cache.tsv", &fig10.to_tsv());
+
+    println!("[table II] metric function");
+    let t2 = metric_table(scale);
+    println!("{}", t2.render());
+    let _ = save_results("table2_metric.tsv", &t2.to_tsv());
+
+    println!("[fig 11] memory usage");
+    for alg in ["PageRank", "SSSP"] {
+        let t = memory_table(scale, alg);
+        println!("{}", t.normalized("Sync+Def.").render());
+        let _ = save_results(&format!("fig11_{}.tsv", alg.to_lowercase()), &t.to_tsv());
+    }
+
+    println!("[fig 12] average-degree sweep");
+    let (rt12, rd12) = average_degree_sweep(scale);
+    println!("{}", rt12.render());
+    println!("{}", rd12.render());
+    let _ = save_results("fig12_runtime.tsv", &rt12.to_tsv());
+    let _ = save_results("fig12_rounds.tsv", &rd12.to_tsv());
+
+    println!("[fig 13] partitioner sweep");
+    let (rt13, rd13) = partitioner_sweep(scale);
+    println!("{}", rt13.normalized("Rabbit-partition").render());
+    println!("{}", rd13.normalized("Rabbit-partition").render());
+    let _ = save_results("fig13_runtime.tsv", &rt13.to_tsv());
+    let _ = save_results("fig13_rounds.tsv", &rd13.to_tsv());
+
+    println!(
+        "\nAll experiments done in {:.1}s; results under results/",
+        t0.elapsed().as_secs_f64()
+    );
+}

@@ -1,0 +1,27 @@
+//! Fig. 1 — motivation: runtime and iteration rounds of SSSP and
+//! PageRank on the wiki-2009 analogue under Sync+Default, Async+Default
+//! and Async+GoGraph.
+//!
+//! Paper expectation: async beats sync, and GoGraph's order amplifies the
+//! async advantage in both rounds and runtime.
+
+use gograph_bench::datasets::Scale;
+use gograph_bench::experiments::{async_impact, motivation_rounds};
+use gograph_bench::harness::save_results;
+
+fn main() {
+    let scale = Scale::from_env();
+    println!("Fig. 1 — motivation (WK analogue), scale {scale:?}\n");
+
+    let rounds = motivation_rounds(scale);
+    println!("{}", rounds.render());
+    println!("{}", rounds.normalized("Sync+Def.").render());
+
+    // Runtime view over all datasets for the two motivating workloads.
+    for (alg, table) in async_impact(scale, &["SSSP", "PageRank"]) {
+        println!("{}", table.render());
+        println!("{}", table.normalized("Sync+Def.").render());
+        let _ = save_results(&format!("fig01_{}.tsv", alg.to_lowercase()), &table.to_tsv());
+    }
+    let _ = save_results("fig01_rounds.tsv", &rounds.to_tsv());
+}

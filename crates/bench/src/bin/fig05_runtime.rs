@@ -1,0 +1,25 @@
+//! Fig. 5 — normalized async runtime of the four workloads across the
+//! seven reordering methods and six dataset analogues.
+//!
+//! Paper expectation: GoGraph fastest everywhere — 2.10× avg over
+//! Default, 1.62–1.93× avg over the other methods.
+
+use gograph_bench::datasets::Scale;
+use gograph_bench::experiments::overall_grid;
+use gograph_bench::harness::save_results;
+
+fn main() {
+    let scale = Scale::from_env();
+    println!("Fig. 5 — runtime comparison, scale {scale:?}\n");
+    for (alg, runtime, _rounds) in overall_grid(scale) {
+        println!("{}", runtime.render());
+        let norm = runtime.normalized("Default");
+        println!("{}", norm.render());
+        println!(
+            "GoGraph speedup vs Default: {:.2}x avg, {:.2}x max\n",
+            runtime.speedup("Default", "GoGraph"),
+            runtime.max_speedup("Default", "GoGraph"),
+        );
+        let _ = save_results(&format!("fig05_{}.tsv", alg.to_lowercase()), &runtime.to_tsv());
+    }
+}

@@ -1,0 +1,23 @@
+//! Fig. 6 — normalized iteration rounds of the four workloads across the
+//! seven reordering methods and six dataset analogues.
+//!
+//! Paper expectation: GoGraph needs the fewest rounds on most cells
+//! (−52% avg vs Default).
+
+use gograph_bench::datasets::Scale;
+use gograph_bench::experiments::overall_grid;
+use gograph_bench::harness::save_results;
+
+fn main() {
+    let scale = Scale::from_env();
+    println!("Fig. 6 — iteration-round comparison, scale {scale:?}\n");
+    for (alg, _runtime, rounds) in overall_grid(scale) {
+        println!("{}", rounds.render());
+        println!("{}", rounds.normalized("Default").render());
+        println!(
+            "GoGraph round reduction vs Default: {:.2}x avg\n",
+            rounds.speedup("Default", "GoGraph"),
+        );
+        let _ = save_results(&format!("fig06_{}.tsv", alg.to_lowercase()), &rounds.to_tsv());
+    }
+}

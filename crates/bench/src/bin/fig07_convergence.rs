@@ -1,0 +1,42 @@
+//! Fig. 7 — convergence curves: distance-to-convergence
+//! `dist_t = |Σx* − Σx_t|` over time for PageRank and SSSP on the CP and
+//! LJ analogues, per reordering method.
+//!
+//! Paper expectation: GoGraph's curve reaches any given distance first
+//! (59% of competitors' time on average).
+
+use gograph_bench::datasets::{dataset, Scale};
+use gograph_bench::experiments::convergence_curves;
+use gograph_bench::harness::save_results;
+use std::fmt::Write as _;
+
+fn main() {
+    let scale = Scale::from_env();
+    println!("Fig. 7 — convergence curves, scale {scale:?}\n");
+    for ds in ["CP", "LJ"] {
+        let d = dataset(ds, scale).unwrap();
+        for alg in ["PageRank", "SSSP"] {
+            println!("--- {alg} on {ds} ---");
+            let curves = convergence_curves(&d, alg);
+            let mut tsv = String::from("method\tseconds\tdistance\n");
+            for (method, curve) in &curves {
+                // Report time to reach 1% of the initial distance.
+                let initial = curve.first().map(|&(_, d0)| d0).unwrap_or(0.0);
+                let target = initial * 0.01;
+                let reach = curve
+                    .iter()
+                    .find(|&&(_, dist)| dist <= target)
+                    .map(|&(t, _)| t);
+                match reach {
+                    Some(t) => println!("{method:>12}: reaches 1% distance at {t:.4}s ({} trace points)", curve.len()),
+                    None => println!("{method:>12}: did not reach 1% within the run"),
+                }
+                for &(t, dist) in curve {
+                    let _ = writeln!(tsv, "{method}\t{t}\t{dist}");
+                }
+            }
+            println!();
+            let _ = save_results(&format!("fig07_{}_{}.tsv", alg.to_lowercase(), ds.to_lowercase()), &tsv);
+        }
+    }
+}

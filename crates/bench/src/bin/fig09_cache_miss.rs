@@ -1,0 +1,22 @@
+//! Fig. 9 — CPU cache misses of PageRank per reordering method
+//! (trace-driven simulator, see DESIGN.md §4).
+//!
+//! Paper expectation: GoGraph reduces cache misses ~30% on average vs
+//! the competitors.
+
+use gograph_bench::datasets::Scale;
+use gograph_bench::experiments::cache_miss_table;
+use gograph_bench::harness::save_results;
+
+fn main() {
+    let scale = Scale::from_env();
+    println!("Fig. 9 — cache miss comparison, scale {scale:?}\n");
+    let t = cache_miss_table(scale, 2);
+    println!("{}", t.render());
+    println!("{}", t.normalized("Default").render());
+    println!(
+        "GoGraph miss reduction vs Default: {:.2}x avg\n",
+        t.speedup("Default", "GoGraph"),
+    );
+    let _ = save_results("fig09_cache_miss.tsv", &t.to_tsv());
+}

@@ -1,0 +1,22 @@
+//! Fig. 10 — the impact of GoGraph's divide phase on cache misses:
+//! full GoGraph vs GoGraph without partitioning.
+//!
+//! Paper expectation: partitioning reduces misses 33% avg (up to 58%).
+
+use gograph_bench::datasets::Scale;
+use gograph_bench::experiments::partition_cache_ablation;
+use gograph_bench::harness::save_results;
+
+fn main() {
+    let scale = Scale::from_env();
+    println!("Fig. 10 — partitioning cache ablation, scale {scale:?}\n");
+    let t = partition_cache_ablation(scale, 2);
+    println!("{}", t.render());
+    println!("{}", t.normalized("GoGraph w/o partitioning").render());
+    println!(
+        "Partitioning miss reduction: {:.2}x avg, {:.2}x max\n",
+        t.speedup("GoGraph w/o partitioning", "GoGraph"),
+        t.max_speedup("GoGraph w/o partitioning", "GoGraph"),
+    );
+    let _ = save_results("fig10_partition_cache.tsv", &t.to_tsv());
+}

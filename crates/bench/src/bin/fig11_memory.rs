@@ -1,0 +1,20 @@
+//! Fig. 11 — memory usage of Sync+Default, Async+Default and
+//! Async+GoGraph for PageRank and SSSP.
+//!
+//! Paper expectation: the three are similar; sync is slightly higher
+//! because it double-buffers vertex states.
+
+use gograph_bench::datasets::Scale;
+use gograph_bench::experiments::memory_table;
+use gograph_bench::harness::save_results;
+
+fn main() {
+    let scale = Scale::from_env();
+    println!("Fig. 11 — memory usage, scale {scale:?}\n");
+    for alg in ["PageRank", "SSSP"] {
+        let t = memory_table(scale, alg);
+        println!("{}", t.render());
+        println!("{}", t.normalized("Sync+Def.").render());
+        let _ = save_results(&format!("fig11_{}.tsv", alg.to_lowercase()), &t.to_tsv());
+    }
+}

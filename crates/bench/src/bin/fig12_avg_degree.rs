@@ -1,0 +1,26 @@
+//! Fig. 12 — impact of the average degree: PageRank runtime and rounds
+//! on Barabási–Albert graphs of average degree 2/4/6/8, per method.
+//!
+//! Paper expectation: runtime grows with degree (larger graphs), round
+//! counts stay similar, GoGraph best throughout — though gains on
+//! synthetic BA graphs are smaller than on real graphs because the
+//! generator's default order is already good (§V-H); we shuffle labels to
+//! restore a realistic baseline.
+
+use gograph_bench::datasets::Scale;
+use gograph_bench::experiments::average_degree_sweep;
+use gograph_bench::harness::save_results;
+
+fn main() {
+    let scale = Scale::from_env();
+    println!("Fig. 12 — average degree sweep, scale {scale:?}\n");
+    let (runtime, rounds) = average_degree_sweep(scale);
+    println!("{}", runtime.render());
+    println!("{}", rounds.render());
+    println!(
+        "GoGraph speedup vs Default across degrees: {:.2}x avg\n",
+        runtime.speedup("Default", "GoGraph"),
+    );
+    let _ = save_results("fig12_runtime.tsv", &runtime.to_tsv());
+    let _ = save_results("fig12_rounds.tsv", &rounds.to_tsv());
+}

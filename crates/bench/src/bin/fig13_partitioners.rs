@@ -1,0 +1,22 @@
+//! Fig. 13 — the divide-phase partitioner swapped between
+//! Rabbit-partition (default), Metis, Louvain and Fennel: PageRank
+//! runtime and rounds on all six analogues.
+//!
+//! Paper expectation: Rabbit/Metis/Louvain similar; Fennel worse
+//! (stream-based decisions with partial graph knowledge).
+
+use gograph_bench::datasets::Scale;
+use gograph_bench::experiments::partitioner_sweep;
+use gograph_bench::harness::save_results;
+
+fn main() {
+    let scale = Scale::from_env();
+    println!("Fig. 13 — partitioner sweep, scale {scale:?}\n");
+    let (runtime, rounds) = partitioner_sweep(scale);
+    println!("{}", runtime.render());
+    println!("{}", runtime.normalized("Rabbit-partition").render());
+    println!("{}", rounds.render());
+    println!("{}", rounds.normalized("Rabbit-partition").render());
+    let _ = save_results("fig13_runtime.tsv", &runtime.to_tsv());
+    let _ = save_results("fig13_rounds.tsv", &rounds.to_tsv());
+}

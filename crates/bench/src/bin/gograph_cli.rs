@@ -1,0 +1,263 @@
+//! `gograph_cli` — end-to-end command-line tool for using the library on
+//! real edge-list files (the adoption path for a downstream user).
+//!
+//! ```text
+//! gograph_cli reorder  <graph.el> --method gograph --out order.txt
+//! gograph_cli apply    <graph.el> --order order.txt --out reordered.el
+//! gograph_cli metric   <graph.el> [--order order.txt]
+//! gograph_cli run      <graph.el> --algorithm pagerank [--order order.txt]
+//!                      [--mode sync|async|parallel] [--source N]
+//! gograph_cli stats    <graph.el>
+//! gograph_cli generate --kind ba|rmat|planted|er|ws --n N --out graph.el
+//! ```
+//!
+//! Graphs are whitespace edge lists (`src dst [weight]`, `#`/`%`
+//! comments); orders are one vertex id per line.
+
+use gograph_core::{metric_report, GoGraph};
+use gograph_engine::{
+    run, Bfs, IterativeAlgorithm, Mode, PageRank, Php, RunConfig, Sssp, Sswp,
+};
+use gograph_graph::generators as gen;
+use gograph_graph::io;
+use gograph_graph::stats::degree_stats;
+use gograph_graph::{CsrGraph, Permutation};
+use gograph_reorder::{
+    BfsOrder, DegSort, DefaultOrder, DfsOrder, Gorder, HubCluster, HubSort, RabbitOrder,
+    RandomOrder, Reorderer, SccTopoOrder, SlashBurn,
+};
+use std::process::ExitCode;
+
+/// Minimal flag parser: positional args + `--key value` pairs.
+struct Args {
+    positional: Vec<String>,
+    flags: Vec<(String, String)>,
+}
+
+impl Args {
+    fn parse(raw: &[String]) -> Result<Args, String> {
+        let mut positional = Vec::new();
+        let mut flags = Vec::new();
+        let mut it = raw.iter();
+        while let Some(a) = it.next() {
+            if let Some(key) = a.strip_prefix("--") {
+                let value = it
+                    .next()
+                    .ok_or_else(|| format!("flag --{key} needs a value"))?;
+                flags.push((key.to_string(), value.clone()));
+            } else {
+                positional.push(a.clone());
+            }
+        }
+        Ok(Args { positional, flags })
+    }
+
+    fn get(&self, key: &str) -> Option<&str> {
+        self.flags
+            .iter()
+            .rev()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+fn method_by_name(name: &str) -> Result<Box<dyn Reorderer>, String> {
+    Ok(match name {
+        "default" => Box::new(DefaultOrder),
+        "degsort" => Box::new(DegSort::default()),
+        "hubsort" => Box::new(HubSort::default()),
+        "hubcluster" => Box::new(HubCluster::default()),
+        "rabbit" => Box::new(RabbitOrder::default()),
+        "gorder" => Box::new(Gorder::default()),
+        "gograph" => Box::new(GoGraph::default()),
+        "slashburn" => Box::new(SlashBurn::default()),
+        "scc-topo" => Box::new(SccTopoOrder),
+        "bfs" => Box::new(BfsOrder),
+        "dfs" => Box::new(DfsOrder),
+        "random" => Box::new(RandomOrder { seed: 42 }),
+        other => return Err(format!("unknown method {other:?}")),
+    })
+}
+
+fn algorithm_by_name(name: &str, source: u32) -> Result<Box<dyn IterativeAlgorithm>, String> {
+    Ok(match name {
+        "pagerank" => Box::new(PageRank::default()),
+        "sssp" => Box::new(Sssp::new(source)),
+        "bfs" => Box::new(Bfs::new(source)),
+        "php" => Box::new(Php::new(source)),
+        "sswp" => Box::new(Sswp::new(source)),
+        other => return Err(format!("unknown algorithm {other:?}")),
+    })
+}
+
+fn load_graph(path: &str) -> Result<CsrGraph, String> {
+    if path.ends_with(".bin") {
+        io::read_binary_file(path).map_err(|e| format!("{path}: {e}"))
+    } else {
+        io::read_edge_list_file(path).map_err(|e| format!("{path}: {e}"))
+    }
+}
+
+fn load_order(args: &Args, n: usize) -> Result<Permutation, String> {
+    match args.get("order") {
+        Some(path) => {
+            let p = io::read_permutation_file(path).map_err(|e| format!("{path}: {e}"))?;
+            if p.len() != n {
+                return Err(format!("order length {} != vertex count {n}", p.len()));
+            }
+            Ok(p)
+        }
+        None => Ok(Permutation::identity(n)),
+    }
+}
+
+fn real_main() -> Result<(), String> {
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    if raw.is_empty() {
+        return Err("usage: gograph_cli <reorder|apply|metric|run|stats|generate> ...".into());
+    }
+    let cmd = raw[0].clone();
+    let args = Args::parse(&raw[1..])?;
+
+    match cmd.as_str() {
+        "reorder" => {
+            let path = args.positional.first().ok_or("missing graph path")?;
+            let g = load_graph(path)?;
+            let method = method_by_name(args.get("method").unwrap_or("gograph"))?;
+            let start = std::time::Instant::now();
+            let order = method.reorder(&g);
+            let rep = metric_report(&g, &order);
+            eprintln!(
+                "{}: reordered {} vertices in {:.2}s; M/|E| = {:.3}",
+                method.name(),
+                g.num_vertices(),
+                start.elapsed().as_secs_f64(),
+                rep.positive_fraction()
+            );
+            match args.get("out") {
+                Some(out) => io::write_permutation_file(&order, out).map_err(|e| e.to_string())?,
+                None => io::write_permutation(&order, std::io::stdout()).map_err(|e| e.to_string())?,
+            }
+        }
+        "apply" => {
+            let path = args.positional.first().ok_or("missing graph path")?;
+            let g = load_graph(path)?;
+            let order = load_order(&args, g.num_vertices())?;
+            let relabeled = g.relabeled(&order);
+            let out = args.get("out").ok_or("--out required")?;
+            if out.ends_with(".bin") {
+                io::write_binary_file(&relabeled, out).map_err(|e| e.to_string())?;
+            } else {
+                io::write_edge_list_file(&relabeled, out).map_err(|e| e.to_string())?;
+            }
+            eprintln!("wrote relabeled graph to {out}");
+        }
+        "metric" => {
+            let path = args.positional.first().ok_or("missing graph path")?;
+            let g = load_graph(path)?;
+            let order = load_order(&args, g.num_vertices())?;
+            let rep = metric_report(&g, &order);
+            println!(
+                "M = {}  negative = {}  self-loops = {}  M/|E| = {:.4}",
+                rep.positive_edges,
+                rep.negative_edges,
+                rep.self_loops,
+                rep.positive_fraction()
+            );
+        }
+        "run" => {
+            let path = args.positional.first().ok_or("missing graph path")?;
+            let g = load_graph(path)?;
+            let order = load_order(&args, g.num_vertices())?;
+            let source: u32 = args
+                .get("source")
+                .map(|s| s.parse().map_err(|_| "bad --source"))
+                .transpose()?
+                .unwrap_or(0);
+            let alg = algorithm_by_name(args.get("algorithm").unwrap_or("pagerank"), order.position(source))?;
+            let mode = match args.get("mode").unwrap_or("async") {
+                "sync" => Mode::Sync,
+                "async" => Mode::Async,
+                "parallel" => Mode::Parallel(8),
+                other => return Err(format!("unknown mode {other:?}")),
+            };
+            let relabeled = g.relabeled(&order);
+            let id = Permutation::identity(g.num_vertices());
+            let stats = run(&relabeled, alg.as_ref(), mode, &id, &RunConfig::default());
+            println!(
+                "{}: {} rounds in {:.1} ms (converged: {})",
+                alg.name(),
+                stats.rounds,
+                stats.runtime.as_secs_f64() * 1e3,
+                stats.converged
+            );
+            // Top-5 states (original ids).
+            let mut ranked: Vec<(u32, f64)> = stats
+                .final_states
+                .iter()
+                .enumerate()
+                .filter(|(_, s)| s.is_finite())
+                .map(|(nv, &s)| (order.vertex_at(nv), s))
+                .collect();
+            ranked.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
+            for (v, s) in ranked.iter().take(5) {
+                println!("  vertex {v}: {s:.6}");
+            }
+        }
+        "stats" => {
+            let path = args.positional.first().ok_or("missing graph path")?;
+            let g = load_graph(path)?;
+            let s = degree_stats(&g);
+            println!(
+                "vertices {}  edges {}  avg-degree {:.2}  max-degree {}  max-in {}  max-out {}  isolated {}",
+                s.num_vertices,
+                s.num_edges,
+                s.mean_degree,
+                s.max_degree,
+                s.max_in_degree,
+                s.max_out_degree,
+                s.isolated_count
+            );
+        }
+        "generate" => {
+            let n: usize = args.get("n").unwrap_or("10000").parse().map_err(|_| "bad --n")?;
+            let seed: u64 = args.get("seed").unwrap_or("42").parse().map_err(|_| "bad --seed")?;
+            let g = match args.get("kind").unwrap_or("planted") {
+                "ba" => gen::barabasi_albert(n, 4, seed),
+                "er" => gen::erdos_renyi(n, n * 5, seed),
+                "ws" => gen::watts_strogatz(n, 4, 0.1, seed),
+                "rmat" => {
+                    let scale = (n as f64).log2().ceil() as u32;
+                    gen::rmat(gen::RmatConfig::graph500(scale, 8, seed))
+                }
+                "planted" => gen::planted_partition(gen::PlantedPartitionConfig {
+                    num_vertices: n,
+                    num_edges: n * 6,
+                    communities: (n / 200).max(4),
+                    seed,
+                    ..Default::default()
+                }),
+                other => return Err(format!("unknown kind {other:?}")),
+            };
+            let out = args.get("out").ok_or("--out required")?;
+            if out.ends_with(".bin") {
+                io::write_binary_file(&g, out).map_err(|e| e.to_string())?;
+            } else {
+                io::write_edge_list_file(&g, out).map_err(|e| e.to_string())?;
+            }
+            eprintln!("wrote {} vertices / {} edges to {out}", g.num_vertices(), g.num_edges());
+        }
+        other => return Err(format!("unknown command {other:?}")),
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    match real_main() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,43 @@
+//! Table I — dataset statistics of the synthetic analogues, side by side
+//! with the paper's real graphs (vertex/edge counts of the originals are
+//! from the paper; ours are scaled to laptop size, see DESIGN.md §4).
+
+use gograph_bench::datasets::{paper_datasets, Scale};
+use gograph_graph::stats::{degree_stats, power_law_exponent};
+
+fn main() {
+    let scale = Scale::from_env();
+    println!("Table I — dataset analogues (scale {scale:?})\n");
+    println!(
+        "{:<6} {:<18} {:>10} {:>12} {:>10} {:>9} {:>8}",
+        "abbr", "paper graph", "vertices", "edges", "avg deg", "max deg", "gamma"
+    );
+    let paper_sizes = [
+        ("IC", 11_358usize, 49_138usize),
+        ("SK", 121_422, 367_579),
+        ("GL", 875_713, 5_241_298),
+        ("WK", 1_864_433, 4_652_358),
+        ("CP", 3_774_768, 18_204_371),
+        ("LJ", 4_033_137, 27_972_078),
+    ];
+    for d in paper_datasets(scale) {
+        let s = degree_stats(&d.graph);
+        let gamma = power_law_exponent(&d.graph, 4)
+            .map(|g| format!("{g:.2}"))
+            .unwrap_or_else(|| "-".into());
+        println!(
+            "{:<6} {:<18} {:>10} {:>12} {:>10.2} {:>9} {:>8}",
+            d.abbrev,
+            d.paper_name,
+            s.num_vertices,
+            s.num_edges,
+            s.mean_degree / 2.0,
+            s.max_degree,
+            gamma
+        );
+    }
+    println!("\npaper originals:");
+    for (abbr, v, e) in paper_sizes {
+        println!("{abbr:<6} {v:>10} vertices {e:>12} edges");
+    }
+}

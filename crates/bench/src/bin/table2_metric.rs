@@ -1,0 +1,29 @@
+//! Table II — the metric function validated: `M(·)`, `M/|E|` and the
+//! iteration rounds of PageRank/SSSP/BFS/PHP on the CP analogue after
+//! each reordering method.
+//!
+//! Paper expectation: larger `M` ⇒ fewer rounds, with GoGraph achieving
+//! both the largest `M` (0.76·|E| on CP) and the fewest rounds.
+
+use gograph_bench::datasets::Scale;
+use gograph_bench::experiments::metric_table;
+use gograph_bench::harness::save_results;
+
+fn main() {
+    let scale = Scale::from_env();
+    println!("Table II — metric function efficiency (CP analogue), scale {scale:?}\n");
+    let t = metric_table(scale);
+    println!("{}", t.render());
+    // Spearman-style sanity: report the M ordering vs rounds ordering.
+    let mut rows: Vec<(&str, f64, f64)> = t
+        .rows()
+        .iter()
+        .map(|(l, v)| (l.as_str(), v[1], v[2]))
+        .collect();
+    rows.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap());
+    println!("methods by ascending M/|E| (PageRank rounds should trend down):");
+    for (name, frac, rounds) in rows {
+        println!("  {name:>12}: M/|E| = {frac:.3}, PageRank rounds = {rounds}");
+    }
+    let _ = save_results("table2_metric.tsv", &t.to_tsv());
+}

@@ -1,0 +1,206 @@
+//! Synthetic analogues of the paper's datasets (Table I).
+//!
+//! The six real graphs are not available offline; each analogue matches
+//! the *shape* that drives the paper's phenomena — power-law degrees,
+//! community structure, and (for web graphs) a crawl-order-friendly
+//! default labeling — at laptop scale (see DESIGN.md §4). The analogues
+//! are deterministic, so every figure regenerates identically.
+//!
+//! | Abbrev | Paper graph        | Analogue                                   |
+//! |--------|--------------------|--------------------------------------------|
+//! | IC     | indochina-2004     | planted partition, strong communities      |
+//! | SK     | sk-2005            | planted partition, very strong communities |
+//! | GL     | Google web         | planted partition, labels NOT shuffled (the paper observes GL's default order is already good) |
+//! | WK     | wikipedia-2009     | planted partition, weak communities        |
+//! | CP     | cit-Patents        | Barabási–Albert citation graph             |
+//! | LJ     | soc-LiveJournal    | planted partition, largest                 |
+
+use gograph_graph::generators::{
+    barabasi_albert, planted_partition, shuffle_labels, with_random_weights,
+    PlantedPartitionConfig,
+};
+use gograph_graph::CsrGraph;
+
+/// Size scale of the dataset registry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// Tiny graphs for unit/integration tests (seconds).
+    Tiny,
+    /// Standard benchmark scale (default for the figure binaries).
+    Standard,
+}
+
+impl Scale {
+    /// Parses `"tiny"` / `"standard"` (also accepts env-style aliases).
+    pub fn parse(s: &str) -> Option<Scale> {
+        match s.to_ascii_lowercase().as_str() {
+            "tiny" | "small" | "test" => Some(Scale::Tiny),
+            "standard" | "full" | "default" => Some(Scale::Standard),
+            _ => None,
+        }
+    }
+
+    /// Reads the `GOGRAPH_SCALE` environment variable, defaulting to
+    /// [`Scale::Standard`].
+    pub fn from_env() -> Scale {
+        std::env::var("GOGRAPH_SCALE")
+            .ok()
+            .and_then(|s| Scale::parse(&s))
+            .unwrap_or(Scale::Standard)
+    }
+
+    fn factor(self) -> usize {
+        match self {
+            Scale::Tiny => 10,
+            Scale::Standard => 1,
+        }
+    }
+}
+
+/// A named benchmark graph.
+pub struct Dataset {
+    /// Table I abbreviation (IC, SK, GL, WK, CP, LJ).
+    pub abbrev: &'static str,
+    /// Paper dataset it substitutes.
+    pub paper_name: &'static str,
+    /// The graph (weighted 1..10 for SSSP/SSWP).
+    pub graph: CsrGraph,
+}
+
+fn planted(
+    n: usize,
+    m: usize,
+    communities: usize,
+    p_intra: f64,
+    gamma: f64,
+    seed: u64,
+    shuffle: bool,
+    scale: Scale,
+) -> CsrGraph {
+    let f = scale.factor();
+    let g = planted_partition(PlantedPartitionConfig {
+        num_vertices: (n / f).max(64),
+        num_edges: (m / f).max(256),
+        communities: (communities / f).max(4),
+        p_intra,
+        gamma,
+        seed,
+    });
+    let g = if shuffle { shuffle_labels(&g, seed ^ 0x5a5a) } else { g };
+    with_random_weights(&g, 1.0, 10.0, seed ^ 0x77)
+}
+
+/// Builds one dataset by abbreviation.
+pub fn dataset(abbrev: &str, scale: Scale) -> Option<Dataset> {
+    let f = scale.factor();
+    let d = match abbrev {
+        "IC" => Dataset {
+            abbrev: "IC",
+            paper_name: "indochina-2004",
+            graph: planted(11_358, 49_138, 48, 0.85, 2.1, 101, true, scale),
+        },
+        "SK" => Dataset {
+            abbrev: "SK",
+            paper_name: "sk-2005",
+            graph: planted(40_000, 130_000, 128, 0.9, 2.0, 202, true, scale),
+        },
+        "GL" => Dataset {
+            abbrev: "GL",
+            paper_name: "Google web",
+            // Not shuffled: the paper notes GL's default order is already
+            // well-formed, so reordering gains come mostly from locality.
+            graph: planted(50_000, 280_000, 200, 0.75, 2.3, 303, false, scale),
+        },
+        "WK" => Dataset {
+            abbrev: "WK",
+            paper_name: "wikipedia-2009",
+            graph: planted(60_000, 150_000, 96, 0.7, 2.2, 404, true, scale),
+        },
+        "CP" => Dataset {
+            abbrev: "CP",
+            paper_name: "cit-Patents",
+            graph: {
+                let g = barabasi_albert((80_000 / f).max(128), 5, 505);
+                let g = shuffle_labels(&g, 0x1234);
+                with_random_weights(&g, 1.0, 10.0, 0x99)
+            },
+        },
+        "LJ" => Dataset {
+            abbrev: "LJ",
+            paper_name: "soc-LiveJournal",
+            graph: planted(100_000, 650_000, 400, 0.8, 2.4, 606, true, scale),
+        },
+        _ => return None,
+    };
+    Some(d)
+}
+
+/// All six Table I analogues in paper order.
+pub fn paper_datasets(scale: Scale) -> Vec<Dataset> {
+    ["IC", "SK", "GL", "WK", "CP", "LJ"]
+        .iter()
+        .map(|a| dataset(a, scale).expect("registry entry"))
+        .collect()
+}
+
+/// The WK analogue used by the Fig. 1 motivation experiment.
+pub fn wiki_analogue(scale: Scale) -> Dataset {
+    dataset("WK", scale).unwrap()
+}
+
+/// A source vertex suitable for SSSP/BFS experiments: the vertex with
+/// the highest out-degree (reaches a large fraction of the graph).
+pub fn default_source(g: &CsrGraph) -> u32 {
+    (0..g.num_vertices() as u32)
+        .max_by_key(|&v| g.out_degree(v))
+        .unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_builds_all_tiny() {
+        let ds = paper_datasets(Scale::Tiny);
+        assert_eq!(ds.len(), 6);
+        for d in &ds {
+            assert!(d.graph.num_vertices() >= 64, "{} too small", d.abbrev);
+            assert!(d.graph.num_edges() > 0);
+        }
+    }
+
+    #[test]
+    fn datasets_are_deterministic() {
+        let a = dataset("IC", Scale::Tiny).unwrap();
+        let b = dataset("IC", Scale::Tiny).unwrap();
+        assert_eq!(a.graph, b.graph);
+    }
+
+    #[test]
+    fn unknown_abbrev_is_none() {
+        assert!(dataset("XX", Scale::Tiny).is_none());
+    }
+
+    #[test]
+    fn scale_parse() {
+        assert_eq!(Scale::parse("tiny"), Some(Scale::Tiny));
+        assert_eq!(Scale::parse("FULL"), Some(Scale::Standard));
+        assert_eq!(Scale::parse("nope"), None);
+    }
+
+    #[test]
+    fn source_has_outgoing_edges() {
+        let d = dataset("CP", Scale::Tiny).unwrap();
+        let s = default_source(&d.graph);
+        assert!(d.graph.out_degree(s) > 0);
+    }
+
+    #[test]
+    fn weights_in_sssp_range() {
+        let d = dataset("WK", Scale::Tiny).unwrap();
+        for e in d.graph.edges().take(100) {
+            assert!(e.weight >= 1.0 && e.weight < 10.0);
+        }
+    }
+}

@@ -1,0 +1,246 @@
+//! Measurement and table-formatting helpers shared by the figure
+//! binaries. The paper reports *normalized* numbers (Default = 1.0);
+//! [`Table::normalized`] reproduces that presentation.
+
+use std::fmt::Write as _;
+use std::time::{Duration, Instant};
+
+/// Times a closure once, returning (result, elapsed).
+pub fn timed<T>(f: impl FnOnce() -> T) -> (T, Duration) {
+    let start = Instant::now();
+    let out = f();
+    (out, start.elapsed())
+}
+
+/// Runs a closure `reps` times (plus one warmup) and returns the median
+/// wall-clock duration — robust against scheduler noise at bench scale.
+pub fn median_time(reps: usize, mut f: impl FnMut()) -> Duration {
+    f(); // warmup
+    let mut samples: Vec<Duration> = (0..reps.max(1))
+        .map(|_| {
+            let s = Instant::now();
+            f();
+            s.elapsed()
+        })
+        .collect();
+    samples.sort();
+    samples[samples.len() / 2]
+}
+
+/// A rows × cols table of f64 values with labels, printable raw or
+/// normalized to a baseline row entry.
+pub struct Table {
+    title: String,
+    col_labels: Vec<String>,
+    rows: Vec<(String, Vec<f64>)>,
+}
+
+impl Table {
+    /// New table with the given title and column labels.
+    pub fn new(title: impl Into<String>, col_labels: &[&str]) -> Self {
+        Table {
+            title: title.into(),
+            col_labels: col_labels.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a labeled row.
+    pub fn push_row(&mut self, label: impl Into<String>, values: Vec<f64>) {
+        assert_eq!(values.len(), self.col_labels.len(), "row width mismatch");
+        self.rows.push((label.into(), values));
+    }
+
+    /// Values normalized per column against the row labeled `baseline`
+    /// (the paper's "Default = 1.0" presentation).
+    pub fn normalized(&self, baseline: &str) -> Table {
+        let base = self
+            .rows
+            .iter()
+            .find(|(l, _)| l == baseline)
+            .unwrap_or_else(|| panic!("no baseline row {baseline:?}"))
+            .1
+            .clone();
+        let mut t = Table::new(format!("{} (normalized to {})", self.title, baseline), &[]);
+        t.col_labels = self.col_labels.clone();
+        for (label, vals) in &self.rows {
+            let normed = vals
+                .iter()
+                .zip(&base)
+                .map(|(v, b)| if *b == 0.0 { f64::NAN } else { v / b })
+                .collect();
+            t.rows.push((label.clone(), normed));
+        }
+        t
+    }
+
+    /// Geometric-mean speedup of `method` vs `baseline` across columns
+    /// (how the paper summarizes "N× on average").
+    pub fn speedup(&self, baseline: &str, method: &str) -> f64 {
+        let get = |name: &str| {
+            &self
+                .rows
+                .iter()
+                .find(|(l, _)| l == name)
+                .unwrap_or_else(|| panic!("no row {name:?}"))
+                .1
+        };
+        let b = get(baseline);
+        let m = get(method);
+        let mut log_sum = 0.0;
+        let mut count = 0usize;
+        for (bv, mv) in b.iter().zip(m) {
+            if *bv > 0.0 && *mv > 0.0 {
+                log_sum += (bv / mv).ln();
+                count += 1;
+            }
+        }
+        if count == 0 {
+            f64::NAN
+        } else {
+            (log_sum / count as f64).exp()
+        }
+    }
+
+    /// Maximum per-column speedup of `method` vs `baseline`.
+    pub fn max_speedup(&self, baseline: &str, method: &str) -> f64 {
+        let get = |name: &str| {
+            &self
+                .rows
+                .iter()
+                .find(|(l, _)| l == name)
+                .unwrap()
+                .1
+        };
+        get(baseline)
+            .iter()
+            .zip(get(method))
+            .filter(|(b, m)| **b > 0.0 && **m > 0.0)
+            .map(|(b, m)| b / m)
+            .fold(f64::NAN, f64::max)
+    }
+
+    /// Renders as an aligned text table.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "== {} ==", self.title);
+        let label_w = self
+            .rows
+            .iter()
+            .map(|(l, _)| l.len())
+            .chain(std::iter::once(6))
+            .max()
+            .unwrap();
+        let _ = write!(out, "{:label_w$}", "");
+        for c in &self.col_labels {
+            let _ = write!(out, " {c:>10}");
+        }
+        let _ = writeln!(out);
+        for (label, vals) in &self.rows {
+            let _ = write!(out, "{label:label_w$}");
+            for v in vals {
+                if v.is_nan() {
+                    let _ = write!(out, " {:>10}", "-");
+                } else if *v >= 1000.0 {
+                    let _ = write!(out, " {v:>10.0}");
+                } else {
+                    let _ = write!(out, " {v:>10.3}");
+                }
+            }
+            let _ = writeln!(out);
+        }
+        out
+    }
+
+    /// Renders as tab-separated values (for saving to results files).
+    pub fn to_tsv(&self) -> String {
+        let mut out = String::new();
+        let _ = write!(out, "method");
+        for c in &self.col_labels {
+            let _ = write!(out, "\t{c}");
+        }
+        let _ = writeln!(out);
+        for (label, vals) in &self.rows {
+            let _ = write!(out, "{label}");
+            for v in vals {
+                let _ = write!(out, "\t{v}");
+            }
+            let _ = writeln!(out);
+        }
+        out
+    }
+
+    /// Column labels.
+    pub fn columns(&self) -> &[String] {
+        &self.col_labels
+    }
+
+    /// Row accessor.
+    pub fn rows(&self) -> &[(String, Vec<f64>)] {
+        &self.rows
+    }
+}
+
+/// Writes a results artifact under `results/`, creating the directory.
+pub fn save_results(name: &str, contents: &str) -> std::io::Result<std::path::PathBuf> {
+    let dir = std::path::Path::new("results");
+    std::fs::create_dir_all(dir)?;
+    let path = dir.join(name);
+    std::fs::write(&path, contents)?;
+    Ok(path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Table {
+        let mut t = Table::new("runtime", &["A", "B"]);
+        t.push_row("Default", vec![10.0, 20.0]);
+        t.push_row("GoGraph", vec![5.0, 4.0]);
+        t
+    }
+
+    #[test]
+    fn normalization_sets_baseline_to_one() {
+        let n = sample().normalized("Default");
+        assert_eq!(n.rows()[0].1, vec![1.0, 1.0]);
+        assert_eq!(n.rows()[1].1, vec![0.5, 0.2]);
+    }
+
+    #[test]
+    fn speedups() {
+        let t = sample();
+        let geo = t.speedup("Default", "GoGraph");
+        assert!((geo - (2.0f64 * 5.0).sqrt()).abs() < 1e-12);
+        assert_eq!(t.max_speedup("Default", "GoGraph"), 5.0);
+    }
+
+    #[test]
+    fn render_contains_labels() {
+        let s = sample().render();
+        assert!(s.contains("GoGraph"));
+        assert!(s.contains("runtime"));
+    }
+
+    #[test]
+    fn tsv_roundtrips_values() {
+        let tsv = sample().to_tsv();
+        assert!(tsv.contains("GoGraph\t5\t4"));
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn mismatched_row_rejected() {
+        let mut t = Table::new("x", &["A"]);
+        t.push_row("r", vec![1.0, 2.0]);
+    }
+
+    #[test]
+    fn median_time_positive() {
+        let d = median_time(3, || {
+            std::hint::black_box((0..1000).sum::<u64>());
+        });
+        let _ = d;
+    }
+}

@@ -1,0 +1,14 @@
+//! # gograph-bench
+//!
+//! Benchmark harness reproducing every table and figure of the paper's
+//! evaluation (§V) on the synthetic dataset analogues of
+//! [`datasets`] (see DESIGN.md for the experiment index). Each figure has
+//! a runnable binary under `src/bin/`; Criterion microbenches live under
+//! `benches/`.
+
+#![warn(missing_docs)]
+
+pub mod datasets;
+pub mod experiments;
+pub mod harness;
+pub mod orderings;

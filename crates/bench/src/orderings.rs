@@ -1,0 +1,81 @@
+//! Registry of the seven reordering methods compared throughout the
+//! paper's evaluation (Figs. 5–9, Table II): Default, DegSort, HubSort,
+//! HubCluster, Rabbit, Gorder, GoGraph.
+
+use gograph_core::GoGraph;
+use gograph_graph::{CsrGraph, Permutation};
+use gograph_reorder::{
+    DegSort, DefaultOrder, Gorder, HubCluster, HubSort, RabbitOrder, Reorderer,
+};
+
+/// One competitor: name + boxed reorderer.
+pub struct Method {
+    /// Display name matching the paper's legends.
+    pub name: &'static str,
+    reorderer: Box<dyn Reorderer>,
+}
+
+impl Method {
+    /// Computes the processing order for `g`.
+    pub fn reorder(&self, g: &CsrGraph) -> Permutation {
+        self.reorderer.reorder(g)
+    }
+}
+
+/// The paper's seven methods, in figure-legend order.
+pub fn paper_methods() -> Vec<Method> {
+    vec![
+        Method {
+            name: "Default",
+            reorderer: Box::new(DefaultOrder),
+        },
+        Method {
+            name: "DegSort",
+            reorderer: Box::new(DegSort::default()),
+        },
+        Method {
+            name: "HubSort",
+            reorderer: Box::new(HubSort::default()),
+        },
+        Method {
+            name: "HubCluster",
+            reorderer: Box::new(HubCluster::default()),
+        },
+        Method {
+            name: "Rabbit",
+            reorderer: Box::new(RabbitOrder::default()),
+        },
+        Method {
+            name: "Gorder",
+            reorderer: Box::new(Gorder::default()),
+        },
+        Method {
+            name: "GoGraph",
+            reorderer: Box::new(GoGraph::default()),
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gograph_graph::generators::regular::chain;
+
+    #[test]
+    fn seven_methods_in_paper_order() {
+        let ms = paper_methods();
+        assert_eq!(ms.len(), 7);
+        assert_eq!(ms[0].name, "Default");
+        assert_eq!(ms[6].name, "GoGraph");
+    }
+
+    #[test]
+    fn every_method_yields_valid_permutation() {
+        let g = chain(30);
+        for m in paper_methods() {
+            let p = m.reorder(&g);
+            p.validate().unwrap_or_else(|e| panic!("{}: {e}", m.name));
+            assert_eq!(p.len(), 30);
+        }
+    }
+}

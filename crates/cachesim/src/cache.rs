@@ -1,0 +1,206 @@
+//! Set-associative LRU cache model.
+//!
+//! The paper measures hardware cache misses (Figs. 9–10); offline we
+//! substitute a trace-driven simulator. A cache is `num_sets` sets of
+//! `associativity` lines of `line_size` bytes with true-LRU replacement —
+//! the standard model for locality studies.
+
+/// Hit/miss counters of one cache level.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Total accesses.
+    pub accesses: u64,
+    /// Misses (fills from the next level).
+    pub misses: u64,
+}
+
+impl CacheStats {
+    /// Hits.
+    pub fn hits(&self) -> u64 {
+        self.accesses - self.misses
+    }
+
+    /// Miss ratio in `[0, 1]`; 0 for an untouched cache.
+    pub fn miss_ratio(&self) -> f64 {
+        if self.accesses == 0 {
+            0.0
+        } else {
+            self.misses as f64 / self.accesses as f64
+        }
+    }
+}
+
+/// A set-associative cache with true-LRU replacement.
+///
+/// ```
+/// use gograph_cachesim::Cache;
+/// let mut l1 = Cache::l1();
+/// assert!(!l1.access(0x1000));  // cold miss
+/// assert!(l1.access(0x1008));   // same 64B line: hit
+/// assert_eq!(l1.stats().misses, 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Cache {
+    line_shift: u32,
+    set_mask: u64,
+    /// Per set: tags ordered most-recently-used first.
+    sets: Vec<Vec<u64>>,
+    associativity: usize,
+    stats: CacheStats,
+}
+
+impl Cache {
+    /// Builds a cache of `capacity_bytes` with the given line size and
+    /// associativity. All three must be powers of two and consistent
+    /// (`capacity = num_sets * associativity * line_size`).
+    ///
+    /// # Panics
+    /// Panics on non-power-of-two geometry or capacity smaller than one
+    /// way of lines.
+    pub fn new(capacity_bytes: usize, line_size: usize, associativity: usize) -> Self {
+        assert!(line_size.is_power_of_two(), "line size must be a power of two");
+        assert!(capacity_bytes.is_multiple_of(line_size * associativity), "inconsistent geometry");
+        let num_sets = capacity_bytes / (line_size * associativity);
+        assert!(num_sets.is_power_of_two(), "set count must be a power of two");
+        Cache {
+            line_shift: line_size.trailing_zeros(),
+            set_mask: (num_sets - 1) as u64,
+            sets: vec![Vec::with_capacity(associativity); num_sets],
+            associativity,
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// Standard L1d: 32 KiB, 64 B lines, 8-way.
+    pub fn l1() -> Self {
+        Cache::new(32 * 1024, 64, 8)
+    }
+
+    /// Standard L2: 1 MiB, 64 B lines, 16-way.
+    pub fn l2() -> Self {
+        Cache::new(1024 * 1024, 64, 16)
+    }
+
+    /// Standard shared L3: 32 MiB, 64 B lines, 16-way.
+    pub fn l3() -> Self {
+        Cache::new(32 * 1024 * 1024, 64, 16)
+    }
+
+    /// Accesses a byte address; returns `true` on hit. On miss the line
+    /// is filled (evicting LRU if the set is full).
+    pub fn access(&mut self, addr: u64) -> bool {
+        self.stats.accesses += 1;
+        let line = addr >> self.line_shift;
+        let set_idx = (line & self.set_mask) as usize;
+        let tag = line >> self.set_mask.count_ones();
+        let set = &mut self.sets[set_idx];
+        if let Some(pos) = set.iter().position(|&t| t == tag) {
+            // Move to MRU.
+            let t = set.remove(pos);
+            set.insert(0, t);
+            true
+        } else {
+            self.stats.misses += 1;
+            if set.len() == self.associativity {
+                set.pop();
+            }
+            set.insert(0, tag);
+            false
+        }
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    /// Bytes per line.
+    pub fn line_size(&self) -> usize {
+        1usize << self.line_shift
+    }
+
+    /// Total capacity in bytes.
+    pub fn capacity(&self) -> usize {
+        self.sets.len() * self.associativity * self.line_size()
+    }
+
+    /// Clears contents and counters.
+    pub fn reset(&mut self) {
+        for s in &mut self.sets {
+            s.clear();
+        }
+        self.stats = CacheStats::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn repeated_access_hits() {
+        let mut c = Cache::new(1024, 64, 2);
+        assert!(!c.access(0));
+        assert!(c.access(0));
+        assert!(c.access(63)); // same line
+        assert!(!c.access(64)); // next line
+        assert_eq!(c.stats().accesses, 4);
+        assert_eq!(c.stats().misses, 2);
+    }
+
+    #[test]
+    fn lru_eviction_within_set() {
+        // 2-way, line 64, capacity 256 -> 2 sets. Addresses mapping to
+        // set 0: lines 0, 2, 4 (line index even).
+        let mut c = Cache::new(256, 64, 2);
+        assert!(!c.access(0)); // line 0 -> set 0
+        assert!(!c.access(128)); // line 2 -> set 0
+        assert!(!c.access(256)); // line 4 -> set 0, evicts line 0 (LRU)
+        assert!(!c.access(0)); // line 0 gone
+        assert!(c.access(256)); // line 4 still resident
+    }
+
+    #[test]
+    fn lru_order_updated_on_hit() {
+        let mut c = Cache::new(256, 64, 2);
+        c.access(0); // set0: [0]
+        c.access(128); // set0: [2, 0]
+        c.access(0); // hit, set0: [0, 2]
+        c.access(256); // evicts line 2
+        assert!(c.access(0), "line 0 must have been protected by the hit");
+        assert!(!c.access(128));
+    }
+
+    #[test]
+    fn sequential_scan_miss_ratio_is_one_per_line() {
+        let mut c = Cache::l1();
+        for addr in 0..8192u64 {
+            c.access(addr);
+        }
+        // One miss per 64-byte line.
+        assert_eq!(c.stats().misses, 8192 / 64);
+        assert!((c.stats().miss_ratio() - 1.0 / 64.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn capacity_and_geometry() {
+        let c = Cache::l1();
+        assert_eq!(c.capacity(), 32 * 1024);
+        assert_eq!(c.line_size(), 64);
+    }
+
+    #[test]
+    fn reset_clears_everything() {
+        let mut c = Cache::new(1024, 64, 2);
+        c.access(0);
+        c.reset();
+        assert_eq!(c.stats(), CacheStats::default());
+        assert!(!c.access(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn bad_line_size_rejected() {
+        Cache::new(1024, 60, 2);
+    }
+}

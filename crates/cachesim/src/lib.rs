@@ -1,0 +1,17 @@
+//! # gograph-cachesim
+//!
+//! Trace-driven CPU cache simulator substituting for the hardware
+//! performance counters of paper Figs. 9–10 (see DESIGN.md §4). Models a
+//! three-level set-associative LRU hierarchy and replays the exact memory
+//! access pattern of asynchronous PageRank rounds under a given vertex
+//! ordering.
+
+#![warn(missing_docs)]
+
+pub mod cache;
+pub mod hierarchy;
+pub mod trace;
+
+pub use cache::{Cache, CacheStats};
+pub use hierarchy::{CacheHierarchy, HierarchyStats};
+pub use trace::{cache_misses_of_order, simulate_pagerank_rounds};

@@ -1,0 +1,85 @@
+//! Property tests of the cache simulator: counter consistency, hierarchy
+//! filtering, inclusion of working sets, and determinism.
+
+use gograph_cachesim::{Cache, CacheHierarchy};
+use proptest::prelude::*;
+
+fn arb_trace() -> impl Strategy<Value = Vec<u64>> {
+    proptest::collection::vec(0u64..1_000_000, 1..600)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn misses_never_exceed_accesses(trace in arb_trace()) {
+        let mut c = Cache::new(4096, 64, 4);
+        for &a in &trace {
+            c.access(a);
+        }
+        let s = c.stats();
+        prop_assert_eq!(s.accesses, trace.len() as u64);
+        prop_assert!(s.misses <= s.accesses);
+        prop_assert!(s.miss_ratio() <= 1.0);
+    }
+
+    #[test]
+    fn hierarchy_filters_strictly(trace in arb_trace()) {
+        let mut h = CacheHierarchy::default();
+        for &a in &trace {
+            h.access(a);
+        }
+        let s = h.stats();
+        prop_assert_eq!(s.l2.accesses, s.l1.misses);
+        prop_assert_eq!(s.l3.accesses, s.l2.misses);
+        prop_assert!(s.dram_accesses() <= s.l1.accesses);
+    }
+
+    #[test]
+    fn immediate_reaccess_always_hits(trace in arb_trace()) {
+        let mut c = Cache::l1();
+        for &a in &trace {
+            c.access(a);
+            prop_assert!(c.access(a), "re-access of {a} missed");
+        }
+    }
+
+    #[test]
+    fn distinct_lines_lower_bound_misses(trace in arb_trace()) {
+        // Cold misses >= number of distinct 64B lines can never be beaten.
+        let mut c = Cache::new(1 << 20, 64, 16);
+        let mut lines: std::collections::HashSet<u64> = Default::default();
+        for &a in &trace {
+            c.access(a);
+            lines.insert(a >> 6);
+        }
+        // A 1 MiB cache holds this entire working set: misses == cold.
+        prop_assert_eq!(c.stats().misses, lines.len() as u64);
+    }
+
+    #[test]
+    fn determinism(trace in arb_trace()) {
+        let run = |t: &[u64]| {
+            let mut h = CacheHierarchy::default();
+            for &a in t {
+                h.access(a);
+            }
+            h.stats()
+        };
+        prop_assert_eq!(run(&trace), run(&trace));
+    }
+
+    #[test]
+    fn reset_restores_cold_state(trace in arb_trace()) {
+        let mut c = Cache::new(8192, 64, 4);
+        for &a in &trace {
+            c.access(a);
+        }
+        let first = c.stats();
+        c.reset();
+        for &a in &trace {
+            c.access(a);
+        }
+        prop_assert_eq!(c.stats(), first);
+    }
+}

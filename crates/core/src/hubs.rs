@@ -1,0 +1,175 @@
+//! Hub and isolated-vertex extraction — GoGraph's first step (paper
+//! §IV-A "Extract high-degree vertices").
+//!
+//! Power-law graphs concentrate edges on a few hubs; placing those early
+//! would distort the positioning of the many low-degree vertices, so
+//! GoGraph removes the top `hub_fraction` (paper: 0.2%) highest-degree
+//! vertices first, together with any vertices left *isolated* by that
+//! removal (they only connected to hubs, so they carry no signal for
+//! ordering the rest).
+
+use gograph_graph::{CsrGraph, VertexId};
+
+/// Result of the extraction phase.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Extraction {
+    /// High-degree vertices, descending degree (ties by id).
+    pub hubs: Vec<VertexId>,
+    /// Vertices isolated once hubs are removed (includes vertices with no
+    /// edges in the original graph).
+    pub isolated: Vec<VertexId>,
+    /// Everything else — the vertices the divide/conquer phases order.
+    pub remaining: Vec<VertexId>,
+}
+
+impl Extraction {
+    /// Total vertices across the three classes (must equal `n`).
+    pub fn total(&self) -> usize {
+        self.hubs.len() + self.isolated.len() + self.remaining.len()
+    }
+}
+
+/// Extracts the top `ceil(hub_fraction * n)` vertices by total degree
+/// (only counting vertices that actually have edges), then classifies the
+/// rest as isolated or remaining.
+pub fn extract_hubs(g: &CsrGraph, hub_fraction: f64) -> Extraction {
+    let n = g.num_vertices();
+    if n == 0 {
+        return Extraction {
+            hubs: Vec::new(),
+            isolated: Vec::new(),
+            remaining: Vec::new(),
+        };
+    }
+    assert!(
+        (0.0..=1.0).contains(&hub_fraction),
+        "hub_fraction must be in [0, 1]"
+    );
+    let target = (hub_fraction * n as f64).ceil() as usize;
+
+    let mut by_degree: Vec<VertexId> = (0..n as u32).collect();
+    by_degree.sort_by(|&a, &b| g.degree(b).cmp(&g.degree(a)).then(a.cmp(&b)));
+
+    let mut is_hub = vec![false; n];
+    let mut hubs = Vec::with_capacity(target);
+    for &v in by_degree.iter().take(target) {
+        if g.degree(v) == 0 {
+            break; // degree-0 "hubs" are meaningless; stop early
+        }
+        is_hub[v as usize] = true;
+        hubs.push(v);
+    }
+
+    let mut isolated = Vec::new();
+    let mut remaining = Vec::new();
+    for v in 0..n as u32 {
+        if is_hub[v as usize] {
+            continue;
+        }
+        let has_non_hub_edge = g
+            .out_neighbors(v)
+            .iter()
+            .chain(g.in_neighbors(v))
+            .any(|&w| w != v && !is_hub[w as usize]);
+        if has_non_hub_edge {
+            remaining.push(v);
+        } else {
+            isolated.push(v);
+        }
+    }
+    Extraction {
+        hubs,
+        isolated,
+        remaining,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gograph_graph::generators::ba::barabasi_albert;
+    use gograph_graph::GraphBuilder;
+
+    /// Fig. 3a-like graph: hubs a(0), b(1); c(2), h(3) attach only to
+    /// hubs; d(4), e(5), f(6), g(7) form two small components.
+    fn fig3_like() -> CsrGraph {
+        let mut b = GraphBuilder::new();
+        // hub edges
+        for &(u, v) in &[(1u32, 0u32), (0, 2), (2, 1), (0, 3), (3, 1), (0, 4), (5, 1), (0, 6), (7, 1), (0, 5), (4, 1), (0, 7), (6, 1)] {
+            b.add_edge(u, v, 1.0);
+        }
+        // community edges among d,e and f,g
+        b.add_edge(4, 5, 1.0);
+        b.add_edge(5, 4, 1.0);
+        b.add_edge(6, 7, 1.0);
+        b.add_edge(7, 6, 1.0);
+        b.add_edge(5, 6, 1.0);
+        b.build()
+    }
+
+    #[test]
+    fn extracts_hubs_and_isolates() {
+        let g = fig3_like();
+        // 0 and 1 have by far the highest degree; take top 25%.
+        let ex = extract_hubs(&g, 0.25);
+        assert_eq!(ex.hubs, vec![0, 1]);
+        // c(2) and h(3) only touch hubs -> isolated
+        assert!(ex.isolated.contains(&2));
+        assert!(ex.isolated.contains(&3));
+        // d,e,f,g remain
+        assert_eq!(ex.remaining, vec![4, 5, 6, 7]);
+        assert_eq!(ex.total(), 8);
+    }
+
+    #[test]
+    fn zero_fraction_extracts_nothing() {
+        let g = fig3_like();
+        let ex = extract_hubs(&g, 0.0);
+        assert!(ex.hubs.is_empty());
+        assert_eq!(ex.total(), 8);
+    }
+
+    #[test]
+    fn degree_zero_vertices_never_hubs() {
+        let mut b = GraphBuilder::new();
+        b.reserve_vertices(10);
+        b.add_edge(0, 1, 1.0);
+        let g = b.build();
+        let ex = extract_hubs(&g, 1.0);
+        assert_eq!(ex.hubs.len(), 2); // only 0 and 1 have edges
+        assert_eq!(ex.isolated.len(), 8);
+    }
+
+    #[test]
+    fn hubs_sorted_by_degree_desc() {
+        let g = barabasi_albert(1000, 3, 7);
+        let ex = extract_hubs(&g, 0.01);
+        assert_eq!(ex.hubs.len(), 10);
+        for w in ex.hubs.windows(2) {
+            assert!(g.degree(w[0]) >= g.degree(w[1]));
+        }
+        assert_eq!(ex.total(), 1000);
+    }
+
+    #[test]
+    fn classes_are_disjoint() {
+        let g = barabasi_albert(500, 2, 3);
+        let ex = extract_hubs(&g, 0.02);
+        let mut all: Vec<u32> = ex
+            .hubs
+            .iter()
+            .chain(&ex.isolated)
+            .chain(&ex.remaining)
+            .copied()
+            .collect();
+        all.sort_unstable();
+        let expected: Vec<u32> = (0..500).collect();
+        assert_eq!(all, expected);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let ex = extract_hubs(&CsrGraph::empty(0), 0.002);
+        assert_eq!(ex.total(), 0);
+    }
+}

@@ -1,0 +1,302 @@
+//! Incremental (streaming) order maintenance — the paper's evolving-graph
+//! outlook (§VI cites RisGraph \[28\] and KickStarter \[29\]) made concrete.
+//!
+//! A full GoGraph run costs a partitioning plus O(|E|) greedy insertion;
+//! re-running it on every edge arrival is wasteful. [`IncrementalGoGraph`]
+//! seeds from a full run and then maintains the order under edge
+//! insertions by *locally repositioning* the affected endpoints: moving a
+//! single vertex only flips the signs of its own incident edges, so
+//! re-running `GetOptVal` for that vertex (remove + optimal re-insert)
+//! can never decrease `M` — giving a monotone-metric maintenance
+//! guarantee with O(degree · log degree) work per update.
+
+use crate::gograph::GoGraph;
+use crate::insertion::{InsertionOrder, NeighborLink};
+use gograph_graph::{CsrGraph, GraphBuilder, Permutation, VertexId};
+
+/// Streaming order maintainer.
+///
+/// ```
+/// use gograph_core::{metric, IncrementalGoGraph};
+///
+/// let mut inc = IncrementalGoGraph::new(4);
+/// // Edges arrive in an adversarial order...
+/// inc.add_edge(2, 3);
+/// inc.add_edge(1, 2);
+/// inc.add_edge(0, 1);
+/// // ...yet local repositioning keeps the chain fully positive.
+/// let g = inc.to_graph();
+/// assert_eq!(metric(&g, &inc.current_order()), 3);
+/// ```
+#[derive(Debug, Clone)]
+pub struct IncrementalGoGraph {
+    out: Vec<Vec<VertexId>>,
+    in_: Vec<Vec<VertexId>>,
+    order: InsertionOrder,
+    num_edges: usize,
+}
+
+impl IncrementalGoGraph {
+    /// Seeds from an existing graph: runs the full GoGraph pipeline once
+    /// and loads its order.
+    pub fn from_graph(g: &CsrGraph) -> Self {
+        let seed_order = GoGraph::default().run(g);
+        Self::from_graph_with_order(g, &seed_order)
+    }
+
+    /// Seeds from an existing graph and a caller-provided order.
+    pub fn from_graph_with_order(g: &CsrGraph, order: &Permutation) -> Self {
+        let n = g.num_vertices();
+        assert_eq!(order.len(), n);
+        let mut io = InsertionOrder::new(n);
+        for pos in 0..n {
+            io.seed(order.vertex_at(pos) as usize, pos as f64);
+        }
+        let mut out = vec![Vec::new(); n];
+        let mut in_ = vec![Vec::new(); n];
+        for e in g.edges() {
+            out[e.src as usize].push(e.dst);
+            in_[e.dst as usize].push(e.src);
+        }
+        IncrementalGoGraph {
+            out,
+            in_,
+            order: io,
+            num_edges: g.num_edges(),
+        }
+    }
+
+    /// An empty maintainer over `n` isolated vertices (identity order).
+    pub fn new(n: usize) -> Self {
+        Self::from_graph_with_order(&CsrGraph::empty(n), &Permutation::identity(n))
+    }
+
+    /// Number of vertices.
+    pub fn num_vertices(&self) -> usize {
+        self.out.len()
+    }
+
+    /// Number of edges ingested.
+    pub fn num_edges(&self) -> usize {
+        self.num_edges
+    }
+
+    /// Appends a new vertex at the tail of the order; returns its id.
+    pub fn add_vertex(&mut self) -> VertexId {
+        let id = self.out.len() as VertexId;
+        self.out.push(Vec::new());
+        self.in_.push(Vec::new());
+        self.order.grow_one();
+        id
+    }
+
+    /// Ingests a directed edge and locally repositions both endpoints if
+    /// that increases their positive-edge contribution. Duplicate edges
+    /// are ignored.
+    pub fn add_edge(&mut self, u: VertexId, v: VertexId) {
+        assert!((u as usize) < self.out.len() && (v as usize) < self.out.len());
+        if u == v || self.out[u as usize].contains(&v) {
+            return;
+        }
+        self.out[u as usize].push(v);
+        self.in_[v as usize].push(u);
+        self.num_edges += 1;
+        self.reposition(u);
+        self.reposition(v);
+    }
+
+    /// Removes `w` and re-inserts it at its optimal position (monotone in
+    /// the vertex's local positive count, hence in `M`).
+    fn reposition(&mut self, w: VertexId) {
+        let links = self.links_of(w);
+        if links.is_empty() {
+            return;
+        }
+        let current = self.local_positive(w);
+        self.order.remove(w as usize);
+        let outcome = self.order.insert(w as usize, &links);
+        debug_assert!(
+            outcome.positive_gain + 1e-9 >= current,
+            "reposition decreased local positive count: {} -> {}",
+            current,
+            outcome.positive_gain
+        );
+    }
+
+    /// Current positive-edge weight incident to `w` under the order.
+    fn local_positive(&self, w: VertexId) -> f64 {
+        let val = self.order.val(w as usize);
+        let mut count = 0.0;
+        for &x in &self.out[w as usize] {
+            if val < self.order.val(x as usize) {
+                count += 1.0;
+            }
+        }
+        for &x in &self.in_[w as usize] {
+            if self.order.val(x as usize) < val {
+                count += 1.0;
+            }
+        }
+        count
+    }
+
+    fn links_of(&self, w: VertexId) -> Vec<NeighborLink> {
+        let mut links: Vec<NeighborLink> = Vec::with_capacity(
+            self.out[w as usize].len() + self.in_[w as usize].len(),
+        );
+        for &x in &self.in_[w as usize] {
+            links.push(NeighborLink::new(x as usize, 1.0, 0.0));
+        }
+        for &x in &self.out[w as usize] {
+            match links.iter_mut().find(|l| l.id == x as usize) {
+                Some(l) => l.out_weight += 1.0,
+                None => links.push(NeighborLink::new(x as usize, 0.0, 1.0)),
+            }
+        }
+        links
+    }
+
+    /// The maintained processing order.
+    pub fn current_order(&self) -> Permutation {
+        let items = self.order.sorted_items();
+        Permutation::from_order(items.into_iter().map(|i| i as u32).collect())
+    }
+
+    /// Materializes the ingested edges as a [`CsrGraph`] (for metric
+    /// checks and engine runs).
+    pub fn to_graph(&self) -> CsrGraph {
+        let mut b = GraphBuilder::with_capacity(self.out.len(), self.num_edges);
+        b.reserve_vertices(self.out.len());
+        for (u, outs) in self.out.iter().enumerate() {
+            for &v in outs {
+                b.add_edge(u as u32, v, 1.0);
+            }
+        }
+        b.build()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metric::metric;
+    use gograph_graph::generators::{planted_partition, shuffle_labels, PlantedPartitionConfig};
+    use rand::{RngExt, SeedableRng};
+
+    #[test]
+    fn streaming_chain_stays_optimal() {
+        let mut inc = IncrementalGoGraph::new(10);
+        for v in 0..9u32 {
+            inc.add_edge(v, v + 1);
+        }
+        let g = inc.to_graph();
+        let order = inc.current_order();
+        assert_eq!(metric(&g, &order), 9, "chain must stay fully positive");
+    }
+
+    #[test]
+    fn reverse_streamed_chain_recovers() {
+        // Edges arrive in the worst order (from the tail); local
+        // repositioning must still untangle the chain.
+        let mut inc = IncrementalGoGraph::new(10);
+        for v in (0..9u32).rev() {
+            inc.add_edge(v, v + 1);
+        }
+        let g = inc.to_graph();
+        let order = inc.current_order();
+        let m = metric(&g, &order);
+        assert!(m >= 8, "streamed-reversed chain only reached M = {m}");
+    }
+
+    #[test]
+    fn metric_bound_holds_under_random_streaming() {
+        let g = shuffle_labels(
+            &planted_partition(PlantedPartitionConfig {
+                num_vertices: 300,
+                num_edges: 2000,
+                communities: 6,
+                p_intra: 0.8,
+                gamma: 2.4,
+                seed: 5,
+            }),
+            7,
+        );
+        let mut inc = IncrementalGoGraph::new(300);
+        let mut edges: Vec<(u32, u32)> = g.edges().map(|e| (e.src, e.dst)).collect();
+        // shuffle arrival order
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        for i in (1..edges.len()).rev() {
+            let j = rng.random_range(0..=i);
+            edges.swap(i, j);
+        }
+        for (u, v) in edges {
+            inc.add_edge(u, v);
+        }
+        let built = inc.to_graph();
+        let order = inc.current_order();
+        order.validate().unwrap();
+        let m = metric(&built, &order);
+        assert!(
+            2 * m >= built.num_edges(),
+            "incremental order violates the |E|/2 bound: {m} of {}",
+            built.num_edges()
+        );
+    }
+
+    #[test]
+    fn incremental_tracks_full_rerun_quality() {
+        let g = shuffle_labels(
+            &planted_partition(PlantedPartitionConfig {
+                num_vertices: 200,
+                num_edges: 1500,
+                communities: 4,
+                p_intra: 0.85,
+                gamma: 2.4,
+                seed: 9,
+            }),
+            11,
+        );
+        // Seed with the first half, stream the second half.
+        let edges: Vec<(u32, u32)> = g.edges().map(|e| (e.src, e.dst)).collect();
+        let half = edges.len() / 2;
+        let mut b = GraphBuilder::with_capacity(200, half);
+        b.reserve_vertices(200);
+        for &(u, v) in &edges[..half] {
+            b.add_edge(u, v, 1.0);
+        }
+        let seed_graph = b.build();
+        let mut inc = IncrementalGoGraph::from_graph(&seed_graph);
+        for &(u, v) in &edges[half..] {
+            inc.add_edge(u, v);
+        }
+        let final_graph = inc.to_graph();
+        let m_inc = metric(&final_graph, &inc.current_order());
+        let m_full = metric(&final_graph, &GoGraph::default().run(&final_graph));
+        assert!(
+            m_inc as f64 >= 0.8 * m_full as f64,
+            "incremental M {m_inc} fell far below full rerun {m_full}"
+        );
+    }
+
+    #[test]
+    fn add_vertex_extends_order() {
+        let mut inc = IncrementalGoGraph::new(2);
+        inc.add_edge(0, 1);
+        let v = inc.add_vertex();
+        assert_eq!(v, 2);
+        inc.add_edge(1, v);
+        let order = inc.current_order();
+        assert_eq!(order.len(), 3);
+        let g = inc.to_graph();
+        assert_eq!(metric(&g, &order), 2);
+    }
+
+    #[test]
+    fn duplicate_and_self_edges_ignored() {
+        let mut inc = IncrementalGoGraph::new(3);
+        inc.add_edge(0, 1);
+        inc.add_edge(0, 1);
+        inc.add_edge(2, 2);
+        assert_eq!(inc.num_edges(), 1);
+    }
+}

@@ -1,0 +1,175 @@
+//! The paper's metric function `M(O)` (§III, Eq. 7).
+//!
+//! `M(O)` counts *positive edges*: edges `(u, v)` whose source precedes
+//! its destination in the processing order (`p(u) < p(v)`). When a vertex
+//! is processed, each positive in-edge supplies an already-updated
+//! neighbor state (Gauss–Seidel), pushing the vertex further toward
+//! convergence per round (Theorem 1). `M(O) / |E|` is the positive-edge
+//! fraction reported in Table II.
+
+use gograph_graph::{CsrGraph, Permutation};
+
+/// Full breakdown of an order's metric value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MetricReport {
+    /// Number of positive edges (`p(src) < p(dst)`), the paper's `M(O)`.
+    pub positive_edges: usize,
+    /// Number of negative edges (`p(src) > p(dst)`).
+    pub negative_edges: usize,
+    /// Number of self-loops (neither positive nor negative).
+    pub self_loops: usize,
+}
+
+impl MetricReport {
+    /// Total edges covered by the report.
+    pub fn total_edges(&self) -> usize {
+        self.positive_edges + self.negative_edges + self.self_loops
+    }
+
+    /// `M(O) / |E|`, the normalized metric of Table II.
+    pub fn positive_fraction(&self) -> f64 {
+        let total = self.total_edges();
+        if total == 0 {
+            1.0
+        } else {
+            self.positive_edges as f64 / total as f64
+        }
+    }
+}
+
+/// Computes `M(O)` — the number of positive edges of `g` under `order`.
+///
+/// # Panics
+/// Panics if `order.len() != g.num_vertices()`.
+pub fn metric(g: &CsrGraph, order: &Permutation) -> usize {
+    metric_report(g, order).positive_edges
+}
+
+/// Computes the full positive/negative/self-loop breakdown.
+pub fn metric_report(g: &CsrGraph, order: &Permutation) -> MetricReport {
+    assert_eq!(
+        order.len(),
+        g.num_vertices(),
+        "order length must match vertex count"
+    );
+    let mut positive = 0usize;
+    let mut negative = 0usize;
+    let mut loops = 0usize;
+    for e in g.edges() {
+        if e.src == e.dst {
+            loops += 1;
+        } else if order.position(e.src) < order.position(e.dst) {
+            positive += 1;
+        } else {
+            negative += 1;
+        }
+    }
+    MetricReport {
+        positive_edges: positive,
+        negative_edges: negative,
+        self_loops: loops,
+    }
+}
+
+/// Number of positive in-edges of each vertex under `order` (how many of
+/// its in-neighbors will already be updated when it is processed). Used
+/// by diagnostics and the engine's instrumentation.
+pub fn positive_in_edges_per_vertex(g: &CsrGraph, order: &Permutation) -> Vec<usize> {
+    let n = g.num_vertices();
+    let mut counts = vec![0usize; n];
+    for v in 0..n as u32 {
+        let pv = order.position(v);
+        counts[v as usize] = g
+            .in_neighbors(v)
+            .iter()
+            .filter(|&&u| u != v && order.position(u) < pv)
+            .count();
+    }
+    counts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gograph_graph::generators::regular::{chain, cycle, layered_dag};
+    use gograph_graph::generators::{planted_partition, PlantedPartitionConfig};
+
+    #[test]
+    fn chain_identity_is_all_positive() {
+        let g = chain(10);
+        let m = metric_report(&g, &Permutation::identity(10));
+        assert_eq!(m.positive_edges, 9);
+        assert_eq!(m.negative_edges, 0);
+        assert_eq!(m.positive_fraction(), 1.0);
+    }
+
+    #[test]
+    fn chain_reversed_is_all_negative() {
+        let g = chain(10);
+        let rev = Permutation::identity(10).reversed();
+        let m = metric_report(&g, &rev);
+        assert_eq!(m.positive_edges, 0);
+        assert_eq!(m.negative_edges, 9);
+    }
+
+    #[test]
+    fn cycle_loses_exactly_one() {
+        // Any linear order of a directed n-cycle has exactly n-1 positive edges.
+        let g = cycle(7);
+        let m = metric(&g, &Permutation::identity(7));
+        assert_eq!(m, 6);
+    }
+
+    #[test]
+    fn dag_topological_order_is_optimal() {
+        let g = layered_dag(4, 3);
+        let m = metric_report(&g, &Permutation::identity(12));
+        assert_eq!(m.positive_edges, g.num_edges());
+    }
+
+    #[test]
+    fn complementarity_of_reversal() {
+        // For loop-free graphs: M(O) + M(reverse(O)) = |E|.
+        let g = planted_partition(PlantedPartitionConfig {
+            num_vertices: 200,
+            num_edges: 1500,
+            ..Default::default()
+        });
+        let p = Permutation::identity(200);
+        let m1 = metric(&g, &p);
+        let m2 = metric(&g, &p.reversed());
+        assert_eq!(m1 + m2, g.num_edges());
+    }
+
+    #[test]
+    fn self_loops_counted_separately() {
+        let g = CsrGraph::from_edges(3, [(0u32, 0u32), (0, 1), (2, 1)]);
+        let m = metric_report(&g, &Permutation::identity(3));
+        assert_eq!(m.self_loops, 1);
+        assert_eq!(m.positive_edges, 1);
+        assert_eq!(m.negative_edges, 1);
+        assert_eq!(m.total_edges(), 3);
+    }
+
+    #[test]
+    fn per_vertex_positive_in_edges() {
+        let g = chain(4);
+        let counts = positive_in_edges_per_vertex(&g, &Permutation::identity(4));
+        assert_eq!(counts, vec![0, 1, 1, 1]);
+        let rev = Permutation::identity(4).reversed();
+        assert_eq!(positive_in_edges_per_vertex(&g, &rev), vec![0, 0, 0, 0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "order length")]
+    fn length_mismatch_rejected() {
+        metric(&chain(4), &Permutation::identity(3));
+    }
+
+    #[test]
+    fn empty_graph_fraction_is_one() {
+        let g = CsrGraph::empty(3);
+        let m = metric_report(&g, &Permutation::identity(3));
+        assert_eq!(m.positive_fraction(), 1.0);
+    }
+}

@@ -1,0 +1,162 @@
+//! Super-vertex graph construction — GoGraph's combine phase (paper
+//! Algorithm 1 lines 9–19).
+//!
+//! Each subgraph becomes a *super-vertex*; a weighted super-edge
+//! `(s_i, s_j)` carries `w = |{(u, v) ∈ E : u ∈ G_i, v ∈ G_j}|`, the
+//! number of directed edges from subgraph `i` to subgraph `j`. Ordering
+//! super-vertices with the same greedy insertion then maximizes the
+//! weighted positive-edge count `M(O_P)` between subgraphs.
+
+use crate::insertion::NeighborLink;
+use gograph_graph::CsrGraph;
+use std::collections::HashMap;
+
+/// Weighted directed graph over super-vertices (subgraphs).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SuperGraph {
+    num_supers: usize,
+    /// `out[i]` lists `(j, w)`: w directed edges from subgraph i to j.
+    out: Vec<Vec<(u32, f64)>>,
+    /// `in_[j]` lists `(i, w)`: w directed edges from subgraph i to j.
+    in_: Vec<Vec<(u32, f64)>>,
+}
+
+impl SuperGraph {
+    /// Builds the super-graph of `g` under the vertex → subgraph map
+    /// `part_of` (values must be dense in `0..num_supers`, with
+    /// `u32::MAX` marking vertices outside every subgraph, e.g. hubs).
+    pub fn build(g: &CsrGraph, part_of: &[u32], num_supers: usize) -> SuperGraph {
+        assert_eq!(part_of.len(), g.num_vertices());
+        let mut weights: HashMap<(u32, u32), f64> = HashMap::new();
+        for e in g.edges() {
+            let pi = part_of[e.src as usize];
+            let pj = part_of[e.dst as usize];
+            if pi == u32::MAX || pj == u32::MAX || pi == pj {
+                continue;
+            }
+            debug_assert!((pi as usize) < num_supers && (pj as usize) < num_supers);
+            *weights.entry((pi, pj)).or_insert(0.0) += 1.0;
+        }
+        let mut out: Vec<Vec<(u32, f64)>> = vec![Vec::new(); num_supers];
+        let mut in_: Vec<Vec<(u32, f64)>> = vec![Vec::new(); num_supers];
+        let mut entries: Vec<((u32, u32), f64)> = weights.into_iter().collect();
+        entries.sort_unstable_by_key(|&(k, _)| k);
+        for ((i, j), w) in entries {
+            out[i as usize].push((j, w));
+            in_[j as usize].push((i, w));
+        }
+        SuperGraph {
+            num_supers,
+            out,
+            in_,
+        }
+    }
+
+    /// Number of super-vertices.
+    pub fn num_supers(&self) -> usize {
+        self.num_supers
+    }
+
+    /// Outgoing weighted super-edges of `i`.
+    pub fn out_links(&self, i: usize) -> &[(u32, f64)] {
+        &self.out[i]
+    }
+
+    /// Incoming weighted super-edges of `j`.
+    pub fn in_links(&self, j: usize) -> &[(u32, f64)] {
+        &self.in_[j]
+    }
+
+    /// Total edge weight between `i` and everything else (both
+    /// directions) — used to pick an insertion order for super-vertices.
+    pub fn total_weight(&self, i: usize) -> f64 {
+        self.out[i].iter().map(|&(_, w)| w).sum::<f64>()
+            + self.in_[i].iter().map(|&(_, w)| w).sum::<f64>()
+    }
+
+    /// Builds the [`NeighborLink`] list of super-vertex `i` for the greedy
+    /// inserter: merges its in- and out-links per neighboring super-vertex.
+    pub fn links_of(&self, i: usize) -> Vec<NeighborLink> {
+        let mut map: HashMap<u32, (f64, f64)> = HashMap::new();
+        for &(j, w) in &self.in_[i] {
+            map.entry(j).or_insert((0.0, 0.0)).0 += w;
+        }
+        for &(j, w) in &self.out[i] {
+            map.entry(j).or_insert((0.0, 0.0)).1 += w;
+        }
+        let mut links: Vec<NeighborLink> = map
+            .into_iter()
+            .map(|(j, (wi, wo))| NeighborLink::new(j as usize, wi, wo))
+            .collect();
+        links.sort_by_key(|l| l.id);
+        links
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// 6 vertices, subgraphs {0,1}, {2,3}, {4,5}; edges: 0->2, 1->2 (w=2
+    /// from s0 to s1), 3->4 (w=1 from s1 to s2), 5->0 (w=1 s2 -> s0).
+    fn sample() -> (CsrGraph, Vec<u32>) {
+        let g = CsrGraph::from_edges(
+            6,
+            [(0u32, 2u32), (1, 2), (3, 4), (5, 0), (0, 1), (2, 3), (4, 5)],
+        );
+        let part = vec![0, 0, 1, 1, 2, 2];
+        (g, part)
+    }
+
+    #[test]
+    fn weights_count_cross_edges() {
+        let (g, part) = sample();
+        let sg = SuperGraph::build(&g, &part, 3);
+        assert_eq!(sg.out_links(0), &[(1, 2.0)]);
+        assert_eq!(sg.out_links(1), &[(2, 1.0)]);
+        assert_eq!(sg.out_links(2), &[(0, 1.0)]);
+        assert_eq!(sg.in_links(1), &[(0, 2.0)]);
+    }
+
+    #[test]
+    fn intra_edges_ignored() {
+        let (g, part) = sample();
+        let sg = SuperGraph::build(&g, &part, 3);
+        // (0,1), (2,3), (4,5) are intra-subgraph
+        let total: f64 = (0..3).map(|i| sg.out_links(i).iter().map(|&(_, w)| w).sum::<f64>()).sum();
+        assert_eq!(total, 4.0);
+    }
+
+    #[test]
+    fn unassigned_vertices_skipped() {
+        let (g, mut part) = sample();
+        part[0] = u32::MAX; // vertex 0 is a hub now
+        let sg = SuperGraph::build(&g, &part, 3);
+        // Hub edges 0->2, 0->1, 5->0 all vanish; s0 keeps only vertex 1,
+        // whose edge 1->2 still crosses into s1.
+        assert_eq!(sg.out_links(0), &[(1, 1.0)]);
+        assert_eq!(sg.in_links(1).iter().map(|&(_, w)| w).sum::<f64>(), 1.0);
+        assert_eq!(sg.in_links(0), &[] as &[(u32, f64)]);
+    }
+
+    #[test]
+    fn links_merge_directions() {
+        let g = CsrGraph::from_edges(4, [(0u32, 2u32), (2, 1), (3, 0), (1, 3)]);
+        // s0 = {0,1}, s1 = {2,3}
+        let part = vec![0, 0, 1, 1];
+        let sg = SuperGraph::build(&g, &part, 2);
+        let links = sg.links_of(0);
+        assert_eq!(links.len(), 1);
+        // s0's in-weight from s1: edges 2->1, 3->0 = 2; out: 0->2, 1->3 = 2.
+        assert_eq!(links[0], NeighborLink::new(1, 2.0, 2.0));
+        assert_eq!(sg.total_weight(0), 4.0);
+    }
+
+    #[test]
+    fn deterministic_link_order() {
+        let (g, part) = sample();
+        let a = SuperGraph::build(&g, &part, 3);
+        let b = SuperGraph::build(&g, &part, 3);
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,101 @@
+//! Executable versions of the paper's theoretical results.
+//!
+//! - **Theorem 2**: the GoGraph order satisfies `M(O) ≥ |E|/2`
+//!   (self-loops excluded — a self-loop can never be positive).
+//! - **Lemma 2** is asserted inside [`crate::insertion`]'s tests (every
+//!   insertion gains at least half its link weight).
+//! - **NP-hardness context** (§III): on DAGs the optimum `M = |E|` is
+//!   achievable via topological sort; [`optimal_metric_upper_bound`]
+//!   exposes that bound for tests and diagnostics.
+
+use crate::metric::metric_report;
+use gograph_graph::traversal::topological_sort;
+use gograph_graph::{CsrGraph, Permutation};
+
+/// Result of checking Theorem 2 on a concrete order.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Theorem2Check {
+    /// The measured `M(O)`.
+    pub metric: usize,
+    /// The bound `(|E| − self-loops) / 2` (rounded down).
+    pub lower_bound: usize,
+    /// Whether the bound holds.
+    pub holds: bool,
+}
+
+/// Checks `M(O) ≥ (|E| − loops)/2` for the given order.
+pub fn check_theorem2(g: &CsrGraph, order: &Permutation) -> Theorem2Check {
+    let rep = metric_report(g, order);
+    let loop_free = g.num_edges() - rep.self_loops;
+    Theorem2Check {
+        metric: rep.positive_edges,
+        lower_bound: loop_free / 2,
+        holds: 2 * rep.positive_edges >= loop_free,
+    }
+}
+
+/// Upper bound on the achievable metric: `|E| − loops` when the graph is
+/// a DAG (topological order realizes it); otherwise `|E| − loops` is
+/// still an upper bound but unreachable (every directed cycle forfeits at
+/// least one edge), so the bound is tightened by the number of
+/// *self-loops* only — computing the exact optimum is the NP-hard MAS
+/// problem (§III).
+pub fn optimal_metric_upper_bound(g: &CsrGraph) -> usize {
+    let loops = g.edges().filter(|e| e.src == e.dst).count();
+    g.num_edges() - loops
+}
+
+/// If `g` is a DAG, returns the topological order achieving the optimum
+/// `M = |E| − loops`; otherwise `None`.
+pub fn optimal_order_if_dag(g: &CsrGraph) -> Option<Permutation> {
+    topological_sort(g).map(Permutation::from_order)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gograph::GoGraph;
+    use crate::metric::metric;
+    use gograph_graph::generators::regular::{cycle, layered_dag};
+    use gograph_graph::generators::{planted_partition, PlantedPartitionConfig};
+
+    #[test]
+    fn theorem2_on_gograph_order() {
+        let g = planted_partition(PlantedPartitionConfig {
+            num_vertices: 300,
+            num_edges: 2500,
+            ..Default::default()
+        });
+        let p = GoGraph::default().run(&g);
+        let check = check_theorem2(&g, &p);
+        assert!(check.holds, "{check:?}");
+    }
+
+    #[test]
+    fn theorem2_fails_on_adversarial_order() {
+        // The reverse of a chain violates the bound — checker must say so.
+        let g = gograph_graph::generators::regular::chain(10);
+        let rev = Permutation::identity(10).reversed();
+        let check = check_theorem2(&g, &rev);
+        assert!(!check.holds);
+        assert_eq!(check.metric, 0);
+    }
+
+    #[test]
+    fn dag_optimum_achieved_by_topological_order() {
+        let g = layered_dag(4, 3);
+        let p = optimal_order_if_dag(&g).expect("layered DAG is acyclic");
+        assert_eq!(metric(&g, &p), optimal_metric_upper_bound(&g));
+    }
+
+    #[test]
+    fn cyclic_graph_has_no_dag_order() {
+        assert!(optimal_order_if_dag(&cycle(4)).is_none());
+    }
+
+    #[test]
+    fn upper_bound_excludes_self_loops() {
+        let g = CsrGraph::from_edges(2, [(0u32, 0u32), (0, 1)]);
+        assert_eq!(optimal_metric_upper_bound(&g), 1);
+    }
+}

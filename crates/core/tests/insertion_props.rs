@@ -1,0 +1,115 @@
+//! Property tests of the greedy inserter: agreement with the brute-force
+//! position scan (Algorithm 1's correctness) and Lemma 2's gain bound,
+//! over random weighted link patterns.
+
+use gograph_core::insertion::{brute_force_best_gain, InsertionOrder, NeighborLink};
+use proptest::prelude::*;
+
+/// A random insertion workload: for each of `k` items, a set of links to
+/// earlier items with in/out weights.
+fn arb_workload() -> impl Strategy<Value = Vec<Vec<NeighborLink>>> {
+    (2usize..30).prop_flat_map(|k| {
+        let per_item = (0..k).map(move |id| {
+            proptest::collection::vec(
+                (0..id.max(1), 0u32..3, 1.0f64..4.0),
+                0..=id.min(8),
+            )
+            .prop_map(move |raw| {
+                let mut links: Vec<NeighborLink> = Vec::new();
+                for (other, kind, w) in raw {
+                    if links.iter().any(|l| l.id == other) {
+                        continue; // one link per neighbor
+                    }
+                    let link = match kind {
+                        0 => NeighborLink::new(other, w, 0.0),
+                        1 => NeighborLink::new(other, 0.0, w),
+                        _ => NeighborLink::new(other, w, w * 0.5),
+                    };
+                    links.push(link);
+                }
+                links
+            })
+        });
+        per_item.collect::<Vec<_>>()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn incremental_scan_matches_brute_force(workload in arb_workload()) {
+        let k = workload.len();
+        let mut order = InsertionOrder::new(k);
+        for (id, links) in workload.iter().enumerate() {
+            let expected = brute_force_best_gain(&order, links);
+            let got = order.insert(id, links);
+            if !links.is_empty() && id > 0 {
+                prop_assert!(
+                    (got.positive_gain - expected).abs() < 1e-9,
+                    "item {id}: incremental {} vs brute {expected}",
+                    got.positive_gain
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn lemma2_gain_bound(workload in arb_workload()) {
+        let k = workload.len();
+        let mut order = InsertionOrder::new(k);
+        for (id, links) in workload.iter().enumerate() {
+            let got = order.insert(id, links);
+            prop_assert!(
+                got.positive_gain >= got.total_link_weight / 2.0 - 1e-9,
+                "item {id}: gain {} < half of {}",
+                got.positive_gain,
+                got.total_link_weight
+            );
+        }
+    }
+
+    #[test]
+    fn vals_produce_consistent_total_order(workload in arb_workload()) {
+        let k = workload.len();
+        let mut order = InsertionOrder::new(k);
+        for (id, links) in workload.iter().enumerate() {
+            order.insert(id, links);
+        }
+        let sorted = order.sorted_items();
+        prop_assert_eq!(sorted.len(), k);
+        // sorted_items must be consistent with the raw vals.
+        for w in sorted.windows(2) {
+            prop_assert!(order.val(w[0]) <= order.val(w[1]));
+        }
+    }
+
+    #[test]
+    fn achieved_gain_is_realized_in_final_order(workload in arb_workload()) {
+        // The sum of per-insertion gains equals the weighted positive-link
+        // count of the final order (each link counted once, at the
+        // insertion of its later endpoint).
+        let k = workload.len();
+        let mut order = InsertionOrder::new(k);
+        let mut promised = 0.0f64;
+        for (id, links) in workload.iter().enumerate() {
+            promised += order.insert(id, links).positive_gain;
+        }
+        // Recount: link (id -> other) positive iff val(id) < val(other),
+        // (other -> id) positive iff val(other) < val(id).
+        let mut realized = 0.0f64;
+        for (id, links) in workload.iter().enumerate() {
+            for l in links {
+                if order.val(l.id) < order.val(id) {
+                    realized += l.in_weight; // other -> id edge positive
+                } else if order.val(id) < order.val(l.id) {
+                    realized += l.out_weight; // id -> other positive
+                }
+            }
+        }
+        prop_assert!(
+            (promised - realized).abs() < 1e-6,
+            "promised {promised} vs realized {realized}"
+        );
+    }
+}

@@ -1,0 +1,150 @@
+//! The [`IterativeAlgorithm`] abstraction: a monotonic vertex update
+//! function `F(·)` (paper §II–III) in gather/apply (fold) form, plus
+//! initialization and convergence metadata.
+//!
+//! In each round the engine folds a vertex's in-neighbor states into an
+//! accumulator (`gather`) and combines it with the current state
+//! (`apply`). In synchronous mode the neighbor states come from the
+//! previous round (Eq. 1); in asynchronous mode, neighbors earlier in the
+//! processing order have already been updated this round (Eq. 2).
+//! Monotonicity (Eq. 3) is what makes consuming fresher states both safe
+//! and faster (Lemma 1 / Theorem 1).
+
+use gograph_graph::{CsrGraph, VertexId, Weight};
+
+/// How distance-to-convergence is aggregated over vertices
+/// (paper §III: `max` for SSSP-style, `sum` for PageRank-style).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ConvergenceNorm {
+    /// `max_v |x*_v − x_v|` — distance-like algorithms.
+    Max,
+    /// `Σ_v |x*_v − x_v|` — mass-propagation algorithms.
+    Sum,
+}
+
+/// Direction in which vertex states move monotonically during iteration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Monotonicity {
+    /// States only decrease toward the fixpoint (SSSP, BFS, CC).
+    Decreasing,
+    /// States only increase toward the fixpoint (PageRank-from-zero, PHP,
+    /// SSWP, Katz, Adsorption).
+    Increasing,
+}
+
+/// A monotonic iterative graph algorithm in gather/apply form.
+///
+/// Implementations must be pure functions of their inputs so that the
+/// synchronous and asynchronous engines reach the same fixpoint.
+pub trait IterativeAlgorithm: Send + Sync {
+    /// Algorithm name used in benchmark tables.
+    fn name(&self) -> &'static str;
+
+    /// Initial state of vertex `v`.
+    fn init(&self, g: &CsrGraph, v: VertexId) -> f64;
+
+    /// Identity element of the gather fold (e.g. `0.0` for sums,
+    /// `+inf` for mins).
+    fn gather_identity(&self) -> f64;
+
+    /// Folds one in-neighbor contribution into the accumulator.
+    /// `neighbor_state` is the neighbor's state (already updated this
+    /// round for positive in-edges in async mode), `edge_weight` the
+    /// weight of the edge `u -> v`, and `neighbor_out_degree` the
+    /// neighbor's out-degree (PageRank-family normalization).
+    fn gather(
+        &self,
+        acc: f64,
+        neighbor_state: f64,
+        edge_weight: Weight,
+        neighbor_out_degree: usize,
+    ) -> f64;
+
+    /// Combines the gathered accumulator with the vertex's current state
+    /// into its new state — the paper's `F(·)`.
+    fn apply(&self, g: &CsrGraph, v: VertexId, current: f64, acc: f64) -> f64;
+
+    /// Monotonic direction of the state trajectory.
+    fn monotonicity(&self) -> Monotonicity;
+
+    /// Norm used for distance-to-convergence traces (Fig. 7).
+    fn norm(&self) -> ConvergenceNorm;
+
+    /// Convergence threshold on the per-round state delta
+    /// (paper §V-A: 1e-6 for PageRank/PHP; exact stability for
+    /// SSSP/BFS/CC, encoded as 0.0).
+    fn epsilon(&self) -> f64;
+}
+
+/// Convenience: computes the full new state of `v` from scratch using
+/// the given state array (the synchronous semantics). Shared by tests
+/// and reference implementations.
+pub fn evaluate_vertex<A: IterativeAlgorithm + ?Sized>(
+    alg: &A,
+    g: &CsrGraph,
+    v: VertexId,
+    states: &[f64],
+) -> f64 {
+    let ins = g.in_neighbors(v);
+    let ws = g.in_weights(v);
+    let mut acc = alg.gather_identity();
+    for i in 0..ins.len() {
+        let u = ins[i];
+        acc = alg.gather(acc, states[u as usize], ws[i], g.out_degree(u));
+    }
+    alg.apply(g, v, states[v as usize], acc)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gograph_graph::CsrGraph;
+
+    /// Minimal min-plus algorithm to exercise `evaluate_vertex`.
+    struct MinPlus;
+    impl IterativeAlgorithm for MinPlus {
+        fn name(&self) -> &'static str {
+            "minplus"
+        }
+        fn init(&self, _g: &CsrGraph, v: VertexId) -> f64 {
+            if v == 0 {
+                0.0
+            } else {
+                f64::INFINITY
+            }
+        }
+        fn gather_identity(&self) -> f64 {
+            f64::INFINITY
+        }
+        fn gather(&self, acc: f64, s: f64, w: Weight, _d: usize) -> f64 {
+            acc.min(s + w)
+        }
+        fn apply(&self, _g: &CsrGraph, _v: VertexId, cur: f64, acc: f64) -> f64 {
+            cur.min(acc)
+        }
+        fn monotonicity(&self) -> Monotonicity {
+            Monotonicity::Decreasing
+        }
+        fn norm(&self) -> ConvergenceNorm {
+            ConvergenceNorm::Max
+        }
+        fn epsilon(&self) -> f64 {
+            0.0
+        }
+    }
+
+    #[test]
+    fn evaluate_vertex_folds_in_neighbors() {
+        let g = CsrGraph::from_edges(3, [(0u32, 2u32, 5.0f64), (1, 2, 1.0)]);
+        let states = vec![0.0, 2.0, f64::INFINITY];
+        let v = evaluate_vertex(&MinPlus, &g, 2, &states);
+        assert_eq!(v, 3.0); // min(0+5, 2+1)
+    }
+
+    #[test]
+    fn evaluate_vertex_no_in_neighbors_keeps_state() {
+        let g = CsrGraph::from_edges(2, [(0u32, 1u32, 1.0f64)]);
+        let states = vec![0.0, f64::INFINITY];
+        assert_eq!(evaluate_vertex(&MinPlus, &g, 0, &states), 0.0);
+    }
+}

@@ -1,0 +1,95 @@
+//! Breadth-first search as iterative min-plus with unit weights:
+//! `x_v = min(x_v, min_{u ∈ IN(v)} x_u + 1)` — hop distance from the
+//! source, monotonically decreasing from `+inf`.
+
+use crate::algorithm::{ConvergenceNorm, IterativeAlgorithm, Monotonicity};
+use gograph_graph::{CsrGraph, VertexId, Weight};
+
+/// BFS hop distance from a fixed source.
+#[derive(Debug, Clone, Copy)]
+pub struct Bfs {
+    /// Source vertex.
+    pub source: VertexId,
+}
+
+impl Bfs {
+    /// BFS from `source`.
+    pub fn new(source: VertexId) -> Self {
+        Bfs { source }
+    }
+}
+
+impl IterativeAlgorithm for Bfs {
+    fn name(&self) -> &'static str {
+        "bfs"
+    }
+
+    fn init(&self, _g: &CsrGraph, v: VertexId) -> f64 {
+        if v == self.source {
+            0.0
+        } else {
+            f64::INFINITY
+        }
+    }
+
+    fn gather_identity(&self) -> f64 {
+        f64::INFINITY
+    }
+
+    #[inline]
+    fn gather(&self, acc: f64, neighbor_state: f64, _w: Weight, _d: usize) -> f64 {
+        acc.min(neighbor_state + 1.0)
+    }
+
+    #[inline]
+    fn apply(&self, _g: &CsrGraph, _v: VertexId, current: f64, acc: f64) -> f64 {
+        current.min(acc)
+    }
+
+    fn monotonicity(&self) -> Monotonicity {
+        Monotonicity::Decreasing
+    }
+
+    fn norm(&self) -> ConvergenceNorm {
+        ConvergenceNorm::Max
+    }
+
+    fn epsilon(&self) -> f64 {
+        0.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algorithm::evaluate_vertex;
+    use gograph_graph::generators::regular::grid;
+    use gograph_graph::traversal::bfs_distances;
+
+    #[test]
+    fn matches_queue_bfs_on_grid() {
+        let g = grid(5, 5);
+        let alg = Bfs::new(0);
+        let mut states: Vec<f64> = (0..25u32).map(|v| alg.init(&g, v)).collect();
+        for _ in 0..20 {
+            states = (0..25u32).map(|v| evaluate_vertex(&alg, &g, v, &states)).collect();
+        }
+        let truth = bfs_distances(&g, 0);
+        for v in 0..25usize {
+            let expect = if truth[v] == u32::MAX {
+                f64::INFINITY
+            } else {
+                truth[v] as f64
+            };
+            assert_eq!(states[v], expect, "vertex {v}");
+        }
+    }
+
+    #[test]
+    fn ignores_edge_weights() {
+        let g = CsrGraph::from_edges(2, [(0u32, 1u32, 100.0f64)]);
+        let alg = Bfs::new(0);
+        let states = vec![0.0, f64::INFINITY];
+        assert_eq!(evaluate_vertex(&alg, &g, 1, &states), 1.0);
+    }
+}

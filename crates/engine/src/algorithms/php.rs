@@ -1,0 +1,122 @@
+//! Penalized Hitting Probability (Wu et al., SIGMOD'14 — paper ref.
+//! [26], workload of §V-A): random-walk proximity from a query vertex.
+//!
+//! `x_q = 1` pinned; for `v ≠ q`:
+//! `x_v = c · Σ_{u ∈ IN(v)} x_u / |OUT(u)|` with penalty factor
+//! `c < 1`. From all-zero initialization the trajectory is monotonically
+//! increasing, like PageRank but rooted at a single query vertex.
+
+use crate::algorithm::{ConvergenceNorm, IterativeAlgorithm, Monotonicity};
+use gograph_graph::{CsrGraph, VertexId, Weight};
+
+/// PHP from a fixed query vertex.
+#[derive(Debug, Clone, Copy)]
+pub struct Php {
+    /// Query vertex (its state is pinned at 1).
+    pub query: VertexId,
+    /// Penalty factor `c` (default 0.8).
+    pub penalty: f64,
+    /// Convergence threshold (paper §V-A: 1e-6).
+    pub epsilon: f64,
+}
+
+impl Php {
+    /// PHP rooted at `query` with the default penalty 0.8.
+    pub fn new(query: VertexId) -> Self {
+        Php {
+            query,
+            penalty: 0.8,
+            epsilon: 1e-6,
+        }
+    }
+}
+
+impl IterativeAlgorithm for Php {
+    fn name(&self) -> &'static str {
+        "php"
+    }
+
+    fn init(&self, _g: &CsrGraph, v: VertexId) -> f64 {
+        if v == self.query {
+            1.0
+        } else {
+            0.0
+        }
+    }
+
+    fn gather_identity(&self) -> f64 {
+        0.0
+    }
+
+    #[inline]
+    fn gather(&self, acc: f64, neighbor_state: f64, _w: Weight, neighbor_out_degree: usize) -> f64 {
+        if neighbor_out_degree == 0 {
+            acc
+        } else {
+            acc + neighbor_state / neighbor_out_degree as f64
+        }
+    }
+
+    #[inline]
+    fn apply(&self, _g: &CsrGraph, v: VertexId, current: f64, acc: f64) -> f64 {
+        if v == self.query {
+            1.0
+        } else {
+            (self.penalty * acc).max(current)
+        }
+    }
+
+    fn monotonicity(&self) -> Monotonicity {
+        Monotonicity::Increasing
+    }
+
+    fn norm(&self) -> ConvergenceNorm {
+        ConvergenceNorm::Sum
+    }
+
+    fn epsilon(&self) -> f64 {
+        self.epsilon
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algorithm::evaluate_vertex;
+    use gograph_graph::generators::regular::chain;
+
+    #[test]
+    fn decays_along_chain() {
+        let g = chain(4);
+        let alg = Php::new(0);
+        let mut states: Vec<f64> = (0..4u32).map(|v| alg.init(&g, v)).collect();
+        for _ in 0..50 {
+            states = (0..4u32).map(|v| evaluate_vertex(&alg, &g, v, &states)).collect();
+        }
+        assert_eq!(states[0], 1.0);
+        assert!((states[1] - 0.8).abs() < 1e-9);
+        assert!((states[2] - 0.64).abs() < 1e-9);
+        assert!((states[3] - 0.512).abs() < 1e-9);
+    }
+
+    #[test]
+    fn query_pinned_at_one() {
+        let g = CsrGraph::from_edges(2, [(1u32, 0u32)]);
+        let alg = Php::new(0);
+        let states = vec![1.0, 0.9];
+        assert_eq!(evaluate_vertex(&alg, &g, 0, &states), 1.0);
+    }
+
+    #[test]
+    fn states_bounded_by_one() {
+        let g = gograph_graph::generators::regular::complete(5);
+        let alg = Php::new(0);
+        let mut states: Vec<f64> = (0..5u32).map(|v| alg.init(&g, v)).collect();
+        for _ in 0..100 {
+            states = (0..5u32).map(|v| evaluate_vertex(&alg, &g, v, &states)).collect();
+        }
+        for &x in &states {
+            assert!(x <= 1.0 + 1e-9);
+        }
+    }
+}

@@ -1,0 +1,105 @@
+//! Single-Source Widest Path (paper §III, ref. [25]): the bottleneck /
+//! maximum-capacity path problem.
+//! `x_v = max(x_v, max_{u ∈ IN(v)} min(x_u, w(u, v)))` — monotonically
+//! increasing from 0 (source at `+inf`: its own capacity is unbounded).
+
+use crate::algorithm::{ConvergenceNorm, IterativeAlgorithm, Monotonicity};
+use gograph_graph::{CsrGraph, VertexId, Weight};
+
+/// SSWP from a fixed source.
+#[derive(Debug, Clone, Copy)]
+pub struct Sswp {
+    /// Source vertex.
+    pub source: VertexId,
+}
+
+impl Sswp {
+    /// SSWP from `source`.
+    pub fn new(source: VertexId) -> Self {
+        Sswp { source }
+    }
+}
+
+impl IterativeAlgorithm for Sswp {
+    fn name(&self) -> &'static str {
+        "sswp"
+    }
+
+    fn init(&self, _g: &CsrGraph, v: VertexId) -> f64 {
+        if v == self.source {
+            f64::INFINITY
+        } else {
+            0.0
+        }
+    }
+
+    fn gather_identity(&self) -> f64 {
+        0.0
+    }
+
+    #[inline]
+    fn gather(&self, acc: f64, neighbor_state: f64, w: Weight, _d: usize) -> f64 {
+        acc.max(neighbor_state.min(w))
+    }
+
+    #[inline]
+    fn apply(&self, _g: &CsrGraph, v: VertexId, current: f64, acc: f64) -> f64 {
+        if v == self.source {
+            f64::INFINITY
+        } else {
+            current.max(acc)
+        }
+    }
+
+    fn monotonicity(&self) -> Monotonicity {
+        Monotonicity::Increasing
+    }
+
+    fn norm(&self) -> ConvergenceNorm {
+        ConvergenceNorm::Max
+    }
+
+    fn epsilon(&self) -> f64 {
+        0.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algorithm::evaluate_vertex;
+
+    #[test]
+    fn picks_widest_route() {
+        // 0 -> 1 (cap 3) -> 3 (cap 5); 0 -> 2 (cap 2) -> 3 (cap 9).
+        // Widest path to 3: via 1, bottleneck min(3, 5) = 3.
+        let g = CsrGraph::from_edges(
+            4,
+            [
+                (0u32, 1u32, 3.0f64),
+                (1, 3, 5.0),
+                (0, 2, 2.0),
+                (2, 3, 9.0),
+            ],
+        );
+        let alg = Sswp::new(0);
+        let mut states: Vec<f64> = (0..4u32).map(|v| alg.init(&g, v)).collect();
+        for _ in 0..5 {
+            states = (0..4u32).map(|v| evaluate_vertex(&alg, &g, v, &states)).collect();
+        }
+        assert_eq!(states[1], 3.0);
+        assert_eq!(states[2], 2.0);
+        assert_eq!(states[3], 3.0);
+    }
+
+    #[test]
+    fn unreachable_stays_zero() {
+        let g = CsrGraph::from_edges(3, [(0u32, 1u32, 1.0f64)]);
+        let alg = Sswp::new(0);
+        let mut states: Vec<f64> = (0..3u32).map(|v| alg.init(&g, v)).collect();
+        for _ in 0..3 {
+            states = (0..3u32).map(|v| evaluate_vertex(&alg, &g, v, &states)).collect();
+        }
+        assert_eq!(states[2], 0.0);
+    }
+}

@@ -1,0 +1,36 @@
+//! # gograph-engine
+//!
+//! Iterative graph computation engine for the GoGraph reproduction:
+//! synchronous (Jacobi, paper Eq. 1), asynchronous (Gauss–Seidel, Eq. 2)
+//! and block-parallel asynchronous execution of monotonic vertex
+//! programs, with convergence traces and memory accounting.
+//!
+//! The asynchronous engine consumes in-neighbor states that were already
+//! updated in the *current* round whenever the neighbor precedes the
+//! vertex in the processing order — the behaviour whose benefit GoGraph's
+//! reordering maximizes.
+//!
+//! Algorithms (paper §V-A workloads + §III monotone examples):
+//! PageRank, SSSP, BFS, PHP, CC, SSWP, Katz, Adsorption.
+
+#![warn(missing_docs)]
+
+pub mod algorithm;
+pub mod algorithms;
+pub mod asynch;
+pub mod convergence;
+pub mod delta;
+pub mod parallel;
+pub mod runner;
+pub mod sync;
+pub mod worklist;
+
+pub use algorithm::{ConvergenceNorm, IterativeAlgorithm, Monotonicity};
+pub use algorithms::{Adsorption, Bfs, ConnectedComponents, Katz, PageRank, Php, Sssp, Sswp};
+pub use asynch::run_async;
+pub use convergence::{RunStats, TracePoint};
+pub use delta::{run_delta_priority, run_delta_round_robin, DeltaAlgorithm, DeltaPageRank, DeltaSssp};
+pub use parallel::run_parallel;
+pub use runner::{run, run_relabeled, total_memory_bytes, Mode, RunConfig};
+pub use sync::run_sync;
+pub use worklist::{run_worklist, WorklistStats};

@@ -1,0 +1,145 @@
+//! Synchronous (Jacobi / round-robin) engine — the paper's Eq. 1.
+//!
+//! Every vertex is updated from its neighbors' states of the *previous*
+//! round, which requires double-buffered state (the memory overhead
+//! Fig. 11 attributes to the synchronous baseline).
+
+use crate::algorithm::IterativeAlgorithm;
+use crate::convergence::{trace_point, DeltaAccumulator, RunStats};
+use crate::runner::RunConfig;
+use gograph_graph::{CsrGraph, Permutation};
+use std::time::Instant;
+
+/// Runs `alg` on `g` synchronously, visiting vertices in `order` each
+/// round (the visit order cannot change the result in this mode — only
+/// memory access locality).
+pub fn run_sync(
+    g: &CsrGraph,
+    alg: &dyn IterativeAlgorithm,
+    order: &Permutation,
+    cfg: &RunConfig,
+) -> RunStats {
+    let n = g.num_vertices();
+    assert_eq!(order.len(), n, "order length must match vertex count");
+    let mut prev: Vec<f64> = (0..n as u32).map(|v| alg.init(g, v)).collect();
+    let mut next: Vec<f64> = prev.clone();
+    let eps = alg.epsilon();
+    let start = Instant::now();
+    let mut trace = Vec::new();
+    if cfg.record_trace {
+        trace.push(trace_point(0, start.elapsed(), f64::INFINITY, &prev));
+    }
+
+    let mut rounds = 0usize;
+    let mut converged = false;
+    while rounds < cfg.max_rounds {
+        rounds += 1;
+        let mut acc_delta = DeltaAccumulator::new(alg.norm());
+        for &v in order.order() {
+            let ins = g.in_neighbors(v);
+            let ws = g.in_weights(v);
+            let mut acc = alg.gather_identity();
+            for i in 0..ins.len() {
+                let u = ins[i];
+                acc = alg.gather(acc, prev[u as usize], ws[i], g.out_degree(u));
+            }
+            let new = alg.apply(g, v, prev[v as usize], acc);
+            acc_delta.record(prev[v as usize], new);
+            next[v as usize] = new;
+        }
+        std::mem::swap(&mut prev, &mut next);
+        if cfg.record_trace {
+            trace.push(trace_point(rounds, start.elapsed(), acc_delta.value(), &prev));
+        }
+        if acc_delta.value() <= eps {
+            converged = true;
+            break;
+        }
+    }
+
+    RunStats {
+        rounds,
+        runtime: start.elapsed(),
+        converged,
+        final_states: prev,
+        trace,
+        // Double-buffered state: the sync engine's extra footprint.
+        state_memory_bytes: 2 * n * std::mem::size_of::<f64>(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algorithms::{PageRank, Sssp};
+    use gograph_graph::generators::regular::{chain, cycle};
+
+    #[test]
+    fn sssp_on_chain_takes_n_minus_1_rounds_plus_fixpoint_check() {
+        let g = chain(6);
+        let stats = run_sync(
+            &g,
+            &Sssp::new(0),
+            &Permutation::identity(6),
+            &RunConfig::default(),
+        );
+        assert!(stats.converged);
+        // Distance i reaches vertex i in round i; one extra round detects
+        // stability... but with identity order each round relaxes the next
+        // hop, so 5 rounds propagate + 1 to confirm.
+        assert_eq!(stats.final_states, vec![0.0, 1.0, 2.0, 3.0, 4.0, 5.0]);
+        assert!(stats.rounds >= 5);
+    }
+
+    #[test]
+    fn sync_result_is_order_independent() {
+        let g = cycle(8);
+        let a = run_sync(&g, &Sssp::new(0), &Permutation::identity(8), &RunConfig::default());
+        let rev = Permutation::identity(8).reversed();
+        let b = run_sync(&g, &Sssp::new(0), &rev, &RunConfig::default());
+        assert_eq!(a.final_states, b.final_states);
+        assert_eq!(a.rounds, b.rounds);
+    }
+
+    #[test]
+    fn pagerank_converges_on_cycle() {
+        let g = cycle(5);
+        let stats = run_sync(
+            &g,
+            &PageRank::default(),
+            &Permutation::identity(5),
+            &RunConfig::default(),
+        );
+        assert!(stats.converged);
+        for &x in &stats.final_states {
+            assert!((x - 1.0).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn trace_records_rounds() {
+        let g = chain(4);
+        let cfg = RunConfig {
+            record_trace: true,
+            ..Default::default()
+        };
+        let stats = run_sync(&g, &Sssp::new(0), &Permutation::identity(4), &cfg);
+        assert_eq!(stats.trace.len(), stats.rounds + 1);
+        assert_eq!(stats.trace[0].round, 0);
+        // finite sum grows as vertices are reached... and the last round's
+        // delta is 0 (stability confirmation).
+        assert_eq!(stats.trace.last().unwrap().delta, 0.0);
+    }
+
+    #[test]
+    fn round_cap_respected() {
+        let g = chain(100);
+        let cfg = RunConfig {
+            max_rounds: 3,
+            ..Default::default()
+        };
+        let stats = run_sync(&g, &Sssp::new(0), &Permutation::identity(100), &cfg);
+        assert!(!stats.converged);
+        assert_eq!(stats.rounds, 3);
+    }
+}

@@ -1,0 +1,90 @@
+//! Property tests of the engine family: fixpoint agreement across all
+//! execution strategies on arbitrary graphs, monotone trajectories, and
+//! round-count relationships.
+
+use gograph_engine::{
+    run, run_delta_round_robin, Bfs, DeltaSssp, Mode, PageRank, RunConfig, Sssp,
+};
+use gograph_graph::{CsrGraph, GraphBuilder, Permutation};
+use proptest::prelude::*;
+
+fn arb_weighted_graph() -> impl Strategy<Value = CsrGraph> {
+    (2usize..50).prop_flat_map(|n| {
+        proptest::collection::vec((0..n as u32, 0..n as u32, 0.5f64..5.0), 0..n * 3).prop_map(
+            move |es| {
+                let mut b = GraphBuilder::with_capacity(n, es.len());
+                b.reserve_vertices(n);
+                for (u, v, w) in es {
+                    if u != v {
+                        b.add_edge(u, v, w);
+                    }
+                }
+                b.build()
+            },
+        )
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn sssp_fixpoint_agrees_across_all_engines(g in arb_weighted_graph()) {
+        let cfg = RunConfig::default();
+        let n = g.num_vertices();
+        let id = Permutation::identity(n);
+        let alg = Sssp::new(0);
+        let sync = run(&g, &alg, Mode::Sync, &id, &cfg);
+        prop_assume!(sync.converged);
+        let asy = run(&g, &alg, Mode::Async, &id, &cfg);
+        let par = run(&g, &alg, Mode::Parallel(4), &id, &cfg);
+        let del = run_delta_round_robin(&g, &DeltaSssp { source: 0 }, &id, &cfg);
+        prop_assert_eq!(&sync.final_states, &asy.final_states);
+        prop_assert_eq!(&sync.final_states, &par.final_states);
+        prop_assert_eq!(&sync.final_states, &del.final_states);
+    }
+
+    #[test]
+    fn async_rounds_le_sync_rounds_for_bfs(g in arb_weighted_graph()) {
+        let cfg = RunConfig::default();
+        let id = Permutation::identity(g.num_vertices());
+        let alg = Bfs::new(0);
+        let s = run(&g, &alg, Mode::Sync, &id, &cfg);
+        let a = run(&g, &alg, Mode::Async, &id, &cfg);
+        prop_assert!(a.rounds <= s.rounds);
+    }
+
+    #[test]
+    fn pagerank_trajectory_is_monotone_per_round(g in arb_weighted_graph()) {
+        let cfg = RunConfig { record_trace: true, ..Default::default() };
+        let id = Permutation::identity(g.num_vertices());
+        let stats = run(&g, &PageRank::default(), Mode::Async, &id, &cfg);
+        // Increasing algorithm: the finite state sum never decreases.
+        for w in stats.trace.windows(2) {
+            prop_assert!(w[1].finite_sum >= w[0].finite_sum - 1e-12);
+        }
+    }
+
+    #[test]
+    fn sssp_infinite_count_never_increases(g in arb_weighted_graph()) {
+        let cfg = RunConfig { record_trace: true, ..Default::default() };
+        let id = Permutation::identity(g.num_vertices());
+        let stats = run(&g, &Sssp::new(0), Mode::Async, &id, &cfg);
+        for w in stats.trace.windows(2) {
+            prop_assert!(w[1].infinite_count <= w[0].infinite_count);
+        }
+    }
+
+    #[test]
+    fn reversal_of_order_preserves_fixpoint_changes_rounds(g in arb_weighted_graph()) {
+        let cfg = RunConfig::default();
+        let n = g.num_vertices();
+        let fwd = Permutation::identity(n);
+        let rev = fwd.reversed();
+        let alg = Sssp::new(0);
+        let a = run(&g, &alg, Mode::Async, &fwd, &cfg);
+        let b = run(&g, &alg, Mode::Async, &rev, &cfg);
+        prop_assert_eq!(a.final_states, b.final_states);
+        // (rounds may differ — that is the whole point of the paper)
+    }
+}

@@ -1,0 +1,421 @@
+//! Compressed sparse row (CSR) storage for directed weighted graphs.
+//!
+//! Both the out-adjacency (`v -> w`) and the in-adjacency (`u -> v`,
+//! indexed by `v`) are materialized: asynchronous iterative engines gather
+//! from *in-neighbors* (paper Eq. 2), while reordering methods and
+//! traversals scan out-neighbors. Neighbor lists are sorted by vertex id,
+//! which makes `has_edge` a binary search and keeps all downstream
+//! algorithms deterministic.
+
+use crate::builder::GraphBuilder;
+use crate::permutation::Permutation;
+use crate::types::{Direction, Edge, VertexId, Weight};
+
+/// A directed, weighted graph in CSR form with both adjacency directions.
+///
+/// Construct via [`GraphBuilder`], [`CsrGraph::from_edges`], or a generator
+/// in [`crate::generators`].
+///
+/// ```
+/// use gograph_graph::CsrGraph;
+/// let g = CsrGraph::from_edges(3, [(0u32, 1u32), (1, 2), (0, 2)]);
+/// assert_eq!(g.out_neighbors(0), &[1, 2]);
+/// assert_eq!(g.in_neighbors(2), &[0, 1]);
+/// assert_eq!(g.num_edges(), 3);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct CsrGraph {
+    num_vertices: usize,
+    out_offsets: Vec<usize>,
+    out_targets: Vec<VertexId>,
+    out_weights: Vec<Weight>,
+    in_offsets: Vec<usize>,
+    in_sources: Vec<VertexId>,
+    in_weights: Vec<Weight>,
+}
+
+impl CsrGraph {
+    /// Builds a graph from raw CSR arrays. Used by [`GraphBuilder`];
+    /// callers should prefer the builder.
+    ///
+    /// # Panics
+    /// Panics if the arrays are inconsistent (offset lengths, edge counts).
+    pub(crate) fn from_parts(
+        num_vertices: usize,
+        out_offsets: Vec<usize>,
+        out_targets: Vec<VertexId>,
+        out_weights: Vec<Weight>,
+        in_offsets: Vec<usize>,
+        in_sources: Vec<VertexId>,
+        in_weights: Vec<Weight>,
+    ) -> Self {
+        assert_eq!(out_offsets.len(), num_vertices + 1, "bad out_offsets");
+        assert_eq!(in_offsets.len(), num_vertices + 1, "bad in_offsets");
+        assert_eq!(out_targets.len(), *out_offsets.last().unwrap());
+        assert_eq!(in_sources.len(), *in_offsets.last().unwrap());
+        assert_eq!(out_targets.len(), in_sources.len(), "edge count mismatch");
+        assert_eq!(out_weights.len(), out_targets.len());
+        assert_eq!(in_weights.len(), in_sources.len());
+        CsrGraph {
+            num_vertices,
+            out_offsets,
+            out_targets,
+            out_weights,
+            in_offsets,
+            in_sources,
+            in_weights,
+        }
+    }
+
+    /// Builds a graph with `num_vertices` vertices from an edge list.
+    /// Duplicate edges are deduplicated (keeping the smallest weight) and
+    /// self-loops are preserved.
+    pub fn from_edges<I, E>(num_vertices: usize, edges: I) -> Self
+    where
+        I: IntoIterator<Item = E>,
+        E: Into<Edge>,
+    {
+        let mut b = GraphBuilder::with_capacity(num_vertices, 0);
+        for e in edges {
+            b.add_edge_struct(e.into());
+        }
+        b.build()
+    }
+
+    /// An empty graph with `num_vertices` vertices and no edges.
+    pub fn empty(num_vertices: usize) -> Self {
+        CsrGraph {
+            num_vertices,
+            out_offsets: vec![0; num_vertices + 1],
+            out_targets: Vec::new(),
+            out_weights: Vec::new(),
+            in_offsets: vec![0; num_vertices + 1],
+            in_sources: Vec::new(),
+            in_weights: Vec::new(),
+        }
+    }
+
+    /// Number of vertices.
+    #[inline]
+    pub fn num_vertices(&self) -> usize {
+        self.num_vertices
+    }
+
+    /// Number of directed edges.
+    #[inline]
+    pub fn num_edges(&self) -> usize {
+        self.out_targets.len()
+    }
+
+    /// Iterator over all vertex ids `0..n`.
+    #[inline]
+    pub fn vertices(&self) -> impl Iterator<Item = VertexId> + '_ {
+        (0..self.num_vertices as VertexId).into_iter()
+    }
+
+    /// Out-neighbors of `v`, sorted ascending.
+    #[inline]
+    pub fn out_neighbors(&self, v: VertexId) -> &[VertexId] {
+        let (s, e) = self.out_range(v);
+        &self.out_targets[s..e]
+    }
+
+    /// Weights parallel to [`CsrGraph::out_neighbors`].
+    #[inline]
+    pub fn out_weights(&self, v: VertexId) -> &[Weight] {
+        let (s, e) = self.out_range(v);
+        &self.out_weights[s..e]
+    }
+
+    /// In-neighbors of `v` (sources of edges into `v`), sorted ascending.
+    #[inline]
+    pub fn in_neighbors(&self, v: VertexId) -> &[VertexId] {
+        let (s, e) = self.in_range(v);
+        &self.in_sources[s..e]
+    }
+
+    /// Weights parallel to [`CsrGraph::in_neighbors`].
+    #[inline]
+    pub fn in_weights(&self, v: VertexId) -> &[Weight] {
+        let (s, e) = self.in_range(v);
+        &self.in_weights[s..e]
+    }
+
+    /// Neighbors of `v` in the given direction.
+    #[inline]
+    pub fn neighbors(&self, v: VertexId, dir: Direction) -> &[VertexId] {
+        match dir {
+            Direction::Out => self.out_neighbors(v),
+            Direction::In => self.in_neighbors(v),
+        }
+    }
+
+    /// Out-degree of `v`.
+    #[inline]
+    pub fn out_degree(&self, v: VertexId) -> usize {
+        let (s, e) = self.out_range(v);
+        e - s
+    }
+
+    /// In-degree of `v`.
+    #[inline]
+    pub fn in_degree(&self, v: VertexId) -> usize {
+        let (s, e) = self.in_range(v);
+        e - s
+    }
+
+    /// Total degree (in + out) of `v`.
+    #[inline]
+    pub fn degree(&self, v: VertexId) -> usize {
+        self.out_degree(v) + self.in_degree(v)
+    }
+
+    /// True if the directed edge `(u, v)` exists.
+    pub fn has_edge(&self, u: VertexId, v: VertexId) -> bool {
+        self.out_neighbors(u).binary_search(&v).is_ok()
+    }
+
+    /// Weight of edge `(u, v)` if present.
+    pub fn edge_weight(&self, u: VertexId, v: VertexId) -> Option<Weight> {
+        let (s, _) = self.out_range(u);
+        self.out_neighbors(u)
+            .binary_search(&v)
+            .ok()
+            .map(|i| self.out_weights[s + i])
+    }
+
+    /// Iterator over all edges in CSR (source-major) order.
+    pub fn edges(&self) -> impl Iterator<Item = Edge> + '_ {
+        (0..self.num_vertices as VertexId).flat_map(move |u| {
+            let (s, e) = self.out_range(u);
+            (s..e).map(move |i| Edge::new(u, self.out_targets[i], self.out_weights[i]))
+        })
+    }
+
+    /// Average degree `|E| / |V|`.
+    pub fn average_degree(&self) -> f64 {
+        if self.num_vertices == 0 {
+            0.0
+        } else {
+            self.num_edges() as f64 / self.num_vertices as f64
+        }
+    }
+
+    /// The transposed graph (every edge reversed).
+    pub fn reversed(&self) -> CsrGraph {
+        CsrGraph {
+            num_vertices: self.num_vertices,
+            out_offsets: self.in_offsets.clone(),
+            out_targets: self.in_sources.clone(),
+            out_weights: self.in_weights.clone(),
+            in_offsets: self.out_offsets.clone(),
+            in_sources: self.out_targets.clone(),
+            in_weights: self.out_weights.clone(),
+        }
+    }
+
+    /// Relabels every vertex `v` to `perm.new_id(v)` and rebuilds the CSR.
+    ///
+    /// Applying the identity permutation returns an equal graph. After the
+    /// call, vertex `perm.new_id(v)` has exactly the (relabeled) neighbors
+    /// the old `v` had, so the result is isomorphic to `self`.
+    ///
+    /// # Panics
+    /// Panics if `perm.len() != self.num_vertices()`.
+    pub fn relabeled(&self, perm: &Permutation) -> CsrGraph {
+        assert_eq!(
+            perm.len(),
+            self.num_vertices,
+            "permutation length must match vertex count"
+        );
+        let mut b = GraphBuilder::with_capacity(self.num_vertices, self.num_edges());
+        for e in self.edges() {
+            b.add_edge(perm.new_id(e.src), perm.new_id(e.dst), e.weight);
+        }
+        b.build()
+    }
+
+    /// Extracts the subgraph induced by `vertices`.
+    ///
+    /// Returns the subgraph (with vertices relabeled to `0..vertices.len()`
+    /// in the given order) and the mapping `local -> global` (a copy of
+    /// `vertices`).
+    pub fn induced_subgraph(&self, vertices: &[VertexId]) -> (CsrGraph, Vec<VertexId>) {
+        let mut global_to_local = vec![VertexId::MAX; self.num_vertices];
+        for (i, &v) in vertices.iter().enumerate() {
+            debug_assert!(
+                global_to_local[v as usize] == VertexId::MAX,
+                "duplicate vertex in induced_subgraph"
+            );
+            global_to_local[v as usize] = i as VertexId;
+        }
+        let mut b = GraphBuilder::with_capacity(vertices.len(), 0);
+        for &v in vertices {
+            let lv = global_to_local[v as usize];
+            let (s, e) = self.out_range(v);
+            for i in s..e {
+                let w = self.out_targets[i];
+                let lw = global_to_local[w as usize];
+                if lw != VertexId::MAX {
+                    b.add_edge(lv, lw, self.out_weights[i]);
+                }
+            }
+        }
+        (b.build(), vertices.to_vec())
+    }
+
+    /// Total heap bytes used by the CSR arrays (for Fig. 11 accounting).
+    pub fn memory_bytes(&self) -> usize {
+        self.out_offsets.capacity() * std::mem::size_of::<usize>()
+            + self.in_offsets.capacity() * std::mem::size_of::<usize>()
+            + self.out_targets.capacity() * std::mem::size_of::<VertexId>()
+            + self.in_sources.capacity() * std::mem::size_of::<VertexId>()
+            + self.out_weights.capacity() * std::mem::size_of::<Weight>()
+            + self.in_weights.capacity() * std::mem::size_of::<Weight>()
+    }
+
+    /// Raw out-offset array (length `n + 1`); used by the cache simulator
+    /// to model CSR index accesses.
+    #[inline]
+    pub fn raw_out_offsets(&self) -> &[usize] {
+        &self.out_offsets
+    }
+
+    /// Raw in-offset array (length `n + 1`).
+    #[inline]
+    pub fn raw_in_offsets(&self) -> &[usize] {
+        &self.in_offsets
+    }
+
+    #[inline]
+    fn out_range(&self, v: VertexId) -> (usize, usize) {
+        let v = v as usize;
+        (self.out_offsets[v], self.out_offsets[v + 1])
+    }
+
+    #[inline]
+    fn in_range(&self, v: VertexId) -> (usize, usize) {
+        let v = v as usize;
+        (self.in_offsets[v], self.in_offsets[v + 1])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diamond() -> CsrGraph {
+        // a=0 -> b=1, a -> c=2, b -> d=3, c -> d
+        CsrGraph::from_edges(4, [(0u32, 1u32), (0, 2), (1, 3), (2, 3)])
+    }
+
+    #[test]
+    fn basic_counts() {
+        let g = diamond();
+        assert_eq!(g.num_vertices(), 4);
+        assert_eq!(g.num_edges(), 4);
+        assert_eq!(g.average_degree(), 1.0);
+    }
+
+    #[test]
+    fn adjacency_is_sorted_and_correct() {
+        let g = diamond();
+        assert_eq!(g.out_neighbors(0), &[1, 2]);
+        assert_eq!(g.out_neighbors(1), &[3]);
+        assert_eq!(g.out_neighbors(3), &[] as &[VertexId]);
+        assert_eq!(g.in_neighbors(3), &[1, 2]);
+        assert_eq!(g.in_neighbors(0), &[] as &[VertexId]);
+    }
+
+    #[test]
+    fn degrees() {
+        let g = diamond();
+        assert_eq!(g.out_degree(0), 2);
+        assert_eq!(g.in_degree(0), 0);
+        assert_eq!(g.in_degree(3), 2);
+        assert_eq!(g.degree(1), 2);
+    }
+
+    #[test]
+    fn has_edge_and_weight() {
+        let g = CsrGraph::from_edges(3, [(0u32, 1u32, 2.5f64), (1, 2, 0.5)]);
+        assert!(g.has_edge(0, 1));
+        assert!(!g.has_edge(1, 0));
+        assert_eq!(g.edge_weight(0, 1), Some(2.5));
+        assert_eq!(g.edge_weight(1, 2), Some(0.5));
+        assert_eq!(g.edge_weight(0, 2), None);
+    }
+
+    #[test]
+    fn edges_iterator_roundtrip() {
+        let g = diamond();
+        let edges: Vec<_> = g.edges().map(|e| (e.src, e.dst)).collect();
+        assert_eq!(edges, vec![(0, 1), (0, 2), (1, 3), (2, 3)]);
+    }
+
+    #[test]
+    fn reversed_transposes() {
+        let g = diamond();
+        let r = g.reversed();
+        assert_eq!(r.num_edges(), g.num_edges());
+        assert!(r.has_edge(1, 0));
+        assert!(r.has_edge(3, 2));
+        assert!(!r.has_edge(0, 1));
+        assert_eq!(r.reversed(), g);
+    }
+
+    #[test]
+    fn relabel_identity_is_noop() {
+        let g = diamond();
+        let id = Permutation::identity(4);
+        assert_eq!(g.relabeled(&id), g);
+    }
+
+    #[test]
+    fn relabel_preserves_structure() {
+        let g = diamond();
+        // order [3,2,1,0]: old v -> new 3-v
+        let p = Permutation::from_order(vec![3, 2, 1, 0]);
+        let r = g.relabeled(&p);
+        assert_eq!(r.num_edges(), 4);
+        // old (0,1) -> new (3,2)
+        assert!(r.has_edge(3, 2));
+        assert!(r.has_edge(3, 1));
+        assert!(r.has_edge(2, 0));
+        assert!(r.has_edge(1, 0));
+    }
+
+    #[test]
+    fn induced_subgraph_keeps_internal_edges() {
+        let g = diamond();
+        let (sg, map) = g.induced_subgraph(&[0, 1, 3]);
+        assert_eq!(sg.num_vertices(), 3);
+        // kept: (0,1) and (1,3) -> local (0,1) and (1,2)
+        assert_eq!(sg.num_edges(), 2);
+        assert!(sg.has_edge(0, 1));
+        assert!(sg.has_edge(1, 2));
+        assert_eq!(map, vec![0, 1, 3]);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = CsrGraph::empty(5);
+        assert_eq!(g.num_vertices(), 5);
+        assert_eq!(g.num_edges(), 0);
+        assert_eq!(g.out_neighbors(4), &[] as &[VertexId]);
+    }
+
+    #[test]
+    fn self_loop_preserved() {
+        let g = CsrGraph::from_edges(2, [(0u32, 0u32), (0, 1)]);
+        assert_eq!(g.num_edges(), 2);
+        assert!(g.has_edge(0, 0));
+        assert_eq!(g.in_neighbors(0), &[0]);
+    }
+
+    #[test]
+    fn memory_bytes_nonzero() {
+        let g = diamond();
+        assert!(g.memory_bytes() > 0);
+    }
+}

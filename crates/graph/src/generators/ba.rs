@@ -1,0 +1,124 @@
+//! Barabási–Albert preferential-attachment generator (paper §V-H, Fig. 12).
+//!
+//! Each new vertex attaches `m` out-edges to existing vertices chosen with
+//! probability proportional to their current degree, reproducing the
+//! power-law degree distribution of the NetworkX generator the paper used.
+
+use crate::builder::GraphBuilder;
+use crate::csr::CsrGraph;
+use crate::types::VertexId;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// Generates a directed Barabási–Albert graph with `n` vertices, `m`
+/// edges per new vertex, and average degree ≈ `m`.
+///
+/// Edges point from the newer vertex to the older target (citation-style,
+/// matching cit-Patents-like workloads). The repeated-endpoints trick
+/// (sampling from the flat endpoint list) gives exact preferential
+/// attachment in O(n·m).
+///
+/// # Panics
+/// Panics if `m == 0` or `n <= m`.
+pub fn barabasi_albert(n: usize, m: usize, seed: u64) -> CsrGraph {
+    assert!(m > 0, "m must be positive");
+    assert!(n > m, "need more vertices than edges-per-vertex");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = GraphBuilder::with_capacity(n, n.saturating_sub(m) * m);
+    b.reserve_vertices(n);
+
+    // Flat list of edge endpoints: sampling uniformly from it is
+    // degree-proportional sampling.
+    let mut endpoints: Vec<VertexId> = Vec::with_capacity(2 * n * m);
+
+    // Seed clique over the first m+1 vertices so early targets exist.
+    for v in 1..=(m as VertexId) {
+        b.add_edge(v, v - 1, 1.0);
+        endpoints.push(v);
+        endpoints.push(v - 1);
+    }
+
+    let mut targets: Vec<VertexId> = Vec::with_capacity(m);
+    for v in (m as VertexId + 1)..(n as VertexId) {
+        targets.clear();
+        // Sample m distinct targets by preferential attachment.
+        let mut guard = 0usize;
+        while targets.len() < m {
+            let t = endpoints[rng.random_range(0..endpoints.len())];
+            if !targets.contains(&t) {
+                targets.push(t);
+            }
+            guard += 1;
+            if guard > 50 * m {
+                // Degenerate corner (tiny graphs): fall back to uniform.
+                let t = rng.random_range(0..v);
+                if !targets.contains(&t) {
+                    targets.push(t);
+                }
+            }
+        }
+        for &t in &targets {
+            b.add_edge(v, t, 1.0);
+            endpoints.push(v);
+            endpoints.push(t);
+        }
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vertex_and_edge_counts() {
+        let g = barabasi_albert(500, 3, 11);
+        assert_eq!(g.num_vertices(), 500);
+        // m seed edges + (n - m - 1) * m attachment edges
+        assert_eq!(g.num_edges(), 3 + (500 - 3 - 1) * 3);
+    }
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(barabasi_albert(200, 2, 5), barabasi_albert(200, 2, 5));
+        assert_ne!(barabasi_albert(200, 2, 5), barabasi_albert(200, 2, 6));
+    }
+
+    #[test]
+    fn power_law_ish_degree_distribution() {
+        let g = barabasi_albert(2000, 4, 7);
+        let max_deg = (0..2000u32).map(|v| g.degree(v)).max().unwrap();
+        let avg = g.edges().count() as f64 * 2.0 / 2000.0;
+        // Hubs should far exceed the average degree.
+        assert!(
+            max_deg as f64 > 5.0 * avg,
+            "max degree {max_deg} not hub-like vs avg {avg}"
+        );
+    }
+
+    #[test]
+    fn edges_point_to_older_vertices() {
+        let g = barabasi_albert(100, 2, 1);
+        for e in g.edges() {
+            assert!(e.src > e.dst, "BA edge {} -> {} not citation-style", e.src, e.dst);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "m must be positive")]
+    fn zero_m_panics() {
+        barabasi_albert(10, 0, 0);
+    }
+
+    #[test]
+    fn average_degree_matches_m() {
+        for m in [2usize, 4, 6, 8] {
+            let g = barabasi_albert(1000, m, 42);
+            let avg = g.average_degree();
+            assert!(
+                (avg - m as f64).abs() < 0.5,
+                "avg degree {avg} far from m={m}"
+            );
+        }
+    }
+}

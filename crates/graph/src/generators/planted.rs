@@ -1,0 +1,199 @@
+//! Planted-partition generator with power-law degrees: the workhorse for
+//! the benchmark dataset analogues.
+//!
+//! Real web/social graphs combine (i) a power-law degree distribution and
+//! (ii) strong community structure. The paper's reordering methods exploit
+//! both: GoGraph's divide phase and Rabbit-partition find communities, and
+//! the cache experiments (Figs. 9–10) depend on their existence. This
+//! generator plants `communities` groups, samples each vertex's degree
+//! from a discrete power law, and routes each edge inside its community
+//! with probability `p_intra` (otherwise to a random vertex anywhere),
+//! with both endpoints chosen degree-proportionally.
+
+use crate::builder::GraphBuilder;
+use crate::csr::CsrGraph;
+use crate::types::VertexId;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// Configuration for [`planted_partition`].
+#[derive(Debug, Clone, Copy)]
+pub struct PlantedPartitionConfig {
+    /// Number of vertices.
+    pub num_vertices: usize,
+    /// Target number of directed edges.
+    pub num_edges: usize,
+    /// Number of planted communities.
+    pub communities: usize,
+    /// Probability an edge stays inside its source's community.
+    pub p_intra: f64,
+    /// Power-law exponent for the degree distribution (typ. 2.0–3.0).
+    pub gamma: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for PlantedPartitionConfig {
+    fn default() -> Self {
+        PlantedPartitionConfig {
+            num_vertices: 10_000,
+            num_edges: 50_000,
+            communities: 32,
+            p_intra: 0.8,
+            gamma: 2.3,
+            seed: 42,
+        }
+    }
+}
+
+/// Generates a planted-partition graph per `cfg`. Vertex ids are assigned
+/// community-contiguously and then *not* shuffled; callers that want
+/// realistic arbitrary labels should pass the result through
+/// [`super::shuffle_labels`].
+pub fn planted_partition(cfg: PlantedPartitionConfig) -> CsrGraph {
+    let n = cfg.num_vertices;
+    assert!(n >= 2, "need at least 2 vertices");
+    assert!(cfg.communities >= 1 && cfg.communities <= n);
+    assert!((0.0..=1.0).contains(&cfg.p_intra));
+    assert!(cfg.gamma > 1.0, "power-law exponent must exceed 1");
+
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+
+    // Community membership: contiguous blocks of roughly equal size.
+    let csize = n.div_ceil(cfg.communities);
+    let community_of = |v: usize| v / csize;
+    let community_range = |c: usize| {
+        let lo = (c * csize).min(n);
+        let hi = ((c + 1) * csize).min(n);
+        lo..hi
+    };
+
+    // Power-law "attractiveness" per vertex via inverse-CDF sampling:
+    // w_v = (1 - u)^{-1/(gamma-1)} gives a Pareto tail with exponent gamma.
+    let weights: Vec<f64> = (0..n)
+        .map(|_| {
+            let u: f64 = rng.random();
+            (1.0 - u).powf(-1.0 / (cfg.gamma - 1.0)).min(n as f64)
+        })
+        .collect();
+
+    // Alias-free sampling: build a prefix-sum table per community and
+    // globally, then binary-search. O(log n) per sample.
+    let global_prefix = prefix_sums(&weights);
+    let community_prefixes: Vec<(usize, Vec<f64>)> = (0..cfg.communities)
+        .map(|c| {
+            let r = community_range(c);
+            (r.start, prefix_sums(&weights[r]))
+        })
+        .collect();
+
+    let mut b = GraphBuilder::with_capacity(n, cfg.num_edges);
+    b.reserve_vertices(n);
+
+    for _ in 0..cfg.num_edges {
+        let src = sample_prefix(&global_prefix, &mut rng) as VertexId;
+        let c = community_of(src as usize);
+        let (base, ref pfx) = community_prefixes[c];
+        // A trailing community can be empty (n not divisible by the
+        // community count); fall back to global sampling there.
+        let dst = if pfx.len() > 1 && rng.random::<f64>() < cfg.p_intra {
+            (base + sample_prefix(pfx, &mut rng)) as VertexId
+        } else {
+            sample_prefix(&global_prefix, &mut rng) as VertexId
+        };
+        if src != dst {
+            b.add_edge(src, dst, 1.0);
+        }
+    }
+    b.build()
+}
+
+fn prefix_sums(w: &[f64]) -> Vec<f64> {
+    let mut p = Vec::with_capacity(w.len() + 1);
+    p.push(0.0);
+    let mut acc = 0.0;
+    for &x in w {
+        acc += x;
+        p.push(acc);
+    }
+    p
+}
+
+/// Samples an index proportionally to the weights encoded in `prefix`.
+fn sample_prefix(prefix: &[f64], rng: &mut StdRng) -> usize {
+    let total = *prefix.last().unwrap();
+    let r = rng.random::<f64>() * total;
+    // partition_point: first i with prefix[i] > r; index = i - 1.
+    let i = prefix.partition_point(|&p| p <= r);
+    (i - 1).min(prefix.len() - 2)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_cfg() -> PlantedPartitionConfig {
+        PlantedPartitionConfig {
+            num_vertices: 1000,
+            num_edges: 8000,
+            communities: 10,
+            p_intra: 0.9,
+            gamma: 2.5,
+            seed: 7,
+        }
+    }
+
+    #[test]
+    fn counts() {
+        let g = planted_partition(small_cfg());
+        assert_eq!(g.num_vertices(), 1000);
+        assert!(g.num_edges() > 6000, "too many dupes: {}", g.num_edges());
+        assert!(g.num_edges() <= 8000);
+    }
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(planted_partition(small_cfg()), planted_partition(small_cfg()));
+    }
+
+    #[test]
+    fn community_structure_present() {
+        let cfg = small_cfg();
+        let g = planted_partition(cfg);
+        let csize = cfg.num_vertices.div_ceil(cfg.communities);
+        let intra = g
+            .edges()
+            .filter(|e| (e.src as usize) / csize == (e.dst as usize) / csize)
+            .count();
+        let frac = intra as f64 / g.num_edges() as f64;
+        // p_intra = 0.9 plus random chance of landing inside anyway.
+        assert!(frac > 0.7, "intra-community fraction only {frac}");
+    }
+
+    #[test]
+    fn power_law_hubs_exist() {
+        let g = planted_partition(PlantedPartitionConfig {
+            num_vertices: 5000,
+            num_edges: 50_000,
+            ..small_cfg()
+        });
+        let max_deg = (0..5000u32).map(|v| g.degree(v)).max().unwrap();
+        let avg = 2.0 * g.num_edges() as f64 / 5000.0;
+        assert!(max_deg as f64 > 5.0 * avg);
+    }
+
+    #[test]
+    fn no_self_loops() {
+        let g = planted_partition(small_cfg());
+        assert!(g.edges().all(|e| e.src != e.dst));
+    }
+
+    #[test]
+    #[should_panic]
+    fn invalid_gamma_rejected() {
+        planted_partition(PlantedPartitionConfig {
+            gamma: 0.5,
+            ..small_cfg()
+        });
+    }
+}

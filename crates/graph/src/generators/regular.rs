@@ -1,0 +1,174 @@
+//! Regular/structured graph families used in unit tests and worked
+//! examples: chains, cycles, grids, stars, complete graphs, binary trees,
+//! and layered DAGs (where topological order is optimal and `M(O) = |E|`).
+
+use crate::builder::GraphBuilder;
+use crate::csr::CsrGraph;
+use crate::types::VertexId;
+
+/// Directed chain `0 -> 1 -> ... -> n-1`.
+pub fn chain(n: usize) -> CsrGraph {
+    let mut b = GraphBuilder::with_capacity(n, n.saturating_sub(1));
+    b.reserve_vertices(n);
+    for v in 1..n as VertexId {
+        b.add_edge(v - 1, v, 1.0);
+    }
+    b.build()
+}
+
+/// Directed cycle `0 -> 1 -> ... -> n-1 -> 0`.
+pub fn cycle(n: usize) -> CsrGraph {
+    assert!(n >= 1);
+    let mut b = GraphBuilder::with_capacity(n, n);
+    b.reserve_vertices(n);
+    for v in 0..n as VertexId {
+        b.add_edge(v, ((v as usize + 1) % n) as VertexId, 1.0);
+    }
+    b.build()
+}
+
+/// `rows x cols` grid with edges pointing right and down.
+pub fn grid(rows: usize, cols: usize) -> CsrGraph {
+    let n = rows * cols;
+    let mut b = GraphBuilder::with_capacity(n, 2 * n);
+    b.reserve_vertices(n);
+    let id = |r: usize, c: usize| (r * cols + c) as VertexId;
+    for r in 0..rows {
+        for c in 0..cols {
+            if c + 1 < cols {
+                b.add_edge(id(r, c), id(r, c + 1), 1.0);
+            }
+            if r + 1 < rows {
+                b.add_edge(id(r, c), id(r + 1, c), 1.0);
+            }
+        }
+    }
+    b.build()
+}
+
+/// Star with the hub at vertex 0 and edges `0 -> i` for `i in 1..n`.
+pub fn star(n: usize) -> CsrGraph {
+    assert!(n >= 1);
+    let mut b = GraphBuilder::with_capacity(n, n - 1);
+    b.reserve_vertices(n);
+    for v in 1..n as VertexId {
+        b.add_edge(0, v, 1.0);
+    }
+    b.build()
+}
+
+/// Complete directed graph (all ordered pairs, no self-loops).
+pub fn complete(n: usize) -> CsrGraph {
+    let mut b = GraphBuilder::with_capacity(n, n * n.saturating_sub(1));
+    b.reserve_vertices(n);
+    for u in 0..n as VertexId {
+        for v in 0..n as VertexId {
+            if u != v {
+                b.add_edge(u, v, 1.0);
+            }
+        }
+    }
+    b.build()
+}
+
+/// Complete binary tree with edges parent -> child, root = 0.
+pub fn binary_tree(n: usize) -> CsrGraph {
+    let mut b = GraphBuilder::with_capacity(n, n.saturating_sub(1));
+    b.reserve_vertices(n);
+    for v in 1..n {
+        b.add_edge(((v - 1) / 2) as VertexId, v as VertexId, 1.0);
+    }
+    b.build()
+}
+
+/// Layered DAG: `layers` layers of `width` vertices; every vertex has an
+/// edge to each vertex of the next layer. The identity order is a
+/// topological order, so `M(identity) = |E|` — the best case for the
+/// paper's metric.
+pub fn layered_dag(layers: usize, width: usize) -> CsrGraph {
+    let n = layers * width;
+    let mut b = GraphBuilder::with_capacity(n, n * width);
+    b.reserve_vertices(n);
+    for l in 0..layers.saturating_sub(1) {
+        for i in 0..width {
+            for j in 0..width {
+                b.add_edge((l * width + i) as VertexId, ((l + 1) * width + j) as VertexId, 1.0);
+            }
+        }
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chain_shape() {
+        let g = chain(5);
+        assert_eq!(g.num_edges(), 4);
+        assert_eq!(g.out_neighbors(0), &[1]);
+        assert_eq!(g.out_degree(4), 0);
+    }
+
+    #[test]
+    fn cycle_shape() {
+        let g = cycle(4);
+        assert_eq!(g.num_edges(), 4);
+        assert!(g.has_edge(3, 0));
+    }
+
+    #[test]
+    fn grid_shape() {
+        let g = grid(3, 4);
+        assert_eq!(g.num_vertices(), 12);
+        // horizontal: 3 * 3, vertical: 2 * 4
+        assert_eq!(g.num_edges(), 9 + 8);
+        assert!(g.has_edge(0, 1));
+        assert!(g.has_edge(0, 4));
+    }
+
+    #[test]
+    fn star_shape() {
+        let g = star(6);
+        assert_eq!(g.out_degree(0), 5);
+        assert_eq!(g.in_degree(0), 0);
+        assert_eq!(g.in_degree(3), 1);
+    }
+
+    #[test]
+    fn complete_shape() {
+        let g = complete(4);
+        assert_eq!(g.num_edges(), 12);
+        for u in 0..4u32 {
+            assert_eq!(g.out_degree(u), 3);
+            assert!(!g.has_edge(u, u));
+        }
+    }
+
+    #[test]
+    fn binary_tree_shape() {
+        let g = binary_tree(7);
+        assert_eq!(g.num_edges(), 6);
+        assert_eq!(g.out_neighbors(0), &[1, 2]);
+        assert_eq!(g.out_neighbors(1), &[3, 4]);
+    }
+
+    #[test]
+    fn layered_dag_is_topological_by_construction() {
+        let g = layered_dag(3, 2);
+        assert_eq!(g.num_vertices(), 6);
+        assert_eq!(g.num_edges(), 2 * 2 * 2);
+        for e in g.edges() {
+            assert!(e.src < e.dst);
+        }
+    }
+
+    #[test]
+    fn degenerate_sizes() {
+        assert_eq!(chain(0).num_vertices(), 0);
+        assert_eq!(chain(1).num_edges(), 0);
+        assert_eq!(star(1).num_edges(), 0);
+        assert_eq!(layered_dag(1, 3).num_edges(), 0);
+    }
+}

@@ -1,0 +1,99 @@
+//! Watts–Strogatz small-world generator: a ring lattice with random
+//! rewiring. Small-world graphs have high clustering but *no* power-law
+//! hubs — a second negative control (besides Erdős–Rényi) for the
+//! hub-extraction phase of GoGraph: with no hubs to extract, all the
+//! gain must come from the conquer phase.
+
+use crate::builder::GraphBuilder;
+use crate::csr::CsrGraph;
+use crate::types::VertexId;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// Generates a directed Watts–Strogatz graph: `n` vertices on a ring,
+/// each with edges to its `k` clockwise neighbors, each edge rewired to a
+/// uniform random target with probability `beta`.
+///
+/// # Panics
+/// Panics if `k == 0`, `k >= n`, or `beta` is outside `[0, 1]`.
+pub fn watts_strogatz(n: usize, k: usize, beta: f64, seed: u64) -> CsrGraph {
+    assert!(k > 0 && k < n, "need 0 < k < n");
+    assert!((0.0..=1.0).contains(&beta), "beta must be in [0, 1]");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = GraphBuilder::with_capacity(n, n * k);
+    b.reserve_vertices(n);
+    for v in 0..n {
+        for j in 1..=k {
+            let mut target = ((v + j) % n) as VertexId;
+            if rng.random::<f64>() < beta {
+                // Rewire to a uniform non-self target.
+                let mut t = rng.random_range(0..n as u32 - 1);
+                if t >= v as u32 {
+                    t += 1;
+                }
+                target = t;
+            }
+            if target != v as VertexId {
+                b.add_edge(v as VertexId, target, 1.0);
+            }
+        }
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_beta_is_ring_lattice() {
+        let g = watts_strogatz(10, 2, 0.0, 1);
+        assert_eq!(g.num_edges(), 20);
+        assert!(g.has_edge(0, 1));
+        assert!(g.has_edge(0, 2));
+        assert!(g.has_edge(9, 0));
+        assert!(g.has_edge(9, 1));
+    }
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(watts_strogatz(50, 3, 0.2, 7), watts_strogatz(50, 3, 0.2, 7));
+        assert_ne!(watts_strogatz(50, 3, 0.2, 7), watts_strogatz(50, 3, 0.2, 8));
+    }
+
+    #[test]
+    fn rewiring_creates_long_edges() {
+        let g = watts_strogatz(200, 2, 0.5, 3);
+        let long = g
+            .edges()
+            .filter(|e| {
+                let d = (e.src as i64 - e.dst as i64).rem_euclid(200);
+                !(1..=2).contains(&d.min(200 - d))
+            })
+            .count();
+        assert!(long > 20, "only {long} rewired edges");
+    }
+
+    #[test]
+    fn no_hubs_degrees_stay_flat() {
+        let g = watts_strogatz(500, 4, 0.3, 5);
+        let max_deg = (0..500u32).map(|v| g.degree(v)).max().unwrap();
+        let avg = 2.0 * g.num_edges() as f64 / 500.0;
+        assert!(
+            (max_deg as f64) < 3.0 * avg,
+            "small-world graph should have no hubs: max {max_deg}, avg {avg}"
+        );
+    }
+
+    #[test]
+    fn no_self_loops() {
+        let g = watts_strogatz(100, 3, 1.0, 9);
+        assert!(g.edges().all(|e| e.src != e.dst));
+    }
+
+    #[test]
+    #[should_panic(expected = "0 < k < n")]
+    fn bad_k_rejected() {
+        watts_strogatz(5, 5, 0.1, 0);
+    }
+}

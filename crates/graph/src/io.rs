@@ -1,0 +1,296 @@
+//! Graph serialization: whitespace-separated edge-list text (the format of
+//! SNAP / network-repository dumps the paper's datasets ship in) and a
+//! compact little-endian binary format for the benchmark dataset cache.
+
+use crate::builder::GraphBuilder;
+use crate::csr::CsrGraph;
+use crate::types::VertexId;
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use std::io::{self, BufRead, BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+/// Magic prefix of the binary format.
+const MAGIC: &[u8; 8] = b"GOGRAPH1";
+
+/// Parses an edge-list from a reader. Lines starting with `#` or `%` are
+/// comments; each data line is `src dst [weight]`. Vertex ids must fit in
+/// u32; missing weights default to 1.0.
+pub fn read_edge_list<R: Read>(reader: R) -> io::Result<CsrGraph> {
+    let reader = BufReader::new(reader);
+    let mut b = GraphBuilder::new();
+    let mut line = String::new();
+    let mut reader = reader;
+    let mut lineno = 0usize;
+    loop {
+        line.clear();
+        if reader.read_line(&mut line)? == 0 {
+            break;
+        }
+        lineno += 1;
+        let t = line.trim();
+        if t.is_empty() || t.starts_with('#') || t.starts_with('%') {
+            // The writer records the vertex count in a directive comment so
+            // trailing isolated vertices round-trip.
+            if let Some(rest) = t.strip_prefix("# vertices ") {
+                if let Ok(n) = rest.trim().parse::<usize>() {
+                    b.reserve_vertices(n);
+                }
+            }
+            continue;
+        }
+        let mut it = t.split_whitespace();
+        let src: VertexId = parse_field(it.next(), lineno, "src")?;
+        let dst: VertexId = parse_field(it.next(), lineno, "dst")?;
+        let weight: f64 = match it.next() {
+            Some(w) => w.parse().map_err(|_| {
+                io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("line {lineno}: bad weight {w:?}"),
+                )
+            })?,
+            None => 1.0,
+        };
+        b.add_edge(src, dst, weight);
+    }
+    Ok(b.build())
+}
+
+fn parse_field<T: std::str::FromStr>(
+    field: Option<&str>,
+    lineno: usize,
+    name: &str,
+) -> io::Result<T> {
+    let s = field.ok_or_else(|| {
+        io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("line {lineno}: missing {name}"),
+        )
+    })?;
+    s.parse().map_err(|_| {
+        io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("line {lineno}: bad {name} {s:?}"),
+        )
+    })
+}
+
+/// Writes the graph as an edge-list (`src dst weight` per line, weight
+/// omitted when it is exactly 1.0).
+pub fn write_edge_list<W: Write>(g: &CsrGraph, writer: W) -> io::Result<()> {
+    let mut w = BufWriter::new(writer);
+    writeln!(w, "# vertices {}", g.num_vertices())?;
+    writeln!(w, "# edges {}", g.num_edges())?;
+    for e in g.edges() {
+        if e.weight == 1.0 {
+            writeln!(w, "{} {}", e.src, e.dst)?;
+        } else {
+            writeln!(w, "{} {} {}", e.src, e.dst, e.weight)?;
+        }
+    }
+    w.flush()
+}
+
+/// Reads an edge-list file from disk.
+pub fn read_edge_list_file<P: AsRef<Path>>(path: P) -> io::Result<CsrGraph> {
+    read_edge_list(std::fs::File::open(path)?)
+}
+
+/// Writes an edge-list file to disk.
+pub fn write_edge_list_file<P: AsRef<Path>>(g: &CsrGraph, path: P) -> io::Result<()> {
+    write_edge_list(g, std::fs::File::create(path)?)
+}
+
+/// Serializes the graph into the compact binary format.
+pub fn to_binary(g: &CsrGraph) -> Bytes {
+    let mut buf = BytesMut::with_capacity(16 + g.num_edges() * 16);
+    buf.put_slice(MAGIC);
+    buf.put_u64_le(g.num_vertices() as u64);
+    buf.put_u64_le(g.num_edges() as u64);
+    for e in g.edges() {
+        buf.put_u32_le(e.src);
+        buf.put_u32_le(e.dst);
+        buf.put_f64_le(e.weight);
+    }
+    buf.freeze()
+}
+
+/// Deserializes a graph from the binary format.
+pub fn from_binary(mut data: Bytes) -> io::Result<CsrGraph> {
+    let bad = |msg: &str| io::Error::new(io::ErrorKind::InvalidData, msg.to_string());
+    if data.remaining() < 24 {
+        return Err(bad("truncated header"));
+    }
+    let mut magic = [0u8; 8];
+    data.copy_to_slice(&mut magic);
+    if &magic != MAGIC {
+        return Err(bad("bad magic"));
+    }
+    let n = data.get_u64_le() as usize;
+    let m = data.get_u64_le() as usize;
+    if data.remaining() < m * 16 {
+        return Err(bad("truncated edge section"));
+    }
+    let mut b = GraphBuilder::with_capacity(n, m);
+    b.reserve_vertices(n);
+    for _ in 0..m {
+        let src = data.get_u32_le();
+        let dst = data.get_u32_le();
+        let w = data.get_f64_le();
+        b.add_edge(src, dst, w);
+    }
+    Ok(b.build())
+}
+
+/// Writes the binary format to disk.
+pub fn write_binary_file<P: AsRef<Path>>(g: &CsrGraph, path: P) -> io::Result<()> {
+    std::fs::write(path, to_binary(g))
+}
+
+/// Reads the binary format from disk.
+pub fn read_binary_file<P: AsRef<Path>>(path: P) -> io::Result<CsrGraph> {
+    from_binary(Bytes::from(std::fs::read(path)?))
+}
+
+/// Writes a processing order as text: one vertex id per line, in
+/// processing-order position (line `k` holds the vertex processed at
+/// position `k`). Interoperable with the formats reordering tools like
+/// Gorder/Rabbit publish orders in.
+pub fn write_permutation<W: Write>(p: &crate::permutation::Permutation, writer: W) -> io::Result<()> {
+    let mut w = BufWriter::new(writer);
+    writeln!(w, "# permutation {}", p.len())?;
+    for &v in p.order() {
+        writeln!(w, "{v}")?;
+    }
+    w.flush()
+}
+
+/// Reads a processing order written by [`write_permutation`].
+/// Validates that the content is a bijection.
+pub fn read_permutation<R: Read>(reader: R) -> io::Result<crate::permutation::Permutation> {
+    let reader = BufReader::new(reader);
+    let mut order = Vec::new();
+    for (lineno, line) in reader.lines().enumerate() {
+        let line = line?;
+        let t = line.trim();
+        if t.is_empty() || t.starts_with('#') || t.starts_with('%') {
+            continue;
+        }
+        let v: VertexId = t.parse().map_err(|_| {
+            io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("line {}: bad vertex id {t:?}", lineno + 1),
+            )
+        })?;
+        order.push(v);
+    }
+    // from_order panics on invalid input; surface it as an I/O error.
+    std::panic::catch_unwind(|| crate::permutation::Permutation::from_order(order))
+        .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "not a permutation"))
+}
+
+/// Writes a permutation to a file.
+pub fn write_permutation_file<P: AsRef<Path>>(
+    p: &crate::permutation::Permutation,
+    path: P,
+) -> io::Result<()> {
+    write_permutation(p, std::fs::File::create(path)?)
+}
+
+/// Reads a permutation from a file.
+pub fn read_permutation_file<P: AsRef<Path>>(path: P) -> io::Result<crate::permutation::Permutation> {
+    read_permutation(std::fs::File::open(path)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> CsrGraph {
+        CsrGraph::from_edges(4, [(0u32, 1u32, 1.0), (1, 2, 2.5), (2, 3, 1.0), (3, 0, 0.25)])
+    }
+
+    #[test]
+    fn edge_list_roundtrip() {
+        let g = sample();
+        let mut buf = Vec::new();
+        write_edge_list(&g, &mut buf).unwrap();
+        let g2 = read_edge_list(&buf[..]).unwrap();
+        assert_eq!(g, g2);
+    }
+
+    #[test]
+    fn edge_list_parses_comments_and_defaults() {
+        let text = "# comment\n% other comment\n\n0 1\n1 2 3.5\n";
+        let g = read_edge_list(text.as_bytes()).unwrap();
+        assert_eq!(g.num_edges(), 2);
+        assert_eq!(g.edge_weight(0, 1), Some(1.0));
+        assert_eq!(g.edge_weight(1, 2), Some(3.5));
+    }
+
+    #[test]
+    fn edge_list_rejects_garbage() {
+        assert!(read_edge_list("0 x\n".as_bytes()).is_err());
+        assert!(read_edge_list("0\n".as_bytes()).is_err());
+        assert!(read_edge_list("0 1 notafloat\n".as_bytes()).is_err());
+    }
+
+    #[test]
+    fn binary_roundtrip() {
+        let g = sample();
+        let bytes = to_binary(&g);
+        let g2 = from_binary(bytes).unwrap();
+        assert_eq!(g, g2);
+    }
+
+    #[test]
+    fn binary_rejects_corruption() {
+        let g = sample();
+        let bytes = to_binary(&g);
+        assert!(from_binary(bytes.slice(0..10)).is_err());
+        let mut bad = bytes.to_vec();
+        bad[0] = b'X';
+        assert!(from_binary(Bytes::from(bad)).is_err());
+        // truncated edges
+        assert!(from_binary(bytes.slice(0..bytes.len() - 4)).is_err());
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let g = sample();
+        let dir = std::env::temp_dir();
+        let p1 = dir.join("gograph_io_test.txt");
+        let p2 = dir.join("gograph_io_test.bin");
+        write_edge_list_file(&g, &p1).unwrap();
+        write_binary_file(&g, &p2).unwrap();
+        assert_eq!(read_edge_list_file(&p1).unwrap(), g);
+        assert_eq!(read_binary_file(&p2).unwrap(), g);
+        let _ = std::fs::remove_file(p1);
+        let _ = std::fs::remove_file(p2);
+    }
+
+    #[test]
+    fn permutation_roundtrip() {
+        let p = crate::permutation::Permutation::from_order(vec![2, 0, 3, 1]);
+        let mut buf = Vec::new();
+        write_permutation(&p, &mut buf).unwrap();
+        let p2 = read_permutation(&buf[..]).unwrap();
+        assert_eq!(p, p2);
+    }
+
+    #[test]
+    fn permutation_rejects_duplicates_and_garbage() {
+        assert!(read_permutation("0\n0\n1\n".as_bytes()).is_err());
+        assert!(read_permutation("0\nx\n".as_bytes()).is_err());
+        assert!(read_permutation("5\n".as_bytes()).is_err()); // out of range
+    }
+
+    #[test]
+    fn preserves_isolated_vertices_in_binary() {
+        let mut b = GraphBuilder::new();
+        b.reserve_vertices(10);
+        b.add_edge(0, 1, 1.0);
+        let g = b.build();
+        let g2 = from_binary(to_binary(&g)).unwrap();
+        assert_eq!(g2.num_vertices(), 10);
+    }
+}

@@ -1,0 +1,32 @@
+//! # gograph-graph
+//!
+//! Directed weighted graph substrate for the GoGraph reproduction
+//! (*Fast Iterative Graph Computing with Updated Neighbor States*,
+//! ICDE 2024).
+//!
+//! Provides:
+//! - [`csr::CsrGraph`] — CSR storage with both out- and in-adjacency,
+//! - [`builder::GraphBuilder`] — edge-stream construction with dedup,
+//! - [`permutation::Permutation`] — processing orders / ordinal numbers,
+//! - [`generators`] — deterministic synthetic graphs (BA, RMAT, ER,
+//!   planted-partition, regular families),
+//! - [`io`] — edge-list text and compact binary serialization,
+//! - [`traversal`] — BFS/DFS/topological-sort/components,
+//! - [`stats`] — degree statistics and hub thresholds.
+
+#![warn(missing_docs)]
+
+pub mod builder;
+pub mod csr;
+pub mod generators;
+pub mod io;
+pub mod permutation;
+pub mod scc;
+pub mod stats;
+pub mod traversal;
+pub mod types;
+
+pub use builder::GraphBuilder;
+pub use csr::CsrGraph;
+pub use permutation::Permutation;
+pub use types::{Direction, Edge, EdgeId, VertexId, Weight};

@@ -1,0 +1,262 @@
+//! Vertex permutations: the common currency between reordering methods
+//! and the iterative engine.
+//!
+//! A *processing order* `O = [v0, v1, ..., v_{n-1}]` (paper §II) lists
+//! vertices in the order they are updated; the *ordinal number* `p(v)` is
+//! the position of `v` in that list. [`Permutation`] stores both views
+//! (order and position) so that `p(v)` lookups and order iteration are both
+//! O(1).
+
+use crate::types::VertexId;
+use serde::{Deserialize, Serialize};
+
+/// A bijection over `0..n` representing a vertex processing order.
+///
+/// Internally stores `order` (position → vertex) and `position`
+/// (vertex → position, the paper's `p(v)`).
+///
+/// ```
+/// use gograph_graph::Permutation;
+/// // Process vertex 2 first, then 0, then 1.
+/// let p = Permutation::from_order(vec![2, 0, 1]);
+/// assert_eq!(p.position(2), 0);      // p(2) = 0
+/// assert_eq!(p.vertex_at(1), 0);
+/// assert!(p.then(&p.inverse()).is_identity());
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Permutation {
+    order: Vec<VertexId>,
+    position: Vec<VertexId>,
+}
+
+impl Permutation {
+    /// Identity permutation of length `n` (the paper's "Default" order).
+    pub fn identity(n: usize) -> Self {
+        let order: Vec<VertexId> = (0..n as VertexId).collect();
+        Permutation {
+            position: order.clone(),
+            order,
+        }
+    }
+
+    /// Builds from a processing order (position → vertex).
+    ///
+    /// # Panics
+    /// Panics if `order` is not a permutation of `0..order.len()`.
+    pub fn from_order(order: Vec<VertexId>) -> Self {
+        let n = order.len();
+        let mut position = vec![VertexId::MAX; n];
+        for (pos, &v) in order.iter().enumerate() {
+            assert!(
+                (v as usize) < n,
+                "vertex {v} out of range for permutation of length {n}"
+            );
+            assert!(
+                position[v as usize] == VertexId::MAX,
+                "vertex {v} appears twice in processing order"
+            );
+            position[v as usize] = pos as VertexId;
+        }
+        Permutation { order, position }
+    }
+
+    /// Builds from a position array (vertex → position, i.e. `p(v)`).
+    ///
+    /// # Panics
+    /// Panics if `position` is not a permutation of `0..position.len()`.
+    pub fn from_positions(position: Vec<VertexId>) -> Self {
+        let n = position.len();
+        let mut order = vec![VertexId::MAX; n];
+        for (v, &pos) in position.iter().enumerate() {
+            assert!(
+                (pos as usize) < n,
+                "position {pos} out of range for permutation of length {n}"
+            );
+            assert!(
+                order[pos as usize] == VertexId::MAX,
+                "position {pos} assigned twice"
+            );
+            order[pos as usize] = v as VertexId;
+        }
+        Permutation { order, position }
+    }
+
+    /// Builds by sorting vertices by a float key (ascending, stable).
+    /// This is the paper's final "sort by `val`" step (Algorithm 1 line 36).
+    pub fn from_float_keys(keys: &[f64]) -> Self {
+        let mut order: Vec<VertexId> = (0..keys.len() as VertexId).collect();
+        order.sort_by(|&a, &b| {
+            keys[a as usize]
+                .partial_cmp(&keys[b as usize])
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.cmp(&b))
+        });
+        Permutation::from_order(order)
+    }
+
+    /// Length `n` of the permutation.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.order.len()
+    }
+
+    /// True if the permutation is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.order.is_empty()
+    }
+
+    /// The processing order: `order()[pos]` is the vertex processed at
+    /// position `pos`.
+    #[inline]
+    pub fn order(&self) -> &[VertexId] {
+        &self.order
+    }
+
+    /// The ordinal number `p(v)` of vertex `v`.
+    #[inline]
+    pub fn position(&self, v: VertexId) -> VertexId {
+        self.position[v as usize]
+    }
+
+    /// Vertex processed at position `pos`.
+    #[inline]
+    pub fn vertex_at(&self, pos: usize) -> VertexId {
+        self.order[pos]
+    }
+
+    /// New id of `v` when the graph is physically relabeled by this
+    /// permutation: the vertex processed first becomes id 0, etc.
+    /// Identical to [`Permutation::position`].
+    #[inline]
+    pub fn new_id(&self, v: VertexId) -> VertexId {
+        self.position[v as usize]
+    }
+
+    /// The inverse permutation (swaps the order/position views).
+    pub fn inverse(&self) -> Permutation {
+        Permutation {
+            order: self.position.clone(),
+            position: self.order.clone(),
+        }
+    }
+
+    /// Composition: applies `self` first, then `other`
+    /// (`result.position(v) = other.position(self.position(v))`).
+    pub fn then(&self, other: &Permutation) -> Permutation {
+        assert_eq!(self.len(), other.len());
+        let position: Vec<VertexId> = (0..self.len())
+            .map(|v| other.position(self.position(v as VertexId)))
+            .collect();
+        Permutation::from_positions(position)
+    }
+
+    /// Reversed processing order.
+    pub fn reversed(&self) -> Permutation {
+        let mut order = self.order.clone();
+        order.reverse();
+        Permutation::from_order(order)
+    }
+
+    /// True if this is the identity.
+    pub fn is_identity(&self) -> bool {
+        self.order.iter().enumerate().all(|(i, &v)| i == v as usize)
+    }
+
+    /// Validates internal consistency (both views agree and are
+    /// bijections). Cheap enough for debug assertions in tests.
+    pub fn validate(&self) -> Result<(), String> {
+        let n = self.order.len();
+        if self.position.len() != n {
+            return Err(format!(
+                "order/position length mismatch: {} vs {}",
+                n,
+                self.position.len()
+            ));
+        }
+        for (pos, &v) in self.order.iter().enumerate() {
+            if v as usize >= n {
+                return Err(format!("vertex {v} out of range"));
+            }
+            if self.position[v as usize] as usize != pos {
+                return Err(format!(
+                    "views disagree: order[{pos}] = {v} but position[{v}] = {}",
+                    self.position[v as usize]
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_roundtrip() {
+        let p = Permutation::identity(5);
+        assert!(p.is_identity());
+        assert_eq!(p.len(), 5);
+        assert_eq!(p.position(3), 3);
+        assert_eq!(p.vertex_at(3), 3);
+        p.validate().unwrap();
+    }
+
+    #[test]
+    fn from_order_and_positions_agree() {
+        let p1 = Permutation::from_order(vec![2, 0, 1]);
+        // vertex 2 at pos 0, vertex 0 at pos 1, vertex 1 at pos 2
+        assert_eq!(p1.position(2), 0);
+        assert_eq!(p1.position(0), 1);
+        assert_eq!(p1.position(1), 2);
+        let p2 = Permutation::from_positions(vec![1, 2, 0]);
+        assert_eq!(p1, p2);
+        p1.validate().unwrap();
+    }
+
+    #[test]
+    #[should_panic(expected = "appears twice")]
+    fn duplicate_vertex_rejected() {
+        Permutation::from_order(vec![0, 0, 1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_rejected() {
+        Permutation::from_order(vec![0, 3]);
+    }
+
+    #[test]
+    fn inverse_composes_to_identity() {
+        let p = Permutation::from_order(vec![3, 1, 0, 2]);
+        let inv = p.inverse();
+        assert!(p.then(&inv).is_identity());
+        assert!(inv.then(&p).is_identity());
+    }
+
+    #[test]
+    fn reversed_flips_positions() {
+        let p = Permutation::from_order(vec![0, 1, 2]);
+        let r = p.reversed();
+        assert_eq!(r.order(), &[2, 1, 0]);
+        assert_eq!(r.position(0), 2);
+    }
+
+    #[test]
+    fn from_float_keys_sorts_ascending_stable() {
+        let p = Permutation::from_float_keys(&[2.0, 1.0, 2.0, 0.5]);
+        assert_eq!(p.order(), &[3, 1, 0, 2]); // ties broken by id
+    }
+
+    #[test]
+    fn then_composition_order() {
+        // p sends v to position v+1 mod 3; q reverses.
+        let p = Permutation::from_positions(vec![1, 2, 0]);
+        let q = Permutation::from_order(vec![2, 1, 0]);
+        let c = p.then(&q);
+        for v in 0..3u32 {
+            assert_eq!(c.position(v), q.position(p.position(v)));
+        }
+    }
+}

@@ -1,0 +1,238 @@
+//! Strongly connected components (iterative Tarjan) and graph
+//! condensation.
+//!
+//! Paper §III frames order optimization as the Maximum Acyclic Subgraph
+//! problem: on a DAG, topological order achieves the metric optimum
+//! `M = |E|`. Condensing SCCs yields the DAG skeleton of any directed
+//! graph — every *inter*-SCC edge can be made positive by ordering the
+//! condensation topologically, which the `SccTopoOrder` baseline in
+//! `gograph-reorder` exploits.
+
+use crate::csr::CsrGraph;
+use crate::types::VertexId;
+
+/// Result of an SCC decomposition.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SccDecomposition {
+    /// `component[v]` — the SCC id of vertex `v`. Ids are assigned in
+    /// *reverse topological order of discovery*: Tarjan emits sinks
+    /// first, so component 0 is a sink of the condensation.
+    pub component: Vec<u32>,
+    /// Number of SCCs.
+    pub count: usize,
+}
+
+impl SccDecomposition {
+    /// Members of each component, ascending vertex id.
+    pub fn members(&self) -> Vec<Vec<VertexId>> {
+        let mut out = vec![Vec::new(); self.count];
+        for (v, &c) in self.component.iter().enumerate() {
+            out[c as usize].push(v as VertexId);
+        }
+        out
+    }
+
+    /// Size of each component.
+    pub fn sizes(&self) -> Vec<usize> {
+        let mut sizes = vec![0usize; self.count];
+        for &c in &self.component {
+            sizes[c as usize] += 1;
+        }
+        sizes
+    }
+}
+
+/// Iterative Tarjan SCC (explicit stack — no recursion, safe on deep
+/// graphs like long chains).
+pub fn strongly_connected_components(g: &CsrGraph) -> SccDecomposition {
+    let n = g.num_vertices();
+    const UNVISITED: u32 = u32::MAX;
+    let mut index = vec![UNVISITED; n];
+    let mut lowlink = vec![0u32; n];
+    let mut on_stack = vec![false; n];
+    let mut component = vec![UNVISITED; n];
+    let mut stack: Vec<VertexId> = Vec::new();
+    let mut next_index = 0u32;
+    let mut count = 0u32;
+
+    // Explicit DFS frames: (vertex, next out-neighbor offset).
+    let mut frames: Vec<(VertexId, usize)> = Vec::new();
+
+    for root in 0..n as u32 {
+        if index[root as usize] != UNVISITED {
+            continue;
+        }
+        frames.push((root, 0));
+        while let Some(&mut (v, ref mut ei)) = frames.last_mut() {
+            if *ei == 0 {
+                // First visit.
+                index[v as usize] = next_index;
+                lowlink[v as usize] = next_index;
+                next_index += 1;
+                stack.push(v);
+                on_stack[v as usize] = true;
+            }
+            let outs = g.out_neighbors(v);
+            let mut descended = false;
+            while *ei < outs.len() {
+                let w = outs[*ei];
+                *ei += 1;
+                if index[w as usize] == UNVISITED {
+                    frames.push((w, 0));
+                    descended = true;
+                    break;
+                } else if on_stack[w as usize] {
+                    lowlink[v as usize] = lowlink[v as usize].min(index[w as usize]);
+                }
+            }
+            if descended {
+                continue;
+            }
+            // v is finished.
+            if lowlink[v as usize] == index[v as usize] {
+                loop {
+                    let w = stack.pop().expect("tarjan stack underflow");
+                    on_stack[w as usize] = false;
+                    component[w as usize] = count;
+                    if w == v {
+                        break;
+                    }
+                }
+                count += 1;
+            }
+            frames.pop();
+            if let Some(&mut (parent, _)) = frames.last_mut() {
+                lowlink[parent as usize] =
+                    lowlink[parent as usize].min(lowlink[v as usize]);
+            }
+        }
+    }
+
+    SccDecomposition {
+        component,
+        count: count as usize,
+    }
+}
+
+/// Builds the condensation DAG: one vertex per SCC, an edge `(a, b)` with
+/// weight = the number of original edges from SCC `a` to SCC `b`.
+/// Self-edges (intra-SCC) are dropped.
+pub fn condensation(g: &CsrGraph, scc: &SccDecomposition) -> CsrGraph {
+    let mut b = crate::builder::GraphBuilder::with_capacity(scc.count, 0);
+    b.reserve_vertices(scc.count);
+    // Count multiplicities so the condensation edge weight is the number
+    // of underlying edges (the MAS objective weights).
+    let mut counts = std::collections::HashMap::new();
+    for e in g.edges() {
+        let ca = scc.component[e.src as usize];
+        let cb = scc.component[e.dst as usize];
+        if ca != cb {
+            *counts.entry((ca, cb)).or_insert(0u64) += 1;
+        }
+    }
+    let mut entries: Vec<((u32, u32), u64)> = counts.into_iter().collect();
+    entries.sort_unstable_by_key(|&(k, _)| k);
+    for ((a, c), w) in entries {
+        b.add_edge(a, c, w as f64);
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::regular::{chain, cycle, layered_dag};
+    use crate::traversal::topological_sort;
+
+    #[test]
+    fn chain_has_n_singleton_sccs() {
+        let g = chain(5);
+        let scc = strongly_connected_components(&g);
+        assert_eq!(scc.count, 5);
+        assert_eq!(scc.sizes(), vec![1; 5]);
+    }
+
+    #[test]
+    fn cycle_is_one_scc() {
+        let g = cycle(6);
+        let scc = strongly_connected_components(&g);
+        assert_eq!(scc.count, 1);
+        assert!(scc.component.iter().all(|&c| c == 0));
+    }
+
+    #[test]
+    fn two_cycles_bridged() {
+        // cycle {0,1,2} -> bridge -> cycle {3,4}
+        let g = CsrGraph::from_edges(
+            5,
+            [(0u32, 1u32), (1, 2), (2, 0), (2, 3), (3, 4), (4, 3)],
+        );
+        let scc = strongly_connected_components(&g);
+        assert_eq!(scc.count, 2);
+        assert_eq!(scc.component[0], scc.component[1]);
+        assert_eq!(scc.component[0], scc.component[2]);
+        assert_eq!(scc.component[3], scc.component[4]);
+        assert_ne!(scc.component[0], scc.component[3]);
+    }
+
+    #[test]
+    fn condensation_is_acyclic_with_edge_counts() {
+        let g = CsrGraph::from_edges(
+            5,
+            [
+                (0u32, 1u32),
+                (1, 0), // SCC {0,1}
+                (0, 2),
+                (1, 2), // two edges into {2}
+                (2, 3),
+                (3, 4),
+                (4, 3), // SCC {3,4}
+            ],
+        );
+        let scc = strongly_connected_components(&g);
+        assert_eq!(scc.count, 3);
+        let dag = condensation(&g, &scc);
+        assert_eq!(dag.num_vertices(), 3);
+        assert!(topological_sort(&dag).is_some(), "condensation must be a DAG");
+        // The {0,1} -> {2} super-edge has weight 2.
+        let a = scc.component[0];
+        let b = scc.component[2];
+        assert_eq!(dag.edge_weight(a, b), Some(2.0));
+    }
+
+    #[test]
+    fn tarjan_ids_are_reverse_topological() {
+        // In Tarjan, a component's id is assigned when it is popped —
+        // sinks pop first. So edges in the condensation go from higher
+        // ids to lower ids.
+        let g = chain(4);
+        let scc = strongly_connected_components(&g);
+        for e in g.edges() {
+            assert!(
+                scc.component[e.src as usize] > scc.component[e.dst as usize],
+                "chain edge should go high -> low component id"
+            );
+        }
+    }
+
+    #[test]
+    fn deep_chain_no_stack_overflow() {
+        let g = chain(200_000);
+        let scc = strongly_connected_components(&g);
+        assert_eq!(scc.count, 200_000);
+    }
+
+    #[test]
+    fn dag_components_are_singletons() {
+        let g = layered_dag(4, 3);
+        let scc = strongly_connected_components(&g);
+        assert_eq!(scc.count, 12);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let scc = strongly_connected_components(&CsrGraph::empty(0));
+        assert_eq!(scc.count, 0);
+        assert!(condensation(&CsrGraph::empty(0), &scc).num_vertices() == 0);
+    }
+}

@@ -1,0 +1,265 @@
+//! Graph traversals: BFS / DFS visit orders, multi-source BFS, and
+//! weakly-connected components. GoGraph's conquer phase selects insertion
+//! candidates in BFS order for locality (paper §IV-A), and Rabbit-order
+//! lays communities out in BFS order.
+
+use crate::csr::CsrGraph;
+use crate::types::{Direction, VertexId};
+use std::collections::VecDeque;
+
+/// Vertices in BFS order from `source`, following `dir` edges.
+/// Unreachable vertices are not included.
+pub fn bfs_order(g: &CsrGraph, source: VertexId, dir: Direction) -> Vec<VertexId> {
+    bfs_order_multi(g, std::slice::from_ref(&source), dir)
+}
+
+/// BFS from several sources at once (their union of reachable sets, in
+/// wavefront order).
+pub fn bfs_order_multi(g: &CsrGraph, sources: &[VertexId], dir: Direction) -> Vec<VertexId> {
+    let n = g.num_vertices();
+    let mut visited = vec![false; n];
+    let mut order = Vec::new();
+    let mut queue = VecDeque::new();
+    for &s in sources {
+        if !visited[s as usize] {
+            visited[s as usize] = true;
+            queue.push_back(s);
+        }
+    }
+    while let Some(v) = queue.pop_front() {
+        order.push(v);
+        for &w in g.neighbors(v, dir) {
+            if !visited[w as usize] {
+                visited[w as usize] = true;
+                queue.push_back(w);
+            }
+        }
+    }
+    order
+}
+
+/// BFS over the *undirected* view (both edge directions), covering every
+/// vertex: restarts from the smallest unvisited vertex. Returns a complete
+/// visit order of all `n` vertices.
+pub fn bfs_order_undirected_full(g: &CsrGraph, start: VertexId) -> Vec<VertexId> {
+    let n = g.num_vertices();
+    let mut visited = vec![false; n];
+    let mut order = Vec::with_capacity(n);
+    let mut queue = VecDeque::new();
+    let mut next_restart = 0usize;
+
+    let push = |v: VertexId, visited: &mut Vec<bool>, queue: &mut VecDeque<VertexId>| {
+        if !visited[v as usize] {
+            visited[v as usize] = true;
+            queue.push_back(v);
+        }
+    };
+    if n == 0 {
+        return order;
+    }
+    push(start.min(n as u32 - 1), &mut visited, &mut queue);
+    loop {
+        while let Some(v) = queue.pop_front() {
+            order.push(v);
+            for &w in g.out_neighbors(v) {
+                push(w, &mut visited, &mut queue);
+            }
+            for &w in g.in_neighbors(v) {
+                push(w, &mut visited, &mut queue);
+            }
+        }
+        while next_restart < n && visited[next_restart] {
+            next_restart += 1;
+        }
+        if next_restart == n {
+            break;
+        }
+        push(next_restart as VertexId, &mut visited, &mut queue);
+    }
+    order
+}
+
+/// Vertices in preorder DFS from `source` following `dir` edges
+/// (iterative, neighbor order preserved).
+pub fn dfs_order(g: &CsrGraph, source: VertexId, dir: Direction) -> Vec<VertexId> {
+    let n = g.num_vertices();
+    let mut visited = vec![false; n];
+    let mut order = Vec::new();
+    let mut stack = vec![source];
+    while let Some(v) = stack.pop() {
+        if visited[v as usize] {
+            continue;
+        }
+        visited[v as usize] = true;
+        order.push(v);
+        // Push reversed so the smallest neighbor is visited first.
+        let nbrs = g.neighbors(v, dir);
+        for &w in nbrs.iter().rev() {
+            if !visited[w as usize] {
+                stack.push(w);
+            }
+        }
+    }
+    order
+}
+
+/// BFS distance (hop count) from `source` to every vertex; `u32::MAX`
+/// marks unreachable vertices. Used by tests as the ground truth for the
+/// engine's BFS algorithm.
+pub fn bfs_distances(g: &CsrGraph, source: VertexId) -> Vec<u32> {
+    let n = g.num_vertices();
+    let mut dist = vec![u32::MAX; n];
+    let mut queue = VecDeque::new();
+    dist[source as usize] = 0;
+    queue.push_back(source);
+    while let Some(v) = queue.pop_front() {
+        let d = dist[v as usize];
+        for &w in g.out_neighbors(v) {
+            if dist[w as usize] == u32::MAX {
+                dist[w as usize] = d + 1;
+                queue.push_back(w);
+            }
+        }
+    }
+    dist
+}
+
+/// Weakly-connected components: returns `(component_id per vertex,
+/// component count)`. Component ids are dense, assigned in order of the
+/// smallest vertex in each component.
+pub fn weakly_connected_components(g: &CsrGraph) -> (Vec<u32>, usize) {
+    let n = g.num_vertices();
+    let mut comp = vec![u32::MAX; n];
+    let mut next = 0u32;
+    let mut queue = VecDeque::new();
+    for v in 0..n {
+        if comp[v] != u32::MAX {
+            continue;
+        }
+        comp[v] = next;
+        queue.push_back(v as VertexId);
+        while let Some(u) = queue.pop_front() {
+            for &w in g.out_neighbors(u).iter().chain(g.in_neighbors(u)) {
+                if comp[w as usize] == u32::MAX {
+                    comp[w as usize] = next;
+                    queue.push_back(w);
+                }
+            }
+        }
+        next += 1;
+    }
+    (comp, next as usize)
+}
+
+/// Kahn's topological sort. Returns `None` if the graph has a cycle.
+/// On DAGs this order achieves the metric optimum `M(O) = |E|` (paper
+/// §III).
+pub fn topological_sort(g: &CsrGraph) -> Option<Vec<VertexId>> {
+    let n = g.num_vertices();
+    let mut indeg: Vec<usize> = (0..n as u32).map(|v| g.in_degree(v)).collect();
+    let mut queue: VecDeque<VertexId> = (0..n as u32).filter(|&v| indeg[v as usize] == 0).collect();
+    let mut order = Vec::with_capacity(n);
+    while let Some(v) = queue.pop_front() {
+        order.push(v);
+        for &w in g.out_neighbors(v) {
+            indeg[w as usize] -= 1;
+            if indeg[w as usize] == 0 {
+                queue.push_back(w);
+            }
+        }
+    }
+    if order.len() == n {
+        Some(order)
+    } else {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::regular::{binary_tree, chain, cycle, grid, layered_dag};
+
+    #[test]
+    fn bfs_on_tree_is_level_order() {
+        let g = binary_tree(7);
+        assert_eq!(bfs_order(&g, 0, Direction::Out), vec![0, 1, 2, 3, 4, 5, 6]);
+    }
+
+    #[test]
+    fn dfs_on_tree_is_preorder() {
+        let g = binary_tree(7);
+        assert_eq!(dfs_order(&g, 0, Direction::Out), vec![0, 1, 3, 4, 2, 5, 6]);
+    }
+
+    #[test]
+    fn bfs_in_direction() {
+        let g = chain(4);
+        assert_eq!(bfs_order(&g, 3, Direction::In), vec![3, 2, 1, 0]);
+        assert_eq!(bfs_order(&g, 0, Direction::In), vec![0]);
+    }
+
+    #[test]
+    fn bfs_distances_on_grid() {
+        let g = grid(3, 3);
+        let d = bfs_distances(&g, 0);
+        assert_eq!(d[0], 0);
+        assert_eq!(d[4], 2); // center
+        assert_eq!(d[8], 4); // opposite corner
+    }
+
+    #[test]
+    fn bfs_distances_unreachable() {
+        let g = chain(3);
+        let d = bfs_distances(&g, 2);
+        assert_eq!(d[2], 0);
+        assert_eq!(d[0], u32::MAX);
+    }
+
+    #[test]
+    fn full_undirected_bfs_covers_everything() {
+        // two disjoint chains
+        let g = CsrGraph::from_edges(6, [(0u32, 1u32), (1, 2), (3, 4), (4, 5)]);
+        let order = bfs_order_undirected_full(&g, 0);
+        assert_eq!(order.len(), 6);
+        let mut sorted = order.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, vec![0, 1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn wcc_counts_components() {
+        let g = CsrGraph::from_edges(7, [(0u32, 1u32), (1, 2), (3, 4)]);
+        let (comp, count) = weakly_connected_components(&g);
+        assert_eq!(count, 4); // {0,1,2}, {3,4}, {5}, {6}
+        assert_eq!(comp[0], comp[2]);
+        assert_eq!(comp[3], comp[4]);
+        assert_ne!(comp[0], comp[3]);
+        assert_ne!(comp[5], comp[6]);
+    }
+
+    #[test]
+    fn topo_sort_on_dag() {
+        let g = layered_dag(3, 2);
+        let order = topological_sort(&g).unwrap();
+        let mut pos = vec![0usize; 6];
+        for (i, &v) in order.iter().enumerate() {
+            pos[v as usize] = i;
+        }
+        for e in g.edges() {
+            assert!(pos[e.src as usize] < pos[e.dst as usize]);
+        }
+    }
+
+    #[test]
+    fn topo_sort_detects_cycle() {
+        assert!(topological_sort(&cycle(3)).is_none());
+    }
+
+    #[test]
+    fn multi_source_bfs() {
+        let g = chain(6);
+        let order = bfs_order_multi(&g, &[0, 3], Direction::Out);
+        assert_eq!(order, vec![0, 3, 1, 4, 2, 5]);
+    }
+}

@@ -1,0 +1,115 @@
+//! Fundamental identifier and weight types shared across the workspace.
+//!
+//! Vertex identifiers are 32-bit (the paper's graphs top out at ~4M
+//! vertices; 32-bit halves the memory traffic of adjacency scans, which
+//! matters for the cache behaviour the paper evaluates in Figs. 9–10).
+
+use serde::{Deserialize, Serialize};
+
+/// A vertex identifier: a dense index in `0..num_vertices`.
+pub type VertexId = u32;
+
+/// An edge identifier: a dense index in `0..num_edges` in CSR out-edge order.
+pub type EdgeId = usize;
+
+/// Edge weight. SSSP/SSWP interpret this as a distance/capacity;
+/// PageRank-family algorithms ignore it.
+pub type Weight = f64;
+
+/// A directed, weighted edge `(src, dst, weight)`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Edge {
+    /// Source vertex.
+    pub src: VertexId,
+    /// Destination vertex.
+    pub dst: VertexId,
+    /// Edge weight (1.0 for unweighted graphs).
+    pub weight: Weight,
+}
+
+impl Edge {
+    /// Creates a new weighted edge.
+    #[inline]
+    pub fn new(src: VertexId, dst: VertexId, weight: Weight) -> Self {
+        Edge { src, dst, weight }
+    }
+
+    /// Creates an unweighted (weight = 1.0) edge.
+    #[inline]
+    pub fn unweighted(src: VertexId, dst: VertexId) -> Self {
+        Edge::new(src, dst, 1.0)
+    }
+
+    /// Returns the edge with endpoints swapped.
+    #[inline]
+    pub fn reversed(self) -> Self {
+        Edge::new(self.dst, self.src, self.weight)
+    }
+}
+
+impl From<(VertexId, VertexId)> for Edge {
+    fn from((src, dst): (VertexId, VertexId)) -> Self {
+        Edge::unweighted(src, dst)
+    }
+}
+
+impl From<(VertexId, VertexId, Weight)> for Edge {
+    fn from((src, dst, weight): (VertexId, VertexId, Weight)) -> Self {
+        Edge::new(src, dst, weight)
+    }
+}
+
+/// Direction of an adjacency scan.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Direction {
+    /// Follow out-edges (`v -> w`).
+    Out,
+    /// Follow in-edges (`u -> v` viewed from `v`).
+    In,
+}
+
+impl Direction {
+    /// The opposite direction.
+    #[inline]
+    pub fn reversed(self) -> Self {
+        match self {
+            Direction::Out => Direction::In,
+            Direction::In => Direction::Out,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn edge_constructors() {
+        let e = Edge::new(1, 2, 3.5);
+        assert_eq!(e.src, 1);
+        assert_eq!(e.dst, 2);
+        assert_eq!(e.weight, 3.5);
+        let u = Edge::unweighted(4, 5);
+        assert_eq!(u.weight, 1.0);
+    }
+
+    #[test]
+    fn edge_reversed_swaps_endpoints() {
+        let e = Edge::new(1, 2, 9.0).reversed();
+        assert_eq!((e.src, e.dst, e.weight), (2, 1, 9.0));
+    }
+
+    #[test]
+    fn edge_from_tuples() {
+        let e: Edge = (3u32, 7u32).into();
+        assert_eq!((e.src, e.dst, e.weight), (3, 7, 1.0));
+        let w: Edge = (3u32, 7u32, 0.25).into();
+        assert_eq!((w.src, w.dst, w.weight), (3, 7, 0.25));
+    }
+
+    #[test]
+    fn direction_reversed() {
+        assert_eq!(Direction::Out.reversed(), Direction::In);
+        assert_eq!(Direction::In.reversed(), Direction::Out);
+    }
+}

@@ -1,0 +1,38 @@
+//! # gograph-partition
+//!
+//! Graph partitioning / community detection substrate for the GoGraph
+//! reproduction. GoGraph's divide phase (paper §IV-A) requires "as many
+//! edges as possible within the subgraph and as few edges as possible
+//! between subgraphs"; this crate supplies the four partitioners the
+//! paper evaluates (Fig. 13) plus trivial baselines for ablations:
+//!
+//! - [`rabbit::RabbitPartition`] — the default (paper ref. \[44\]),
+//! - [`louvain::Louvain`] — modularity optimization (ref. \[42\]),
+//! - [`metis::MetisLike`] — multilevel k-way (ref. \[43\]),
+//! - [`fennel::Fennel`] — streaming (ref. \[51\]),
+//! - [`trivial`] — chunked / random / none.
+//!
+//! All partitioners implement the [`Partitioner`] trait and return a
+//! [`Partitioning`]; quality is measured by [`quality`] metrics.
+
+#![warn(missing_docs)]
+
+pub mod fennel;
+pub mod louvain;
+pub mod lpa;
+pub mod metis;
+pub mod partitioning;
+pub mod quality;
+pub mod rabbit;
+pub mod trivial;
+pub mod undirected;
+
+pub use fennel::Fennel;
+pub use louvain::Louvain;
+pub use lpa::LabelPropagation;
+pub use metis::MetisLike;
+pub use partitioning::{Partitioner, Partitioning};
+pub use quality::{edge_cut, intra_edge_fraction, modularity};
+pub use rabbit::RabbitPartition;
+pub use trivial::{ChunkPartitioner, NoPartitioner, RandomPartitioner};
+pub use undirected::UndirectedView;

@@ -1,0 +1,308 @@
+//! Louvain community detection (Blondel et al., paper ref. \[42\]).
+//!
+//! Full two-phase implementation: (1) local moving — each vertex greedily
+//! joins the neighbor community with the largest modularity gain until no
+//! move improves Q; (2) aggregation — communities become super-vertices
+//! and the process repeats on the condensed graph until Q stops improving.
+
+use crate::partitioning::{Partitioner, Partitioning};
+use crate::undirected::UndirectedView;
+use gograph_graph::CsrGraph;
+
+/// Louvain partitioner with optional resolution and level cap.
+#[derive(Debug, Clone, Copy)]
+pub struct Louvain {
+    /// Resolution parameter (1.0 = classic modularity; larger values yield
+    /// more, smaller communities).
+    pub resolution: f64,
+    /// Maximum number of aggregation levels (safety cap).
+    pub max_levels: usize,
+    /// Minimum modularity improvement to continue a local-move sweep.
+    pub min_gain: f64,
+}
+
+impl Default for Louvain {
+    fn default() -> Self {
+        Louvain {
+            resolution: 1.0,
+            max_levels: 16,
+            min_gain: 1e-7,
+        }
+    }
+}
+
+/// Internal weighted undirected multigraph used across aggregation levels.
+struct Level {
+    adj: Vec<Vec<(u32, f64)>>,
+    loops: Vec<f64>,
+    degree: Vec<f64>,
+    total_weight: f64,
+}
+
+impl Level {
+    fn from_view(view: &UndirectedView) -> Self {
+        let n = view.num_vertices();
+        let adj: Vec<Vec<(u32, f64)>> = (0..n as u32).map(|u| view.neighbors(u).to_vec()).collect();
+        let loops: Vec<f64> = (0..n as u32).map(|u| view.loop_weight(u)).collect();
+        let degree: Vec<f64> = (0..n as u32).map(|u| view.weighted_degree(u)).collect();
+        Level {
+            adj,
+            loops,
+            degree,
+            total_weight: view.total_weight(),
+        }
+    }
+
+    fn num_vertices(&self) -> usize {
+        self.adj.len()
+    }
+
+    /// One full local-moving phase. Returns the community assignment and
+    /// whether any vertex moved.
+    fn local_move(&self, resolution: f64, min_gain: f64) -> (Vec<u32>, bool) {
+        let n = self.num_vertices();
+        let m = self.total_weight;
+        let mut community: Vec<u32> = (0..n as u32).collect();
+        // Sum of degrees per community.
+        let mut comm_degree: Vec<f64> = self.degree.clone();
+        let mut moved_any = false;
+        if m == 0.0 {
+            return (community, false);
+        }
+        let mut improved = true;
+        let mut neighbor_weights: Vec<f64> = vec![0.0; n];
+        let mut touched: Vec<u32> = Vec::new();
+        let mut sweeps = 0;
+        while improved && sweeps < 32 {
+            improved = false;
+            sweeps += 1;
+            for u in 0..n {
+                let cu = community[u];
+                let ku = self.degree[u];
+                // Weights from u to each neighboring community.
+                touched.clear();
+                for &(v, w) in &self.adj[u] {
+                    let cv = community[v as usize];
+                    if neighbor_weights[cv as usize] == 0.0 {
+                        touched.push(cv);
+                    }
+                    neighbor_weights[cv as usize] += w;
+                }
+                // Remove u from its community for gain computation.
+                comm_degree[cu as usize] -= ku;
+                let base_w = neighbor_weights[cu as usize];
+                let base_gain = base_w - resolution * comm_degree[cu as usize] * ku / (2.0 * m);
+                let mut best_c = cu;
+                let mut best_gain = base_gain;
+                for &c in &touched {
+                    if c == cu {
+                        continue;
+                    }
+                    let gain = neighbor_weights[c as usize]
+                        - resolution * comm_degree[c as usize] * ku / (2.0 * m);
+                    if gain > best_gain + min_gain {
+                        best_gain = gain;
+                        best_c = c;
+                    }
+                }
+                comm_degree[best_c as usize] += ku;
+                if best_c != cu {
+                    community[u] = best_c;
+                    improved = true;
+                    moved_any = true;
+                }
+                for &c in &touched {
+                    neighbor_weights[c as usize] = 0.0;
+                }
+            }
+        }
+        (community, moved_any)
+    }
+
+    /// Aggregates communities into super-vertices. `community` must use
+    /// dense ids `0..k`.
+    fn aggregate(&self, community: &[u32], k: usize) -> Level {
+        let mut adj_maps: Vec<Vec<(u32, f64)>> = vec![Vec::new(); k];
+        let mut loops = vec![0.0f64; k];
+        for u in 0..self.num_vertices() {
+            let cu = community[u];
+            loops[cu as usize] += self.loops[u];
+            for &(v, w) in &self.adj[u] {
+                let cv = community[v as usize];
+                if cv == cu {
+                    // Each undirected intra-edge visited from both ends;
+                    // halve to count once as a loop.
+                    loops[cu as usize] += w / 2.0;
+                } else {
+                    adj_maps[cu as usize].push((cv, w));
+                }
+            }
+        }
+        let mut degree = vec![0.0f64; k];
+        for (c, list) in adj_maps.iter_mut().enumerate() {
+            list.sort_unstable_by_key(|&(v, _)| v);
+            let mut merged: Vec<(u32, f64)> = Vec::with_capacity(list.len());
+            for &(v, w) in list.iter() {
+                match merged.last_mut() {
+                    Some(last) if last.0 == v => last.1 += w,
+                    _ => merged.push((v, w)),
+                }
+            }
+            *list = merged;
+            degree[c] = list.iter().map(|&(_, w)| w).sum::<f64>() + 2.0 * loops[c];
+        }
+        Level {
+            adj: adj_maps,
+            loops,
+            degree,
+            total_weight: self.total_weight,
+        }
+    }
+}
+
+fn compact(community: &mut [u32]) -> usize {
+    let mut remap = vec![u32::MAX; community.len()];
+    let mut next = 0u32;
+    for c in community.iter_mut() {
+        if remap[*c as usize] == u32::MAX {
+            remap[*c as usize] = next;
+            next += 1;
+        }
+        *c = remap[*c as usize];
+    }
+    next as usize
+}
+
+impl Louvain {
+    /// Runs Louvain on `g`, returning the final community partitioning.
+    pub fn run(&self, g: &CsrGraph) -> Partitioning {
+        let n = g.num_vertices();
+        if n == 0 {
+            return Partitioning::single(0);
+        }
+        let view = UndirectedView::from_graph(g);
+        let mut level = Level::from_view(&view);
+        // vertex -> community at the *finest* level, updated each round.
+        let mut membership: Vec<u32> = (0..n as u32).collect();
+        for _ in 0..self.max_levels {
+            let (mut community, moved) = level.local_move(self.resolution, self.min_gain);
+            if !moved {
+                break;
+            }
+            let k = compact(&mut community);
+            for c in membership.iter_mut() {
+                *c = community[*c as usize];
+            }
+            if k == level.num_vertices() {
+                break;
+            }
+            level = level.aggregate(&community, k);
+        }
+        let k = compact(&mut membership);
+        Partitioning::new(membership, k.max(1))
+    }
+}
+
+impl Partitioner for Louvain {
+    fn name(&self) -> &'static str {
+        "louvain"
+    }
+
+    fn partition(&self, g: &CsrGraph) -> Partitioning {
+        self.run(g)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::quality::modularity;
+    use gograph_graph::generators::{planted_partition, PlantedPartitionConfig};
+    use gograph_graph::GraphBuilder;
+
+    fn cliques(k: usize, size: usize, bridge: bool) -> CsrGraph {
+        let mut b = GraphBuilder::new();
+        for c in 0..k {
+            let base = (c * size) as u32;
+            for i in 0..size as u32 {
+                for j in 0..size as u32 {
+                    if i != j {
+                        b.add_edge(base + i, base + j, 1.0);
+                    }
+                }
+            }
+            if bridge && c + 1 < k {
+                b.add_edge(base, base + size as u32, 1.0);
+            }
+        }
+        b.build()
+    }
+
+    #[test]
+    fn recovers_cliques() {
+        let g = cliques(4, 6, true);
+        let p = Louvain::default().run(&g);
+        assert_eq!(p.num_parts(), 4);
+        // all members of a clique share a community
+        for c in 0..4usize {
+            let first = p.part_of((c * 6) as u32);
+            for i in 0..6 {
+                assert_eq!(p.part_of((c * 6 + i) as u32), first);
+            }
+        }
+    }
+
+    #[test]
+    fn modularity_positive_on_community_graph() {
+        let g = planted_partition(PlantedPartitionConfig {
+            num_vertices: 800,
+            num_edges: 6000,
+            communities: 8,
+            p_intra: 0.9,
+            gamma: 2.5,
+            seed: 3,
+        });
+        let p = Louvain::default().run(&g);
+        let q = modularity(&g, &p);
+        assert!(q > 0.3, "Q = {q}, parts = {}", p.num_parts());
+    }
+
+    #[test]
+    fn handles_empty_and_edgeless() {
+        let p = Louvain::default().run(&CsrGraph::empty(5));
+        assert_eq!(p.num_vertices(), 5);
+        assert!(p.num_parts() >= 1);
+        let p0 = Louvain::default().run(&CsrGraph::empty(0));
+        assert_eq!(p0.num_vertices(), 0);
+    }
+
+    #[test]
+    fn deterministic() {
+        let g = cliques(3, 5, true);
+        let l = Louvain::default();
+        assert_eq!(l.run(&g), l.run(&g));
+    }
+
+    #[test]
+    fn higher_resolution_gives_more_communities() {
+        let g = planted_partition(PlantedPartitionConfig {
+            num_vertices: 400,
+            num_edges: 3000,
+            communities: 4,
+            p_intra: 0.85,
+            gamma: 2.5,
+            seed: 11,
+        });
+        let coarse = Louvain {
+            resolution: 0.5,
+            ..Default::default()
+        }
+        .run(&g);
+        let fine = Louvain {
+            resolution: 4.0,
+            ..Default::default()
+        }
+        .run(&g);
+        assert!(fine.num_parts() >= coarse.num_parts());
+    }
+}

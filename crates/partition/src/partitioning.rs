@@ -1,0 +1,184 @@
+//! The [`Partitioning`] result type shared by every partitioner, plus the
+//! [`Partitioner`] trait that GoGraph's divide phase is parameterized on
+//! (paper Fig. 13 swaps Rabbit-partition / Metis / Louvain / Fennel).
+
+use gograph_graph::{CsrGraph, VertexId};
+
+/// An assignment of every vertex to one of `num_parts` parts.
+///
+/// Part ids are dense in `0..num_parts`; empty parts are allowed only
+/// transiently and are removed by [`Partitioning::compacted`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Partitioning {
+    assignment: Vec<u32>,
+    num_parts: usize,
+}
+
+impl Partitioning {
+    /// Builds from a raw assignment vector.
+    ///
+    /// # Panics
+    /// Panics if any part id is `>= num_parts`.
+    pub fn new(assignment: Vec<u32>, num_parts: usize) -> Self {
+        for (v, &p) in assignment.iter().enumerate() {
+            assert!(
+                (p as usize) < num_parts,
+                "vertex {v} assigned to part {p} >= {num_parts}"
+            );
+        }
+        Partitioning {
+            assignment,
+            num_parts,
+        }
+    }
+
+    /// Puts every vertex in a single part.
+    pub fn single(n: usize) -> Self {
+        Partitioning {
+            assignment: vec![0; n],
+            num_parts: if n == 0 { 0 } else { 1 },
+        }
+    }
+
+    /// Puts vertex `v` in part `v` (each its own part).
+    pub fn singletons(n: usize) -> Self {
+        Partitioning {
+            assignment: (0..n as u32).collect(),
+            num_parts: n,
+        }
+    }
+
+    /// Number of vertices covered.
+    #[inline]
+    pub fn num_vertices(&self) -> usize {
+        self.assignment.len()
+    }
+
+    /// Number of parts.
+    #[inline]
+    pub fn num_parts(&self) -> usize {
+        self.num_parts
+    }
+
+    /// Part of vertex `v`.
+    #[inline]
+    pub fn part_of(&self, v: VertexId) -> u32 {
+        self.assignment[v as usize]
+    }
+
+    /// The raw assignment array.
+    #[inline]
+    pub fn assignment(&self) -> &[u32] {
+        &self.assignment
+    }
+
+    /// Vertices of each part, in ascending vertex order.
+    pub fn members(&self) -> Vec<Vec<VertexId>> {
+        let mut out = vec![Vec::new(); self.num_parts];
+        for (v, &p) in self.assignment.iter().enumerate() {
+            out[p as usize].push(v as VertexId);
+        }
+        out
+    }
+
+    /// Size of each part.
+    pub fn part_sizes(&self) -> Vec<usize> {
+        let mut sizes = vec![0usize; self.num_parts];
+        for &p in &self.assignment {
+            sizes[p as usize] += 1;
+        }
+        sizes
+    }
+
+    /// Renumbers part ids so they are dense (removes empty parts) and
+    /// ordered by first occurrence.
+    pub fn compacted(&self) -> Partitioning {
+        let mut remap = vec![u32::MAX; self.num_parts];
+        let mut next = 0u32;
+        let mut assignment = Vec::with_capacity(self.assignment.len());
+        for &p in &self.assignment {
+            if remap[p as usize] == u32::MAX {
+                remap[p as usize] = next;
+                next += 1;
+            }
+            assignment.push(remap[p as usize]);
+        }
+        Partitioning {
+            assignment,
+            num_parts: next as usize,
+        }
+    }
+
+    /// Ratio of the largest part to the ideal size `n / k` (1.0 = perfectly
+    /// balanced).
+    pub fn imbalance(&self) -> f64 {
+        if self.num_parts == 0 || self.assignment.is_empty() {
+            return 1.0;
+        }
+        let max = self.part_sizes().into_iter().max().unwrap_or(0);
+        let ideal = self.assignment.len() as f64 / self.num_parts as f64;
+        max as f64 / ideal
+    }
+}
+
+/// A graph partitioner / community detector usable in GoGraph's divide
+/// phase.
+pub trait Partitioner {
+    /// Human-readable name used in benchmark tables.
+    fn name(&self) -> &'static str;
+
+    /// Partitions `g`. Implementations must return a partitioning covering
+    /// exactly `g.num_vertices()` vertices with dense part ids.
+    fn partition(&self, g: &CsrGraph) -> Partitioning;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_and_singletons() {
+        let s = Partitioning::single(4);
+        assert_eq!(s.num_parts(), 1);
+        assert_eq!(s.part_sizes(), vec![4]);
+        let t = Partitioning::singletons(3);
+        assert_eq!(t.num_parts(), 3);
+        assert_eq!(t.part_of(2), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "assigned to part")]
+    fn out_of_range_part_rejected() {
+        Partitioning::new(vec![0, 2], 2);
+    }
+
+    #[test]
+    fn members_and_sizes() {
+        let p = Partitioning::new(vec![0, 1, 0, 1, 1], 2);
+        assert_eq!(p.members(), vec![vec![0, 2], vec![1, 3, 4]]);
+        assert_eq!(p.part_sizes(), vec![2, 3]);
+    }
+
+    #[test]
+    fn compaction_removes_empty_parts() {
+        let p = Partitioning::new(vec![3, 1, 3], 5);
+        let c = p.compacted();
+        assert_eq!(c.num_parts(), 2);
+        assert_eq!(c.assignment(), &[0, 1, 0]);
+    }
+
+    #[test]
+    fn imbalance_balanced_vs_skewed() {
+        let balanced = Partitioning::new(vec![0, 0, 1, 1], 2);
+        assert!((balanced.imbalance() - 1.0).abs() < 1e-12);
+        let skewed = Partitioning::new(vec![0, 0, 0, 1], 2);
+        assert!((skewed.imbalance() - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_partitioning() {
+        let p = Partitioning::single(0);
+        assert_eq!(p.num_parts(), 0);
+        assert_eq!(p.imbalance(), 1.0);
+    }
+}

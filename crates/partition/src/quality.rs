@@ -1,0 +1,118 @@
+//! Partition quality metrics: modularity, edge cut, intra-edge fraction.
+//!
+//! The paper's divide phase wants "as many edges as possible within the
+//! subgraph and as few edges as possible between subgraphs" (§IV-A);
+//! these metrics quantify exactly that and are used by tests and the
+//! Fig. 13 harness.
+
+use crate::partitioning::Partitioning;
+use crate::undirected::UndirectedView;
+use gograph_graph::CsrGraph;
+
+/// Newman modularity `Q` of a partitioning over the undirected view of
+/// `g`. Ranges in `[-0.5, 1.0)`; higher means stronger communities.
+pub fn modularity(g: &CsrGraph, p: &Partitioning) -> f64 {
+    let view = UndirectedView::from_graph(g);
+    modularity_of_view(&view, p)
+}
+
+/// Modularity given a prebuilt [`UndirectedView`].
+pub fn modularity_of_view(view: &UndirectedView, p: &Partitioning) -> f64 {
+    let m = view.total_weight();
+    if m == 0.0 {
+        return 0.0;
+    }
+    let k = p.num_parts();
+    let mut intra = vec![0.0f64; k]; // sum of intra-community edge weights
+    let mut degree = vec![0.0f64; k]; // sum of community degrees
+    for u in 0..view.num_vertices() as u32 {
+        let cu = p.part_of(u) as usize;
+        degree[cu] += view.weighted_degree(u);
+        intra[cu] += view.loop_weight(u);
+        for &(v, w) in view.neighbors(u) {
+            if v > u && p.part_of(v) as usize == cu {
+                intra[cu] += w;
+            }
+        }
+    }
+    let mut q = 0.0;
+    for c in 0..k {
+        q += intra[c] / m - (degree[c] / (2.0 * m)).powi(2);
+    }
+    q
+}
+
+/// Number of directed edges crossing between parts.
+pub fn edge_cut(g: &CsrGraph, p: &Partitioning) -> usize {
+    g.edges()
+        .filter(|e| p.part_of(e.src) != p.part_of(e.dst))
+        .count()
+}
+
+/// Fraction of directed edges that stay within a part (the quantity the
+/// divide phase maximizes). 1.0 when every edge is internal.
+pub fn intra_edge_fraction(g: &CsrGraph, p: &Partitioning) -> f64 {
+    let m = g.num_edges();
+    if m == 0 {
+        return 1.0;
+    }
+    1.0 - edge_cut(g, p) as f64 / m as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gograph_graph::generators::regular::complete;
+    use gograph_graph::GraphBuilder;
+
+    /// Two 4-cliques joined by one edge.
+    fn two_cliques() -> CsrGraph {
+        let mut b = GraphBuilder::new();
+        for u in 0..4u32 {
+            for v in 0..4u32 {
+                if u != v {
+                    b.add_edge(u, v, 1.0);
+                    b.add_edge(u + 4, v + 4, 1.0);
+                }
+            }
+        }
+        b.add_edge(0, 4, 1.0);
+        b.build()
+    }
+
+    #[test]
+    fn modularity_favors_true_communities() {
+        let g = two_cliques();
+        let good = Partitioning::new(vec![0, 0, 0, 0, 1, 1, 1, 1], 2);
+        let bad = Partitioning::new(vec![0, 1, 0, 1, 0, 1, 0, 1], 2);
+        let single = Partitioning::single(8);
+        assert!(modularity(&g, &good) > 0.3);
+        assert!(modularity(&g, &good) > modularity(&g, &bad));
+        // Single community has Q exactly 0 - (1)^2 + ... = 0.
+        assert!(modularity(&g, &single).abs() < 1e-9);
+    }
+
+    #[test]
+    fn edge_cut_counts_crossings() {
+        let g = two_cliques();
+        let good = Partitioning::new(vec![0, 0, 0, 0, 1, 1, 1, 1], 2);
+        assert_eq!(edge_cut(&g, &good), 1);
+        assert!((intra_edge_fraction(&g, &good) - (1.0 - 1.0 / 25.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn intra_fraction_extremes() {
+        let g = complete(4);
+        assert_eq!(intra_edge_fraction(&g, &Partitioning::single(4)), 1.0);
+        assert_eq!(intra_edge_fraction(&g, &Partitioning::singletons(4)), 0.0);
+        let empty = CsrGraph::empty(3);
+        assert_eq!(intra_edge_fraction(&empty, &Partitioning::single(3)), 1.0);
+    }
+
+    #[test]
+    fn modularity_of_singletons_is_negative_or_zero() {
+        let g = complete(5);
+        let q = modularity(&g, &Partitioning::singletons(5));
+        assert!(q < 0.0);
+    }
+}

@@ -1,0 +1,129 @@
+//! Trivial partitioners: contiguous chunking, random assignment, and the
+//! "no partitioning" singleton used by the Fig. 10 ablation (GoGraph
+//! without its divide phase).
+
+use crate::partitioning::{Partitioner, Partitioning};
+use gograph_graph::CsrGraph;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// Splits `0..n` into `num_parts` contiguous, balanced chunks.
+#[derive(Debug, Clone, Copy)]
+pub struct ChunkPartitioner {
+    /// Number of chunks.
+    pub num_parts: usize,
+}
+
+impl Partitioner for ChunkPartitioner {
+    fn name(&self) -> &'static str {
+        "chunk"
+    }
+
+    fn partition(&self, g: &CsrGraph) -> Partitioning {
+        let n = g.num_vertices();
+        if n == 0 {
+            return Partitioning::single(0);
+        }
+        let k = self.num_parts.clamp(1, n);
+        let chunk = n.div_ceil(k);
+        let assignment: Vec<u32> = (0..n).map(|v| (v / chunk) as u32).collect();
+        Partitioning::new(assignment, k).compacted()
+    }
+}
+
+/// Assigns each vertex to a uniformly random part (deterministic seed).
+#[derive(Debug, Clone, Copy)]
+pub struct RandomPartitioner {
+    /// Number of parts.
+    pub num_parts: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Partitioner for RandomPartitioner {
+    fn name(&self) -> &'static str {
+        "random"
+    }
+
+    fn partition(&self, g: &CsrGraph) -> Partitioning {
+        let n = g.num_vertices();
+        if n == 0 {
+            return Partitioning::single(0);
+        }
+        let k = self.num_parts.clamp(1, n);
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let assignment: Vec<u32> = (0..n).map(|_| rng.random_range(0..k as u32)).collect();
+        Partitioning::new(assignment, k).compacted()
+    }
+}
+
+/// Puts the whole graph in one part — GoGraph "without partitioning"
+/// (Fig. 10's ablation baseline).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoPartitioner;
+
+impl Partitioner for NoPartitioner {
+    fn name(&self) -> &'static str {
+        "none"
+    }
+
+    fn partition(&self, g: &CsrGraph) -> Partitioning {
+        Partitioning::single(g.num_vertices())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gograph_graph::generators::regular::chain;
+
+    #[test]
+    fn chunks_are_contiguous_and_balanced() {
+        let g = chain(10);
+        let p = ChunkPartitioner { num_parts: 3 }.partition(&g);
+        assert_eq!(p.num_parts(), 3);
+        assert_eq!(p.part_of(0), 0);
+        assert_eq!(p.part_of(9), 2);
+        // contiguity: part ids are nondecreasing over the vertex range
+        let a = p.assignment();
+        assert!(a.windows(2).all(|w| w[0] <= w[1]));
+        assert!(p.imbalance() <= 1.3);
+    }
+
+    #[test]
+    fn random_covers_parts() {
+        let g = chain(1000);
+        let p = RandomPartitioner {
+            num_parts: 4,
+            seed: 9,
+        }
+        .partition(&g);
+        assert_eq!(p.num_parts(), 4);
+        assert!(p.part_sizes().into_iter().all(|s| s > 150));
+    }
+
+    #[test]
+    fn random_is_deterministic() {
+        let g = chain(100);
+        let r = RandomPartitioner {
+            num_parts: 4,
+            seed: 7,
+        };
+        assert_eq!(r.partition(&g), r.partition(&g));
+    }
+
+    #[test]
+    fn none_is_single_part() {
+        let g = chain(5);
+        let p = NoPartitioner.partition(&g);
+        assert_eq!(p.num_parts(), 1);
+        assert_eq!(p.part_sizes(), vec![5]);
+    }
+
+    #[test]
+    fn chunk_clamps_excess_parts() {
+        let g = chain(3);
+        let p = ChunkPartitioner { num_parts: 10 }.partition(&g);
+        assert!(p.num_parts() <= 3);
+    }
+}

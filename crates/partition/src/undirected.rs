@@ -1,0 +1,132 @@
+//! Undirected weighted view of a directed graph.
+//!
+//! Community detection and partitioning treat the paper's directed graphs
+//! as undirected (Rabbit, Louvain, Metis and Fennel are all defined on
+//! undirected inputs). This module folds `(u,v)` and `(v,u)` into one
+//! weighted undirected edge and exposes adjacency suitable for modularity
+//! computations.
+
+use gograph_graph::{CsrGraph, VertexId};
+
+/// Weighted undirected adjacency: `adj[u]` lists `(v, w)` pairs with
+/// `u != v`, each undirected edge appearing in both endpoint lists.
+/// Self-loops contribute `loops[u]` (total weight, each loop counted once).
+#[derive(Debug, Clone, PartialEq)]
+pub struct UndirectedView {
+    adj: Vec<Vec<(VertexId, f64)>>,
+    loops: Vec<f64>,
+    total_weight: f64,
+}
+
+impl UndirectedView {
+    /// Builds the undirected view of `g`. Each directed edge contributes
+    /// weight 1 regardless of its stored weight (community structure cares
+    /// about topology, not distances); a pair of reciprocal edges thus
+    /// yields an undirected edge of weight 2.
+    pub fn from_graph(g: &CsrGraph) -> Self {
+        let n = g.num_vertices();
+        let mut adj: Vec<Vec<(VertexId, f64)>> = vec![Vec::new(); n];
+        let mut loops = vec![0.0; n];
+        for e in g.edges() {
+            if e.src == e.dst {
+                loops[e.src as usize] += 1.0;
+            } else {
+                adj[e.src as usize].push((e.dst, 1.0));
+                adj[e.dst as usize].push((e.src, 1.0));
+            }
+        }
+        // Merge parallel entries (u had both (u,v) and (v,u), or the
+        // builder kept distinct directed duplicates).
+        let mut total = 0.0;
+        for (u, list) in adj.iter_mut().enumerate() {
+            list.sort_unstable_by_key(|&(v, _)| v);
+            let mut merged: Vec<(VertexId, f64)> = Vec::with_capacity(list.len());
+            for &(v, w) in list.iter() {
+                match merged.last_mut() {
+                    Some(last) if last.0 == v => last.1 += w,
+                    _ => merged.push((v, w)),
+                }
+            }
+            *list = merged;
+            total += list.iter().map(|&(_, w)| w).sum::<f64>();
+            total += 2.0 * loops[u];
+        }
+        UndirectedView {
+            adj,
+            loops,
+            total_weight: total / 2.0,
+        }
+    }
+
+    /// Number of vertices.
+    #[inline]
+    pub fn num_vertices(&self) -> usize {
+        self.adj.len()
+    }
+
+    /// Neighbors of `u` with merged weights (no self-loops).
+    #[inline]
+    pub fn neighbors(&self, u: VertexId) -> &[(VertexId, f64)] {
+        &self.adj[u as usize]
+    }
+
+    /// Self-loop weight at `u` (each loop counted once).
+    #[inline]
+    pub fn loop_weight(&self, u: VertexId) -> f64 {
+        self.loops[u as usize]
+    }
+
+    /// Weighted degree of `u` (sum of incident weights; loops count twice,
+    /// the modularity convention).
+    pub fn weighted_degree(&self, u: VertexId) -> f64 {
+        self.adj[u as usize].iter().map(|&(_, w)| w).sum::<f64>() + 2.0 * self.loops[u as usize]
+    }
+
+    /// Total undirected edge weight `m` (each edge once, loops once).
+    #[inline]
+    pub fn total_weight(&self) -> f64 {
+        self.total_weight
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reciprocal_edges_merge() {
+        let g = CsrGraph::from_edges(2, [(0u32, 1u32), (1, 0)]);
+        let u = UndirectedView::from_graph(&g);
+        assert_eq!(u.neighbors(0), &[(1, 2.0)]);
+        assert_eq!(u.neighbors(1), &[(0, 2.0)]);
+        assert_eq!(u.total_weight(), 2.0);
+        assert_eq!(u.weighted_degree(0), 2.0);
+    }
+
+    #[test]
+    fn single_direction_weight_one() {
+        let g = CsrGraph::from_edges(3, [(0u32, 1u32), (1, 2)]);
+        let u = UndirectedView::from_graph(&g);
+        assert_eq!(u.neighbors(1), &[(0, 1.0), (2, 1.0)]);
+        assert_eq!(u.total_weight(), 2.0);
+    }
+
+    #[test]
+    fn self_loops_tracked_separately() {
+        let g = CsrGraph::from_edges(2, [(0u32, 0u32), (0, 1)]);
+        let u = UndirectedView::from_graph(&g);
+        assert_eq!(u.loop_weight(0), 1.0);
+        assert_eq!(u.neighbors(0), &[(1, 1.0)]);
+        // degree: 1 (edge) + 2 (loop)
+        assert_eq!(u.weighted_degree(0), 3.0);
+        assert_eq!(u.total_weight(), 2.0);
+    }
+
+    #[test]
+    fn total_weight_is_half_degree_sum() {
+        let g = CsrGraph::from_edges(4, [(0u32, 1u32), (1, 2), (2, 3), (3, 0), (0, 2)]);
+        let u = UndirectedView::from_graph(&g);
+        let deg_sum: f64 = (0..4u32).map(|v| u.weighted_degree(v)).sum();
+        assert!((deg_sum / 2.0 - u.total_weight()).abs() < 1e-12);
+    }
+}

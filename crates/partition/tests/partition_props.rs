@@ -1,0 +1,95 @@
+//! Property tests over all partitioners: structural validity, quality
+//! metric bounds, and compaction idempotence.
+
+use gograph_partition::{
+    edge_cut, intra_edge_fraction, modularity, ChunkPartitioner, Fennel, LabelPropagation,
+    Louvain, MetisLike, NoPartitioner, Partitioner, Partitioning, RabbitPartition,
+    RandomPartitioner,
+};
+use gograph_graph::{CsrGraph, GraphBuilder};
+use proptest::prelude::*;
+
+fn arb_graph() -> impl Strategy<Value = CsrGraph> {
+    (2usize..60).prop_flat_map(|n| {
+        proptest::collection::vec((0..n as u32, 0..n as u32), 0..n * 3).prop_map(move |es| {
+            let mut b = GraphBuilder::with_capacity(n, es.len());
+            b.reserve_vertices(n);
+            for (u, v) in es {
+                b.add_edge(u, v, 1.0);
+            }
+            b.build()
+        })
+    })
+}
+
+fn all_partitioners() -> Vec<Box<dyn Partitioner>> {
+    vec![
+        Box::new(RabbitPartition::default()),
+        Box::new(Louvain::default()),
+        Box::new(LabelPropagation::default()),
+        Box::new(MetisLike::with_parts(4)),
+        Box::new(Fennel::with_parts(4)),
+        Box::new(ChunkPartitioner { num_parts: 4 }),
+        Box::new(RandomPartitioner { num_parts: 4, seed: 1 }),
+        Box::new(NoPartitioner),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn partitionings_are_structurally_valid(g in arb_graph()) {
+        for p in all_partitioners() {
+            let result = p.partition(&g);
+            prop_assert_eq!(result.num_vertices(), g.num_vertices(), "{}", p.name());
+            let k = result.num_parts();
+            prop_assert!(k >= 1);
+            // Dense ids: every part in 0..k non-empty after compaction.
+            let compacted = result.compacted();
+            prop_assert_eq!(compacted.num_vertices(), g.num_vertices());
+            let sizes = compacted.part_sizes();
+            prop_assert!(sizes.iter().all(|&s| s > 0), "{} left empty parts", p.name());
+        }
+    }
+
+    #[test]
+    fn compaction_is_idempotent(g in arb_graph()) {
+        for p in all_partitioners() {
+            let result = p.partition(&g).compacted();
+            prop_assert_eq!(result.clone().compacted(), result);
+        }
+    }
+
+    #[test]
+    fn quality_metrics_bounded(g in arb_graph()) {
+        for p in all_partitioners() {
+            let result = p.partition(&g);
+            let q = modularity(&g, &result);
+            prop_assert!((-0.5001..=1.0).contains(&q), "{}: Q = {q}", p.name());
+            let frac = intra_edge_fraction(&g, &result);
+            prop_assert!((0.0..=1.0).contains(&frac));
+            prop_assert!(edge_cut(&g, &result) <= g.num_edges());
+        }
+    }
+
+    #[test]
+    fn single_part_has_no_cut(g in arb_graph()) {
+        let single = Partitioning::single(g.num_vertices());
+        prop_assert_eq!(edge_cut(&g, &single), 0);
+        prop_assert_eq!(intra_edge_fraction(&g, &single), 1.0);
+    }
+
+    #[test]
+    fn cut_plus_internal_equals_total(g in arb_graph()) {
+        for p in all_partitioners() {
+            let result = p.partition(&g);
+            let cut = edge_cut(&g, &result);
+            let internal = g
+                .edges()
+                .filter(|e| result.part_of(e.src) == result.part_of(e.dst))
+                .count();
+            prop_assert_eq!(cut + internal, g.num_edges());
+        }
+    }
+}

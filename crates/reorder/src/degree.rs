@@ -1,0 +1,237 @@
+//! Degree-based reorderings: DegSort, HubSort and HubCluster (paper §V
+//! competitors, refs. \[48\] and \[49\]).
+
+use crate::traits::Reorderer;
+use gograph_graph::{CsrGraph, Permutation, VertexId};
+
+/// Which degree a degree-based method sorts on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DegreeKind {
+    /// In-degree.
+    In,
+    /// Out-degree.
+    Out,
+    /// Total (in + out) degree.
+    Total,
+}
+
+fn degree_of(g: &CsrGraph, v: VertexId, kind: DegreeKind) -> usize {
+    match kind {
+        DegreeKind::In => g.in_degree(v),
+        DegreeKind::Out => g.out_degree(v),
+        DegreeKind::Total => g.degree(v),
+    }
+}
+
+/// Degree Sorting: all vertices sorted by descending degree (ties by id).
+/// Hot (hub) vertices become contiguous at the front of the state arrays.
+#[derive(Debug, Clone, Copy)]
+pub struct DegSort {
+    /// Degree used for sorting.
+    pub kind: DegreeKind,
+}
+
+impl Default for DegSort {
+    fn default() -> Self {
+        DegSort {
+            kind: DegreeKind::Total,
+        }
+    }
+}
+
+impl Reorderer for DegSort {
+    fn name(&self) -> &'static str {
+        "degsort"
+    }
+
+    fn reorder(&self, g: &CsrGraph) -> Permutation {
+        let mut order: Vec<VertexId> = (0..g.num_vertices() as u32).collect();
+        order.sort_by(|&a, &b| {
+            degree_of(g, b, self.kind)
+                .cmp(&degree_of(g, a, self.kind))
+                .then(a.cmp(&b))
+        });
+        Permutation::from_order(order)
+    }
+}
+
+/// Hub Sorting (frequency-based clustering, ref. \[48\]): vertices with
+/// degree above the average are *hubs*; hubs are sorted descending by
+/// degree and moved to the front, while non-hubs keep their relative
+/// order (preserving most of the original locality cheaply).
+#[derive(Debug, Clone, Copy)]
+pub struct HubSort {
+    /// Degree used for the hub threshold and sorting.
+    pub kind: DegreeKind,
+    /// Hub threshold multiplier: hub iff degree > multiplier * average.
+    pub threshold_multiplier: f64,
+}
+
+impl Default for HubSort {
+    fn default() -> Self {
+        HubSort {
+            kind: DegreeKind::Total,
+            threshold_multiplier: 1.0,
+        }
+    }
+}
+
+fn average_degree(g: &CsrGraph, kind: DegreeKind) -> f64 {
+    let n = g.num_vertices();
+    if n == 0 {
+        return 0.0;
+    }
+    let total: usize = (0..n as u32).map(|v| degree_of(g, v, kind)).sum();
+    total as f64 / n as f64
+}
+
+impl Reorderer for HubSort {
+    fn name(&self) -> &'static str {
+        "hubsort"
+    }
+
+    fn reorder(&self, g: &CsrGraph) -> Permutation {
+        let n = g.num_vertices();
+        let threshold = average_degree(g, self.kind) * self.threshold_multiplier;
+        let mut hubs: Vec<VertexId> = Vec::new();
+        let mut rest: Vec<VertexId> = Vec::new();
+        for v in 0..n as u32 {
+            if degree_of(g, v, self.kind) as f64 > threshold {
+                hubs.push(v);
+            } else {
+                rest.push(v);
+            }
+        }
+        hubs.sort_by(|&a, &b| {
+            degree_of(g, b, self.kind)
+                .cmp(&degree_of(g, a, self.kind))
+                .then(a.cmp(&b))
+        });
+        hubs.extend(rest);
+        Permutation::from_order(hubs)
+    }
+}
+
+/// Hub Clustering (ref. \[49\]): like HubSort but hubs keep their original
+/// relative order too — only the hub/non-hub split is applied, the
+/// lightest-touch reordering of the family.
+#[derive(Debug, Clone, Copy)]
+pub struct HubCluster {
+    /// Degree used for the hub threshold.
+    pub kind: DegreeKind,
+    /// Hub threshold multiplier (hub iff degree > multiplier * average).
+    pub threshold_multiplier: f64,
+}
+
+impl Default for HubCluster {
+    fn default() -> Self {
+        HubCluster {
+            kind: DegreeKind::Total,
+            threshold_multiplier: 1.0,
+        }
+    }
+}
+
+impl Reorderer for HubCluster {
+    fn name(&self) -> &'static str {
+        "hubcluster"
+    }
+
+    fn reorder(&self, g: &CsrGraph) -> Permutation {
+        let n = g.num_vertices();
+        let threshold = average_degree(g, self.kind) * self.threshold_multiplier;
+        let mut hubs: Vec<VertexId> = Vec::new();
+        let mut rest: Vec<VertexId> = Vec::new();
+        for v in 0..n as u32 {
+            if degree_of(g, v, self.kind) as f64 > threshold {
+                hubs.push(v);
+            } else {
+                rest.push(v);
+            }
+        }
+        hubs.extend(rest);
+        Permutation::from_order(hubs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gograph_graph::generators::ba::barabasi_albert;
+    use gograph_graph::generators::regular::star;
+
+    #[test]
+    fn degsort_puts_hub_first() {
+        let g = star(10);
+        let p = DegSort::default().reorder(&g);
+        assert_eq!(p.vertex_at(0), 0);
+        p.validate().unwrap();
+    }
+
+    #[test]
+    fn degsort_descending() {
+        let g = barabasi_albert(200, 3, 1);
+        let p = DegSort::default().reorder(&g);
+        for i in 1..200 {
+            assert!(g.degree(p.vertex_at(i - 1)) >= g.degree(p.vertex_at(i)));
+        }
+    }
+
+    #[test]
+    fn hubsort_moves_only_hubs() {
+        let g = barabasi_albert(300, 3, 2);
+        let p = HubSort::default().reorder(&g);
+        p.validate().unwrap();
+        let avg = 2.0 * g.num_edges() as f64 / 300.0;
+        // At the front: hubs, sorted descending.
+        let first = p.vertex_at(0);
+        assert!(g.degree(first) as f64 > avg);
+        // Non-hubs preserve relative order at the back.
+        let non_hubs: Vec<u32> = p
+            .order()
+            .iter()
+            .copied()
+            .filter(|&v| g.degree(v) as f64 <= avg)
+            .collect();
+        let mut sorted = non_hubs.clone();
+        sorted.sort_unstable();
+        assert_eq!(non_hubs, sorted);
+    }
+
+    #[test]
+    fn hubcluster_preserves_hub_relative_order() {
+        let g = barabasi_albert(300, 3, 2);
+        let p = HubCluster::default().reorder(&g);
+        p.validate().unwrap();
+        let avg = 2.0 * g.num_edges() as f64 / 300.0;
+        let hubs: Vec<u32> = p
+            .order()
+            .iter()
+            .copied()
+            .take_while(|&v| g.degree(v) as f64 > avg)
+            .collect();
+        let mut sorted = hubs.clone();
+        sorted.sort_unstable();
+        assert_eq!(hubs, sorted, "hub ids should stay in ascending (original) order");
+        assert!(!hubs.is_empty());
+    }
+
+    #[test]
+    fn in_degree_kind() {
+        let g = star(5); // hub 0 has out-degree 4, in-degree 0
+        let p = DegSort {
+            kind: DegreeKind::In,
+        }
+        .reorder(&g);
+        // every leaf has in-degree 1 > hub's 0; hub processed last
+        assert_eq!(p.vertex_at(4), 0);
+    }
+
+    #[test]
+    fn empty_graph_ok() {
+        let g = CsrGraph::empty(0);
+        assert_eq!(DegSort::default().reorder(&g).len(), 0);
+        assert_eq!(HubSort::default().reorder(&g).len(), 0);
+        assert_eq!(HubCluster::default().reorder(&g).len(), 0);
+    }
+}

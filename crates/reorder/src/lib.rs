@@ -1,0 +1,25 @@
+//! # gograph-reorder
+//!
+//! Baseline vertex-reordering methods — the competitors of paper §V:
+//! Default, Degree Sorting, Hub Sorting \[48\], Hub Clustering \[49\],
+//! Rabbit order \[44\], and Gorder \[41\], plus BFS/DFS/random orders used in
+//! ablations. The paper's own method, GoGraph, lives in `gograph-core`
+//! and implements the same [`Reorderer`] trait.
+
+#![warn(missing_docs)]
+
+pub mod degree;
+pub mod gorder;
+pub mod rabbit_order;
+pub mod scc_topo;
+pub mod slashburn;
+pub mod traits;
+pub mod traversal_orders;
+
+pub use degree::{DegSort, DegreeKind, HubCluster, HubSort};
+pub use gorder::{gorder_score, Gorder};
+pub use rabbit_order::RabbitOrder;
+pub use scc_topo::SccTopoOrder;
+pub use slashburn::SlashBurn;
+pub use traits::{DefaultOrder, RandomOrder, Reorderer};
+pub use traversal_orders::{BfsOrder, DfsOrder};

@@ -1,0 +1,175 @@
+//! SlashBurn ordering (Kang & Faloutsos): recursively "slash" the top-k
+//! hubs off the graph and "burn" the remaining connected components.
+//! Hubs go to the front of the order, giant-component vertices recurse,
+//! and small-component vertices fill from the back — producing the
+//! hub-and-spoke layout widely used for graph compression and locality.
+//!
+//! Included as an extra competitor beyond the paper's six: like
+//! HubSort/HubCluster it is hub-centric, but its recursive structure
+//! gives markedly better locality, making it a useful calibration point
+//! between the degree family and the community family (Rabbit, GoGraph).
+
+use crate::traits::Reorderer;
+use gograph_graph::traversal::weakly_connected_components;
+use gograph_graph::{CsrGraph, Permutation, VertexId};
+
+/// SlashBurn with hub fraction `k_frac` per iteration.
+#[derive(Debug, Clone, Copy)]
+pub struct SlashBurn {
+    /// Fraction of (remaining) vertices slashed per iteration
+    /// (the original paper's `k`; 0.5–2% typical).
+    pub k_frac: f64,
+    /// Stop recursing when the remaining graph is this small; the tail
+    /// is emitted in degree order.
+    pub min_size: usize,
+}
+
+impl Default for SlashBurn {
+    fn default() -> Self {
+        SlashBurn {
+            k_frac: 0.01,
+            min_size: 32,
+        }
+    }
+}
+
+impl Reorderer for SlashBurn {
+    fn name(&self) -> &'static str {
+        "slashburn"
+    }
+
+    fn reorder(&self, g: &CsrGraph) -> Permutation {
+        let n = g.num_vertices();
+        if n == 0 {
+            return Permutation::identity(0);
+        }
+        // front: hubs in slash order; back: small components (reversed at
+        // the end so later burns sit closer to their hubs).
+        let mut front: Vec<VertexId> = Vec::with_capacity(n);
+        let mut back: Vec<VertexId> = Vec::new();
+
+        // Current working set, as global ids.
+        let mut current: Vec<VertexId> = (0..n as u32).collect();
+        let mut work = g.clone();
+
+        loop {
+            let wn = work.num_vertices();
+            if wn <= self.min_size {
+                // Emit the tail by descending degree for determinism.
+                let mut tail: Vec<VertexId> = (0..wn as u32).collect();
+                tail.sort_by(|&a, &b| work.degree(b).cmp(&work.degree(a)).then(a.cmp(&b)));
+                for lv in tail {
+                    front.push(current[lv as usize]);
+                }
+                break;
+            }
+            let k = ((wn as f64 * self.k_frac).ceil() as usize).clamp(1, wn);
+
+            // Slash: top-k by degree.
+            let mut by_degree: Vec<VertexId> = (0..wn as u32).collect();
+            by_degree.sort_by(|&a, &b| work.degree(b).cmp(&work.degree(a)).then(a.cmp(&b)));
+            let hubs: Vec<VertexId> = by_degree[..k].to_vec();
+            let mut is_hub = vec![false; wn];
+            for &h in &hubs {
+                is_hub[h as usize] = true;
+                front.push(current[h as usize]);
+            }
+
+            // Burn: components of the remainder; keep the giant one,
+            // push the rest to the back (smallest last).
+            let keep: Vec<VertexId> = (0..wn as u32).filter(|&v| !is_hub[v as usize]).collect();
+            let (rest, mapping) = work.induced_subgraph(&keep);
+            let (comp, count) = weakly_connected_components(&rest);
+            let mut sizes = vec![0usize; count];
+            for &c in &comp {
+                sizes[c as usize] += 1;
+            }
+            let giant = (0..count).max_by_key(|&c| sizes[c]).unwrap_or(0);
+
+            // Non-giant components, ordered by size ascending then id —
+            // appended to `back` (which is reversed at the end, so bigger
+            // components end up closer to the hubs).
+            let mut spokes: Vec<(usize, u32, VertexId)> = Vec::new();
+            let mut giant_members: Vec<VertexId> = Vec::new();
+            for (lv, &c) in comp.iter().enumerate() {
+                if c as usize == giant {
+                    giant_members.push(lv as u32);
+                } else {
+                    spokes.push((sizes[c as usize], c, lv as u32));
+                }
+            }
+            spokes.sort_by(|a, b| a.0.cmp(&b.0).then(a.1.cmp(&b.1)).then(a.2.cmp(&b.2)));
+            for (_, _, lv) in spokes {
+                back.push(current[mapping[lv as usize] as usize]);
+            }
+
+            if giant_members.is_empty() {
+                break;
+            }
+            // Recurse on the giant component.
+            let giant_global: Vec<VertexId> = giant_members
+                .iter()
+                .map(|&lv| current[mapping[lv as usize] as usize])
+                .collect();
+            let giant_local: Vec<VertexId> = giant_members;
+            let (next_work, _) = rest.induced_subgraph(&giant_local);
+            work = next_work;
+            current = giant_global;
+        }
+
+        back.reverse();
+        front.extend(back);
+        Permutation::from_order(front)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gograph_graph::generators::ba::barabasi_albert;
+    use gograph_graph::generators::{planted_partition, shuffle_labels, PlantedPartitionConfig};
+
+    #[test]
+    fn valid_permutation_on_power_law() {
+        let g = barabasi_albert(1000, 3, 5);
+        let p = SlashBurn::default().reorder(&g);
+        p.validate().unwrap();
+        assert_eq!(p.len(), 1000);
+    }
+
+    #[test]
+    fn biggest_hub_goes_first() {
+        let g = barabasi_albert(500, 3, 9);
+        let top = (0..500u32).max_by_key(|&v| g.degree(v)).unwrap();
+        let p = SlashBurn::default().reorder(&g);
+        assert_eq!(p.vertex_at(0), top);
+    }
+
+    #[test]
+    fn handles_disconnected_graphs() {
+        let g = CsrGraph::from_edges(10, [(0u32, 1u32), (2, 3), (4, 5), (6, 7)]);
+        let p = SlashBurn::default().reorder(&g);
+        p.validate().unwrap();
+    }
+
+    #[test]
+    fn deterministic() {
+        let g = shuffle_labels(
+            &planted_partition(PlantedPartitionConfig {
+                num_vertices: 400,
+                num_edges: 3000,
+                ..Default::default()
+            }),
+            1,
+        );
+        let s = SlashBurn::default();
+        assert_eq!(s.reorder(&g), s.reorder(&g));
+    }
+
+    #[test]
+    fn empty_and_tiny() {
+        assert_eq!(SlashBurn::default().reorder(&CsrGraph::empty(0)).len(), 0);
+        let g = CsrGraph::from_edges(2, [(0u32, 1u32)]);
+        SlashBurn::default().reorder(&g).validate().unwrap();
+    }
+}

@@ -1,0 +1,81 @@
+//! The [`Reorderer`] trait: every ordering method (the six competitors of
+//! paper §V plus GoGraph itself, which implements this trait in
+//! `gograph-core`) maps a graph to a [`Permutation`] — a vertex
+//! processing order.
+
+use gograph_graph::{CsrGraph, Permutation};
+
+/// A vertex reordering method `R(G) -> O_V` (paper §III).
+pub trait Reorderer {
+    /// Human-readable name used in benchmark tables.
+    fn name(&self) -> &'static str;
+
+    /// Computes a processing order for `g`. The result must be a valid
+    /// permutation of `0..g.num_vertices()`.
+    fn reorder(&self, g: &CsrGraph) -> Permutation;
+}
+
+/// The paper's "Default" order: original vertex ids.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct DefaultOrder;
+
+impl Reorderer for DefaultOrder {
+    fn name(&self) -> &'static str {
+        "default"
+    }
+
+    fn reorder(&self, g: &CsrGraph) -> Permutation {
+        Permutation::identity(g.num_vertices())
+    }
+}
+
+/// Uniform-random order (calibration baseline; a random order makes each
+/// edge positive with probability 1/2, the paper's §IV-B yardstick).
+#[derive(Debug, Clone, Copy)]
+pub struct RandomOrder {
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Reorderer for RandomOrder {
+    fn name(&self) -> &'static str {
+        "random"
+    }
+
+    fn reorder(&self, g: &CsrGraph) -> Permutation {
+        use rand::{RngExt, SeedableRng};
+        let n = g.num_vertices();
+        let mut order: Vec<u32> = (0..n as u32).collect();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(self.seed);
+        for i in (1..n).rev() {
+            let j = rng.random_range(0..=i);
+            order.swap(i, j);
+        }
+        Permutation::from_order(order)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gograph_graph::generators::regular::chain;
+
+    #[test]
+    fn default_is_identity() {
+        let g = chain(10);
+        let p = DefaultOrder.reorder(&g);
+        assert!(p.is_identity());
+        assert_eq!(DefaultOrder.name(), "default");
+    }
+
+    #[test]
+    fn random_is_valid_and_deterministic() {
+        let g = chain(50);
+        let r = RandomOrder { seed: 3 };
+        let p1 = r.reorder(&g);
+        let p2 = r.reorder(&g);
+        assert_eq!(p1, p2);
+        p1.validate().unwrap();
+        assert!(!p1.is_identity());
+    }
+}

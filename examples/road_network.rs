@@ -1,0 +1,97 @@
+//! Road-network navigation scenario: shortest paths on a weighted grid
+//! (road networks are near-planar meshes). Shows SSSP and the widest-path
+//! variant (SSWP — e.g. max-clearance routing) and the parallel engine —
+//! and, deliberately, a **limit of the paper's method**: on a symmetric
+//! mesh every street is a reciprocal edge pair, so any order has exactly
+//! one positive edge per pair (`M = |E|/2` for every permutation) and
+//! GoGraph cannot beat the row-major default, whose sequential sweep is
+//! already a perfect wavefront for this topology. The paper targets
+//! directed power-law graphs; this example is the negative control.
+//!
+//! Run with: `cargo run --release --example road_network`
+
+use gograph::prelude::*;
+
+fn main() {
+    // A 200x200 road grid with travel-time weights; a few "highways"
+    // (long-range shortcuts) make the ordering problem interesting.
+    let base = gograph::graph::generators::regular::grid(200, 200);
+    let mut b = GraphBuilder::with_capacity(base.num_vertices(), base.num_edges() + 400);
+    b.reserve_vertices(base.num_vertices());
+    for e in base.edges() {
+        b.add_edge(e.src, e.dst, e.weight);
+        b.add_edge(e.dst, e.src, e.weight); // two-way streets
+    }
+    for k in 0..200u32 {
+        // diagonal highway entrances
+        let from = k * 200 + k;
+        let to = ((k + 1) % 200) * 200 + (k + 1) % 200;
+        b.add_edge(from, to, 0.5);
+    }
+    let g = with_random_weights(&b.build(), 1.0, 5.0, 11);
+    println!(
+        "road network: {} junctions, {} road segments",
+        g.num_vertices(),
+        g.num_edges()
+    );
+
+    let source = 0u32; // top-left corner depot
+    let cfg = RunConfig::default();
+
+    // Reciprocal edges make every order metric-equivalent; print it.
+    let m_def = metric_report(&g, &Permutation::identity(g.num_vertices()));
+    println!(
+        "positive-edge fraction is pinned near 1/2 on symmetric meshes: {:.3}",
+        m_def.positive_fraction()
+    );
+
+    for (label, order) in [
+        ("default", Permutation::identity(g.num_vertices())),
+        ("gograph", GoGraph::default().run(&g)),
+    ] {
+        let relabeled = g.relabeled(&order);
+        let id = Permutation::identity(g.num_vertices());
+        let src = order.position(source);
+
+        let sssp = run(&relabeled, &Sssp::new(src), Mode::Async, &id, &cfg);
+        let sswp = run(&relabeled, &Sswp::new(src), Mode::Async, &id, &cfg);
+        println!(
+            "\n[{label}] SSSP: {} rounds, {:.1} ms | SSWP: {} rounds, {:.1} ms{}",
+            sssp.rounds,
+            sssp.runtime.as_secs_f64() * 1e3,
+            sswp.rounds,
+            sswp.runtime.as_secs_f64() * 1e3,
+            if label == "gograph" {
+                "  <- community order scrambles the mesh wavefront: expected"
+            } else {
+                "  <- row-major sweep is already wavefront-optimal"
+            }
+        );
+        // Spot-check: distance to the far corner.
+        let corner = order.position((200 * 200 - 1) as u32);
+        println!(
+            "  travel time depot -> far corner: {:.2}",
+            sssp.final_states[corner as usize]
+        );
+    }
+
+    // Parallel engine scaling check.
+    let order = GoGraph::default().run(&g);
+    let relabeled = g.relabeled(&order);
+    let id = Permutation::identity(g.num_vertices());
+    let src = order.position(source);
+    for blocks in [1usize, 4, 16] {
+        let stats = run(
+            &relabeled,
+            &Sssp::new(src),
+            Mode::Parallel(blocks),
+            &id,
+            &cfg,
+        );
+        println!(
+            "parallel({blocks:>2}) SSSP: {} rounds, {:.1} ms",
+            stats.rounds,
+            stats.runtime.as_secs_f64() * 1e3
+        );
+    }
+}

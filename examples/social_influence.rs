@@ -1,0 +1,81 @@
+//! Social-network influence scenario: on a LiveJournal-style community
+//! graph, compute (i) reachability layers from an influencer (BFS),
+//! (ii) penalized hitting probability (PHP) — the paper's random-walk
+//! proximity workload, and (iii) Adsorption label propagation from a set
+//! of seed users, all accelerated by GoGraph's ordering.
+//!
+//! Run with: `cargo run --release --example social_influence`
+
+use gograph::prelude::*;
+
+fn main() {
+    let g = shuffle_labels(
+        &planted_partition(PlantedPartitionConfig {
+            num_vertices: 50_000,
+            num_edges: 400_000,
+            communities: 200,
+            p_intra: 0.8,
+            gamma: 2.4,
+            seed: 77,
+        }),
+        5,
+    );
+    println!(
+        "social graph: {} users, {} follows",
+        g.num_vertices(),
+        g.num_edges()
+    );
+
+    // The influencer: highest out-degree user.
+    let influencer = (0..g.num_vertices() as u32)
+        .max_by_key(|&v| g.out_degree(v))
+        .unwrap();
+    println!("influencer: user {influencer} ({} follows)", g.out_degree(influencer));
+
+    let order = GoGraph::default().run(&g);
+    let relabeled = g.relabeled(&order);
+    let id = Permutation::identity(g.num_vertices());
+    let src = order.position(influencer);
+    let cfg = RunConfig::default();
+
+    // BFS reachability layers.
+    let bfs = run(&relabeled, &Bfs::new(src), Mode::Async, &id, &cfg);
+    let mut layer_counts = std::collections::BTreeMap::new();
+    for &d in &bfs.final_states {
+        if d.is_finite() {
+            *layer_counts.entry(d as u64).or_insert(0usize) += 1;
+        }
+    }
+    println!("\nreachability layers ({} rounds):", bfs.rounds);
+    for (layer, count) in layer_counts.iter().take(6) {
+        println!("  {layer} hops: {count} users");
+    }
+
+    // PHP proximity: who is most "hit" by penalized random walks from
+    // the influencer?
+    let php = run(&relabeled, &Php::new(src), Mode::Async, &id, &cfg);
+    let mut prox: Vec<(u32, f64)> = php
+        .final_states
+        .iter()
+        .enumerate()
+        .filter(|&(v, _)| v as u32 != src)
+        .map(|(v, &s)| (order.vertex_at(v), s))
+        .collect();
+    prox.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
+    println!("\nPHP proximity ({} rounds) — closest users:", php.rounds);
+    for (user, score) in prox.iter().take(5) {
+        println!("  user {user:>6}: {score:.4}");
+    }
+
+    // Adsorption from three seed communities.
+    let seeds: Vec<u32> = vec![src, (src + 1) % g.num_vertices() as u32];
+    let ads = Adsorption::new(seeds);
+    let stats = run(&relabeled, &ads, Mode::Async, &id, &cfg);
+    let touched = stats.final_states.iter().filter(|&&x| x > 1e-9).count();
+    println!(
+        "\nAdsorption ({} rounds): label mass reached {} of {} users",
+        stats.rounds,
+        touched,
+        g.num_vertices()
+    );
+}

@@ -1,0 +1,83 @@
+//! Streaming scenario: a social graph grows edge by edge while the
+//! processing order is maintained incrementally (the evolving-graph
+//! outlook of the paper's related work, implemented in
+//! `gograph_core::incremental`). Compares incremental maintenance against
+//! periodic full re-runs on metric quality and cost.
+//!
+//! Run with: `cargo run --release --example streaming_updates`
+
+use gograph::core::IncrementalGoGraph;
+use gograph::prelude::*;
+use std::time::Instant;
+
+fn main() {
+    // The full graph that will arrive over time.
+    let target = shuffle_labels(
+        &planted_partition(PlantedPartitionConfig {
+            num_vertices: 10_000,
+            num_edges: 60_000,
+            communities: 32,
+            p_intra: 0.85,
+            gamma: 2.4,
+            seed: 2024,
+        }),
+        9,
+    );
+    let edges: Vec<(u32, u32)> = target.edges().map(|e| (e.src, e.dst)).collect();
+    let bootstrap = edges.len() / 4;
+
+    // Bootstrap: first quarter of the edges + one full GoGraph run.
+    let mut b = GraphBuilder::with_capacity(10_000, bootstrap);
+    b.reserve_vertices(10_000);
+    for &(u, v) in &edges[..bootstrap] {
+        b.add_edge(u, v, 1.0);
+    }
+    let seed_graph = b.build();
+    let t0 = Instant::now();
+    let mut inc = IncrementalGoGraph::from_graph(&seed_graph);
+    println!(
+        "bootstrap: {} edges, full GoGraph run in {:.1} ms",
+        bootstrap,
+        t0.elapsed().as_secs_f64() * 1e3
+    );
+
+    // Stream the rest in four batches, reporting metric quality.
+    let batch = (edges.len() - bootstrap) / 4;
+    for (i, chunk) in edges[bootstrap..].chunks(batch.max(1)).enumerate() {
+        let t = Instant::now();
+        for &(u, v) in chunk {
+            inc.add_edge(u, v);
+        }
+        let ingest_ms = t.elapsed().as_secs_f64() * 1e3;
+
+        let g_now = inc.to_graph();
+        let m_inc = metric(&g_now, &inc.current_order());
+
+        let t = Instant::now();
+        let full_order = GoGraph::default().run(&g_now);
+        let rerun_ms = t.elapsed().as_secs_f64() * 1e3;
+        let m_full = metric(&g_now, &full_order);
+
+        println!(
+            "batch {}: +{} edges in {:.1} ms | M/|E| incremental {:.3} vs full re-run {:.3} ({:.1} ms)",
+            i + 1,
+            chunk.len(),
+            ingest_ms,
+            m_inc as f64 / g_now.num_edges() as f64,
+            m_full as f64 / g_now.num_edges() as f64,
+            rerun_ms
+        );
+    }
+
+    // Final check: does the maintained order still speed up PageRank?
+    let g = inc.to_graph();
+    let cfg = RunConfig::default();
+    let id = Permutation::identity(g.num_vertices());
+    let base = run(&g, &PageRank::default(), Mode::Async, &id, &cfg);
+    let relabeled = g.relabeled(&inc.current_order());
+    let inc_run = run(&relabeled, &PageRank::default(), Mode::Async, &id, &cfg);
+    println!(
+        "\nPageRank rounds: default order {} vs maintained order {}",
+        base.rounds, inc_run.rounds
+    );
+}

@@ -1,0 +1,73 @@
+//! # gograph
+//!
+//! Reproduction of *Fast Iterative Graph Computing with Updated Neighbor
+//! States* (ICDE 2024): the **GoGraph** vertex-reordering method, the
+//! asynchronous iterative engine that exploits it, every baseline it is
+//! compared against, and the substrates (partitioners, cache simulator,
+//! synthetic datasets) needed to regenerate the paper's evaluation.
+//!
+//! This facade crate re-exports the workspace's public API:
+//!
+//! - [`graph`] — CSR graphs, builders, generators, permutations, I/O,
+//! - [`partition`] — Rabbit-partition / Louvain / Metis-like / Fennel,
+//! - [`reorder`] — baseline orderings (DegSort, HubSort, HubCluster,
+//!   Rabbit order, Gorder, ...),
+//! - [`core`] — the GoGraph pipeline, metric function `M(·)` and the
+//!   greedy optimal-position inserter,
+//! - [`engine`] — sync / async / parallel iterative execution with
+//!   PageRank, SSSP, BFS, PHP, CC, SSWP, Katz, Adsorption,
+//! - [`cachesim`] — the trace-driven cache-miss simulator.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use gograph::prelude::*;
+//!
+//! // A synthetic power-law community graph.
+//! let g = planted_partition(PlantedPartitionConfig::default());
+//!
+//! // Reorder with GoGraph and run asynchronous PageRank on the
+//! // physically relabeled graph.
+//! let order = GoGraph::default().run(&g);
+//! let relabeled = g.relabeled(&order);
+//! let id = Permutation::identity(relabeled.num_vertices());
+//! let stats = run(&relabeled, &PageRank::default(), Mode::Async, &id,
+//!                 &RunConfig::default());
+//! assert!(stats.converged);
+//!
+//! // Theorem 2: at least half the edges are positive under the order.
+//! assert!(2 * metric(&g, &order) >= g.num_edges());
+//! ```
+
+pub use gograph_cachesim as cachesim;
+pub use gograph_core as core;
+pub use gograph_engine as engine;
+pub use gograph_graph as graph;
+pub use gograph_partition as partition;
+pub use gograph_reorder as reorder;
+
+/// Convenient glob-import of the most-used items.
+pub mod prelude {
+    pub use gograph_cachesim::{cache_misses_of_order, CacheHierarchy};
+    pub use gograph_core::{
+        check_theorem2, metric, metric_report, refine_adjacent_swaps, GoGraph,
+        IncrementalGoGraph, PartitionerChoice,
+    };
+    pub use gograph_engine::{
+        run, run_delta_priority, run_delta_round_robin, run_relabeled, run_worklist, Adsorption,
+        Bfs, ConnectedComponents, DeltaPageRank, DeltaSssp, IterativeAlgorithm, Katz, Mode,
+        PageRank, Php, RunConfig, RunStats, Sssp, Sswp,
+    };
+    pub use gograph_graph::generators::{
+        barabasi_albert, erdos_renyi, planted_partition, rmat, shuffle_labels,
+        with_random_weights, PlantedPartitionConfig, RmatConfig,
+    };
+    pub use gograph_graph::{CsrGraph, Direction, Edge, GraphBuilder, Permutation, VertexId};
+    pub use gograph_partition::{
+        Fennel, Louvain, MetisLike, Partitioner, Partitioning, RabbitPartition,
+    };
+    pub use gograph_reorder::{
+        BfsOrder, DegSort, DefaultOrder, DfsOrder, Gorder, HubCluster, HubSort, RabbitOrder,
+        RandomOrder, Reorderer,
+    };
+}

@@ -1,0 +1,167 @@
+//! Integration tests over the full algorithm suite: every monotonic
+//! algorithm converges on realistic workloads, modes agree, and the
+//! paper's monotonicity preconditions hold end to end.
+
+use gograph::engine::algorithms::symmetrize;
+use gograph::prelude::*;
+
+fn workload() -> CsrGraph {
+    with_random_weights(
+        &shuffle_labels(
+            &planted_partition(PlantedPartitionConfig {
+                num_vertices: 1_000,
+                num_edges: 8_000,
+                communities: 10,
+                p_intra: 0.8,
+                gamma: 2.4,
+                seed: 55,
+            }),
+            3,
+        ),
+        1.0,
+        6.0,
+        8,
+    )
+}
+
+fn assert_modes_agree(g: &CsrGraph, alg: &dyn IterativeAlgorithm, tol: f64) -> RunStats {
+    let cfg = RunConfig::default();
+    let id = Permutation::identity(g.num_vertices());
+    let s = run(g, alg, Mode::Sync, &id, &cfg);
+    let a = run(g, alg, Mode::Async, &id, &cfg);
+    let p = run(g, alg, Mode::Parallel(4), &id, &cfg);
+    assert!(s.converged, "{} sync did not converge", alg.name());
+    assert!(a.converged && p.converged);
+    for i in 0..g.num_vertices() {
+        let (x, y, z) = (s.final_states[i], a.final_states[i], p.final_states[i]);
+        let close = |u: f64, v: f64| {
+            (u.is_infinite() && v.is_infinite()) || (u - v).abs() <= tol
+        };
+        assert!(close(x, y), "{}: sync {x} vs async {y} at {i}", alg.name());
+        assert!(close(x, z), "{}: sync {x} vs parallel {z} at {i}", alg.name());
+    }
+    assert!(a.rounds <= s.rounds, "{}", alg.name());
+    a
+}
+
+#[test]
+fn pagerank_full_suite() {
+    let g = workload();
+    let stats = assert_modes_agree(&g, &PageRank::default(), 1e-3);
+    // Mass sanity: each vertex holds at least the teleport share.
+    assert!(stats.final_states.iter().all(|&x| x >= 0.15 - 1e-9));
+}
+
+#[test]
+fn sssp_full_suite() {
+    let g = workload();
+    let stats = assert_modes_agree(&g, &Sssp::new(0), 0.0);
+    assert_eq!(stats.final_states[0], 0.0);
+    // Triangle inequality spot check on every edge.
+    for e in g.edges() {
+        let (du, dv) = (
+            stats.final_states[e.src as usize],
+            stats.final_states[e.dst as usize],
+        );
+        if du.is_finite() {
+            assert!(
+                dv <= du + e.weight + 1e-9,
+                "edge ({},{}) violates relaxation: {dv} > {du} + {}",
+                e.src,
+                e.dst,
+                e.weight
+            );
+        }
+    }
+}
+
+#[test]
+fn bfs_matches_reference_distances() {
+    let g = workload();
+    let stats = assert_modes_agree(&g, &Bfs::new(0), 0.0);
+    let truth = gograph::graph::traversal::bfs_distances(&g, 0);
+    for v in 0..g.num_vertices() {
+        let expected = if truth[v] == u32::MAX {
+            f64::INFINITY
+        } else {
+            truth[v] as f64
+        };
+        assert_eq!(stats.final_states[v], expected, "vertex {v}");
+    }
+}
+
+#[test]
+fn php_bounded_and_rooted() {
+    let g = workload();
+    let stats = assert_modes_agree(&g, &Php::new(0), 1e-4);
+    assert_eq!(stats.final_states[0], 1.0);
+    assert!(stats.final_states.iter().all(|&x| (0.0..=1.0 + 1e-6).contains(&x)));
+}
+
+#[test]
+fn cc_labels_on_symmetrized_graph() {
+    let g = symmetrize(&workload());
+    let stats = assert_modes_agree(&g, &ConnectedComponents, 0.0);
+    let (wcc, _) = gograph::graph::traversal::weakly_connected_components(&g);
+    for a in 0..g.num_vertices() {
+        for b in (a + 1)..g.num_vertices().min(a + 50) {
+            assert_eq!(
+                wcc[a] == wcc[b],
+                stats.final_states[a] == stats.final_states[b]
+            );
+        }
+    }
+}
+
+#[test]
+fn sswp_bounded_by_max_weight() {
+    let g = workload();
+    let stats = assert_modes_agree(&g, &Sswp::new(0), 0.0);
+    for (v, &x) in stats.final_states.iter().enumerate() {
+        if v != 0 && x > 0.0 {
+            assert!(x < 6.0, "widest path {x} exceeds max edge weight");
+        }
+    }
+}
+
+#[test]
+fn katz_and_adsorption_converge() {
+    let g = workload();
+    let katz = Katz::for_graph(&g);
+    let k = assert_modes_agree(&g, &katz, 1e-3);
+    assert!(k.final_states.iter().all(|&x| x >= 1.0 - 1e-9));
+    let ads = Adsorption::new(vec![0, 1, 2]);
+    let a = assert_modes_agree(&g, &ads, 1e-4);
+    assert!(a.final_states[0] >= 0.25 - 1e-9);
+}
+
+#[test]
+fn gograph_order_helps_every_increasing_algorithm() {
+    // Round reduction should appear for the mass-propagation family
+    // (PageRank-like), where long dependency chains dominate.
+    let g = workload();
+    let cfg = RunConfig::default();
+    let id = Permutation::identity(g.num_vertices());
+    let order = GoGraph::default().run(&g);
+    let relabeled = g.relabeled(&order);
+
+    let algs: Vec<Box<dyn IterativeAlgorithm>> = vec![
+        Box::new(PageRank::default()),
+        Box::new(Php::new(order.position(0))),
+        Box::new(Katz::for_graph(&relabeled)),
+    ];
+    let base_algs: Vec<Box<dyn IterativeAlgorithm>> = vec![
+        Box::new(PageRank::default()),
+        Box::new(Php::new(0)),
+        Box::new(Katz::for_graph(&g)),
+    ];
+    for (alg, base) in algs.iter().zip(&base_algs) {
+        let d = run(&g, base.as_ref(), Mode::Async, &id, &cfg).rounds;
+        let r = run(&relabeled, alg.as_ref(), Mode::Async, &id, &cfg).rounds;
+        assert!(
+            r <= d,
+            "{}: gograph {r} rounds > default {d}",
+            alg.name()
+        );
+    }
+}

@@ -1,0 +1,156 @@
+//! Property-based tests (proptest) on the workspace's core invariants:
+//! permutation bijectivity for every reordering method, metric
+//! complementarity, relabeling isomorphism, Lemma 2 / Theorem 2 bounds,
+//! and engine fixpoint uniqueness under arbitrary orders.
+
+use gograph::prelude::*;
+use proptest::prelude::*;
+
+/// Strategy: a small random directed graph as (n, edge list).
+fn arb_graph() -> impl Strategy<Value = CsrGraph> {
+    (2usize..60).prop_flat_map(|n| {
+        let edges = proptest::collection::vec(
+            (0..n as u32, 0..n as u32, 1.0f64..10.0),
+            0..(n * 4),
+        );
+        edges.prop_map(move |es| {
+            let mut b = GraphBuilder::with_capacity(n, es.len());
+            b.reserve_vertices(n);
+            for (u, v, w) in es {
+                b.add_edge(u, v, w);
+            }
+            b.build()
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn every_method_returns_a_bijection(g in arb_graph()) {
+        let methods: Vec<Box<dyn Reorderer>> = vec![
+            Box::new(DefaultOrder),
+            Box::new(DegSort::default()),
+            Box::new(HubSort::default()),
+            Box::new(HubCluster::default()),
+            Box::new(RabbitOrder::default()),
+            Box::new(Gorder::default()),
+            Box::new(GoGraph::default()),
+        ];
+        for m in methods {
+            let p = m.reorder(&g);
+            prop_assert_eq!(p.len(), g.num_vertices());
+            prop_assert!(p.validate().is_ok(), "{} invalid", m.name());
+        }
+    }
+
+    #[test]
+    fn metric_complementarity(g in arb_graph(), seed in 0u64..1000) {
+        // M(O) + M(reverse(O)) = |E| - self_loops for any order O.
+        let order = RandomOrder { seed }.reorder(&g);
+        let fwd = metric_report(&g, &order);
+        let bwd = metric_report(&g, &order.reversed());
+        prop_assert_eq!(fwd.positive_edges + bwd.positive_edges,
+                        g.num_edges() - fwd.self_loops);
+        prop_assert_eq!(fwd.self_loops, bwd.self_loops);
+    }
+
+    #[test]
+    fn gograph_meets_theorem2(g in arb_graph()) {
+        let order = GoGraph::default().run(&g);
+        let check = check_theorem2(&g, &order);
+        prop_assert!(check.holds, "{check:?}");
+    }
+
+    #[test]
+    fn relabeling_preserves_structure(g in arb_graph(), seed in 0u64..1000) {
+        let order = RandomOrder { seed }.reorder(&g);
+        let r = g.relabeled(&order);
+        prop_assert_eq!(r.num_vertices(), g.num_vertices());
+        prop_assert_eq!(r.num_edges(), g.num_edges());
+        // Degree multiset preserved.
+        let mut d1: Vec<usize> = (0..g.num_vertices() as u32).map(|v| g.degree(v)).collect();
+        let mut d2: Vec<usize> = (0..r.num_vertices() as u32).map(|v| r.degree(v)).collect();
+        d1.sort_unstable();
+        d2.sort_unstable();
+        prop_assert_eq!(d1, d2);
+        // Edge-by-edge correspondence.
+        for e in g.edges() {
+            prop_assert!(r.has_edge(order.position(e.src), order.position(e.dst)));
+        }
+    }
+
+    #[test]
+    fn metric_invariant_under_relabeling(g in arb_graph(), seed in 0u64..1000) {
+        // Relabeling by the order and then scanning 0..n sequentially
+        // must see exactly M(order) positive edges.
+        let order = RandomOrder { seed }.reorder(&g);
+        let m1 = metric(&g, &order);
+        let r = g.relabeled(&order);
+        let m2 = metric(&r, &Permutation::identity(r.num_vertices()));
+        prop_assert_eq!(m1, m2);
+    }
+
+    #[test]
+    fn sssp_fixpoint_is_unique_across_orders(g in arb_graph(), seed in 0u64..100) {
+        let cfg = RunConfig::default();
+        let id = Permutation::identity(g.num_vertices());
+        let alg = Sssp::new(0);
+        let reference = run(&g, &alg, Mode::Sync, &id, &cfg);
+        prop_assume!(reference.converged);
+        let order = RandomOrder { seed }.reorder(&g);
+        let other = run(&g, &alg, Mode::Async, &order, &cfg);
+        prop_assert_eq!(reference.final_states, other.final_states);
+    }
+
+    #[test]
+    fn async_rounds_never_exceed_sync(g in arb_graph()) {
+        let cfg = RunConfig::default();
+        let id = Permutation::identity(g.num_vertices());
+        let alg = Bfs::new(0);
+        let s = run(&g, &alg, Mode::Sync, &id, &cfg);
+        let a = run(&g, &alg, Mode::Async, &id, &cfg);
+        prop_assert!(a.rounds <= s.rounds);
+        prop_assert_eq!(a.final_states, s.final_states);
+    }
+
+    #[test]
+    fn pagerank_states_bounded_and_converged(g in arb_graph()) {
+        let cfg = RunConfig::default();
+        let id = Permutation::identity(g.num_vertices());
+        let stats = run(&g, &PageRank::default(), Mode::Async, &id, &cfg);
+        prop_assert!(stats.converged);
+        for &x in &stats.final_states {
+            prop_assert!(x >= 0.15 - 1e-9, "below teleport mass: {x}");
+            prop_assert!(x.is_finite());
+        }
+    }
+
+    #[test]
+    fn edge_list_io_roundtrip(g in arb_graph()) {
+        let mut buf = Vec::new();
+        gograph::graph::io::write_edge_list(&g, &mut buf).unwrap();
+        let g2 = gograph::graph::io::read_edge_list(&buf[..]).unwrap();
+        prop_assert_eq!(g, g2);
+    }
+
+    #[test]
+    fn partitioners_cover_all_vertices(g in arb_graph()) {
+        let parts: Vec<Box<dyn Partitioner>> = vec![
+            Box::new(RabbitPartition::default()),
+            Box::new(Louvain::default()),
+            Box::new(MetisLike::with_parts(4)),
+            Box::new(Fennel::with_parts(4)),
+        ];
+        for p in parts {
+            let result = p.partition(&g);
+            prop_assert_eq!(result.num_vertices(), g.num_vertices());
+            // dense part ids
+            if g.num_vertices() > 0 {
+                let max = result.assignment().iter().copied().max().unwrap_or(0);
+                prop_assert!((max as usize) < result.num_parts().max(1));
+            }
+        }
+    }
+}

@@ -1,11 +1,12 @@
 //! Criterion microbench: per-round engine cost — synchronous vs
 //! asynchronous vs block-parallel PageRank rounds, and the effect of a
 //! GoGraph layout on round cost (the cache half of the paper's win).
+//! All engines are driven through the unified strategy dispatch.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use gograph_core::GoGraph;
 use gograph_engine::{
-    run, run_delta_round_robin, run_worklist, DeltaPageRank, Mode, PageRank, RunConfig,
+    strategy_for, AlgorithmRef, DeltaPageRank, DeltaSchedule, Mode, PageRank, RunConfig,
 };
 use gograph_graph::generators::{planted_partition, shuffle_labels, PlantedPartitionConfig};
 use gograph_graph::Permutation;
@@ -25,6 +26,7 @@ fn bench_rounds(c: &mut Criterion) {
     let n = g.num_vertices();
     let id = Permutation::identity(n);
     let pr = PageRank::default();
+    let dpr = DeltaPageRank::default();
     let one_round = RunConfig {
         max_rounds: 1,
         record_trace: false,
@@ -33,31 +35,46 @@ fn bench_rounds(c: &mut Criterion) {
 
     let mut group = c.benchmark_group("pagerank_round_50k");
     group.sample_size(10);
-    group.bench_function("sync_default", |b| {
-        b.iter(|| std::hint::black_box(run(&g, &pr, Mode::Sync, &id, &one_round)))
-    });
-    group.bench_function("async_default", |b| {
-        b.iter(|| std::hint::black_box(run(&g, &pr, Mode::Async, &id, &one_round)))
-    });
-    group.bench_function("async_gograph_layout", |b| {
-        b.iter(|| std::hint::black_box(run(&relabeled, &pr, Mode::Async, &id, &one_round)))
-    });
-    group.bench_function("parallel8_default", |b| {
-        b.iter(|| std::hint::black_box(run(&g, &pr, Mode::Parallel(8), &id, &one_round)))
-    });
-    group.bench_function("delta_rr_default", |b| {
-        b.iter(|| {
-            std::hint::black_box(run_delta_round_robin(
-                &g,
-                &DeltaPageRank::default(),
-                &id,
-                &one_round,
-            ))
-        })
-    });
-    group.bench_function("worklist_default", |b| {
-        b.iter(|| std::hint::black_box(run_worklist(&g, &pr, &id, &one_round)))
-    });
+    let cells: [(&str, &gograph_graph::CsrGraph, Mode, AlgorithmRef<'_>); 6] = [
+        ("sync_default", &g, Mode::Sync, AlgorithmRef::Gather(&pr)),
+        ("async_default", &g, Mode::Async, AlgorithmRef::Gather(&pr)),
+        (
+            "async_gograph_layout",
+            &relabeled,
+            Mode::Async,
+            AlgorithmRef::Gather(&pr),
+        ),
+        (
+            "parallel8_default",
+            &g,
+            Mode::Parallel(8),
+            AlgorithmRef::Gather(&pr),
+        ),
+        (
+            "delta_rr_default",
+            &g,
+            Mode::Delta(DeltaSchedule::RoundRobin),
+            AlgorithmRef::Delta(&dpr),
+        ),
+        (
+            "worklist_default",
+            &g,
+            Mode::Worklist,
+            AlgorithmRef::Gather(&pr),
+        ),
+    ];
+    for (label, graph, mode, alg) in cells {
+        let strategy = strategy_for(mode);
+        group.bench_function(label, |b| {
+            b.iter(|| {
+                std::hint::black_box(
+                    strategy
+                        .run(graph, alg, &id, &one_round)
+                        .expect("valid bench configuration"),
+                )
+            })
+        });
+    }
     group.finish();
 }
 

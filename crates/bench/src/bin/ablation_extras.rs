@@ -17,9 +17,7 @@ use gograph_bench::datasets::{dataset, default_source, Scale};
 use gograph_bench::harness::{save_results, Table};
 use gograph_cachesim::cache_misses_of_order;
 use gograph_core::{metric_report, refine_adjacent_swaps, GoGraph};
-use gograph_engine::{
-    run, run_delta_priority, run_delta_round_robin, DeltaPageRank, Mode, PageRank, RunConfig,
-};
+use gograph_engine::{DeltaPageRank, DeltaSchedule, Mode, PageRank, Pipeline};
 use gograph_graph::Permutation;
 use gograph_reorder::{DefaultOrder, Reorderer, SccTopoOrder, SlashBurn};
 
@@ -27,7 +25,6 @@ fn main() {
     let scale = Scale::from_env();
     let d = dataset("CP", scale).unwrap();
     let g = &d.graph;
-    let cfg = RunConfig::default();
     let src = default_source(g);
     let _ = src;
     println!(
@@ -49,14 +46,16 @@ fn main() {
     );
     let mut orders: Vec<(&str, Permutation)> = Vec::new();
     for (name, m) in &methods {
-        let order = m.reorder(g);
-        let frac = metric_report(g, &order).positive_fraction();
-        let relabeled = g.relabeled(&order);
-        let id = Permutation::identity(g.num_vertices());
-        let stats = run(&relabeled, &PageRank::default(), Mode::Async, &id, &cfg);
-        let misses = cache_misses_of_order(g, &order, 2).total_misses();
-        t1.push_row(*name, vec![frac, stats.rounds as f64, misses as f64]);
-        orders.push((name, order));
+        let r = Pipeline::on(g)
+            .reorder(m)
+            .relabel(true)
+            .algorithm(PageRank::default())
+            .execute()
+            .expect("valid pipeline");
+        let frac = metric_report(g, &r.order).positive_fraction();
+        let misses = cache_misses_of_order(g, &r.order, 2).total_misses();
+        t1.push_row(*name, vec![frac, r.stats.rounds as f64, misses as f64]);
+        orders.push((name, r.order));
     }
     println!("{}", t1.render());
     let _ = save_results("ablation_families.tsv", &t1.to_tsv());
@@ -86,29 +85,42 @@ fn main() {
         "delta-engine scheduling (PageRank)",
         &["rounds/batches", "runtime ms"],
     );
-    let id = Permutation::identity(g.num_vertices());
     let dpr = DeltaPageRank::default();
-    let rr_def = run_delta_round_robin(g, &dpr, &id, &cfg);
+    let delta_run = |order: Option<&Permutation>, schedule: DeltaSchedule| {
+        let p = Pipeline::on(g)
+            .delta_algorithm_ref(&dpr)
+            .mode(Mode::Delta(schedule));
+        match order {
+            Some(o) => p.order_ref(o).relabel(true),
+            None => p,
+        }
+        .execute()
+        .expect("valid pipeline")
+        .stats
+    };
+    let rr_def = delta_run(None, DeltaSchedule::RoundRobin);
     t3.push_row(
         "Maiter RR + Default",
         vec![rr_def.rounds as f64, rr_def.runtime.as_secs_f64() * 1e3],
     );
     let go = orders.iter().find(|(n, _)| *n == "GoGraph").unwrap();
-    let relabeled = g.relabeled(&go.1);
-    let rr_go = run_delta_round_robin(&relabeled, &dpr, &id, &cfg);
+    let rr_go = delta_run(Some(&go.1), DeltaSchedule::RoundRobin);
     t3.push_row(
         "Maiter RR + GoGraph",
         vec![rr_go.rounds as f64, rr_go.runtime.as_secs_f64() * 1e3],
     );
-    let pri = run_delta_priority(g, &dpr, 0.05, &cfg);
+    let pri = delta_run(
+        None,
+        DeltaSchedule::Priority {
+            batch_fraction: 0.05,
+        },
+    );
     t3.push_row(
         "PrIter top-5%",
         vec![pri.rounds as f64, pri.runtime.as_secs_f64() * 1e3],
     );
     println!("{}", t3.render());
-    println!(
-        "note: PrIter rounds are batches of 5% of vertices; RR rounds are full scans.\n"
-    );
+    println!("note: PrIter rounds are batches of 5% of vertices; RR rounds are full scans.\n");
     let _ = save_results("ablation_scheduling.tsv", &t3.to_tsv());
 
     // Consistency: all three engines agree on total mass.

@@ -31,8 +31,14 @@ fn main() {
             runtime.max_speedup("Default", "GoGraph"),
             rounds.speedup("Default", "GoGraph"),
         );
-        let _ = save_results(&format!("fig05_{}.tsv", alg.to_lowercase()), &runtime.to_tsv());
-        let _ = save_results(&format!("fig06_{}.tsv", alg.to_lowercase()), &rounds.to_tsv());
+        let _ = save_results(
+            &format!("fig05_{}.tsv", alg.to_lowercase()),
+            &runtime.to_tsv(),
+        );
+        let _ = save_results(
+            &format!("fig06_{}.tsv", alg.to_lowercase()),
+            &rounds.to_tsv(),
+        );
     }
 
     println!("\n[fig 7] convergence curves (PageRank & SSSP on CP, LJ)");
@@ -62,7 +68,10 @@ fn main() {
             table.speedup("Sync+Def.", "Async+GoGraph"),
             table.max_speedup("Sync+Def.", "Async+GoGraph"),
         );
-        let _ = save_results(&format!("fig08_{}.tsv", alg.to_lowercase()), &table.to_tsv());
+        let _ = save_results(
+            &format!("fig08_{}.tsv", alg.to_lowercase()),
+            &table.to_tsv(),
+        );
     }
 
     println!("\n[fig 9] cache misses");

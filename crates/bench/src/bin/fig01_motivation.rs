@@ -21,7 +21,10 @@ fn main() {
     for (alg, table) in async_impact(scale, &["SSSP", "PageRank"]) {
         println!("{}", table.render());
         println!("{}", table.normalized("Sync+Def.").render());
-        let _ = save_results(&format!("fig01_{}.tsv", alg.to_lowercase()), &table.to_tsv());
+        let _ = save_results(
+            &format!("fig01_{}.tsv", alg.to_lowercase()),
+            &table.to_tsv(),
+        );
     }
     let _ = save_results("fig01_rounds.tsv", &rounds.to_tsv());
 }

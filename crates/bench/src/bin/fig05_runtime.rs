@@ -20,6 +20,9 @@ fn main() {
             runtime.speedup("Default", "GoGraph"),
             runtime.max_speedup("Default", "GoGraph"),
         );
-        let _ = save_results(&format!("fig05_{}.tsv", alg.to_lowercase()), &runtime.to_tsv());
+        let _ = save_results(
+            &format!("fig05_{}.tsv", alg.to_lowercase()),
+            &runtime.to_tsv(),
+        );
     }
 }

@@ -18,6 +18,9 @@ fn main() {
             "GoGraph round reduction vs Default: {:.2}x avg\n",
             rounds.speedup("Default", "GoGraph"),
         );
-        let _ = save_results(&format!("fig06_{}.tsv", alg.to_lowercase()), &rounds.to_tsv());
+        let _ = save_results(
+            &format!("fig06_{}.tsv", alg.to_lowercase()),
+            &rounds.to_tsv(),
+        );
     }
 }

@@ -28,7 +28,10 @@ fn main() {
                     .find(|&&(_, dist)| dist <= target)
                     .map(|&(t, _)| t);
                 match reach {
-                    Some(t) => println!("{method:>12}: reaches 1% distance at {t:.4}s ({} trace points)", curve.len()),
+                    Some(t) => println!(
+                        "{method:>12}: reaches 1% distance at {t:.4}s ({} trace points)",
+                        curve.len()
+                    ),
                     None => println!("{method:>12}: did not reach 1% within the run"),
                 }
                 for &(t, dist) in curve {
@@ -36,7 +39,10 @@ fn main() {
                 }
             }
             println!();
-            let _ = save_results(&format!("fig07_{}_{}.tsv", alg.to_lowercase(), ds.to_lowercase()), &tsv);
+            let _ = save_results(
+                &format!("fig07_{}_{}.tsv", alg.to_lowercase(), ds.to_lowercase()),
+                &tsv,
+            );
         }
     }
 }

@@ -20,6 +20,9 @@ fn main() {
             table.speedup("Sync+Def.", "Async+GoGraph"),
             table.max_speedup("Sync+Def.", "Async+GoGraph"),
         );
-        let _ = save_results(&format!("fig08_{}.tsv", alg.to_lowercase()), &table.to_tsv());
+        let _ = save_results(
+            &format!("fig08_{}.tsv", alg.to_lowercase()),
+            &table.to_tsv(),
+        );
     }
 }

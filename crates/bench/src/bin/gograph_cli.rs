@@ -6,24 +6,27 @@
 //! gograph_cli apply    <graph.el> --order order.txt --out reordered.el
 //! gograph_cli metric   <graph.el> [--order order.txt]
 //! gograph_cli run      <graph.el> --algorithm pagerank [--order order.txt]
-//!                      [--mode sync|async|parallel] [--source N]
+//!                      [--mode sync|async|parallel|worklist|delta-rr|delta-priority]
+//!                      [--source N]
 //! gograph_cli stats    <graph.el>
 //! gograph_cli generate --kind ba|rmat|planted|er|ws --n N --out graph.el
 //! ```
 //!
 //! Graphs are whitespace edge lists (`src dst [weight]`, `#`/`%`
-//! comments); orders are one vertex id per line.
+//! comments); orders are one vertex id per line. The delta modes accept
+//! only the delta-formulated algorithms (`pagerank`, `sssp`).
 
-use gograph_core::{metric_report, GoGraph};
+use gograph_core::{metric_report, GoGraph, IncrementalGoGraph};
 use gograph_engine::{
-    run, Bfs, IterativeAlgorithm, Mode, PageRank, Php, RunConfig, Sssp, Sswp,
+    Bfs, DeltaAlgorithm, DeltaPageRank, DeltaSchedule, DeltaSssp, IterativeAlgorithm, Mode,
+    PageRank, Php, Pipeline, PipelineResult, Sssp, Sswp,
 };
 use gograph_graph::generators as gen;
 use gograph_graph::io;
 use gograph_graph::stats::degree_stats;
 use gograph_graph::{CsrGraph, Permutation};
 use gograph_reorder::{
-    BfsOrder, DegSort, DefaultOrder, DfsOrder, Gorder, HubCluster, HubSort, RabbitOrder,
+    BfsOrder, DefaultOrder, DegSort, DfsOrder, Gorder, HubCluster, HubSort, RabbitOrder,
     RandomOrder, Reorderer, SccTopoOrder, SlashBurn,
 };
 use std::process::ExitCode;
@@ -72,6 +75,7 @@ fn method_by_name(name: &str) -> Result<Box<dyn Reorderer>, String> {
         "gograph" => Box::new(GoGraph::default()),
         "slashburn" => Box::new(SlashBurn::default()),
         "scc-topo" => Box::new(SccTopoOrder),
+        "incremental" => Box::new(IncrementalGoGraph::new(0)),
         "bfs" => Box::new(BfsOrder),
         "dfs" => Box::new(DfsOrder),
         "random" => Box::new(RandomOrder { seed: 42 }),
@@ -87,6 +91,18 @@ fn algorithm_by_name(name: &str, source: u32) -> Result<Box<dyn IterativeAlgorit
         "php" => Box::new(Php::new(source)),
         "sswp" => Box::new(Sswp::new(source)),
         other => return Err(format!("unknown algorithm {other:?}")),
+    })
+}
+
+fn delta_algorithm_by_name(name: &str, source: u32) -> Result<Box<dyn DeltaAlgorithm>, String> {
+    Ok(match name {
+        "pagerank" => Box::new(DeltaPageRank::default()),
+        "sssp" => Box::new(DeltaSssp { source }),
+        other => {
+            return Err(format!(
+                "algorithm {other:?} has no delta formulation (use pagerank or sssp)"
+            ))
+        }
     })
 }
 
@@ -136,7 +152,9 @@ fn real_main() -> Result<(), String> {
             );
             match args.get("out") {
                 Some(out) => io::write_permutation_file(&order, out).map_err(|e| e.to_string())?,
-                None => io::write_permutation(&order, std::io::stdout()).map_err(|e| e.to_string())?,
+                None => {
+                    io::write_permutation(&order, std::io::stdout()).map_err(|e| e.to_string())?
+                }
             }
         }
         "apply" => {
@@ -174,30 +192,62 @@ fn real_main() -> Result<(), String> {
                 .map(|s| s.parse().map_err(|_| "bad --source"))
                 .transpose()?
                 .unwrap_or(0);
-            let alg = algorithm_by_name(args.get("algorithm").unwrap_or("pagerank"), order.position(source))?;
+            let alg_name = args.get("algorithm").unwrap_or("pagerank").to_string();
             let mode = match args.get("mode").unwrap_or("async") {
                 "sync" => Mode::Sync,
                 "async" => Mode::Async,
                 "parallel" => Mode::Parallel(8),
+                "worklist" => Mode::Worklist,
+                "delta-rr" => Mode::Delta(DeltaSchedule::RoundRobin),
+                "delta-priority" => Mode::Delta(DeltaSchedule::Priority {
+                    batch_fraction: 0.05,
+                }),
                 other => return Err(format!("unknown mode {other:?}")),
             };
-            let relabeled = g.relabeled(&order);
-            let id = Permutation::identity(g.num_vertices());
-            let stats = run(&relabeled, alg.as_ref(), mode, &id, &RunConfig::default());
+            if source as usize >= g.num_vertices() {
+                return Err(format!(
+                    "--source {source} out of range: the graph has {} vertices",
+                    g.num_vertices()
+                ));
+            }
+            let pipeline = Pipeline::on(&g)
+                .order(order.clone())
+                .relabel(true)
+                .mode(mode);
+            let result: PipelineResult = match mode {
+                Mode::Delta(_) => {
+                    let alg = delta_algorithm_by_name(&alg_name, order.position(source))?;
+                    pipeline.delta_algorithm_ref(alg.as_ref()).execute()
+                }
+                _ => {
+                    // Validate the name eagerly; the factory then maps the
+                    // source through the pipeline's resolved order.
+                    algorithm_by_name(&alg_name, 0)?;
+                    pipeline
+                        .algorithm_with(|o| {
+                            algorithm_by_name(&alg_name, o.position(source))
+                                .expect("name validated above")
+                        })
+                        .execute()
+                }
+            }
+            .map_err(|e| e.to_string())?;
+            let stats = &result.stats;
             println!(
-                "{}: {} rounds in {:.1} ms (converged: {})",
-                alg.name(),
+                "{alg_name} [{}]: {} rounds in {:.1} ms (converged: {}{})",
+                mode.name(),
                 stats.rounds,
                 stats.runtime.as_secs_f64() * 1e3,
-                stats.converged
+                stats.converged,
+                match stats.evaluations {
+                    Some(e) => format!(", {e} vertex evaluations"),
+                    None => String::new(),
+                }
             );
             // Top-5 states (original ids).
-            let mut ranked: Vec<(u32, f64)> = stats
-                .final_states
-                .iter()
-                .enumerate()
+            let mut ranked: Vec<(u32, f64)> = (0..g.num_vertices() as u32)
+                .map(|v| (v, result.state_of(v)))
                 .filter(|(_, s)| s.is_finite())
-                .map(|(nv, &s)| (order.vertex_at(nv), s))
                 .collect();
             ranked.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
             for (v, s) in ranked.iter().take(5) {
@@ -220,8 +270,16 @@ fn real_main() -> Result<(), String> {
             );
         }
         "generate" => {
-            let n: usize = args.get("n").unwrap_or("10000").parse().map_err(|_| "bad --n")?;
-            let seed: u64 = args.get("seed").unwrap_or("42").parse().map_err(|_| "bad --seed")?;
+            let n: usize = args
+                .get("n")
+                .unwrap_or("10000")
+                .parse()
+                .map_err(|_| "bad --n")?;
+            let seed: u64 = args
+                .get("seed")
+                .unwrap_or("42")
+                .parse()
+                .map_err(|_| "bad --seed")?;
             let g = match args.get("kind").unwrap_or("planted") {
                 "ba" => gen::barabasi_albert(n, 4, seed),
                 "er" => gen::erdos_renyi(n, n * 5, seed),
@@ -245,7 +303,11 @@ fn real_main() -> Result<(), String> {
             } else {
                 io::write_edge_list_file(&g, out).map_err(|e| e.to_string())?;
             }
-            eprintln!("wrote {} vertices / {} edges to {out}", g.num_vertices(), g.num_edges());
+            eprintln!(
+                "wrote {} vertices / {} edges to {out}",
+                g.num_vertices(),
+                g.num_edges()
+            );
         }
         other => return Err(format!("unknown command {other:?}")),
     }

@@ -16,8 +16,7 @@
 //! | LJ     | soc-LiveJournal    | planted partition, largest                 |
 
 use gograph_graph::generators::{
-    barabasi_albert, planted_partition, shuffle_labels, with_random_weights,
-    PlantedPartitionConfig,
+    barabasi_albert, planted_partition, shuffle_labels, with_random_weights, PlantedPartitionConfig,
 };
 use gograph_graph::CsrGraph;
 
@@ -67,6 +66,7 @@ pub struct Dataset {
     pub graph: CsrGraph,
 }
 
+#[allow(clippy::too_many_arguments)] // one call site per dataset row; a config struct would obscure the table
 fn planted(
     n: usize,
     m: usize,
@@ -86,7 +86,11 @@ fn planted(
         gamma,
         seed,
     });
-    let g = if shuffle { shuffle_labels(&g, seed ^ 0x5a5a) } else { g };
+    let g = if shuffle {
+        shuffle_labels(&g, seed ^ 0x5a5a)
+    } else {
+        g
+    };
     with_random_weights(&g, 1.0, 10.0, seed ^ 0x77)
 }
 

@@ -8,8 +8,8 @@ use crate::orderings::paper_methods;
 use gograph_cachesim::cache_misses_of_order;
 use gograph_core::{metric_report, GoGraph, PartitionerChoice};
 use gograph_engine::{
-    run, total_memory_bytes, Bfs, IterativeAlgorithm, Mode, PageRank, Php, RunConfig, RunStats,
-    Sssp,
+    total_memory_bytes, Bfs, IterativeAlgorithm, Mode, PageRank, Php, Pipeline, RunConfig,
+    RunStats, Sssp,
 };
 use gograph_graph::{CsrGraph, Permutation};
 use gograph_partition::{Fennel, LabelPropagation, Louvain, MetisLike, RabbitPartition};
@@ -31,7 +31,8 @@ pub fn workload(name: &str, source: u32) -> Box<dyn IterativeAlgorithm> {
 pub const WORKLOADS: [&str; 4] = ["PageRank", "SSSP", "BFS", "PHP"];
 
 /// Runs one (algorithm, order) cell: relabels the graph physically by the
-/// order (the paper's deployment), maps the source, and runs the engine.
+/// order (the paper's deployment), maps the source, and runs the engine —
+/// one [`Pipeline`] invocation.
 pub fn run_cell(
     g: &CsrGraph,
     order: &Permutation,
@@ -40,11 +41,15 @@ pub fn run_cell(
     mode: Mode,
     cfg: &RunConfig,
 ) -> RunStats {
-    let relabeled = g.relabeled(order);
-    let new_source = order.position(source);
-    let alg = workload(alg_name, new_source);
-    let id = Permutation::identity(g.num_vertices());
-    run(&relabeled, alg.as_ref(), mode, &id, cfg)
+    Pipeline::on(g)
+        .order_ref(order)
+        .relabel(true)
+        .mode(mode)
+        .algorithm_with(|o| workload(alg_name, o.position(source)))
+        .config(*cfg)
+        .execute()
+        .expect("benchmark cell configuration is valid")
+        .stats
 }
 
 /// Figs. 5 & 6: the full grid — per workload, a (methods × datasets)
@@ -71,9 +76,8 @@ pub fn overall_grid(scale: Scale) -> Vec<(String, Table, Table)> {
             let mut rd_row = Vec::new();
             for (di, d) in datasets.iter().enumerate() {
                 let src = default_source(&d.graph);
-                let (stats, dur) = timed(|| {
-                    run_cell(&d.graph, &orders[mi][di], alg_name, src, Mode::Async, &cfg)
-                });
+                let (stats, dur) =
+                    timed(|| run_cell(&d.graph, &orders[mi][di], alg_name, src, Mode::Async, &cfg));
                 // Engine-loop runtime only (relabeling is offline prep).
                 let _ = dur;
                 rt_row.push(stats.runtime.as_secs_f64());
@@ -146,10 +150,7 @@ pub fn motivation_rounds(scale: Scale) -> Table {
 /// Fig. 7: convergence curves. For each method, runs the workload with
 /// tracing and returns `(method, Vec<(seconds, distance)>)`, where
 /// distance is `|Σx* − Σx_t|` against the converged sum (paper §V-C).
-pub fn convergence_curves(
-    d: &Dataset,
-    alg_name: &str,
-) -> Vec<(String, Vec<(f64, f64)>)> {
+pub fn convergence_curves(d: &Dataset, alg_name: &str) -> Vec<(String, Vec<(f64, f64)>)> {
     let cfg = RunConfig {
         record_trace: true,
         ..Default::default()
@@ -343,8 +344,11 @@ mod tests {
         let id = Permutation::identity(d.graph.num_vertices());
         let cfg = RunConfig::default();
         let cell = run_cell(&d.graph, &id, "SSSP", src, Mode::Async, &cfg);
-        let alg = Sssp::new(src);
-        let direct = run(&d.graph, &alg, Mode::Async, &id, &cfg);
+        let direct = Pipeline::on(&d.graph)
+            .algorithm(Sssp::new(src))
+            .execute()
+            .unwrap()
+            .stats;
         assert_eq!(cell.final_states, direct.final_states);
     }
 
@@ -370,7 +374,10 @@ mod tests {
         let go = &t.rows()[2].1;
         for i in 0..2 {
             assert!(asyn[i] <= sync[i], "async slower than sync at col {i}");
-            assert!(go[i] <= asyn[i] + 1.0, "gograph much slower than async at col {i}");
+            assert!(
+                go[i] <= asyn[i] + 1.0,
+                "gograph much slower than async at col {i}"
+            );
         }
     }
 
@@ -389,6 +396,9 @@ mod tests {
         let def = get("Default");
         let go = get("GoGraph");
         assert!(go[0] > def[0], "GoGraph M should beat Default");
-        assert!(go[2] <= def[2], "GoGraph PageRank rounds should not exceed Default");
+        assert!(
+            go[2] <= def[2],
+            "GoGraph PageRank rounds should not exceed Default"
+        );
     }
 }

@@ -104,14 +104,7 @@ impl Table {
 
     /// Maximum per-column speedup of `method` vs `baseline`.
     pub fn max_speedup(&self, baseline: &str, method: &str) -> f64 {
-        let get = |name: &str| {
-            &self
-                .rows
-                .iter()
-                .find(|(l, _)| l == name)
-                .unwrap()
-                .1
-        };
+        let get = |name: &str| &self.rows.iter().find(|(l, _)| l == name).unwrap().1;
         get(baseline)
             .iter()
             .zip(get(method))

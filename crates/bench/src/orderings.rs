@@ -4,9 +4,7 @@
 
 use gograph_core::GoGraph;
 use gograph_graph::{CsrGraph, Permutation};
-use gograph_reorder::{
-    DegSort, DefaultOrder, Gorder, HubCluster, HubSort, RabbitOrder, Reorderer,
-};
+use gograph_reorder::{DefaultOrder, DegSort, Gorder, HubCluster, HubSort, RabbitOrder, Reorderer};
 
 /// One competitor: name + boxed reorderer.
 pub struct Method {

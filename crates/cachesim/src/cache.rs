@@ -58,10 +58,19 @@ impl Cache {
     /// Panics on non-power-of-two geometry or capacity smaller than one
     /// way of lines.
     pub fn new(capacity_bytes: usize, line_size: usize, associativity: usize) -> Self {
-        assert!(line_size.is_power_of_two(), "line size must be a power of two");
-        assert!(capacity_bytes.is_multiple_of(line_size * associativity), "inconsistent geometry");
+        assert!(
+            line_size.is_power_of_two(),
+            "line size must be a power of two"
+        );
+        assert!(
+            capacity_bytes.is_multiple_of(line_size * associativity),
+            "inconsistent geometry"
+        );
         let num_sets = capacity_bytes / (line_size * associativity);
-        assert!(num_sets.is_power_of_two(), "set count must be a power of two");
+        assert!(
+            num_sets.is_power_of_two(),
+            "set count must be a power of two"
+        );
         Cache {
             line_shift: line_size.trailing_zeros(),
             set_mask: (num_sets - 1) as u64,

@@ -84,8 +84,8 @@ pub fn cache_misses_of_order(g: &CsrGraph, order: &Permutation, rounds: usize) -
 #[cfg(test)]
 mod tests {
     use super::*;
-    use gograph_graph::generators::{planted_partition, shuffle_labels, PlantedPartitionConfig};
     use gograph_graph::generators::regular::chain;
+    use gograph_graph::generators::{planted_partition, shuffle_labels, PlantedPartitionConfig};
 
     #[test]
     fn deterministic() {

@@ -172,7 +172,11 @@ impl GoGraph {
             global.insert(v as usize, &links);
         }
 
-        let order: Vec<VertexId> = global.sorted_items().into_iter().map(|i| i as u32).collect();
+        let order: Vec<VertexId> = global
+            .sorted_items()
+            .into_iter()
+            .map(|i| i as u32)
+            .collect();
         Permutation::from_order(order)
     }
 }
@@ -289,9 +293,7 @@ mod tests {
     use super::*;
     use crate::metric::{metric, metric_report};
     use gograph_graph::generators::regular::{chain, cycle, layered_dag};
-    use gograph_graph::generators::{
-        planted_partition, shuffle_labels, PlantedPartitionConfig,
-    };
+    use gograph_graph::generators::{planted_partition, shuffle_labels, PlantedPartitionConfig};
     use gograph_reorder::{DefaultOrder, Reorderer};
 
     fn community_graph(seed: u64) -> CsrGraph {

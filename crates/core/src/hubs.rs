@@ -95,7 +95,21 @@ mod tests {
     fn fig3_like() -> CsrGraph {
         let mut b = GraphBuilder::new();
         // hub edges
-        for &(u, v) in &[(1u32, 0u32), (0, 2), (2, 1), (0, 3), (3, 1), (0, 4), (5, 1), (0, 6), (7, 1), (0, 5), (4, 1), (0, 7), (6, 1)] {
+        for &(u, v) in &[
+            (1u32, 0u32),
+            (0, 2),
+            (2, 1),
+            (0, 3),
+            (3, 1),
+            (0, 4),
+            (5, 1),
+            (0, 6),
+            (7, 1),
+            (0, 5),
+            (4, 1),
+            (0, 7),
+            (6, 1),
+        ] {
             b.add_edge(u, v, 1.0);
         }
         // community edges among d,e and f,g

@@ -226,7 +226,11 @@ impl InsertionOrder {
         self.vals.push(f64::NAN);
         self.inserted.push(false);
         let id = self.vals.len() - 1;
-        let val = if self.count == 0 { 0.0 } else { self.max_val + 1.0 };
+        let val = if self.count == 0 {
+            0.0
+        } else {
+            self.max_val + 1.0
+        };
         self.finish(id, val);
     }
 
@@ -355,7 +359,10 @@ mod tests {
         o.insert(1, &[NeighborLink::new(0, 1.0, 0.0)]); // 1 after 0
         let r = o.insert(
             2,
-            &[NeighborLink::new(0, 1.0, 0.0), NeighborLink::new(1, 0.0, 1.0)],
+            &[
+                NeighborLink::new(0, 1.0, 0.0),
+                NeighborLink::new(1, 0.0, 1.0),
+            ],
         );
         assert_eq!(r.positive_gain, 2.0);
         assert!(o.val(2) > o.val(0) && o.val(2) < o.val(1));
@@ -423,7 +430,9 @@ mod tests {
         let mut o = InsertionOrder::new(40);
         let mut state = 12345u64;
         let mut next = move || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             state >> 33
         };
         for id in 0..40usize {
@@ -455,7 +464,10 @@ mod tests {
         o.insert(1, &[NeighborLink::new(0, 1.0, 0.0)]);
         let r = o.insert(
             2,
-            &[NeighborLink::new(0, 1.0, 0.0), NeighborLink::new(1, 0.0, 5.0)],
+            &[
+                NeighborLink::new(0, 1.0, 0.0),
+                NeighborLink::new(1, 0.0, 5.0),
+            ],
         );
         // positions: head = 5 (out to 1); after 0 = 5 + 1 = 6; after 1 = 6 - 5 = 1.
         assert_eq!(r.positive_gain, 6.0);
@@ -474,7 +486,13 @@ mod tests {
     fn links_to_uninserted_ignored() {
         let mut o = InsertionOrder::new(3);
         o.insert(0, &[]);
-        let r = o.insert(1, &[NeighborLink::new(2, 5.0, 5.0), NeighborLink::new(0, 1.0, 0.0)]);
+        let r = o.insert(
+            1,
+            &[
+                NeighborLink::new(2, 5.0, 5.0),
+                NeighborLink::new(0, 1.0, 0.0),
+            ],
+        );
         assert_eq!(r.total_link_weight, 1.0);
         assert_eq!(r.positive_gain, 1.0);
     }

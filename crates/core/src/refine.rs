@@ -38,11 +38,7 @@ fn edge_count(g: &CsrGraph, u: VertexId, v: VertexId) -> i64 {
 
 /// Hill-climbs `order` with adjacent-transposition sweeps until a sweep
 /// makes no improvement or `max_sweeps` is reached.
-pub fn refine_adjacent_swaps(
-    g: &CsrGraph,
-    order: &Permutation,
-    max_sweeps: usize,
-) -> RefineResult {
+pub fn refine_adjacent_swaps(g: &CsrGraph, order: &Permutation, max_sweeps: usize) -> RefineResult {
     let metric_before = metric(g, order);
     let mut seq: Vec<VertexId> = order.order().to_vec();
     let n = seq.len();

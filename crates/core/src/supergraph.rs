@@ -123,7 +123,9 @@ mod tests {
         let (g, part) = sample();
         let sg = SuperGraph::build(&g, &part, 3);
         // (0,1), (2,3), (4,5) are intra-subgraph
-        let total: f64 = (0..3).map(|i| sg.out_links(i).iter().map(|&(_, w)| w).sum::<f64>()).sum();
+        let total: f64 = (0..3)
+            .map(|i| sg.out_links(i).iter().map(|&(_, w)| w).sum::<f64>())
+            .sum();
         assert_eq!(total, 4.0);
     }
 

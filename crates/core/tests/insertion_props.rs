@@ -10,25 +10,23 @@ use proptest::prelude::*;
 fn arb_workload() -> impl Strategy<Value = Vec<Vec<NeighborLink>>> {
     (2usize..30).prop_flat_map(|k| {
         let per_item = (0..k).map(move |id| {
-            proptest::collection::vec(
-                (0..id.max(1), 0u32..3, 1.0f64..4.0),
-                0..=id.min(8),
-            )
-            .prop_map(move |raw| {
-                let mut links: Vec<NeighborLink> = Vec::new();
-                for (other, kind, w) in raw {
-                    if links.iter().any(|l| l.id == other) {
-                        continue; // one link per neighbor
+            proptest::collection::vec((0..id.max(1), 0u32..3, 1.0f64..4.0), 0..=id.min(8)).prop_map(
+                move |raw| {
+                    let mut links: Vec<NeighborLink> = Vec::new();
+                    for (other, kind, w) in raw {
+                        if links.iter().any(|l| l.id == other) {
+                            continue; // one link per neighbor
+                        }
+                        let link = match kind {
+                            0 => NeighborLink::new(other, w, 0.0),
+                            1 => NeighborLink::new(other, 0.0, w),
+                            _ => NeighborLink::new(other, w, w * 0.5),
+                        };
+                        links.push(link);
                     }
-                    let link = match kind {
-                        0 => NeighborLink::new(other, w, 0.0),
-                        1 => NeighborLink::new(other, 0.0, w),
-                        _ => NeighborLink::new(other, w, w * 0.5),
-                    };
-                    links.push(link);
-                }
-                links
-            })
+                    links
+                },
+            )
         });
         per_item.collect::<Vec<_>>()
     })

@@ -104,7 +104,9 @@ mod tests {
         let alg = Adsorption::new(vec![0]);
         let mut states = vec![0.0; 5];
         for _ in 0..100 {
-            states = (0..5u32).map(|v| evaluate_vertex(&alg, &g, v, &states)).collect();
+            states = (0..5u32)
+                .map(|v| evaluate_vertex(&alg, &g, v, &states))
+                .collect();
         }
         assert!((states[0] - 0.25).abs() < 1e-9);
         for v in 1..5 {
@@ -119,7 +121,9 @@ mod tests {
         let alg = Adsorption::new(vec![]);
         let mut states = vec![0.0; 4];
         for _ in 0..10 {
-            states = (0..4u32).map(|v| evaluate_vertex(&alg, &g, v, &states)).collect();
+            states = (0..4u32)
+                .map(|v| evaluate_vertex(&alg, &g, v, &states))
+                .collect();
         }
         assert!(states.iter().all(|&x| x == 0.0));
     }
@@ -130,7 +134,9 @@ mod tests {
         let both = Adsorption::new(vec![0, 2]);
         let mut states = vec![0.0; 3];
         for _ in 0..50 {
-            states = (0..3u32).map(|v| evaluate_vertex(&both, &g, v, &states)).collect();
+            states = (0..3u32)
+                .map(|v| evaluate_vertex(&both, &g, v, &states))
+                .collect();
         }
         assert!((states[2] - (0.25 + 0.75 * states[1])).abs() < 1e-9);
     }

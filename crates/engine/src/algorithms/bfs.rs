@@ -72,7 +72,9 @@ mod tests {
         let alg = Bfs::new(0);
         let mut states: Vec<f64> = (0..25u32).map(|v| alg.init(&g, v)).collect();
         for _ in 0..20 {
-            states = (0..25u32).map(|v| evaluate_vertex(&alg, &g, v, &states)).collect();
+            states = (0..25u32)
+                .map(|v| evaluate_vertex(&alg, &g, v, &states))
+                .collect();
         }
         let truth = bfs_distances(&g, 0);
         for v in 0..25usize {

@@ -75,17 +75,15 @@ mod tests {
         let alg = ConnectedComponents;
         let mut states: Vec<f64> = (0..7u32).map(|v| alg.init(&s, v)).collect();
         for _ in 0..10 {
-            states = (0..7u32).map(|v| evaluate_vertex(&alg, &s, v, &states)).collect();
+            states = (0..7u32)
+                .map(|v| evaluate_vertex(&alg, &s, v, &states))
+                .collect();
         }
         let (wcc, _) = weakly_connected_components(&g);
         // same component <=> same label
         for a in 0..7usize {
             for b in 0..7usize {
-                assert_eq!(
-                    wcc[a] == wcc[b],
-                    states[a] == states[b],
-                    "vertices {a},{b}"
-                );
+                assert_eq!(wcc[a] == wcc[b], states[a] == states[b], "vertices {a},{b}");
             }
         }
         // labels are the component minima

@@ -88,7 +88,9 @@ mod tests {
         };
         let mut states = vec![0.0; 6];
         for _ in 0..200 {
-            states = (0..6u32).map(|v| evaluate_vertex(&alg, &g, v, &states)).collect();
+            states = (0..6u32)
+                .map(|v| evaluate_vertex(&alg, &g, v, &states))
+                .collect();
         }
         let expect = 1.0 / 0.7;
         for &x in &states {
@@ -103,7 +105,9 @@ mod tests {
         let alg = Katz::for_graph(&g);
         let mut states = vec![0.0; 10];
         for _ in 0..100 {
-            states = (0..10u32).map(|v| evaluate_vertex(&alg, &g, v, &states)).collect();
+            states = (0..10u32)
+                .map(|v| evaluate_vertex(&alg, &g, v, &states))
+                .collect();
         }
         for v in 1..10 {
             assert!(states[0] > states[v], "hub should outrank leaf {v}");
@@ -117,7 +121,9 @@ mod tests {
         let mut states = vec![0.0; 8];
         let mut last_delta = f64::INFINITY;
         for _ in 0..500 {
-            let next: Vec<f64> = (0..8u32).map(|v| evaluate_vertex(&alg, &g, v, &states)).collect();
+            let next: Vec<f64> = (0..8u32)
+                .map(|v| evaluate_vertex(&alg, &g, v, &states))
+                .collect();
             last_delta = states
                 .iter()
                 .zip(&next)

@@ -71,7 +71,9 @@ pub fn monotonicity_probe<A: IterativeAlgorithm>(alg: &A, g: &CsrGraph) -> Resul
             }
         }
         // Advance one synchronous round.
-        let next: Vec<f64> = (0..n as u32).map(|v| evaluate_vertex(alg, g, v, &states)).collect();
+        let next: Vec<f64> = (0..n as u32)
+            .map(|v| evaluate_vertex(alg, g, v, &states))
+            .collect();
         states = next;
     }
     Ok(())

@@ -85,7 +85,9 @@ mod tests {
         let mut states = vec![0.0; 5];
         let pr = PageRank::default();
         for _ in 0..200 {
-            states = (0..5u32).map(|v| evaluate_vertex(&pr, &g, v, &states)).collect();
+            states = (0..5u32)
+                .map(|v| evaluate_vertex(&pr, &g, v, &states))
+                .collect();
         }
         for &x in &states {
             assert!((x - 1.0).abs() < 1e-6, "state {x}");
@@ -98,7 +100,9 @@ mod tests {
         let pr = PageRank::default();
         let mut states = vec![0.0; 4];
         for _ in 0..20 {
-            let next: Vec<f64> = (0..4u32).map(|v| evaluate_vertex(&pr, &g, v, &states)).collect();
+            let next: Vec<f64> = (0..4u32)
+                .map(|v| evaluate_vertex(&pr, &g, v, &states))
+                .collect();
             for (o, n) in states.iter().zip(&next) {
                 assert!(n >= o);
             }

@@ -91,7 +91,9 @@ mod tests {
         let alg = Php::new(0);
         let mut states: Vec<f64> = (0..4u32).map(|v| alg.init(&g, v)).collect();
         for _ in 0..50 {
-            states = (0..4u32).map(|v| evaluate_vertex(&alg, &g, v, &states)).collect();
+            states = (0..4u32)
+                .map(|v| evaluate_vertex(&alg, &g, v, &states))
+                .collect();
         }
         assert_eq!(states[0], 1.0);
         assert!((states[1] - 0.8).abs() < 1e-9);
@@ -113,7 +115,9 @@ mod tests {
         let alg = Php::new(0);
         let mut states: Vec<f64> = (0..5u32).map(|v| alg.init(&g, v)).collect();
         for _ in 0..100 {
-            states = (0..5u32).map(|v| evaluate_vertex(&alg, &g, v, &states)).collect();
+            states = (0..5u32)
+                .map(|v| evaluate_vertex(&alg, &g, v, &states))
+                .collect();
         }
         for &x in &states {
             assert!(x <= 1.0 + 1e-9);

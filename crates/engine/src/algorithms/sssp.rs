@@ -89,7 +89,9 @@ mod tests {
         let alg = Sssp::new(0);
         let mut states: Vec<f64> = (0..5u32).map(|v| alg.init(&g, v)).collect();
         for _ in 0..10 {
-            states = (0..5u32).map(|v| evaluate_vertex(&alg, &g, v, &states)).collect();
+            states = (0..5u32)
+                .map(|v| evaluate_vertex(&alg, &g, v, &states))
+                .collect();
         }
         assert_eq!(states, vec![0.0, 1.0, 4.0, 4.0, 2.0]);
     }
@@ -100,7 +102,9 @@ mod tests {
         let alg = Sssp::new(0);
         let mut states: Vec<f64> = (0..3u32).map(|v| alg.init(&g, v)).collect();
         for _ in 0..5 {
-            states = (0..3u32).map(|v| evaluate_vertex(&alg, &g, v, &states)).collect();
+            states = (0..3u32)
+                .map(|v| evaluate_vertex(&alg, &g, v, &states))
+                .collect();
         }
         assert_eq!(states[2], f64::INFINITY);
     }

@@ -75,17 +75,14 @@ mod tests {
         // Widest path to 3: via 1, bottleneck min(3, 5) = 3.
         let g = CsrGraph::from_edges(
             4,
-            [
-                (0u32, 1u32, 3.0f64),
-                (1, 3, 5.0),
-                (0, 2, 2.0),
-                (2, 3, 9.0),
-            ],
+            [(0u32, 1u32, 3.0f64), (1, 3, 5.0), (0, 2, 2.0), (2, 3, 9.0)],
         );
         let alg = Sswp::new(0);
         let mut states: Vec<f64> = (0..4u32).map(|v| alg.init(&g, v)).collect();
         for _ in 0..5 {
-            states = (0..4u32).map(|v| evaluate_vertex(&alg, &g, v, &states)).collect();
+            states = (0..4u32)
+                .map(|v| evaluate_vertex(&alg, &g, v, &states))
+                .collect();
         }
         assert_eq!(states[1], 3.0);
         assert_eq!(states[2], 2.0);
@@ -98,7 +95,9 @@ mod tests {
         let alg = Sswp::new(0);
         let mut states: Vec<f64> = (0..3u32).map(|v| alg.init(&g, v)).collect();
         for _ in 0..3 {
-            states = (0..3u32).map(|v| evaluate_vertex(&alg, &g, v, &states)).collect();
+            states = (0..3u32)
+                .map(|v| evaluate_vertex(&alg, &g, v, &states))
+                .collect();
         }
         assert_eq!(states[2], 0.0);
     }

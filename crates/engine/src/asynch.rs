@@ -66,7 +66,12 @@ pub fn run_async(
             states[v as usize] = new;
         }
         if cfg.record_trace {
-            trace.push(trace_point(rounds, start.elapsed(), acc_delta.value(), &states));
+            trace.push(trace_point(
+                rounds,
+                start.elapsed(),
+                acc_delta.value(),
+                &states,
+            ));
         }
         if acc_delta.value() <= eps {
             converged = true;
@@ -82,6 +87,7 @@ pub fn run_async(
         trace,
         // Single state array: the async memory advantage of Fig. 11.
         state_memory_bytes: n * std::mem::size_of::<f64>(),
+        evaluations: None,
     }
 }
 
@@ -91,14 +97,21 @@ mod tests {
     use crate::algorithms::{PageRank, Sssp};
     use crate::sync::run_sync;
     use gograph_graph::generators::regular::chain;
-    use gograph_graph::generators::{planted_partition, with_random_weights, PlantedPartitionConfig};
+    use gograph_graph::generators::{
+        planted_partition, with_random_weights, PlantedPartitionConfig,
+    };
 
     #[test]
     fn chain_converges_in_two_rounds_with_good_order() {
         // Identity order on a chain: every edge is positive, so one round
         // fully propagates + 1 confirmation round.
         let g = chain(50);
-        let stats = run_async(&g, &Sssp::new(0), &Permutation::identity(50), &RunConfig::default());
+        let stats = run_async(
+            &g,
+            &Sssp::new(0),
+            &Permutation::identity(50),
+            &RunConfig::default(),
+        );
         assert!(stats.converged);
         assert_eq!(stats.rounds, 2);
         assert_eq!(stats.final_states[49], 49.0);
@@ -136,7 +149,12 @@ mod tests {
         let s = run_sync(&g, &alg, &id, &cfg);
         let a = run_async(&g, &alg, &id, &cfg);
         assert_eq!(s.final_states, a.final_states);
-        assert!(a.rounds <= s.rounds, "async {} vs sync {}", a.rounds, s.rounds);
+        assert!(
+            a.rounds <= s.rounds,
+            "async {} vs sync {}",
+            a.rounds,
+            s.rounds
+        );
     }
 
     #[test]

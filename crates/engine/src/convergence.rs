@@ -37,12 +37,20 @@ pub struct RunStats {
     /// Bytes of state the engine held (Fig. 11 memory accounting):
     /// one array for async, two for sync.
     pub state_memory_bytes: usize,
+    /// Total vertex evaluations, for engines that skip work
+    /// (`Some` for the worklist engine; full-scan engines report `None`
+    /// — their count is always `rounds * n`).
+    pub evaluations: Option<usize>,
 }
 
 impl RunStats {
     /// Sum of all finite final states.
     pub fn finite_sum(&self) -> f64 {
-        self.final_states.iter().copied().filter(|x| x.is_finite()).sum()
+        self.final_states
+            .iter()
+            .copied()
+            .filter(|x| x.is_finite())
+            .sum()
     }
 
     /// Distance-to-convergence curve against a reference converged state
@@ -98,12 +106,7 @@ pub fn state_delta(old: f64, new: f64) -> f64 {
 }
 
 /// Builds a [`TracePoint`] from a state array.
-pub fn trace_point(
-    round: usize,
-    elapsed: Duration,
-    delta: f64,
-    states: &[f64],
-) -> TracePoint {
+pub fn trace_point(round: usize, elapsed: Duration, delta: f64, states: &[f64]) -> TracePoint {
     let mut finite_sum = 0.0;
     let mut infinite_count = 0;
     for &x in states {
@@ -152,12 +155,7 @@ mod tests {
 
     #[test]
     fn trace_point_splits_finite_and_infinite() {
-        let p = trace_point(
-            2,
-            Duration::from_millis(5),
-            0.1,
-            &[1.0, f64::INFINITY, 2.0],
-        );
+        let p = trace_point(2, Duration::from_millis(5), 0.1, &[1.0, f64::INFINITY, 2.0]);
         assert_eq!(p.finite_sum, 3.0);
         assert_eq!(p.infinite_count, 1);
         assert_eq!(p.round, 2);
@@ -175,6 +173,7 @@ mod tests {
                 trace_point(2, Duration::from_millis(2), 0.0, &[1.0, 2.0]),
             ],
             state_memory_bytes: 16,
+            evaluations: None,
         };
         let curve = stats.distance_curve(3.0);
         assert_eq!(curve[0].1, 1.5);

@@ -18,6 +18,20 @@ use crate::runner::RunConfig;
 use gograph_graph::{CsrGraph, Permutation, VertexId, Weight};
 use std::time::Instant;
 
+/// Scheduling discipline of the delta-accumulative engine family,
+/// selected through [`crate::Mode::Delta`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum DeltaSchedule {
+    /// Maiter-style: scan the processing order each round.
+    RoundRobin,
+    /// PrIter-style: process the highest-impact pending deltas first, in
+    /// batches of the given fraction of vertices.
+    Priority {
+        /// Fraction of vertices per batch, in `(0, 1]`.
+        batch_fraction: f64,
+    },
+}
+
 /// A delta-accumulative algorithm: `x ⊕ Δ` with edge propagation
 /// `g_{u→w}`.
 pub trait DeltaAlgorithm: Send + Sync {
@@ -38,8 +52,7 @@ pub trait DeltaAlgorithm: Send + Sync {
 
     /// Edge propagation `g_{u→w}(Δ)`: the delta contribution sent along
     /// `u -> w` when `u` consumed delta `Δ`.
-    fn propagate(&self, g: &CsrGraph, u: VertexId, w: VertexId, weight: Weight, delta: f64)
-        -> f64;
+    fn propagate(&self, g: &CsrGraph, u: VertexId, w: VertexId, weight: Weight, delta: f64) -> f64;
 
     /// Whether a pending delta would still change the state enough to be
     /// worth processing (the convergence test).
@@ -84,7 +97,14 @@ impl DeltaAlgorithm for DeltaPageRank {
         a + b
     }
     #[inline]
-    fn propagate(&self, g: &CsrGraph, u: VertexId, _w: VertexId, _weight: Weight, delta: f64) -> f64 {
+    fn propagate(
+        &self,
+        g: &CsrGraph,
+        u: VertexId,
+        _w: VertexId,
+        _weight: Weight,
+        delta: f64,
+    ) -> f64 {
         let d = g.out_degree(u);
         if d == 0 {
             0.0
@@ -128,7 +148,14 @@ impl DeltaAlgorithm for DeltaSssp {
         a.min(b)
     }
     #[inline]
-    fn propagate(&self, _g: &CsrGraph, _u: VertexId, _w: VertexId, weight: Weight, delta: f64) -> f64 {
+    fn propagate(
+        &self,
+        _g: &CsrGraph,
+        _u: VertexId,
+        _w: VertexId,
+        weight: Weight,
+        delta: f64,
+    ) -> f64 {
         delta + weight
     }
     #[inline]
@@ -140,7 +167,32 @@ impl DeltaAlgorithm for DeltaSssp {
 /// Round-robin delta engine: each round scans the processing order,
 /// consuming significant deltas and propagating to out-neighbors.
 /// A round with no significant delta terminates the run.
+///
+/// # Panics
+/// Panics on invalid input — use [`crate::Pipeline`] with
+/// `Mode::Delta(DeltaSchedule::RoundRobin)` for fallible execution.
+#[deprecated(
+    since = "0.2.0",
+    note = "use gograph_engine::Pipeline with Mode::Delta(DeltaSchedule::RoundRobin)"
+)]
 pub fn run_delta_round_robin(
+    g: &CsrGraph,
+    alg: &dyn DeltaAlgorithm,
+    order: &Permutation,
+    cfg: &RunConfig,
+) -> RunStats {
+    crate::pipeline::Pipeline::on(g)
+        .delta_algorithm_ref(alg)
+        .mode(crate::runner::Mode::Delta(DeltaSchedule::RoundRobin))
+        .order_ref(order)
+        .config(*cfg)
+        .execute()
+        .expect("legacy run_delta_round_robin(): invalid configuration")
+        .stats
+}
+
+/// The round-robin delta engine proper.
+pub(crate) fn delta_round_robin_core(
     g: &CsrGraph,
     alg: &dyn DeltaAlgorithm,
     order: &Permutation,
@@ -178,7 +230,12 @@ pub fn run_delta_round_robin(
             }
         }
         if cfg.record_trace {
-            trace.push(trace_point(rounds, start.elapsed(), activity as f64, &state));
+            trace.push(trace_point(
+                rounds,
+                start.elapsed(),
+                activity as f64,
+                &state,
+            ));
         }
         if activity == 0 {
             converged = true;
@@ -194,13 +251,48 @@ pub fn run_delta_round_robin(
         trace,
         // state + delta arrays
         state_memory_bytes: 2 * n * std::mem::size_of::<f64>(),
+        evaluations: None,
     }
 }
 
 /// PrIter-style prioritized delta engine: repeatedly extracts the batch
 /// of vertices with the largest pending |delta| impact and processes
 /// them. `rounds` in the returned stats counts processed batches.
+///
+/// Out-of-range `batch_fraction` values are clamped into `(0, 1]`, as
+/// this function always has (the batch size clamps to `1..=n`); the
+/// [`crate::Pipeline`] API rejects them as
+/// [`crate::EngineError::InvalidParameter`] instead.
+#[deprecated(
+    since = "0.2.0",
+    note = "use gograph_engine::Pipeline with Mode::Delta(DeltaSchedule::Priority { .. })"
+)]
 pub fn run_delta_priority(
+    g: &CsrGraph,
+    alg: &dyn DeltaAlgorithm,
+    batch_fraction: f64,
+    cfg: &RunConfig,
+) -> RunStats {
+    // Reproduce the seed's clamp: any non-positive/NaN fraction meant a
+    // batch of 1, anything above 1.0 meant the whole vertex set.
+    let batch_fraction = if batch_fraction > 0.0 {
+        batch_fraction.min(1.0)
+    } else {
+        f64::MIN_POSITIVE
+    };
+    crate::pipeline::Pipeline::on(g)
+        .delta_algorithm_ref(alg)
+        .mode(crate::runner::Mode::Delta(DeltaSchedule::Priority {
+            batch_fraction,
+        }))
+        .config(*cfg)
+        .execute()
+        .expect("legacy run_delta_priority(): invalid configuration")
+        .stats
+}
+
+/// The prioritized delta engine proper.
+pub(crate) fn delta_priority_core(
     g: &CsrGraph,
     alg: &dyn DeltaAlgorithm,
     batch_fraction: f64,
@@ -255,7 +347,12 @@ pub fn run_delta_priority(
             }
         }
         if cfg.record_trace {
-            trace.push(trace_point(rounds, start.elapsed(), active.len() as f64, &state));
+            trace.push(trace_point(
+                rounds,
+                start.elapsed(),
+                active.len() as f64,
+                &state,
+            ));
         }
     }
 
@@ -266,6 +363,7 @@ pub fn run_delta_priority(
         final_states: state,
         trace,
         state_memory_bytes: 2 * n * std::mem::size_of::<f64>(),
+        evaluations: None,
     }
 }
 
@@ -286,8 +384,10 @@ mod tests {
     use super::*;
     use crate::algorithms::{PageRank, Sssp};
     use crate::asynch::run_async;
-    use gograph_graph::generators::{planted_partition, with_random_weights, PlantedPartitionConfig};
     use gograph_graph::generators::regular::chain;
+    use gograph_graph::generators::{
+        planted_partition, with_random_weights, PlantedPartitionConfig,
+    };
 
     fn test_graph() -> CsrGraph {
         with_random_weights(
@@ -311,7 +411,7 @@ mod tests {
         let cfg = RunConfig::default();
         let id = Permutation::identity(300);
         let gather = run_async(&g, &PageRank::default(), &id, &cfg);
-        let delta = run_delta_round_robin(&g, &DeltaPageRank::default(), &id, &cfg);
+        let delta = delta_round_robin_core(&g, &DeltaPageRank::default(), &id, &cfg);
         assert!(delta.converged);
         for (a, b) in gather.final_states.iter().zip(&delta.final_states) {
             assert!((a - b).abs() < 1e-4, "gather {a} vs delta {b}");
@@ -324,7 +424,7 @@ mod tests {
         let cfg = RunConfig::default();
         let id = Permutation::identity(300);
         let gather = run_async(&g, &Sssp::new(0), &id, &cfg);
-        let delta = run_delta_round_robin(&g, &DeltaSssp { source: 0 }, &id, &cfg);
+        let delta = delta_round_robin_core(&g, &DeltaSssp { source: 0 }, &id, &cfg);
         assert!(delta.converged);
         assert_eq!(gather.final_states, delta.final_states);
     }
@@ -334,8 +434,8 @@ mod tests {
         let g = test_graph();
         let cfg = RunConfig::default();
         let id = Permutation::identity(300);
-        let rr = run_delta_round_robin(&g, &DeltaSssp { source: 0 }, &id, &cfg);
-        let pr = run_delta_priority(&g, &DeltaSssp { source: 0 }, 0.1, &cfg);
+        let rr = delta_round_robin_core(&g, &DeltaSssp { source: 0 }, &id, &cfg);
+        let pr = delta_priority_core(&g, &DeltaSssp { source: 0 }, 0.1, &cfg);
         assert!(pr.converged);
         assert_eq!(rr.final_states, pr.final_states);
     }
@@ -345,8 +445,8 @@ mod tests {
         let g = test_graph();
         let cfg = RunConfig::default();
         let id = Permutation::identity(300);
-        let rr = run_delta_round_robin(&g, &DeltaPageRank::default(), &id, &cfg);
-        let pr = run_delta_priority(&g, &DeltaPageRank::default(), 0.05, &cfg);
+        let rr = delta_round_robin_core(&g, &DeltaPageRank::default(), &id, &cfg);
+        let pr = delta_priority_core(&g, &DeltaPageRank::default(), 0.05, &cfg);
         assert!(pr.converged);
         let sum_rr: f64 = rr.final_states.iter().sum();
         let sum_pr: f64 = pr.final_states.iter().sum();
@@ -359,17 +459,39 @@ mod tests {
         let g = chain(30);
         let cfg = RunConfig::default();
         let alg = DeltaSssp { source: 0 };
-        let fwd = run_delta_round_robin(&g, &alg, &Permutation::identity(30), &cfg);
-        let rev = run_delta_round_robin(&g, &alg, &Permutation::identity(30).reversed(), &cfg);
-        assert!(fwd.rounds < rev.rounds, "fwd {} !< rev {}", fwd.rounds, rev.rounds);
+        let fwd = delta_round_robin_core(&g, &alg, &Permutation::identity(30), &cfg);
+        let rev = delta_round_robin_core(&g, &alg, &Permutation::identity(30).reversed(), &cfg);
+        assert!(
+            fwd.rounds < rev.rounds,
+            "fwd {} !< rev {}",
+            fwd.rounds,
+            rev.rounds
+        );
         assert_eq!(fwd.final_states, rev.final_states);
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn legacy_priority_wrapper_clamps_batch_fraction_like_the_seed() {
+        // The original engine clamped the batch to 1..=n for any input
+        // fraction; the compatibility wrapper must keep accepting the
+        // values the strict Pipeline API rejects.
+        let g = chain(12);
+        let cfg = RunConfig::default();
+        let alg = DeltaSssp { source: 0 };
+        let reference = delta_priority_core(&g, &alg, 0.5, &cfg);
+        for bad in [0.0, -1.0, 2.5, f64::NAN] {
+            let stats = run_delta_priority(&g, &alg, bad, &cfg);
+            assert!(stats.converged, "batch_fraction {bad} should still run");
+            assert_eq!(stats.final_states, reference.final_states);
+        }
     }
 
     #[test]
     fn dangling_vertices_swallow_delta_mass() {
         let g = CsrGraph::from_edges(2, [(0u32, 1u32)]);
         let cfg = RunConfig::default();
-        let stats = run_delta_round_robin(
+        let stats = delta_round_robin_core(
             &g,
             &DeltaPageRank::default(),
             &Permutation::identity(2),

@@ -20,8 +20,11 @@ pub mod algorithms;
 pub mod asynch;
 pub mod convergence;
 pub mod delta;
+pub mod error;
 pub mod parallel;
+pub mod pipeline;
 pub mod runner;
+pub mod strategy;
 pub mod sync;
 pub mod worklist;
 
@@ -29,8 +32,20 @@ pub use algorithm::{ConvergenceNorm, IterativeAlgorithm, Monotonicity};
 pub use algorithms::{Adsorption, Bfs, ConnectedComponents, Katz, PageRank, Php, Sssp, Sswp};
 pub use asynch::run_async;
 pub use convergence::{RunStats, TracePoint};
-pub use delta::{run_delta_priority, run_delta_round_robin, DeltaAlgorithm, DeltaPageRank, DeltaSssp};
+#[allow(deprecated)]
+pub use delta::{run_delta_priority, run_delta_round_robin};
+pub use delta::{DeltaAlgorithm, DeltaPageRank, DeltaSchedule, DeltaSssp};
+pub use error::EngineError;
 pub use parallel::run_parallel;
-pub use runner::{run, run_relabeled, total_memory_bytes, Mode, RunConfig};
+pub use pipeline::{Pipeline, PipelineResult, StageTimings};
+#[allow(deprecated)]
+pub use runner::{run, run_relabeled};
+pub use runner::{total_memory_bytes, Mode, RunConfig};
+pub use strategy::{
+    strategy_for, AlgorithmRef, AsyncStrategy, DeltaStrategy, ExecutionStrategy, ParallelStrategy,
+    SyncStrategy, WorklistStrategy,
+};
 pub use sync::run_sync;
-pub use worklist::{run_worklist, WorklistStats};
+#[allow(deprecated)]
+pub use worklist::run_worklist;
+pub use worklist::WorklistStats;

@@ -9,10 +9,10 @@
 //! asynchronous-parallel semantics \[14\]): stale reads only delay, never
 //! corrupt, the unique fixpoint.
 
+use crate::algorithm::ConvergenceNorm;
 use crate::algorithm::IterativeAlgorithm;
 use crate::convergence::{state_delta, trace_point, RunStats};
 use crate::runner::RunConfig;
-use crate::algorithm::ConvergenceNorm;
 use gograph_graph::{CsrGraph, Permutation};
 use rayon::prelude::*;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -50,13 +50,20 @@ pub fn run_parallel(
     let n = g.num_vertices();
     assert_eq!(order.len(), n, "order length must match vertex count");
     let num_blocks = num_blocks.clamp(1, n.max(1));
-    let states: Vec<AtomicF64> = (0..n as u32).map(|v| AtomicF64::new(alg.init(g, v))).collect();
+    let states: Vec<AtomicF64> = (0..n as u32)
+        .map(|v| AtomicF64::new(alg.init(g, v)))
+        .collect();
     let eps = alg.epsilon();
     let start = Instant::now();
     let mut trace = Vec::new();
     let snapshot = |states: &[AtomicF64]| -> Vec<f64> { states.iter().map(|s| s.load()).collect() };
     if cfg.record_trace {
-        trace.push(trace_point(0, start.elapsed(), f64::INFINITY, &snapshot(&states)));
+        trace.push(trace_point(
+            0,
+            start.elapsed(),
+            f64::INFINITY,
+            &snapshot(&states),
+        ));
     }
 
     let block_size = n.div_ceil(num_blocks).max(1);
@@ -96,7 +103,12 @@ pub fn run_parallel(
             ConvergenceNorm::Sum => deltas.into_iter().sum(),
         };
         if cfg.record_trace {
-            trace.push(trace_point(rounds, start.elapsed(), delta, &snapshot(&states)));
+            trace.push(trace_point(
+                rounds,
+                start.elapsed(),
+                delta,
+                &snapshot(&states),
+            ));
         }
         if delta <= eps {
             converged = true;
@@ -111,6 +123,7 @@ pub fn run_parallel(
         final_states: snapshot(&states),
         trace,
         state_memory_bytes: n * std::mem::size_of::<f64>(),
+        evaluations: None,
     }
 }
 
@@ -119,7 +132,9 @@ mod tests {
     use super::*;
     use crate::algorithms::{PageRank, Sssp};
     use crate::asynch::run_async;
-    use gograph_graph::generators::{planted_partition, with_random_weights, PlantedPartitionConfig};
+    use gograph_graph::generators::{
+        planted_partition, with_random_weights, PlantedPartitionConfig,
+    };
 
     fn test_graph() -> CsrGraph {
         with_random_weights(

@@ -1,17 +1,18 @@
-//! High-level run orchestration: execution mode selection, physical
-//! relabeling (the paper relabels the graph so the processing order is a
-//! sequential scan — that is where the cache wins of Figs. 9–10 come
-//! from), and total memory accounting for Fig. 11.
+//! Execution modes and the legacy free-function entry points.
+//!
+//! The mode enum is the value-level selector consumed by
+//! [`crate::strategy::strategy_for`]; the free functions predate the
+//! [`Pipeline`] API and survive as thin deprecated delegates so existing
+//! callers keep working while they migrate.
 
 use crate::algorithm::IterativeAlgorithm;
-use crate::asynch::run_async;
 use crate::convergence::RunStats;
-use crate::parallel::run_parallel;
-use crate::sync::run_sync;
+use crate::delta::DeltaSchedule;
+use crate::pipeline::Pipeline;
 use gograph_graph::{CsrGraph, Permutation};
 
-/// Engine execution mode.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+/// Engine execution mode — one variant per [`crate::ExecutionStrategy`].
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum Mode {
     /// Synchronous (Jacobi, Eq. 1) — double-buffered.
     Sync,
@@ -19,6 +20,25 @@ pub enum Mode {
     Async,
     /// Block-parallel asynchronous with the given block count.
     Parallel(usize),
+    /// Active-frontier worklist (Galois/GraphLab-style scheduling).
+    Worklist,
+    /// Delta-accumulative iteration under the given schedule
+    /// (Maiter round-robin or PrIter prioritized).
+    Delta(DeltaSchedule),
+}
+
+impl Mode {
+    /// The mode's display name (matches its strategy's name).
+    pub fn name(&self) -> &'static str {
+        match self {
+            Mode::Sync => "sync",
+            Mode::Async => "async",
+            Mode::Parallel(_) => "parallel",
+            Mode::Worklist => "worklist",
+            Mode::Delta(DeltaSchedule::RoundRobin) => "delta-rr",
+            Mode::Delta(DeltaSchedule::Priority { .. }) => "delta-priority",
+        }
+    }
 }
 
 /// Run configuration shared by every engine.
@@ -40,6 +60,11 @@ impl Default for RunConfig {
 }
 
 /// Runs `alg` on `g` visiting vertices in `order` under `mode`.
+///
+/// # Panics
+/// Panics on invalid input (mismatched order length, wrong algorithm
+/// family for the mode) — use [`Pipeline`] for fallible execution.
+#[deprecated(since = "0.2.0", note = "use gograph_engine::Pipeline")]
 pub fn run(
     g: &CsrGraph,
     alg: &dyn IterativeAlgorithm,
@@ -47,11 +72,14 @@ pub fn run(
     order: &Permutation,
     cfg: &RunConfig,
 ) -> RunStats {
-    match mode {
-        Mode::Sync => run_sync(g, alg, order, cfg),
-        Mode::Async => run_async(g, alg, order, cfg),
-        Mode::Parallel(blocks) => run_parallel(g, alg, order, blocks, cfg),
-    }
+    Pipeline::on(g)
+        .algorithm_ref(alg)
+        .mode(mode)
+        .order_ref(order)
+        .config(*cfg)
+        .execute()
+        .expect("legacy run(): invalid configuration")
+        .stats
 }
 
 /// A run whose graph has been physically relabeled so that the processing
@@ -61,6 +89,14 @@ pub fn run(
 ///
 /// Returns the relabeled graph together with the stats; vertex `v`'s
 /// final state lives at index `order.position(v)` of `final_states`.
+///
+/// # Panics
+/// Panics on invalid input — use [`Pipeline`] with `.relabel(true)` for
+/// fallible execution.
+#[deprecated(
+    since = "0.2.0",
+    note = "use gograph_engine::Pipeline with .relabel(true)"
+)]
 pub fn run_relabeled(
     g: &CsrGraph,
     alg: &dyn IterativeAlgorithm,
@@ -68,10 +104,18 @@ pub fn run_relabeled(
     order: &Permutation,
     cfg: &RunConfig,
 ) -> (CsrGraph, RunStats) {
-    let relabeled = g.relabeled(order);
-    let id = Permutation::identity(g.num_vertices());
-    let stats = run(&relabeled, alg, mode, &id, cfg);
-    (relabeled, stats)
+    let r = Pipeline::on(g)
+        .algorithm_ref(alg)
+        .mode(mode)
+        .order_ref(order)
+        .relabel(true)
+        .config(*cfg)
+        .execute()
+        .expect("legacy run_relabeled(): invalid configuration");
+    (
+        r.relabeled.expect("relabel(true) produces a graph"),
+        r.stats,
+    )
 }
 
 /// Total memory footprint of a run: CSR arrays + engine state
@@ -80,7 +124,10 @@ pub fn total_memory_bytes(g: &CsrGraph, stats: &RunStats) -> usize {
     g.memory_bytes() + stats.state_memory_bytes
 }
 
+// The tests below exercise the *legacy* wrappers on purpose: they are the
+// compatibility contract the deprecation keeps alive.
 #[cfg(test)]
+#[allow(deprecated)]
 mod tests {
     use super::*;
     use crate::algorithms::Sssp;
@@ -95,8 +142,10 @@ mod tests {
         let s = run(&g, &alg, Mode::Sync, &id, &cfg);
         let a = run(&g, &alg, Mode::Async, &id, &cfg);
         let p = run(&g, &alg, Mode::Parallel(2), &id, &cfg);
+        let w = run(&g, &alg, Mode::Worklist, &id, &cfg);
         assert_eq!(s.final_states, a.final_states);
         assert_eq!(s.final_states, p.final_states);
+        assert_eq!(s.final_states, w.final_states);
         assert!(a.rounds <= s.rounds);
     }
 
@@ -121,7 +170,13 @@ mod tests {
     fn memory_accounting_includes_graph() {
         let g = chain(10);
         let cfg = RunConfig::default();
-        let stats = run(&g, &Sssp::new(0), Mode::Async, &Permutation::identity(10), &cfg);
+        let stats = run(
+            &g,
+            &Sssp::new(0),
+            Mode::Async,
+            &Permutation::identity(10),
+            &cfg,
+        );
         assert!(total_memory_bytes(&g, &stats) > stats.state_memory_bytes);
     }
 }

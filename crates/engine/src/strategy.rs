@@ -1,0 +1,382 @@
+//! The [`ExecutionStrategy`] trait: one dispatch point unifying the
+//! sync, async, block-parallel, worklist and delta engines.
+//!
+//! Every engine family consumes the same inputs — a graph, an algorithm,
+//! a processing order and a [`RunConfig`] — and produces [`RunStats`].
+//! The strategies validate those inputs and return [`EngineError`]
+//! instead of panicking, which is what lets [`crate::Pipeline`] expose a
+//! single fallible entry point over the whole family.
+
+use crate::algorithm::IterativeAlgorithm;
+use crate::convergence::RunStats;
+use crate::delta::{delta_priority_core, delta_round_robin_core, DeltaAlgorithm, DeltaSchedule};
+use crate::error::EngineError;
+use crate::runner::{Mode, RunConfig};
+use crate::worklist::worklist_core;
+use crate::{asynch::run_async, parallel::run_parallel, sync::run_sync};
+use gograph_graph::{CsrGraph, Permutation};
+
+/// A borrowed algorithm of either family. The gather family
+/// ([`IterativeAlgorithm`]) recomputes a vertex from all in-neighbors;
+/// the delta family ([`DeltaAlgorithm`]) accumulates unconsumed change.
+#[derive(Clone, Copy)]
+pub enum AlgorithmRef<'a> {
+    /// A gather-apply algorithm (sync / async / parallel / worklist).
+    Gather(&'a dyn IterativeAlgorithm),
+    /// A delta-accumulative algorithm (Maiter / PrIter engines).
+    Delta(&'a dyn DeltaAlgorithm),
+}
+
+impl AlgorithmRef<'_> {
+    /// `"gather"` or `"delta"` — used in error reporting.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            AlgorithmRef::Gather(_) => "gather",
+            AlgorithmRef::Delta(_) => "delta",
+        }
+    }
+
+    /// The wrapped algorithm's display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            AlgorithmRef::Gather(a) => a.name(),
+            AlgorithmRef::Delta(a) => a.name(),
+        }
+    }
+}
+
+/// One execution engine behind a uniform, fallible interface.
+pub trait ExecutionStrategy {
+    /// Strategy name (matches [`Mode::name`]).
+    fn name(&self) -> &'static str;
+
+    /// Runs `alg` on `g` visiting vertices in `order` under `cfg`.
+    fn run(
+        &self,
+        g: &CsrGraph,
+        alg: AlgorithmRef<'_>,
+        order: &Permutation,
+        cfg: &RunConfig,
+    ) -> Result<RunStats, EngineError>;
+}
+
+/// Shared validation: the order must cover the graph exactly.
+fn check_order(g: &CsrGraph, order: &Permutation) -> Result<(), EngineError> {
+    if order.len() != g.num_vertices() {
+        return Err(EngineError::OrderLengthMismatch {
+            order_len: order.len(),
+            num_vertices: g.num_vertices(),
+        });
+    }
+    Ok(())
+}
+
+fn require_gather<'a>(
+    strategy: &dyn ExecutionStrategy,
+    alg: AlgorithmRef<'a>,
+) -> Result<&'a dyn IterativeAlgorithm, EngineError> {
+    match alg {
+        AlgorithmRef::Gather(a) => Ok(a),
+        AlgorithmRef::Delta(_) => Err(EngineError::IncompatibleAlgorithm {
+            mode: strategy.name(),
+            provided: "delta",
+        }),
+    }
+}
+
+fn require_delta<'a>(
+    strategy: &dyn ExecutionStrategy,
+    alg: AlgorithmRef<'a>,
+) -> Result<&'a dyn DeltaAlgorithm, EngineError> {
+    match alg {
+        AlgorithmRef::Delta(a) => Ok(a),
+        AlgorithmRef::Gather(_) => Err(EngineError::IncompatibleAlgorithm {
+            mode: strategy.name(),
+            provided: "gather",
+        }),
+    }
+}
+
+/// Synchronous (Jacobi) execution — [`crate::sync::run_sync`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SyncStrategy;
+
+impl ExecutionStrategy for SyncStrategy {
+    fn name(&self) -> &'static str {
+        "sync"
+    }
+
+    fn run(
+        &self,
+        g: &CsrGraph,
+        alg: AlgorithmRef<'_>,
+        order: &Permutation,
+        cfg: &RunConfig,
+    ) -> Result<RunStats, EngineError> {
+        check_order(g, order)?;
+        Ok(run_sync(g, require_gather(self, alg)?, order, cfg))
+    }
+}
+
+/// Asynchronous (Gauss–Seidel) execution — [`crate::asynch::run_async`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct AsyncStrategy;
+
+impl ExecutionStrategy for AsyncStrategy {
+    fn name(&self) -> &'static str {
+        "async"
+    }
+
+    fn run(
+        &self,
+        g: &CsrGraph,
+        alg: AlgorithmRef<'_>,
+        order: &Permutation,
+        cfg: &RunConfig,
+    ) -> Result<RunStats, EngineError> {
+        check_order(g, order)?;
+        Ok(run_async(g, require_gather(self, alg)?, order, cfg))
+    }
+}
+
+/// Block-parallel asynchronous execution —
+/// [`crate::parallel::run_parallel`].
+#[derive(Debug, Clone, Copy)]
+pub struct ParallelStrategy {
+    /// Number of order blocks executed concurrently per round. Clamped
+    /// to `1..=n` like the underlying engine always has (so
+    /// `Parallel(0)` degenerates to one block, never an error).
+    pub blocks: usize,
+}
+
+impl ExecutionStrategy for ParallelStrategy {
+    fn name(&self) -> &'static str {
+        "parallel"
+    }
+
+    fn run(
+        &self,
+        g: &CsrGraph,
+        alg: AlgorithmRef<'_>,
+        order: &Permutation,
+        cfg: &RunConfig,
+    ) -> Result<RunStats, EngineError> {
+        check_order(g, order)?;
+        Ok(run_parallel(
+            g,
+            require_gather(self, alg)?,
+            order,
+            self.blocks,
+            cfg,
+        ))
+    }
+}
+
+/// Active-frontier worklist execution — the engine of
+/// [`crate::worklist`]. The returned stats carry
+/// [`RunStats::evaluations`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct WorklistStrategy;
+
+impl ExecutionStrategy for WorklistStrategy {
+    fn name(&self) -> &'static str {
+        "worklist"
+    }
+
+    fn run(
+        &self,
+        g: &CsrGraph,
+        alg: AlgorithmRef<'_>,
+        order: &Permutation,
+        cfg: &RunConfig,
+    ) -> Result<RunStats, EngineError> {
+        check_order(g, order)?;
+        Ok(worklist_core(g, require_gather(self, alg)?, order, cfg))
+    }
+}
+
+/// Delta-accumulative execution (Maiter round-robin or PrIter
+/// prioritized) — the engines of [`crate::delta`].
+#[derive(Debug, Clone, Copy)]
+pub struct DeltaStrategy {
+    /// Which delta scheduling discipline to run.
+    pub schedule: DeltaSchedule,
+}
+
+impl ExecutionStrategy for DeltaStrategy {
+    fn name(&self) -> &'static str {
+        match self.schedule {
+            DeltaSchedule::RoundRobin => "delta-rr",
+            DeltaSchedule::Priority { .. } => "delta-priority",
+        }
+    }
+
+    fn run(
+        &self,
+        g: &CsrGraph,
+        alg: AlgorithmRef<'_>,
+        order: &Permutation,
+        cfg: &RunConfig,
+    ) -> Result<RunStats, EngineError> {
+        let alg = require_delta(self, alg)?;
+        match self.schedule {
+            DeltaSchedule::RoundRobin => {
+                check_order(g, order)?;
+                Ok(delta_round_robin_core(g, alg, order, cfg))
+            }
+            DeltaSchedule::Priority { batch_fraction } => {
+                if !(batch_fraction > 0.0 && batch_fraction <= 1.0) {
+                    return Err(EngineError::InvalidParameter {
+                        name: "batch_fraction",
+                        message: format!("must be in (0, 1], got {batch_fraction}"),
+                    });
+                }
+                // The priority engine schedules by |delta|, not by
+                // position, so the order is intentionally unused.
+                Ok(delta_priority_core(g, alg, batch_fraction, cfg))
+            }
+        }
+    }
+}
+
+/// The strategy implementing a [`Mode`].
+pub fn strategy_for(mode: Mode) -> Box<dyn ExecutionStrategy> {
+    match mode {
+        Mode::Sync => Box::new(SyncStrategy),
+        Mode::Async => Box::new(AsyncStrategy),
+        Mode::Parallel(blocks) => Box::new(ParallelStrategy { blocks }),
+        Mode::Worklist => Box::new(WorklistStrategy),
+        Mode::Delta(schedule) => Box::new(DeltaStrategy { schedule }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algorithms::Sssp;
+    use crate::delta::DeltaSssp;
+    use gograph_graph::generators::regular::chain;
+
+    #[test]
+    fn every_mode_resolves_to_its_strategy() {
+        for (mode, name) in [
+            (Mode::Sync, "sync"),
+            (Mode::Async, "async"),
+            (Mode::Parallel(4), "parallel"),
+            (Mode::Worklist, "worklist"),
+            (Mode::Delta(DeltaSchedule::RoundRobin), "delta-rr"),
+            (
+                Mode::Delta(DeltaSchedule::Priority {
+                    batch_fraction: 0.1,
+                }),
+                "delta-priority",
+            ),
+        ] {
+            assert_eq!(strategy_for(mode).name(), name);
+            assert_eq!(mode.name(), name);
+        }
+    }
+
+    #[test]
+    fn order_mismatch_is_an_error_not_a_panic() {
+        let g = chain(10);
+        let bad = Permutation::identity(7);
+        let alg = Sssp::new(0);
+        let err = strategy_for(Mode::Async)
+            .run(&g, AlgorithmRef::Gather(&alg), &bad, &RunConfig::default())
+            .unwrap_err();
+        assert_eq!(
+            err,
+            EngineError::OrderLengthMismatch {
+                order_len: 7,
+                num_vertices: 10
+            }
+        );
+    }
+
+    #[test]
+    fn wrong_algorithm_family_is_rejected() {
+        let g = chain(5);
+        let id = Permutation::identity(5);
+        let gather = Sssp::new(0);
+        let delta = DeltaSssp { source: 0 };
+        let cfg = RunConfig::default();
+        let err = strategy_for(Mode::Delta(DeltaSchedule::RoundRobin))
+            .run(&g, AlgorithmRef::Gather(&gather), &id, &cfg)
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            EngineError::IncompatibleAlgorithm {
+                provided: "gather",
+                ..
+            }
+        ));
+        let err = strategy_for(Mode::Async)
+            .run(&g, AlgorithmRef::Delta(&delta), &id, &cfg)
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            EngineError::IncompatibleAlgorithm {
+                provided: "delta",
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn zero_blocks_clamps_like_the_legacy_engine() {
+        // Parallel(0) has always meant "one block" (run_parallel clamps);
+        // the strategy layer must preserve that, not reject it.
+        let g = chain(6);
+        let id = Permutation::identity(6);
+        let alg = Sssp::new(0);
+        let stats = strategy_for(Mode::Parallel(0))
+            .run(&g, AlgorithmRef::Gather(&alg), &id, &RunConfig::default())
+            .unwrap();
+        assert!(stats.converged);
+        assert_eq!(stats.final_states[5], 5.0);
+    }
+
+    #[test]
+    fn bad_batch_fraction_rejected() {
+        let g = chain(5);
+        let id = Permutation::identity(5);
+        let delta = DeltaSssp { source: 0 };
+        for bad in [0.0, -0.5, 1.5, f64::NAN] {
+            let err = strategy_for(Mode::Delta(DeltaSchedule::Priority {
+                batch_fraction: bad,
+            }))
+            .run(&g, AlgorithmRef::Delta(&delta), &id, &RunConfig::default())
+            .unwrap_err();
+            assert!(matches!(
+                err,
+                EngineError::InvalidParameter {
+                    name: "batch_fraction",
+                    ..
+                }
+            ));
+        }
+    }
+
+    #[test]
+    fn strategies_reach_the_same_sssp_fixpoint() {
+        let g = chain(12);
+        let id = Permutation::identity(12);
+        let cfg = RunConfig::default();
+        let gather = Sssp::new(0);
+        let delta = DeltaSssp { source: 0 };
+        let reference = strategy_for(Mode::Sync)
+            .run(&g, AlgorithmRef::Gather(&gather), &id, &cfg)
+            .unwrap();
+        for mode in [Mode::Async, Mode::Parallel(3), Mode::Worklist] {
+            let got = strategy_for(mode)
+                .run(&g, AlgorithmRef::Gather(&gather), &id, &cfg)
+                .unwrap();
+            assert_eq!(got.final_states, reference.final_states, "{}", mode.name());
+        }
+        let got = strategy_for(Mode::Delta(DeltaSchedule::RoundRobin))
+            .run(&g, AlgorithmRef::Delta(&delta), &id, &cfg)
+            .unwrap();
+        assert_eq!(got.final_states, reference.final_states);
+    }
+}

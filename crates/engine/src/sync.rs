@@ -49,7 +49,12 @@ pub fn run_sync(
         }
         std::mem::swap(&mut prev, &mut next);
         if cfg.record_trace {
-            trace.push(trace_point(rounds, start.elapsed(), acc_delta.value(), &prev));
+            trace.push(trace_point(
+                rounds,
+                start.elapsed(),
+                acc_delta.value(),
+                &prev,
+            ));
         }
         if acc_delta.value() <= eps {
             converged = true;
@@ -65,6 +70,7 @@ pub fn run_sync(
         trace,
         // Double-buffered state: the sync engine's extra footprint.
         state_memory_bytes: 2 * n * std::mem::size_of::<f64>(),
+        evaluations: None,
     }
 }
 
@@ -94,7 +100,12 @@ mod tests {
     #[test]
     fn sync_result_is_order_independent() {
         let g = cycle(8);
-        let a = run_sync(&g, &Sssp::new(0), &Permutation::identity(8), &RunConfig::default());
+        let a = run_sync(
+            &g,
+            &Sssp::new(0),
+            &Permutation::identity(8),
+            &RunConfig::default(),
+        );
         let rev = Permutation::identity(8).reversed();
         let b = run_sync(&g, &Sssp::new(0), &rev, &RunConfig::default());
         assert_eq!(a.final_states, b.final_states);

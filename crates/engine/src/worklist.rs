@@ -28,12 +28,36 @@ pub struct WorklistStats {
 
 /// Runs `alg` with an active-set worklist. Returns the run stats plus
 /// the evaluation count.
+#[deprecated(
+    since = "0.2.0",
+    note = "use gograph_engine::Pipeline with Mode::Worklist"
+)]
 pub fn run_worklist(
     g: &CsrGraph,
     alg: &dyn IterativeAlgorithm,
     order: &Permutation,
     cfg: &RunConfig,
 ) -> (RunStats, WorklistStats) {
+    let stats = crate::pipeline::Pipeline::on(g)
+        .algorithm_ref(alg)
+        .mode(crate::runner::Mode::Worklist)
+        .order_ref(order)
+        .config(*cfg)
+        .execute()
+        .expect("legacy run_worklist(): invalid configuration")
+        .stats;
+    let evaluations = stats.evaluations.unwrap_or(0);
+    (stats, WorklistStats { evaluations })
+}
+
+/// The worklist engine proper; stats carry
+/// [`RunStats::evaluations`](crate::convergence::RunStats::evaluations).
+pub(crate) fn worklist_core(
+    g: &CsrGraph,
+    alg: &dyn IterativeAlgorithm,
+    order: &Permutation,
+    cfg: &RunConfig,
+) -> RunStats {
     let n = g.num_vertices();
     assert_eq!(order.len(), n, "order length must match vertex count");
     let mut states: Vec<f64> = (0..n as u32).map(|v| alg.init(g, v)).collect();
@@ -93,7 +117,12 @@ pub fn run_worklist(
             }
         }
         if cfg.record_trace {
-            trace.push(trace_point(rounds, start.elapsed(), next.len() as f64, &states));
+            trace.push(trace_point(
+                rounds,
+                start.elapsed(),
+                next.len() as f64,
+                &states,
+            ));
         }
         if !round_changed {
             converged = true;
@@ -109,17 +138,15 @@ pub fn run_worklist(
         }
     }
 
-    (
-        RunStats {
-            rounds,
-            runtime: start.elapsed(),
-            converged,
-            final_states: states,
-            trace,
-            state_memory_bytes: n * std::mem::size_of::<f64>() + n, // states + flags
-        },
-        WorklistStats { evaluations },
-    )
+    RunStats {
+        rounds,
+        runtime: start.elapsed(),
+        converged,
+        final_states: states,
+        trace,
+        state_memory_bytes: n * std::mem::size_of::<f64>() + n, // states + flags
+        evaluations: Some(evaluations),
+    }
 }
 
 #[cfg(test)]
@@ -128,7 +155,9 @@ mod tests {
     use crate::algorithms::{Bfs, PageRank, Sssp};
     use crate::asynch::run_async;
     use gograph_graph::generators::regular::chain;
-    use gograph_graph::generators::{planted_partition, with_random_weights, PlantedPartitionConfig};
+    use gograph_graph::generators::{
+        planted_partition, with_random_weights, PlantedPartitionConfig,
+    };
 
     fn test_graph() -> CsrGraph {
         with_random_weights(
@@ -152,7 +181,7 @@ mod tests {
         let cfg = RunConfig::default();
         let id = Permutation::identity(400);
         let reference = run_async(&g, &Sssp::new(0), &id, &cfg);
-        let (wl, _) = run_worklist(&g, &Sssp::new(0), &id, &cfg);
+        let wl = worklist_core(&g, &Sssp::new(0), &id, &cfg);
         assert!(wl.converged);
         assert_eq!(reference.final_states, wl.final_states);
     }
@@ -163,7 +192,7 @@ mod tests {
         let cfg = RunConfig::default();
         let id = Permutation::identity(400);
         let reference = run_async(&g, &PageRank::default(), &id, &cfg);
-        let (wl, _) = run_worklist(&g, &PageRank::default(), &id, &cfg);
+        let wl = worklist_core(&g, &PageRank::default(), &id, &cfg);
         assert!(wl.converged);
         for (a, b) in reference.final_states.iter().zip(&wl.final_states) {
             assert!((a - b).abs() < 1e-4);
@@ -176,14 +205,13 @@ mod tests {
         let cfg = RunConfig::default();
         let id = Permutation::identity(400);
         let full = run_async(&g, &Bfs::new(0), &id, &cfg);
-        let (wl, ws) = run_worklist(&g, &Bfs::new(0), &id, &cfg);
+        let wl = worklist_core(&g, &Bfs::new(0), &id, &cfg);
         assert_eq!(full.final_states, wl.final_states);
         let full_evals = full.rounds * 400;
+        let evals = wl.evaluations.unwrap();
         assert!(
-            ws.evaluations < full_evals,
-            "worklist {} evals vs full-scan {}",
-            ws.evaluations,
-            full_evals
+            evals < full_evals,
+            "worklist {evals} evals vs full-scan {full_evals}"
         );
     }
 
@@ -192,11 +220,12 @@ mod tests {
         let g = chain(100);
         let cfg = RunConfig::default();
         let id = Permutation::identity(100);
-        let (wl, ws) = run_worklist(&g, &Sssp::new(0), &id, &cfg);
+        let wl = worklist_core(&g, &Sssp::new(0), &id, &cfg);
         assert!(wl.converged);
         // Identity order on a chain: all work done in round 1 plus
         // reactivation checks — far below rounds * n.
-        assert!(ws.evaluations <= 3 * 100, "evaluations {}", ws.evaluations);
+        let evals = wl.evaluations.unwrap();
+        assert!(evals <= 3 * 100, "evaluations {evals}");
     }
 
     #[test]
@@ -205,10 +234,10 @@ mod tests {
         let cfg = RunConfig::default();
         let fwd = Permutation::identity(60);
         let rev = fwd.reversed();
-        let (a, wa) = run_worklist(&g, &Sssp::new(0), &fwd, &cfg);
-        let (b, wb) = run_worklist(&g, &Sssp::new(0), &rev, &cfg);
+        let a = worklist_core(&g, &Sssp::new(0), &fwd, &cfg);
+        let b = worklist_core(&g, &Sssp::new(0), &rev, &cfg);
         assert_eq!(a.final_states, b.final_states);
         assert!(a.rounds < b.rounds);
-        assert!(wa.evaluations < wb.evaluations);
+        assert!(a.evaluations.unwrap() < b.evaluations.unwrap());
     }
 }

@@ -1,9 +1,9 @@
 //! Property tests of the engine family: fixpoint agreement across all
 //! execution strategies on arbitrary graphs, monotone trajectories, and
-//! round-count relationships.
+//! round-count relationships — all through the unified [`Pipeline`] API.
 
 use gograph_engine::{
-    run, run_delta_round_robin, Bfs, DeltaSssp, Mode, PageRank, RunConfig, Sssp,
+    Bfs, DeltaSchedule, DeltaSssp, IterativeAlgorithm, Mode, PageRank, Pipeline, RunStats, Sssp,
 };
 use gograph_graph::{CsrGraph, GraphBuilder, Permutation};
 use proptest::prelude::*;
@@ -25,40 +25,58 @@ fn arb_weighted_graph() -> impl Strategy<Value = CsrGraph> {
     })
 }
 
+fn exec(g: &CsrGraph, alg: &dyn IterativeAlgorithm, mode: Mode, order: &Permutation) -> RunStats {
+    Pipeline::on(g)
+        .algorithm_ref(alg)
+        .mode(mode)
+        .order_ref(order)
+        .execute()
+        .expect("valid pipeline")
+        .stats
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(48))]
 
     #[test]
     fn sssp_fixpoint_agrees_across_all_engines(g in arb_weighted_graph()) {
-        let cfg = RunConfig::default();
         let n = g.num_vertices();
         let id = Permutation::identity(n);
         let alg = Sssp::new(0);
-        let sync = run(&g, &alg, Mode::Sync, &id, &cfg);
+        let sync = exec(&g, &alg, Mode::Sync, &id);
         prop_assume!(sync.converged);
-        let asy = run(&g, &alg, Mode::Async, &id, &cfg);
-        let par = run(&g, &alg, Mode::Parallel(4), &id, &cfg);
-        let del = run_delta_round_robin(&g, &DeltaSssp { source: 0 }, &id, &cfg);
+        let asy = exec(&g, &alg, Mode::Async, &id);
+        let par = exec(&g, &alg, Mode::Parallel(4), &id);
+        let wl = exec(&g, &alg, Mode::Worklist, &id);
+        let del = Pipeline::on(&g)
+            .delta_algorithm(DeltaSssp { source: 0 })
+            .mode(Mode::Delta(DeltaSchedule::RoundRobin))
+            .execute()
+            .unwrap()
+            .stats;
         prop_assert_eq!(&sync.final_states, &asy.final_states);
         prop_assert_eq!(&sync.final_states, &par.final_states);
+        prop_assert_eq!(&sync.final_states, &wl.final_states);
         prop_assert_eq!(&sync.final_states, &del.final_states);
     }
 
     #[test]
     fn async_rounds_le_sync_rounds_for_bfs(g in arb_weighted_graph()) {
-        let cfg = RunConfig::default();
         let id = Permutation::identity(g.num_vertices());
         let alg = Bfs::new(0);
-        let s = run(&g, &alg, Mode::Sync, &id, &cfg);
-        let a = run(&g, &alg, Mode::Async, &id, &cfg);
+        let s = exec(&g, &alg, Mode::Sync, &id);
+        let a = exec(&g, &alg, Mode::Async, &id);
         prop_assert!(a.rounds <= s.rounds);
     }
 
     #[test]
     fn pagerank_trajectory_is_monotone_per_round(g in arb_weighted_graph()) {
-        let cfg = RunConfig { record_trace: true, ..Default::default() };
-        let id = Permutation::identity(g.num_vertices());
-        let stats = run(&g, &PageRank::default(), Mode::Async, &id, &cfg);
+        let stats = Pipeline::on(&g)
+            .algorithm(PageRank::default())
+            .trace(true)
+            .execute()
+            .unwrap()
+            .stats;
         // Increasing algorithm: the finite state sum never decreases.
         for w in stats.trace.windows(2) {
             prop_assert!(w[1].finite_sum >= w[0].finite_sum - 1e-12);
@@ -67,9 +85,12 @@ proptest! {
 
     #[test]
     fn sssp_infinite_count_never_increases(g in arb_weighted_graph()) {
-        let cfg = RunConfig { record_trace: true, ..Default::default() };
-        let id = Permutation::identity(g.num_vertices());
-        let stats = run(&g, &Sssp::new(0), Mode::Async, &id, &cfg);
+        let stats = Pipeline::on(&g)
+            .algorithm(Sssp::new(0))
+            .trace(true)
+            .execute()
+            .unwrap()
+            .stats;
         for w in stats.trace.windows(2) {
             prop_assert!(w[1].infinite_count <= w[0].infinite_count);
         }
@@ -77,14 +98,24 @@ proptest! {
 
     #[test]
     fn reversal_of_order_preserves_fixpoint_changes_rounds(g in arb_weighted_graph()) {
-        let cfg = RunConfig::default();
         let n = g.num_vertices();
         let fwd = Permutation::identity(n);
         let rev = fwd.reversed();
         let alg = Sssp::new(0);
-        let a = run(&g, &alg, Mode::Async, &fwd, &cfg);
-        let b = run(&g, &alg, Mode::Async, &rev, &cfg);
+        let a = exec(&g, &alg, Mode::Async, &fwd);
+        let b = exec(&g, &alg, Mode::Async, &rev);
         prop_assert_eq!(a.final_states, b.final_states);
         // (rounds may differ — that is the whole point of the paper)
+    }
+
+    #[test]
+    fn worklist_never_does_more_evaluations_than_full_scan(g in arb_weighted_graph()) {
+        let id = Permutation::identity(g.num_vertices());
+        let alg = Bfs::new(0);
+        let full = exec(&g, &alg, Mode::Async, &id);
+        let wl = exec(&g, &alg, Mode::Worklist, &id);
+        prop_assert_eq!(&full.final_states, &wl.final_states);
+        let evals = wl.evaluations.expect("worklist reports evaluations");
+        prop_assert!(evals <= (full.rounds + 1) * g.num_vertices());
     }
 }

@@ -93,11 +93,14 @@ impl GraphBuilder {
         // Sort by (src, dst, weight) so duplicates are adjacent and the
         // kept duplicate (first) carries the smallest weight.
         self.edges.sort_unstable_by(|a, b| {
-            (a.src, a.dst)
-                .cmp(&(b.src, b.dst))
-                .then(a.weight.partial_cmp(&b.weight).unwrap_or(std::cmp::Ordering::Equal))
+            (a.src, a.dst).cmp(&(b.src, b.dst)).then(
+                a.weight
+                    .partial_cmp(&b.weight)
+                    .unwrap_or(std::cmp::Ordering::Equal),
+            )
         });
-        self.edges.dedup_by(|next, kept| next.src == kept.src && next.dst == kept.dst);
+        self.edges
+            .dedup_by(|next, kept| next.src == kept.src && next.dst == kept.dst);
         let m = self.edges.len();
 
         // Out-CSR: edges are already in (src, dst) order.

@@ -110,7 +110,7 @@ impl CsrGraph {
     /// Iterator over all vertex ids `0..n`.
     #[inline]
     pub fn vertices(&self) -> impl Iterator<Item = VertexId> + '_ {
-        (0..self.num_vertices as VertexId).into_iter()
+        0..self.num_vertices as VertexId
     }
 
     /// Out-neighbors of `v`, sorted ascending.

@@ -8,7 +8,7 @@ use crate::builder::GraphBuilder;
 use crate::csr::CsrGraph;
 use crate::types::VertexId;
 use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
+use rand::{Rng, SeedableRng};
 
 /// Generates a directed Barabási–Albert graph with `n` vertices, `m`
 /// edges per new vertex, and average degree ≈ `m`.
@@ -100,7 +100,12 @@ mod tests {
     fn edges_point_to_older_vertices() {
         let g = barabasi_albert(100, 2, 1);
         for e in g.edges() {
-            assert!(e.src > e.dst, "BA edge {} -> {} not citation-style", e.src, e.dst);
+            assert!(
+                e.src > e.dst,
+                "BA edge {} -> {} not citation-style",
+                e.src,
+                e.dst
+            );
         }
     }
 

@@ -7,7 +7,7 @@
 use crate::builder::GraphBuilder;
 use crate::csr::CsrGraph;
 use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
+use rand::{Rng, SeedableRng};
 
 /// Generates a directed G(n, m) graph without self-loops. Duplicate
 /// samples are deduplicated, so the final edge count may be slightly

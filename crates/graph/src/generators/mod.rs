@@ -25,7 +25,7 @@ pub use small_world::watts_strogatz;
 
 use crate::csr::CsrGraph;
 use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
+use rand::{Rng, SeedableRng};
 
 /// Assigns uniform random weights in `[lo, hi)` to every edge of `g`,
 /// deterministically from `seed`. Used to turn unweighted generator output

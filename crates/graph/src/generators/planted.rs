@@ -14,7 +14,7 @@ use crate::builder::GraphBuilder;
 use crate::csr::CsrGraph;
 use crate::types::VertexId;
 use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
+use rand::{Rng, SeedableRng};
 
 /// Configuration for [`planted_partition`].
 #[derive(Debug, Clone, Copy)]
@@ -153,7 +153,10 @@ mod tests {
 
     #[test]
     fn deterministic() {
-        assert_eq!(planted_partition(small_cfg()), planted_partition(small_cfg()));
+        assert_eq!(
+            planted_partition(small_cfg()),
+            planted_partition(small_cfg())
+        );
     }
 
     #[test]

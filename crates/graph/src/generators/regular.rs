@@ -92,7 +92,11 @@ pub fn layered_dag(layers: usize, width: usize) -> CsrGraph {
     for l in 0..layers.saturating_sub(1) {
         for i in 0..width {
             for j in 0..width {
-                b.add_edge((l * width + i) as VertexId, ((l + 1) * width + j) as VertexId, 1.0);
+                b.add_edge(
+                    (l * width + i) as VertexId,
+                    ((l + 1) * width + j) as VertexId,
+                    1.0,
+                );
             }
         }
     }

@@ -9,7 +9,7 @@ use crate::builder::GraphBuilder;
 use crate::csr::CsrGraph;
 use crate::types::VertexId;
 use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
+use rand::{Rng, SeedableRng};
 
 /// Parameters for the RMAT generator.
 #[derive(Debug, Clone, Copy)]

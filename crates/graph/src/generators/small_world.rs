@@ -8,7 +8,7 @@ use crate::builder::GraphBuilder;
 use crate::csr::CsrGraph;
 use crate::types::VertexId;
 use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
+use rand::{Rng, SeedableRng};
 
 /// Generates a directed Watts–Strogatz graph: `n` vertices on a ring,
 /// each with edges to its `k` clockwise neighbors, each edge rewired to a

@@ -155,7 +155,10 @@ pub fn read_binary_file<P: AsRef<Path>>(path: P) -> io::Result<CsrGraph> {
 /// processing-order position (line `k` holds the vertex processed at
 /// position `k`). Interoperable with the formats reordering tools like
 /// Gorder/Rabbit publish orders in.
-pub fn write_permutation<W: Write>(p: &crate::permutation::Permutation, writer: W) -> io::Result<()> {
+pub fn write_permutation<W: Write>(
+    p: &crate::permutation::Permutation,
+    writer: W,
+) -> io::Result<()> {
     let mut w = BufWriter::new(writer);
     writeln!(w, "# permutation {}", p.len())?;
     for &v in p.order() {
@@ -183,9 +186,12 @@ pub fn read_permutation<R: Read>(reader: R) -> io::Result<crate::permutation::Pe
         })?;
         order.push(v);
     }
-    // from_order panics on invalid input; surface it as an I/O error.
-    std::panic::catch_unwind(|| crate::permutation::Permutation::from_order(order))
-        .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "not a permutation"))
+    crate::permutation::Permutation::try_from_order(order).map_err(|why| {
+        io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("not a permutation: {why}"),
+        )
+    })
 }
 
 /// Writes a permutation to a file.
@@ -197,7 +203,9 @@ pub fn write_permutation_file<P: AsRef<Path>>(
 }
 
 /// Reads a permutation from a file.
-pub fn read_permutation_file<P: AsRef<Path>>(path: P) -> io::Result<crate::permutation::Permutation> {
+pub fn read_permutation_file<P: AsRef<Path>>(
+    path: P,
+) -> io::Result<crate::permutation::Permutation> {
     read_permutation(std::fs::File::open(path)?)
 }
 
@@ -206,7 +214,10 @@ mod tests {
     use super::*;
 
     fn sample() -> CsrGraph {
-        CsrGraph::from_edges(4, [(0u32, 1u32, 1.0), (1, 2, 2.5), (2, 3, 1.0), (3, 0, 0.25)])
+        CsrGraph::from_edges(
+            4,
+            [(0u32, 1u32, 1.0), (1, 2, 2.5), (2, 3, 1.0), (3, 0, 0.25)],
+        )
     }
 
     #[test]

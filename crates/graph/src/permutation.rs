@@ -8,7 +8,6 @@
 //! O(1).
 
 use crate::types::VertexId;
-use serde::{Deserialize, Serialize};
 
 /// A bijection over `0..n` representing a vertex processing order.
 ///
@@ -23,7 +22,7 @@ use serde::{Deserialize, Serialize};
 /// assert_eq!(p.vertex_at(1), 0);
 /// assert!(p.then(&p.inverse()).is_identity());
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Permutation {
     order: Vec<VertexId>,
     position: Vec<VertexId>,
@@ -42,22 +41,30 @@ impl Permutation {
     /// Builds from a processing order (position → vertex).
     ///
     /// # Panics
-    /// Panics if `order` is not a permutation of `0..order.len()`.
+    /// Panics if `order` is not a permutation of `0..order.len()` — use
+    /// [`Permutation::try_from_order`] for untrusted input.
     pub fn from_order(order: Vec<VertexId>) -> Self {
+        Self::try_from_order(order).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible [`Permutation::from_order`]: returns a description of the
+    /// violation instead of panicking when `order` is not a permutation
+    /// of `0..order.len()`.
+    pub fn try_from_order(order: Vec<VertexId>) -> Result<Self, String> {
         let n = order.len();
         let mut position = vec![VertexId::MAX; n];
         for (pos, &v) in order.iter().enumerate() {
-            assert!(
-                (v as usize) < n,
-                "vertex {v} out of range for permutation of length {n}"
-            );
-            assert!(
-                position[v as usize] == VertexId::MAX,
-                "vertex {v} appears twice in processing order"
-            );
+            if (v as usize) >= n {
+                return Err(format!(
+                    "vertex {v} out of range for permutation of length {n}"
+                ));
+            }
+            if position[v as usize] != VertexId::MAX {
+                return Err(format!("vertex {v} appears twice in processing order"));
+            }
             position[v as usize] = pos as VertexId;
         }
-        Permutation { order, position }
+        Ok(Permutation { order, position })
     }
 
     /// Builds from a position array (vertex → position, i.e. `p(v)`).

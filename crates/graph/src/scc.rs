@@ -102,8 +102,7 @@ pub fn strongly_connected_components(g: &CsrGraph) -> SccDecomposition {
             }
             frames.pop();
             if let Some(&mut (parent, _)) = frames.last_mut() {
-                lowlink[parent as usize] =
-                    lowlink[parent as usize].min(lowlink[v as usize]);
+                lowlink[parent as usize] = lowlink[parent as usize].min(lowlink[v as usize]);
             }
         }
     }
@@ -163,10 +162,7 @@ mod tests {
     #[test]
     fn two_cycles_bridged() {
         // cycle {0,1,2} -> bridge -> cycle {3,4}
-        let g = CsrGraph::from_edges(
-            5,
-            [(0u32, 1u32), (1, 2), (2, 0), (2, 3), (3, 4), (4, 3)],
-        );
+        let g = CsrGraph::from_edges(5, [(0u32, 1u32), (1, 2), (2, 0), (2, 3), (3, 4), (4, 3)]);
         let scc = strongly_connected_components(&g);
         assert_eq!(scc.count, 2);
         assert_eq!(scc.component[0], scc.component[1]);
@@ -193,7 +189,10 @@ mod tests {
         assert_eq!(scc.count, 3);
         let dag = condensation(&g, &scc);
         assert_eq!(dag.num_vertices(), 3);
-        assert!(topological_sort(&dag).is_some(), "condensation must be a DAG");
+        assert!(
+            topological_sort(&dag).is_some(),
+            "condensation must be a DAG"
+        );
         // The {0,1} -> {2} super-edge has weight 2.
         let a = scc.component[0];
         let b = scc.component[2];

@@ -44,7 +44,11 @@ pub fn degree_stats(g: &CsrGraph) -> DegreeStats {
     DegreeStats {
         num_vertices: n,
         num_edges: g.num_edges(),
-        mean_degree: if n == 0 { 0.0 } else { 2.0 * g.num_edges() as f64 / n as f64 },
+        mean_degree: if n == 0 {
+            0.0
+        } else {
+            2.0 * g.num_edges() as f64 / n as f64
+        },
         max_degree,
         max_in_degree: max_in,
         max_out_degree: max_out,

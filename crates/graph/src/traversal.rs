@@ -242,7 +242,7 @@ mod tests {
     fn topo_sort_on_dag() {
         let g = layered_dag(3, 2);
         let order = topological_sort(&g).unwrap();
-        let mut pos = vec![0usize; 6];
+        let mut pos = [0usize; 6];
         for (i, &v) in order.iter().enumerate() {
             pos[v as usize] = i;
         }

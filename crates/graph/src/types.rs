@@ -4,8 +4,6 @@
 //! vertices; 32-bit halves the memory traffic of adjacency scans, which
 //! matters for the cache behaviour the paper evaluates in Figs. 9–10).
 
-use serde::{Deserialize, Serialize};
-
 /// A vertex identifier: a dense index in `0..num_vertices`.
 pub type VertexId = u32;
 
@@ -17,7 +15,7 @@ pub type EdgeId = usize;
 pub type Weight = f64;
 
 /// A directed, weighted edge `(src, dst, weight)`.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Edge {
     /// Source vertex.
     pub src: VertexId,

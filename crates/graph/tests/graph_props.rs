@@ -6,8 +6,7 @@ use proptest::prelude::*;
 
 fn arb_edges() -> impl Strategy<Value = (usize, Vec<(u32, u32, f64)>)> {
     (2usize..50).prop_flat_map(|n| {
-        let edges =
-            proptest::collection::vec((0..n as u32, 0..n as u32, 0.5f64..9.5), 0..n * 3);
+        let edges = proptest::collection::vec((0..n as u32, 0..n as u32, 0.5f64..9.5), 0..n * 3);
         (Just(n), edges)
     })
 }
@@ -92,7 +91,7 @@ proptest! {
 
     #[test]
     fn relabel_composes((n, edges) in arb_edges(), s1 in 0u64..100, s2 in 0u64..100) {
-        use rand::{RngExt, SeedableRng};
+        use rand::{Rng, SeedableRng};
         let g = build(n, &edges);
         let shuffle = |seed: u64| {
             let mut order: Vec<u32> = (0..n as u32).collect();

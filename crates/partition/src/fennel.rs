@@ -149,7 +149,12 @@ mod tests {
 
     #[test]
     fn degenerate_inputs() {
-        assert_eq!(Fennel::with_parts(4).run(&CsrGraph::empty(0)).num_vertices(), 0);
+        assert_eq!(
+            Fennel::with_parts(4)
+                .run(&CsrGraph::empty(0))
+                .num_vertices(),
+            0
+        );
         let p = Fennel::with_parts(1).run(&CsrGraph::empty(5));
         assert_eq!(p.num_parts(), 1);
     }

@@ -65,8 +65,7 @@ impl LabelPropagation {
                 let mut best_w = weight_to[lv as usize];
                 for &l in &touched {
                     let w = weight_to[l as usize];
-                    let cap_ok =
-                        l == lv || size[l as usize] < max_size;
+                    let cap_ok = l == lv || size[l as usize] < max_size;
                     if cap_ok && (w > best_w || (w == best_w && l < best)) {
                         best = l;
                         best_w = w;

@@ -129,10 +129,9 @@ fn coarsen(g: &CoarseGraph) -> (CoarseGraph, Vec<u32>) {
         }
         let mut best: Option<(u32, f64)> = None;
         for &(v, w) in &g.adj[u as usize] {
-            if v != u && matched[v as usize] == u32::MAX
-                && best.is_none_or(|(_, bw)| w > bw) {
-                    best = Some((v, w));
-                }
+            if v != u && matched[v as usize] == u32::MAX && best.is_none_or(|(_, bw)| w > bw) {
+                best = Some((v, w));
+            }
         }
         match best {
             Some((v, _)) => {
@@ -195,7 +194,9 @@ fn region_grow(g: &CoarseGraph, k: usize, max_load: f64) -> Vec<u32> {
     while assigned < n {
         if queue.is_empty() {
             // pick a new seed for the least-loaded part
-            current = (0..k as u32).min_by(|&a, &b| load[a as usize].partial_cmp(&load[b as usize]).unwrap()).unwrap();
+            current = (0..k as u32)
+                .min_by(|&a, &b| load[a as usize].partial_cmp(&load[b as usize]).unwrap())
+                .unwrap();
             while next_seed < n && part[next_seed] != u32::MAX {
                 next_seed += 1;
             }
@@ -242,14 +243,18 @@ fn region_grow(g: &CoarseGraph, k: usize, max_load: f64) -> Vec<u32> {
         }
         if load[current as usize] >= max_load || queue.is_empty() {
             // move to the least-loaded part next round
-            current = (0..k as u32).min_by(|&a, &b| load[a as usize].partial_cmp(&load[b as usize]).unwrap()).unwrap();
+            current = (0..k as u32)
+                .min_by(|&a, &b| load[a as usize].partial_cmp(&load[b as usize]).unwrap())
+                .unwrap();
         }
     }
     // Any stragglers go to the least-loaded part.
-    for v in 0..n {
-        if part[v] == u32::MAX {
-            let c = (0..k as u32).min_by(|&a, &b| load[a as usize].partial_cmp(&load[b as usize]).unwrap()).unwrap();
-            part[v] = c;
+    for (v, p) in part.iter_mut().enumerate().take(n) {
+        if *p == u32::MAX {
+            let c = (0..k as u32)
+                .min_by(|&a, &b| load[a as usize].partial_cmp(&load[b as usize]).unwrap())
+                .unwrap();
+            *p = c;
             load[c as usize] += g.vertex_weight[v];
         }
     }

@@ -5,7 +5,7 @@
 use crate::partitioning::{Partitioner, Partitioning};
 use gograph_graph::CsrGraph;
 use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
+use rand::{Rng, SeedableRng};
 
 /// Splits `0..n` into `num_parts` contiguous, balanced chunks.
 #[derive(Debug, Clone, Copy)]

@@ -1,12 +1,11 @@
 //! Property tests over all partitioners: structural validity, quality
 //! metric bounds, and compaction idempotence.
 
-use gograph_partition::{
-    edge_cut, intra_edge_fraction, modularity, ChunkPartitioner, Fennel, LabelPropagation,
-    Louvain, MetisLike, NoPartitioner, Partitioner, Partitioning, RabbitPartition,
-    RandomPartitioner,
-};
 use gograph_graph::{CsrGraph, GraphBuilder};
+use gograph_partition::{
+    edge_cut, intra_edge_fraction, modularity, ChunkPartitioner, Fennel, LabelPropagation, Louvain,
+    MetisLike, NoPartitioner, Partitioner, Partitioning, RabbitPartition, RandomPartitioner,
+};
 use proptest::prelude::*;
 
 fn arb_graph() -> impl Strategy<Value = CsrGraph> {
@@ -30,7 +29,10 @@ fn all_partitioners() -> Vec<Box<dyn Partitioner>> {
         Box::new(MetisLike::with_parts(4)),
         Box::new(Fennel::with_parts(4)),
         Box::new(ChunkPartitioner { num_parts: 4 }),
-        Box::new(RandomPartitioner { num_parts: 4, seed: 1 }),
+        Box::new(RandomPartitioner {
+            num_parts: 4,
+            seed: 1,
+        }),
         Box::new(NoPartitioner),
     ]
 }

@@ -212,7 +212,10 @@ mod tests {
             .collect();
         let mut sorted = hubs.clone();
         sorted.sort_unstable();
-        assert_eq!(hubs, sorted, "hub ids should stay in ascending (original) order");
+        assert_eq!(
+            hubs, sorted,
+            "hub ids should stay in ascending (original) order"
+        );
         assert!(!hubs.is_empty());
     }
 

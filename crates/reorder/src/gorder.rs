@@ -60,10 +60,10 @@ impl Reorderer for Gorder {
         let mut window: Vec<VertexId> = Vec::with_capacity(w);
 
         let apply = |ve: VertexId,
-                         delta: i64,
-                         score: &mut Vec<i64>,
-                         heap: &mut BinaryHeap<(i64, VertexId)>,
-                         placed: &Vec<bool>| {
+                     delta: i64,
+                     score: &mut Vec<i64>,
+                     heap: &mut BinaryHeap<(i64, VertexId)>,
+                     placed: &Vec<bool>| {
             // Neighbor score S_n: direct edges either way.
             for &v in g.out_neighbors(ve).iter().chain(g.in_neighbors(ve)) {
                 if !placed[v as usize] {
@@ -91,11 +91,11 @@ impl Reorderer for Gorder {
         };
 
         let place = |v: VertexId,
-                         order: &mut Vec<VertexId>,
-                         window: &mut Vec<VertexId>,
-                         score: &mut Vec<i64>,
-                         heap: &mut BinaryHeap<(i64, VertexId)>,
-                         placed: &mut Vec<bool>| {
+                     order: &mut Vec<VertexId>,
+                     window: &mut Vec<VertexId>,
+                     score: &mut Vec<i64>,
+                     heap: &mut BinaryHeap<(i64, VertexId)>,
+                     placed: &mut Vec<bool>| {
             placed[v as usize] = true;
             order.push(v);
             if window.len() == w {
@@ -106,7 +106,14 @@ impl Reorderer for Gorder {
             window.push(v);
         };
 
-        place(start, &mut order, &mut window, &mut score, &mut heap, &mut placed);
+        place(
+            start,
+            &mut order,
+            &mut window,
+            &mut score,
+            &mut heap,
+            &mut placed,
+        );
 
         let mut next_fallback = 0usize;
         while order.len() < n {
@@ -129,7 +136,14 @@ impl Reorderer for Gorder {
                     next_fallback as VertexId
                 }
             };
-            place(v, &mut order, &mut window, &mut score, &mut heap, &mut placed);
+            place(
+                v,
+                &mut order,
+                &mut window,
+                &mut score,
+                &mut heap,
+                &mut placed,
+            );
         }
         Permutation::from_order(order)
     }
@@ -143,8 +157,7 @@ pub fn gorder_score(g: &CsrGraph, perm: &Permutation, window: usize) -> u64 {
     let mut total = 0u64;
     for i in 0..n {
         let u = order[i];
-        for j in (i + 1)..((i + window).min(n)) {
-            let v = order[j];
+        for &v in &order[(i + 1)..(i + window).min(n)] {
             total += pair_score(g, u, v);
         }
     }
@@ -177,8 +190,8 @@ fn pair_score(g: &CsrGraph, u: VertexId, v: VertexId) -> u64 {
 mod tests {
     use super::*;
     use crate::traits::{DefaultOrder, RandomOrder};
-    use gograph_graph::generators::{planted_partition, shuffle_labels, PlantedPartitionConfig};
     use gograph_graph::generators::regular::chain;
+    use gograph_graph::generators::{planted_partition, shuffle_labels, PlantedPartitionConfig};
 
     #[test]
     fn valid_permutation() {
@@ -220,7 +233,11 @@ mod tests {
     #[test]
     fn chain_stays_roughly_sequential() {
         let g = chain(20);
-        let p = Gorder { window: 3, hub_cap: 100 }.reorder(&g);
+        let p = Gorder {
+            window: 3,
+            hub_cap: 100,
+        }
+        .reorder(&g);
         // Consecutive chain vertices should mostly be adjacent in the order.
         let adjacent_pairs = (0..19u32)
             .filter(|&v| {
@@ -228,7 +245,10 @@ mod tests {
                 d <= 2
             })
             .count();
-        assert!(adjacent_pairs > 15, "only {adjacent_pairs} chain pairs kept close");
+        assert!(
+            adjacent_pairs > 15,
+            "only {adjacent_pairs} chain pairs kept close"
+        );
     }
 
     #[test]

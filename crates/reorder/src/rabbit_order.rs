@@ -14,13 +14,11 @@ use gograph_graph::{CsrGraph, Permutation, VertexId};
 use gograph_partition::{Partitioner, RabbitPartition};
 
 /// Rabbit order reorderer.
-#[derive(Debug, Clone, Copy)]
-#[derive(Default)]
+#[derive(Debug, Clone, Copy, Default)]
 pub struct RabbitOrder {
     /// The community detection step.
     pub partition: RabbitPartition,
 }
-
 
 impl Reorderer for RabbitOrder {
     fn name(&self) -> &'static str {

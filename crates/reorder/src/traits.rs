@@ -15,6 +15,26 @@ pub trait Reorderer {
     fn reorder(&self, g: &CsrGraph) -> Permutation;
 }
 
+impl<R: Reorderer + ?Sized> Reorderer for Box<R> {
+    fn name(&self) -> &'static str {
+        (**self).name()
+    }
+
+    fn reorder(&self, g: &CsrGraph) -> Permutation {
+        (**self).reorder(g)
+    }
+}
+
+impl<R: Reorderer + ?Sized> Reorderer for &R {
+    fn name(&self) -> &'static str {
+        (**self).name()
+    }
+
+    fn reorder(&self, g: &CsrGraph) -> Permutation {
+        (**self).reorder(g)
+    }
+}
+
 /// The paper's "Default" order: original vertex ids.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct DefaultOrder;
@@ -43,7 +63,7 @@ impl Reorderer for RandomOrder {
     }
 
     fn reorder(&self, g: &CsrGraph) -> Permutation {
-        use rand::{RngExt, SeedableRng};
+        use rand::{Rng, SeedableRng};
         let n = g.num_vertices();
         let mut order: Vec<u32> = (0..n as u32).collect();
         let mut rng = rand::rngs::StdRng::seed_from_u64(self.seed);

@@ -23,9 +23,14 @@ fn fig2_graph() -> CsrGraph {
 }
 
 fn rounds(g: &CsrGraph, mode: Mode, order: &Permutation) -> (usize, Vec<f64>) {
-    let stats = run(g, &Sssp::new(0), mode, order, &RunConfig::default());
-    assert!(stats.converged);
-    (stats.rounds, stats.final_states)
+    let r = Pipeline::on(g)
+        .algorithm(Sssp::new(0))
+        .mode(mode)
+        .order_ref(order)
+        .require_convergence(true)
+        .execute()
+        .expect("Fig. 2 runs converge");
+    (r.stats.rounds, r.stats.final_states)
 }
 
 fn main() {

@@ -1,6 +1,6 @@
-//! Quickstart: build a graph, reorder it with GoGraph, and watch the
-//! asynchronous engine converge in fewer rounds than the synchronous
-//! baseline.
+//! Quickstart: build a graph, then let one [`Pipeline`] per configuration
+//! reorder it with GoGraph and watch the asynchronous engine converge in
+//! fewer rounds than the synchronous baseline.
 //!
 //! Run with: `cargo run --release --example quickstart`
 
@@ -27,54 +27,62 @@ fn main() {
         g.average_degree()
     );
 
-    // 2. Reorder with GoGraph. The metric M(O) counts *positive edges* —
-    //    edges whose source is processed before its destination.
-    let order = GoGraph::default().run(&g);
+    // 2. Reorder with GoGraph through the pipeline. The metric M(O)
+    //    counts *positive edges* — edges whose source is processed before
+    //    its destination.
+    let pr = PageRank::default();
+    let gograph = Pipeline::on(&g)
+        .reorder(GoGraph::default())
+        .relabel(true)
+        .mode(Mode::Async)
+        .algorithm(pr)
+        .execute()
+        .expect("valid pipeline");
     let before = metric_report(&g, &Permutation::identity(g.num_vertices()));
-    let after = metric_report(&g, &order);
+    let after = metric_report(&g, &gograph.order);
     println!(
-        "positive-edge fraction: default {:.3} -> gograph {:.3}",
+        "positive-edge fraction: default {:.3} -> gograph {:.3} (reorder took {:.1} ms)",
         before.positive_fraction(),
-        after.positive_fraction()
+        after.positive_fraction(),
+        gograph.timings.reorder.as_secs_f64() * 1e3
     );
-    let check = check_theorem2(&g, &order);
+    let check = check_theorem2(&g, &gograph.order);
     println!(
         "Theorem 2 (M >= |E|/2): M = {} >= {} -> {}",
         check.metric, check.lower_bound, check.holds
     );
 
-    // 3. Run PageRank three ways.
-    let cfg = RunConfig::default();
-    let id = Permutation::identity(g.num_vertices());
-    let pr = PageRank::default();
-
-    let sync = run(&g, &pr, Mode::Sync, &id, &cfg);
-    let asynchronous = run(&g, &pr, Mode::Async, &id, &cfg);
-    let relabeled = g.relabeled(&order);
-    let gograph = run(&relabeled, &pr, Mode::Async, &id, &cfg);
+    // 3. The two baselines: same algorithm, different mode/order.
+    let sync = Pipeline::on(&g)
+        .mode(Mode::Sync)
+        .algorithm(pr)
+        .execute()
+        .unwrap();
+    let asynchronous = Pipeline::on(&g)
+        .mode(Mode::Async)
+        .algorithm(pr)
+        .execute()
+        .unwrap();
 
     println!("\nPageRank to epsilon {:.0e}:", pr.epsilon);
-    println!(
-        "  sync  + default order: {:>3} rounds  {:>8.1} ms",
-        sync.rounds,
-        sync.runtime.as_secs_f64() * 1e3
-    );
-    println!(
-        "  async + default order: {:>3} rounds  {:>8.1} ms",
-        asynchronous.rounds,
-        asynchronous.runtime.as_secs_f64() * 1e3
-    );
-    println!(
-        "  async + GoGraph order: {:>3} rounds  {:>8.1} ms",
-        gograph.rounds,
-        gograph.runtime.as_secs_f64() * 1e3
-    );
+    for (label, r) in [
+        ("sync  + default order", &sync),
+        ("async + default order", &asynchronous),
+        ("async + GoGraph order", &gograph),
+    ] {
+        println!(
+            "  {label}: {:>3} rounds  {:>8.1} ms",
+            r.stats.rounds,
+            r.stats.runtime.as_secs_f64() * 1e3
+        );
+    }
 
     // 4. Fixpoints agree (async changes the path, not the destination).
     let max_diff = sync
+        .stats
         .final_states
         .iter()
-        .zip(&asynchronous.final_states)
+        .zip(&asynchronous.stats.final_states)
         .map(|(a, b)| (a - b).abs())
         .fold(0.0f64, f64::max);
     println!("\nmax |sync - async| state difference: {max_diff:.2e}");

@@ -36,7 +36,7 @@ fn main() {
     );
 
     let source = 0u32; // top-left corner depot
-    let cfg = RunConfig::default();
+    let far_corner = (200 * 200 - 1) as u32;
 
     // Reciprocal edges make every order metric-equivalent; print it.
     let m_def = metric_report(&g, &Permutation::identity(g.num_vertices()));
@@ -45,49 +45,53 @@ fn main() {
         m_def.positive_fraction()
     );
 
-    for (label, order) in [
-        ("default", Permutation::identity(g.num_vertices())),
-        ("gograph", GoGraph::default().run(&g)),
-    ] {
-        let relabeled = g.relabeled(&order);
-        let id = Permutation::identity(g.num_vertices());
-        let src = order.position(source);
-
-        let sssp = run(&relabeled, &Sssp::new(src), Mode::Async, &id, &cfg);
-        let sswp = run(&relabeled, &Sswp::new(src), Mode::Async, &id, &cfg);
+    let methods: Vec<(&str, Box<dyn Reorderer>)> = vec![
+        ("default", Box::new(DefaultOrder)),
+        ("gograph", Box::new(GoGraph::default())),
+    ];
+    for (label, method) in &methods {
+        let sssp = Pipeline::on(&g)
+            .reorder(method)
+            .relabel(true)
+            .algorithm_with(|o| Box::new(Sssp::new(o.position(source))))
+            .execute()
+            .expect("valid pipeline");
+        let sswp = Pipeline::on(&g)
+            .reorder(method)
+            .relabel(true)
+            .algorithm_with(|o| Box::new(Sswp::new(o.position(source))))
+            .execute()
+            .expect("valid pipeline");
         println!(
             "\n[{label}] SSSP: {} rounds, {:.1} ms | SSWP: {} rounds, {:.1} ms{}",
-            sssp.rounds,
-            sssp.runtime.as_secs_f64() * 1e3,
-            sswp.rounds,
-            sswp.runtime.as_secs_f64() * 1e3,
-            if label == "gograph" {
+            sssp.stats.rounds,
+            sssp.stats.runtime.as_secs_f64() * 1e3,
+            sswp.stats.rounds,
+            sswp.stats.runtime.as_secs_f64() * 1e3,
+            if *label == "gograph" {
                 "  <- community order scrambles the mesh wavefront: expected"
             } else {
                 "  <- row-major sweep is already wavefront-optimal"
             }
         );
-        // Spot-check: distance to the far corner.
-        let corner = order.position((200 * 200 - 1) as u32);
+        // Spot-check: distance to the far corner, in original ids.
         println!(
             "  travel time depot -> far corner: {:.2}",
-            sssp.final_states[corner as usize]
+            sssp.state_of(far_corner)
         );
     }
 
-    // Parallel engine scaling check.
+    // Parallel engine scaling check, reusing one GoGraph order.
     let order = GoGraph::default().run(&g);
-    let relabeled = g.relabeled(&order);
-    let id = Permutation::identity(g.num_vertices());
-    let src = order.position(source);
     for blocks in [1usize, 4, 16] {
-        let stats = run(
-            &relabeled,
-            &Sssp::new(src),
-            Mode::Parallel(blocks),
-            &id,
-            &cfg,
-        );
+        let stats = Pipeline::on(&g)
+            .order(order.clone())
+            .relabel(true)
+            .mode(Mode::Parallel(blocks))
+            .algorithm_with(|o| Box::new(Sssp::new(o.position(source))))
+            .execute()
+            .expect("valid pipeline")
+            .stats;
         println!(
             "parallel({blocks:>2}) SSSP: {} rounds, {:.1} ms",
             stats.rounds,

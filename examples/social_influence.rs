@@ -2,7 +2,9 @@
 //! graph, compute (i) reachability layers from an influencer (BFS),
 //! (ii) penalized hitting probability (PHP) — the paper's random-walk
 //! proximity workload, and (iii) Adsorption label propagation from a set
-//! of seed users, all accelerated by GoGraph's ordering.
+//! of seed users, all accelerated by GoGraph's ordering through the
+//! [`Pipeline`] API. The influencer's id is mapped through the order by
+//! the pipeline's algorithm factory.
 //!
 //! Run with: `cargo run --release --example social_influence`
 
@@ -30,51 +32,67 @@ fn main() {
     let influencer = (0..g.num_vertices() as u32)
         .max_by_key(|&v| g.out_degree(v))
         .unwrap();
-    println!("influencer: user {influencer} ({} follows)", g.out_degree(influencer));
+    println!(
+        "influencer: user {influencer} ({} follows)",
+        g.out_degree(influencer)
+    );
 
+    // Reorder once, then reuse the order for all three workloads.
     let order = GoGraph::default().run(&g);
-    let relabeled = g.relabeled(&order);
-    let id = Permutation::identity(g.num_vertices());
-    let src = order.position(influencer);
-    let cfg = RunConfig::default();
+    let run_from_influencer = |make: &dyn Fn(u32) -> Box<dyn IterativeAlgorithm>| {
+        Pipeline::on(&g)
+            .order(order.clone())
+            .relabel(true)
+            .algorithm_with(|o| make(o.position(influencer)))
+            .execute()
+            .expect("valid pipeline")
+    };
 
     // BFS reachability layers.
-    let bfs = run(&relabeled, &Bfs::new(src), Mode::Async, &id, &cfg);
+    let bfs = run_from_influencer(&|src| Box::new(Bfs::new(src)));
     let mut layer_counts = std::collections::BTreeMap::new();
-    for &d in &bfs.final_states {
+    for &d in &bfs.stats.final_states {
         if d.is_finite() {
             *layer_counts.entry(d as u64).or_insert(0usize) += 1;
         }
     }
-    println!("\nreachability layers ({} rounds):", bfs.rounds);
+    println!("\nreachability layers ({} rounds):", bfs.stats.rounds);
     for (layer, count) in layer_counts.iter().take(6) {
         println!("  {layer} hops: {count} users");
     }
 
     // PHP proximity: who is most "hit" by penalized random walks from
-    // the influencer?
-    let php = run(&relabeled, &Php::new(src), Mode::Async, &id, &cfg);
-    let mut prox: Vec<(u32, f64)> = php
-        .final_states
-        .iter()
-        .enumerate()
-        .filter(|&(v, _)| v as u32 != src)
-        .map(|(v, &s)| (order.vertex_at(v), s))
+    // the influencer? Scores read back in original user ids.
+    let php = run_from_influencer(&|src| Box::new(Php::new(src)));
+    let mut prox: Vec<(u32, f64)> = (0..g.num_vertices() as u32)
+        .filter(|&v| v != influencer)
+        .map(|v| (v, php.state_of(v)))
         .collect();
     prox.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
-    println!("\nPHP proximity ({} rounds) — closest users:", php.rounds);
+    println!(
+        "\nPHP proximity ({} rounds) — closest users:",
+        php.stats.rounds
+    );
     for (user, score) in prox.iter().take(5) {
         println!("  user {user:>6}: {score:.4}");
     }
 
-    // Adsorption from three seed communities.
-    let seeds: Vec<u32> = vec![src, (src + 1) % g.num_vertices() as u32];
-    let ads = Adsorption::new(seeds);
-    let stats = run(&relabeled, &ads, Mode::Async, &id, &cfg);
-    let touched = stats.final_states.iter().filter(|&&x| x > 1e-9).count();
+    // Adsorption from two seed users.
+    let stats = run_from_influencer(&|src| {
+        Box::new(Adsorption::new(vec![
+            src,
+            (src + 1) % g.num_vertices() as u32,
+        ]))
+    });
+    let touched = stats
+        .stats
+        .final_states
+        .iter()
+        .filter(|&&x| x > 1e-9)
+        .count();
     println!(
         "\nAdsorption ({} rounds): label mass reached {} of {} users",
-        stats.rounds,
+        stats.stats.rounds,
         touched,
         g.num_vertices()
     );

@@ -71,13 +71,31 @@ fn main() {
 
     // Final check: does the maintained order still speed up PageRank?
     let g = inc.to_graph();
-    let cfg = RunConfig::default();
-    let id = Permutation::identity(g.num_vertices());
-    let base = run(&g, &PageRank::default(), Mode::Async, &id, &cfg);
-    let relabeled = g.relabeled(&inc.current_order());
-    let inc_run = run(&relabeled, &PageRank::default(), Mode::Async, &id, &cfg);
+    let base = Pipeline::on(&g)
+        .algorithm(PageRank::default())
+        .execute()
+        .expect("valid pipeline");
+    let inc_run = Pipeline::on(&g)
+        .order(inc.current_order())
+        .relabel(true)
+        .algorithm(PageRank::default())
+        .execute()
+        .expect("valid pipeline");
     println!(
         "\nPageRank rounds: default order {} vs maintained order {}",
-        base.rounds, inc_run.rounds
+        base.stats.rounds, inc_run.stats.rounds
+    );
+
+    // The maintainer also slots straight into a pipeline as a Reorderer
+    // (it streams the graph's edges through local repositioning).
+    let streamed = Pipeline::on(&g)
+        .reorder(IncrementalGoGraph::new(0))
+        .algorithm(PageRank::default())
+        .execute()
+        .expect("valid pipeline");
+    println!(
+        "one-shot streamed order: M/|E| = {:.3}, {} rounds",
+        metric(&g, &streamed.order) as f64 / g.num_edges() as f64,
+        streamed.stats.rounds
     );
 }

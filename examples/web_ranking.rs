@@ -1,7 +1,8 @@
 //! Web-ranking scenario: rank the pages of a synthetic web crawl
 //! (RMAT — the self-similar structure of indochina/sk-style crawls),
 //! comparing the full reordering toolbox on rounds, runtime and
-//! simulated cache misses — the paper's intro use-case end to end.
+//! simulated cache misses — the paper's intro use-case end to end, one
+//! [`Pipeline`] per method.
 //!
 //! Run with: `cargo run --release --example web_ranking`
 
@@ -25,39 +26,43 @@ fn main() {
         ("GoGraph", Box::new(GoGraph::default())),
     ];
 
-    let cfg = RunConfig::default();
-    let pr = PageRank::default();
     println!(
         "\n{:>10} {:>10} {:>8} {:>12} {:>14}",
         "method", "M/|E|", "rounds", "runtime(ms)", "cache misses"
     );
-    for (name, method) in methods {
-        let order = method.reorder(&g);
-        let frac = metric_report(&g, &order).positive_fraction();
-        let relabeled = g.relabeled(&order);
-        let id = Permutation::identity(g.num_vertices());
-        let stats = run(&relabeled, &pr, Mode::Async, &id, &cfg);
-        let misses = cache_misses_of_order(&g, &order, 1).total_misses();
+    for (name, method) in &methods {
+        let r = Pipeline::on(&g)
+            .reorder(method)
+            .relabel(true)
+            .algorithm(PageRank::default())
+            .execute()
+            .expect("valid pipeline");
+        let frac = metric_report(&g, &r.order).positive_fraction();
+        let misses = cache_misses_of_order(&g, &r.order, 1).total_misses();
         println!(
             "{:>10} {:>10.3} {:>8} {:>12.1} {:>14}",
             name,
             frac,
-            stats.rounds,
-            stats.runtime.as_secs_f64() * 1e3,
+            r.stats.rounds,
+            r.stats.runtime.as_secs_f64() * 1e3,
             misses
         );
     }
 
-    // Top pages by rank under the GoGraph order.
-    let order = GoGraph::default().run(&g);
-    let relabeled = g.relabeled(&order);
-    let id = Permutation::identity(g.num_vertices());
-    let stats = run(&relabeled, &pr, Mode::Async, &id, &cfg);
-    let mut ranked: Vec<(usize, f64)> = stats.final_states.iter().copied().enumerate().collect();
+    // Top pages by rank under the GoGraph order, reported in original
+    // page ids via the result's id mapping.
+    let r = Pipeline::on(&g)
+        .reorder(GoGraph::default())
+        .relabel(true)
+        .algorithm(PageRank::default())
+        .execute()
+        .unwrap();
+    let mut ranked: Vec<(u32, f64)> = (0..g.num_vertices() as u32)
+        .map(|v| (v, r.state_of(v)))
+        .collect();
     ranked.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
     println!("\ntop 5 pages (original ids):");
-    for (new_id, score) in ranked.iter().take(5) {
-        let original = order.vertex_at(*new_id);
-        println!("  page {original:>6}: rank {score:.4}");
+    for (page, score) in ranked.iter().take(5) {
+        println!("  page {page:>6}: rank {score:.4}");
     }
 }

@@ -14,11 +14,16 @@
 //!   Rabbit order, Gorder, ...),
 //! - [`core`] — the GoGraph pipeline, metric function `M(·)` and the
 //!   greedy optimal-position inserter,
-//! - [`engine`] — sync / async / parallel iterative execution with
+//! - [`engine`] — the [`Pipeline`](engine::Pipeline) execution API over
+//!   sync / async / parallel / worklist / delta strategies, with
 //!   PageRank, SSSP, BFS, PHP, CC, SSWP, Katz, Adsorption,
 //! - [`cachesim`] — the trace-driven cache-miss simulator.
 //!
 //! ## Quickstart
+//!
+//! The paper's whole method is one composable pipeline: compute an order
+//! `R(G) -> O_V`, physically relabel the graph so the order becomes a
+//! sequential scan, then iterate a monotonic algorithm asynchronously.
 //!
 //! ```
 //! use gograph::prelude::*;
@@ -26,17 +31,28 @@
 //! // A synthetic power-law community graph.
 //! let g = planted_partition(PlantedPartitionConfig::default());
 //!
-//! // Reorder with GoGraph and run asynchronous PageRank on the
-//! // physically relabeled graph.
-//! let order = GoGraph::default().run(&g);
-//! let relabeled = g.relabeled(&order);
-//! let id = Permutation::identity(relabeled.num_vertices());
-//! let stats = run(&relabeled, &PageRank::default(), Mode::Async, &id,
-//!                 &RunConfig::default());
-//! assert!(stats.converged);
+//! // Reorder with GoGraph, relabel, and run asynchronous PageRank —
+//! // one fallible entry point instead of hand-wired stages.
+//! let result = Pipeline::on(&g)
+//!     .reorder(GoGraph::default())
+//!     .relabel(true)
+//!     .mode(Mode::Async)
+//!     .algorithm(PageRank::default())
+//!     .execute()
+//!     .expect("valid pipeline");
+//! assert!(result.stats.converged);
 //!
 //! // Theorem 2: at least half the edges are positive under the order.
-//! assert!(2 * metric(&g, &order) >= g.num_edges());
+//! assert!(2 * metric(&g, &result.order) >= g.num_edges());
+//!
+//! // Any reorderer slots in; any execution strategy, too.
+//! let wl = Pipeline::on(&g)
+//!     .reorder(DegSort::default())
+//!     .mode(Mode::Worklist)
+//!     .algorithm(PageRank::default())
+//!     .execute()
+//!     .unwrap();
+//! assert!(wl.stats.evaluations.is_some());
 //! ```
 
 pub use gograph_cachesim as cachesim;
@@ -50,24 +66,28 @@ pub use gograph_reorder as reorder;
 pub mod prelude {
     pub use gograph_cachesim::{cache_misses_of_order, CacheHierarchy};
     pub use gograph_core::{
-        check_theorem2, metric, metric_report, refine_adjacent_swaps, GoGraph,
-        IncrementalGoGraph, PartitionerChoice,
+        check_theorem2, metric, metric_report, refine_adjacent_swaps, GoGraph, IncrementalGoGraph,
+        PartitionerChoice,
+    };
+    #[allow(deprecated)]
+    pub use gograph_engine::{
+        run, run_delta_priority, run_delta_round_robin, run_relabeled, run_worklist,
     };
     pub use gograph_engine::{
-        run, run_delta_priority, run_delta_round_robin, run_relabeled, run_worklist, Adsorption,
-        Bfs, ConnectedComponents, DeltaPageRank, DeltaSssp, IterativeAlgorithm, Katz, Mode,
-        PageRank, Php, RunConfig, RunStats, Sssp, Sswp,
+        Adsorption, AlgorithmRef, Bfs, ConnectedComponents, DeltaAlgorithm, DeltaPageRank,
+        DeltaSchedule, DeltaSssp, EngineError, ExecutionStrategy, IterativeAlgorithm, Katz, Mode,
+        PageRank, Php, Pipeline, PipelineResult, RunConfig, RunStats, Sssp, Sswp, StageTimings,
     };
     pub use gograph_graph::generators::{
-        barabasi_albert, erdos_renyi, planted_partition, rmat, shuffle_labels,
-        with_random_weights, PlantedPartitionConfig, RmatConfig,
+        barabasi_albert, erdos_renyi, planted_partition, rmat, shuffle_labels, with_random_weights,
+        PlantedPartitionConfig, RmatConfig,
     };
     pub use gograph_graph::{CsrGraph, Direction, Edge, GraphBuilder, Permutation, VertexId};
     pub use gograph_partition::{
         Fennel, Louvain, MetisLike, Partitioner, Partitioning, RabbitPartition,
     };
     pub use gograph_reorder::{
-        BfsOrder, DegSort, DefaultOrder, DfsOrder, Gorder, HubCluster, HubSort, RabbitOrder,
+        BfsOrder, DefaultOrder, DegSort, DfsOrder, Gorder, HubCluster, HubSort, RabbitOrder,
         RandomOrder, Reorderer,
     };
 }

@@ -1,7 +1,7 @@
 //! Cross-crate integration tests: the paper's end-to-end claims checked
 //! on synthetic workloads — Theorem 2 for every ordering pipeline,
 //! fixpoint agreement across engines, and the headline "GoGraph reduces
-//! rounds" effect.
+//! rounds" effect — exercised through the unified [`Pipeline`] API.
 
 use gograph::prelude::*;
 
@@ -43,14 +43,29 @@ fn theorem2_holds_for_gograph_on_every_generator() {
 fn all_engines_agree_on_sssp_fixpoint() {
     let g = community_graph(7);
     let src = 0u32;
-    let id = Permutation::identity(g.num_vertices());
-    let cfg = RunConfig::default();
     let alg = Sssp::new(src);
-    let sync = run(&g, &alg, Mode::Sync, &id, &cfg);
-    let asy = run(&g, &alg, Mode::Async, &id, &cfg);
-    let par = run(&g, &alg, Mode::Parallel(8), &id, &cfg);
+    let exec = |mode: Mode| {
+        Pipeline::on(&g)
+            .algorithm_ref(&alg)
+            .mode(mode)
+            .execute()
+            .unwrap()
+            .stats
+    };
+    let sync = exec(Mode::Sync);
+    let asy = exec(Mode::Async);
+    let par = exec(Mode::Parallel(8));
+    let wl = exec(Mode::Worklist);
+    let del = Pipeline::on(&g)
+        .delta_algorithm(DeltaSssp { source: src })
+        .mode(Mode::Delta(DeltaSchedule::RoundRobin))
+        .execute()
+        .unwrap()
+        .stats;
     assert_eq!(sync.final_states, asy.final_states);
     assert_eq!(sync.final_states, par.final_states);
+    assert_eq!(sync.final_states, wl.final_states);
+    assert_eq!(sync.final_states, del.final_states);
 }
 
 #[test]
@@ -58,9 +73,13 @@ fn fixpoint_is_order_independent() {
     // Asynchronous execution under ANY valid order converges to the same
     // SSSP distances (the order changes rounds, never results).
     let g = community_graph(9);
-    let cfg = RunConfig::default();
     let alg = Sssp::new(0);
-    let reference = run(&g, &alg, Mode::Async, &Permutation::identity(2_000), &cfg).final_states;
+    let reference = Pipeline::on(&g)
+        .algorithm_ref(&alg)
+        .execute()
+        .unwrap()
+        .stats
+        .final_states;
     let methods: Vec<Box<dyn Reorderer>> = vec![
         Box::new(DegSort::default()),
         Box::new(RabbitOrder::default()),
@@ -68,9 +87,15 @@ fn fixpoint_is_order_independent() {
         Box::new(GoGraph::default()),
     ];
     for m in methods {
-        let order = m.reorder(&g);
-        let got = run(&g, &alg, Mode::Async, &order, &cfg).final_states;
-        assert_eq!(got, reference, "order {} changed the fixpoint", m.name());
+        let name = m.name();
+        let got = Pipeline::on(&g)
+            .reorder(m)
+            .algorithm_ref(&alg)
+            .execute()
+            .unwrap()
+            .stats
+            .final_states;
+        assert_eq!(got, reference, "order {name} changed the fixpoint");
     }
 }
 
@@ -84,33 +109,28 @@ fn gograph_reduces_rounds_vs_default_async_on_aggregate() {
     let mut total_gograph = 0usize;
     for seed in [3u64, 5, 11] {
         let g = community_graph(seed);
-        let cfg = RunConfig::default();
-        let id = Permutation::identity(g.num_vertices());
-        let go = GoGraph::default().run(&g);
 
         for alg_name in ["pagerank", "sssp"] {
-            let (def_rounds, go_rounds) = match alg_name {
-                "pagerank" => {
-                    let pr = PageRank::default();
-                    let d = run(&g, &pr, Mode::Async, &id, &cfg).rounds;
-                    let relabeled = g.relabeled(&go);
-                    let r = run(&relabeled, &pr, Mode::Async, &id, &cfg).rounds;
-                    (d, r)
-                }
-                _ => {
-                    let d = run(&g, &Sssp::new(0), Mode::Async, &id, &cfg).rounds;
-                    let relabeled = g.relabeled(&go);
-                    let r = run(
-                        &relabeled,
-                        &Sssp::new(go.position(0)),
-                        Mode::Async,
-                        &id,
-                        &cfg,
-                    )
-                    .rounds;
-                    (d, r)
+            let make_alg = |order: &Permutation| -> Box<dyn IterativeAlgorithm> {
+                match alg_name {
+                    "pagerank" => Box::new(PageRank::default()),
+                    _ => Box::new(Sssp::new(order.position(0))),
                 }
             };
+            let def_rounds = Pipeline::on(&g)
+                .algorithm_with(make_alg)
+                .execute()
+                .unwrap()
+                .stats
+                .rounds;
+            let go_rounds = Pipeline::on(&g)
+                .reorder(GoGraph::default())
+                .relabel(true)
+                .algorithm_with(make_alg)
+                .execute()
+                .unwrap()
+                .stats
+                .rounds;
             assert!(
                 go_rounds <= def_rounds + 2,
                 "seed {seed} {alg_name}: GoGraph {go_rounds} far above default {def_rounds}"
@@ -129,33 +149,23 @@ fn gograph_reduces_rounds_vs_default_async_on_aggregate() {
 fn async_never_needs_more_rounds_than_sync() {
     for seed in [2u64, 4] {
         let g = community_graph(seed);
-        let id = Permutation::identity(g.num_vertices());
-        let cfg = RunConfig::default();
-        for mode_alg in ["pagerank", "sssp", "bfs"] {
-            let (s, a) = match mode_alg {
-                "pagerank" => {
-                    let pr = PageRank::default();
-                    (
-                        run(&g, &pr, Mode::Sync, &id, &cfg).rounds,
-                        run(&g, &pr, Mode::Async, &id, &cfg).rounds,
-                    )
-                }
-                "sssp" => {
-                    let alg = Sssp::new(0);
-                    (
-                        run(&g, &alg, Mode::Sync, &id, &cfg).rounds,
-                        run(&g, &alg, Mode::Async, &id, &cfg).rounds,
-                    )
-                }
-                _ => {
-                    let alg = Bfs::new(0);
-                    (
-                        run(&g, &alg, Mode::Sync, &id, &cfg).rounds,
-                        run(&g, &alg, Mode::Async, &id, &cfg).rounds,
-                    )
-                }
+        let algs: Vec<Box<dyn IterativeAlgorithm>> = vec![
+            Box::new(PageRank::default()),
+            Box::new(Sssp::new(0)),
+            Box::new(Bfs::new(0)),
+        ];
+        for alg in &algs {
+            let rounds = |mode: Mode| {
+                Pipeline::on(&g)
+                    .algorithm_ref(alg.as_ref())
+                    .mode(mode)
+                    .execute()
+                    .unwrap()
+                    .stats
+                    .rounds
             };
-            assert!(a <= s, "seed {seed} {mode_alg}: async {a} > sync {s}");
+            let (s, a) = (rounds(Mode::Sync), rounds(Mode::Async));
+            assert!(a <= s, "seed {seed} {}: async {a} > sync {s}", alg.name());
         }
     }
 }
@@ -178,7 +188,6 @@ fn metric_correlates_with_rounds_across_methods() {
     // The Table II relationship: sort methods by M, check that rounds are
     // (weakly) anti-correlated — allow one inversion for noise.
     let g = community_graph(21);
-    let cfg = RunConfig::default();
     let methods: Vec<Box<dyn Reorderer>> = vec![
         Box::new(DefaultOrder),
         Box::new(DegSort::default()),
@@ -187,12 +196,13 @@ fn metric_correlates_with_rounds_across_methods() {
     ];
     let mut results: Vec<(usize, usize)> = Vec::new(); // (M, rounds)
     for m in &methods {
-        let order = m.reorder(&g);
-        let m_val = metric(&g, &order);
-        let relabeled = g.relabeled(&order);
-        let id = Permutation::identity(g.num_vertices());
-        let rounds = run(&relabeled, &PageRank::default(), Mode::Async, &id, &cfg).rounds;
-        results.push((m_val, rounds));
+        let r = Pipeline::on(&g)
+            .reorder(m)
+            .relabel(true)
+            .algorithm(PageRank::default())
+            .execute()
+            .unwrap();
+        results.push((metric(&g, &r.order), r.stats.rounds));
     }
     let best_m = results.iter().max_by_key(|(m, _)| *m).unwrap();
     let min_rounds = results.iter().map(|(_, r)| *r).min().unwrap();
@@ -200,6 +210,21 @@ fn metric_correlates_with_rounds_across_methods() {
         best_m.1, min_rounds,
         "method with max M should have the fewest rounds: {results:?}"
     );
+}
+
+#[test]
+fn pipeline_stage_timings_cover_the_run() {
+    let g = community_graph(17);
+    let r = Pipeline::on(&g)
+        .reorder(GoGraph::default())
+        .relabel(true)
+        .algorithm(PageRank::default())
+        .execute()
+        .unwrap();
+    assert!(r.timings.reorder > std::time::Duration::ZERO);
+    assert!(r.timings.relabel > std::time::Duration::ZERO);
+    assert!(r.timings.execute > std::time::Duration::ZERO);
+    assert!(r.timings.total() >= r.timings.execute);
 }
 
 #[test]

@@ -1,12 +1,9 @@
 //! Integration tests for the delta-accumulative (Maiter-style) and
 //! prioritized (PrIter-style) engines against the gather engines: all
-//! four execution strategies must agree on fixpoints, and GoGraph's
-//! order must help the round-robin delta engine exactly as it helps the
-//! gather engine.
+//! execution strategies must agree on fixpoints, and GoGraph's order
+//! must help the round-robin delta engine exactly as it helps the
+//! gather engine. All runs go through the unified [`Pipeline`] API.
 
-use gograph::engine::{
-    run_delta_priority, run_delta_round_robin, DeltaPageRank, DeltaSssp,
-};
 use gograph::prelude::*;
 
 fn workload_graph(seed: u64) -> CsrGraph {
@@ -28,15 +25,36 @@ fn workload_graph(seed: u64) -> CsrGraph {
     )
 }
 
+fn delta_run(g: &CsrGraph, alg: &dyn DeltaAlgorithm, schedule: DeltaSchedule) -> RunStats {
+    Pipeline::on(g)
+        .delta_algorithm_ref(alg)
+        .mode(Mode::Delta(schedule))
+        .execute()
+        .unwrap()
+        .stats
+}
+
 #[test]
 fn four_engines_one_sssp_fixpoint() {
     let g = workload_graph(1);
-    let cfg = RunConfig::default();
-    let id = Permutation::identity(g.num_vertices());
-    let gather_sync = run(&g, &Sssp::new(0), Mode::Sync, &id, &cfg);
-    let gather_async = run(&g, &Sssp::new(0), Mode::Async, &id, &cfg);
-    let delta_rr = run_delta_round_robin(&g, &DeltaSssp { source: 0 }, &id, &cfg);
-    let delta_pri = run_delta_priority(&g, &DeltaSssp { source: 0 }, 0.1, &cfg);
+    let gather = |mode: Mode| {
+        Pipeline::on(&g)
+            .algorithm(Sssp::new(0))
+            .mode(mode)
+            .execute()
+            .unwrap()
+            .stats
+    };
+    let gather_sync = gather(Mode::Sync);
+    let gather_async = gather(Mode::Async);
+    let delta_rr = delta_run(&g, &DeltaSssp { source: 0 }, DeltaSchedule::RoundRobin);
+    let delta_pri = delta_run(
+        &g,
+        &DeltaSssp { source: 0 },
+        DeltaSchedule::Priority {
+            batch_fraction: 0.1,
+        },
+    );
     assert_eq!(gather_sync.final_states, gather_async.final_states);
     assert_eq!(gather_sync.final_states, delta_rr.final_states);
     assert_eq!(gather_sync.final_states, delta_pri.final_states);
@@ -45,10 +63,12 @@ fn four_engines_one_sssp_fixpoint() {
 #[test]
 fn delta_pagerank_total_mass_matches_gather() {
     let g = workload_graph(2);
-    let cfg = RunConfig::default();
-    let id = Permutation::identity(g.num_vertices());
-    let gather = run(&g, &PageRank::default(), Mode::Async, &id, &cfg);
-    let delta = run_delta_round_robin(&g, &DeltaPageRank::default(), &id, &cfg);
+    let gather = Pipeline::on(&g)
+        .algorithm(PageRank::default())
+        .execute()
+        .unwrap()
+        .stats;
+    let delta = delta_run(&g, &DeltaPageRank::default(), DeltaSchedule::RoundRobin);
     let m1: f64 = gather.final_states.iter().sum();
     let m2: f64 = delta.final_states.iter().sum();
     assert!(
@@ -60,13 +80,17 @@ fn delta_pagerank_total_mass_matches_gather() {
 #[test]
 fn gograph_order_helps_delta_engine_too() {
     let g = workload_graph(3);
-    let cfg = RunConfig::default();
-    let id = Permutation::identity(g.num_vertices());
-    let order = GoGraph::default().run(&g);
-    let relabeled = g.relabeled(&order);
     let dpr = DeltaPageRank::default();
-    let default_rounds = run_delta_round_robin(&g, &dpr, &id, &cfg).rounds;
-    let gograph_rounds = run_delta_round_robin(&relabeled, &dpr, &id, &cfg).rounds;
+    let default_rounds = delta_run(&g, &dpr, DeltaSchedule::RoundRobin).rounds;
+    let gograph_rounds = Pipeline::on(&g)
+        .reorder(GoGraph::default())
+        .relabel(true)
+        .delta_algorithm_ref(&dpr)
+        .mode(Mode::Delta(DeltaSchedule::RoundRobin))
+        .execute()
+        .unwrap()
+        .stats
+        .rounds;
     assert!(
         gograph_rounds <= default_rounds,
         "delta engine: GoGraph {gograph_rounds} > default {default_rounds}"
@@ -78,13 +102,19 @@ fn priority_engine_processes_fewer_updates_for_sssp() {
     // PrIter's pitch: prioritizing near-source vertices avoids wasted
     // relaxations. Count total processed updates via the activity trace.
     let g = workload_graph(4);
-    let cfg = RunConfig {
-        record_trace: true,
-        ..Default::default()
+    let traced = |schedule: DeltaSchedule| {
+        Pipeline::on(&g)
+            .delta_algorithm(DeltaSssp { source: 0 })
+            .mode(Mode::Delta(schedule))
+            .trace(true)
+            .execute()
+            .unwrap()
+            .stats
     };
-    let id = Permutation::identity(g.num_vertices());
-    let rr = run_delta_round_robin(&g, &DeltaSssp { source: 0 }, &id, &cfg);
-    let pri = run_delta_priority(&g, &DeltaSssp { source: 0 }, 0.02, &cfg);
+    let rr = traced(DeltaSchedule::RoundRobin);
+    let pri = traced(DeltaSchedule::Priority {
+        batch_fraction: 0.02,
+    });
     // trace delta field stores per-round activity for these engines.
     let rr_updates: f64 = rr.trace.iter().skip(1).map(|p| p.delta).sum();
     let pri_updates: f64 = pri.trace.iter().skip(1).map(|p| p.delta).sum();
@@ -102,12 +132,29 @@ fn delta_engines_handle_unreachable_vertices() {
     b.add_edge(0, 1, 2.0);
     b.add_edge(1, 2, 2.0);
     let g = b.build();
-    let cfg = RunConfig::default();
-    let id = Permutation::identity(10);
-    let stats = run_delta_round_robin(&g, &DeltaSssp { source: 0 }, &id, &cfg);
+    let stats = delta_run(&g, &DeltaSssp { source: 0 }, DeltaSchedule::RoundRobin);
     assert!(stats.converged);
     assert_eq!(stats.final_states[2], 4.0);
     for v in 3..10 {
         assert_eq!(stats.final_states[v], f64::INFINITY);
     }
+}
+
+#[test]
+fn priority_batch_fraction_is_validated() {
+    let g = workload_graph(5);
+    let err = Pipeline::on(&g)
+        .delta_algorithm(DeltaSssp { source: 0 })
+        .mode(Mode::Delta(DeltaSchedule::Priority {
+            batch_fraction: 0.0,
+        }))
+        .execute()
+        .unwrap_err();
+    assert!(matches!(
+        err,
+        EngineError::InvalidParameter {
+            name: "batch_fraction",
+            ..
+        }
+    ));
 }

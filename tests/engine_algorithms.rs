@@ -1,6 +1,7 @@
 //! Integration tests over the full algorithm suite: every monotonic
 //! algorithm converges on realistic workloads, modes agree, and the
-//! paper's monotonicity preconditions hold end to end.
+//! paper's monotonicity preconditions hold end to end — all through the
+//! unified [`Pipeline`] API.
 
 use gograph::engine::algorithms::symmetrize;
 use gograph::prelude::*;
@@ -24,21 +25,41 @@ fn workload() -> CsrGraph {
     )
 }
 
+fn exec(g: &CsrGraph, alg: &dyn IterativeAlgorithm, mode: Mode) -> RunStats {
+    Pipeline::on(g)
+        .algorithm_ref(alg)
+        .mode(mode)
+        .execute()
+        .unwrap()
+        .stats
+}
+
 fn assert_modes_agree(g: &CsrGraph, alg: &dyn IterativeAlgorithm, tol: f64) -> RunStats {
-    let cfg = RunConfig::default();
-    let id = Permutation::identity(g.num_vertices());
-    let s = run(g, alg, Mode::Sync, &id, &cfg);
-    let a = run(g, alg, Mode::Async, &id, &cfg);
-    let p = run(g, alg, Mode::Parallel(4), &id, &cfg);
+    let s = exec(g, alg, Mode::Sync);
+    let a = exec(g, alg, Mode::Async);
+    let p = exec(g, alg, Mode::Parallel(4));
+    let w = exec(g, alg, Mode::Worklist);
     assert!(s.converged, "{} sync did not converge", alg.name());
-    assert!(a.converged && p.converged);
+    assert!(a.converged && p.converged && w.converged);
     for i in 0..g.num_vertices() {
-        let (x, y, z) = (s.final_states[i], a.final_states[i], p.final_states[i]);
-        let close = |u: f64, v: f64| {
-            (u.is_infinite() && v.is_infinite()) || (u - v).abs() <= tol
-        };
+        let (x, y, z, v) = (
+            s.final_states[i],
+            a.final_states[i],
+            p.final_states[i],
+            w.final_states[i],
+        );
+        let close = |u: f64, v: f64| (u.is_infinite() && v.is_infinite()) || (u - v).abs() <= tol;
         assert!(close(x, y), "{}: sync {x} vs async {y} at {i}", alg.name());
-        assert!(close(x, z), "{}: sync {x} vs parallel {z} at {i}", alg.name());
+        assert!(
+            close(x, z),
+            "{}: sync {x} vs parallel {z} at {i}",
+            alg.name()
+        );
+        assert!(
+            close(x, v),
+            "{}: sync {x} vs worklist {v} at {i}",
+            alg.name()
+        );
     }
     assert!(a.rounds <= s.rounds, "{}", alg.name());
     a
@@ -80,11 +101,11 @@ fn bfs_matches_reference_distances() {
     let g = workload();
     let stats = assert_modes_agree(&g, &Bfs::new(0), 0.0);
     let truth = gograph::graph::traversal::bfs_distances(&g, 0);
-    for v in 0..g.num_vertices() {
-        let expected = if truth[v] == u32::MAX {
+    for (v, &t) in truth.iter().enumerate() {
+        let expected = if t == u32::MAX {
             f64::INFINITY
         } else {
-            truth[v] as f64
+            t as f64
         };
         assert_eq!(stats.final_states[v], expected, "vertex {v}");
     }
@@ -95,7 +116,10 @@ fn php_bounded_and_rooted() {
     let g = workload();
     let stats = assert_modes_agree(&g, &Php::new(0), 1e-4);
     assert_eq!(stats.final_states[0], 1.0);
-    assert!(stats.final_states.iter().all(|&x| (0.0..=1.0 + 1e-6).contains(&x)));
+    assert!(stats
+        .final_states
+        .iter()
+        .all(|&x| (0.0..=1.0 + 1e-6).contains(&x)));
 }
 
 #[test]
@@ -140,28 +164,39 @@ fn gograph_order_helps_every_increasing_algorithm() {
     // Round reduction should appear for the mass-propagation family
     // (PageRank-like), where long dependency chains dominate.
     let g = workload();
-    let cfg = RunConfig::default();
-    let id = Permutation::identity(g.num_vertices());
-    let order = GoGraph::default().run(&g);
-    let relabeled = g.relabeled(&order);
 
-    let algs: Vec<Box<dyn IterativeAlgorithm>> = vec![
-        Box::new(PageRank::default()),
-        Box::new(Php::new(order.position(0))),
-        Box::new(Katz::for_graph(&relabeled)),
+    // Source-based algorithms map their source through the order at
+    // execute time via the pipeline's algorithm factory. Katz's
+    // attenuation depends only on the degree distribution, which
+    // relabeling preserves.
+    type Factory = Box<dyn Fn(&Permutation) -> Box<dyn IterativeAlgorithm>>;
+    let katz = Katz::for_graph(&g);
+    let factories: Vec<(&str, Factory)> = vec![
+        (
+            "pagerank",
+            Box::new(|_: &Permutation| Box::new(PageRank::default()) as _),
+        ),
+        (
+            "php",
+            Box::new(|o: &Permutation| Box::new(Php::new(o.position(0))) as _),
+        ),
+        ("katz", Box::new(move |_: &Permutation| Box::new(katz) as _)),
     ];
-    let base_algs: Vec<Box<dyn IterativeAlgorithm>> = vec![
-        Box::new(PageRank::default()),
-        Box::new(Php::new(0)),
-        Box::new(Katz::for_graph(&g)),
-    ];
-    for (alg, base) in algs.iter().zip(&base_algs) {
-        let d = run(&g, base.as_ref(), Mode::Async, &id, &cfg).rounds;
-        let r = run(&relabeled, alg.as_ref(), Mode::Async, &id, &cfg).rounds;
-        assert!(
-            r <= d,
-            "{}: gograph {r} rounds > default {d}",
-            alg.name()
-        );
+    for (name, factory) in &factories {
+        let d = Pipeline::on(&g)
+            .algorithm_with(|o| factory(o))
+            .execute()
+            .unwrap()
+            .stats
+            .rounds;
+        let r = Pipeline::on(&g)
+            .reorder(GoGraph::default())
+            .relabel(true)
+            .algorithm_with(|o| factory(o))
+            .execute()
+            .unwrap()
+            .stats
+            .rounds;
+        assert!(r <= d, "{name}: gograph {r} rounds > default {d}");
     }
 }

@@ -1,6 +1,7 @@
 //! Integration test: the paper's Fig. 2 worked example, end to end.
 //! Sync/default takes 4 rounds, async/default 3, async/reordered 2, and
-//! all three reach the same shortest-path distances.
+//! all three reach the same shortest-path distances — run through the
+//! unified [`Pipeline`] API.
 
 use gograph::prelude::*;
 
@@ -21,13 +22,21 @@ fn fig2_graph() -> CsrGraph {
 #[test]
 fn fig2_round_counts_match_paper() {
     let g = fig2_graph();
-    let cfg = RunConfig::default();
+    let run_with = |mode: Mode, order: Permutation| {
+        Pipeline::on(&g)
+            .algorithm(Sssp::new(0))
+            .mode(mode)
+            .order(order)
+            .execute()
+            .unwrap()
+            .stats
+    };
     let default_order = Permutation::identity(5);
     let reordered = Permutation::from_order(vec![0, 1, 4, 2, 3]); // [a,b,e,c,d]
 
-    let sync = run(&g, &Sssp::new(0), Mode::Sync, &default_order, &cfg);
-    let asy = run(&g, &Sssp::new(0), Mode::Async, &default_order, &cfg);
-    let reo = run(&g, &Sssp::new(0), Mode::Async, &reordered, &cfg);
+    let sync = run_with(Mode::Sync, default_order.clone());
+    let asy = run_with(Mode::Async, default_order);
+    let reo = run_with(Mode::Async, reordered);
 
     assert_eq!(sync.rounds, 4, "paper Fig. 2b");
     assert_eq!(asy.rounds, 3, "paper Fig. 2c");
@@ -55,17 +64,16 @@ fn fig2_reordered_order_has_more_positive_edges() {
 #[test]
 fn gograph_finds_an_optimal_order_for_fig2() {
     // Fig. 2's graph is a DAG, so the optimum is M = |E| = 6; GoGraph's
-    // greedy should achieve it on this tiny instance.
+    // greedy should achieve it on this tiny instance — and the async run
+    // with it should need only 2 rounds, like Fig. 2d. One pipeline does
+    // reorder, metric check, and run.
     let g = fig2_graph();
-    let order = GoGraph::default().run(&g);
-    assert_eq!(metric(&g, &order), 6);
-    // And the async run with it should need only 2 rounds, like Fig. 2d.
-    let stats = run(
-        &g,
-        &Sssp::new(0),
-        Mode::Async,
-        &order,
-        &RunConfig::default(),
-    );
-    assert_eq!(stats.rounds, 2);
+    let r = Pipeline::on(&g)
+        .reorder(GoGraph::default())
+        .algorithm(Sssp::new(0))
+        .mode(Mode::Async)
+        .execute()
+        .unwrap();
+    assert_eq!(metric(&g, &r.order), 6);
+    assert_eq!(r.stats.rounds, 2);
 }

@@ -1,0 +1,274 @@
+//! Equivalence suite for the API redesign: every legacy free-function
+//! entrypoint and its [`Pipeline`] counterpart must produce identical
+//! `final_states` and `rounds` on a planted-partition workload, for all
+//! five execution strategies — plus the error paths the legacy API could
+//! only express as panics.
+
+#![allow(deprecated)]
+
+use gograph::prelude::*;
+
+fn workload_graph() -> CsrGraph {
+    with_random_weights(
+        &shuffle_labels(
+            &planted_partition(PlantedPartitionConfig {
+                num_vertices: 1_200,
+                num_edges: 9_000,
+                communities: 10,
+                p_intra: 0.85,
+                gamma: 2.4,
+                seed: 2024,
+            }),
+            0x90,
+        ),
+        1.0,
+        7.0,
+        0x91,
+    )
+}
+
+/// A non-trivial order so the equivalence is not tested at identity only.
+fn test_order(g: &CsrGraph) -> Permutation {
+    GoGraph::default().run(g)
+}
+
+fn assert_same(legacy: &RunStats, pipeline: &RunStats, what: &str) {
+    assert_eq!(legacy.rounds, pipeline.rounds, "{what}: rounds differ");
+    assert_eq!(
+        legacy.final_states, pipeline.final_states,
+        "{what}: final states differ"
+    );
+    assert_eq!(
+        legacy.converged, pipeline.converged,
+        "{what}: convergence differs"
+    );
+}
+
+#[test]
+fn legacy_run_equals_pipeline_for_sync_async_parallel() {
+    let g = workload_graph();
+    let order = test_order(&g);
+    let cfg = RunConfig::default();
+    let alg = Sssp::new(0);
+    // Parallel(1) degenerates to the sequential async scan, so its round
+    // count is deterministic and the full equivalence holds.
+    for mode in [Mode::Sync, Mode::Async, Mode::Parallel(1)] {
+        let legacy = run(&g, &alg, mode, &order, &cfg);
+        let new = Pipeline::on(&g)
+            .algorithm_ref(&alg)
+            .mode(mode)
+            .order_ref(&order)
+            .config(cfg)
+            .execute()
+            .unwrap()
+            .stats;
+        assert_same(&legacy, &new, mode.name());
+    }
+    // With real concurrency the number of rounds depends on thread
+    // interleaving (blocks race on the shared state array), but the
+    // monotone fixpoint is unique — two independent runs must agree on
+    // the final states even when their round counts differ.
+    let legacy = run(&g, &alg, Mode::Parallel(4), &order, &cfg);
+    let new = Pipeline::on(&g)
+        .algorithm_ref(&alg)
+        .mode(Mode::Parallel(4))
+        .order_ref(&order)
+        .config(cfg)
+        .execute()
+        .unwrap()
+        .stats;
+    assert_eq!(
+        legacy.final_states, new.final_states,
+        "parallel(4): final states differ"
+    );
+    assert_eq!(legacy.converged, new.converged);
+}
+
+#[test]
+fn legacy_run_relabeled_equals_pipeline_relabel() {
+    let g = workload_graph();
+    let order = test_order(&g);
+    let cfg = RunConfig::default();
+    let alg = Sssp::new(order.position(0));
+    let (legacy_graph, legacy) = run_relabeled(&g, &alg, Mode::Async, &order, &cfg);
+    let new = Pipeline::on(&g)
+        .algorithm_ref(&alg)
+        .order_ref(&order)
+        .relabel(true)
+        .config(cfg)
+        .execute()
+        .unwrap();
+    assert_same(&legacy, &new.stats, "relabeled async");
+    assert_eq!(
+        legacy_graph,
+        new.relabeled.unwrap(),
+        "relabeled graphs differ"
+    );
+    assert_eq!(order, new.order, "orders differ");
+}
+
+#[test]
+fn legacy_run_worklist_equals_pipeline_worklist() {
+    let g = workload_graph();
+    let order = test_order(&g);
+    let cfg = RunConfig::default();
+    let alg = PageRank::default();
+    let (legacy, legacy_ws) = run_worklist(&g, &alg, &order, &cfg);
+    let new = Pipeline::on(&g)
+        .algorithm_ref(&alg)
+        .mode(Mode::Worklist)
+        .order_ref(&order)
+        .config(cfg)
+        .execute()
+        .unwrap()
+        .stats;
+    assert_same(&legacy, &new, "worklist");
+    assert_eq!(
+        Some(legacy_ws.evaluations),
+        new.evaluations,
+        "worklist evaluation counts differ"
+    );
+}
+
+#[test]
+fn legacy_delta_round_robin_equals_pipeline() {
+    let g = workload_graph();
+    let order = test_order(&g);
+    let cfg = RunConfig::default();
+    for (name, alg) in [
+        (
+            "delta-sssp",
+            &DeltaSssp { source: 0 } as &dyn DeltaAlgorithm,
+        ),
+        ("delta-pagerank", &DeltaPageRank::default()),
+    ] {
+        let legacy = run_delta_round_robin(&g, alg, &order, &cfg);
+        let new = Pipeline::on(&g)
+            .delta_algorithm_ref(alg)
+            .mode(Mode::Delta(DeltaSchedule::RoundRobin))
+            .order_ref(&order)
+            .config(cfg)
+            .execute()
+            .unwrap()
+            .stats;
+        assert_same(&legacy, &new, name);
+    }
+}
+
+#[test]
+fn legacy_delta_priority_equals_pipeline() {
+    let g = workload_graph();
+    let cfg = RunConfig::default();
+    let alg = DeltaSssp { source: 0 };
+    let legacy = run_delta_priority(&g, &alg, 0.05, &cfg);
+    let new = Pipeline::on(&g)
+        .delta_algorithm_ref(&alg)
+        .mode(Mode::Delta(DeltaSchedule::Priority {
+            batch_fraction: 0.05,
+        }))
+        .config(cfg)
+        .execute()
+        .unwrap()
+        .stats;
+    assert_same(&legacy, &new, "delta-priority");
+}
+
+#[test]
+fn legacy_run_config_fields_are_honored() {
+    // max_rounds and record_trace must survive the delegation.
+    let g = workload_graph();
+    let order = Permutation::identity(g.num_vertices()).reversed();
+    let cfg = RunConfig {
+        max_rounds: 2,
+        record_trace: true,
+    };
+    let alg = Sssp::new(0);
+    let legacy = run(&g, &alg, Mode::Async, &order, &cfg);
+    let new = Pipeline::on(&g)
+        .algorithm_ref(&alg)
+        .order_ref(&order)
+        .max_rounds(2)
+        .trace(true)
+        .execute()
+        .unwrap()
+        .stats;
+    assert_same(&legacy, &new, "capped traced run");
+    assert!(!legacy.converged);
+    assert_eq!(legacy.trace.len(), new.trace.len());
+    assert_eq!(legacy.trace.len(), 3, "round 0 + 2 capped rounds");
+}
+
+// --- Error paths: conditions the legacy API could only panic on. ---
+
+#[test]
+fn wrong_length_order_is_an_error_for_every_strategy() {
+    let g = workload_graph();
+    let short = Permutation::identity(7);
+    let gather = Sssp::new(0);
+    let delta = DeltaSssp { source: 0 };
+    for mode in [Mode::Sync, Mode::Async, Mode::Parallel(4), Mode::Worklist] {
+        let err = Pipeline::on(&g)
+            .algorithm_ref(&gather)
+            .mode(mode)
+            .order(short.clone())
+            .execute()
+            .unwrap_err();
+        assert!(
+            matches!(err, EngineError::OrderLengthMismatch { order_len: 7, .. }),
+            "{}: unexpected error {err}",
+            mode.name()
+        );
+    }
+    let err = Pipeline::on(&g)
+        .delta_algorithm_ref(&delta)
+        .mode(Mode::Delta(DeltaSchedule::RoundRobin))
+        .order(short)
+        .execute()
+        .unwrap_err();
+    assert!(matches!(
+        err,
+        EngineError::OrderLengthMismatch { order_len: 7, .. }
+    ));
+}
+
+#[test]
+fn errors_are_values_with_readable_messages() {
+    let g = workload_graph();
+    let err = Pipeline::on(&g)
+        .order(Permutation::identity(3))
+        .algorithm(PageRank::default())
+        .execute()
+        .unwrap_err();
+    let msg = err.to_string();
+    assert!(
+        msg.contains('3') && msg.contains("1200"),
+        "message was {msg:?}"
+    );
+    // And they are std errors, so they compose with ? in applications.
+    let as_std: Box<dyn std::error::Error> = Box::new(err);
+    assert!(!as_std.to_string().is_empty());
+}
+
+#[test]
+fn reorderer_producing_wrong_length_is_caught() {
+    /// A buggy reorderer: always returns a 3-element order.
+    struct Buggy;
+    impl Reorderer for Buggy {
+        fn name(&self) -> &'static str {
+            "buggy"
+        }
+        fn reorder(&self, _g: &CsrGraph) -> Permutation {
+            Permutation::identity(3)
+        }
+    }
+    let g = workload_graph();
+    let err = Pipeline::on(&g)
+        .reorder(Buggy)
+        .algorithm(PageRank::default())
+        .execute()
+        .unwrap_err();
+    assert!(matches!(
+        err,
+        EngineError::OrderLengthMismatch { order_len: 3, .. }
+    ));
+}

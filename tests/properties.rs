@@ -9,10 +9,7 @@ use proptest::prelude::*;
 /// Strategy: a small random directed graph as (n, edge list).
 fn arb_graph() -> impl Strategy<Value = CsrGraph> {
     (2usize..60).prop_flat_map(|n| {
-        let edges = proptest::collection::vec(
-            (0..n as u32, 0..n as u32, 1.0f64..10.0),
-            0..(n * 4),
-        );
+        let edges = proptest::collection::vec((0..n as u32, 0..n as u32, 1.0f64..10.0), 0..(n * 4));
         edges.prop_map(move |es| {
             let mut b = GraphBuilder::with_capacity(n, es.len());
             b.reserve_vertices(n);
@@ -94,37 +91,69 @@ proptest! {
 
     #[test]
     fn sssp_fixpoint_is_unique_across_orders(g in arb_graph(), seed in 0u64..100) {
-        let cfg = RunConfig::default();
-        let id = Permutation::identity(g.num_vertices());
         let alg = Sssp::new(0);
-        let reference = run(&g, &alg, Mode::Sync, &id, &cfg);
+        let reference = Pipeline::on(&g)
+            .algorithm_ref(&alg)
+            .mode(Mode::Sync)
+            .execute()
+            .unwrap()
+            .stats;
         prop_assume!(reference.converged);
-        let order = RandomOrder { seed }.reorder(&g);
-        let other = run(&g, &alg, Mode::Async, &order, &cfg);
+        let other = Pipeline::on(&g)
+            .reorder(RandomOrder { seed })
+            .algorithm_ref(&alg)
+            .execute()
+            .unwrap()
+            .stats;
         prop_assert_eq!(reference.final_states, other.final_states);
     }
 
     #[test]
     fn async_rounds_never_exceed_sync(g in arb_graph()) {
-        let cfg = RunConfig::default();
-        let id = Permutation::identity(g.num_vertices());
         let alg = Bfs::new(0);
-        let s = run(&g, &alg, Mode::Sync, &id, &cfg);
-        let a = run(&g, &alg, Mode::Async, &id, &cfg);
+        let exec = |mode: Mode| {
+            Pipeline::on(&g).algorithm_ref(&alg).mode(mode).execute().unwrap().stats
+        };
+        let s = exec(Mode::Sync);
+        let a = exec(Mode::Async);
         prop_assert!(a.rounds <= s.rounds);
         prop_assert_eq!(a.final_states, s.final_states);
     }
 
     #[test]
     fn pagerank_states_bounded_and_converged(g in arb_graph()) {
-        let cfg = RunConfig::default();
-        let id = Permutation::identity(g.num_vertices());
-        let stats = run(&g, &PageRank::default(), Mode::Async, &id, &cfg);
+        let stats = Pipeline::on(&g)
+            .algorithm(PageRank::default())
+            .execute()
+            .unwrap()
+            .stats;
         prop_assert!(stats.converged);
         for &x in &stats.final_states {
             prop_assert!(x >= 0.15 - 1e-9, "below teleport mass: {x}");
             prop_assert!(x.is_finite());
         }
+    }
+
+    #[test]
+    fn pipeline_relabel_matches_in_place_run(g in arb_graph(), seed in 0u64..100) {
+        // Running in-place under an order and running relabeled must
+        // reach the same fixpoint modulo the permutation.
+        let alg = Sssp::new(0);
+        let in_place = Pipeline::on(&g)
+            .reorder(RandomOrder { seed })
+            .algorithm_ref(&alg)
+            .execute()
+            .unwrap();
+        let relabeled = Pipeline::on(&g)
+            .reorder(RandomOrder { seed })
+            .relabel(true)
+            .algorithm_with(|o| Box::new(Sssp::new(o.position(0))))
+            .execute()
+            .unwrap();
+        prop_assert_eq!(
+            in_place.stats.final_states,
+            relabeled.states_in_original_ids()
+        );
     }
 
     #[test]

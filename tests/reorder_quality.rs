@@ -112,9 +112,11 @@ fn hub_orderings_place_hubs_first() {
 #[test]
 fn all_methods_agree_on_pagerank_fixpoint_after_relabeling() {
     let g = community_graph(13);
-    let cfg = RunConfig::default();
-    let id = Permutation::identity(g.num_vertices());
-    let reference = run(&g, &PageRank::default(), Mode::Async, &id, &cfg);
+    let reference = Pipeline::on(&g)
+        .algorithm(PageRank::default())
+        .execute()
+        .unwrap()
+        .stats;
     let ref_sum: f64 = reference.final_states.iter().sum();
     let methods: Vec<Box<dyn Reorderer>> = vec![
         Box::new(GoGraph::default()),
@@ -123,23 +125,26 @@ fn all_methods_agree_on_pagerank_fixpoint_after_relabeling() {
         Box::new(SccTopoOrder),
     ];
     for m in methods {
-        let order = m.reorder(&g);
-        let relabeled = g.relabeled(&order);
-        let stats = run(&relabeled, &PageRank::default(), Mode::Async, &id, &cfg);
-        let sum: f64 = stats.final_states.iter().sum();
+        let name = m.name();
+        let r = Pipeline::on(&g)
+            .reorder(m)
+            .relabel(true)
+            .algorithm(PageRank::default())
+            .execute()
+            .unwrap();
+        let sum: f64 = r.stats.final_states.iter().sum();
         assert!(
             (sum - ref_sum).abs() / ref_sum < 1e-5,
-            "{}: mass {sum} vs reference {ref_sum}",
-            m.name()
+            "{name}: mass {sum} vs reference {ref_sum}"
         );
-        // Per-vertex check through the permutation.
-        for v in 0..g.num_vertices() {
-            let expected = reference.final_states[v];
-            let got = stats.final_states[order.position(v as u32) as usize];
+        // Per-vertex check through the permutation (state_of maps
+        // original ids through the relabeling).
+        for v in 0..g.num_vertices() as u32 {
+            let expected = reference.final_states[v as usize];
+            let got = r.state_of(v);
             assert!(
                 (expected - got).abs() < 1e-4,
-                "{}: vertex {v} {expected} vs {got}",
-                m.name()
+                "{name}: vertex {v} {expected} vs {got}"
             );
         }
     }

@@ -1,0 +1,324 @@
+//! Offline stand-in for `proptest`, implementing the subset this
+//! workspace's property tests use: the [`Strategy`] trait with
+//! `prop_map` / `prop_flat_map`, range and tuple strategies,
+//! [`collection::vec`], [`Just`], [`ProptestConfig`], and the
+//! [`proptest!`] / [`prop_assert!`] / [`prop_assert_eq!`] /
+//! [`prop_assume!`] macros.
+//!
+//! Unlike upstream there is no shrinking and no persistence: each test
+//! runs `cases` deterministically seeded random cases (seed derived from
+//! the test name) and fails through ordinary panics, which is all the
+//! workspace's tests rely on.
+
+#![warn(missing_docs)]
+
+use rand::rngs::StdRng;
+use rand::{SampleRange, SeedableRng};
+use std::ops::{Range, RangeInclusive};
+
+/// Everything a test file needs in scope.
+pub mod prelude {
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest, Just, ProptestConfig,
+        Strategy,
+    };
+}
+
+/// Per-`proptest!` block configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct ProptestConfig {
+    /// Number of random cases generated per test.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases per test.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// Marker returned by [`prop_assume!`] to skip the current case.
+#[derive(Debug, Clone, Copy)]
+pub struct TestCaseSkip;
+
+/// Deterministic per-test RNG (seeded from the test name).
+#[doc(hidden)]
+pub fn test_rng(test_name: &str) -> StdRng {
+    let mut h = 0xcbf2_9ce4_8422_2325u64; // FNV-1a
+    for b in test_name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    StdRng::seed_from_u64(h)
+}
+
+/// A generator of random values for one test argument.
+pub trait Strategy {
+    /// The type of value generated.
+    type Value;
+
+    /// Generates one value.
+    fn generate(&self, rng: &mut StdRng) -> Self::Value;
+
+    /// Transforms generated values through `f`.
+    fn prop_map<U, F: Fn(Self::Value) -> U>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { source: self, f }
+    }
+
+    /// Builds a dependent strategy from each generated value.
+    fn prop_flat_map<S2: Strategy, F: Fn(Self::Value) -> S2>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+    {
+        FlatMap { source: self, f }
+    }
+}
+
+/// Always yields a clone of the given value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut StdRng) -> T {
+        self.0.clone()
+    }
+}
+
+impl<T: Clone> Strategy for Range<T>
+where
+    Range<T>: SampleRange<T>,
+{
+    type Value = T;
+    fn generate(&self, rng: &mut StdRng) -> T {
+        self.clone().sample_from(rng)
+    }
+}
+
+impl<T: Clone> Strategy for RangeInclusive<T>
+where
+    RangeInclusive<T>: SampleRange<T>,
+{
+    type Value = T;
+    fn generate(&self, rng: &mut StdRng) -> T {
+        self.clone().sample_from(rng)
+    }
+}
+
+/// See [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    source: S,
+    f: F,
+}
+
+impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+    type Value = U;
+    fn generate(&self, rng: &mut StdRng) -> U {
+        (self.f)(self.source.generate(rng))
+    }
+}
+
+/// See [`Strategy::prop_flat_map`].
+pub struct FlatMap<S, F> {
+    source: S,
+    f: F,
+}
+
+impl<S: Strategy, S2: Strategy, F: Fn(S::Value) -> S2> Strategy for FlatMap<S, F> {
+    type Value = S2::Value;
+    fn generate(&self, rng: &mut StdRng) -> S2::Value {
+        (self.f)(self.source.generate(rng)).generate(rng)
+    }
+}
+
+macro_rules! tuple_strategy {
+    ($(($($s:ident $idx:tt),+))*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn generate(&self, rng: &mut StdRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    )*};
+}
+
+tuple_strategy! {
+    (A 0)
+    (A 0, B 1)
+    (A 0, B 1, C 2)
+    (A 0, B 1, C 2, D 3)
+    (A 0, B 1, C 2, D 3, E 4)
+}
+
+/// A vector of strategies generates element-wise (one value per entry).
+impl<S: Strategy> Strategy for Vec<S> {
+    type Value = Vec<S::Value>;
+    fn generate(&self, rng: &mut StdRng) -> Self::Value {
+        self.iter().map(|s| s.generate(rng)).collect()
+    }
+}
+
+/// Collection strategies.
+pub mod collection {
+    use super::Strategy;
+    use rand::rngs::StdRng;
+
+    /// A `Vec` of `element`-generated values with a length drawn from
+    /// `size` (any strategy producing `usize`, e.g. `0..n` or `0..=k`).
+    pub fn vec<S: Strategy, Z: Strategy<Value = usize>>(element: S, size: Z) -> VecStrategy<S, Z> {
+        VecStrategy { element, size }
+    }
+
+    /// See [`vec`].
+    pub struct VecStrategy<S, Z> {
+        element: S,
+        size: Z,
+    }
+
+    impl<S: Strategy, Z: Strategy<Value = usize>> Strategy for VecStrategy<S, Z> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut StdRng) -> Self::Value {
+            let len = self.size.generate(rng);
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// Defines `#[test]` functions whose arguments are drawn from strategies:
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(64))]
+///     #[test]
+///     fn prop(x in 0usize..10, (a, b) in arb_pair()) { ... }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_tests!{ ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_tests!{ ($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_tests {
+    ( ($cfg:expr) ) => {};
+    ( ($cfg:expr)
+      $(#[$meta:meta])*
+      fn $name:ident($($arg:pat in $strat:expr),+ $(,)?) $body:block
+      $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let __config: $crate::ProptestConfig = $cfg;
+            let mut __rng = $crate::test_rng(stringify!($name));
+            for __case in 0..__config.cases {
+                let _ = __case;
+                $(let $arg = $crate::Strategy::generate(&($strat), &mut __rng);)+
+                // prop_assume! skips a case by returning TestCaseSkip from
+                // this immediately-invoked closure.
+                #[allow(clippy::redundant_closure_call)]
+                let __outcome: ::std::result::Result<(), $crate::TestCaseSkip> = (move || {
+                    $body
+                    ::std::result::Result::Ok(())
+                })();
+                let _ = __outcome;
+            }
+        }
+        $crate::__proptest_tests!{ ($cfg) $($rest)* }
+    };
+}
+
+/// Like `assert!`, inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($args:tt)*) => { assert!($($args)*) };
+}
+
+/// Like `assert_eq!`, inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($args:tt)*) => { assert_eq!($($args)*) };
+}
+
+/// Like `assert_ne!`, inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($args:tt)*) => { assert_ne!($($args)*) };
+}
+
+/// Skips the current case when `cond` is false.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(, $($fmt:tt)*)?) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::TestCaseSkip);
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    fn arb_pair() -> impl Strategy<Value = (usize, Vec<u32>)> {
+        (1usize..20).prop_flat_map(|n| (Just(n), crate::collection::vec(0u32..n as u32, 0..n * 2)))
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(40))]
+
+        #[test]
+        fn ranges_in_bounds(x in 3usize..9, y in 0u64..=4) {
+            prop_assert!((3..9).contains(&x));
+            prop_assert!(y <= 4, "y = {y}");
+        }
+
+        #[test]
+        fn flat_map_respects_dependency((n, v) in arb_pair()) {
+            prop_assert!(v.len() < n * 2);
+            for &x in &v {
+                prop_assert!((x as usize) < n);
+            }
+        }
+
+        #[test]
+        fn assume_skips(x in 0usize..10) {
+            prop_assume!(x % 2 == 0);
+            prop_assert_eq!(x % 2, 0);
+        }
+
+        #[test]
+        fn vec_of_strategies_generates_elementwise(k in 2usize..6) {
+            let strats: Vec<_> = (0..k).map(|i| i * 10..i * 10 + 5).collect();
+            let mut rng = crate::test_rng("inner");
+            let vals = crate::Strategy::generate(&strats, &mut rng);
+            prop_assert_eq!(vals.len(), k);
+            for (i, v) in vals.iter().enumerate() {
+                prop_assert!((i * 10..i * 10 + 5).contains(v));
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let strat = (0u64..1000, 0u64..1000);
+        let a = crate::Strategy::generate(&strat, &mut crate::test_rng("t"));
+        let b = crate::Strategy::generate(&strat, &mut crate::test_rng("t"));
+        assert_eq!(a, b);
+    }
+}

@@ -6,7 +6,8 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use gograph_core::GoGraph;
 use gograph_engine::{
-    strategy_for, AlgorithmRef, DeltaPageRank, DeltaSchedule, Mode, PageRank, RunConfig,
+    strategy_for, AlgorithmRef, DeltaPageRank, DeltaSchedule, DynOnly, Mode, PageRank, RunConfig,
+    Sssp,
 };
 use gograph_graph::generators::{planted_partition, shuffle_labels, PlantedPartitionConfig};
 use gograph_graph::Permutation;
@@ -78,5 +79,55 @@ fn bench_rounds(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_rounds);
+/// Monomorphized kernel vs `dyn`-dispatch fallback on the same engine:
+/// the speedup this comparison shows is exactly what the dispatch layer
+/// buys, so a regression here means per-edge dynamic dispatch crept back
+/// into a kernel.
+fn bench_dispatch(c: &mut Criterion) {
+    let g = shuffle_labels(
+        &planted_partition(PlantedPartitionConfig {
+            num_vertices: 50_000,
+            num_edges: 300_000,
+            communities: 128,
+            p_intra: 0.8,
+            gamma: 2.3,
+            seed: 9,
+        }),
+        3,
+    );
+    let n = g.num_vertices();
+    let id = Permutation::identity(n);
+    let pr = PageRank::default();
+    let dyn_pr = DynOnly(pr);
+    let sssp = Sssp::new(0);
+    let dyn_sssp = DynOnly(sssp);
+    let one_round = RunConfig {
+        max_rounds: 1,
+        record_trace: false,
+    };
+
+    let mut group = c.benchmark_group("dispatch_mono_vs_dyn_50k");
+    group.sample_size(10);
+    let cells: [(&str, AlgorithmRef<'_>); 4] = [
+        ("pagerank_monomorphized", AlgorithmRef::Gather(&pr)),
+        ("pagerank_dyn_fallback", AlgorithmRef::Gather(&dyn_pr)),
+        ("sssp_monomorphized", AlgorithmRef::Gather(&sssp)),
+        ("sssp_dyn_fallback", AlgorithmRef::Gather(&dyn_sssp)),
+    ];
+    for (label, alg) in cells {
+        let strategy = strategy_for(Mode::Async);
+        group.bench_function(label, |b| {
+            b.iter(|| {
+                std::hint::black_box(
+                    strategy
+                        .run(&g, alg, &id, &one_round)
+                        .expect("valid bench configuration"),
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_rounds, bench_dispatch);
 criterion_main!(benches);

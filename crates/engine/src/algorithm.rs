@@ -74,6 +74,31 @@ pub trait IterativeAlgorithm: Send + Sync {
     /// (paper §V-A: 1e-6 for PageRank/PHP; exact stability for
     /// SSSP/BFS/CC, encoded as 0.0).
     fn epsilon(&self) -> f64;
+
+    /// Identifies this algorithm as one of the built-ins so the engines
+    /// can run a statically dispatched (monomorphized) kernel instead of
+    /// paying a vtable call per edge. The default `None` — what any
+    /// user-supplied algorithm gets — selects the `dyn`-dispatch fallback
+    /// kernel, which computes the same result.
+    ///
+    /// **Wrappers must keep the default.** A `Some` answer makes the
+    /// engine run the returned by-value copy *instead of* `self`, so a
+    /// wrapper that overrides any behavior (`epsilon`, `apply`, ...) but
+    /// forwards this method would silently discard its overrides. Only a
+    /// fully transparent delegator may forward it.
+    fn monomorphized(&self) -> Option<crate::dispatch::AlgorithmKind> {
+        None
+    }
+
+    /// Whether [`IterativeAlgorithm::gather`] reads its `edge_weight`
+    /// argument. An algorithm whose gather is weight-free (PageRank-family
+    /// degree normalization, BFS hop counts, CC label propagation) returns
+    /// `false`, letting kernels skip the weight stream in the per-edge
+    /// loop; its `gather` is then invoked with a placeholder weight. The
+    /// default `true` is always safe.
+    fn uses_edge_weights(&self) -> bool {
+        true
+    }
 }
 
 /// Convenience: computes the full new state of `v` from scratch using

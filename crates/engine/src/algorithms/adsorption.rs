@@ -90,6 +90,14 @@ impl IterativeAlgorithm for Adsorption {
     fn epsilon(&self) -> f64 {
         self.epsilon
     }
+
+    fn monomorphized(&self) -> Option<crate::dispatch::AlgorithmKind> {
+        Some(crate::dispatch::AlgorithmKind::Adsorption(self.clone()))
+    }
+
+    fn uses_edge_weights(&self) -> bool {
+        false // gather ignores the weight argument
+    }
 }
 
 #[cfg(test)]

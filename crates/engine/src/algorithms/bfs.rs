@@ -57,6 +57,14 @@ impl IterativeAlgorithm for Bfs {
     fn epsilon(&self) -> f64 {
         0.0
     }
+
+    fn monomorphized(&self) -> Option<crate::dispatch::AlgorithmKind> {
+        Some(crate::dispatch::AlgorithmKind::Bfs(*self))
+    }
+
+    fn uses_edge_weights(&self) -> bool {
+        false // gather ignores the weight argument
+    }
 }
 
 #[cfg(test)]

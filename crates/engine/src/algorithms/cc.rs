@@ -60,6 +60,14 @@ impl IterativeAlgorithm for ConnectedComponents {
     fn epsilon(&self) -> f64 {
         0.0
     }
+
+    fn monomorphized(&self) -> Option<crate::dispatch::AlgorithmKind> {
+        Some(crate::dispatch::AlgorithmKind::ConnectedComponents(*self))
+    }
+
+    fn uses_edge_weights(&self) -> bool {
+        false // gather ignores the weight argument
+    }
 }
 
 #[cfg(test)]

@@ -68,6 +68,14 @@ impl IterativeAlgorithm for Katz {
     fn epsilon(&self) -> f64 {
         self.epsilon
     }
+
+    fn monomorphized(&self) -> Option<crate::dispatch::AlgorithmKind> {
+        Some(crate::dispatch::AlgorithmKind::Katz(*self))
+    }
+
+    fn uses_edge_weights(&self) -> bool {
+        false // gather ignores the weight argument
+    }
 }
 
 #[cfg(test)]

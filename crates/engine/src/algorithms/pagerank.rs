@@ -70,6 +70,14 @@ impl IterativeAlgorithm for PageRank {
     fn epsilon(&self) -> f64 {
         self.epsilon
     }
+
+    fn monomorphized(&self) -> Option<crate::dispatch::AlgorithmKind> {
+        Some(crate::dispatch::AlgorithmKind::PageRank(*self))
+    }
+
+    fn uses_edge_weights(&self) -> bool {
+        false // gather ignores the weight argument
+    }
 }
 
 #[cfg(test)]

@@ -77,6 +77,14 @@ impl IterativeAlgorithm for Php {
     fn epsilon(&self) -> f64 {
         self.epsilon
     }
+
+    fn monomorphized(&self) -> Option<crate::dispatch::AlgorithmKind> {
+        Some(crate::dispatch::AlgorithmKind::Php(*self))
+    }
+
+    fn uses_edge_weights(&self) -> bool {
+        false // gather ignores the weight argument
+    }
 }
 
 #[cfg(test)]

@@ -57,6 +57,10 @@ impl IterativeAlgorithm for Sssp {
     fn epsilon(&self) -> f64 {
         0.0
     }
+
+    fn monomorphized(&self) -> Option<crate::dispatch::AlgorithmKind> {
+        Some(crate::dispatch::AlgorithmKind::Sssp(*self))
+    }
 }
 
 #[cfg(test)]

@@ -62,6 +62,10 @@ impl IterativeAlgorithm for Sswp {
     fn epsilon(&self) -> f64 {
         0.0
     }
+
+    fn monomorphized(&self) -> Option<crate::dispatch::AlgorithmKind> {
+        Some(crate::dispatch::AlgorithmKind::Sswp(*self))
+    }
 }
 
 #[cfg(test)]

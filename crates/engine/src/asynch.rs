@@ -8,6 +8,7 @@
 
 use crate::algorithm::IterativeAlgorithm;
 use crate::convergence::{trace_point, DeltaAccumulator, RunStats};
+use crate::dispatch::{dispatch_gather, GatherContext};
 use crate::runner::RunConfig;
 use gograph_graph::{CsrGraph, Permutation};
 use std::time::Instant;
@@ -35,8 +36,22 @@ pub fn run_async(
     order: &Permutation,
     cfg: &RunConfig,
 ) -> RunStats {
+    dispatch_gather!(alg, a => async_kernel(g, a, order, cfg))
+}
+
+/// The asynchronous round loop, generic over the algorithm so `gather` /
+/// `apply` inline with a concrete `A`. In-place reads: earlier-ordered
+/// neighbors are already fresh (Eq. 2's x^k), later ones still carry
+/// x^{k-1}.
+pub fn async_kernel<A: IterativeAlgorithm + ?Sized>(
+    g: &CsrGraph,
+    alg: &A,
+    order: &Permutation,
+    cfg: &RunConfig,
+) -> RunStats {
     let n = g.num_vertices();
     assert_eq!(order.len(), n, "order length must match vertex count");
+    let ctx = GatherContext::new(g);
     let mut states: Vec<f64> = (0..n as u32).map(|v| alg.init(g, v)).collect();
     let eps = alg.epsilon();
     let start = Instant::now();
@@ -51,15 +66,7 @@ pub fn run_async(
         rounds += 1;
         let mut acc_delta = DeltaAccumulator::new(alg.norm());
         for &v in order.order() {
-            let ins = g.in_neighbors(v);
-            let ws = g.in_weights(v);
-            let mut acc = alg.gather_identity();
-            for i in 0..ins.len() {
-                let u = ins[i];
-                // In-place reads: earlier-ordered neighbors are already
-                // fresh (Eq. 2's x^k), later ones still carry x^{k-1}.
-                acc = alg.gather(acc, states[u as usize], ws[i], g.out_degree(u));
-            }
+            let acc = ctx.gather(alg, v, &states);
             let old = states[v as usize];
             let new = alg.apply(g, v, old, acc);
             acc_delta.record(old, new);

@@ -57,6 +57,18 @@ pub trait DeltaAlgorithm: Send + Sync {
     /// Whether a pending delta would still change the state enough to be
     /// worth processing (the convergence test).
     fn significant(&self, state: f64, delta: f64) -> bool;
+
+    /// Identifies this algorithm as one of the built-ins so the delta
+    /// engines can run a statically dispatched kernel — the delta-family
+    /// counterpart of [`crate::IterativeAlgorithm::monomorphized`].
+    /// Default `None`: the `dyn`-dispatch fallback kernel.
+    ///
+    /// **Wrappers must keep the default**: a `Some` answer makes the
+    /// engine run the returned by-value copy instead of `self`, dropping
+    /// any overridden behavior (see the gather-family doc for details).
+    fn monomorphized(&self) -> Option<crate::dispatch::DeltaAlgorithmKind> {
+        None
+    }
 }
 
 /// Delta-accumulative PageRank: `x ⊕ Δ = x + Δ`,
@@ -116,6 +128,10 @@ impl DeltaAlgorithm for DeltaPageRank {
     fn significant(&self, _state: f64, delta: f64) -> bool {
         delta > self.epsilon
     }
+
+    fn monomorphized(&self) -> Option<crate::dispatch::DeltaAlgorithmKind> {
+        Some(crate::dispatch::DeltaAlgorithmKind::PageRank(*self))
+    }
 }
 
 /// Delta-accumulative SSSP: `x ⊕ Δ = min(x, Δ)`, `g(Δ) = Δ + w(u, v)`,
@@ -162,6 +178,10 @@ impl DeltaAlgorithm for DeltaSssp {
     fn significant(&self, state: f64, delta: f64) -> bool {
         delta < state
     }
+
+    fn monomorphized(&self) -> Option<crate::dispatch::DeltaAlgorithmKind> {
+        Some(crate::dispatch::DeltaAlgorithmKind::Sssp(*self))
+    }
 }
 
 /// Round-robin delta engine: each round scans the processing order,
@@ -198,6 +218,17 @@ pub(crate) fn delta_round_robin_core(
     order: &Permutation,
     cfg: &RunConfig,
 ) -> RunStats {
+    crate::dispatch::dispatch_delta!(alg, a => delta_round_robin_kernel(g, a, order, cfg))
+}
+
+/// The round-robin delta round loop, generic over the algorithm so
+/// `combine` / `propagate` / `significant` inline with a concrete `D`.
+pub fn delta_round_robin_kernel<D: DeltaAlgorithm + ?Sized>(
+    g: &CsrGraph,
+    alg: &D,
+    order: &Permutation,
+    cfg: &RunConfig,
+) -> RunStats {
     let n = g.num_vertices();
     assert_eq!(order.len(), n);
     let mut state: Vec<f64> = (0..n as u32).map(|v| alg.init_state(g, v)).collect();
@@ -221,11 +252,8 @@ pub(crate) fn delta_round_robin_core(
             activity += 1;
             delta[v as usize] = alg.identity();
             state[v as usize] = alg.combine(state[v as usize], m);
-            let outs = g.out_neighbors(v);
-            let ws = g.out_weights(v);
-            for i in 0..outs.len() {
-                let w = outs[i];
-                let contrib = alg.propagate(g, v, w, ws[i], m);
+            for (w, weight) in g.out_edges(v) {
+                let contrib = alg.propagate(g, v, w, weight, m);
                 delta[w as usize] = alg.combine(delta[w as usize], contrib);
             }
         }
@@ -298,6 +326,17 @@ pub(crate) fn delta_priority_core(
     batch_fraction: f64,
     cfg: &RunConfig,
 ) -> RunStats {
+    crate::dispatch::dispatch_delta!(alg, a => delta_priority_kernel(g, a, batch_fraction, cfg))
+}
+
+/// The prioritized delta loop, generic over the algorithm so the
+/// per-edge `propagate` / `combine` inline with a concrete `D`.
+pub fn delta_priority_kernel<D: DeltaAlgorithm + ?Sized>(
+    g: &CsrGraph,
+    alg: &D,
+    batch_fraction: f64,
+    cfg: &RunConfig,
+) -> RunStats {
     let n = g.num_vertices();
     let mut state: Vec<f64> = (0..n as u32).map(|v| alg.init_state(g, v)).collect();
     let mut delta: Vec<f64> = (0..n as u32).map(|v| alg.init_delta(g, v)).collect();
@@ -338,11 +377,8 @@ pub(crate) fn delta_priority_core(
             let m = delta[v as usize];
             delta[v as usize] = alg.identity();
             state[v as usize] = alg.combine(state[v as usize], m);
-            let outs = g.out_neighbors(v);
-            let ws = g.out_weights(v);
-            for i in 0..outs.len() {
-                let w = outs[i];
-                let contrib = alg.propagate(g, v, w, ws[i], m);
+            for (w, weight) in g.out_edges(v) {
+                let contrib = alg.propagate(g, v, w, weight, m);
                 delta[w as usize] = alg.combine(delta[w as usize], contrib);
             }
         }
@@ -370,7 +406,7 @@ pub(crate) fn delta_priority_core(
 /// Priority of a pending delta: larger = process sooner. Sum-style
 /// algorithms favour the largest delta; min-style favour the smallest
 /// pending value (closest to the source — Dijkstra-like).
-fn priority_key(alg: &dyn DeltaAlgorithm, state: f64, delta: f64) -> f64 {
+fn priority_key<D: DeltaAlgorithm + ?Sized>(alg: &D, state: f64, delta: f64) -> f64 {
     if alg.identity() == 0.0 {
         delta
     } else {

@@ -1,0 +1,411 @@
+//! The static-dispatch layer between the [`crate::Pipeline`] API and the
+//! engine kernels, plus the prebuilt gather context those kernels consume.
+//!
+//! Every engine entry point (`run_sync`, `run_async`, ...) still accepts a
+//! `&dyn` algorithm, so the public API is unchanged — but before entering
+//! the round loop it asks the algorithm to identify itself as one of the
+//! built-ins via [`IterativeAlgorithm::monomorphized`]. A `Some` answer
+//! routes into a kernel instantiated for that concrete type, so `gather`
+//! / `apply` / `norm` inline into the per-edge loop (no vtable call per
+//! edge); `None` — the default for user-supplied algorithms — falls back
+//! to the same kernel instantiated for `dyn IterativeAlgorithm`, which
+//! behaves exactly like the historical engines.
+//!
+//! Dispatch layers, outermost first:
+//!
+//! 1. [`AlgorithmKind`] / [`DeltaAlgorithmKind`] — enum over the built-in
+//!    algorithms, matched **once per run**;
+//! 2. the monomorphized kernel (`sync_kernel`, `async_kernel`, ...) — the
+//!    round loop with everything statically dispatched;
+//! 3. the `dyn` fallback — the same kernel with `A = dyn
+//!    IterativeAlgorithm`, for user-supplied boxed algorithms.
+
+use crate::algorithm::IterativeAlgorithm;
+use crate::algorithms::{Adsorption, Bfs, ConnectedComponents, Katz, PageRank, Php, Sssp, Sswp};
+use crate::delta::{DeltaAlgorithm, DeltaPageRank, DeltaSssp};
+use gograph_graph::{CsrGraph, VertexId, Weight};
+
+/// A by-value copy of one of the eight built-in gather algorithms.
+///
+/// Returned by [`IterativeAlgorithm::monomorphized`]; each variant selects
+/// a statically dispatched kernel instantiation.
+#[derive(Debug, Clone)]
+pub enum AlgorithmKind {
+    /// [`PageRank`].
+    PageRank(PageRank),
+    /// [`Sssp`].
+    Sssp(Sssp),
+    /// [`Bfs`].
+    Bfs(Bfs),
+    /// [`Php`].
+    Php(Php),
+    /// [`ConnectedComponents`].
+    ConnectedComponents(ConnectedComponents),
+    /// [`Sswp`].
+    Sswp(Sswp),
+    /// [`Katz`].
+    Katz(Katz),
+    /// [`Adsorption`].
+    Adsorption(Adsorption),
+}
+
+/// A by-value copy of one of the built-in delta algorithms — the delta
+/// engines' counterpart of [`AlgorithmKind`].
+#[derive(Debug, Clone, Copy)]
+pub enum DeltaAlgorithmKind {
+    /// [`DeltaPageRank`].
+    PageRank(DeltaPageRank),
+    /// [`DeltaSssp`].
+    Sssp(DeltaSssp),
+}
+
+/// Opts an algorithm out of kernel monomorphization: the engines treat the
+/// wrapped algorithm as user-supplied and run the `dyn`-dispatch fallback
+/// path. Used by the equivalence tests and `bench_report` to compare the
+/// two paths; delegates every trait method unchanged.
+#[derive(Debug, Clone, Copy)]
+pub struct DynOnly<A>(pub A);
+
+impl<A: IterativeAlgorithm> IterativeAlgorithm for DynOnly<A> {
+    fn name(&self) -> &'static str {
+        self.0.name()
+    }
+    fn init(&self, g: &CsrGraph, v: VertexId) -> f64 {
+        self.0.init(g, v)
+    }
+    fn gather_identity(&self) -> f64 {
+        self.0.gather_identity()
+    }
+    #[inline]
+    fn gather(&self, acc: f64, neighbor_state: f64, w: Weight, neighbor_out_degree: usize) -> f64 {
+        self.0.gather(acc, neighbor_state, w, neighbor_out_degree)
+    }
+    #[inline]
+    fn apply(&self, g: &CsrGraph, v: VertexId, current: f64, acc: f64) -> f64 {
+        self.0.apply(g, v, current, acc)
+    }
+    fn monotonicity(&self) -> crate::algorithm::Monotonicity {
+        self.0.monotonicity()
+    }
+    fn norm(&self) -> crate::algorithm::ConvergenceNorm {
+        self.0.norm()
+    }
+    fn epsilon(&self) -> f64 {
+        self.0.epsilon()
+    }
+    fn monomorphized(&self) -> Option<AlgorithmKind> {
+        None // the whole point of the wrapper
+    }
+    fn uses_edge_weights(&self) -> bool {
+        self.0.uses_edge_weights()
+    }
+}
+
+/// [`DynOnly`] for the delta algorithm family.
+#[derive(Debug, Clone, Copy)]
+pub struct DynOnlyDelta<A>(pub A);
+
+impl<A: DeltaAlgorithm> DeltaAlgorithm for DynOnlyDelta<A> {
+    fn name(&self) -> &'static str {
+        self.0.name()
+    }
+    fn init_state(&self, g: &CsrGraph, v: VertexId) -> f64 {
+        self.0.init_state(g, v)
+    }
+    fn init_delta(&self, g: &CsrGraph, v: VertexId) -> f64 {
+        self.0.init_delta(g, v)
+    }
+    fn identity(&self) -> f64 {
+        self.0.identity()
+    }
+    #[inline]
+    fn combine(&self, a: f64, b: f64) -> f64 {
+        self.0.combine(a, b)
+    }
+    #[inline]
+    fn propagate(&self, g: &CsrGraph, u: VertexId, w: VertexId, weight: Weight, delta: f64) -> f64 {
+        self.0.propagate(g, u, w, weight, delta)
+    }
+    #[inline]
+    fn significant(&self, state: f64, delta: f64) -> bool {
+        self.0.significant(state, delta)
+    }
+    fn monomorphized(&self) -> Option<DeltaAlgorithmKind> {
+        None
+    }
+}
+
+/// Expands `$body` once per built-in algorithm kind with `$a` bound to the
+/// concrete algorithm (monomorphizing the kernel call in `$body`), plus a
+/// fallback arm with `$a` bound to the original `&dyn` reference.
+macro_rules! dispatch_gather {
+    ($alg:expr, $a:ident => $body:expr) => {{
+        use $crate::dispatch::AlgorithmKind as __K;
+        let __alg = $alg;
+        match $crate::algorithm::IterativeAlgorithm::monomorphized(__alg) {
+            Some(__K::PageRank($a)) => {
+                let $a = &$a;
+                $body
+            }
+            Some(__K::Sssp($a)) => {
+                let $a = &$a;
+                $body
+            }
+            Some(__K::Bfs($a)) => {
+                let $a = &$a;
+                $body
+            }
+            Some(__K::Php($a)) => {
+                let $a = &$a;
+                $body
+            }
+            Some(__K::ConnectedComponents($a)) => {
+                let $a = &$a;
+                $body
+            }
+            Some(__K::Sswp($a)) => {
+                let $a = &$a;
+                $body
+            }
+            Some(__K::Katz($a)) => {
+                let $a = &$a;
+                $body
+            }
+            Some(__K::Adsorption($a)) => {
+                let $a = &$a;
+                $body
+            }
+            None => {
+                let $a = __alg;
+                $body
+            }
+        }
+    }};
+}
+pub(crate) use dispatch_gather;
+
+/// Delta-family counterpart of [`dispatch_gather!`].
+macro_rules! dispatch_delta {
+    ($alg:expr, $a:ident => $body:expr) => {{
+        use $crate::dispatch::DeltaAlgorithmKind as __K;
+        let __alg = $alg;
+        match $crate::delta::DeltaAlgorithm::monomorphized(__alg) {
+            Some(__K::PageRank($a)) => {
+                let $a = &$a;
+                $body
+            }
+            Some(__K::Sssp($a)) => {
+                let $a = &$a;
+                $body
+            }
+            None => {
+                let $a = __alg;
+                $body
+            }
+        }
+    }};
+}
+pub(crate) use dispatch_delta;
+
+/// Prebuilt per-run gather inputs: the flat in-adjacency streams
+/// (sources and weights, contiguous across all vertices) plus the
+/// graph's cached out-degree array — so the per-edge loop walks
+/// contiguous streams with one index instead of re-deriving per-vertex
+/// slices and offset pairs, and the PageRank-family `out_degree(u)`
+/// lookup is one load. Algorithms whose gather is weight-free
+/// ([`IterativeAlgorithm::uses_edge_weights`] `== false`) skip the
+/// weight stream entirely.
+///
+/// Construction is `O(1)`: the context borrows the graph's own arrays.
+pub struct GatherContext<'g> {
+    pub(crate) in_offsets: &'g [usize],
+    pub(crate) in_sources: &'g [VertexId],
+    pub(crate) in_weights: &'g [Weight],
+    pub(crate) out_degrees: &'g [u32],
+}
+
+impl<'g> GatherContext<'g> {
+    /// Builds the context for `g`.
+    pub fn new(g: &'g CsrGraph) -> Self {
+        GatherContext {
+            in_offsets: g.raw_in_offsets(),
+            in_sources: g.raw_in_sources(),
+            in_weights: g.raw_in_weights(),
+            out_degrees: g.out_degrees(),
+        }
+    }
+
+    /// The in-edge index range of `v` into the flat streams.
+    #[inline(always)]
+    pub fn in_range(&self, v: VertexId) -> (usize, usize) {
+        let v = v as usize;
+        (self.in_offsets[v], self.in_offsets[v + 1])
+    }
+
+    /// The cached out-degree array (indexed by vertex id).
+    #[inline(always)]
+    pub fn out_degrees(&self) -> &[u32] {
+        self.out_degrees
+    }
+
+    /// Folds all of `v`'s in-neighbor contributions into `alg`'s gather
+    /// accumulator, reading neighbor states from `states`.
+    #[inline(always)]
+    pub fn gather<A: IterativeAlgorithm + ?Sized>(
+        &self,
+        alg: &A,
+        v: VertexId,
+        states: &[f64],
+    ) -> f64 {
+        self.gather_with(alg, v, |u| states[u])
+    }
+
+    /// [`GatherContext::gather`] parameterized over the state reader —
+    /// the single definition of the hot per-edge loop, shared by the
+    /// sequential kernels (plain `&[f64]` reads) and the block-parallel
+    /// kernel (atomic loads). With a concrete `A` everything inlines,
+    /// the `uses_edge_weights` branch constant-folds, and weight-free
+    /// algorithms never touch the weight stream.
+    #[inline(always)]
+    pub fn gather_with<A: IterativeAlgorithm + ?Sized>(
+        &self,
+        alg: &A,
+        v: VertexId,
+        read: impl Fn(usize) -> f64,
+    ) -> f64 {
+        let (s, e) = self.in_range(v);
+        let mut acc = alg.gather_identity();
+        if alg.uses_edge_weights() {
+            for i in s..e {
+                let u = self.in_sources[i] as usize;
+                acc = alg.gather(
+                    acc,
+                    read(u),
+                    self.in_weights[i],
+                    self.out_degrees[u] as usize,
+                );
+            }
+        } else {
+            for &u in &self.in_sources[s..e] {
+                let u = u as usize;
+                acc = alg.gather(acc, read(u), 1.0, self.out_degrees[u] as usize);
+            }
+        }
+        acc
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algorithm::evaluate_vertex;
+
+    #[test]
+    fn builtins_identify_themselves() {
+        assert!(matches!(
+            PageRank::default().monomorphized(),
+            Some(AlgorithmKind::PageRank(_))
+        ));
+        assert!(matches!(
+            Sssp::new(3).monomorphized(),
+            Some(AlgorithmKind::Sssp(Sssp { source: 3 }))
+        ));
+        assert!(matches!(
+            DeltaSssp { source: 1 }.monomorphized(),
+            Some(DeltaAlgorithmKind::Sssp(DeltaSssp { source: 1 }))
+        ));
+    }
+
+    #[test]
+    fn dyn_only_opts_out_but_behaves_identically() {
+        let g = CsrGraph::from_edges(3, [(0u32, 2u32, 5.0f64), (1, 2, 1.0)]);
+        let plain = Sssp::new(0);
+        let wrapped = DynOnly(plain);
+        assert!(wrapped.monomorphized().is_none());
+        assert!(DynOnlyDelta(DeltaSssp { source: 0 })
+            .monomorphized()
+            .is_none());
+        let states = vec![0.0, 2.0, f64::INFINITY];
+        assert_eq!(
+            evaluate_vertex(&plain, &g, 2, &states),
+            evaluate_vertex(&wrapped, &g, 2, &states)
+        );
+        assert_eq!(plain.name(), wrapped.name());
+    }
+
+    #[test]
+    fn gather_context_matches_slice_based_gather() {
+        let g = CsrGraph::from_edges(
+            4,
+            [(0u32, 3u32, 2.0f64), (1, 3, 4.0), (2, 3, 1.0), (0, 1, 1.0)],
+        );
+        let ctx = GatherContext::new(&g);
+        let (s, e) = ctx.in_range(3);
+        assert_eq!(&ctx.in_sources[s..e], &[0, 1, 2]);
+        assert_eq!(&ctx.in_weights[s..e], &[2.0, 4.0, 1.0]);
+        assert_eq!(ctx.out_degrees(), g.out_degrees());
+        let alg = Sssp::new(0);
+        let states = vec![0.0, 1.0, 7.0, f64::INFINITY];
+        let acc = ctx.gather(&alg, 3, &states);
+        let new = alg.apply(&g, 3, states[3], acc);
+        assert_eq!(new, evaluate_vertex(&alg, &g, 3, &states));
+    }
+
+    #[test]
+    fn weight_free_gather_matches_weighted_path() {
+        // Every algorithm declaring its gather weight-free must produce,
+        // through the skip-the-weights loop, exactly what a loop feeding
+        // the *real* per-edge weights produces — this is the test that
+        // catches a stale `uses_edge_weights()` flag if a gather starts
+        // reading its weight argument.
+        let g = CsrGraph::from_edges(
+            5,
+            [
+                (0u32, 3u32, 2.0f64),
+                (1, 3, 4.0),
+                (0, 1, 9.0),
+                (2, 4, 0.5),
+                (3, 4, 7.0),
+            ],
+        );
+        let ctx = GatherContext::new(&g);
+        let weight_free: Vec<Box<dyn IterativeAlgorithm>> = vec![
+            Box::new(PageRank::default()),
+            Box::new(Katz::for_graph(&g)),
+            Box::new(Bfs::new(0)),
+            Box::new(ConnectedComponents),
+            Box::new(Php::new(0)),
+            Box::new(Adsorption::new(vec![0, 2])),
+        ];
+        let states = vec![0.3, 0.5, 0.15, 0.15, 0.4];
+        for alg in &weight_free {
+            let alg = alg.as_ref();
+            assert!(!alg.uses_edge_weights(), "{} must be flagged", alg.name());
+            for v in g.vertices() {
+                assert_eq!(
+                    ctx.gather(alg, v, &states),
+                    real_weight_gather(alg, &g, v, &states),
+                    "{} at vertex {v}",
+                    alg.name()
+                );
+            }
+        }
+        // DynOnly delegates the flag.
+        assert!(!DynOnly(PageRank::default()).uses_edge_weights());
+    }
+
+    /// Reference gather using the real per-edge weights (what a
+    /// non-skipping loop would feed `gather`).
+    fn real_weight_gather(
+        alg: &dyn IterativeAlgorithm,
+        g: &CsrGraph,
+        v: VertexId,
+        states: &[f64],
+    ) -> f64 {
+        let mut acc = alg.gather_identity();
+        for (u, w) in g.in_edges(v) {
+            acc = alg.gather(acc, states[u as usize], w, g.out_degree(u));
+        }
+        acc
+    }
+}

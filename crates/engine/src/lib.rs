@@ -20,6 +20,7 @@ pub mod algorithms;
 pub mod asynch;
 pub mod convergence;
 pub mod delta;
+pub mod dispatch;
 pub mod error;
 pub mod parallel;
 pub mod pipeline;
@@ -30,13 +31,17 @@ pub mod worklist;
 
 pub use algorithm::{ConvergenceNorm, IterativeAlgorithm, Monotonicity};
 pub use algorithms::{Adsorption, Bfs, ConnectedComponents, Katz, PageRank, Php, Sssp, Sswp};
-pub use asynch::run_async;
+pub use asynch::{async_kernel, run_async};
 pub use convergence::{RunStats, TracePoint};
+pub use delta::{
+    delta_priority_kernel, delta_round_robin_kernel, DeltaAlgorithm, DeltaPageRank, DeltaSchedule,
+    DeltaSssp,
+};
 #[allow(deprecated)]
 pub use delta::{run_delta_priority, run_delta_round_robin};
-pub use delta::{DeltaAlgorithm, DeltaPageRank, DeltaSchedule, DeltaSssp};
+pub use dispatch::{AlgorithmKind, DeltaAlgorithmKind, DynOnly, DynOnlyDelta, GatherContext};
 pub use error::EngineError;
-pub use parallel::run_parallel;
+pub use parallel::{parallel_kernel, run_parallel};
 pub use pipeline::{Pipeline, PipelineResult, StageTimings};
 #[allow(deprecated)]
 pub use runner::{run, run_relabeled};
@@ -45,7 +50,7 @@ pub use strategy::{
     strategy_for, AlgorithmRef, AsyncStrategy, DeltaStrategy, ExecutionStrategy, ParallelStrategy,
     SyncStrategy, WorklistStrategy,
 };
-pub use sync::run_sync;
+pub use sync::{run_sync, sync_kernel};
 #[allow(deprecated)]
 pub use worklist::run_worklist;
-pub use worklist::WorklistStats;
+pub use worklist::{worklist_kernel, WorklistStats};

@@ -12,6 +12,7 @@
 use crate::algorithm::ConvergenceNorm;
 use crate::algorithm::IterativeAlgorithm;
 use crate::convergence::{state_delta, trace_point, RunStats};
+use crate::dispatch::{dispatch_gather, GatherContext};
 use crate::runner::RunConfig;
 use gograph_graph::{CsrGraph, Permutation};
 use rayon::prelude::*;
@@ -47,9 +48,22 @@ pub fn run_parallel(
     num_blocks: usize,
     cfg: &RunConfig,
 ) -> RunStats {
+    dispatch_gather!(alg, a => parallel_kernel(g, a, order, num_blocks, cfg))
+}
+
+/// The block-parallel round loop, generic over the algorithm so the
+/// per-edge gather inlines inside each block's scan.
+pub fn parallel_kernel<A: IterativeAlgorithm + ?Sized>(
+    g: &CsrGraph,
+    alg: &A,
+    order: &Permutation,
+    num_blocks: usize,
+    cfg: &RunConfig,
+) -> RunStats {
     let n = g.num_vertices();
     assert_eq!(order.len(), n, "order length must match vertex count");
     let num_blocks = num_blocks.clamp(1, n.max(1));
+    let ctx = GatherContext::new(g);
     let states: Vec<AtomicF64> = (0..n as u32)
         .map(|v| AtomicF64::new(alg.init(g, v)))
         .collect();
@@ -79,13 +93,7 @@ pub fn run_parallel(
             .map(|block| {
                 let mut local = 0.0f64;
                 for &v in block.iter() {
-                    let ins = g.in_neighbors(v);
-                    let ws = g.in_weights(v);
-                    let mut acc = alg.gather_identity();
-                    for i in 0..ins.len() {
-                        let u = ins[i];
-                        acc = alg.gather(acc, states[u as usize].load(), ws[i], g.out_degree(u));
-                    }
+                    let acc = ctx.gather_with(alg, v, |u| states[u].load());
                     let old = states[v as usize].load();
                     let new = alg.apply(g, v, old, acc);
                     let d = state_delta(old, new);
@@ -122,7 +130,10 @@ pub fn run_parallel(
         converged,
         final_states: snapshot(&states),
         trace,
-        state_memory_bytes: n * std::mem::size_of::<f64>(),
+        // Shared atomic state array plus the per-block delta buffers the
+        // round barrier collects (blocks.len() <= num_blocks when n is
+        // not divisible by the block count).
+        state_memory_bytes: (n + blocks.len()) * std::mem::size_of::<f64>(),
         evaluations: None,
     }
 }
@@ -188,6 +199,19 @@ mod tests {
         let par = run_parallel(&g, &alg, &id, 1, &cfg);
         assert_eq!(seq.rounds, par.rounds);
         assert_eq!(seq.final_states, par.final_states);
+    }
+
+    #[test]
+    fn memory_accounting_counts_actual_blocks() {
+        // n=10, num_blocks=7 -> block_size=2 -> only 5 blocks exist; the
+        // stat must count the buffers actually allocated.
+        let g = gograph_graph::generators::regular::chain(10);
+        let cfg = RunConfig::default();
+        let stats = run_parallel(&g, &Sssp::new(0), &Permutation::identity(10), 7, &cfg);
+        assert_eq!(
+            stats.state_memory_bytes,
+            (10 + 5) * std::mem::size_of::<f64>()
+        );
     }
 
     #[test]

@@ -6,21 +6,36 @@
 
 use crate::algorithm::IterativeAlgorithm;
 use crate::convergence::{trace_point, DeltaAccumulator, RunStats};
+use crate::dispatch::{dispatch_gather, GatherContext};
 use crate::runner::RunConfig;
 use gograph_graph::{CsrGraph, Permutation};
 use std::time::Instant;
 
 /// Runs `alg` on `g` synchronously, visiting vertices in `order` each
 /// round (the visit order cannot change the result in this mode — only
-/// memory access locality).
+/// memory access locality). Built-in algorithms are routed to a
+/// statically dispatched instantiation of [`sync_kernel`]; user-supplied
+/// ones run the same kernel through `dyn` dispatch.
 pub fn run_sync(
     g: &CsrGraph,
     alg: &dyn IterativeAlgorithm,
     order: &Permutation,
     cfg: &RunConfig,
 ) -> RunStats {
+    dispatch_gather!(alg, a => sync_kernel(g, a, order, cfg))
+}
+
+/// The synchronous round loop, generic over the algorithm so `gather` /
+/// `apply` inline with a concrete `A`.
+pub fn sync_kernel<A: IterativeAlgorithm + ?Sized>(
+    g: &CsrGraph,
+    alg: &A,
+    order: &Permutation,
+    cfg: &RunConfig,
+) -> RunStats {
     let n = g.num_vertices();
     assert_eq!(order.len(), n, "order length must match vertex count");
+    let ctx = GatherContext::new(g);
     let mut prev: Vec<f64> = (0..n as u32).map(|v| alg.init(g, v)).collect();
     let mut next: Vec<f64> = prev.clone();
     let eps = alg.epsilon();
@@ -36,13 +51,7 @@ pub fn run_sync(
         rounds += 1;
         let mut acc_delta = DeltaAccumulator::new(alg.norm());
         for &v in order.order() {
-            let ins = g.in_neighbors(v);
-            let ws = g.in_weights(v);
-            let mut acc = alg.gather_identity();
-            for i in 0..ins.len() {
-                let u = ins[i];
-                acc = alg.gather(acc, prev[u as usize], ws[i], g.out_degree(u));
-            }
+            let acc = ctx.gather(alg, v, &prev);
             let new = alg.apply(g, v, prev[v as usize], acc);
             acc_delta.record(prev[v as usize], new);
             next[v as usize] = new;

@@ -14,6 +14,7 @@
 
 use crate::algorithm::IterativeAlgorithm;
 use crate::convergence::{state_delta, trace_point, RunStats};
+use crate::dispatch::{dispatch_gather, GatherContext};
 use crate::runner::RunConfig;
 use gograph_graph::{CsrGraph, Permutation, VertexId};
 use std::time::Instant;
@@ -58,8 +59,20 @@ pub(crate) fn worklist_core(
     order: &Permutation,
     cfg: &RunConfig,
 ) -> RunStats {
+    dispatch_gather!(alg, a => worklist_kernel(g, a, order, cfg))
+}
+
+/// The worklist round loop, generic over the algorithm so the per-edge
+/// gather of each re-evaluated vertex inlines with a concrete `A`.
+pub fn worklist_kernel<A: IterativeAlgorithm + ?Sized>(
+    g: &CsrGraph,
+    alg: &A,
+    order: &Permutation,
+    cfg: &RunConfig,
+) -> RunStats {
     let n = g.num_vertices();
     assert_eq!(order.len(), n, "order length must match vertex count");
+    let ctx = GatherContext::new(g);
     let mut states: Vec<f64> = (0..n as u32).map(|v| alg.init(g, v)).collect();
     let eps = alg.epsilon();
     let start = Instant::now();
@@ -86,13 +99,7 @@ pub(crate) fn worklist_core(
             }
             active[v as usize] = false;
             evaluations += 1;
-            let ins = g.in_neighbors(v);
-            let ws = g.in_weights(v);
-            let mut acc = alg.gather_identity();
-            for i in 0..ins.len() {
-                let u = ins[i];
-                acc = alg.gather(acc, states[u as usize], ws[i], g.out_degree(u));
-            }
+            let acc = ctx.gather(alg, v, &states);
             let old = states[v as usize];
             let new = alg.apply(g, v, old, acc);
             if state_delta(old, new) > eps {

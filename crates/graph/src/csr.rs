@@ -32,6 +32,16 @@ pub struct CsrGraph {
     in_offsets: Vec<usize>,
     in_sources: Vec<VertexId>,
     in_weights: Vec<Weight>,
+    /// Cached per-vertex out-degrees. Engines read `out_degree(u)` once
+    /// per *edge* (PageRank-family normalization), so serving it from one
+    /// contiguous array instead of two offset lookups matters in the
+    /// gather inner loop.
+    out_degrees: Vec<u32>,
+}
+
+/// Per-vertex range widths of a CSR offset array.
+fn degrees_from_offsets(offsets: &[usize]) -> Vec<u32> {
+    offsets.windows(2).map(|w| (w[1] - w[0]) as u32).collect()
 }
 
 impl CsrGraph {
@@ -56,6 +66,7 @@ impl CsrGraph {
         assert_eq!(out_targets.len(), in_sources.len(), "edge count mismatch");
         assert_eq!(out_weights.len(), out_targets.len());
         assert_eq!(in_weights.len(), in_sources.len());
+        let out_degrees = degrees_from_offsets(&out_offsets);
         CsrGraph {
             num_vertices,
             out_offsets,
@@ -64,6 +75,7 @@ impl CsrGraph {
             in_offsets,
             in_sources,
             in_weights,
+            out_degrees,
         }
     }
 
@@ -92,6 +104,7 @@ impl CsrGraph {
             in_offsets: vec![0; num_vertices + 1],
             in_sources: Vec::new(),
             in_weights: Vec::new(),
+            out_degrees: vec![0; num_vertices],
         }
     }
 
@@ -150,11 +163,41 @@ impl CsrGraph {
         }
     }
 
-    /// Out-degree of `v`.
+    /// Out-degree of `v` (served from the cached degree array: one load
+    /// instead of two offset lookups).
     #[inline]
     pub fn out_degree(&self, v: VertexId) -> usize {
+        self.out_degrees[v as usize] as usize
+    }
+
+    /// Cached per-vertex out-degrees, indexed by vertex id. The engines'
+    /// gather kernels read this array directly instead of calling
+    /// [`CsrGraph::out_degree`] per edge.
+    #[inline]
+    pub fn out_degrees(&self) -> &[u32] {
+        &self.out_degrees
+    }
+
+    /// In-edges of `v` as a zipped `(source, weight)` iterator — one
+    /// logical stream for gather loops instead of two parallel slices.
+    #[inline]
+    pub fn in_edges(&self, v: VertexId) -> impl Iterator<Item = (VertexId, Weight)> + '_ {
+        let (s, e) = self.in_range(v);
+        self.in_sources[s..e]
+            .iter()
+            .copied()
+            .zip(self.in_weights[s..e].iter().copied())
+    }
+
+    /// Out-edges of `v` as a zipped `(target, weight)` iterator — the
+    /// push-direction counterpart of [`CsrGraph::in_edges`].
+    #[inline]
+    pub fn out_edges(&self, v: VertexId) -> impl Iterator<Item = (VertexId, Weight)> + '_ {
         let (s, e) = self.out_range(v);
-        e - s
+        self.out_targets[s..e]
+            .iter()
+            .copied()
+            .zip(self.out_weights[s..e].iter().copied())
     }
 
     /// In-degree of `v`.
@@ -211,6 +254,7 @@ impl CsrGraph {
             in_offsets: self.out_offsets.clone(),
             in_sources: self.out_targets.clone(),
             in_weights: self.out_weights.clone(),
+            out_degrees: degrees_from_offsets(&self.in_offsets),
         }
     }
 
@@ -272,6 +316,7 @@ impl CsrGraph {
             + self.in_sources.capacity() * std::mem::size_of::<VertexId>()
             + self.out_weights.capacity() * std::mem::size_of::<Weight>()
             + self.in_weights.capacity() * std::mem::size_of::<Weight>()
+            + self.out_degrees.capacity() * std::mem::size_of::<u32>()
     }
 
     /// Raw out-offset array (length `n + 1`); used by the cache simulator
@@ -285,6 +330,21 @@ impl CsrGraph {
     #[inline]
     pub fn raw_in_offsets(&self) -> &[usize] {
         &self.in_offsets
+    }
+
+    /// Raw flattened in-source array (all vertices' in-neighbors
+    /// concatenated, indexed by [`CsrGraph::raw_in_offsets`]); the
+    /// engines' gather kernels stream this directly.
+    #[inline]
+    pub fn raw_in_sources(&self) -> &[VertexId] {
+        &self.in_sources
+    }
+
+    /// Raw flattened in-weight array, parallel to
+    /// [`CsrGraph::raw_in_sources`].
+    #[inline]
+    pub fn raw_in_weights(&self) -> &[Weight] {
+        &self.in_weights
     }
 
     #[inline]
@@ -417,5 +477,30 @@ mod tests {
     fn memory_bytes_nonzero() {
         let g = diamond();
         assert!(g.memory_bytes() > 0);
+    }
+
+    #[test]
+    fn cached_out_degrees_match_per_vertex_lookups() {
+        let g = diamond();
+        assert_eq!(g.out_degrees(), &[2, 1, 1, 0]);
+        for v in g.vertices() {
+            assert_eq!(
+                g.out_degrees()[v as usize] as usize,
+                g.out_neighbors(v).len()
+            );
+        }
+        let r = g.reversed();
+        for v in r.vertices() {
+            assert_eq!(r.out_degree(v), r.out_neighbors(v).len());
+        }
+        assert_eq!(CsrGraph::empty(3).out_degrees(), &[0, 0, 0]);
+    }
+
+    #[test]
+    fn in_edges_zips_sources_and_weights() {
+        let g = CsrGraph::from_edges(3, [(0u32, 2u32, 2.5f64), (1, 2, 0.5)]);
+        let edges: Vec<_> = g.in_edges(2).collect();
+        assert_eq!(edges, vec![(0, 2.5), (1, 0.5)]);
+        assert_eq!(g.in_edges(0).count(), 0);
     }
 }

@@ -74,9 +74,10 @@ pub mod prelude {
         run, run_delta_priority, run_delta_round_robin, run_relabeled, run_worklist,
     };
     pub use gograph_engine::{
-        Adsorption, AlgorithmRef, Bfs, ConnectedComponents, DeltaAlgorithm, DeltaPageRank,
-        DeltaSchedule, DeltaSssp, EngineError, ExecutionStrategy, IterativeAlgorithm, Katz, Mode,
-        PageRank, Php, Pipeline, PipelineResult, RunConfig, RunStats, Sssp, Sswp, StageTimings,
+        Adsorption, AlgorithmKind, AlgorithmRef, Bfs, ConnectedComponents, DeltaAlgorithm,
+        DeltaAlgorithmKind, DeltaPageRank, DeltaSchedule, DeltaSssp, DynOnly, DynOnlyDelta,
+        EngineError, ExecutionStrategy, GatherContext, IterativeAlgorithm, Katz, Mode, PageRank,
+        Php, Pipeline, PipelineResult, RunConfig, RunStats, Sssp, Sswp, StageTimings,
     };
     pub use gograph_graph::generators::{
         barabasi_albert, erdos_renyi, planted_partition, rmat, shuffle_labels, with_random_weights,

@@ -1,18 +1,26 @@
 //! Offline stand-in for `rayon`, covering the API subset this workspace
 //! uses: `slice.par_iter().map(f).collect::<Vec<_>>()`.
 //!
-//! Work is split into contiguous chunks across `available_parallelism`
-//! OS threads via `std::thread::scope`; result order matches input order,
+//! Work is split into contiguous chunks and executed on a **persistent
+//! worker pool** (spawned lazily on first use, sized by
+//! `available_parallelism`), mirroring upstream rayon's amortization of
+//! thread-spawn cost: a caller like the block-parallel engine issues one
+//! `collect` per round, and paying an OS thread spawn per round dominated
+//! the round itself on small graphs. Result order matches input order,
 //! exactly as rayon's indexed parallel iterators guarantee.
 
 #![warn(missing_docs)]
+
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
 
 /// Glob-import surface mirroring `rayon::prelude`.
 pub mod prelude {
     pub use crate::IntoParallelRefIterator;
 }
 
-/// Number of worker threads to fan out across.
+/// Number of chunks to fan out across.
 fn thread_count(items: usize) -> usize {
     std::thread::available_parallelism()
         .map(|n| n.get())
@@ -20,6 +28,145 @@ fn thread_count(items: usize) -> usize {
         .min(items)
         .max(1)
 }
+
+// ---------------------------------------------------------------------
+// Persistent worker pool.
+// ---------------------------------------------------------------------
+
+/// A unit of work handed to the pool. Jobs are type-erased closures whose
+/// borrows are guaranteed (by [`Pool::run_scoped`] blocking until the
+/// completion latch opens) not to outlive the submitting call.
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+struct PoolShared {
+    queue: Mutex<VecDeque<Job>>,
+    work_ready: Condvar,
+}
+
+/// Tracks outstanding jobs of one `run_scoped` call; `wait` returns only
+/// after every job ran (panicked or not), which is what makes the
+/// lifetime erasure in `run_scoped` sound.
+struct Latch {
+    state: Mutex<(usize, bool)>, // (remaining, panicked)
+    done: Condvar,
+}
+
+impl Latch {
+    fn new(count: usize) -> Self {
+        Latch {
+            state: Mutex::new((count, false)),
+            done: Condvar::new(),
+        }
+    }
+
+    fn complete_one(&self, panicked: bool) {
+        let mut s = self.state.lock().unwrap();
+        s.0 -= 1;
+        s.1 |= panicked;
+        if s.0 == 0 {
+            self.done.notify_all();
+        }
+    }
+
+    /// Blocks until all jobs completed; returns whether any panicked.
+    fn wait(&self) -> bool {
+        let mut s = self.state.lock().unwrap();
+        while s.0 > 0 {
+            s = self.done.wait(s).unwrap();
+        }
+        s.1
+    }
+}
+
+struct Pool {
+    shared: Arc<PoolShared>,
+}
+
+thread_local! {
+    /// Set inside pool workers so a nested `collect` (e.g. from a
+    /// callback already running on the pool) executes inline instead of
+    /// deadlocking on its own worker slot.
+    static IS_POOL_WORKER: std::cell::Cell<bool> = const { std::cell::Cell::new(false) };
+}
+
+impl Pool {
+    fn new(workers: usize) -> Pool {
+        let shared = Arc::new(PoolShared {
+            queue: Mutex::new(VecDeque::new()),
+            work_ready: Condvar::new(),
+        });
+        for i in 0..workers {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name(format!("rayon-shim-{i}"))
+                .spawn(move || {
+                    IS_POOL_WORKER.with(|w| w.set(true));
+                    loop {
+                        let job = {
+                            let mut q = shared.queue.lock().unwrap();
+                            loop {
+                                if let Some(job) = q.pop_front() {
+                                    break job;
+                                }
+                                q = shared.work_ready.wait(q).unwrap();
+                            }
+                        };
+                        job();
+                    }
+                })
+                .expect("failed to spawn rayon-shim worker");
+        }
+        Pool { shared }
+    }
+
+    /// Runs `jobs` on the pool and returns once all of them finished.
+    /// Panics (after draining the latch) if any job panicked.
+    ///
+    /// The jobs may borrow data of lifetime `'scope`; blocking on the
+    /// latch before returning keeps those borrows alive for as long as
+    /// any worker can touch them, which is what makes the `'scope ->
+    /// 'static` transmute below sound (the same argument scoped threads
+    /// and upstream rayon's `scope` rely on).
+    fn run_scoped<'scope>(&self, jobs: Vec<Box<dyn FnOnce() + Send + 'scope>>) {
+        let latch = Arc::new(Latch::new(jobs.len()));
+        {
+            let mut q = self.shared.queue.lock().unwrap();
+            for job in jobs {
+                let latch = Arc::clone(&latch);
+                let wrapped: Box<dyn FnOnce() + Send + 'scope> = Box::new(move || {
+                    let result = catch_unwind(AssertUnwindSafe(job));
+                    latch.complete_one(result.is_err());
+                });
+                // SAFETY: `wait()` below does not return until this
+                // closure has run to completion, so the `'scope` borrows
+                // it captures outlive every use.
+                let erased: Job = unsafe {
+                    std::mem::transmute::<Box<dyn FnOnce() + Send + 'scope>, Job>(wrapped)
+                };
+                q.push_back(erased);
+            }
+            self.shared.work_ready.notify_all();
+        }
+        if latch.wait() {
+            panic!("rayon-shim worker panicked");
+        }
+    }
+}
+
+fn global_pool() -> &'static Pool {
+    static POOL: OnceLock<Pool> = OnceLock::new();
+    POOL.get_or_init(|| {
+        Pool::new(
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
+        )
+    })
+}
+
+// ---------------------------------------------------------------------
+// Parallel iterator facade.
+// ---------------------------------------------------------------------
 
 /// `par_iter()` entry point for slice-backed collections.
 pub trait IntoParallelRefIterator<'a> {
@@ -70,7 +217,8 @@ pub struct ParMap<'a, T, F> {
 }
 
 impl<'a, T: Sync, F> ParMap<'a, T, F> {
-    /// Runs the map across threads and gathers results in input order.
+    /// Runs the map across the persistent pool and gathers results in
+    /// input order.
     pub fn collect<R, C>(self) -> C
     where
         R: Send,
@@ -82,27 +230,37 @@ impl<'a, T: Sync, F> ParMap<'a, T, F> {
             return std::iter::empty().collect();
         }
         let threads = thread_count(n);
-        if threads == 1 {
-            // One chunk: run inline, no thread spawn. This keeps e.g. the
-            // single-block parallel engine free of per-call thread cost
-            // (upstream rayon amortizes via a persistent pool; this shim
-            // pays a spawn per multi-chunk call instead).
+        if threads == 1 || IS_POOL_WORKER.with(|w| w.get()) {
+            // One chunk (or already on a pool worker — running inline
+            // avoids self-deadlock): no dispatch overhead at all.
             return self.items.iter().map(&self.f).collect();
         }
-        let chunk = n.div_ceil(threads);
+        let chunk_size = n.div_ceil(threads);
         let f = &self.f;
-        let per_chunk: Vec<Vec<R>> = std::thread::scope(|s| {
-            let handles: Vec<_> = self
-                .items
-                .chunks(chunk)
-                .map(|c| s.spawn(move || c.iter().map(f).collect::<Vec<R>>()))
-                .collect();
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("rayon-shim worker panicked"))
-                .collect()
-        });
-        per_chunk.into_iter().flatten().collect()
+        let chunks: Vec<&'a [T]> = self.items.chunks(chunk_size).collect();
+        // One result slot per chunk; each job owns exactly one slot, and
+        // slots are recombined in chunk order after the latch opens.
+        let slots: Vec<Mutex<Option<Vec<R>>>> =
+            (0..chunks.len()).map(|_| Mutex::new(None)).collect();
+        let jobs: Vec<Box<dyn FnOnce() + Send + '_>> = chunks
+            .into_iter()
+            .zip(&slots)
+            .map(|(chunk, slot)| {
+                Box::new(move || {
+                    let out: Vec<R> = chunk.iter().map(f).collect();
+                    *slot.lock().unwrap() = Some(out);
+                }) as Box<dyn FnOnce() + Send + '_>
+            })
+            .collect();
+        global_pool().run_scoped(jobs);
+        slots
+            .into_iter()
+            .flat_map(|slot| {
+                slot.into_inner()
+                    .unwrap()
+                    .expect("pool job completed without storing its result")
+            })
+            .collect()
     }
 }
 
@@ -133,5 +291,32 @@ mod tests {
         let v = vec![1u64, 2, 3];
         let out: Vec<u64> = v.par_iter().map(|x| x + base).collect();
         assert_eq!(out, vec![101, 102, 103]);
+    }
+
+    #[test]
+    fn pool_is_reused_across_many_rounds() {
+        // Regression guard for the per-round thread-spawn cost: a few
+        // thousand small collects must complete quickly and correctly
+        // (with per-call spawning this takes seconds of kernel time).
+        let v: Vec<u64> = (0..64).collect();
+        for round in 0..2_000u64 {
+            let out: Vec<u64> = v.par_iter().map(|x| x + round).collect();
+            assert_eq!(out[63], 63 + round);
+        }
+    }
+
+    #[test]
+    fn worker_panic_propagates() {
+        let v: Vec<u32> = (0..1_000).collect();
+        let result = std::panic::catch_unwind(|| {
+            let _: Vec<u32> = v
+                .par_iter()
+                .map(|x| if *x == 500 { panic!("boom") } else { *x })
+                .collect();
+        });
+        assert!(result.is_err());
+        // The pool must stay usable after a panic.
+        let ok: Vec<u32> = v.par_iter().map(|x| *x + 1).collect();
+        assert_eq!(ok.len(), v.len());
     }
 }

@@ -12,7 +12,7 @@
 
 use crate::gograph::GoGraph;
 use crate::insertion::{InsertionOrder, NeighborLink};
-use gograph_graph::{CsrGraph, GraphBuilder, Permutation, VertexId};
+use gograph_graph::{CsrGraph, EdgeUpdate, GraphBuilder, Permutation, VertexId};
 use gograph_reorder::Reorderer;
 
 /// Streaming order maintainer.
@@ -106,6 +106,73 @@ impl IncrementalGoGraph {
         self.reposition(v);
     }
 
+    /// Removes a directed edge, then locally repositions both endpoints:
+    /// with the edge gone their optimal positions may have shifted, and
+    /// re-running `GetOptVal` for each endpoint can only improve its
+    /// contribution to `M` on the surviving edge set. Returns `false`
+    /// (and leaves the order untouched) when the edge was not present.
+    pub fn remove_edge(&mut self, u: VertexId, v: VertexId) -> bool {
+        if (u as usize) >= self.out.len() || (v as usize) >= self.out.len() {
+            return false;
+        }
+        let Some(pos) = self.out[u as usize].iter().position(|&x| x == v) else {
+            return false;
+        };
+        self.out[u as usize].swap_remove(pos);
+        let in_pos = self.in_[v as usize]
+            .iter()
+            .position(|&x| x == u)
+            .expect("in-adjacency out of sync with out-adjacency");
+        self.in_[v as usize].swap_remove(in_pos);
+        self.num_edges -= 1;
+        self.reposition(u);
+        self.reposition(v);
+        true
+    }
+
+    /// Folds a batch of [`EdgeUpdate`]s into the maintained order.
+    /// Insert endpoints beyond the current vertex count grow the graph
+    /// (via [`IncrementalGoGraph::add_vertex`]); weights are ignored —
+    /// the metric `M` counts edges, not weight. Self-loops are neither
+    /// positive nor negative and are skipped, matching
+    /// [`IncrementalGoGraph::add_edge`].
+    pub fn apply_updates(&mut self, updates: &[EdgeUpdate]) {
+        for up in updates {
+            match *up {
+                EdgeUpdate::Insert { src, dst, .. } => {
+                    while self.out.len() <= src.max(dst) as usize {
+                        self.add_vertex();
+                    }
+                    self.add_edge(src, dst);
+                }
+                EdgeUpdate::Remove { src, dst } => {
+                    self.remove_edge(src, dst);
+                }
+            }
+        }
+    }
+
+    /// `M(O) / |E|` of the maintained order over the ingested edges —
+    /// the drift signal streaming callers compare against the fraction a
+    /// full re-run achieved. Computed straight off the adjacency lists
+    /// and `val`s in `O(|E|)`, without materializing a graph. An empty
+    /// edge set reports 1.0 (nothing can be negative).
+    pub fn positive_fraction(&self) -> f64 {
+        if self.num_edges == 0 {
+            return 1.0;
+        }
+        let mut positive = 0usize;
+        for (u, outs) in self.out.iter().enumerate() {
+            let val_u = self.order.val(u);
+            for &v in outs {
+                if val_u < self.order.val(v as usize) {
+                    positive += 1;
+                }
+            }
+        }
+        positive as f64 / self.num_edges as f64
+    }
+
     /// Removes `w` and re-inserts it at its optimal position (monotone in
     /// the vertex's local positive count, hence in `M`).
     fn reposition(&mut self, w: VertexId) {
@@ -144,13 +211,22 @@ impl IncrementalGoGraph {
     fn links_of(&self, w: VertexId) -> Vec<NeighborLink> {
         let mut links: Vec<NeighborLink> =
             Vec::with_capacity(self.out[w as usize].len() + self.in_[w as usize].len());
+        // Position of each neighbor id already in `links` — keeps this
+        // O(deg) where a linear rescan per out-edge would be O(deg²) on
+        // hubs, which dominates batch ingestion on power-law graphs.
+        let mut slot: std::collections::HashMap<usize, usize> =
+            std::collections::HashMap::with_capacity(links.capacity());
         for &x in &self.in_[w as usize] {
+            slot.insert(x as usize, links.len());
             links.push(NeighborLink::new(x as usize, 1.0, 0.0));
         }
         for &x in &self.out[w as usize] {
-            match links.iter_mut().find(|l| l.id == x as usize) {
-                Some(l) => l.out_weight += 1.0,
-                None => links.push(NeighborLink::new(x as usize, 0.0, 1.0)),
+            match slot.get(&(x as usize)) {
+                Some(&i) => links[i].out_weight += 1.0,
+                None => {
+                    slot.insert(x as usize, links.len());
+                    links.push(NeighborLink::new(x as usize, 0.0, 1.0));
+                }
             }
         }
         links
@@ -346,5 +422,84 @@ mod tests {
         inc.add_edge(0, 1);
         inc.add_edge(2, 2);
         assert_eq!(inc.num_edges(), 1);
+    }
+
+    #[test]
+    fn remove_edge_deletes_and_reports() {
+        let mut inc = IncrementalGoGraph::new(4);
+        inc.add_edge(0, 1);
+        inc.add_edge(1, 2);
+        inc.add_edge(2, 3);
+        assert!(inc.remove_edge(1, 2));
+        assert_eq!(inc.num_edges(), 2);
+        assert!(!inc.remove_edge(1, 2), "second removal is a no-op");
+        assert!(!inc.remove_edge(3, 0), "absent edge is a no-op");
+        assert!(!inc.remove_edge(9, 0), "out-of-range is a no-op");
+        let g = inc.to_graph();
+        assert_eq!(g.num_edges(), 2);
+        assert!(!g.has_edge(1, 2));
+        let order = inc.current_order();
+        order.validate().unwrap();
+        assert_eq!(metric(&g, &order), 2, "survivors stay positive");
+    }
+
+    #[test]
+    fn removal_lets_endpoints_reposition() {
+        // 0 -> 1 plus a heavy bundle pulling 1 before 0: once the bundle
+        // is deleted, repositioning must recover the 0 -> 1 edge.
+        let mut inc = IncrementalGoGraph::new(6);
+        inc.add_edge(0, 1);
+        for hub in 2..6u32 {
+            inc.add_edge(1, hub);
+            inc.add_edge(hub, 0);
+        }
+        for hub in 2..6u32 {
+            inc.remove_edge(1, hub);
+            inc.remove_edge(hub, 0);
+        }
+        let g = inc.to_graph();
+        assert_eq!(g.num_edges(), 1);
+        assert_eq!(metric(&g, &inc.current_order()), 1);
+    }
+
+    #[test]
+    fn apply_updates_folds_inserts_removes_and_grows() {
+        let mut inc = IncrementalGoGraph::new(2);
+        inc.apply_updates(&[
+            EdgeUpdate::insert(0, 1),
+            EdgeUpdate::insert(1, 3), // grows to 4 vertices
+            EdgeUpdate::insert_weighted(3, 0, 2.5),
+            EdgeUpdate::remove(3, 0),
+            EdgeUpdate::insert(2, 2), // self-loop: skipped
+        ]);
+        assert_eq!(inc.num_vertices(), 4);
+        assert_eq!(inc.num_edges(), 2);
+        let g = inc.to_graph();
+        assert!(g.has_edge(0, 1) && g.has_edge(1, 3));
+        assert!(!g.has_edge(3, 0));
+        inc.current_order().validate().unwrap();
+    }
+
+    #[test]
+    fn positive_fraction_matches_metric() {
+        let g = shuffle_labels(
+            &planted_partition(PlantedPartitionConfig {
+                num_vertices: 150,
+                num_edges: 900,
+                communities: 5,
+                p_intra: 0.8,
+                gamma: 2.4,
+                seed: 17,
+            }),
+            3,
+        );
+        let mut inc = IncrementalGoGraph::new(150);
+        for e in g.edges() {
+            inc.add_edge(e.src, e.dst);
+        }
+        let built = inc.to_graph();
+        let expected = metric(&built, &inc.current_order()) as f64 / built.num_edges() as f64;
+        assert!((inc.positive_fraction() - expected).abs() < 1e-12);
+        assert_eq!(IncrementalGoGraph::new(3).positive_fraction(), 1.0);
     }
 }

@@ -58,6 +58,18 @@ pub trait DeltaAlgorithm: Send + Sync {
     /// worth processing (the convergence test).
     fn significant(&self, state: f64, delta: f64) -> bool;
 
+    /// Whether `⊕` is **idempotent** (`a ⊕ a == a`, as for `min`/`max`)
+    /// rather than accumulative (as for `+`). Warm-started streaming
+    /// ([`crate::StreamingPipeline`]) relies on this to decide whether
+    /// pending deltas may be re-derived from settled neighbor states —
+    /// sound only when folding a value twice is harmless. The default
+    /// `false` is always safe: non-idempotent algorithms are restarted
+    /// per batch instead of warm-started. Min/max-style algorithms
+    /// should override to `true` to unlock warm-started streaming.
+    fn combine_is_idempotent(&self) -> bool {
+        false
+    }
+
     /// Identifies this algorithm as one of the built-ins so the delta
     /// engines can run a statically dispatched kernel — the delta-family
     /// counterpart of [`crate::IterativeAlgorithm::monomorphized`].
@@ -179,6 +191,10 @@ impl DeltaAlgorithm for DeltaSssp {
         delta < state
     }
 
+    fn combine_is_idempotent(&self) -> bool {
+        true // min is idempotent
+    }
+
     fn monomorphized(&self) -> Option<crate::dispatch::DeltaAlgorithmKind> {
         Some(crate::dispatch::DeltaAlgorithmKind::Sssp(*self))
     }
@@ -229,10 +245,37 @@ pub fn delta_round_robin_kernel<D: DeltaAlgorithm + ?Sized>(
     order: &Permutation,
     cfg: &RunConfig,
 ) -> RunStats {
+    let state: Vec<f64> = (0..g.num_vertices() as u32)
+        .map(|v| alg.init_state(g, v))
+        .collect();
+    let delta: Vec<f64> = (0..g.num_vertices() as u32)
+        .map(|v| alg.init_delta(g, v))
+        .collect();
+    delta_round_robin_kernel_warm(g, alg, order, cfg, state, delta)
+}
+
+/// [`delta_round_robin_kernel`] started from caller-supplied states and
+/// pending deltas instead of `init_state` / `init_delta` — the
+/// warm-start entry for streaming: settled states are carried over and
+/// only the deltas seeded at the update frontier are still pending, so
+/// convergence is reached in as many rounds as the changes propagate.
+///
+/// # Panics
+/// Panics if `state.len()` or `delta.len()` differ from
+/// `g.num_vertices()` — callers go through
+/// [`crate::ExecutionStrategy::run_warm`], which validates first.
+pub fn delta_round_robin_kernel_warm<D: DeltaAlgorithm + ?Sized>(
+    g: &CsrGraph,
+    alg: &D,
+    order: &Permutation,
+    cfg: &RunConfig,
+    mut state: Vec<f64>,
+    mut delta: Vec<f64>,
+) -> RunStats {
     let n = g.num_vertices();
     assert_eq!(order.len(), n);
-    let mut state: Vec<f64> = (0..n as u32).map(|v| alg.init_state(g, v)).collect();
-    let mut delta: Vec<f64> = (0..n as u32).map(|v| alg.init_delta(g, v)).collect();
+    assert_eq!(state.len(), n, "state length must match vertex count");
+    assert_eq!(delta.len(), n, "delta length must match vertex count");
     let start = Instant::now();
     let mut trace = Vec::new();
     if cfg.record_trace {
@@ -337,9 +380,34 @@ pub fn delta_priority_kernel<D: DeltaAlgorithm + ?Sized>(
     batch_fraction: f64,
     cfg: &RunConfig,
 ) -> RunStats {
+    let state: Vec<f64> = (0..g.num_vertices() as u32)
+        .map(|v| alg.init_state(g, v))
+        .collect();
+    let delta: Vec<f64> = (0..g.num_vertices() as u32)
+        .map(|v| alg.init_delta(g, v))
+        .collect();
+    delta_priority_kernel_warm(g, alg, batch_fraction, cfg, state, delta)
+}
+
+/// [`delta_priority_kernel`] started from caller-supplied states and
+/// pending deltas — the prioritized counterpart of
+/// [`delta_round_robin_kernel_warm`].
+///
+/// # Panics
+/// Panics if `state.len()` or `delta.len()` differ from
+/// `g.num_vertices()` — callers go through
+/// [`crate::ExecutionStrategy::run_warm`], which validates first.
+pub fn delta_priority_kernel_warm<D: DeltaAlgorithm + ?Sized>(
+    g: &CsrGraph,
+    alg: &D,
+    batch_fraction: f64,
+    cfg: &RunConfig,
+    mut state: Vec<f64>,
+    mut delta: Vec<f64>,
+) -> RunStats {
     let n = g.num_vertices();
-    let mut state: Vec<f64> = (0..n as u32).map(|v| alg.init_state(g, v)).collect();
-    let mut delta: Vec<f64> = (0..n as u32).map(|v| alg.init_delta(g, v)).collect();
+    assert_eq!(state.len(), n, "state length must match vertex count");
+    assert_eq!(delta.len(), n, "delta length must match vertex count");
     let start = Instant::now();
     let batch = ((n as f64 * batch_fraction).ceil() as usize).clamp(1, n.max(1));
     let mut trace = Vec::new();

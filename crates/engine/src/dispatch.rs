@@ -130,6 +130,9 @@ impl<A: DeltaAlgorithm> DeltaAlgorithm for DynOnlyDelta<A> {
     fn significant(&self, state: f64, delta: f64) -> bool {
         self.0.significant(state, delta)
     }
+    fn combine_is_idempotent(&self) -> bool {
+        self.0.combine_is_idempotent()
+    }
     fn monomorphized(&self) -> Option<DeltaAlgorithmKind> {
         None
     }

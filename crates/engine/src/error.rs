@@ -45,6 +45,11 @@ pub enum EngineError {
         /// Rounds executed before giving up.
         rounds: usize,
     },
+    /// A warm start was supplied to a strategy that cannot consume one.
+    WarmStartUnsupported {
+        /// The execution mode's name.
+        mode: &'static str,
+    },
 }
 
 impl fmt::Display for EngineError {
@@ -70,6 +75,9 @@ impl fmt::Display for EngineError {
             }
             EngineError::DidNotConverge { rounds } => {
                 write!(f, "did not converge within {rounds} rounds")
+            }
+            EngineError::WarmStartUnsupported { mode } => {
+                write!(f, "mode {mode:?} does not support warm-started execution")
             }
         }
     }

@@ -26,31 +26,33 @@ pub mod parallel;
 pub mod pipeline;
 pub mod runner;
 pub mod strategy;
+pub mod streaming;
 pub mod sync;
 pub mod worklist;
 
 pub use algorithm::{ConvergenceNorm, IterativeAlgorithm, Monotonicity};
 pub use algorithms::{Adsorption, Bfs, ConnectedComponents, Katz, PageRank, Php, Sssp, Sswp};
-pub use asynch::{async_kernel, run_async};
+pub use asynch::{async_kernel, async_kernel_warm, run_async};
 pub use convergence::{RunStats, TracePoint};
 pub use delta::{
-    delta_priority_kernel, delta_round_robin_kernel, DeltaAlgorithm, DeltaPageRank, DeltaSchedule,
-    DeltaSssp,
+    delta_priority_kernel, delta_priority_kernel_warm, delta_round_robin_kernel,
+    delta_round_robin_kernel_warm, DeltaAlgorithm, DeltaPageRank, DeltaSchedule, DeltaSssp,
 };
 #[allow(deprecated)]
 pub use delta::{run_delta_priority, run_delta_round_robin};
 pub use dispatch::{AlgorithmKind, DeltaAlgorithmKind, DynOnly, DynOnlyDelta, GatherContext};
 pub use error::EngineError;
-pub use parallel::{parallel_kernel, run_parallel};
+pub use parallel::{parallel_kernel, parallel_kernel_warm, run_parallel};
 pub use pipeline::{Pipeline, PipelineResult, StageTimings};
 #[allow(deprecated)]
 pub use runner::{run, run_relabeled};
 pub use runner::{total_memory_bytes, Mode, RunConfig};
 pub use strategy::{
     strategy_for, AlgorithmRef, AsyncStrategy, DeltaStrategy, ExecutionStrategy, ParallelStrategy,
-    SyncStrategy, WorklistStrategy,
+    SyncStrategy, WarmStart, WorklistStrategy,
 };
-pub use sync::{run_sync, sync_kernel};
+pub use streaming::{split_batches, StreamingPipeline, StreamingPipelineBuilder};
+pub use sync::{run_sync, sync_kernel, sync_kernel_warm};
 #[allow(deprecated)]
 pub use worklist::run_worklist;
-pub use worklist::{worklist_kernel, WorklistStats};
+pub use worklist::{worklist_kernel, worklist_kernel_warm, WorklistStats};

@@ -60,13 +60,34 @@ pub fn parallel_kernel<A: IterativeAlgorithm + ?Sized>(
     num_blocks: usize,
     cfg: &RunConfig,
 ) -> RunStats {
+    let init: Vec<f64> = (0..g.num_vertices() as u32)
+        .map(|v| alg.init(g, v))
+        .collect();
+    parallel_kernel_warm(g, alg, order, num_blocks, cfg, init)
+}
+
+/// [`parallel_kernel`] started from caller-supplied states instead of
+/// `alg.init` — the warm-start entry the streaming subsystem uses to
+/// resume from a previously converged state.
+///
+/// # Panics
+/// Panics if `init_states.len() != g.num_vertices()` — callers go
+/// through [`crate::ExecutionStrategy::run_warm`], which validates
+/// first.
+pub fn parallel_kernel_warm<A: IterativeAlgorithm + ?Sized>(
+    g: &CsrGraph,
+    alg: &A,
+    order: &Permutation,
+    num_blocks: usize,
+    cfg: &RunConfig,
+    init_states: Vec<f64>,
+) -> RunStats {
     let n = g.num_vertices();
     assert_eq!(order.len(), n, "order length must match vertex count");
+    assert_eq!(init_states.len(), n, "state length must match vertex count");
     let num_blocks = num_blocks.clamp(1, n.max(1));
     let ctx = GatherContext::new(g);
-    let states: Vec<AtomicF64> = (0..n as u32)
-        .map(|v| AtomicF64::new(alg.init(g, v)))
-        .collect();
+    let states: Vec<AtomicF64> = init_states.into_iter().map(AtomicF64::new).collect();
     let eps = alg.epsilon();
     let start = Instant::now();
     let mut trace = Vec::new();

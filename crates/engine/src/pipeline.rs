@@ -35,7 +35,7 @@ use crate::convergence::RunStats;
 use crate::delta::DeltaAlgorithm;
 use crate::error::EngineError;
 use crate::runner::{Mode, RunConfig};
-use crate::strategy::{strategy_for, AlgorithmRef};
+use crate::strategy::{strategy_for, AlgorithmRef, WarmStart};
 use gograph_graph::{CsrGraph, Permutation, VertexId};
 use gograph_reorder::Reorderer;
 use std::time::{Duration, Instant};
@@ -147,6 +147,7 @@ pub struct Pipeline<'a> {
     delta: Option<DeltaSpec<'a>>,
     cfg: RunConfig,
     require_convergence: bool,
+    warm: Option<WarmStart>,
 }
 
 impl<'a> Pipeline<'a> {
@@ -161,6 +162,7 @@ impl<'a> Pipeline<'a> {
             delta: None,
             cfg: RunConfig::default(),
             require_convergence: false,
+            warm: None,
         }
     }
 
@@ -311,6 +313,17 @@ impl<'a> Pipeline<'a> {
         self
     }
 
+    /// Starts the engine from a [`WarmStart`] (previous converged states,
+    /// optionally with an update frontier and pending deltas) instead of
+    /// the algorithm's initial state — the evolving-graph entry used by
+    /// [`crate::StreamingPipeline`]. Warm states are indexed by *graph*
+    /// vertex id, so this is incompatible with `relabel(true)` (which
+    /// renumbers vertices) and `execute` rejects the combination.
+    pub fn warm_start(mut self, warm: WarmStart) -> Self {
+        self.warm = Some(warm);
+        self
+    }
+
     /// Runs the pipeline: reorder → (relabel) → iterate.
     pub fn execute(self) -> Result<PipelineResult, EngineError> {
         let Pipeline {
@@ -322,8 +335,18 @@ impl<'a> Pipeline<'a> {
             delta,
             cfg,
             require_convergence,
+            warm,
         } = self;
         let n = graph.num_vertices();
+        if warm.is_some() && relabel {
+            return Err(EngineError::InvalidParameter {
+                name: "warm_start",
+                message: "warm states are indexed by vertex id and cannot be combined \
+                          with relabel(true); relabel once up front and warm-start over \
+                          the relabeled graph instead"
+                    .into(),
+            });
+        }
 
         // --- Stage 1: obtain and validate the processing order. ---
         let t = Instant::now();
@@ -419,7 +442,10 @@ impl<'a> Pipeline<'a> {
 
         // --- Stage 3: iterate. ---
         let t = Instant::now();
-        let stats = strategy.run(run_graph, alg, run_order, &cfg)?;
+        let stats = match warm {
+            Some(w) => strategy.run_warm(run_graph, alg, run_order, &cfg, w)?,
+            None => strategy.run(run_graph, alg, run_order, &cfg)?,
+        };
         let execute_time = t.elapsed();
         if require_convergence && !stats.converged {
             return Err(EngineError::DidNotConverge {
@@ -607,6 +633,33 @@ mod tests {
         assert!(r.stats.converged);
         assert_eq!(r.state_of(0), 0.0);
         assert_eq!(r.state_of(19), 19.0);
+    }
+
+    #[test]
+    fn warm_start_flows_through_pipeline_and_rejects_relabel() {
+        let g = chain(25);
+        let cold = Pipeline::on(&g).algorithm(Sssp::new(0)).execute().unwrap();
+        let warm = Pipeline::on(&g)
+            .algorithm(Sssp::new(0))
+            .warm_start(WarmStart::from_states(cold.stats.final_states.clone()))
+            .execute()
+            .unwrap();
+        assert!(warm.stats.converged);
+        assert_eq!(warm.stats.rounds, 1, "fixpoint confirms in one round");
+        assert_eq!(warm.stats.final_states, cold.stats.final_states);
+        let err = Pipeline::on(&g)
+            .algorithm(Sssp::new(0))
+            .relabel(true)
+            .warm_start(WarmStart::from_states(cold.stats.final_states.clone()))
+            .execute()
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            EngineError::InvalidParameter {
+                name: "warm_start",
+                ..
+            }
+        ));
     }
 
     #[test]

@@ -9,12 +9,20 @@
 
 use crate::algorithm::IterativeAlgorithm;
 use crate::convergence::RunStats;
-use crate::delta::{delta_priority_core, delta_round_robin_core, DeltaAlgorithm, DeltaSchedule};
+use crate::delta::{
+    delta_priority_core, delta_priority_kernel_warm, delta_round_robin_core,
+    delta_round_robin_kernel_warm, DeltaAlgorithm, DeltaSchedule,
+};
+use crate::dispatch::{dispatch_delta, dispatch_gather};
 use crate::error::EngineError;
 use crate::runner::{Mode, RunConfig};
-use crate::worklist::worklist_core;
-use crate::{asynch::run_async, parallel::run_parallel, sync::run_sync};
-use gograph_graph::{CsrGraph, Permutation};
+use crate::worklist::{worklist_core, worklist_kernel_warm};
+use crate::{
+    asynch::{async_kernel_warm, run_async},
+    parallel::{parallel_kernel_warm, run_parallel},
+    sync::{run_sync, sync_kernel_warm},
+};
+use gograph_graph::{CsrGraph, Permutation, VertexId};
 
 /// A borrowed algorithm of either family. The gather family
 /// ([`IterativeAlgorithm`]) recomputes a vertex from all in-neighbors;
@@ -45,6 +53,58 @@ impl AlgorithmRef<'_> {
     }
 }
 
+/// Caller-supplied starting point for a [`ExecutionStrategy::run_warm`]
+/// execution — the carrier of previously converged state when a graph
+/// evolves (see [`crate::StreamingPipeline`]).
+///
+/// Soundness is the *caller's* responsibility: for a monotonically
+/// decreasing gather algorithm the states must be element-wise upper
+/// bounds of the new fixpoint (e.g. the old converged states after an
+/// insert-only batch, with every vertex that could depend on a deleted
+/// edge reset to `init`), and for an increasing one lower bounds. The
+/// engines iterate from whatever they are given.
+#[derive(Debug, Clone)]
+pub struct WarmStart {
+    /// Initial per-vertex states (length = vertex count).
+    pub states: Vec<f64>,
+    /// Vertices whose inputs changed and that must be re-evaluated
+    /// first. Consumed by the worklist engine (activation spreads from
+    /// here) and by the delta engines (pending deltas are seeded here);
+    /// the full-scan engines re-evaluate everything regardless. `None`
+    /// means every vertex.
+    pub frontier: Option<Vec<VertexId>>,
+    /// Pending per-vertex deltas for the delta-family engines (length =
+    /// vertex count). `None` derives frontier deltas by gathering each
+    /// frontier vertex's candidates from its in-edges — sound for
+    /// idempotent `⊕` (min/max-style) algorithms, where a settled
+    /// neighbor state acts as a consumable delta; sum-style (`⊕ = +`)
+    /// algorithms must supply explicit deltas instead.
+    pub deltas: Option<Vec<f64>>,
+}
+
+impl WarmStart {
+    /// A warm start from converged states, re-evaluating everything.
+    pub fn from_states(states: Vec<f64>) -> Self {
+        WarmStart {
+            states,
+            frontier: None,
+            deltas: None,
+        }
+    }
+
+    /// Restricts initial re-evaluation to `frontier`.
+    pub fn with_frontier(mut self, frontier: Vec<VertexId>) -> Self {
+        self.frontier = Some(frontier);
+        self
+    }
+
+    /// Supplies explicit pending deltas for the delta-family engines.
+    pub fn with_deltas(mut self, deltas: Vec<f64>) -> Self {
+        self.deltas = Some(deltas);
+        self
+    }
+}
+
 /// One execution engine behind a uniform, fallible interface.
 pub trait ExecutionStrategy {
     /// Strategy name (matches [`Mode::name`]).
@@ -58,6 +118,21 @@ pub trait ExecutionStrategy {
         order: &Permutation,
         cfg: &RunConfig,
     ) -> Result<RunStats, EngineError>;
+
+    /// Runs `alg` on `g` starting from a [`WarmStart`] instead of the
+    /// algorithm's initial state. The default rejects warm execution
+    /// ([`EngineError::WarmStartUnsupported`]); every built-in strategy
+    /// overrides it.
+    fn run_warm(
+        &self,
+        _g: &CsrGraph,
+        _alg: AlgorithmRef<'_>,
+        _order: &Permutation,
+        _cfg: &RunConfig,
+        _warm: WarmStart,
+    ) -> Result<RunStats, EngineError> {
+        Err(EngineError::WarmStartUnsupported { mode: self.name() })
+    }
 }
 
 /// Shared validation: the order must cover the graph exactly.
@@ -66,6 +141,52 @@ fn check_order(g: &CsrGraph, order: &Permutation) -> Result<(), EngineError> {
         return Err(EngineError::OrderLengthMismatch {
             order_len: order.len(),
             num_vertices: g.num_vertices(),
+        });
+    }
+    Ok(())
+}
+
+/// Shared warm-start validation: state/delta lengths and frontier range.
+fn check_warm(g: &CsrGraph, warm: &WarmStart) -> Result<(), EngineError> {
+    let n = g.num_vertices();
+    if warm.states.len() != n {
+        return Err(EngineError::InvalidParameter {
+            name: "warm_start.states",
+            message: format!(
+                "length {} does not match vertex count {n}",
+                warm.states.len()
+            ),
+        });
+    }
+    if let Some(deltas) = &warm.deltas {
+        if deltas.len() != n {
+            return Err(EngineError::InvalidParameter {
+                name: "warm_start.deltas",
+                message: format!("length {} does not match vertex count {n}", deltas.len()),
+            });
+        }
+    }
+    if let Some(frontier) = &warm.frontier {
+        if let Some(&v) = frontier.iter().find(|&&v| v as usize >= n) {
+            return Err(EngineError::InvalidParameter {
+                name: "warm_start.frontier",
+                message: format!("vertex {v} out of range for {n} vertices"),
+            });
+        }
+    }
+    Ok(())
+}
+
+/// Gather-family strategies have no notion of pending deltas; passing
+/// them is a caller mix-up worth surfacing.
+fn reject_deltas(strategy: &dyn ExecutionStrategy, warm: &WarmStart) -> Result<(), EngineError> {
+    if warm.deltas.is_some() {
+        return Err(EngineError::InvalidParameter {
+            name: "warm_start.deltas",
+            message: format!(
+                "mode {:?} runs gather algorithms; pending deltas only apply to delta modes",
+                strategy.name()
+            ),
         });
     }
     Ok(())
@@ -116,6 +237,21 @@ impl ExecutionStrategy for SyncStrategy {
         check_order(g, order)?;
         Ok(run_sync(g, require_gather(self, alg)?, order, cfg))
     }
+
+    fn run_warm(
+        &self,
+        g: &CsrGraph,
+        alg: AlgorithmRef<'_>,
+        order: &Permutation,
+        cfg: &RunConfig,
+        warm: WarmStart,
+    ) -> Result<RunStats, EngineError> {
+        check_order(g, order)?;
+        check_warm(g, &warm)?;
+        reject_deltas(self, &warm)?;
+        let alg = require_gather(self, alg)?;
+        Ok(dispatch_gather!(alg, a => sync_kernel_warm(g, a, order, cfg, warm.states)))
+    }
 }
 
 /// Asynchronous (Gauss–Seidel) execution — [`crate::asynch::run_async`].
@@ -136,6 +272,21 @@ impl ExecutionStrategy for AsyncStrategy {
     ) -> Result<RunStats, EngineError> {
         check_order(g, order)?;
         Ok(run_async(g, require_gather(self, alg)?, order, cfg))
+    }
+
+    fn run_warm(
+        &self,
+        g: &CsrGraph,
+        alg: AlgorithmRef<'_>,
+        order: &Permutation,
+        cfg: &RunConfig,
+        warm: WarmStart,
+    ) -> Result<RunStats, EngineError> {
+        check_order(g, order)?;
+        check_warm(g, &warm)?;
+        reject_deltas(self, &warm)?;
+        let alg = require_gather(self, alg)?;
+        Ok(dispatch_gather!(alg, a => async_kernel_warm(g, a, order, cfg, warm.states)))
     }
 }
 
@@ -170,6 +321,25 @@ impl ExecutionStrategy for ParallelStrategy {
             cfg,
         ))
     }
+
+    fn run_warm(
+        &self,
+        g: &CsrGraph,
+        alg: AlgorithmRef<'_>,
+        order: &Permutation,
+        cfg: &RunConfig,
+        warm: WarmStart,
+    ) -> Result<RunStats, EngineError> {
+        check_order(g, order)?;
+        check_warm(g, &warm)?;
+        reject_deltas(self, &warm)?;
+        let alg = require_gather(self, alg)?;
+        let blocks = self.blocks;
+        Ok(dispatch_gather!(
+            alg,
+            a => parallel_kernel_warm(g, a, order, blocks, cfg, warm.states)
+        ))
+    }
 }
 
 /// Active-frontier worklist execution — the engine of
@@ -192,6 +362,27 @@ impl ExecutionStrategy for WorklistStrategy {
     ) -> Result<RunStats, EngineError> {
         check_order(g, order)?;
         Ok(worklist_core(g, require_gather(self, alg)?, order, cfg))
+    }
+
+    fn run_warm(
+        &self,
+        g: &CsrGraph,
+        alg: AlgorithmRef<'_>,
+        order: &Permutation,
+        cfg: &RunConfig,
+        warm: WarmStart,
+    ) -> Result<RunStats, EngineError> {
+        check_order(g, order)?;
+        check_warm(g, &warm)?;
+        reject_deltas(self, &warm)?;
+        let alg = require_gather(self, alg)?;
+        let WarmStart {
+            states, frontier, ..
+        } = warm;
+        Ok(dispatch_gather!(
+            alg,
+            a => worklist_kernel_warm(g, a, order, cfg, states, frontier.as_deref())
+        ))
     }
 }
 
@@ -234,6 +425,90 @@ impl ExecutionStrategy for DeltaStrategy {
                 // The priority engine schedules by |delta|, not by
                 // position, so the order is intentionally unused.
                 Ok(delta_priority_core(g, alg, batch_fraction, cfg))
+            }
+        }
+    }
+
+    fn run_warm(
+        &self,
+        g: &CsrGraph,
+        alg: AlgorithmRef<'_>,
+        order: &Permutation,
+        cfg: &RunConfig,
+        warm: WarmStart,
+    ) -> Result<RunStats, EngineError> {
+        let alg = require_delta(self, alg)?;
+        check_warm(g, &warm)?;
+        let WarmStart {
+            states,
+            frontier,
+            deltas,
+        } = warm;
+        let deltas = match deltas {
+            Some(d) => d,
+            // Derive pending deltas at the frontier: each frontier
+            // vertex gathers the candidates its in-neighbors' *settled*
+            // states offer (a settled state consumed as a delta). Sound
+            // only when `⊕` is idempotent (min/max-style): for an
+            // accumulative `⊕` the candidates would double-count mass
+            // already folded into the states, so those algorithms must
+            // pass explicit deltas.
+            None => {
+                if !alg.combine_is_idempotent() {
+                    return Err(EngineError::InvalidParameter {
+                        name: "warm_start.deltas",
+                        message: format!(
+                            "{} does not declare an idempotent ⊕ \
+                             (DeltaAlgorithm::combine_is_idempotent): frontier delta \
+                             derivation would double-count accumulated mass — supply \
+                             explicit pending deltas",
+                            alg.name()
+                        ),
+                    });
+                }
+                let n = g.num_vertices();
+                let mut derived = vec![alg.identity(); n];
+                let derive = |d: &mut Vec<f64>, v: VertexId| {
+                    // Re-offer the vertex's base contribution (the
+                    // algorithm's source term — e.g. the SSSP source's
+                    // distance 0): a frontier vertex whose state was
+                    // reset must be able to recover it without waiting
+                    // on any neighbor.
+                    let mut acc = alg.combine(alg.identity(), alg.init_delta(g, v));
+                    for (u, w) in g.in_edges(v) {
+                        let settled = states[u as usize];
+                        if settled.is_finite() {
+                            acc = alg.combine(acc, alg.propagate(g, u, v, w, settled));
+                        }
+                    }
+                    d[v as usize] = acc;
+                };
+                match &frontier {
+                    Some(f) => f.iter().for_each(|&v| derive(&mut derived, v)),
+                    None => (0..n as VertexId).for_each(|v| derive(&mut derived, v)),
+                }
+                derived
+            }
+        };
+        match self.schedule {
+            DeltaSchedule::RoundRobin => {
+                check_order(g, order)?;
+                Ok(dispatch_delta!(
+                    alg,
+                    a => delta_round_robin_kernel_warm(g, a, order, cfg, states, deltas)
+                ))
+            }
+            DeltaSchedule::Priority { batch_fraction } => {
+                if !(batch_fraction > 0.0 && batch_fraction <= 1.0) {
+                    return Err(EngineError::InvalidParameter {
+                        name: "batch_fraction",
+                        message: format!("must be in (0, 1], got {batch_fraction}"),
+                    });
+                }
+                Ok(dispatch_delta!(
+                    alg,
+                    a => delta_priority_kernel_warm(g, a, batch_fraction, cfg, states, deltas)
+                ))
             }
         }
     }
@@ -355,6 +630,185 @@ mod tests {
                     ..
                 }
             ));
+        }
+    }
+
+    #[test]
+    fn warm_start_from_fixpoint_confirms_immediately() {
+        let g = chain(30);
+        let id = Permutation::identity(30);
+        let cfg = RunConfig::default();
+        let alg = Sssp::new(0);
+        let cold = strategy_for(Mode::Async)
+            .run(&g, AlgorithmRef::Gather(&alg), &id, &cfg)
+            .unwrap();
+        for mode in [Mode::Sync, Mode::Async, Mode::Parallel(3), Mode::Worklist] {
+            let warm = strategy_for(mode)
+                .run_warm(
+                    &g,
+                    AlgorithmRef::Gather(&alg),
+                    &id,
+                    &cfg,
+                    WarmStart::from_states(cold.final_states.clone()),
+                )
+                .unwrap();
+            assert!(warm.converged, "{}", mode.name());
+            assert_eq!(warm.rounds, 1, "{}", mode.name());
+            assert_eq!(warm.final_states, cold.final_states, "{}", mode.name());
+        }
+        // Delta: settled states with nothing pending confirm in one round.
+        let dalg = DeltaSssp { source: 0 };
+        let warm = strategy_for(Mode::Delta(DeltaSchedule::RoundRobin))
+            .run_warm(
+                &g,
+                AlgorithmRef::Delta(&dalg),
+                &id,
+                &cfg,
+                WarmStart::from_states(cold.final_states.clone()).with_frontier(vec![]),
+            )
+            .unwrap();
+        assert!(warm.converged);
+        assert_eq!(warm.rounds, 1);
+        assert_eq!(warm.final_states, cold.final_states);
+    }
+
+    #[test]
+    fn warm_start_validation_errors() {
+        let g = chain(10);
+        let id = Permutation::identity(10);
+        let cfg = RunConfig::default();
+        let alg = Sssp::new(0);
+        // Wrong state length.
+        let err = strategy_for(Mode::Async)
+            .run_warm(
+                &g,
+                AlgorithmRef::Gather(&alg),
+                &id,
+                &cfg,
+                WarmStart::from_states(vec![0.0; 4]),
+            )
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            EngineError::InvalidParameter {
+                name: "warm_start.states",
+                ..
+            }
+        ));
+        // Out-of-range frontier vertex.
+        let err = strategy_for(Mode::Worklist)
+            .run_warm(
+                &g,
+                AlgorithmRef::Gather(&alg),
+                &id,
+                &cfg,
+                WarmStart::from_states(vec![0.0; 10]).with_frontier(vec![99]),
+            )
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            EngineError::InvalidParameter {
+                name: "warm_start.frontier",
+                ..
+            }
+        ));
+        // Deltas handed to a gather strategy.
+        let err = strategy_for(Mode::Sync)
+            .run_warm(
+                &g,
+                AlgorithmRef::Gather(&alg),
+                &id,
+                &cfg,
+                WarmStart::from_states(vec![0.0; 10]).with_deltas(vec![0.0; 10]),
+            )
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            EngineError::InvalidParameter {
+                name: "warm_start.deltas",
+                ..
+            }
+        ));
+        // Sum-style delta algorithm without explicit deltas.
+        let dpr = crate::delta::DeltaPageRank::default();
+        let err = strategy_for(Mode::Delta(DeltaSchedule::RoundRobin))
+            .run_warm(
+                &g,
+                AlgorithmRef::Delta(&dpr),
+                &id,
+                &cfg,
+                WarmStart::from_states(vec![0.0; 10]).with_frontier(vec![0]),
+            )
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            EngineError::InvalidParameter {
+                name: "warm_start.deltas",
+                ..
+            }
+        ));
+        // A strategy without an override rejects warm execution.
+        struct NoWarm;
+        impl ExecutionStrategy for NoWarm {
+            fn name(&self) -> &'static str {
+                "no-warm"
+            }
+            fn run(
+                &self,
+                _g: &CsrGraph,
+                _alg: AlgorithmRef<'_>,
+                _order: &Permutation,
+                _cfg: &RunConfig,
+            ) -> Result<RunStats, EngineError> {
+                unreachable!()
+            }
+        }
+        let err = NoWarm
+            .run_warm(
+                &g,
+                AlgorithmRef::Gather(&alg),
+                &id,
+                &cfg,
+                WarmStart::from_states(vec![0.0; 10]),
+            )
+            .unwrap_err();
+        assert_eq!(err, EngineError::WarmStartUnsupported { mode: "no-warm" });
+    }
+
+    #[test]
+    fn warm_delta_derivation_relaxes_a_shortcut() {
+        // Converged SSSP chain states, then a shortcut 0 -> 5 appears:
+        // seeding only vertex 5 must re-derive and propagate the
+        // improvement to the tail.
+        let g0 = chain(10);
+        let id = Permutation::identity(10);
+        let cfg = RunConfig::default();
+        let dalg = DeltaSssp { source: 0 };
+        let cold = strategy_for(Mode::Delta(DeltaSchedule::RoundRobin))
+            .run(&g0, AlgorithmRef::Delta(&dalg), &id, &cfg)
+            .unwrap();
+        let mut edges: Vec<(u32, u32, f64)> =
+            g0.edges().map(|e| (e.src, e.dst, e.weight)).collect();
+        edges.push((0, 5, 1.0));
+        let g1 = CsrGraph::from_edges(10, edges);
+        for schedule in [
+            DeltaSchedule::RoundRobin,
+            DeltaSchedule::Priority {
+                batch_fraction: 0.3,
+            },
+        ] {
+            let warm = strategy_for(Mode::Delta(schedule))
+                .run_warm(
+                    &g1,
+                    AlgorithmRef::Delta(&dalg),
+                    &id,
+                    &cfg,
+                    WarmStart::from_states(cold.final_states.clone()).with_frontier(vec![5]),
+                )
+                .unwrap();
+            assert!(warm.converged);
+            assert_eq!(warm.final_states[5], 1.0);
+            assert_eq!(warm.final_states[9], 5.0);
         }
     }
 

@@ -1,0 +1,906 @@
+//! The evolving-graph subsystem: a [`StreamingPipeline`] owns a graph
+//! together with its converged algorithm state and consumes batches of
+//! [`EdgeUpdate`]s, reusing everything a cold [`crate::Pipeline`] run
+//! would recompute from scratch.
+//!
+//! Per batch it
+//!
+//! 1. folds the updates into an [`IncrementalGoGraph`], which maintains
+//!    the positive-edge-maximizing processing order by local
+//!    repositioning instead of a full GoGraph re-run;
+//! 2. patches the CSR through [`CsrGraph::apply_updates`] (a sorted
+//!    merge, no global re-sort);
+//! 3. re-runs the full GoGraph reorder only when the maintained order's
+//!    positive-edge fraction has drifted more than a configurable
+//!    threshold below the fraction the last full run achieved;
+//! 4. warm-starts the engine from the previous converged states,
+//!    resetting only the *affected frontier* — vertices whose state
+//!    could depend on a deleted edge — and seeding re-evaluation at the
+//!    endpoints the batch touched.
+//!
+//! # When is warm-starting sound?
+//!
+//! For **max-norm** algorithms (SSSP, BFS, CC, SSWP — a vertex's value is
+//! witnessed by a single best path) the previous states stay valid
+//! bounds after an insert-only batch, and deletions only invalidate
+//! vertices whose value loses its *support* — see
+//! [`StreamingPipeline::apply_batch`]'s trimming pass: resetting that
+//! set to `init` restores validity, so the engines converge to the
+//! exact new fixpoint from the warm states. For **sum-norm** algorithms (PageRank,
+//! Katz, PHP, Adsorption — a value aggregates *all* paths and degree
+//! normalizations) any edge change can move any vertex's fixpoint in
+//! either direction, which the monotone-from-init formulation cannot
+//! follow downward; those algorithms are conservatively restarted from
+//! `init` each batch (the order maintenance and CSR patching are still
+//! reused). The same split applies to the delta family: min/max-style
+//! (`⊕` idempotent) delta algorithms warm-start with frontier-seeded
+//! deltas, sum-style ones restart.
+
+use crate::algorithm::{ConvergenceNorm, IterativeAlgorithm};
+use crate::delta::DeltaAlgorithm;
+use crate::error::EngineError;
+use crate::pipeline::{PipelineResult, StageTimings};
+use crate::runner::{Mode, RunConfig};
+use crate::strategy::{strategy_for, AlgorithmRef, WarmStart};
+use gograph_core::{GoGraph, IncrementalGoGraph};
+use gograph_graph::{CsrGraph, EdgeUpdate, Permutation, VertexId};
+use std::time::{Duration, Instant};
+
+/// Builder for a [`StreamingPipeline`]; see [`StreamingPipeline::over`].
+pub struct StreamingPipelineBuilder {
+    graph: CsrGraph,
+    mode: Mode,
+    gather: Option<Box<dyn IterativeAlgorithm>>,
+    delta: Option<Box<dyn DeltaAlgorithm>>,
+    cfg: RunConfig,
+    drift_threshold: f64,
+}
+
+impl StreamingPipelineBuilder {
+    /// Selects the execution strategy (default: [`Mode::Async`]).
+    pub fn mode(mut self, mode: Mode) -> Self {
+        self.mode = mode;
+        self
+    }
+
+    /// Supplies the gather algorithm (for every mode but `Delta`).
+    ///
+    /// Custom algorithms: see
+    /// [`StreamingPipeline::warm_start_is_sound`] for the contract a
+    /// max-norm algorithm must meet to be streamed warm (its gather
+    /// must not read the neighbor-out-degree argument).
+    pub fn algorithm(mut self, alg: impl IterativeAlgorithm + 'static) -> Self {
+        self.gather = Some(Box::new(alg));
+        self
+    }
+
+    /// Supplies the delta algorithm (for [`Mode::Delta`]).
+    pub fn delta_algorithm(mut self, alg: impl DeltaAlgorithm + 'static) -> Self {
+        self.delta = Some(Box::new(alg));
+        self
+    }
+
+    /// Replaces the run configuration shared by every batch execution.
+    pub fn config(mut self, cfg: RunConfig) -> Self {
+        self.cfg = cfg;
+        self
+    }
+
+    /// Safety cap on rounds per batch execution (default 10 000).
+    pub fn max_rounds(mut self, n: usize) -> Self {
+        self.cfg.max_rounds = n;
+        self
+    }
+
+    /// Sets how far the maintained order's positive-edge fraction
+    /// `M(O)/|E|` may drop below the fraction the last full GoGraph run
+    /// achieved before a full reorder + relabel of the order is
+    /// triggered (default 0.05). `0.0` re-reorders on any regression;
+    /// `1.0` effectively never re-reorders.
+    pub fn drift_threshold(mut self, threshold: f64) -> Self {
+        self.drift_threshold = threshold;
+        self
+    }
+
+    /// Bootstraps the pipeline: one full GoGraph reorder of the seed
+    /// graph and one cold engine run to the fixpoint. Fails like
+    /// [`crate::Pipeline::execute`] on a missing or wrong-family
+    /// algorithm, and on a non-finite or negative drift threshold.
+    pub fn build(self) -> Result<StreamingPipeline, EngineError> {
+        let StreamingPipelineBuilder {
+            graph,
+            mode,
+            gather,
+            delta,
+            cfg,
+            drift_threshold,
+        } = self;
+        if !(drift_threshold >= 0.0 && drift_threshold.is_finite()) {
+            return Err(EngineError::InvalidParameter {
+                name: "drift_threshold",
+                message: format!("must be finite and >= 0, got {drift_threshold}"),
+            });
+        }
+        let strategy_name = strategy_for(mode).name();
+        match mode {
+            Mode::Delta(_) => {
+                if delta.is_none() {
+                    return Err(if gather.is_some() {
+                        EngineError::IncompatibleAlgorithm {
+                            mode: strategy_name,
+                            provided: "gather",
+                        }
+                    } else {
+                        EngineError::MissingAlgorithm {
+                            mode: strategy_name,
+                            expected: "delta",
+                        }
+                    });
+                }
+            }
+            _ => {
+                if gather.is_none() {
+                    return Err(if delta.is_some() {
+                        EngineError::IncompatibleAlgorithm {
+                            mode: strategy_name,
+                            provided: "delta",
+                        }
+                    } else {
+                        EngineError::MissingAlgorithm {
+                            mode: strategy_name,
+                            expected: "gather",
+                        }
+                    });
+                }
+            }
+        }
+
+        // Bootstrap reorder: one full GoGraph run, loaded into the
+        // incremental maintainer.
+        let t = Instant::now();
+        let inc = IncrementalGoGraph::from_graph(&graph);
+        let order = inc.current_order();
+        let baseline_fraction = inc.positive_fraction();
+        let reorder_time = t.elapsed();
+
+        let mut pipeline = StreamingPipeline {
+            inc,
+            graph,
+            order,
+            mode,
+            gather,
+            delta,
+            cfg,
+            drift_threshold,
+            baseline_fraction,
+            states: Vec::new(),
+            last: None,
+            total_rounds: 0,
+            batches_applied: 0,
+            full_reorders: 1, // the bootstrap run
+        };
+
+        // Bootstrap execution: a cold run to the initial fixpoint.
+        let t = Instant::now();
+        let stats = strategy_for(pipeline.mode).run(
+            &pipeline.graph,
+            pipeline.algorithm_ref(),
+            &pipeline.order,
+            &pipeline.cfg,
+        )?;
+        let execute_time = t.elapsed();
+        pipeline.absorb(stats, reorder_time, execute_time);
+        Ok(pipeline)
+    }
+}
+
+/// A pipeline over an **evolving** graph: converged state, the
+/// incrementally maintained processing order and the CSR all persist
+/// across [`StreamingPipeline::apply_batch`] calls, so each batch costs
+/// rounds proportional to how far the updates actually perturbed the
+/// fixpoint — not a cold recompute.
+///
+/// ```
+/// use gograph_engine::{Mode, Sssp, StreamingPipeline};
+/// use gograph_graph::generators::regular::chain;
+/// use gograph_graph::EdgeUpdate;
+///
+/// let g = chain(50);
+/// let mut sp = StreamingPipeline::over(&g)
+///     .mode(Mode::Async)
+///     .algorithm(Sssp::new(0))
+///     .build()
+///     .unwrap();
+/// assert_eq!(sp.states()[49], 49.0);
+///
+/// // A shortcut edge arrives: the warm-started re-run only has to
+/// // propagate the improvement.
+/// let r = sp.apply_batch(&[EdgeUpdate::insert(0, 48)]).unwrap();
+/// assert!(r.stats.converged);
+/// assert_eq!(sp.states()[49], 2.0);
+/// ```
+pub struct StreamingPipeline {
+    inc: IncrementalGoGraph,
+    graph: CsrGraph,
+    order: Permutation,
+    mode: Mode,
+    gather: Option<Box<dyn IterativeAlgorithm>>,
+    delta: Option<Box<dyn DeltaAlgorithm>>,
+    cfg: RunConfig,
+    drift_threshold: f64,
+    baseline_fraction: f64,
+    states: Vec<f64>,
+    last: Option<PipelineResult>,
+    total_rounds: usize,
+    batches_applied: usize,
+    full_reorders: usize,
+}
+
+impl StreamingPipeline {
+    /// Starts building a streaming pipeline seeded from `graph` (which
+    /// is copied: the pipeline owns and evolves its graph).
+    pub fn over(graph: &CsrGraph) -> StreamingPipelineBuilder {
+        StreamingPipelineBuilder {
+            graph: graph.clone(),
+            mode: Mode::Async,
+            gather: None,
+            delta: None,
+            cfg: RunConfig::default(),
+            drift_threshold: 0.05,
+        }
+    }
+
+    /// Applies one batch of edge updates and re-converges.
+    ///
+    /// Self-loop updates are skipped (they are neither positive nor
+    /// negative under any order, matching [`IncrementalGoGraph`]); a
+    /// batch may grow the vertex set by inserting edges whose endpoints
+    /// are beyond the current count. An empty batch is a cheap
+    /// confirmation run over unchanged state.
+    pub fn apply_batch(&mut self, updates: &[EdgeUpdate]) -> Result<PipelineResult, EngineError> {
+        let t_maintain = Instant::now();
+        let updates: Vec<EdgeUpdate> = updates
+            .iter()
+            .copied()
+            .filter(|u| u.src() != u.dst())
+            .collect();
+
+        // Heads of deleted edges: the only vertices whose state can
+        // *directly* lose its justification. The affected set proper is
+        // trimmed after the CSR is patched, against surviving edges.
+        let removal_heads: Vec<VertexId> = updates
+            .iter()
+            .filter_map(|u| match *u {
+                EdgeUpdate::Remove { src, dst }
+                    if (src as usize) < self.graph.num_vertices()
+                        && self.graph.has_edge(src, dst) =>
+                {
+                    Some(dst)
+                }
+                _ => None,
+            })
+            .collect();
+
+        // Maintain the order and patch the CSR. A (post-filter) empty
+        // batch changes nothing, so the CSR rebuild, drift scan and
+        // order rematerialization are all skipped — only the cheap
+        // confirmation run below remains.
+        if !updates.is_empty() {
+            self.inc.apply_updates(&updates);
+            self.graph = self.graph.apply_updates(&updates);
+            debug_assert_eq!(self.inc.num_vertices(), self.graph.num_vertices());
+
+            // Drift-triggered full reorder: fall back to the full
+            // GoGraph run only when local repositioning has lost too
+            // much metric quality relative to the last full run.
+            let fraction = self.inc.positive_fraction();
+            if self.baseline_fraction - fraction > self.drift_threshold {
+                let full_order = GoGraph::default().run(&self.graph);
+                self.inc = IncrementalGoGraph::from_graph_with_order(&self.graph, &full_order);
+                self.baseline_fraction = self.inc.positive_fraction();
+                self.full_reorders += 1;
+            }
+            self.order = self.inc.current_order();
+        }
+        let maintain_time = t_maintain.elapsed();
+
+        // Warm-start preparation: extend state over new vertices, then
+        // either carry the converged states (max-norm / min-style) with
+        // the affected frontier reset, or restart (sum-norm).
+        let n = self.graph.num_vertices();
+        for v in self.states.len() as VertexId..n as VertexId {
+            self.states.push(self.init_state_of(v));
+        }
+        let affected = if self.warm_start_is_sound() {
+            self.affected_by_deletions(&removal_heads)
+        } else {
+            Vec::new()
+        };
+        let warm = if self.warm_start_is_sound() {
+            let mut states = self.states.clone();
+            let mut frontier: Vec<VertexId> = affected.clone();
+            for &v in &affected {
+                states[v as usize] = self.init_state_of(v);
+            }
+            frontier.extend(updates.iter().filter(|u| u.is_insert()).map(|u| u.dst()));
+            frontier.sort_unstable();
+            frontier.dedup();
+            Some(WarmStart::from_states(states).with_frontier(frontier))
+        } else {
+            None
+        };
+
+        // Re-converge.
+        let strategy = strategy_for(self.mode);
+        let t = Instant::now();
+        let stats = match warm {
+            Some(w) => {
+                strategy.run_warm(&self.graph, self.algorithm_ref(), &self.order, &self.cfg, w)?
+            }
+            None => strategy.run(&self.graph, self.algorithm_ref(), &self.order, &self.cfg)?,
+        };
+        let execute_time = t.elapsed();
+        self.batches_applied += 1;
+        Ok(self.absorb(stats, maintain_time, execute_time))
+    }
+
+    /// The current graph (after all applied batches).
+    pub fn graph(&self) -> &CsrGraph {
+        &self.graph
+    }
+
+    /// The maintained processing order.
+    pub fn order(&self) -> &Permutation {
+        &self.order
+    }
+
+    /// The converged per-vertex states, indexed by vertex id.
+    pub fn states(&self) -> &[f64] {
+        &self.states
+    }
+
+    /// The result of the most recent execution (bootstrap or batch).
+    pub fn last_result(&self) -> &PipelineResult {
+        self.last.as_ref().expect("set by build()")
+    }
+
+    /// Total engine rounds across the bootstrap and every batch — the
+    /// quantity the warm-vs-cold benchmark compares.
+    pub fn total_rounds(&self) -> usize {
+        self.total_rounds
+    }
+
+    /// Batches applied so far (the bootstrap run is not a batch).
+    pub fn batches_applied(&self) -> usize {
+        self.batches_applied
+    }
+
+    /// Full GoGraph reorders executed, including the bootstrap run.
+    pub fn full_reorders(&self) -> usize {
+        self.full_reorders
+    }
+
+    /// Current positive-edge fraction `M(O)/|E|` of the maintained order.
+    pub fn positive_fraction(&self) -> f64 {
+        self.inc.positive_fraction()
+    }
+
+    /// The positive-edge fraction right after the last full reorder —
+    /// the level the drift threshold is measured against.
+    pub fn baseline_fraction(&self) -> f64 {
+        self.baseline_fraction
+    }
+
+    /// Whether batches may reuse the converged states (see the module
+    /// docs): max-norm gather algorithms and min/max-style delta
+    /// algorithms warm-start; sum-norm ones restart each batch.
+    ///
+    /// For **user-supplied** max-norm algorithms this classification
+    /// additionally assumes the per-edge contribution depends only on
+    /// the neighbor's state and the edge weight — *not* on the
+    /// neighbor's out-degree (every built-in max-norm algorithm
+    /// qualifies; degree normalization is what makes the sum-norm
+    /// family unsound here in the first place). A custom max-norm
+    /// gather that reads its `neighbor_out_degree` argument couples a
+    /// vertex's fixpoint to edges outside its in-neighborhood, which
+    /// the insert-frontier seeding does not track — such algorithms
+    /// must not be streamed warm.
+    pub fn warm_start_is_sound(&self) -> bool {
+        match self.mode {
+            // Enforced through the trait hook, not inferred from the
+            // identity value: a non-idempotent ⊕ defaults to `false`
+            // and restarts safely.
+            Mode::Delta(_) => self
+                .delta
+                .as_ref()
+                .is_some_and(|a| a.combine_is_idempotent()),
+            _ => self
+                .gather
+                .as_ref()
+                .is_some_and(|a| a.norm() == ConvergenceNorm::Max),
+        }
+    }
+
+    fn algorithm_ref(&self) -> AlgorithmRef<'_> {
+        match self.mode {
+            Mode::Delta(_) => {
+                AlgorithmRef::Delta(self.delta.as_deref().expect("validated by build()"))
+            }
+            _ => AlgorithmRef::Gather(self.gather.as_deref().expect("validated by build()")),
+        }
+    }
+
+    /// The algorithm's initial state for `v` on the current graph.
+    fn init_state_of(&self, v: VertexId) -> f64 {
+        match self.mode {
+            Mode::Delta(_) => self
+                .delta
+                .as_ref()
+                .expect("validated by build()")
+                .init_state(&self.graph, v),
+            _ => self
+                .gather
+                .as_ref()
+                .expect("validated by build()")
+                .init(&self.graph, v),
+        }
+    }
+
+    /// The set of vertices whose converged state is invalidated by the
+    /// batch's deletions — KickStarter-style support trimming instead of
+    /// a blunt downstream-reachability sweep.
+    ///
+    /// A vertex keeps its state when it is *supported*: either the
+    /// state equals the algorithm's intrinsic value for the vertex (the
+    /// source term / `init`), or some surviving in-edge from an
+    /// unaffected, strictly-closer-to-the-root neighbor offers exactly
+    /// the same value. The strictness requirement (neighbor state
+    /// strictly below for decreasing algorithms, strictly above for
+    /// increasing ones) makes support chains well-founded, so cyclic
+    /// self-support — two stale CC labels justifying each other — cannot
+    /// keep an invalidated value alive. Everything that loses
+    /// certifiable support cascades.
+    ///
+    /// Precision depends on the algorithm's value structure: where
+    /// candidates strictly progress along edges (SSSP/BFS with positive
+    /// weights) surviving witnesses are recognized and deletions stay
+    /// surgical; where converged values are *equal* across a region
+    /// (CC's per-component labels) strict support can never be
+    /// certified, so a deletion conservatively resets the forward
+    /// reach of its head within that region even when an alternate
+    /// path survives — correct, just cold-run-priced for that batch.
+    /// (KickStarter buys back that precision with per-vertex dependence
+    /// levels; a future PR could add them.)
+    fn affected_by_deletions(&self, seeds: &[VertexId]) -> Vec<VertexId> {
+        if seeds.is_empty() {
+            return Vec::new();
+        }
+        let g = &self.graph;
+        let states = &self.states;
+        let n = g.num_vertices();
+
+        // Per-family hooks: the value a single settled in-edge offers,
+        // the vertex's intrinsic value, and the strict progress order.
+        let candidate: Box<dyn Fn(VertexId, VertexId, f64, f64) -> f64> = match self.mode {
+            Mode::Delta(_) => {
+                let alg = self.delta.as_deref().expect("validated by build()");
+                Box::new(move |x, v, w, sx| alg.propagate(g, x, v, w, sx))
+            }
+            _ => {
+                let alg = self.gather.as_deref().expect("validated by build()");
+                Box::new(move |x, _v, w, sx| {
+                    alg.gather(alg.gather_identity(), sx, w, g.out_degree(x))
+                })
+            }
+        };
+        let intrinsic: Box<dyn Fn(VertexId) -> f64> = match self.mode {
+            Mode::Delta(_) => {
+                let alg = self.delta.as_deref().expect("validated by build()");
+                Box::new(move |v| alg.combine(alg.init_state(g, v), alg.init_delta(g, v)))
+            }
+            _ => {
+                let alg = self.gather.as_deref().expect("validated by build()");
+                Box::new(move |v| alg.init(g, v))
+            }
+        };
+        let decreasing = match self.mode {
+            // Min-style delta algorithms start at `+inf` and come down.
+            Mode::Delta(_) => self
+                .delta
+                .as_deref()
+                .expect("validated by build()")
+                .identity()
+                .is_sign_positive(),
+            _ => {
+                self.gather
+                    .as_deref()
+                    .expect("validated by build()")
+                    .monotonicity()
+                    == crate::algorithm::Monotonicity::Decreasing
+            }
+        };
+        let strictly_closer = |sx: f64, sv: f64| if decreasing { sx < sv } else { sx > sv };
+
+        let mut affected = vec![false; n];
+        let mut queued = vec![false; n];
+        let mut queue: std::collections::VecDeque<VertexId> = std::collections::VecDeque::new();
+        for &s in seeds {
+            if (s as usize) < n && !queued[s as usize] {
+                queued[s as usize] = true;
+                queue.push_back(s);
+            }
+        }
+        let mut out = Vec::new();
+        while let Some(v) = queue.pop_front() {
+            queued[v as usize] = false;
+            if affected[v as usize] {
+                continue;
+            }
+            let sv = states[v as usize];
+            let same = |a: f64, b: f64| {
+                a == b || (a.is_infinite() && b.is_infinite() && a.signum() == b.signum())
+            };
+            let supported = same(intrinsic(v), sv)
+                || g.in_edges(v).any(|(x, w)| {
+                    !affected[x as usize]
+                        && strictly_closer(states[x as usize], sv)
+                        && same(candidate(x, v, w, states[x as usize]), sv)
+                });
+            if !supported {
+                affected[v as usize] = true;
+                out.push(v);
+                // Everything this vertex may have been supporting needs
+                // a recheck.
+                for &w in g.out_neighbors(v) {
+                    if !affected[w as usize] && !queued[w as usize] {
+                        queued[w as usize] = true;
+                        queue.push_back(w);
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Records a finished execution into the pipeline's running state
+    /// and packages it as a [`PipelineResult`].
+    fn absorb(
+        &mut self,
+        stats: crate::convergence::RunStats,
+        reorder_time: Duration,
+        execute_time: Duration,
+    ) -> PipelineResult {
+        self.states.clone_from(&stats.final_states);
+        self.total_rounds += stats.rounds;
+        let result = PipelineResult {
+            order: self.order.clone(),
+            relabeled: None,
+            stats,
+            timings: StageTimings {
+                reorder: reorder_time,
+                relabel: Duration::ZERO,
+                execute: execute_time,
+            },
+        };
+        self.last = Some(result.clone());
+        result
+    }
+}
+
+/// Splits `items` into at most `target` non-empty, order-preserving
+/// chunks — the helper for turning an update stream into an
+/// [`StreamingPipeline::apply_batch`] schedule. Sizes by `div_ceil`, so
+/// when `items.len() < target` it returns fewer (never empty) batches,
+/// and an empty input yields an empty schedule.
+pub fn split_batches<T: Clone>(items: &[T], target: usize) -> Vec<Vec<T>> {
+    if items.is_empty() {
+        return Vec::new();
+    }
+    let size = items.len().div_ceil(target.max(1));
+    items.chunks(size).map(<[T]>::to_vec).collect()
+}
+
+impl std::fmt::Debug for StreamingPipeline {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("StreamingPipeline")
+            .field("vertices", &self.graph.num_vertices())
+            .field("edges", &self.graph.num_edges())
+            .field("mode", &self.mode)
+            .field("batches_applied", &self.batches_applied)
+            .field("total_rounds", &self.total_rounds)
+            .field("full_reorders", &self.full_reorders)
+            .field("positive_fraction", &self.inc.positive_fraction())
+            .field("baseline_fraction", &self.baseline_fraction)
+            .field("drift_threshold", &self.drift_threshold)
+            .finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algorithms::{Bfs, ConnectedComponents, PageRank, Sssp};
+    use crate::delta::{DeltaPageRank, DeltaSchedule, DeltaSssp};
+    use crate::pipeline::Pipeline;
+    use gograph_graph::generators::regular::chain;
+    use gograph_graph::generators::{planted_partition, shuffle_labels, PlantedPartitionConfig};
+
+    fn seed_graph() -> CsrGraph {
+        shuffle_labels(
+            &planted_partition(PlantedPartitionConfig {
+                num_vertices: 120,
+                num_edges: 700,
+                communities: 4,
+                p_intra: 0.8,
+                gamma: 2.4,
+                seed: 77,
+            }),
+            5,
+        )
+    }
+
+    #[test]
+    fn bootstrap_matches_cold_pipeline() {
+        let g = seed_graph();
+        let sp = StreamingPipeline::over(&g)
+            .algorithm(Sssp::new(0))
+            .build()
+            .unwrap();
+        let cold = Pipeline::on(&g)
+            .order(sp.order().clone())
+            .algorithm(Sssp::new(0))
+            .execute()
+            .unwrap();
+        assert_eq!(sp.states(), &cold.stats.final_states[..]);
+        assert_eq!(sp.full_reorders(), 1);
+        assert_eq!(sp.batches_applied(), 0);
+        assert!(sp.total_rounds() > 0);
+    }
+
+    #[test]
+    fn insert_only_batch_warm_start_is_exact() {
+        let g = chain(60);
+        let mut sp = StreamingPipeline::over(&g)
+            .algorithm(Sssp::new(0))
+            .build()
+            .unwrap();
+        let r = sp.apply_batch(&[EdgeUpdate::insert(0, 30)]).unwrap();
+        assert!(r.stats.converged);
+        // Distances past the shortcut drop to hop-count via it.
+        assert_eq!(sp.states()[30], 1.0);
+        assert_eq!(sp.states()[59], 30.0);
+        // Early chain is untouched.
+        assert_eq!(sp.states()[10], 10.0);
+    }
+
+    #[test]
+    fn deletion_resets_downstream_and_reconverges() {
+        let g = chain(40);
+        let mut sp = StreamingPipeline::over(&g)
+            .algorithm(Bfs::new(0))
+            .build()
+            .unwrap();
+        // Cutting the chain at 19 -> 20 strands the tail at infinity.
+        let r = sp.apply_batch(&[EdgeUpdate::remove(19, 20)]).unwrap();
+        assert!(r.stats.converged);
+        assert_eq!(sp.states()[19], 19.0);
+        assert!(sp.states()[20].is_infinite());
+        assert!(sp.states()[39].is_infinite());
+        // Reconnecting through a shortcut heals the tail.
+        let r = sp.apply_batch(&[EdgeUpdate::insert(5, 20)]).unwrap();
+        assert!(r.stats.converged);
+        assert_eq!(sp.states()[20], 6.0);
+        assert_eq!(sp.states()[39], 25.0);
+    }
+
+    #[test]
+    fn sum_norm_algorithms_restart_but_stay_correct() {
+        let g = seed_graph();
+        let mut sp = StreamingPipeline::over(&g)
+            .algorithm(PageRank::default())
+            .build()
+            .unwrap();
+        assert!(!sp.warm_start_is_sound());
+        let updates = [
+            EdgeUpdate::insert(3, 99),
+            EdgeUpdate::insert(99, 3),
+            EdgeUpdate::remove(0, 1),
+        ];
+        let r = sp.apply_batch(&updates).unwrap();
+        assert!(r.stats.converged);
+        let cold = Pipeline::on(sp.graph())
+            .order(sp.order().clone())
+            .algorithm(PageRank::default())
+            .execute()
+            .unwrap();
+        assert_eq!(sp.states(), &cold.stats.final_states[..]);
+    }
+
+    #[test]
+    fn worklist_mode_seeds_only_the_frontier() {
+        let g = chain(200);
+        let mut sp = StreamingPipeline::over(&g)
+            .mode(Mode::Worklist)
+            .algorithm(Sssp::new(0))
+            .build()
+            .unwrap();
+        let bootstrap_evals = sp.last_result().stats.evaluations.unwrap();
+        let r = sp.apply_batch(&[EdgeUpdate::insert(0, 190)]).unwrap();
+        let batch_evals = r.stats.evaluations.unwrap();
+        assert!(r.stats.converged);
+        assert_eq!(sp.states()[190], 1.0);
+        assert_eq!(sp.states()[199], 10.0);
+        assert!(
+            batch_evals < bootstrap_evals / 2,
+            "warm worklist should touch a fraction of the graph: \
+             {batch_evals} vs bootstrap {bootstrap_evals}"
+        );
+    }
+
+    #[test]
+    fn delta_mode_warm_starts_min_style() {
+        let g = chain(80);
+        let mut sp = StreamingPipeline::over(&g)
+            .mode(Mode::Delta(DeltaSchedule::RoundRobin))
+            .delta_algorithm(DeltaSssp { source: 0 })
+            .build()
+            .unwrap();
+        assert!(sp.warm_start_is_sound());
+        let r = sp.apply_batch(&[EdgeUpdate::insert(0, 40)]).unwrap();
+        assert!(r.stats.converged);
+        assert_eq!(sp.states()[40], 1.0);
+        assert_eq!(sp.states()[79], 40.0);
+        assert!(
+            r.stats.rounds <= 3,
+            "warm delta propagation should be local, took {} rounds",
+            r.stats.rounds
+        );
+    }
+
+    #[test]
+    fn delta_sum_style_restarts() {
+        let g = seed_graph();
+        let mut sp = StreamingPipeline::over(&g)
+            .mode(Mode::Delta(DeltaSchedule::RoundRobin))
+            .delta_algorithm(DeltaPageRank::default())
+            .build()
+            .unwrap();
+        assert!(!sp.warm_start_is_sound());
+        let r = sp.apply_batch(&[EdgeUpdate::insert(1, 117)]).unwrap();
+        assert!(r.stats.converged);
+    }
+
+    #[test]
+    fn batches_can_grow_the_vertex_set() {
+        let g = chain(10);
+        let mut sp = StreamingPipeline::over(&g)
+            .algorithm(ConnectedComponents)
+            .build()
+            .unwrap();
+        let r = sp
+            .apply_batch(&[EdgeUpdate::insert(9, 12), EdgeUpdate::insert(12, 11)])
+            .unwrap();
+        assert!(r.stats.converged);
+        assert_eq!(sp.graph().num_vertices(), 13);
+        assert_eq!(sp.order().len(), 13);
+        assert_eq!(sp.states().len(), 13);
+        // All of 0..=12 except the isolated 10 collapse to label 0.
+        assert_eq!(sp.states()[11], 0.0);
+        assert_eq!(sp.states()[12], 0.0);
+        assert_eq!(sp.states()[10], 10.0);
+    }
+
+    #[test]
+    fn drift_threshold_zero_forces_reorders_and_validation_rejects_bad_values() {
+        let g = seed_graph();
+        for bad in [-0.5, f64::NAN, f64::INFINITY] {
+            let err = StreamingPipeline::over(&g)
+                .algorithm(Sssp::new(0))
+                .drift_threshold(bad)
+                .build()
+                .unwrap_err();
+            assert!(matches!(
+                err,
+                EngineError::InvalidParameter {
+                    name: "drift_threshold",
+                    ..
+                }
+            ));
+        }
+        let mut eager = StreamingPipeline::over(&g)
+            .algorithm(Sssp::new(0))
+            .drift_threshold(0.0)
+            .build()
+            .unwrap();
+        let mut lazy = StreamingPipeline::over(&g)
+            .algorithm(Sssp::new(0))
+            .drift_threshold(1.0)
+            .build()
+            .unwrap();
+        // Adversarial arrivals: edges pointing against the current order.
+        for i in 0..8 {
+            let order = eager.order().clone();
+            let late = order.vertex_at(order.len() - 1 - i);
+            let early = order.vertex_at(i);
+            let batch = [EdgeUpdate::insert(late, early)];
+            eager.apply_batch(&batch).unwrap();
+            lazy.apply_batch(&batch).unwrap();
+        }
+        assert_eq!(lazy.full_reorders(), 1, "threshold 1.0 never re-reorders");
+        assert!(
+            eager.full_reorders() >= lazy.full_reorders(),
+            "threshold 0.0 re-reorders at least as often"
+        );
+    }
+
+    #[test]
+    fn missing_or_mismatched_algorithms_are_reported() {
+        let g = chain(5);
+        let err = StreamingPipeline::over(&g).build().unwrap_err();
+        assert!(matches!(err, EngineError::MissingAlgorithm { .. }));
+        let err = StreamingPipeline::over(&g)
+            .mode(Mode::Delta(DeltaSchedule::RoundRobin))
+            .algorithm(Sssp::new(0))
+            .build()
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            EngineError::IncompatibleAlgorithm {
+                provided: "gather",
+                ..
+            }
+        ));
+        let err = StreamingPipeline::over(&g)
+            .delta_algorithm(DeltaSssp { source: 0 })
+            .build()
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            EngineError::IncompatibleAlgorithm {
+                provided: "delta",
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn empty_batch_is_a_cheap_confirmation() {
+        let g = seed_graph();
+        let mut sp = StreamingPipeline::over(&g)
+            .algorithm(Sssp::new(0))
+            .build()
+            .unwrap();
+        let before = sp.states().to_vec();
+        let r = sp.apply_batch(&[]).unwrap();
+        assert!(r.stats.converged);
+        assert_eq!(r.stats.rounds, 1, "already at the fixpoint");
+        assert_eq!(sp.states(), &before[..]);
+    }
+
+    #[test]
+    fn split_batches_is_robust_to_small_inputs() {
+        assert!(split_batches::<u32>(&[], 4).is_empty());
+        // Fewer items than batches: one-element batches, never empty.
+        assert_eq!(split_batches(&[1, 2], 4), vec![vec![1], vec![2]]);
+        // Zero target clamps to one batch.
+        assert_eq!(split_batches(&[1, 2, 3], 0), vec![vec![1, 2, 3]]);
+        // Even split preserves order and covers everything.
+        let batches = split_batches(&[1, 2, 3, 4, 5], 2);
+        assert_eq!(batches, vec![vec![1, 2, 3], vec![4, 5]]);
+    }
+
+    #[test]
+    fn self_loops_are_skipped() {
+        let g = chain(6);
+        let mut sp = StreamingPipeline::over(&g)
+            .algorithm(Sssp::new(0))
+            .build()
+            .unwrap();
+        let r = sp
+            .apply_batch(&[EdgeUpdate::insert(3, 3), EdgeUpdate::remove(2, 2)])
+            .unwrap();
+        assert!(r.stats.converged);
+        assert_eq!(sp.graph().num_edges(), 5);
+        assert!(!sp.graph().has_edge(3, 3));
+    }
+}

@@ -33,10 +33,31 @@ pub fn sync_kernel<A: IterativeAlgorithm + ?Sized>(
     order: &Permutation,
     cfg: &RunConfig,
 ) -> RunStats {
+    let init: Vec<f64> = (0..g.num_vertices() as u32)
+        .map(|v| alg.init(g, v))
+        .collect();
+    sync_kernel_warm(g, alg, order, cfg, init)
+}
+
+/// [`sync_kernel`] started from caller-supplied states instead of
+/// `alg.init` — the warm-start entry the streaming subsystem uses to
+/// resume from a previously converged state.
+///
+/// # Panics
+/// Panics if `states.len() != g.num_vertices()` — callers go through
+/// [`crate::ExecutionStrategy::run_warm`], which validates first.
+pub fn sync_kernel_warm<A: IterativeAlgorithm + ?Sized>(
+    g: &CsrGraph,
+    alg: &A,
+    order: &Permutation,
+    cfg: &RunConfig,
+    states: Vec<f64>,
+) -> RunStats {
     let n = g.num_vertices();
     assert_eq!(order.len(), n, "order length must match vertex count");
+    assert_eq!(states.len(), n, "state length must match vertex count");
     let ctx = GatherContext::new(g);
-    let mut prev: Vec<f64> = (0..n as u32).map(|v| alg.init(g, v)).collect();
+    let mut prev = states;
     let mut next: Vec<f64> = prev.clone();
     let eps = alg.epsilon();
     let start = Instant::now();

@@ -70,10 +70,35 @@ pub fn worklist_kernel<A: IterativeAlgorithm + ?Sized>(
     order: &Permutation,
     cfg: &RunConfig,
 ) -> RunStats {
+    let init: Vec<f64> = (0..g.num_vertices() as u32)
+        .map(|v| alg.init(g, v))
+        .collect();
+    worklist_kernel_warm(g, alg, order, cfg, init, None)
+}
+
+/// [`worklist_kernel`] started from caller-supplied states and an
+/// optional initial frontier — the warm-start entry the streaming
+/// subsystem uses: only the vertices a batch of edge updates actually
+/// touched are seeded as active, and activation spreads from there.
+/// `frontier: None` activates every vertex (the cold behaviour); an
+/// empty frontier converges immediately.
+///
+/// # Panics
+/// Panics if `states.len() != g.num_vertices()` or a frontier vertex is
+/// out of range — callers go through
+/// [`crate::ExecutionStrategy::run_warm`], which validates first.
+pub fn worklist_kernel_warm<A: IterativeAlgorithm + ?Sized>(
+    g: &CsrGraph,
+    alg: &A,
+    order: &Permutation,
+    cfg: &RunConfig,
+    mut states: Vec<f64>,
+    initial_frontier: Option<&[VertexId]>,
+) -> RunStats {
     let n = g.num_vertices();
     assert_eq!(order.len(), n, "order length must match vertex count");
+    assert_eq!(states.len(), n, "state length must match vertex count");
     let ctx = GatherContext::new(g);
-    let mut states: Vec<f64> = (0..n as u32).map(|v| alg.init(g, v)).collect();
     let eps = alg.epsilon();
     let start = Instant::now();
     let mut trace = Vec::new();
@@ -83,8 +108,19 @@ pub fn worklist_kernel<A: IterativeAlgorithm + ?Sized>(
 
     // Active flags + current/next frontier (as positions for in-order
     // processing).
-    let mut active = vec![true; n];
-    let mut frontier: Vec<VertexId> = order.order().to_vec();
+    let mut active = vec![initial_frontier.is_none(); n];
+    let mut frontier: Vec<VertexId> = match initial_frontier {
+        None => order.order().to_vec(),
+        Some(seed) => {
+            let mut f: Vec<VertexId> = seed.to_vec();
+            for &v in &f {
+                active[v as usize] = true;
+            }
+            f.sort_by_key(|&v| order.position(v));
+            f.dedup();
+            f
+        }
+    };
     let mut evaluations = 0usize;
 
     let mut rounds = 0usize;

@@ -7,9 +7,9 @@
 //! which makes `has_edge` a binary search and keeps all downstream
 //! algorithms deterministic.
 
-use crate::builder::GraphBuilder;
+use crate::builder::{csr_from_sorted_edges, GraphBuilder};
 use crate::permutation::Permutation;
-use crate::types::{Direction, Edge, VertexId, Weight};
+use crate::types::{Direction, Edge, EdgeUpdate, VertexId, Weight};
 
 /// A directed, weighted graph in CSR form with both adjacency directions.
 ///
@@ -279,6 +279,82 @@ impl CsrGraph {
         b.build()
     }
 
+    /// Applies a batch of [`EdgeUpdate`]s, producing the updated graph.
+    ///
+    /// Updates are interpreted **sequentially**: a `Remove` followed by
+    /// an `Insert` of the same pair re-adds the edge with the insert's
+    /// weight, while an `Insert` of a surviving edge keeps the smaller of
+    /// the old and new weights (the [`GraphBuilder`] duplicate
+    /// convention, so a batch-updated graph equals a from-scratch build
+    /// of the surviving edge set). Removing an absent edge is a no-op;
+    /// insert endpoints beyond the current vertex count grow the graph.
+    ///
+    /// Unlike rebuilding through [`GraphBuilder`] — which re-sorts the
+    /// whole edge list — this folds the batch into per-pair overrides
+    /// (`O(|U| log |U|)`) and merges them with the already-sorted CSR
+    /// edge stream in one linear pass, so a small batch against a large
+    /// graph costs `O(|V| + |E| + |U| log |U|)` with no global sort.
+    pub fn apply_updates(&self, updates: &[EdgeUpdate]) -> CsrGraph {
+        use std::collections::HashMap;
+        // Fold the batch into the final state of each touched pair:
+        // `Some(w)` = present with weight `w`, `None` = absent.
+        let mut overrides: HashMap<(VertexId, VertexId), Option<Weight>> =
+            HashMap::with_capacity(updates.len());
+        let mut num_vertices = self.num_vertices;
+        for up in updates {
+            match *up {
+                EdgeUpdate::Insert { src, dst, weight } => {
+                    num_vertices = num_vertices.max(src as usize + 1).max(dst as usize + 1);
+                    let existing = if (src as usize) < self.num_vertices {
+                        self.edge_weight(src, dst)
+                    } else {
+                        None
+                    };
+                    let slot = overrides.entry((src, dst)).or_insert(existing);
+                    *slot = Some(match *slot {
+                        Some(w0) => w0.min(weight),
+                        None => weight,
+                    });
+                }
+                EdgeUpdate::Remove { src, dst } => {
+                    overrides.insert((src, dst), None);
+                }
+            }
+        }
+        let mut ov: Vec<((VertexId, VertexId), Option<Weight>)> = overrides.into_iter().collect();
+        ov.sort_unstable_by_key(|&(pair, _)| pair);
+
+        // Merge the (src, dst)-sorted old edge stream with the sorted
+        // overrides; both runs stay sorted, so the output needs no sort.
+        let mut merged: Vec<Edge> = Vec::with_capacity(self.num_edges() + ov.len());
+        let mut oi = 0usize;
+        let emit_override = |merged: &mut Vec<Edge>, i: usize| {
+            let ((src, dst), state) = ov[i];
+            if let Some(w) = state {
+                merged.push(Edge::new(src, dst, w));
+            }
+        };
+        for e in self.edges() {
+            let key = (e.src, e.dst);
+            while oi < ov.len() && ov[oi].0 < key {
+                emit_override(&mut merged, oi);
+                oi += 1;
+            }
+            if oi < ov.len() && ov[oi].0 == key {
+                emit_override(&mut merged, oi);
+                oi += 1;
+            } else {
+                merged.push(e);
+            }
+        }
+        while oi < ov.len() {
+            emit_override(&mut merged, oi);
+            oi += 1;
+        }
+
+        csr_from_sorted_edges(num_vertices, &merged)
+    }
+
     /// Extracts the subgraph induced by `vertices`.
     ///
     /// Returns the subgraph (with vertices relabeled to `0..vertices.len()`
@@ -494,6 +570,90 @@ mod tests {
             assert_eq!(r.out_degree(v), r.out_neighbors(v).len());
         }
         assert_eq!(CsrGraph::empty(3).out_degrees(), &[0, 0, 0]);
+    }
+
+    #[test]
+    fn apply_updates_insert_remove_and_grow() {
+        let g = diamond();
+        let updated = g.apply_updates(&[
+            EdgeUpdate::remove(0, 2),
+            EdgeUpdate::insert_weighted(3, 4, 2.0), // grows to 5 vertices
+            EdgeUpdate::insert(2, 1),
+        ]);
+        assert_eq!(updated.num_vertices(), 5);
+        assert_eq!(updated.num_edges(), 5);
+        assert!(!updated.has_edge(0, 2));
+        assert!(updated.has_edge(2, 1));
+        assert_eq!(updated.edge_weight(3, 4), Some(2.0));
+        // Untouched edges survive with in-adjacency intact.
+        assert_eq!(updated.in_neighbors(3), &[1, 2]);
+        assert_eq!(updated.in_neighbors(4), &[3]);
+    }
+
+    #[test]
+    fn apply_updates_is_sequential_per_pair() {
+        let g = CsrGraph::from_edges(2, [(0u32, 1u32, 5.0f64)]);
+        // Insert of an existing edge keeps the smaller weight...
+        let min_kept = g.apply_updates(&[EdgeUpdate::insert_weighted(0, 1, 9.0)]);
+        assert_eq!(min_kept.edge_weight(0, 1), Some(5.0));
+        // ...but a remove-then-insert re-adds at the new weight.
+        let readded = g.apply_updates(&[
+            EdgeUpdate::remove(0, 1),
+            EdgeUpdate::insert_weighted(0, 1, 9.0),
+        ]);
+        assert_eq!(readded.edge_weight(0, 1), Some(9.0));
+        // Insert-then-remove ends absent; removing a missing edge is a no-op.
+        let gone = g.apply_updates(&[
+            EdgeUpdate::insert_weighted(0, 1, 9.0),
+            EdgeUpdate::remove(0, 1),
+            EdgeUpdate::remove(1, 0),
+        ]);
+        assert_eq!(gone.num_edges(), 0);
+        assert_eq!(gone.num_vertices(), 2);
+    }
+
+    #[test]
+    fn apply_updates_matches_from_scratch_build() {
+        // Batch result must equal a GraphBuilder build of the surviving
+        // edge set — the invariant the streaming subsystem relies on.
+        let g = CsrGraph::from_edges(
+            6,
+            [
+                (0u32, 1u32, 1.0f64),
+                (1, 2, 2.0),
+                (2, 3, 3.0),
+                (3, 4, 4.0),
+                (4, 5, 5.0),
+                (5, 0, 6.0),
+            ],
+        );
+        let updates = [
+            EdgeUpdate::remove(2, 3),
+            EdgeUpdate::insert_weighted(0, 3, 0.5),
+            EdgeUpdate::remove(5, 0),
+            EdgeUpdate::insert_weighted(5, 2, 1.5),
+            EdgeUpdate::insert_weighted(1, 2, 7.0), // duplicate: min wins
+        ];
+        let updated = g.apply_updates(&updates);
+        let mut b = GraphBuilder::with_capacity(6, 6);
+        b.reserve_vertices(6);
+        for e in [
+            (0u32, 1u32, 1.0f64),
+            (1, 2, 2.0),
+            (3, 4, 4.0),
+            (4, 5, 5.0),
+            (0, 3, 0.5),
+            (5, 2, 1.5),
+        ] {
+            b.add_edge(e.0, e.1, e.2);
+        }
+        assert_eq!(updated, b.build());
+    }
+
+    #[test]
+    fn apply_updates_empty_batch_is_identity() {
+        let g = diamond();
+        assert_eq!(g.apply_updates(&[]), g);
     }
 
     #[test]

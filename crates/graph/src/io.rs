@@ -12,6 +12,14 @@ use std::path::Path;
 /// Magic prefix of the binary format.
 const MAGIC: &[u8; 8] = b"GOGRAPH1";
 
+/// Largest vertex count any on-disk graph may declare: ids are
+/// [`VertexId`] (u32), so anything above `u32::MAX + 1` is malformed
+/// and rejected before any allocation is sized from it. (An in-range
+/// but absurd count still costs its offset arrays — like any format
+/// that trusts its header counts — but is bounded at u32 scale; the
+/// edge count, by contrast, is fully validated against the payload.)
+const MAX_VERTICES: u64 = VertexId::MAX as u64 + 1;
+
 /// Parses an edge-list from a reader. Lines starting with `#` or `%` are
 /// comments; each data line is `src dst [weight]`. Vertex ids must fit in
 /// u32; missing weights default to 1.0.
@@ -32,8 +40,14 @@ pub fn read_edge_list<R: Read>(reader: R) -> io::Result<CsrGraph> {
             // The writer records the vertex count in a directive comment so
             // trailing isolated vertices round-trip.
             if let Some(rest) = t.strip_prefix("# vertices ") {
-                if let Ok(n) = rest.trim().parse::<usize>() {
-                    b.reserve_vertices(n);
+                if let Ok(n) = rest.trim().parse::<u64>() {
+                    if n > MAX_VERTICES {
+                        return Err(io::Error::new(
+                            io::ErrorKind::InvalidData,
+                            format!("line {lineno}: vertex count {n} exceeds the u32 id space"),
+                        ));
+                    }
+                    b.reserve_vertices(n as usize);
                 }
             }
             continue;
@@ -125,17 +139,30 @@ pub fn from_binary(mut data: Bytes) -> io::Result<CsrGraph> {
     if &magic != MAGIC {
         return Err(bad("bad magic"));
     }
-    let n = data.get_u64_le() as usize;
-    let m = data.get_u64_le() as usize;
-    if data.remaining() < m * 16 {
+    let n = data.get_u64_le();
+    let m = data.get_u64_le();
+    // Validate the header before trusting it: out-of-id-space vertex
+    // counts and payload-exceeding (or size-overflowing) edge counts
+    // come back as errors instead of panics or aborts.
+    if n > MAX_VERTICES {
+        return Err(bad("vertex count exceeds the u32 id space"));
+    }
+    let edge_bytes = m
+        .checked_mul(16)
+        .ok_or_else(|| bad("edge count overflows the payload size"))?;
+    if (data.remaining() as u64) < edge_bytes {
         return Err(bad("truncated edge section"));
     }
+    let (n, m) = (n as usize, m as usize);
     let mut b = GraphBuilder::with_capacity(n, m);
     b.reserve_vertices(n);
     for _ in 0..m {
         let src = data.get_u32_le();
         let dst = data.get_u32_le();
         let w = data.get_f64_le();
+        if src as usize >= n || dst as usize >= n {
+            return Err(bad("edge endpoint out of declared vertex range"));
+        }
         b.add_edge(src, dst, w);
     }
     Ok(b.build())

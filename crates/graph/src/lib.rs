@@ -29,4 +29,4 @@ pub mod types;
 pub use builder::GraphBuilder;
 pub use csr::CsrGraph;
 pub use permutation::Permutation;
-pub use types::{Direction, Edge, EdgeId, VertexId, Weight};
+pub use types::{Direction, Edge, EdgeId, EdgeUpdate, VertexId, Weight};

@@ -77,6 +77,77 @@ impl Direction {
     }
 }
 
+/// One mutation of an evolving graph's edge set — the unit consumed by
+/// the batch-update paths ([`crate::CsrGraph::apply_updates`] and the
+/// incremental order maintainer in `gograph-core`).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum EdgeUpdate {
+    /// Adds the directed edge `src -> dst`. Inserting an edge that
+    /// already exists keeps the smaller weight (the same convention
+    /// [`crate::GraphBuilder`] applies to duplicate edges).
+    Insert {
+        /// Source vertex.
+        src: VertexId,
+        /// Destination vertex.
+        dst: VertexId,
+        /// Edge weight.
+        weight: Weight,
+    },
+    /// Removes the directed edge `src -> dst`; a no-op when absent.
+    Remove {
+        /// Source vertex.
+        src: VertexId,
+        /// Destination vertex.
+        dst: VertexId,
+    },
+}
+
+impl EdgeUpdate {
+    /// An unweighted (weight = 1.0) insertion.
+    #[inline]
+    pub fn insert(src: VertexId, dst: VertexId) -> Self {
+        EdgeUpdate::Insert {
+            src,
+            dst,
+            weight: 1.0,
+        }
+    }
+
+    /// A weighted insertion.
+    #[inline]
+    pub fn insert_weighted(src: VertexId, dst: VertexId, weight: Weight) -> Self {
+        EdgeUpdate::Insert { src, dst, weight }
+    }
+
+    /// A removal.
+    #[inline]
+    pub fn remove(src: VertexId, dst: VertexId) -> Self {
+        EdgeUpdate::Remove { src, dst }
+    }
+
+    /// The update's source vertex.
+    #[inline]
+    pub fn src(&self) -> VertexId {
+        match *self {
+            EdgeUpdate::Insert { src, .. } | EdgeUpdate::Remove { src, .. } => src,
+        }
+    }
+
+    /// The update's destination vertex.
+    #[inline]
+    pub fn dst(&self) -> VertexId {
+        match *self {
+            EdgeUpdate::Insert { dst, .. } | EdgeUpdate::Remove { dst, .. } => dst,
+        }
+    }
+
+    /// True for [`EdgeUpdate::Insert`].
+    #[inline]
+    pub fn is_insert(&self) -> bool {
+        matches!(self, EdgeUpdate::Insert { .. })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -109,5 +180,16 @@ mod tests {
     fn direction_reversed() {
         assert_eq!(Direction::Out.reversed(), Direction::In);
         assert_eq!(Direction::In.reversed(), Direction::Out);
+    }
+
+    #[test]
+    fn edge_update_accessors() {
+        let i = EdgeUpdate::insert(1, 2);
+        assert_eq!((i.src(), i.dst()), (1, 2));
+        assert!(i.is_insert());
+        assert_eq!(i, EdgeUpdate::insert_weighted(1, 2, 1.0));
+        let r = EdgeUpdate::remove(3, 4);
+        assert_eq!((r.src(), r.dst()), (3, 4));
+        assert!(!r.is_insert());
     }
 }

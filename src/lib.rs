@@ -74,16 +74,19 @@ pub mod prelude {
         run, run_delta_priority, run_delta_round_robin, run_relabeled, run_worklist,
     };
     pub use gograph_engine::{
-        Adsorption, AlgorithmKind, AlgorithmRef, Bfs, ConnectedComponents, DeltaAlgorithm,
-        DeltaAlgorithmKind, DeltaPageRank, DeltaSchedule, DeltaSssp, DynOnly, DynOnlyDelta,
-        EngineError, ExecutionStrategy, GatherContext, IterativeAlgorithm, Katz, Mode, PageRank,
-        Php, Pipeline, PipelineResult, RunConfig, RunStats, Sssp, Sswp, StageTimings,
+        split_batches, Adsorption, AlgorithmKind, AlgorithmRef, Bfs, ConnectedComponents,
+        DeltaAlgorithm, DeltaAlgorithmKind, DeltaPageRank, DeltaSchedule, DeltaSssp, DynOnly,
+        DynOnlyDelta, EngineError, ExecutionStrategy, GatherContext, IterativeAlgorithm, Katz,
+        Mode, PageRank, Php, Pipeline, PipelineResult, RunConfig, RunStats, Sssp, Sswp,
+        StageTimings, StreamingPipeline, WarmStart,
     };
     pub use gograph_graph::generators::{
         barabasi_albert, erdos_renyi, planted_partition, rmat, shuffle_labels, with_random_weights,
         PlantedPartitionConfig, RmatConfig,
     };
-    pub use gograph_graph::{CsrGraph, Direction, Edge, GraphBuilder, Permutation, VertexId};
+    pub use gograph_graph::{
+        CsrGraph, Direction, Edge, EdgeUpdate, GraphBuilder, Permutation, VertexId,
+    };
     pub use gograph_partition::{
         Fennel, Louvain, MetisLike, Partitioner, Partitioning, RabbitPartition,
     };

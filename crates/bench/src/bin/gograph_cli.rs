@@ -3,6 +3,7 @@
 //!
 //! ```text
 //! gograph_cli reorder  <graph.el> --method gograph --out order.txt
+//!                      [--reorder seq|par] [--threads N]
 //! gograph_cli apply    <graph.el> --order order.txt --out reordered.el
 //! gograph_cli metric   <graph.el> [--order order.txt]
 //! gograph_cli run      <graph.el> --algorithm pagerank [--order order.txt]
@@ -15,6 +16,9 @@
 //! Graphs are whitespace edge lists (`src dst [weight]`, `#`/`%`
 //! comments); orders are one vertex id per line. The delta modes accept
 //! only the delta-formulated algorithms (`pagerank`, `sssp`).
+//! `--reorder par` fans the GoGraph conquer phase across `--threads N`
+//! pool workers (default: available parallelism) — output is
+//! bit-identical to `seq`, only faster.
 
 use gograph_core::{metric_report, GoGraph, IncrementalGoGraph};
 use gograph_engine::{
@@ -139,7 +143,40 @@ fn real_main() -> Result<(), String> {
         "reorder" => {
             let path = args.positional.first().ok_or("missing graph path")?;
             let g = load_graph(path)?;
-            let method = method_by_name(args.get("method").unwrap_or("gograph"))?;
+            let method_name = args.get("method").unwrap_or("gograph");
+            let construction = args.get("reorder").unwrap_or("seq");
+            let threads: usize = match args.get("threads") {
+                Some(s) => s
+                    .parse()
+                    .ok()
+                    .filter(|&t| t >= 1)
+                    .ok_or("bad --threads (want an integer >= 1)")?,
+                None => std::thread::available_parallelism()
+                    .map(|n| n.get())
+                    .unwrap_or(1),
+            };
+            let method: Box<dyn Reorderer> = match construction {
+                "seq" => method_by_name(method_name)?,
+                "par" => {
+                    if method_name != "gograph" {
+                        return Err(format!(
+                            "--reorder par is the GoGraph parallel conquer fan-out; \
+                             method {method_name:?} has no parallel construction"
+                        ));
+                    }
+                    Box::new(GoGraph::default().parallelism(threads))
+                }
+                other => return Err(format!("unknown --reorder {other:?} (want seq or par)")),
+            };
+            eprintln!(
+                "# method={} reorder={construction} threads={}",
+                method.name(),
+                if construction == "par" {
+                    threads.to_string()
+                } else {
+                    "1".to_string()
+                },
+            );
             let start = std::time::Instant::now();
             let order = method.reorder(&g);
             let rep = metric_report(&g, &order);

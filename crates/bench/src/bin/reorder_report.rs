@@ -1,0 +1,400 @@
+//! `reorder_report` — the parallel reorder core's recorded evidence
+//! (PR 4).
+//!
+//! Two experiments, one JSON:
+//!
+//! 1. **Construction**: GoGraph reorder construction on the fixed-seed
+//!    RMAT (graph500) scale-17 graph, sequential vs the conquer-phase
+//!    fan-out at 2 and 4 threads ([`GoGraph::parallelism`]),
+//!    interleaved min-of-N wall-clock. Asserts the parallel permutation
+//!    is **bit-identical** to the sequential one (hence
+//!    metric-identical) — CI gates on that equality, never on timing.
+//! 2. **Streaming repair**: the PR 3 fixed-seed 8-batch schedule
+//!    (planted-partition 20k/150k, arrivals + 1-in-31 removals) driven
+//!    at a stress drift threshold, once with partition-scoped repair
+//!    disabled (the PR 3 baseline: every breach pays a full GoGraph
+//!    reorder) and once enabled (dirty partitions get conquer re-runs
+//!    spliced in; full reorder only on escalation). Asserts both
+//!    pipelines converge and end at equal final states, and that
+//!    partition-scoped repair needs **no more** full reorders (strictly
+//!    fewer at standard scale).
+//!
+//! Usage: `reorder_report [OUT.json]` (default `BENCH_PR4.json`);
+//! `GOGRAPH_SCALE=tiny` shrinks both experiments for CI smoke runs.
+
+use gograph_bench::datasets::Scale;
+use gograph_core::{metric, GoGraph};
+use gograph_engine::{split_batches, IterativeAlgorithm, PageRank, Sssp, StreamingPipeline};
+use gograph_graph::generators::rmat::{rmat, RmatConfig};
+use gograph_graph::generators::{
+    planted_partition, shuffle_labels, with_random_weights, PlantedPartitionConfig,
+};
+use gograph_graph::{CsrGraph, Edge, EdgeUpdate};
+use rayon::prelude::*;
+use std::fmt::Write as _;
+use std::time::Instant;
+
+/// What this machine's pool can actually deliver on embarrassingly
+/// parallel pure compute — the ceiling any graph-phase fan-out is
+/// measured against. Reorder construction is memory-bound, so its
+/// scaling sits below this number; readers need both to interpret the
+/// speedup column (a 2-core CI container cannot show a 4-thread win).
+fn compute_scaling_reference(threads: usize) -> f64 {
+    fn burn(x: u64) -> u64 {
+        let mut s = x;
+        for _ in 0..20_000_000 {
+            s = s
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+        }
+        s
+    }
+    let items: Vec<u64> = (0..16).collect();
+    let t = Instant::now();
+    std::hint::black_box(items.iter().map(|&x| burn(x)).collect::<Vec<u64>>());
+    let seq = t.elapsed().as_secs_f64();
+    let t = Instant::now();
+    let par: Vec<u64> = items
+        .par_iter()
+        .map(|&x| burn(x))
+        .with_threads(threads)
+        .collect();
+    std::hint::black_box(par);
+    seq / t.elapsed().as_secs_f64()
+}
+
+/// Best-of-`rounds` wall-clock of one construction, in seconds.
+fn best_of<F: FnMut()>(rounds: usize, mut f: F) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..rounds {
+        let t = Instant::now();
+        f();
+        best = best.min(t.elapsed().as_secs_f64());
+    }
+    best
+}
+
+struct ConstructionRow {
+    threads: usize,
+    seconds: f64,
+    speedup: f64,
+}
+
+/// Experiment 1: sequential vs parallel construction on RMAT.
+fn construction(scale: Scale) -> (CsrGraph, f64, Vec<ConstructionRow>, usize) {
+    let (log2_n, rounds) = match scale {
+        Scale::Tiny => (12, 2),
+        Scale::Standard => (17, 5),
+    };
+    let seed = 42;
+    let g = rmat(RmatConfig::graph500(log2_n, 8, seed));
+    eprintln!(
+        "reorder_report: rmat scale={log2_n} |V|={} |E|={} (seed {seed})",
+        g.num_vertices(),
+        g.num_edges()
+    );
+
+    let reference = GoGraph::default().run(&g);
+    let m_seq = metric(&g, &reference);
+    let thread_counts = [2usize, 4];
+    // Interleaved min-of-N: one sequential + one per-thread-count
+    // construction per round, so drift hits all variants equally.
+    let mut seq_best = f64::INFINITY;
+    let mut par_best = vec![f64::INFINITY; thread_counts.len()];
+    for _ in 0..rounds {
+        seq_best = seq_best.min(best_of(1, || {
+            std::hint::black_box(GoGraph::default().run(&g));
+        }));
+        for (i, &t) in thread_counts.iter().enumerate() {
+            par_best[i] = par_best[i].min(best_of(1, || {
+                std::hint::black_box(GoGraph::default().parallelism(t).run(&g));
+            }));
+        }
+    }
+
+    let mut rows = Vec::new();
+    for (i, &t) in thread_counts.iter().enumerate() {
+        let par_order = GoGraph::default().parallelism(t).run(&g);
+        assert_eq!(
+            par_order, reference,
+            "{t}-thread construction is not bit-identical to sequential"
+        );
+        let m_par = metric(&g, &par_order);
+        assert_eq!(m_par, m_seq, "{t}-thread metric diverged");
+        let speedup = seq_best / par_best[i];
+        eprintln!(
+            "  construction: seq {seq_best:.3}s vs {t} threads {:.3}s -> {speedup:.2}x (M = {m_seq}, identical)",
+            par_best[i]
+        );
+        rows.push(ConstructionRow {
+            threads: t,
+            seconds: par_best[i],
+            speedup,
+        });
+    }
+    (g, seq_best, rows, m_seq)
+}
+
+/// The PR 3 fixed-seed schedule: bootstrap on half the edges, then 8
+/// batches of arrivals with every 31st bootstrap edge departing.
+fn schedule(target: &CsrGraph, num_batches: usize) -> (CsrGraph, Vec<Vec<EdgeUpdate>>) {
+    let edges: Vec<Edge> = target.edges().collect();
+    let cut = edges.len() / 2;
+    let mut b = gograph_graph::GraphBuilder::with_capacity(target.num_vertices(), cut);
+    b.reserve_vertices(target.num_vertices());
+    for e in &edges[..cut] {
+        b.add_edge(e.src, e.dst, e.weight);
+    }
+    let bootstrap = b.build();
+    let arrival_batches = split_batches(&edges[cut..], num_batches);
+    let batches: Vec<Vec<EdgeUpdate>> = arrival_batches
+        .iter()
+        .enumerate()
+        .map(|(i, chunk)| {
+            let mut batch: Vec<EdgeUpdate> = chunk
+                .iter()
+                .map(|e| EdgeUpdate::insert_weighted(e.src, e.dst, e.weight))
+                .collect();
+            batch.extend(
+                edges[..cut]
+                    .iter()
+                    .step_by(31)
+                    .skip(i)
+                    .step_by(arrival_batches.len())
+                    .map(|e| EdgeUpdate::remove(e.src, e.dst)),
+            );
+            batch
+        })
+        .collect();
+    (bootstrap, batches)
+}
+
+struct StreamingRow {
+    algorithm: &'static str,
+    baseline_full_reorders: usize,
+    scoped_full_reorders: usize,
+    scoped_partition_reorders: usize,
+    scoped_repair_attempts: usize,
+    baseline_seconds: f64,
+    scoped_seconds: f64,
+}
+
+/// Experiment 2: full-reorder-only baseline vs partition-scoped repair
+/// on the same schedule, same drift threshold, same algorithm.
+fn streaming_repair<A: IterativeAlgorithm + Clone + 'static>(
+    algorithm: &'static str,
+    alg: A,
+    bootstrap: &CsrGraph,
+    batches: &[Vec<EdgeUpdate>],
+    drift_threshold: f64,
+    tolerance: f64,
+) -> StreamingRow {
+    let run = |scoped: bool| {
+        let mut sp = StreamingPipeline::over(bootstrap)
+            .algorithm(alg.clone())
+            .drift_threshold(drift_threshold)
+            .partition_scoped_reorder(scoped)
+            .reorder_parallelism(if scoped { 2 } else { 1 })
+            .build()
+            .expect("streaming bootstrap");
+        let t = Instant::now();
+        for batch in batches {
+            let r = sp.apply_batch(batch).expect("batch applies");
+            assert!(r.stats.converged, "{algorithm}: batch did not converge");
+        }
+        (sp, t.elapsed().as_secs_f64())
+    };
+    let (baseline, baseline_seconds) = run(false);
+    let (scoped, scoped_seconds) = run(true);
+
+    assert_eq!(
+        baseline.graph(),
+        scoped.graph(),
+        "{algorithm}: update paths diverged"
+    );
+    let mut max_div = 0f64;
+    for (a, b) in baseline.states().iter().zip(scoped.states()) {
+        if a.is_infinite() && b.is_infinite() {
+            continue;
+        }
+        max_div = max_div.max((a - b).abs());
+    }
+    assert!(
+        max_div <= tolerance,
+        "{algorithm}: baseline/scoped final states diverged by {max_div}"
+    );
+    assert!(
+        scoped.full_reorders() <= baseline.full_reorders(),
+        "{algorithm}: partition-scoped repair must not add full reorders \
+         ({} vs baseline {})",
+        scoped.full_reorders(),
+        baseline.full_reorders()
+    );
+    eprintln!(
+        "  streaming {algorithm:9}: full reorders {} -> {} ({} adopted splices of {} repair attempts), \
+         {baseline_seconds:.3}s -> {scoped_seconds:.3}s, max divergence {max_div:.1e}",
+        baseline.full_reorders(),
+        scoped.full_reorders(),
+        scoped.partition_reorders(),
+        scoped.partition_repair_attempts(),
+    );
+    StreamingRow {
+        algorithm,
+        baseline_full_reorders: baseline.full_reorders(),
+        scoped_full_reorders: scoped.full_reorders(),
+        scoped_partition_reorders: scoped.partition_reorders(),
+        scoped_repair_attempts: scoped.partition_repair_attempts(),
+        baseline_seconds,
+        scoped_seconds,
+    }
+}
+
+fn main() {
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_PR4.json".to_string());
+    let scale = Scale::from_env();
+
+    // --- Experiment 1: construction ---
+    let (rmat_graph, seq_seconds, rows, m) = construction(scale);
+
+    // --- Experiment 2: streaming repair ---
+    let (num_vertices, num_edges, communities, num_batches) = match scale {
+        Scale::Tiny => (800, 5_000, 8, 4),
+        Scale::Standard => (20_000, 150_000, 24, 8),
+    };
+    let seed = 42;
+    let drift_threshold = 0.01;
+    let target = with_random_weights(
+        &shuffle_labels(
+            &planted_partition(PlantedPartitionConfig {
+                num_vertices,
+                num_edges,
+                communities,
+                p_intra: 0.85,
+                gamma: 2.4,
+                seed,
+            }),
+            9,
+        ),
+        1.0,
+        4.0,
+        7,
+    );
+    let (bootstrap, batches) = schedule(&target, num_batches);
+    let source = bootstrap
+        .vertices()
+        .max_by_key(|&v| bootstrap.out_degree(v))
+        .unwrap_or(0);
+    eprintln!(
+        "reorder_report: streaming |V|={} |E|={} (seed {seed}), {} batches, drift threshold {drift_threshold}",
+        target.num_vertices(),
+        target.num_edges(),
+        batches.len(),
+    );
+    let streaming_rows = [
+        streaming_repair(
+            "sssp",
+            Sssp::new(source),
+            &bootstrap,
+            &batches,
+            drift_threshold,
+            0.0,
+        ),
+        streaming_repair(
+            "pagerank",
+            PageRank::default(),
+            &bootstrap,
+            &batches,
+            drift_threshold,
+            1e-4,
+        ),
+    ];
+    let baseline_full: usize = streaming_rows
+        .iter()
+        .map(|r| r.baseline_full_reorders)
+        .sum();
+    let scoped_full: usize = streaming_rows.iter().map(|r| r.scoped_full_reorders).sum();
+    let scoped_partition: usize = streaming_rows
+        .iter()
+        .map(|r| r.scoped_partition_reorders)
+        .sum();
+    let scoped_attempts: usize = streaming_rows
+        .iter()
+        .map(|r| r.scoped_repair_attempts)
+        .sum();
+    if matches!(scale, Scale::Standard) {
+        assert!(
+            scoped_full < baseline_full,
+            "partition-scoped repair must replace full reorders at standard scale: \
+             {scoped_full} vs baseline {baseline_full}"
+        );
+    }
+
+    // --- JSON ---
+    let mut json = String::new();
+    let hardware_threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    writeln!(json, "{{").unwrap();
+    writeln!(json, "  \"report\": \"reorder_report\",").unwrap();
+    writeln!(json, "  \"pr\": 4,").unwrap();
+    writeln!(
+        json,
+        "  \"hardware\": {{\"available_parallelism\": {hardware_threads}, \"compute_scaling_at_2_threads\": {:.3}, \"compute_scaling_at_4_threads\": {:.3}, \"note\": \"pure-compute pool ceiling; memory-bound reorder phases scale below it, and thread counts past the core count cannot help\"}},",
+        compute_scaling_reference(2),
+        compute_scaling_reference(4),
+    )
+    .unwrap();
+    writeln!(
+        json,
+        "  \"construction\": {{\"generator\": \"rmat-graph500\", \"vertices\": {}, \"edges\": {}, \"seed\": 42, \"metric\": {m}, \"sequential_seconds\": {seq_seconds:.6}, \"parallel\": [",
+        rmat_graph.num_vertices(),
+        rmat_graph.num_edges(),
+    )
+    .unwrap();
+    for (i, r) in rows.iter().enumerate() {
+        writeln!(
+            json,
+            "    {{\"threads\": {}, \"seconds\": {:.6}, \"speedup\": {:.3}, \"bit_identical_to_sequential\": true}}{}",
+            r.threads,
+            r.seconds,
+            r.speedup,
+            if i + 1 == rows.len() { "" } else { "," },
+        )
+        .unwrap();
+    }
+    writeln!(json, "  ]}},").unwrap();
+    writeln!(
+        json,
+        "  \"streaming\": {{\"generator\": \"planted-partition-shuffled-weighted\", \"vertices\": {}, \"edges\": {}, \"seed\": {seed}, \"batches\": {}, \"drift_threshold\": {drift_threshold}, \"baseline\": \"full reorder on every drift breach (PR 3 behaviour)\", \"scoped\": \"partition-scoped conquer re-runs, full reorder only on escalation\", \"results\": [",
+        target.num_vertices(),
+        target.num_edges(),
+        batches.len(),
+    )
+    .unwrap();
+    for (i, r) in streaming_rows.iter().enumerate() {
+        writeln!(
+            json,
+            "    {{\"algorithm\": \"{}\", \"baseline_full_reorders\": {}, \"scoped_full_reorders\": {}, \"scoped_partition_reorders\": {}, \"scoped_repair_attempts\": {}, \"baseline_seconds\": {:.6}, \"scoped_seconds\": {:.6}, \"equal_final_states\": true}}{}",
+            r.algorithm,
+            r.baseline_full_reorders,
+            r.scoped_full_reorders,
+            r.scoped_partition_reorders,
+            r.scoped_repair_attempts,
+            r.baseline_seconds,
+            r.scoped_seconds,
+            if i + 1 == streaming_rows.len() { "" } else { "," },
+        )
+        .unwrap();
+    }
+    writeln!(json, "  ]}},").unwrap();
+    writeln!(
+        json,
+        "  \"totals\": {{\"baseline_full_reorders\": {baseline_full}, \"scoped_full_reorders\": {scoped_full}, \"scoped_partition_reorders\": {scoped_partition}, \"scoped_repair_attempts\": {scoped_attempts}}}"
+    )
+    .unwrap();
+    writeln!(json, "}}").unwrap();
+    std::fs::write(&out_path, json).expect("write report");
+    eprintln!("reorder_report: wrote {out_path}");
+}

@@ -15,6 +15,7 @@
 
 use crate::hubs::extract_hubs;
 use crate::insertion::{InsertionOrder, NeighborLink};
+use crate::partitioned::{PartitionedOrder, UNPARTITIONED};
 use crate::supergraph::SuperGraph;
 use gograph_graph::traversal::bfs_order_undirected_full;
 use gograph_graph::{CsrGraph, Permutation, VertexId};
@@ -23,6 +24,7 @@ use gograph_partition::{
     Partitioning, RabbitPartition,
 };
 use gograph_reorder::Reorderer;
+use rayon::prelude::*;
 
 /// The divide-phase partitioner (paper Fig. 13 evaluates these choices).
 #[derive(Debug, Clone, Copy)]
@@ -58,9 +60,13 @@ impl PartitionerChoice {
         }
     }
 
-    fn partition(&self, g: &CsrGraph) -> Partitioning {
+    /// Partitions `g`, fanning parallelizable construction (currently
+    /// Rabbit's undirected-view build) across `threads` workers. Every
+    /// partitioner's *aggregation* is sequential, so the result is
+    /// identical at any thread count.
+    fn partition_with_threads(&self, g: &CsrGraph, threads: usize) -> Partitioning {
         match self {
-            PartitionerChoice::Rabbit(p) => p.partition(g),
+            PartitionerChoice::Rabbit(p) => p.run_with_threads(g, threads),
             PartitionerChoice::Louvain(p) => p.partition(g),
             PartitionerChoice::Metis(p) => p.partition(g),
             PartitionerChoice::Fennel(p) => p.partition(g),
@@ -108,68 +114,106 @@ impl GoGraph {
         }
     }
 
+    /// Fans the conquer phase out across `threads` workers of the shared
+    /// rayon pool. `1` keeps everything on the calling thread; the
+    /// parallel output is **bit-identical** to sequential for a fixed
+    /// partitioning (see [`ParallelGoGraph`]).
+    pub fn parallelism(self, threads: usize) -> ParallelGoGraph {
+        ParallelGoGraph {
+            base: self,
+            threads: threads.max(1),
+        }
+    }
+
     /// Runs the full pipeline, returning the processing order.
     pub fn run(&self, g: &CsrGraph) -> Permutation {
+        self.run_with_threads(g, 1).into_order()
+    }
+
+    /// Runs the full pipeline, returning the order *with* its partition
+    /// structure — rank ranges and per-partition metric contributions —
+    /// for streaming consumers that maintain the order incrementally
+    /// (see [`PartitionedOrder`]).
+    pub fn run_partitioned(&self, g: &CsrGraph) -> PartitionedOrder {
+        self.run_with_threads(g, 1)
+    }
+
+    /// The shared implementation behind [`GoGraph::run`],
+    /// [`GoGraph::run_partitioned`] and [`ParallelGoGraph`].
+    fn run_with_threads(&self, g: &CsrGraph, threads: usize) -> PartitionedOrder {
         let n = g.num_vertices();
         if n == 0 {
-            return Permutation::identity(0);
+            return PartitionedOrder::new(
+                g,
+                Permutation::identity(0),
+                Vec::new(),
+                Vec::new(),
+                Vec::new(),
+            );
         }
 
         // --- Phase 1: extract hubs & isolated ---
         let ex = extract_hubs(g, self.hub_fraction);
 
         // --- Phase 2: divide the remainder ---
-        let (resid, to_global) = g.induced_subgraph(&ex.remaining);
+        let (resid, to_global) = g.induced_subgraph_with_threads(&ex.remaining, threads);
         let r = resid.num_vertices();
-        let parts = self.partitioner.partition(&resid);
+        let parts = self.partitioner.partition_with_threads(&resid, threads);
         debug_assert_eq!(parts.num_vertices(), r);
 
         // --- Phase 3: conquer (order within each subgraph) ---
-        // local val per residual vertex
-        let mut local_val = vec![0.0f64; r];
-        for members in parts.members() {
-            if members.is_empty() {
-                continue;
-            }
-            order_subgraph(&resid, &members, &mut local_val);
-        }
+        // Each subgraph's greedy insertion is independent of every
+        // other's, so the fan-out is embarrassingly parallel; results
+        // are merged back by partition index, which makes the output
+        // independent of execution interleaving.
+        let members = parts.members();
+        let ordered = conquer(&resid, &members, threads);
 
         // --- Phase 4: combine (order subgraphs, decompress) ---
         let k = parts.num_parts();
-        let sg = SuperGraph::build(&resid, parts.assignment(), k);
+        let sg = SuperGraph::build_with_threads(&resid, parts.assignment(), k, threads);
         let super_order = order_supers(&sg);
 
         // Decompress: concatenate subgraphs in super order, vertices
-        // within a subgraph by local val (ties by id). The concatenation
+        // within a subgraph in their conquer order. The concatenation
         // index becomes the global val, realizing Algorithm 1's
-        // max-val offsetting without float drift.
-        let members = parts.members();
+        // max-val offsetting without float drift. The walk also records
+        // the partition structure: each partition's residual-rank range
+        // is one contiguous span of this concatenation.
         let mut global = InsertionOrder::new(n);
-        let mut next_val = 0.0f64;
+        let mut part_of_global = vec![UNPARTITIONED; n];
+        let mut final_members: Vec<Vec<VertexId>> = vec![Vec::new(); k];
+        let mut ranges = vec![(0usize, 0usize); k];
+        let mut cursor = 0usize;
         for &s in &super_order {
-            let mut vs: Vec<VertexId> = members[s].clone();
-            vs.sort_by(|&a, &b| {
-                local_val[a as usize]
-                    .partial_cmp(&local_val[b as usize])
-                    .unwrap()
-                    .then(a.cmp(&b))
-            });
-            for v in vs {
-                global.seed(to_global[v as usize] as usize, next_val);
-                next_val += 1.0;
+            let start = cursor;
+            for &v in &ordered[s] {
+                let gv = to_global[v as usize];
+                part_of_global[gv as usize] = s as u32;
+                final_members[s].push(gv);
+                global.seed(gv as usize, cursor as f64);
+                cursor += 1;
             }
+            ranges[s] = (start, cursor);
         }
 
         // --- Phase 5: insert hubs, then isolated vertices ---
         // Hubs descending degree (most-constrained first, matching the
-        // extraction order).
-        for &h in &ex.hubs {
-            let links = vertex_links(g, h);
-            global.insert(h as usize, &links);
-        }
-        for &v in &ex.isolated {
-            let links = vertex_links(g, v);
-            global.insert(v as usize, &links);
+        // extraction order). Each insertion's *position scan* depends on
+        // everything placed before it and stays sequential; the link
+        // lists only depend on the graph, so they fan out.
+        let special: Vec<VertexId> = ex.hubs.iter().chain(ex.isolated.iter()).copied().collect();
+        let links: Vec<Vec<NeighborLink>> = if threads > 1 && special.len() > 1 {
+            special
+                .par_iter()
+                .map(|&v| vertex_links(g, v))
+                .with_threads(threads)
+                .collect()
+        } else {
+            special.iter().map(|&v| vertex_links(g, v)).collect()
+        };
+        for (&v, links) in special.iter().zip(&links) {
+            global.insert(v as usize, links);
         }
 
         let order: Vec<VertexId> = global
@@ -177,19 +221,144 @@ impl GoGraph {
             .into_iter()
             .map(|i| i as u32)
             .collect();
-        Permutation::from_order(order)
+        PartitionedOrder::new(
+            g,
+            Permutation::from_order(order),
+            part_of_global,
+            final_members,
+            ranges,
+        )
     }
 }
 
-/// Orders `members` of one subgraph of `resid` by BFS-driven greedy
-/// insertion, writing each member's val into `local_val`.
-fn order_subgraph(resid: &CsrGraph, members: &[VertexId], local_val: &mut [f64]) {
-    let (sub, submap) = resid.induced_subgraph(members);
-    let sn = sub.num_vertices();
-    if sn == 1 {
-        local_val[submap[0] as usize] = 0.0;
-        return;
+/// [`GoGraph`] with its conquer phase fanned out across the shared rayon
+/// worker pool — the paper's observation that subgraphs can be ordered
+/// *independently* (§IV), cashed in as wall-clock speedup.
+///
+/// Subgraphs are packed into `threads` buckets by longest-processing-time
+/// scheduling (degree-mass heaviest first), each bucket runs on one pool
+/// worker, and results are scattered back by partition index before the
+/// sequential combine phase — so for a fixed partitioning the output is
+/// **bit-identical** to [`GoGraph::run`], at any thread count, on every
+/// run.
+///
+/// ```
+/// use gograph_core::GoGraph;
+/// use gograph_graph::generators::{planted_partition, PlantedPartitionConfig};
+///
+/// let g = planted_partition(PlantedPartitionConfig::default());
+/// let seq = GoGraph::default().run(&g);
+/// let par = GoGraph::default().parallelism(4).run(&g);
+/// assert_eq!(seq, par);
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct ParallelGoGraph {
+    /// The underlying configuration.
+    pub base: GoGraph,
+    /// Worker count for the conquer fan-out (1 = sequential).
+    pub threads: usize,
+}
+
+impl Default for ParallelGoGraph {
+    /// Default configuration at the machine's available parallelism.
+    fn default() -> Self {
+        GoGraph::default().parallelism(
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
+        )
     }
+}
+
+impl ParallelGoGraph {
+    /// Runs the pipeline with the configured fan-out.
+    pub fn run(&self, g: &CsrGraph) -> Permutation {
+        self.base.run_with_threads(g, self.threads).into_order()
+    }
+
+    /// Runs the pipeline, keeping the partition structure (the streaming
+    /// layer's drift baseline) — see [`GoGraph::run_partitioned`].
+    pub fn run_partitioned(&self, g: &CsrGraph) -> PartitionedOrder {
+        self.base.run_with_threads(g, self.threads)
+    }
+}
+
+impl Reorderer for ParallelGoGraph {
+    fn name(&self) -> &'static str {
+        "gograph-par"
+    }
+
+    fn reorder(&self, g: &CsrGraph) -> Permutation {
+        self.run(g)
+    }
+}
+
+/// Orders every subgraph of `members`, fanning out across `threads` pool
+/// workers when asked. Returns the per-partition member lists in
+/// within-partition rank order, indexed like `members`.
+fn conquer(resid: &CsrGraph, members: &[Vec<VertexId>], threads: usize) -> Vec<Vec<VertexId>> {
+    let k = members.len();
+    if threads <= 1 || k <= 1 {
+        return members.iter().map(|m| order_members(resid, m)).collect();
+    }
+    // Longest-processing-time bucket packing: heaviest subgraphs (by
+    // incident degree mass, the conquer cost driver) are dealt first,
+    // each to the currently lightest bucket, so contiguous-chunk workers
+    // see balanced work even under power-law partition sizes.
+    let weight = |i: usize| -> usize {
+        members[i]
+            .iter()
+            .map(|&v| resid.out_degree(v) + resid.in_degree(v) + 1)
+            .sum()
+    };
+    let mut by_weight: Vec<(usize, usize)> = (0..k).map(|i| (weight(i), i)).collect();
+    by_weight.sort_by_key(|&(w, i)| (std::cmp::Reverse(w), i));
+    let buckets_n = threads.min(k);
+    let mut totals = vec![0usize; buckets_n];
+    let mut buckets: Vec<Vec<usize>> = vec![Vec::new(); buckets_n];
+    for (w, i) in by_weight {
+        let b = (0..buckets_n).min_by_key(|&b| (totals[b], b)).unwrap();
+        totals[b] += w;
+        buckets[b].push(i);
+    }
+    // One pool job per bucket; scatter back by partition index, so the
+    // merged output is identical to the sequential loop's.
+    let per_bucket: Vec<Vec<(usize, Vec<VertexId>)>> = buckets
+        .par_iter()
+        .map(|jobs| {
+            jobs.iter()
+                .map(|&i| (i, order_members(resid, &members[i])))
+                .collect()
+        })
+        .with_threads(buckets_n)
+        .collect();
+    let mut out = vec![Vec::new(); k];
+    for (i, ordered) in per_bucket.into_iter().flatten() {
+        out[i] = ordered;
+    }
+    out
+}
+
+/// Orders `members` of one subgraph of `g` by BFS-driven greedy
+/// insertion (the paper's conquer phase, §IV-A/§IV-C) and returns them
+/// in the resulting within-subgraph rank order (insertion val ascending,
+/// ties by member id). The input order does not matter — members are
+/// canonicalized to ascending id first, which both makes the tie-break
+/// id-based for every caller and keeps `induced_subgraph` on its
+/// sort-free ascending fast path.
+///
+/// Exposed so the streaming layer can re-run the conquer ordering for a
+/// *single* degraded partition and splice the result back into a
+/// maintained order, instead of paying a full-graph cold reorder.
+pub fn order_members(g: &CsrGraph, members: &[VertexId]) -> Vec<VertexId> {
+    if members.len() <= 1 {
+        return members.to_vec();
+    }
+    let mut ascending: Vec<VertexId> = members.to_vec();
+    ascending.sort_unstable();
+    let members: &[VertexId] = &ascending;
+    let (sub, submap) = g.induced_subgraph(members);
+    let sn = sub.num_vertices();
     // Initial vertex: smallest in-degree (paper §IV-A), ties by id.
     let start = (0..sn as u32)
         .min_by(|&a, &b| sub.in_degree(a).cmp(&sub.in_degree(b)).then(a.cmp(&b)))
@@ -204,9 +373,12 @@ fn order_subgraph(resid: &CsrGraph, members: &[VertexId], local_val: &mut [f64])
         let links = vertex_links(&sub, v);
         order.insert(v as usize, &links);
     }
-    for lv in 0..sn {
-        local_val[submap[lv] as usize] = order.val(lv);
-    }
+    // `submap` is ascending, so local-id ties equal member-id ties.
+    order
+        .sorted_items()
+        .into_iter()
+        .map(|lv| submap[lv])
+        .collect()
 }
 
 /// Orders super-vertices by greedy insertion, heaviest first (total
@@ -222,8 +394,7 @@ fn order_supers(sg: &SuperGraph) -> Vec<usize> {
     });
     let mut order = InsertionOrder::new(k);
     for s in by_weight {
-        let links = sg.links_of(s);
-        order.insert(s, &links);
+        order.insert(s, sg.links_of(s));
     }
     order.sorted_items()
 }
@@ -436,6 +607,70 @@ mod tests {
         let p = GoGraph::default().run(&g);
         p.validate().unwrap();
         assert!(metric(&g, &p) >= 2);
+    }
+
+    #[test]
+    fn parallel_output_is_bit_identical_to_sequential() {
+        for seed in [2u64, 13, 29] {
+            let g = community_graph(seed);
+            let seq = GoGraph::default().run(&g);
+            for threads in [2usize, 4, 8] {
+                let par = GoGraph::default().parallelism(threads).run(&g);
+                assert_eq!(seq, par, "seed {seed}, {threads} threads");
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_reorderer_impl_and_partitioned_surface() {
+        let g = community_graph(21);
+        let par = GoGraph::default().parallelism(3);
+        assert_eq!(par.name(), "gograph-par");
+        let order = par.reorder(&g);
+        order.validate().unwrap();
+        let po = par.run_partitioned(&g);
+        assert_eq!(po.order(), &order);
+        assert_eq!(&order, &GoGraph::default().run(&g));
+        // Degenerate fan-outs still work.
+        assert_eq!(GoGraph::default().parallelism(0).run(&g), order);
+        assert_eq!(
+            GoGraph::default()
+                .parallelism(2)
+                .run(&CsrGraph::empty(0))
+                .len(),
+            0
+        );
+        assert!(ParallelGoGraph::default().threads >= 1);
+    }
+
+    #[test]
+    fn parallel_handles_every_partitioner() {
+        let g = community_graph(31);
+        for c in [
+            PartitionerChoice::Chunk(5),
+            PartitionerChoice::None,
+            PartitionerChoice::Lpa(LabelPropagation::default()),
+        ] {
+            let go = GoGraph {
+                hub_fraction: 0.002,
+                partitioner: c,
+            };
+            assert_eq!(go.run(&g), go.parallelism(4).run(&g), "{}", c.name());
+        }
+    }
+
+    #[test]
+    fn order_members_matches_decompress_rule() {
+        let g = community_graph(17);
+        let members: Vec<VertexId> = (0..50).collect();
+        let ordered = order_members(&g, &members);
+        // Same multiset, deterministic, and stable across calls.
+        let mut sorted = ordered.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, members);
+        assert_eq!(ordered, order_members(&g, &members));
+        assert_eq!(order_members(&g, &[]), Vec::<VertexId>::new());
+        assert_eq!(order_members(&g, &[7]), vec![7]);
     }
 
     #[test]

@@ -13,7 +13,10 @@
 //!   (Algorithm 1, §IV-C),
 //! - [`hubs`] — high-degree / isolated vertex extraction (§IV-A),
 //! - [`supergraph`] — weighted super-vertex graph for the combine phase,
-//! - [`gograph`] — the full pipeline with pluggable partitioner,
+//! - [`gograph`] — the full pipeline with pluggable partitioner, and its
+//!   parallel conquer fan-out ([`ParallelGoGraph`]),
+//! - [`partitioned`] — orders that remember their divide phase
+//!   ([`PartitionedOrder`]), the streaming layer's drift baseline,
 //! - [`theory`] — executable checks of Lemma 2 / Theorem 2.
 //!
 //! ```
@@ -34,13 +37,17 @@ pub mod hubs;
 pub mod incremental;
 pub mod insertion;
 pub mod metric;
+pub mod partitioned;
 pub mod refine;
 pub mod supergraph;
 pub mod theory;
 
-pub use gograph::{GoGraph, PartitionerChoice};
+pub use gograph::{order_members, GoGraph, ParallelGoGraph, PartitionerChoice};
 pub use incremental::IncrementalGoGraph;
 pub use insertion::{InsertOutcome, InsertionOrder, NeighborLink};
 pub use metric::{metric, metric_report, MetricReport};
+pub use partitioned::{
+    partition_contributions, PartitionContribution, PartitionedOrder, UNPARTITIONED,
+};
 pub use refine::{is_adjacent_swap_optimal, refine_adjacent_swaps, RefineResult};
 pub use theory::{check_theorem2, Theorem2Check};

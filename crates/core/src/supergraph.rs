@@ -9,6 +9,7 @@
 
 use crate::insertion::NeighborLink;
 use gograph_graph::CsrGraph;
+use rayon::prelude::*;
 use std::collections::HashMap;
 
 /// Weighted directed graph over super-vertices (subgraphs).
@@ -19,6 +20,10 @@ pub struct SuperGraph {
     out: Vec<Vec<(u32, f64)>>,
     /// `in_[j]` lists `(i, w)`: w directed edges from subgraph i to j.
     in_: Vec<Vec<(u32, f64)>>,
+    /// `links[i]` is the merged per-neighbor [`NeighborLink`] list of `i`,
+    /// precomputed so the combine loop borrows instead of rebuilding a
+    /// `Vec` (and a `HashMap`) on every insertion.
+    links: Vec<Vec<NeighborLink>>,
 }
 
 impl SuperGraph {
@@ -26,17 +31,56 @@ impl SuperGraph {
     /// `part_of` (values must be dense in `0..num_supers`, with
     /// `u32::MAX` marking vertices outside every subgraph, e.g. hubs).
     pub fn build(g: &CsrGraph, part_of: &[u32], num_supers: usize) -> SuperGraph {
+        Self::build_with_threads(g, part_of, num_supers, 1)
+    }
+
+    /// [`SuperGraph::build`] with the cross-edge counting fanned out
+    /// across `threads` pool workers (per-chunk tallies summed — integer
+    /// counts in `f64`, so the merge is exact and the result identical
+    /// at any thread count). Ordering super-vertices afterwards stays
+    /// sequential; only the construction parallelizes.
+    pub fn build_with_threads(
+        g: &CsrGraph,
+        part_of: &[u32],
+        num_supers: usize,
+        threads: usize,
+    ) -> SuperGraph {
         assert_eq!(part_of.len(), g.num_vertices());
-        let mut weights: HashMap<(u32, u32), f64> = HashMap::new();
-        for e in g.edges() {
-            let pi = part_of[e.src as usize];
-            let pj = part_of[e.dst as usize];
-            if pi == u32::MAX || pj == u32::MAX || pi == pj {
-                continue;
+        let tally_range = |vs: &[u32]| -> HashMap<(u32, u32), f64> {
+            let mut weights: HashMap<(u32, u32), f64> = HashMap::new();
+            for &u in vs {
+                let pi = part_of[u as usize];
+                for &v in g.out_neighbors(u) {
+                    let pj = part_of[v as usize];
+                    if pi == u32::MAX || pj == u32::MAX || pi == pj {
+                        continue;
+                    }
+                    debug_assert!((pi as usize) < num_supers && (pj as usize) < num_supers);
+                    *weights.entry((pi, pj)).or_insert(0.0) += 1.0;
+                }
             }
-            debug_assert!((pi as usize) < num_supers && (pj as usize) < num_supers);
-            *weights.entry((pi, pj)).or_insert(0.0) += 1.0;
-        }
+            weights
+        };
+        let n = g.num_vertices() as u32;
+        let weights: HashMap<(u32, u32), f64> = if threads > 1 && n > 1 {
+            let ids: Vec<u32> = (0..n).collect();
+            let chunks: Vec<&[u32]> = ids.chunks((n as usize).div_ceil(threads).max(1)).collect();
+            let maps: Vec<HashMap<(u32, u32), f64>> = chunks
+                .par_iter()
+                .map(|vs| tally_range(vs))
+                .with_threads(threads)
+                .collect();
+            let mut merged: HashMap<(u32, u32), f64> = HashMap::new();
+            for m in maps {
+                for (k, w) in m {
+                    *merged.entry(k).or_insert(0.0) += w;
+                }
+            }
+            merged
+        } else {
+            let ids: Vec<u32> = (0..n).collect();
+            tally_range(&ids)
+        };
         let mut out: Vec<Vec<(u32, f64)>> = vec![Vec::new(); num_supers];
         let mut in_: Vec<Vec<(u32, f64)>> = vec![Vec::new(); num_supers];
         let mut entries: Vec<((u32, u32), f64)> = weights.into_iter().collect();
@@ -45,10 +89,28 @@ impl SuperGraph {
             out[i as usize].push((j, w));
             in_[j as usize].push((i, w));
         }
+        let links = (0..num_supers)
+            .map(|i| {
+                let mut map: HashMap<u32, (f64, f64)> = HashMap::new();
+                for &(j, w) in &in_[i] {
+                    map.entry(j).or_insert((0.0, 0.0)).0 += w;
+                }
+                for &(j, w) in &out[i] {
+                    map.entry(j).or_insert((0.0, 0.0)).1 += w;
+                }
+                let mut links: Vec<NeighborLink> = map
+                    .into_iter()
+                    .map(|(j, (wi, wo))| NeighborLink::new(j as usize, wi, wo))
+                    .collect();
+                links.sort_by_key(|l| l.id);
+                links
+            })
+            .collect();
         SuperGraph {
             num_supers,
             out,
             in_,
+            links,
         }
     }
 
@@ -74,22 +136,13 @@ impl SuperGraph {
             + self.in_[i].iter().map(|&(_, w)| w).sum::<f64>()
     }
 
-    /// Builds the [`NeighborLink`] list of super-vertex `i` for the greedy
-    /// inserter: merges its in- and out-links per neighboring super-vertex.
-    pub fn links_of(&self, i: usize) -> Vec<NeighborLink> {
-        let mut map: HashMap<u32, (f64, f64)> = HashMap::new();
-        for &(j, w) in &self.in_[i] {
-            map.entry(j).or_insert((0.0, 0.0)).0 += w;
-        }
-        for &(j, w) in &self.out[i] {
-            map.entry(j).or_insert((0.0, 0.0)).1 += w;
-        }
-        let mut links: Vec<NeighborLink> = map
-            .into_iter()
-            .map(|(j, (wi, wo))| NeighborLink::new(j as usize, wi, wo))
-            .collect();
-        links.sort_by_key(|l| l.id);
-        links
+    /// The [`NeighborLink`] list of super-vertex `i` for the greedy
+    /// inserter: its in- and out-links merged per neighboring
+    /// super-vertex, ascending by id. Precomputed at
+    /// [`SuperGraph::build`] time, so the combine loop pays no per-call
+    /// allocation.
+    pub fn links_of(&self, i: usize) -> &[NeighborLink] {
+        &self.links[i]
     }
 }
 

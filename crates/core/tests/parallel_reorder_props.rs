@@ -1,0 +1,71 @@
+//! Property tests of the parallel divide-and-conquer reorder core:
+//! fanning the conquer phase across the worker pool must be invisible in
+//! the output. For any random graph and any thread count the parallel
+//! order must be (a) a valid permutation, (b) deterministic across
+//! repeated runs, and (c) identical — hence metric-identical — to the
+//! sequential construction for the same partitioning.
+
+use gograph_core::{metric, GoGraph, PartitionerChoice};
+use gograph_graph::generators::{planted_partition, shuffle_labels, PlantedPartitionConfig};
+use gograph_graph::CsrGraph;
+use gograph_partition::LabelPropagation;
+use proptest::prelude::*;
+
+/// Random community graphs of varying size/density plus a thread count,
+/// covering under- and over-subscription of the 2-or-more-core pool.
+fn arb_case() -> impl Strategy<Value = (CsrGraph, usize)> {
+    (20usize..200, 2usize..8, 1u64..5000, 2usize..9).prop_map(|(n, communities, seed, threads)| {
+        let g = shuffle_labels(
+            &planted_partition(PlantedPartitionConfig {
+                num_vertices: n,
+                num_edges: n * 6,
+                communities,
+                p_intra: 0.8,
+                gamma: 2.4,
+                seed,
+            }),
+            seed ^ 0x9e37,
+        );
+        (g, threads)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn parallel_is_valid_deterministic_and_equal_to_sequential(
+        (g, threads) in arb_case()
+    ) {
+        let seq = GoGraph::default().run(&g);
+        let par = GoGraph::default().parallelism(threads);
+        let a = par.run(&g);
+
+        // (a) valid permutation over all vertices
+        prop_assert!(a.validate().is_ok(), "invalid: {:?}", a.validate());
+        prop_assert_eq!(a.len(), g.num_vertices());
+
+        // (b) deterministic across runs (same config, same pool)
+        let b = par.run(&g);
+        prop_assert_eq!(&a, &b, "parallel run is nondeterministic");
+
+        // (c) identical to sequential for the same partitioning —
+        // strictly stronger than metric-identical, which follows.
+        prop_assert_eq!(&a, &seq, "parallel != sequential");
+        prop_assert_eq!(metric(&g, &a), metric(&g, &seq));
+    }
+
+    #[test]
+    fn parallel_matches_sequential_under_other_partitioners(
+        (g, threads) in arb_case()
+    ) {
+        for p in [
+            PartitionerChoice::Chunk(4),
+            PartitionerChoice::Lpa(LabelPropagation::default()),
+            PartitionerChoice::None,
+        ] {
+            let go = GoGraph { hub_fraction: 0.002, partitioner: p };
+            prop_assert_eq!(go.run(&g), go.parallelism(threads).run(&g));
+        }
+    }
+}

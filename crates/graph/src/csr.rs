@@ -361,6 +361,23 @@ impl CsrGraph {
     /// in the given order) and the mapping `local -> global` (a copy of
     /// `vertices`).
     pub fn induced_subgraph(&self, vertices: &[VertexId]) -> (CsrGraph, Vec<VertexId>) {
+        self.induced_subgraph_with_threads(vertices, 1)
+    }
+
+    /// [`CsrGraph::induced_subgraph`] with the per-vertex row filtering
+    /// fanned out across `threads` pool workers.
+    ///
+    /// When `vertices` is ascending (every caller inside the GoGraph
+    /// pipeline), relabeling is monotone, so the filtered rows are
+    /// already in `(src, dst)` order and the CSR assembles without the
+    /// builder's `O(|E| log |E|)` sort — sequentially too. Contiguous
+    /// chunks concatenate in input order, so the result is identical at
+    /// any thread count. Unsorted inputs keep the builder path.
+    pub fn induced_subgraph_with_threads(
+        &self,
+        vertices: &[VertexId],
+        threads: usize,
+    ) -> (CsrGraph, Vec<VertexId>) {
         let mut global_to_local = vec![VertexId::MAX; self.num_vertices];
         for (i, &v) in vertices.iter().enumerate() {
             debug_assert!(
@@ -369,19 +386,60 @@ impl CsrGraph {
             );
             global_to_local[v as usize] = i as VertexId;
         }
-        let mut b = GraphBuilder::with_capacity(vertices.len(), 0);
-        for &v in vertices {
-            let lv = global_to_local[v as usize];
-            let (s, e) = self.out_range(v);
-            for i in s..e {
-                let w = self.out_targets[i];
-                let lw = global_to_local[w as usize];
-                if lw != VertexId::MAX {
-                    b.add_edge(lv, lw, self.out_weights[i]);
+        let ascending = vertices.windows(2).all(|w| w[0] < w[1]);
+        if !ascending {
+            let mut b = GraphBuilder::with_capacity(vertices.len(), 0);
+            for &v in vertices {
+                let lv = global_to_local[v as usize];
+                let (s, e) = self.out_range(v);
+                for i in s..e {
+                    let w = self.out_targets[i];
+                    let lw = global_to_local[w as usize];
+                    if lw != VertexId::MAX {
+                        b.add_edge(lv, lw, self.out_weights[i]);
+                    }
                 }
             }
+            return (b.build(), vertices.to_vec());
         }
-        (b.build(), vertices.to_vec())
+
+        let map = &global_to_local;
+        let filter_rows = |chunk: &[VertexId]| -> Vec<Edge> {
+            let mut edges = Vec::new();
+            for &v in chunk {
+                let lv = map[v as usize];
+                let (s, e) = self.out_range(v);
+                for i in s..e {
+                    let lw = map[self.out_targets[i] as usize];
+                    if lw != VertexId::MAX {
+                        edges.push(Edge {
+                            src: lv,
+                            dst: lw,
+                            weight: self.out_weights[i],
+                        });
+                    }
+                }
+            }
+            edges
+        };
+        let edges: Vec<Edge> = if threads > 1 && vertices.len() > 1 {
+            use rayon::prelude::*;
+            let chunks: Vec<&[VertexId]> = vertices
+                .chunks(vertices.len().div_ceil(threads).max(1))
+                .collect();
+            let per_chunk: Vec<Vec<Edge>> = chunks
+                .par_iter()
+                .map(|c| filter_rows(c))
+                .with_threads(threads)
+                .collect();
+            per_chunk.into_iter().flatten().collect()
+        } else {
+            filter_rows(vertices)
+        };
+        (
+            csr_from_sorted_edges(vertices.len(), &edges),
+            vertices.to_vec(),
+        )
     }
 
     /// Total heap bytes used by the CSR arrays (for Fig. 11 accounting).

@@ -77,11 +77,20 @@ impl UnionFind {
 impl RabbitPartition {
     /// Runs Rabbit-partition on `g`.
     pub fn run(&self, g: &CsrGraph) -> Partitioning {
+        self.run_with_threads(g, 1)
+    }
+
+    /// Runs Rabbit-partition with the undirected-view construction fanned
+    /// out across `threads` pool workers. The merge sweeps themselves are
+    /// inherently sequential (each union changes the gains later vertices
+    /// see), so they stay on the calling thread — which is what keeps the
+    /// result **identical at every thread count**.
+    pub fn run_with_threads(&self, g: &CsrGraph, threads: usize) -> Partitioning {
         let n = g.num_vertices();
         if n == 0 {
             return Partitioning::single(0);
         }
-        let view = UndirectedView::from_graph(g);
+        let view = UndirectedView::from_graph_with_threads(g, threads);
         let m = view.total_weight();
         if m == 0.0 {
             return Partitioning::singletons(n).compacted();
@@ -93,15 +102,19 @@ impl RabbitPartition {
         };
 
         let mut uf = UnionFind::new(n);
-        let mut comm_degree: Vec<f64> = (0..n as u32).map(|u| view.weighted_degree(u)).collect();
+        // Degrees are cached up front: recomputing the O(deg) sum inside
+        // the sort comparator made the degree sort O(|E| log n) — the
+        // dominant cost of the whole partitioner on large graphs.
+        let degree: Vec<f64> = (0..n as u32).map(|u| view.weighted_degree(u)).collect();
+        let mut comm_degree: Vec<f64> = degree.clone();
         let mut comm_size: Vec<usize> = vec![1; n];
 
         // Ascending-degree scan: low-degree vertices attach to their
         // natural hubs first, mirroring the original's bottom-up merging.
         let mut order: Vec<u32> = (0..n as u32).collect();
         order.sort_by(|&a, &b| {
-            view.weighted_degree(a)
-                .partial_cmp(&view.weighted_degree(b))
+            degree[a as usize]
+                .partial_cmp(&degree[b as usize])
                 .unwrap()
                 .then(a.cmp(&b))
         });

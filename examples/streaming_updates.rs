@@ -1,7 +1,8 @@
 //! Streaming scenario on the evolving-graph subsystem: a social graph
 //! receives batches of edge insertions *and* deletions while a
 //! [`StreamingPipeline`] keeps the processing order (incremental
-//! GoGraph maintenance, drift-triggered full re-reorders) and the
+//! GoGraph maintenance; drift breaches repaired partition by partition,
+//! with full — parallel — re-reorders only on escalation) and the
 //! converged algorithm state (warm-started kernels) alive across
 //! batches. Each batch is compared against the cold alternative — a
 //! fresh full reorder plus a from-scratch engine run on the same graph.
@@ -48,14 +49,16 @@ fn main() {
         .mode(Mode::Async)
         .algorithm(Sssp::new(0))
         .drift_threshold(0.03)
+        .reorder_parallelism(2)
         .build()
         .expect("valid streaming pipeline");
     println!(
-        "bootstrap: {} edges, full reorder + cold SSSP in {:.1} ms ({} rounds, M/|E| = {:.3})",
+        "bootstrap: {} edges, full reorder + cold SSSP in {:.1} ms ({} rounds, M/|E| = {:.3}, {} partitions tracked)",
         bootstrap_cut,
         t0.elapsed().as_secs_f64() * 1e3,
         sp.last_result().stats.rounds,
         sp.positive_fraction(),
+        sp.num_partitions(),
     );
 
     // Batches: the remaining arrivals, split robustly into at most
@@ -104,7 +107,7 @@ fn main() {
         cold_total_rounds += cold.stats.rounds;
 
         println!(
-            "batch {}: {:4} updates in {:7.1} ms, {} rounds warm (M/|E| {:.3}, {} full reorders) \
+            "batch {}: {:4} updates in {:7.1} ms, {} rounds warm (M/|E| {:.3}, {} full + {} partition-scoped reorders) \
              | cold recompute {:7.1} ms, {} rounds",
             i + 1,
             updates.len(),
@@ -112,6 +115,7 @@ fn main() {
             r.stats.rounds,
             sp.positive_fraction(),
             sp.full_reorders(),
+            sp.partition_reorders(),
             cold_ms,
             cold.stats.rounds,
         );

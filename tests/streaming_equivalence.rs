@@ -233,6 +233,59 @@ fn delta_sssp_streaming_matches_cold_recompute() {
 }
 
 #[test]
+fn partition_scoped_reorder_preserves_warm_cold_equivalence() {
+    // PR 4's partition-scoped repair path, driven hard: a hair-trigger
+    // drift threshold makes every schedule breach repeatedly, so dirty
+    // partitions get their conquer ordering re-run and spliced
+    // mid-stream — and the final states must still equal a cold run on
+    // the final graph, exactly (max-norm) or within tolerance (PageRank).
+    fn check_scoped<A: IterativeAlgorithm + Clone + 'static>(
+        alg: A,
+        schedule: &Schedule,
+        tolerance: f64,
+    ) -> usize {
+        let label = format!("{} × {} (partition-scoped)", alg.name(), schedule.name);
+        let mut sp = StreamingPipeline::over(&schedule.bootstrap)
+            .algorithm(alg.clone())
+            .drift_threshold(0.005)
+            .reorder_parallelism(2)
+            .build()
+            .unwrap_or_else(|e| panic!("{label}: bootstrap failed: {e}"));
+        for (i, batch) in schedule.batches.iter().enumerate() {
+            let r = sp
+                .apply_batch(batch)
+                .unwrap_or_else(|e| panic!("{label}: batch {i} failed: {e}"));
+            assert!(r.stats.converged, "{label}: batch {i} did not converge");
+        }
+        assert_eq!(sp.graph(), &schedule.final_graph, "{label}: CSR diverged");
+        let cold = Pipeline::on(&schedule.final_graph)
+            .order(sp.order().clone())
+            .algorithm(alg)
+            .execute()
+            .unwrap_or_else(|e| panic!("{label}: cold run failed: {e}"));
+        for (v, (warm, gold)) in sp.states().iter().zip(&cold.stats.final_states).enumerate() {
+            let same_inf = warm.is_infinite() && gold.is_infinite();
+            assert!(
+                same_inf || (warm - gold).abs() <= tolerance,
+                "{label}: vertex {v}: warm {warm} vs cold {gold}"
+            );
+        }
+        sp.partition_repair_attempts()
+    }
+
+    let mut total_repair_attempts = 0;
+    for schedule in [insert_only_schedule(), mixed_schedule()] {
+        total_repair_attempts += check_scoped(Sssp::new(0), &schedule, 0.0);
+        total_repair_attempts += check_scoped(ConnectedComponents, &schedule, 0.0);
+        total_repair_attempts += check_scoped(PageRank::default(), &schedule, 1e-4);
+    }
+    assert!(
+        total_repair_attempts > 0,
+        "the hair-trigger threshold must actually exercise partition-scoped repair"
+    );
+}
+
+#[test]
 fn warm_start_beats_cold_recompute_on_total_rounds() {
     // The quantity BENCH_PR3.json records, pinned deterministically:
     // across the insert-only schedule, the warm-started batches must

@@ -80,6 +80,11 @@ impl Latch {
 
 struct Pool {
     shared: Arc<PoolShared>,
+    /// Workers spawned so far; grows on demand via [`Pool::ensure_workers`]
+    /// when a caller requests more parallelism than the initial
+    /// `available_parallelism` sizing (oversubscription is allowed — idle
+    /// workers park on the condvar and cost nothing).
+    workers: Mutex<usize>,
 }
 
 thread_local! {
@@ -95,10 +100,23 @@ impl Pool {
             queue: Mutex::new(VecDeque::new()),
             work_ready: Condvar::new(),
         });
-        for i in 0..workers {
-            let shared = Arc::clone(&shared);
+        let pool = Pool {
+            shared,
+            workers: Mutex::new(0),
+        };
+        pool.ensure_workers(workers);
+        pool
+    }
+
+    /// Grows the pool to at least `target` workers. Existing workers are
+    /// never torn down; requests beyond the current count spawn the
+    /// difference.
+    fn ensure_workers(&self, target: usize) {
+        let mut count = self.workers.lock().unwrap();
+        while *count < target {
+            let shared = Arc::clone(&self.shared);
             std::thread::Builder::new()
-                .name(format!("rayon-shim-{i}"))
+                .name(format!("rayon-shim-{count}"))
                 .spawn(move || {
                     IS_POOL_WORKER.with(|w| w.set(true));
                     loop {
@@ -115,8 +133,8 @@ impl Pool {
                     }
                 })
                 .expect("failed to spawn rayon-shim worker");
+            *count += 1;
         }
-        Pool { shared }
     }
 
     /// Runs `jobs` on the pool and returns once all of them finished.
@@ -164,6 +182,16 @@ fn global_pool() -> &'static Pool {
     })
 }
 
+/// Grows the shared worker pool to at least `n` threads (no-op when it is
+/// already that large). Upstream rayon sizes pools through
+/// `ThreadPoolBuilder::num_threads`; this shim exposes the same knob as a
+/// one-way ratchet on the global pool so callers like
+/// `GoGraph::parallelism(n)` can honor an explicit thread request even
+/// beyond `available_parallelism` (extra workers just park when idle).
+pub fn ensure_pool_workers(n: usize) {
+    global_pool().ensure_workers(n);
+}
+
 // ---------------------------------------------------------------------
 // Parallel iterator facade.
 // ---------------------------------------------------------------------
@@ -206,6 +234,7 @@ impl<'a, T: Sync> ParIter<'a, T> {
         ParMap {
             items: self.items,
             f,
+            threads: None,
         }
     }
 }
@@ -214,9 +243,21 @@ impl<'a, T: Sync> ParIter<'a, T> {
 pub struct ParMap<'a, T, F> {
     items: &'a [T],
     f: F,
+    /// Explicit fan-out override; `None` falls back to
+    /// `available_parallelism`.
+    threads: Option<usize>,
 }
 
 impl<'a, T: Sync, F> ParMap<'a, T, F> {
+    /// Overrides how many chunks the map fans out into (and grows the
+    /// pool to match). `0` and `1` both mean sequential execution on the
+    /// calling thread. The stand-in for upstream rayon's per-pool
+    /// `num_threads` configuration.
+    pub fn with_threads(mut self, n: usize) -> Self {
+        self.threads = Some(n.max(1));
+        self
+    }
+
     /// Runs the map across the persistent pool and gathers results in
     /// input order.
     pub fn collect<R, C>(self) -> C
@@ -229,7 +270,14 @@ impl<'a, T: Sync, F> ParMap<'a, T, F> {
         if n == 0 {
             return std::iter::empty().collect();
         }
-        let threads = thread_count(n);
+        let threads = match self.threads {
+            Some(t) => {
+                let t = t.min(n);
+                ensure_pool_workers(t);
+                t
+            }
+            None => thread_count(n),
+        };
         if threads == 1 || IS_POOL_WORKER.with(|w| w.get()) {
             // One chunk (or already on a pool worker — running inline
             // avoids self-deadlock): no dispatch overhead at all.
@@ -291,6 +339,20 @@ mod tests {
         let v = vec![1u64, 2, 3];
         let out: Vec<u64> = v.par_iter().map(|x| x + base).collect();
         assert_eq!(out, vec![101, 102, 103]);
+    }
+
+    #[test]
+    fn with_threads_matches_default_and_grows_pool() {
+        let v: Vec<u64> = (0..5_000).collect();
+        let expect: Vec<u64> = v.iter().map(|x| x * 3).collect();
+        for t in [1usize, 2, 4, 8] {
+            let out: Vec<u64> = v.par_iter().map(|x| x * 3).with_threads(t).collect();
+            assert_eq!(out, expect, "fan-out {t} changed results");
+        }
+        // Oversubscription beyond the item count clamps to the items.
+        let tiny = vec![7u64, 9];
+        let out: Vec<u64> = tiny.par_iter().map(|x| *x).with_threads(64).collect();
+        assert_eq!(out, tiny);
     }
 
     #[test]

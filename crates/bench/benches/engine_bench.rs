@@ -31,6 +31,7 @@ fn bench_rounds(c: &mut Criterion) {
     let one_round = RunConfig {
         max_rounds: 1,
         record_trace: false,
+        ..Default::default()
     };
     let relabeled = g.relabeled(&GoGraph::default().run(&g));
 
@@ -104,6 +105,7 @@ fn bench_dispatch(c: &mut Criterion) {
     let one_round = RunConfig {
         max_rounds: 1,
         record_trace: false,
+        ..Default::default()
     };
 
     let mut group = c.benchmark_group("dispatch_mono_vs_dyn_50k");

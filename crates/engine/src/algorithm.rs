@@ -99,6 +99,27 @@ pub trait IterativeAlgorithm: Send + Sync {
     fn uses_edge_weights(&self) -> bool {
         true
     }
+
+    /// Whether the engines may run this algorithm in the **push**
+    /// (scatter) direction: instead of gathering a vertex's full
+    /// in-neighborhood, an active neighbor `u` relaxes each out-edge
+    /// `(u, v)` directly via
+    /// `apply(g, v, x_v, gather(gather_identity(), x_u, w, |OUT(u)|))`.
+    ///
+    /// Returning `true` asserts that `apply` *distributes over the
+    /// gather fold*: for any accumulator values `a`, `b` and state `c`,
+    /// `apply(g, v, c, a ⊕ b) == apply(g, v, apply(g, v, c, a), b)`
+    /// where `⊕` is the commutative, idempotent fold `gather`
+    /// implements (min/max-style selections — SSSP, BFS, CC, SSWP —
+    /// qualify; accumulative folds like PageRank's degree-normalized
+    /// sum do **not**: a partial sum folded through `apply` would be
+    /// double-scaled). Under that contract a sequence of single-edge
+    /// relaxations reaches exactly the fixpoint the pull-direction
+    /// gather reaches. The default `false` keeps every engine in the
+    /// pull direction, which is always sound.
+    fn supports_push(&self) -> bool {
+        false
+    }
 }
 
 /// Convenience: computes the full new state of `v` from scratch using

@@ -61,6 +61,10 @@ impl IterativeAlgorithm for ConnectedComponents {
         0.0
     }
 
+    fn supports_push(&self) -> bool {
+        true // apply is the same min/max selection gather folds with
+    }
+
     fn monomorphized(&self) -> Option<crate::dispatch::AlgorithmKind> {
         Some(crate::dispatch::AlgorithmKind::ConnectedComponents(*self))
     }

@@ -63,6 +63,10 @@ impl IterativeAlgorithm for Sswp {
         0.0
     }
 
+    fn supports_push(&self) -> bool {
+        true // apply is the same min/max selection gather folds with
+    }
+
     fn monomorphized(&self) -> Option<crate::dispatch::AlgorithmKind> {
         Some(crate::dispatch::AlgorithmKind::Sswp(*self))
     }

@@ -8,9 +8,13 @@
 
 use crate::algorithm::IterativeAlgorithm;
 use crate::convergence::{trace_point, DeltaAccumulator, RunStats};
-use crate::dispatch::{dispatch_gather, GatherContext};
+use crate::direction::{
+    activate_per_source, activate_per_target, choose_push, push_mass, DirectionPolicy,
+    PositionScan, DENSE_EVAL_DENOMINATOR, GENERAL_DENSE_DENOMINATOR,
+};
+use crate::dispatch::{dispatch_gather, GatherContext, ScatterContext};
 use crate::runner::RunConfig;
-use gograph_graph::{CsrGraph, Permutation};
+use gograph_graph::{CsrGraph, Frontier, Permutation};
 use std::time::Instant;
 
 /// Runs `alg` on `g` asynchronously, visiting vertices in `order` each
@@ -55,10 +59,88 @@ pub fn async_kernel<A: IterativeAlgorithm + ?Sized>(
     async_kernel_warm(g, alg, order, cfg, init)
 }
 
+/// One dense full in-place sweep — the historical hot loop, kept in
+/// its own (deliberately un-inlined) function so the per-edge gather
+/// optimizes as a tight region instead of sharing a frame with the
+/// sparse/push machinery. Returns the change count; member tracking in
+/// `out_set` stops once the count alone pins the next round dense.
+/// (PushOnly never reaches a dense pull round: `force_push` routes
+/// every round to the push arm.)
+#[inline(never)]
+#[allow(clippy::too_many_arguments)]
+// Phase 2 indexes `order_arr` on purpose: the IDENTITY instantiation
+// must not materialize the iterator at all.
+#[allow(clippy::needless_range_loop)]
+fn dense_async_round<const IDENTITY: bool, A: IterativeAlgorithm + ?Sized>(
+    g: &CsrGraph,
+    ctx: &GatherContext<'_>,
+    alg: &A,
+    order: &Permutation,
+    states: &mut [f64],
+    out_set: &mut Frontier,
+    dense_denom: usize,
+    acc_delta: &mut DeltaAccumulator,
+) -> usize {
+    let n = states.len();
+    let mut count = 0usize;
+    // Local accumulator: no through-pointer traffic in the hot loop.
+    let mut delta = *acc_delta;
+    let order_arr = order.order();
+    // Phase 1: track changed members until the count alone pins the
+    // next round dense — at which point neither the set nor an exact
+    // count is needed any more.
+    let mut pos = 0usize;
+    while pos < n {
+        let v = if IDENTITY { pos as u32 } else { order_arr[pos] };
+        let acc = ctx.gather(alg, v, states);
+        let old = states[v as usize];
+        let new = alg.apply(g, v, old, acc);
+        delta.record(old, new);
+        if new != old {
+            states[v as usize] = new;
+            count += 1;
+            out_set.insert(pos as u32);
+        }
+        pos += 1;
+        if count * dense_denom > n {
+            break;
+        }
+    }
+    // Phase 2: the remaining sweep is the branch-free historical loop
+    // (unconditional store, no bookkeeping). The sentinel return keeps
+    // the next-round density decision correct.
+    if pos < n {
+        for p in pos..n {
+            let v = if IDENTITY { p as u32 } else { order_arr[p] };
+            let acc = ctx.gather(alg, v, states);
+            let old = states[v as usize];
+            let new = alg.apply(g, v, old, acc);
+            delta.record(old, new);
+            states[v as usize] = new;
+        }
+        count = n;
+    }
+    *acc_delta = delta;
+    count
+}
+
 /// [`async_kernel`] started from caller-supplied states instead of
 /// `alg.init` — the warm-start entry the streaming subsystem uses to
 /// resume from a previously converged state. A run whose warm states are
 /// already at the fixpoint converges in a single confirmation round.
+///
+/// The round loop is direction-optimized (see [`crate::direction`]):
+/// while the changed set stays dense every round is the historical
+/// in-place full sweep; once it turns sparse, rounds either gather only
+/// the vertices whose inputs changed — a forward [`PositionScan`] that
+/// still consumes in-round activations at later positions, so the pull
+/// path is **round-for-round identical** to the historical full sweep
+/// for any pure algorithm — or, for
+/// [`IterativeAlgorithm::supports_push`] algorithms under
+/// [`DirectionPolicy::Auto`], scatter pending changes directly over
+/// out-edges (same in-round consumption, relaxation instead of
+/// gather). Push rounds reach the same fixpoint bit-identically
+/// (chaotic iteration of the same monotone relaxations).
 ///
 /// # Panics
 /// Panics if `states.len() != g.num_vertices()` — callers go through
@@ -74,6 +156,22 @@ pub fn async_kernel_warm<A: IterativeAlgorithm + ?Sized>(
     assert_eq!(order.len(), n, "order length must match vertex count");
     assert_eq!(states.len(), n, "state length must match vertex count");
     let ctx = GatherContext::new(g);
+    let sctx = ScatterContext::new(g);
+    let num_edges = g.num_edges();
+    // Push-capable mode switches the sparse bookkeeping from
+    // per-target ("who must re-gather") to per-source ("whose change is
+    // unpropagated"); under PullOnly even push-capable algorithms use
+    // the per-target plan, which reproduces the historical rounds
+    // exactly.
+    let push_ok = alg.supports_push() && cfg.direction != DirectionPolicy::PullOnly;
+    let force_push = alg.supports_push() && cfg.direction == DirectionPolicy::PushOnly;
+    // Frontier machinery engages far later for accumulative algorithms
+    // (see GENERAL_DENSE_DENOMINATOR).
+    let dense_denom = if push_ok {
+        DENSE_EVAL_DENOMINATOR
+    } else {
+        GENERAL_DENSE_DENOMINATOR
+    };
     let eps = alg.epsilon();
     let start = Instant::now();
     let mut trace = Vec::new();
@@ -81,18 +179,188 @@ pub fn async_kernel_warm<A: IterativeAlgorithm + ?Sized>(
         trace.push(trace_point(0, start.elapsed(), f64::INFINITY, &states));
     }
 
+    /// What `work_set` holds going into a round.
+    #[derive(Clone, Copy, PartialEq)]
+    enum Work {
+        /// Nothing yet — run a full sweep (cold start / warm restart).
+        Dense,
+        /// Positions that changed in a full sweep; the round planner
+        /// expands them into a pull scan or push sources lazily.
+        Changed,
+        /// Exact pull set: changed positions and their unconsumed
+        /// out-neighbor activations (per-target plan, `!push_ok`).
+        Pending,
+        /// Changed positions whose new value has unpropagated out-edges
+        /// (per-source plan, `push_ok`).
+        Sources,
+    }
+    let mut work = Work::Dense;
+    let mut work_set = Frontier::new(n);
+    // Changes produced by `work_set`'s round; `out_count` is the true
+    // change count — dense sweeps stop materializing members once the
+    // count alone already forces the next round dense (`work_set` is
+    // then partial and only the count may be consulted).
+    let mut work_count = 0usize;
+    let mut out_set = Frontier::new(n);
+    let mut scan = PositionScan::new(n);
+    // Push-round delta accounting: first-change old values.
+    let mut touched = Frontier::new(n);
+    let mut touch_log: Vec<(u32, f64)> = Vec::new();
+
     let mut rounds = 0usize;
     let mut converged = false;
+    let mut push_rounds = 0usize;
     while rounds < cfg.max_rounds {
         rounds += 1;
         let mut acc_delta = DeltaAccumulator::new(alg.norm());
-        for &v in order.order() {
-            let acc = ctx.gather(alg, v, &states);
-            let old = states[v as usize];
-            let new = alg.apply(g, v, old, acc);
-            acc_delta.record(old, new);
-            states[v as usize] = new;
+        out_set.clear();
+        let out_count;
+
+        // Plan the round. Near-full changed sets go back to the dense
+        // streaming sweep even for push-capable algorithms — scattering
+        // almost every edge plus touch bookkeeping loses to the
+        // sequential pull; a forced PushOnly policy overrides.
+        let dense = match work {
+            Work::Dense => true,
+            _ => work_count * dense_denom > n,
+        };
+        let push = match work {
+            Work::Dense => force_push,
+            Work::Pending => false,
+            Work::Changed | Work::Sources => {
+                (force_push || !dense)
+                    && choose_push(
+                        cfg.direction,
+                        push_ok,
+                        push_mass(&work_set, order, ctx.out_degrees()),
+                        num_edges,
+                    )
+            }
+        };
+
+        if push {
+            // Push round: pending changes relax their out-edges in
+            // place; an improved vertex at a later position joins the
+            // sweep and scatters its own improvement this round.
+            push_rounds += 1;
+            touched.clear();
+            touch_log.clear();
+            match work {
+                Work::Dense => (0..n as u32).for_each(|p| scan.set(p)),
+                _ => scan.load(&work_set),
+            }
+            let mut wi = 0usize;
+            while wi < scan.num_words() {
+                let Some(pos) = scan.take_lowest(wi) else {
+                    wi += 1;
+                    continue;
+                };
+                let u = order.vertex_at(pos as usize);
+                let su = states[u as usize];
+                sctx.scatter(alg, u, su, |v, cand| {
+                    let old = states[v as usize];
+                    let new = alg.apply(g, v, old, cand);
+                    if new != old {
+                        states[v as usize] = new;
+                        let pv = order.position(v);
+                        if touched.insert(pv) {
+                            touch_log.push((v, old));
+                        }
+                        if pv > pos {
+                            // Joins this sweep: the improvement is
+                            // propagated in-round.
+                            scan.set(pv);
+                        } else {
+                            // Behind the cursor: stays pending.
+                            out_set.insert(pv);
+                        }
+                    }
+                });
+            }
+            for &(v, old) in &touch_log {
+                acc_delta.record(old, states[v as usize]);
+            }
+            out_count = out_set.len();
+            work = Work::Sources;
+        } else if dense {
+            out_count = if order.is_identity() {
+                dense_async_round::<true, A>(
+                    g,
+                    &ctx,
+                    alg,
+                    order,
+                    &mut states,
+                    &mut out_set,
+                    dense_denom,
+                    &mut acc_delta,
+                )
+            } else {
+                dense_async_round::<false, A>(
+                    g,
+                    &ctx,
+                    alg,
+                    order,
+                    &mut states,
+                    &mut out_set,
+                    dense_denom,
+                    &mut acc_delta,
+                )
+            };
+            work = Work::Changed;
+        } else {
+            // Sparse pull with in-round consumption: evaluate scheduled
+            // positions in ascending order; a change activates later
+            // out-neighbors into this same sweep and earlier ones into
+            // the next round.
+            match work {
+                Work::Changed => {
+                    // Lazy expansion of a full sweep's changed set.
+                    work_set.for_each(|p| {
+                        if !push_ok {
+                            scan.set(p); // self re-evaluation (per-target plan)
+                        }
+                        for &w in g.out_neighbors(order.vertex_at(p as usize)) {
+                            scan.set(order.position(w));
+                        }
+                    });
+                }
+                Work::Sources => {
+                    work_set.for_each(|p| {
+                        for &w in g.out_neighbors(order.vertex_at(p as usize)) {
+                            scan.set(order.position(w));
+                        }
+                    });
+                }
+                _ => scan.load(&work_set),
+            }
+            let mut wi = 0usize;
+            while wi < scan.num_words() {
+                let Some(pos) = scan.take_lowest(wi) else {
+                    wi += 1;
+                    continue;
+                };
+                let v = order.vertex_at(pos as usize);
+                let acc = ctx.gather(alg, v, &states);
+                let old = states[v as usize];
+                let new = alg.apply(g, v, old, acc);
+                acc_delta.record(old, new);
+                if new != old {
+                    states[v as usize] = new;
+                    if push_ok {
+                        activate_per_source(g, order, v, pos, &mut scan, &mut out_set);
+                    } else {
+                        activate_per_target(g, order, v, pos, &mut scan, &mut out_set, true);
+                    }
+                }
+            }
+            out_count = out_set.len();
+            work = if push_ok {
+                Work::Sources
+            } else {
+                Work::Pending
+            };
         }
+
         if cfg.record_trace {
             trace.push(trace_point(
                 rounds,
@@ -105,6 +373,8 @@ pub fn async_kernel_warm<A: IterativeAlgorithm + ?Sized>(
             converged = true;
             break;
         }
+        std::mem::swap(&mut work_set, &mut out_set);
+        work_count = out_count;
     }
 
     RunStats {
@@ -113,9 +383,15 @@ pub fn async_kernel_warm<A: IterativeAlgorithm + ?Sized>(
         converged,
         final_states: states,
         trace,
-        // Single state array: the async memory advantage of Fig. 11.
-        state_memory_bytes: n * std::mem::size_of::<f64>(),
+        // Single state array (the async memory advantage of Fig. 11)
+        // plus the direction machinery's frontier sets and sweep bitmap.
+        state_memory_bytes: n * std::mem::size_of::<f64>()
+            + work_set.memory_bytes()
+            + out_set.memory_bytes()
+            + touched.memory_bytes()
+            + scan.memory_bytes(),
         evaluations: None,
+        push_rounds,
     }
 }
 
@@ -205,12 +481,23 @@ mod tests {
     }
 
     #[test]
-    fn async_memory_is_half_of_sync() {
+    fn async_memory_is_below_sync() {
+        // Sync double-buffers its state array; async keeps one. Both
+        // now also report their frontier structures, so the relation is
+        // an inequality rather than an exact 2x.
         let g = chain(10);
         let cfg = RunConfig::default();
         let id = Permutation::identity(10);
         let s = run_sync(&g, &Sssp::new(0), &id, &cfg);
         let a = run_async(&g, &Sssp::new(0), &id, &cfg);
-        assert_eq!(s.state_memory_bytes, 2 * a.state_memory_bytes);
+        assert!(
+            s.state_memory_bytes > a.state_memory_bytes,
+            "sync {} vs async {}",
+            s.state_memory_bytes,
+            a.state_memory_bytes
+        );
+        // The double-buffer portion itself is exactly 2x one state
+        // array.
+        assert!(s.state_memory_bytes >= 2 * 10 * std::mem::size_of::<f64>());
     }
 }

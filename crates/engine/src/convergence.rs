@@ -41,6 +41,12 @@ pub struct RunStats {
     /// (`Some` for the worklist engine; full-scan engines report `None`
     /// — their count is always `rounds * n`).
     pub evaluations: Option<usize>,
+    /// Rounds executed in the push (scatter) direction by a
+    /// direction-optimizing engine; 0 for pull-only runs and for the
+    /// delta engines. The block-parallel engine reports 0 except in its
+    /// single-block degenerate case, which delegates to the
+    /// (direction-optimizing) async kernel.
+    pub push_rounds: usize,
 }
 
 impl RunStats {
@@ -174,6 +180,7 @@ mod tests {
             ],
             state_memory_bytes: 16,
             evaluations: None,
+            push_rounds: 0,
         };
         let curve = stats.distance_curve(3.0);
         assert_eq!(curve[0].1, 1.5);

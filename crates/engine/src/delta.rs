@@ -323,6 +323,7 @@ pub fn delta_round_robin_kernel_warm<D: DeltaAlgorithm + ?Sized>(
         // state + delta arrays
         state_memory_bytes: 2 * n * std::mem::size_of::<f64>(),
         evaluations: None,
+        push_rounds: 0,
     }
 }
 
@@ -468,6 +469,7 @@ pub fn delta_priority_kernel_warm<D: DeltaAlgorithm + ?Sized>(
         trace,
         state_memory_bytes: 2 * n * std::mem::size_of::<f64>(),
         evaluations: None,
+        push_rounds: 0,
     }
 }
 

@@ -99,6 +99,9 @@ impl<A: IterativeAlgorithm> IterativeAlgorithm for DynOnly<A> {
     fn uses_edge_weights(&self) -> bool {
         self.0.uses_edge_weights()
     }
+    fn supports_push(&self) -> bool {
+        self.0.supports_push()
+    }
 }
 
 /// [`DynOnly`] for the delta algorithm family.
@@ -277,7 +280,21 @@ impl<'g> GatherContext<'g> {
         read: impl Fn(usize) -> f64,
     ) -> f64 {
         let (s, e) = self.in_range(v);
-        let mut acc = alg.gather_identity();
+        self.gather_range(alg, alg.gather_identity(), s, e, read)
+    }
+
+    /// Folds the in-edge stream slice `[s, e)` into `acc` — the
+    /// innermost per-edge loop, also entered mid-list by the blocked
+    /// sweep, which folds one source-block span at a time.
+    #[inline(always)]
+    pub(crate) fn gather_range<A: IterativeAlgorithm + ?Sized>(
+        &self,
+        alg: &A,
+        mut acc: f64,
+        s: usize,
+        e: usize,
+        read: impl Fn(usize) -> f64,
+    ) -> f64 {
         if alg.uses_edge_weights() {
             for i in s..e {
                 let u = self.in_sources[i] as usize;
@@ -295,6 +312,68 @@ impl<'g> GatherContext<'g> {
             }
         }
         acc
+    }
+}
+
+/// Prebuilt per-run scatter inputs — the push-direction counterpart of
+/// [`GatherContext`]: the flat out-adjacency streams plus the cached
+/// out-degree array, so a push round walks an active vertex's out-edges
+/// as one contiguous stream. Construction is `O(1)` (borrows the
+/// graph's arrays).
+pub struct ScatterContext<'g> {
+    pub(crate) out_offsets: &'g [usize],
+    pub(crate) out_targets: &'g [VertexId],
+    pub(crate) out_weights: &'g [Weight],
+    pub(crate) out_degrees: &'g [u32],
+}
+
+impl<'g> ScatterContext<'g> {
+    /// Builds the context for `g`.
+    pub fn new(g: &'g CsrGraph) -> Self {
+        ScatterContext {
+            out_offsets: g.raw_out_offsets(),
+            out_targets: g.raw_out_targets(),
+            out_weights: g.raw_out_weights(),
+            out_degrees: g.out_degrees(),
+        }
+    }
+
+    /// Out-degree of `v` (one load from the cached array).
+    #[inline(always)]
+    pub fn out_degree(&self, v: VertexId) -> usize {
+        self.out_degrees[v as usize] as usize
+    }
+
+    /// Offers `u`'s state along each of its out-edges: `visit(v, cand)`
+    /// receives the target and the single-edge gather candidate
+    /// `gather(gather_identity(), state_u, w, |OUT(u)|)`. The caller
+    /// folds the candidate into the target's state with `apply` — sound
+    /// exactly when [`IterativeAlgorithm::supports_push`] holds. With a
+    /// concrete `A` the `uses_edge_weights` branch constant-folds and
+    /// weight-free algorithms never touch the weight stream.
+    #[inline(always)]
+    pub fn scatter<A: IterativeAlgorithm + ?Sized>(
+        &self,
+        alg: &A,
+        u: VertexId,
+        state_u: f64,
+        mut visit: impl FnMut(VertexId, f64),
+    ) {
+        let ui = u as usize;
+        let (s, e) = (self.out_offsets[ui], self.out_offsets[ui + 1]);
+        let du = self.out_degrees[ui] as usize;
+        let identity = alg.gather_identity();
+        if alg.uses_edge_weights() {
+            for i in s..e {
+                let cand = alg.gather(identity, state_u, self.out_weights[i], du);
+                visit(self.out_targets[i], cand);
+            }
+        } else {
+            let cand = alg.gather(identity, state_u, 1.0, du);
+            for &v in &self.out_targets[s..e] {
+                visit(v, cand);
+            }
+        }
     }
 }
 

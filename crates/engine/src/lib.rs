@@ -20,6 +20,7 @@ pub mod algorithms;
 pub mod asynch;
 pub mod convergence;
 pub mod delta;
+pub mod direction;
 pub mod dispatch;
 pub mod error;
 pub mod parallel;
@@ -40,7 +41,10 @@ pub use delta::{
 };
 #[allow(deprecated)]
 pub use delta::{run_delta_priority, run_delta_round_robin};
-pub use dispatch::{AlgorithmKind, DeltaAlgorithmKind, DynOnly, DynOnlyDelta, GatherContext};
+pub use direction::{DirectionPolicy, DEFAULT_LLC_BYTES};
+pub use dispatch::{
+    AlgorithmKind, DeltaAlgorithmKind, DynOnly, DynOnlyDelta, GatherContext, ScatterContext,
+};
 pub use error::EngineError;
 pub use parallel::{parallel_kernel, parallel_kernel_warm, run_parallel};
 pub use pipeline::{Pipeline, PipelineResult, StageTimings};

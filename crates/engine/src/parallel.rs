@@ -86,6 +86,16 @@ pub fn parallel_kernel_warm<A: IterativeAlgorithm + ?Sized>(
     assert_eq!(order.len(), n, "order length must match vertex count");
     assert_eq!(init_states.len(), n, "state length must match vertex count");
     let num_blocks = num_blocks.clamp(1, n.max(1));
+    if num_blocks == 1 {
+        // One block *is* the sequential async engine — delegate so the
+        // degenerate case inherits its direction optimization instead
+        // of duplicating a frontier-blind sweep here.
+        let mut stats = crate::asynch::async_kernel_warm(g, alg, order, cfg, init_states);
+        // Keep this engine's memory accounting shape: states + the
+        // single per-block delta buffer.
+        stats.state_memory_bytes = (n + 1) * std::mem::size_of::<f64>();
+        return stats;
+    }
     let ctx = GatherContext::new(g);
     let states: Vec<AtomicF64> = init_states.into_iter().map(AtomicF64::new).collect();
     let eps = alg.epsilon();
@@ -156,6 +166,7 @@ pub fn parallel_kernel_warm<A: IterativeAlgorithm + ?Sized>(
         // not divisible by the block count).
         state_memory_bytes: (n + blocks.len()) * std::mem::size_of::<f64>(),
         evaluations: None,
+        push_rounds: 0,
     }
 }
 

@@ -8,6 +8,7 @@
 use crate::algorithm::IterativeAlgorithm;
 use crate::convergence::RunStats;
 use crate::delta::DeltaSchedule;
+use crate::direction::DirectionPolicy;
 use crate::pipeline::Pipeline;
 use gograph_graph::{CsrGraph, Permutation};
 
@@ -48,6 +49,17 @@ pub struct RunConfig {
     pub max_rounds: usize,
     /// Record a per-round [`crate::convergence::TracePoint`].
     pub record_trace: bool,
+    /// Traversal-direction policy for the sync/async/worklist engines
+    /// (default [`DirectionPolicy::Auto`]: Beamer-style per-round
+    /// choice). The delta engines ignore it; the block-parallel engine
+    /// ignores it except in its single-block degenerate case, which
+    /// delegates to the (direction-optimizing) async kernel.
+    pub direction: DirectionPolicy,
+    /// Last-level-cache budget the synchronous engine's blocked dense
+    /// pull sweep sizes its order-position blocks to (default
+    /// [`crate::direction::DEFAULT_LLC_BYTES`] = 8 MiB). Runs whose
+    /// state array already fits the budget skip blocking entirely.
+    pub llc_bytes: usize,
 }
 
 impl Default for RunConfig {
@@ -55,6 +67,8 @@ impl Default for RunConfig {
         RunConfig {
             max_rounds: 10_000,
             record_trace: false,
+            direction: DirectionPolicy::Auto,
+            llc_bytes: crate::direction::DEFAULT_LLC_BYTES,
         }
     }
 }

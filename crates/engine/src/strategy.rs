@@ -22,7 +22,7 @@ use crate::{
     parallel::{parallel_kernel_warm, run_parallel},
     sync::{run_sync, sync_kernel_warm},
 };
-use gograph_graph::{CsrGraph, Permutation, VertexId};
+use gograph_graph::{CsrGraph, Frontier, Permutation, VertexId};
 
 /// A borrowed algorithm of either family. The gather family
 /// ([`IterativeAlgorithm`]) recomputes a vertex from all in-neighbors;
@@ -68,11 +68,11 @@ pub struct WarmStart {
     /// Initial per-vertex states (length = vertex count).
     pub states: Vec<f64>,
     /// Vertices whose inputs changed and that must be re-evaluated
-    /// first. Consumed by the worklist engine (activation spreads from
-    /// here) and by the delta engines (pending deltas are seeded here);
-    /// the full-scan engines re-evaluate everything regardless. `None`
-    /// means every vertex.
-    pub frontier: Option<Vec<VertexId>>,
+    /// first, as a hybrid [`Frontier`] set. Consumed by the worklist
+    /// engine (activation spreads from here) and by the delta engines
+    /// (pending deltas are seeded here); the full-scan engines
+    /// re-evaluate everything regardless. `None` means every vertex.
+    pub frontier: Option<Frontier>,
     /// Pending per-vertex deltas for the delta-family engines (length =
     /// vertex count). `None` derives frontier deltas by gathering each
     /// frontier vertex's candidates from its in-edges — sound for
@@ -92,8 +92,17 @@ impl WarmStart {
         }
     }
 
-    /// Restricts initial re-evaluation to `frontier`.
+    /// Restricts initial re-evaluation to the listed vertices
+    /// (duplicates are deduplicated into a [`Frontier`]).
     pub fn with_frontier(mut self, frontier: Vec<VertexId>) -> Self {
+        let universe = frontier.iter().map(|&v| v as usize + 1).max().unwrap_or(0);
+        self.frontier = Some(Frontier::from_members(universe, frontier));
+        self
+    }
+
+    /// Restricts initial re-evaluation to an already-built [`Frontier`]
+    /// (the zero-copy path the streaming subsystem uses).
+    pub fn with_frontier_set(mut self, frontier: Frontier) -> Self {
         self.frontier = Some(frontier);
         self
     }
@@ -167,7 +176,13 @@ fn check_warm(g: &CsrGraph, warm: &WarmStart) -> Result<(), EngineError> {
         }
     }
     if let Some(frontier) = &warm.frontier {
-        if let Some(&v) = frontier.iter().find(|&&v| v as usize >= n) {
+        let mut out_of_range = None;
+        frontier.for_each(|v| {
+            if v as usize >= n && out_of_range.is_none() {
+                out_of_range = Some(v);
+            }
+        });
+        if let Some(v) = out_of_range {
             return Err(EngineError::InvalidParameter {
                 name: "warm_start.frontier",
                 message: format!("vertex {v} out of range for {n} vertices"),
@@ -186,6 +201,24 @@ fn reject_deltas(strategy: &dyn ExecutionStrategy, warm: &WarmStart) -> Result<(
             message: format!(
                 "mode {:?} runs gather algorithms; pending deltas only apply to delta modes",
                 strategy.name()
+            ),
+        });
+    }
+    Ok(())
+}
+
+/// [`crate::DirectionPolicy::PushOnly`] demands an algorithm whose
+/// `apply` distributes over its gather fold
+/// ([`IterativeAlgorithm::supports_push`]); anything else cannot run
+/// scatter-only and is rejected up front instead of silently pulling.
+fn check_push_only(cfg: &RunConfig, alg: &dyn IterativeAlgorithm) -> Result<(), EngineError> {
+    if cfg.direction == crate::direction::DirectionPolicy::PushOnly && !alg.supports_push() {
+        return Err(EngineError::InvalidParameter {
+            name: "direction",
+            message: format!(
+                "DirectionPolicy::PushOnly requires an algorithm with supports_push(); \
+                 {} gathers accumulatively and can only run pull",
+                alg.name()
             ),
         });
     }
@@ -235,7 +268,9 @@ impl ExecutionStrategy for SyncStrategy {
         cfg: &RunConfig,
     ) -> Result<RunStats, EngineError> {
         check_order(g, order)?;
-        Ok(run_sync(g, require_gather(self, alg)?, order, cfg))
+        let alg = require_gather(self, alg)?;
+        check_push_only(cfg, alg)?;
+        Ok(run_sync(g, alg, order, cfg))
     }
 
     fn run_warm(
@@ -250,6 +285,7 @@ impl ExecutionStrategy for SyncStrategy {
         check_warm(g, &warm)?;
         reject_deltas(self, &warm)?;
         let alg = require_gather(self, alg)?;
+        check_push_only(cfg, alg)?;
         Ok(dispatch_gather!(alg, a => sync_kernel_warm(g, a, order, cfg, warm.states)))
     }
 }
@@ -271,7 +307,9 @@ impl ExecutionStrategy for AsyncStrategy {
         cfg: &RunConfig,
     ) -> Result<RunStats, EngineError> {
         check_order(g, order)?;
-        Ok(run_async(g, require_gather(self, alg)?, order, cfg))
+        let alg = require_gather(self, alg)?;
+        check_push_only(cfg, alg)?;
+        Ok(run_async(g, alg, order, cfg))
     }
 
     fn run_warm(
@@ -286,6 +324,7 @@ impl ExecutionStrategy for AsyncStrategy {
         check_warm(g, &warm)?;
         reject_deltas(self, &warm)?;
         let alg = require_gather(self, alg)?;
+        check_push_only(cfg, alg)?;
         Ok(dispatch_gather!(alg, a => async_kernel_warm(g, a, order, cfg, warm.states)))
     }
 }
@@ -313,13 +352,13 @@ impl ExecutionStrategy for ParallelStrategy {
         cfg: &RunConfig,
     ) -> Result<RunStats, EngineError> {
         check_order(g, order)?;
-        Ok(run_parallel(
-            g,
-            require_gather(self, alg)?,
-            order,
-            self.blocks,
-            cfg,
-        ))
+        let alg = require_gather(self, alg)?;
+        // One block delegates to the direction-optimizing async kernel,
+        // so the single-block case validates like the async strategy.
+        if self.blocks.clamp(1, g.num_vertices().max(1)) == 1 {
+            check_push_only(cfg, alg)?;
+        }
+        Ok(run_parallel(g, alg, order, self.blocks, cfg))
     }
 
     fn run_warm(
@@ -334,6 +373,9 @@ impl ExecutionStrategy for ParallelStrategy {
         check_warm(g, &warm)?;
         reject_deltas(self, &warm)?;
         let alg = require_gather(self, alg)?;
+        if self.blocks.clamp(1, g.num_vertices().max(1)) == 1 {
+            check_push_only(cfg, alg)?;
+        }
         let blocks = self.blocks;
         Ok(dispatch_gather!(
             alg,
@@ -361,7 +403,9 @@ impl ExecutionStrategy for WorklistStrategy {
         cfg: &RunConfig,
     ) -> Result<RunStats, EngineError> {
         check_order(g, order)?;
-        Ok(worklist_core(g, require_gather(self, alg)?, order, cfg))
+        let alg = require_gather(self, alg)?;
+        check_push_only(cfg, alg)?;
+        Ok(worklist_core(g, alg, order, cfg))
     }
 
     fn run_warm(
@@ -376,12 +420,13 @@ impl ExecutionStrategy for WorklistStrategy {
         check_warm(g, &warm)?;
         reject_deltas(self, &warm)?;
         let alg = require_gather(self, alg)?;
+        check_push_only(cfg, alg)?;
         let WarmStart {
             states, frontier, ..
         } = warm;
         Ok(dispatch_gather!(
             alg,
-            a => worklist_kernel_warm(g, a, order, cfg, states, frontier.as_deref())
+            a => worklist_kernel_warm(g, a, order, cfg, states, frontier.as_ref())
         ))
     }
 }
@@ -484,7 +529,7 @@ impl ExecutionStrategy for DeltaStrategy {
                     d[v as usize] = acc;
                 };
                 match &frontier {
-                    Some(f) => f.iter().for_each(|&v| derive(&mut derived, v)),
+                    Some(f) => f.for_each_ascending(|v| derive(&mut derived, v)),
                     None => (0..n as VertexId).for_each(|v| derive(&mut derived, v)),
                 }
                 derived

@@ -53,7 +53,7 @@ use gograph_core::{
     order_members, partition_contributions, GoGraph, IncrementalGoGraph, PartitionContribution,
     PartitionedOrder, UNPARTITIONED,
 };
-use gograph_graph::{CsrGraph, EdgeUpdate, Permutation, VertexId};
+use gograph_graph::{CsrGraph, EdgeUpdate, Frontier, Permutation, VertexId};
 use std::time::{Duration, Instant};
 
 /// Builder for a [`StreamingPipeline`]; see [`StreamingPipeline::over`].
@@ -64,6 +64,7 @@ pub struct StreamingPipelineBuilder {
     delta: Option<Box<dyn DeltaAlgorithm>>,
     cfg: RunConfig,
     drift_threshold: f64,
+    quality_floor: f64,
     reorder_threads: usize,
     partition_scoped: bool,
 }
@@ -114,6 +115,18 @@ impl StreamingPipelineBuilder {
         self
     }
 
+    /// Sets the positive-fraction floor below which a drift breach
+    /// always escalates to a full reorder instead of accepting local
+    /// repairs or a densification re-baseline (default 0.55: the
+    /// Theorem-2 guarantee that a fresh GoGraph run reaches at least
+    /// `|E|/2` positive edges, plus margin). Lower it toward 0.5 to
+    /// tolerate more drift before paying full reorders, raise it to
+    /// re-reorder more eagerly; must lie in `[0, 1]`.
+    pub fn quality_floor(mut self, floor: f64) -> Self {
+        self.quality_floor = floor;
+        self
+    }
+
     /// Fans full GoGraph reorders (the bootstrap run and every
     /// drift-triggered fallback) out across `n` workers of the shared
     /// rayon pool via [`gograph_core::ParallelGoGraph`]. The parallel
@@ -151,6 +164,7 @@ impl StreamingPipelineBuilder {
             delta,
             cfg,
             drift_threshold,
+            quality_floor,
             reorder_threads,
             partition_scoped,
         } = self;
@@ -158,6 +172,12 @@ impl StreamingPipelineBuilder {
             return Err(EngineError::InvalidParameter {
                 name: "drift_threshold",
                 message: format!("must be finite and >= 0, got {drift_threshold}"),
+            });
+        }
+        if !(0.0..=1.0).contains(&quality_floor) {
+            return Err(EngineError::InvalidParameter {
+                name: "quality_floor",
+                message: format!("must be a fraction in [0, 1], got {quality_floor}"),
             });
         }
         let strategy_name = strategy_for(mode).name();
@@ -215,6 +235,7 @@ impl StreamingPipelineBuilder {
             delta,
             cfg,
             drift_threshold,
+            quality_floor,
             reorder_threads,
             partition_scoped,
             baseline_fraction,
@@ -280,6 +301,7 @@ pub struct StreamingPipeline {
     delta: Option<Box<dyn DeltaAlgorithm>>,
     cfg: RunConfig,
     drift_threshold: f64,
+    quality_floor: f64,
     reorder_threads: usize,
     partition_scoped: bool,
     baseline_fraction: f64,
@@ -314,6 +336,7 @@ impl StreamingPipeline {
             delta: None,
             cfg: RunConfig::default(),
             drift_threshold: 0.05,
+            quality_floor: Self::DEFAULT_QUALITY_FLOOR,
             reorder_threads: 1,
             partition_scoped: true,
         }
@@ -387,14 +410,15 @@ impl StreamingPipeline {
         };
         let warm = if self.warm_start_is_sound() {
             let mut states = self.states.clone();
-            let mut frontier: Vec<VertexId> = affected.clone();
+            let mut frontier = Frontier::new(n);
             for &v in &affected {
                 states[v as usize] = self.init_state_of(v);
+                frontier.insert(v);
             }
-            frontier.extend(updates.iter().filter(|u| u.is_insert()).map(|u| u.dst()));
-            frontier.sort_unstable();
-            frontier.dedup();
-            Some(WarmStart::from_states(states).with_frontier(frontier))
+            for u in updates.iter().filter(|u| u.is_insert()) {
+                frontier.insert(u.dst());
+            }
+            Some(WarmStart::from_states(states).with_frontier_set(frontier))
         } else {
             None
         };
@@ -472,11 +496,18 @@ impl StreamingPipeline {
         self.part_members.len()
     }
 
-    /// The positive fraction below which a drift breach always escalates
-    /// to a full reorder: Theorem 2 guarantees a fresh GoGraph run at
-    /// least `|E|/2` positive edges, so under this floor (0.5 plus
-    /// margin) the full run is certain to be worth paying.
-    const FULL_REORDER_FLOOR: f64 = 0.55;
+    /// Default [`StreamingPipelineBuilder::quality_floor`]: Theorem 2
+    /// guarantees a fresh GoGraph run at least `|E|/2` positive edges,
+    /// so under 0.5-plus-margin the full run is certain to be worth
+    /// paying.
+    pub const DEFAULT_QUALITY_FLOOR: f64 = 0.55;
+
+    /// The configured positive-fraction floor below which a drift
+    /// breach always escalates to a full reorder (see
+    /// [`StreamingPipelineBuilder::quality_floor`]).
+    pub fn quality_floor(&self) -> f64 {
+        self.quality_floor
+    }
 
     /// On a drift breach, repairs the order as locally as possible.
     ///
@@ -531,11 +562,7 @@ impl StreamingPipeline {
         }
         let repairs_recovered = now - before > self.drift_threshold * 0.1;
         let densified = self.density() > self.baseline_density;
-        if !self.partition_scoped
-            || repairs_recovered
-            || !densified
-            || now < Self::FULL_REORDER_FLOOR
-        {
+        if !self.partition_scoped || repairs_recovered || !densified || now < self.quality_floor {
             let po = GoGraph::default()
                 .parallelism(self.reorder_threads)
                 .run_partitioned(&self.graph);

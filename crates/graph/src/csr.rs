@@ -442,6 +442,39 @@ impl CsrGraph {
         )
     }
 
+    /// Splits every vertex's in-edge list into contiguous spans whose
+    /// sources share one `block_vertices`-sized id block: entry
+    /// `(v, start, end)` of block `b` means `raw_in_sources[start..end]`
+    /// are `v`'s in-neighbors with ids in `[b·block, (b+1)·block)`
+    /// (in-neighbor lists are id-sorted, so the split is contiguous and
+    /// fold order is preserved when blocks are visited in order).
+    ///
+    /// This is the span partition behind the engines' cache-blocked
+    /// dense pull sweep **and** the cache simulator's replay of it —
+    /// shared here so the simulated access pattern can never drift from
+    /// the executed one. Flat indices are `u32`; callers must check
+    /// `num_edges() <= u32::MAX`.
+    pub fn in_source_block_spans(&self, block_vertices: usize) -> Vec<Vec<(VertexId, u32, u32)>> {
+        let block_vertices = block_vertices.max(1);
+        let num_blocks = self.num_vertices.div_ceil(block_vertices).max(1);
+        let mut spans: Vec<Vec<(VertexId, u32, u32)>> = vec![Vec::new(); num_blocks];
+        for v in 0..self.num_vertices {
+            let (s, e) = self.in_range(v as VertexId);
+            let mut i = s;
+            while i < e {
+                let b = self.in_sources[i] as usize / block_vertices;
+                let block_end = ((b + 1) * block_vertices) as VertexId;
+                let mut j = i + 1;
+                while j < e && self.in_sources[j] < block_end {
+                    j += 1;
+                }
+                spans[b].push((v as VertexId, i as u32, j as u32));
+                i = j;
+            }
+        }
+        spans
+    }
+
     /// Total heap bytes used by the CSR arrays (for Fig. 11 accounting).
     pub fn memory_bytes(&self) -> usize {
         self.out_offsets.capacity() * std::mem::size_of::<usize>()
@@ -479,6 +512,21 @@ impl CsrGraph {
     #[inline]
     pub fn raw_in_weights(&self) -> &[Weight] {
         &self.in_weights
+    }
+
+    /// Raw flattened out-target array (all vertices' out-neighbors
+    /// concatenated, indexed by [`CsrGraph::raw_out_offsets`]); the
+    /// engines' push (scatter) kernels stream this directly.
+    #[inline]
+    pub fn raw_out_targets(&self) -> &[VertexId] {
+        &self.out_targets
+    }
+
+    /// Raw flattened out-weight array, parallel to
+    /// [`CsrGraph::raw_out_targets`].
+    #[inline]
+    pub fn raw_out_weights(&self) -> &[Weight] {
+        &self.out_weights
     }
 
     #[inline]

@@ -1,0 +1,347 @@
+//! Hybrid sparse/dense vertex frontiers for direction-optimizing
+//! engines.
+//!
+//! A [`Frontier`] is a set over a fixed universe `0..n` (vertex ids or
+//! order positions) kept in **two** coordinated representations:
+//!
+//! - a *sparse* member list (`Vec<u32>`, unordered) while the set holds
+//!   at most `universe / `[`Frontier::SPARSE_SWITCH_DENOMINATOR`]
+//!   members — iteration and clearing then cost `O(|members|)`;
+//! - a *dense* two-level bitmap (one summary bit per 64-bit word) that
+//!   is **always** maintained, giving `O(1)` membership/dedup and an
+//!   ascending-id sweep that skips empty 4096-id regions, so in-order
+//!   emission costs `O(universe / 4096 + |members|)` instead of the
+//!   `O(|members| log |members|)` sort a plain list would need.
+//!
+//! Once the member count crosses the density threshold the sparse list
+//! is dropped (the set is *dense*); the bitmap alone serves every
+//! query. The set never switches back on its own — a frontier's life is
+//! one engine round, and [`Frontier::clear`] resets to sparse.
+
+use crate::types::VertexId;
+
+/// A set over `0..universe` with hybrid sparse-list / bitmap storage.
+///
+/// ```
+/// use gograph_graph::Frontier;
+/// let mut f = Frontier::new(100);
+/// assert!(f.insert(7));
+/// assert!(!f.insert(7)); // deduplicated
+/// f.insert(3);
+/// assert_eq!(f.len(), 2);
+/// assert!(f.contains(3));
+/// let mut seen = Vec::new();
+/// f.for_each_ascending(|v| seen.push(v));
+/// assert_eq!(seen, vec![3, 7]); // ascending regardless of insert order
+/// ```
+#[derive(Debug, Clone)]
+pub struct Frontier {
+    universe: usize,
+    len: usize,
+    /// Member list, valid only while `!dense` (unordered, no duplicates).
+    sparse: Vec<VertexId>,
+    /// Membership bitmap, always up to date.
+    bits: Vec<u64>,
+    /// Second level: bit `w` set iff `bits[w] != 0`.
+    summary: Vec<u64>,
+    dense: bool,
+}
+
+impl Frontier {
+    /// A set is *sparse* while `len <= universe / SPARSE_SWITCH_DENOMINATOR`;
+    /// inserting past that drops the member list and the set becomes
+    /// dense (bitmap-only). 16 keeps the sparse list's memory bounded by
+    /// `universe / 4` bytes while the bitmap sweep is still cheap at the
+    /// crossover.
+    pub const SPARSE_SWITCH_DENOMINATOR: usize = 16;
+
+    /// An empty frontier over `0..universe`.
+    pub fn new(universe: usize) -> Self {
+        let words = universe.div_ceil(64);
+        Frontier {
+            universe,
+            len: 0,
+            sparse: Vec::new(),
+            bits: vec![0; words],
+            summary: vec![0; words.div_ceil(64)],
+            dense: false,
+        }
+    }
+
+    /// Builds a frontier over `0..universe` from a member iterator
+    /// (duplicates are deduplicated).
+    ///
+    /// # Panics
+    /// Panics if a member is `>= universe`.
+    pub fn from_members(universe: usize, members: impl IntoIterator<Item = VertexId>) -> Self {
+        let mut f = Frontier::new(universe);
+        for v in members {
+            f.insert(v);
+        }
+        f
+    }
+
+    /// The universe size `n` the set ranges over.
+    #[inline]
+    pub fn universe(&self) -> usize {
+        self.universe
+    }
+
+    /// Number of members.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True if the set has no members.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Fraction of the universe present (`0.0` for an empty universe).
+    #[inline]
+    pub fn density(&self) -> f64 {
+        if self.universe == 0 {
+            0.0
+        } else {
+            self.len as f64 / self.universe as f64
+        }
+    }
+
+    /// True once the sparse member list has been dropped and the set is
+    /// bitmap-only.
+    #[inline]
+    pub fn is_dense(&self) -> bool {
+        self.dense
+    }
+
+    /// Inserts `v`; returns `true` if it was not already present.
+    ///
+    /// # Panics
+    /// Panics if `v >= universe`.
+    #[inline]
+    pub fn insert(&mut self, v: VertexId) -> bool {
+        let idx = v as usize;
+        assert!(idx < self.universe, "frontier member {v} out of range");
+        let (w, b) = (idx / 64, idx % 64);
+        if self.bits[w] & (1 << b) != 0 {
+            return false;
+        }
+        self.bits[w] |= 1 << b;
+        self.summary[w / 64] |= 1 << (w % 64);
+        self.len += 1;
+        if !self.dense {
+            self.sparse.push(v);
+            if self.len * Self::SPARSE_SWITCH_DENOMINATOR > self.universe {
+                self.dense = true;
+                // Keep the buffer: a frontier is cleared and refilled
+                // every engine round, and re-growing the list to the
+                // switch point each time would dominate dense rounds.
+                self.sparse.clear();
+            }
+        }
+        true
+    }
+
+    /// O(1) membership test.
+    #[inline]
+    pub fn contains(&self, v: VertexId) -> bool {
+        let idx = v as usize;
+        idx < self.universe && self.bits[idx / 64] & (1 << (idx % 64)) != 0
+    }
+
+    /// Empties the set and returns to the sparse representation. Costs
+    /// `O(|members|)` while sparse, `O(universe / 64)` once dense.
+    pub fn clear(&mut self) {
+        if self.dense {
+            self.bits.fill(0);
+            self.summary.fill(0);
+        } else {
+            for &v in &self.sparse {
+                self.bits[v as usize / 64] = 0;
+            }
+            for &v in &self.sparse {
+                self.summary[v as usize / 4096] = 0;
+            }
+            self.sparse.clear();
+        }
+        self.len = 0;
+        self.dense = false;
+    }
+
+    /// Visits every member in ascending id order via the two-level
+    /// bitmap sweep (`O(universe / 4096 + |members|)`).
+    #[inline]
+    pub fn for_each_ascending(&self, mut f: impl FnMut(VertexId)) {
+        for (si, &sword) in self.summary.iter().enumerate() {
+            let mut sword = sword;
+            while sword != 0 {
+                let wi = si * 64 + sword.trailing_zeros() as usize;
+                sword &= sword - 1;
+                let mut word = self.bits[wi];
+                while word != 0 {
+                    let v = wi * 64 + word.trailing_zeros() as usize;
+                    word &= word - 1;
+                    f(v as VertexId);
+                }
+            }
+        }
+    }
+
+    /// Visits every member in unspecified order: the raw sparse list
+    /// while available (no bitmap sweep), the ascending sweep once dense.
+    #[inline]
+    pub fn for_each(&self, mut f: impl FnMut(VertexId)) {
+        if self.dense {
+            self.for_each_ascending(f);
+        } else {
+            for &v in &self.sparse {
+                f(v);
+            }
+        }
+    }
+
+    /// The members as an ascending vector.
+    pub fn to_sorted_vec(&self) -> Vec<VertexId> {
+        let mut out = Vec::with_capacity(self.len);
+        self.for_each_ascending(|v| out.push(v));
+        out
+    }
+
+    /// Grows the universe to `new_universe` (members are preserved).
+    /// Shrinking is not supported; smaller values are ignored.
+    pub fn grow(&mut self, new_universe: usize) {
+        if new_universe <= self.universe {
+            return;
+        }
+        self.universe = new_universe;
+        let words = new_universe.div_ceil(64);
+        self.bits.resize(words, 0);
+        self.summary.resize(words.div_ceil(64), 0);
+        // A grown universe can only make a dense set relatively sparser,
+        // but the sparse list is already gone; staying dense is correct.
+    }
+
+    /// Heap bytes held by the set's structures.
+    pub fn memory_bytes(&self) -> usize {
+        self.sparse.capacity() * std::mem::size_of::<VertexId>()
+            + (self.bits.capacity() + self.summary.capacity()) * std::mem::size_of::<u64>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_dedups_and_counts() {
+        let mut f = Frontier::new(64);
+        assert!(f.is_empty());
+        assert!(f.insert(5));
+        assert!(!f.insert(5));
+        assert!(f.insert(63));
+        assert!(f.insert(0));
+        assert_eq!(f.len(), 3);
+        assert!(f.contains(0) && f.contains(5) && f.contains(63));
+        assert!(!f.contains(1));
+    }
+
+    #[test]
+    fn ascending_iteration_is_sorted() {
+        let mut f = Frontier::new(10_000);
+        for v in [9_999u32, 3, 4_096, 512, 4_095, 64] {
+            f.insert(v);
+        }
+        assert_eq!(f.to_sorted_vec(), vec![3, 64, 512, 4_095, 4_096, 9_999]);
+    }
+
+    #[test]
+    fn switches_to_dense_past_threshold() {
+        let n = 160;
+        let mut f = Frontier::new(n);
+        let limit = n / Frontier::SPARSE_SWITCH_DENOMINATOR;
+        for v in 0..limit as u32 {
+            f.insert(2 * v);
+            assert!(!f.is_dense(), "still sparse at {} members", f.len());
+        }
+        f.insert(151);
+        assert!(f.is_dense());
+        assert_eq!(f.len(), limit + 1);
+        // Dense set still answers every query.
+        let expect: Vec<u32> = (0..limit as u32)
+            .map(|v| 2 * v)
+            .chain([151])
+            .collect::<std::collections::BTreeSet<_>>()
+            .into_iter()
+            .collect();
+        assert_eq!(f.to_sorted_vec(), expect);
+    }
+
+    #[test]
+    fn clear_resets_both_representations() {
+        let mut f = Frontier::new(128);
+        for v in 0..128u32 {
+            f.insert(v);
+        }
+        assert!(f.is_dense());
+        f.clear();
+        assert!(f.is_empty() && !f.is_dense());
+        assert_eq!(f.to_sorted_vec(), Vec::<u32>::new());
+        f.insert(17);
+        assert_eq!(f.to_sorted_vec(), vec![17]);
+        // Sparse clear wipes whole words shared with other (cleared)
+        // members and leaves no stale summary bits behind.
+        f.clear();
+        assert!(!f.contains(17));
+        assert_eq!(f.len(), 0);
+    }
+
+    #[test]
+    fn unordered_iteration_visits_every_member_once() {
+        let mut f = Frontier::new(1000);
+        for v in [7u32, 900, 3, 500] {
+            f.insert(v);
+        }
+        let mut seen = Vec::new();
+        f.for_each(|v| seen.push(v));
+        seen.sort_unstable();
+        assert_eq!(seen, vec![3, 7, 500, 900]);
+    }
+
+    #[test]
+    fn grow_preserves_members() {
+        let mut f = Frontier::new(10);
+        f.insert(9);
+        f.grow(100_000);
+        assert_eq!(f.universe(), 100_000);
+        assert!(f.contains(9));
+        f.insert(99_999);
+        assert_eq!(f.to_sorted_vec(), vec![9, 99_999]);
+        f.grow(5); // shrink ignored
+        assert_eq!(f.universe(), 100_000);
+    }
+
+    #[test]
+    fn density_and_memory() {
+        let mut f = Frontier::new(100);
+        assert_eq!(f.density(), 0.0);
+        f.insert(1);
+        assert!((f.density() - 0.01).abs() < 1e-12);
+        assert!(f.memory_bytes() > 0);
+        assert_eq!(Frontier::new(0).density(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_insert_panics() {
+        Frontier::new(4).insert(4);
+    }
+
+    #[test]
+    fn from_members_dedups() {
+        let f = Frontier::from_members(50, [1u32, 2, 1, 49, 2]);
+        assert_eq!(f.len(), 3);
+        assert_eq!(f.to_sorted_vec(), vec![1, 2, 49]);
+    }
+}

@@ -7,6 +7,7 @@
 //! Provides:
 //! - [`csr::CsrGraph`] — CSR storage with both out- and in-adjacency,
 //! - [`builder::GraphBuilder`] — edge-stream construction with dedup,
+//! - [`frontier::Frontier`] — hybrid sparse/dense active-vertex sets,
 //! - [`permutation::Permutation`] — processing orders / ordinal numbers,
 //! - [`generators`] — deterministic synthetic graphs (BA, RMAT, ER,
 //!   planted-partition, regular families),
@@ -18,6 +19,7 @@
 
 pub mod builder;
 pub mod csr;
+pub mod frontier;
 pub mod generators;
 pub mod io;
 pub mod permutation;
@@ -28,5 +30,6 @@ pub mod types;
 
 pub use builder::GraphBuilder;
 pub use csr::CsrGraph;
+pub use frontier::Frontier;
 pub use permutation::Permutation;
 pub use types::{Direction, Edge, EdgeId, EdgeUpdate, VertexId, Weight};

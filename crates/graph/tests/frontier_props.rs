@@ -1,0 +1,74 @@
+//! Property tests for the hybrid [`Frontier`]: however the set is
+//! driven across the sparse↔dense switch — random inserts, duplicates,
+//! universe growth, clears — the member set it reports must equal a
+//! reference `BTreeSet`, in both iteration orders.
+
+use gograph_graph::Frontier;
+use proptest::prelude::*;
+use std::collections::BTreeSet;
+
+/// A universe size plus a random insert sequence over it (duplicates
+/// intentionally likely so dedup is exercised).
+fn arb_inserts() -> impl Strategy<Value = (usize, Vec<u32>)> {
+    (1usize..400).prop_flat_map(|n| {
+        proptest::collection::vec(0u32..n as u32, 0..2 * n).prop_map(move |members| (n, members))
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn roundtrip_preserves_member_set((n, members) in arb_inserts()) {
+        let mut f = Frontier::new(n);
+        let mut reference = BTreeSet::new();
+        for &v in &members {
+            prop_assert_eq!(f.insert(v), reference.insert(v));
+            prop_assert!(f.contains(v));
+        }
+        let expect: Vec<u32> = reference.iter().copied().collect();
+        prop_assert_eq!(f.len(), expect.len());
+        // Ascending sweep (the dense/bitmap view).
+        prop_assert_eq!(f.to_sorted_vec(), expect.clone());
+        // Unordered visit (the sparse view while available).
+        let mut unordered = Vec::new();
+        f.for_each(|v| unordered.push(v));
+        unordered.sort_unstable();
+        prop_assert_eq!(unordered, expect.clone());
+        // The representation switch must have happened exactly when the
+        // density threshold says so.
+        prop_assert_eq!(
+            f.is_dense(),
+            f.len() * Frontier::SPARSE_SWITCH_DENOMINATOR > n
+        );
+        // Clearing returns to an empty sparse set that can be refilled
+        // to the identical member set.
+        f.clear();
+        prop_assert!(f.is_empty() && !f.is_dense());
+        for &v in &expect {
+            prop_assert!(!f.contains(v));
+        }
+        for &v in &members {
+            f.insert(v);
+        }
+        prop_assert_eq!(f.to_sorted_vec(), expect);
+    }
+
+    #[test]
+    fn growth_preserves_member_set((n, members) in arb_inserts(), extra in 1usize..1000) {
+        let mut f = Frontier::from_members(n, members.iter().copied());
+        let before = f.to_sorted_vec();
+        f.grow(n + extra);
+        prop_assert_eq!(f.universe(), n + extra);
+        prop_assert_eq!(f.to_sorted_vec(), before.clone());
+        // New ids are insertable after growth.
+        let v = (n + extra - 1) as u32;
+        f.insert(v);
+        prop_assert!(f.contains(v));
+        let mut expect = before;
+        if expect.last() != Some(&v) {
+            expect.push(v);
+        }
+        prop_assert_eq!(f.to_sorted_vec(), expect);
+    }
+}

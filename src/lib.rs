@@ -76,15 +76,16 @@ pub mod prelude {
     };
     pub use gograph_engine::{
         split_batches, Adsorption, AlgorithmKind, AlgorithmRef, Bfs, ConnectedComponents,
-        DeltaAlgorithm, DeltaAlgorithmKind, DeltaPageRank, DeltaSchedule, DeltaSssp, DynOnly,
-        DynOnlyDelta, EngineError, ExecutionStrategy, GatherContext, IterativeAlgorithm, Katz,
-        Mode, PageRank, Php, Pipeline, PipelineResult, RunConfig, RunStats, Sssp, Sswp,
-        StageTimings, StreamingPipeline, WarmStart,
+        DeltaAlgorithm, DeltaAlgorithmKind, DeltaPageRank, DeltaSchedule, DeltaSssp,
+        DirectionPolicy, DynOnly, DynOnlyDelta, EngineError, ExecutionStrategy, GatherContext,
+        IterativeAlgorithm, Katz, Mode, PageRank, Php, Pipeline, PipelineResult, RunConfig,
+        RunStats, ScatterContext, Sssp, Sswp, StageTimings, StreamingPipeline, WarmStart,
     };
     pub use gograph_graph::generators::{
         barabasi_albert, erdos_renyi, planted_partition, rmat, shuffle_labels, with_random_weights,
         PlantedPartitionConfig, RmatConfig,
     };
+    pub use gograph_graph::Frontier;
     pub use gograph_graph::{
         CsrGraph, Direction, Edge, EdgeUpdate, GraphBuilder, Permutation, VertexId,
     };

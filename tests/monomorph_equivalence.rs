@@ -97,6 +97,9 @@ impl IterativeAlgorithm for DynRef<'_> {
     fn uses_edge_weights(&self) -> bool {
         self.0.uses_edge_weights()
     }
+    fn supports_push(&self) -> bool {
+        self.0.supports_push()
+    }
     // monomorphized() stays at the default `None`.
 }
 

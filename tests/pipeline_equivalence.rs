@@ -181,6 +181,7 @@ fn legacy_run_config_fields_are_honored() {
     let cfg = RunConfig {
         max_rounds: 2,
         record_trace: true,
+        ..Default::default()
     };
     let alg = Sssp::new(0);
     let legacy = run(&g, &alg, Mode::Async, &order, &cfg);

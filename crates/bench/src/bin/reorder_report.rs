@@ -146,7 +146,8 @@ fn schedule(target: &CsrGraph, num_batches: usize) -> (CsrGraph, Vec<Vec<EdgeUpd
         b.add_edge(e.src, e.dst, e.weight);
     }
     let bootstrap = b.build();
-    let arrival_batches = split_batches(&edges[cut..], num_batches);
+    let arrival_batches =
+        split_batches(&edges[cut..], num_batches).expect("enough arrivals for the schedule");
     let batches: Vec<Vec<EdgeUpdate>> = arrival_batches
         .iter()
         .enumerate()

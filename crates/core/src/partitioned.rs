@@ -12,6 +12,7 @@
 //! construction time (the per-partition drift baseline).
 
 use gograph_graph::{CsrGraph, Permutation, VertexId};
+use std::sync::Arc;
 
 /// Part id marking vertices outside every partition (hubs and isolated
 /// vertices, which GoGraph's extract phase handles separately).
@@ -98,13 +99,18 @@ pub fn partition_contributions(
 ///   global shuffle;
 /// - [`PartitionedOrder::members`] lists each partition's vertices in
 ///   within-partition rank order.
+///
+/// `PartitionedOrder` is immutable once assembled, so the payload
+/// vectors live behind [`Arc`]s and **`clone` is O(1)** — an epoch
+/// snapshot of the partition structure shares storage with the
+/// maintainer's copy instead of deep-copying it.
 #[derive(Debug, Clone)]
 pub struct PartitionedOrder {
-    order: Permutation,
-    part_of: Vec<u32>,
-    members: Vec<Vec<VertexId>>,
-    ranges: Vec<(usize, usize)>,
-    intra: Vec<PartitionContribution>,
+    order: Arc<Permutation>,
+    part_of: Arc<Vec<u32>>,
+    members: Arc<Vec<Vec<VertexId>>>,
+    ranges: Arc<Vec<(usize, usize)>>,
+    intra: Arc<Vec<PartitionContribution>>,
     cross: PartitionContribution,
 }
 
@@ -124,11 +130,11 @@ impl PartitionedOrder {
     ) -> PartitionedOrder {
         let (intra, cross) = partition_contributions(g, &part_of, &order, members.len());
         PartitionedOrder {
-            order,
-            part_of,
-            members,
-            ranges,
-            intra,
+            order: Arc::new(order),
+            part_of: Arc::new(part_of),
+            members: Arc::new(members),
+            ranges: Arc::new(ranges),
+            intra: Arc::new(intra),
             cross,
         }
     }
@@ -138,9 +144,33 @@ impl PartitionedOrder {
         &self.order
     }
 
-    /// Consumes self, returning just the order.
+    /// Consumes self, returning just the order (shared with any
+    /// outstanding clones, so this only copies when a snapshot is still
+    /// alive elsewhere).
     pub fn into_order(self) -> Permutation {
-        self.order
+        Arc::try_unwrap(self.order).unwrap_or_else(|arc| (*arc).clone())
+    }
+
+    /// The order behind its sharing handle — the zero-copy way to hold
+    /// onto the order of a snapshot.
+    pub fn order_arc(&self) -> Arc<Permutation> {
+        Arc::clone(&self.order)
+    }
+
+    /// The vertex → partition map behind its sharing handle (see
+    /// [`PartitionedOrder::part_assignment`]).
+    pub fn part_assignment_arc(&self) -> Arc<Vec<u32>> {
+        Arc::clone(&self.part_of)
+    }
+
+    /// True when `self` and `other` share the same backing arrays (one
+    /// is a `clone` of the other).
+    pub fn shares_storage_with(&self, other: &PartitionedOrder) -> bool {
+        Arc::ptr_eq(&self.order, &other.order)
+            && Arc::ptr_eq(&self.part_of, &other.part_of)
+            && Arc::ptr_eq(&self.members, &other.members)
+            && Arc::ptr_eq(&self.ranges, &other.ranges)
+            && Arc::ptr_eq(&self.intra, &other.intra)
     }
 
     /// Number of partitions.
@@ -318,6 +348,22 @@ mod tests {
             }
         );
         assert_eq!(PartitionContribution::default().fraction(), 1.0);
+    }
+
+    #[test]
+    fn clone_is_a_storage_sharing_snapshot() {
+        let g = community_graph(11);
+        let po = GoGraph::default().run_partitioned(&g);
+        let snap = po.clone();
+        assert!(snap.shares_storage_with(&po));
+        assert_eq!(snap.order(), po.order());
+        assert!(std::ptr::eq(po.part_assignment(), snap.part_assignment()));
+        // into_order with a live snapshot copies; without one it moves.
+        let order_copy = po.clone().into_order();
+        assert_eq!(&order_copy, snap.order());
+        let sole = GoGraph::default().run_partitioned(&g);
+        let expected = sole.order().clone();
+        assert_eq!(sole.into_order(), expected);
     }
 
     #[test]

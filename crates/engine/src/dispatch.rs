@@ -327,6 +327,15 @@ pub struct ScatterContext<'g> {
     pub(crate) out_degrees: &'g [u32],
 }
 
+// Compile-time thread-safety audit: parallel strategies and snapshot
+// readers share these borrowed adjacency views across threads, so they
+// must stay `Send + Sync`.
+const _: () = {
+    const fn require_send_sync<T: Send + Sync>() {}
+    require_send_sync::<GatherContext<'static>>();
+    require_send_sync::<ScatterContext<'static>>();
+};
+
 impl<'g> ScatterContext<'g> {
     /// Builds the context for `g`.
     pub fn new(g: &'g CsrGraph) -> Self {

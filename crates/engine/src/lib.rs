@@ -55,7 +55,9 @@ pub use strategy::{
     strategy_for, AlgorithmRef, AsyncStrategy, DeltaStrategy, ExecutionStrategy, ParallelStrategy,
     SyncStrategy, WarmStart, WorklistStrategy,
 };
-pub use streaming::{split_batches, StreamingPipeline, StreamingPipelineBuilder};
+pub use streaming::{
+    split_batches, SplitBatchesError, StreamingPipeline, StreamingPipelineBuilder,
+};
 pub use sync::{run_sync, sync_kernel, sync_kernel_warm};
 #[allow(deprecated)]
 pub use worklist::run_worklist;

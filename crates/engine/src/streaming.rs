@@ -496,6 +496,15 @@ impl StreamingPipeline {
         self.part_members.len()
     }
 
+    /// Vertex → partition id from the last full reorder
+    /// ([`UNPARTITIONED`] for vertices that joined since)
+    /// — exposed so an epoch publisher can snapshot the partition
+    /// structure alongside the order. Empty until the first full
+    /// reorder of a partition-scoped pipeline.
+    pub fn part_assignment(&self) -> &[u32] {
+        &self.part_of
+    }
+
     /// Default [`StreamingPipelineBuilder::quality_floor`]: Theorem 2
     /// guarantees a fresh GoGraph run at least `|E|/2` positive edges,
     /// so under 0.5-plus-margin the full run is certain to be worth
@@ -811,17 +820,50 @@ impl StreamingPipeline {
     }
 }
 
-/// Splits `items` into at most `target` non-empty, order-preserving
-/// chunks — the helper for turning an update stream into an
-/// [`StreamingPipeline::apply_batch`] schedule. Sizes by `div_ceil`, so
-/// when `items.len() < target` it returns fewer (never empty) batches,
-/// and an empty input yields an empty schedule.
-pub fn split_batches<T: Clone>(items: &[T], target: usize) -> Vec<Vec<T>> {
-    if items.is_empty() {
-        return Vec::new();
+/// Error from [`split_batches`]: the requested batch count cannot be
+/// satisfied with non-empty batches.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SplitBatchesError {
+    /// How many items were available to split.
+    pub items: usize,
+    /// How many batches were requested.
+    pub target: usize,
+}
+
+impl std::fmt::Display for SplitBatchesError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "cannot split {} update(s) into {} non-empty batch(es)",
+            self.items, self.target
+        )
     }
-    let size = items.len().div_ceil(target.max(1));
-    items.chunks(size).map(<[T]>::to_vec).collect()
+}
+
+impl std::error::Error for SplitBatchesError {}
+
+/// Splits `items` into exactly-at-most `target` non-empty,
+/// order-preserving chunks — the helper for turning an update stream
+/// into an [`StreamingPipeline::apply_batch`] schedule. Sizes by
+/// `div_ceil`, so every batch is non-empty and the count never exceeds
+/// `target`.
+///
+/// Returns [`SplitBatchesError`] when `target` is zero or larger than
+/// `items.len()` — callers at tiny scales (e.g. a load generator on a
+/// toy graph) must handle the shortage explicitly instead of receiving
+/// a silently smaller schedule.
+pub fn split_batches<T: Clone>(
+    items: &[T],
+    target: usize,
+) -> Result<Vec<Vec<T>>, SplitBatchesError> {
+    if target == 0 || target > items.len() {
+        return Err(SplitBatchesError {
+            items: items.len(),
+            target,
+        });
+    }
+    let size = items.len().div_ceil(target);
+    Ok(items.chunks(size).map(<[T]>::to_vec).collect())
 }
 
 impl std::fmt::Debug for StreamingPipeline {
@@ -1163,15 +1205,42 @@ mod tests {
     }
 
     #[test]
-    fn split_batches_is_robust_to_small_inputs() {
-        assert!(split_batches::<u32>(&[], 4).is_empty());
-        // Fewer items than batches: one-element batches, never empty.
-        assert_eq!(split_batches(&[1, 2], 4), vec![vec![1], vec![2]]);
-        // Zero target clamps to one batch.
-        assert_eq!(split_batches(&[1, 2, 3], 0), vec![vec![1, 2, 3]]);
+    fn split_batches_rejects_unsatisfiable_targets() {
+        // More batches than items is an explicit error, not a silently
+        // smaller (or empty-batch) schedule.
+        assert_eq!(
+            split_batches(&[1, 2], 4),
+            Err(SplitBatchesError {
+                items: 2,
+                target: 4
+            })
+        );
+        assert_eq!(
+            split_batches::<u32>(&[], 4),
+            Err(SplitBatchesError {
+                items: 0,
+                target: 4
+            })
+        );
+        assert_eq!(
+            split_batches(&[1, 2, 3], 0),
+            Err(SplitBatchesError {
+                items: 3,
+                target: 0
+            })
+        );
+        let err = split_batches(&[1, 2], 4).unwrap_err();
+        assert!(err.to_string().contains("cannot split 2"));
+    }
+
+    #[test]
+    fn split_batches_even_split_preserves_order() {
         // Even split preserves order and covers everything.
-        let batches = split_batches(&[1, 2, 3, 4, 5], 2);
+        let batches = split_batches(&[1, 2, 3, 4, 5], 2).unwrap();
         assert_eq!(batches, vec![vec![1, 2, 3], vec![4, 5]]);
+        // Exactly one batch per item is the tightest legal schedule.
+        assert_eq!(split_batches(&[1, 2], 2).unwrap(), vec![vec![1], vec![2]]);
+        assert_eq!(split_batches(&[7], 1).unwrap(), vec![vec![7]]);
     }
 
     #[test]

@@ -10,11 +10,19 @@
 use crate::builder::{csr_from_sorted_edges, GraphBuilder};
 use crate::permutation::Permutation;
 use crate::types::{Direction, Edge, EdgeUpdate, VertexId, Weight};
+use std::sync::Arc;
 
 /// A directed, weighted graph in CSR form with both adjacency directions.
 ///
 /// Construct via [`GraphBuilder`], [`CsrGraph::from_edges`], or a generator
 /// in [`crate::generators`].
+///
+/// A `CsrGraph` is immutable once built (every "mutation" —
+/// [`CsrGraph::apply_updates`], [`CsrGraph::relabeled`] — produces a new
+/// graph), so the payload arrays live behind [`Arc`]s and **`clone` is
+/// O(1)**: it shares storage instead of deep-copying. That is what makes
+/// publishing an epoch snapshot of an evolving graph cheap — see
+/// [`CsrGraph::snapshot`].
 ///
 /// ```
 /// use gograph_graph::CsrGraph;
@@ -26,17 +34,17 @@ use crate::types::{Direction, Edge, EdgeUpdate, VertexId, Weight};
 #[derive(Debug, Clone, PartialEq)]
 pub struct CsrGraph {
     num_vertices: usize,
-    out_offsets: Vec<usize>,
-    out_targets: Vec<VertexId>,
-    out_weights: Vec<Weight>,
-    in_offsets: Vec<usize>,
-    in_sources: Vec<VertexId>,
-    in_weights: Vec<Weight>,
+    out_offsets: Arc<Vec<usize>>,
+    out_targets: Arc<Vec<VertexId>>,
+    out_weights: Arc<Vec<Weight>>,
+    in_offsets: Arc<Vec<usize>>,
+    in_sources: Arc<Vec<VertexId>>,
+    in_weights: Arc<Vec<Weight>>,
     /// Cached per-vertex out-degrees. Engines read `out_degree(u)` once
     /// per *edge* (PageRank-family normalization), so serving it from one
     /// contiguous array instead of two offset lookups matters in the
     /// gather inner loop.
-    out_degrees: Vec<u32>,
+    out_degrees: Arc<Vec<u32>>,
 }
 
 /// Per-vertex range widths of a CSR offset array.
@@ -69,13 +77,13 @@ impl CsrGraph {
         let out_degrees = degrees_from_offsets(&out_offsets);
         CsrGraph {
             num_vertices,
-            out_offsets,
-            out_targets,
-            out_weights,
-            in_offsets,
-            in_sources,
-            in_weights,
-            out_degrees,
+            out_offsets: Arc::new(out_offsets),
+            out_targets: Arc::new(out_targets),
+            out_weights: Arc::new(out_weights),
+            in_offsets: Arc::new(in_offsets),
+            in_sources: Arc::new(in_sources),
+            in_weights: Arc::new(in_weights),
+            out_degrees: Arc::new(out_degrees),
         }
     }
 
@@ -98,14 +106,35 @@ impl CsrGraph {
     pub fn empty(num_vertices: usize) -> Self {
         CsrGraph {
             num_vertices,
-            out_offsets: vec![0; num_vertices + 1],
-            out_targets: Vec::new(),
-            out_weights: Vec::new(),
-            in_offsets: vec![0; num_vertices + 1],
-            in_sources: Vec::new(),
-            in_weights: Vec::new(),
-            out_degrees: vec![0; num_vertices],
+            out_offsets: Arc::new(vec![0; num_vertices + 1]),
+            out_targets: Arc::new(Vec::new()),
+            out_weights: Arc::new(Vec::new()),
+            in_offsets: Arc::new(vec![0; num_vertices + 1]),
+            in_sources: Arc::new(Vec::new()),
+            in_weights: Arc::new(Vec::new()),
+            out_degrees: Arc::new(vec![0; num_vertices]),
         }
+    }
+
+    /// An O(1) storage-sharing copy of the graph — the epoch-publication
+    /// entry point. Since `CsrGraph` is immutable, this is exactly
+    /// `clone()`; the named method exists to make call sites that *rely*
+    /// on sharing (instead of merely tolerating a copy) self-documenting.
+    #[inline]
+    pub fn snapshot(&self) -> CsrGraph {
+        self.clone()
+    }
+
+    /// True when `self` and `other` share the same backing arrays (i.e.
+    /// one is a [`CsrGraph::snapshot`]/`clone` of the other and neither
+    /// has been rebuilt since).
+    pub fn shares_storage_with(&self, other: &CsrGraph) -> bool {
+        Arc::ptr_eq(&self.out_offsets, &other.out_offsets)
+            && Arc::ptr_eq(&self.out_targets, &other.out_targets)
+            && Arc::ptr_eq(&self.out_weights, &other.out_weights)
+            && Arc::ptr_eq(&self.in_offsets, &other.in_offsets)
+            && Arc::ptr_eq(&self.in_sources, &other.in_sources)
+            && Arc::ptr_eq(&self.in_weights, &other.in_weights)
     }
 
     /// Number of vertices.
@@ -244,17 +273,19 @@ impl CsrGraph {
         }
     }
 
-    /// The transposed graph (every edge reversed).
+    /// The transposed graph (every edge reversed). The adjacency arrays
+    /// are shared with `self` (swapped roles), not copied; only the
+    /// degree cache is recomputed.
     pub fn reversed(&self) -> CsrGraph {
         CsrGraph {
             num_vertices: self.num_vertices,
-            out_offsets: self.in_offsets.clone(),
-            out_targets: self.in_sources.clone(),
-            out_weights: self.in_weights.clone(),
-            in_offsets: self.out_offsets.clone(),
-            in_sources: self.out_targets.clone(),
-            in_weights: self.out_weights.clone(),
-            out_degrees: degrees_from_offsets(&self.in_offsets),
+            out_offsets: Arc::clone(&self.in_offsets),
+            out_targets: Arc::clone(&self.in_sources),
+            out_weights: Arc::clone(&self.in_weights),
+            in_offsets: Arc::clone(&self.out_offsets),
+            in_sources: Arc::clone(&self.out_targets),
+            in_weights: Arc::clone(&self.out_weights),
+            out_degrees: Arc::new(degrees_from_offsets(&self.in_offsets)),
         }
     }
 
@@ -659,6 +690,38 @@ mod tests {
     fn memory_bytes_nonzero() {
         let g = diamond();
         assert!(g.memory_bytes() > 0);
+    }
+
+    #[test]
+    fn snapshot_shares_storage_instead_of_copying() {
+        let g = diamond();
+        let snap = g.snapshot();
+        assert_eq!(snap, g);
+        assert!(snap.shares_storage_with(&g));
+        assert!(
+            g.shares_storage_with(&snap.clone()),
+            "clone of clone shares"
+        );
+        // The shared arrays really are the same allocations.
+        assert!(std::ptr::eq(g.raw_out_targets(), snap.raw_out_targets()));
+        assert!(std::ptr::eq(g.raw_in_sources(), snap.raw_in_sources()));
+        // A rebuilt graph (even an identical one) does not alias.
+        let rebuilt = g.apply_updates(&[]);
+        assert_eq!(rebuilt, g);
+        assert!(!rebuilt.shares_storage_with(&g));
+        // Updates on a snapshot never disturb the original.
+        let patched = snap.apply_updates(&[EdgeUpdate::remove(0, 1)]);
+        assert!(g.has_edge(0, 1));
+        assert!(!patched.has_edge(0, 1));
+        assert!(!patched.shares_storage_with(&g));
+    }
+
+    #[test]
+    fn reversed_shares_adjacency_storage() {
+        let g = diamond();
+        let r = g.reversed();
+        assert!(std::ptr::eq(g.raw_in_sources(), r.raw_out_targets()));
+        assert!(std::ptr::eq(g.raw_out_targets(), r.raw_in_sources()));
     }
 
     #[test]

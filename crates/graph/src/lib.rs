@@ -33,3 +33,14 @@ pub use csr::CsrGraph;
 pub use frontier::Frontier;
 pub use permutation::Permutation;
 pub use types::{Direction, Edge, EdgeId, EdgeUpdate, VertexId, Weight};
+
+// Compile-time thread-safety audit: epoch-snapshot serving hands these
+// types (or borrowed views of them) to reader threads, so losing `Send
+// + Sync` — e.g. by introducing a `Cell` or `Rc` field — must fail the
+// build, not surface as a data race.
+const _: () = {
+    const fn require_send_sync<T: Send + Sync>() {}
+    require_send_sync::<CsrGraph>();
+    require_send_sync::<Permutation>();
+    require_send_sync::<Frontier>();
+};

@@ -1,0 +1,123 @@
+//! Blocking client for the wire protocol — used by the load generator,
+//! the CI smoke, and tests.
+
+use crate::core::StatsSnapshot;
+use crate::spec::{AlgSpec, ModeSpec};
+use crate::wire::{
+    decode_reply, encode_request, read_frame, write_frame, QueryReply, Reply, Request,
+};
+use gograph_graph::{EdgeUpdate, VertexId};
+use std::net::{TcpStream, ToSocketAddrs};
+
+/// Client-side failure: transport, protocol, or a server-reported error.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Socket-level failure.
+    Io(std::io::Error),
+    /// The server's bytes didn't parse.
+    Protocol(String),
+    /// The server answered with an error reply.
+    Server(String),
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "io error: {e}"),
+            ClientError::Protocol(m) => write!(f, "protocol error: {m}"),
+            ClientError::Server(m) => write!(f, "server error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<std::io::Error> for ClientError {
+    fn from(e: std::io::Error) -> ClientError {
+        ClientError::Io(e)
+    }
+}
+
+/// A blocking connection to a `gograph_serve` server.
+#[derive(Debug)]
+pub struct ServeClient {
+    stream: TcpStream,
+}
+
+impl ServeClient {
+    /// Connects to `addr`.
+    pub fn connect(addr: impl ToSocketAddrs) -> std::io::Result<ServeClient> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        Ok(ServeClient { stream })
+    }
+
+    fn roundtrip(&mut self, req: &Request) -> Result<Reply, ClientError> {
+        write_frame(&mut self.stream, &encode_request(req))?;
+        let frame = read_frame(&mut self.stream)?
+            .ok_or_else(|| ClientError::Protocol("server closed the connection".into()))?;
+        let reply = decode_reply(frame).map_err(|e| ClientError::Protocol(e.to_string()))?;
+        if let Reply::Error(msg) = reply {
+            return Err(ClientError::Server(msg));
+        }
+        Ok(reply)
+    }
+
+    /// Runs `alg` from `sources`, asking for the final states of
+    /// `targets`.
+    pub fn query(
+        &mut self,
+        alg: AlgSpec,
+        mode: ModeSpec,
+        combine: bool,
+        sources: &[VertexId],
+        targets: &[VertexId],
+    ) -> Result<QueryReply, ClientError> {
+        match self.roundtrip(&Request::Query {
+            alg,
+            mode,
+            combine,
+            sources: sources.to_vec(),
+            targets: targets.to_vec(),
+        })? {
+            Reply::Query(q) => Ok(q),
+            other => Err(ClientError::Protocol(format!(
+                "expected query reply, got {other:?}"
+            ))),
+        }
+    }
+
+    /// Enqueues an update batch; returns `(accepted, epochs_published)`.
+    pub fn send_updates(&mut self, updates: &[EdgeUpdate]) -> Result<(u32, u64), ClientError> {
+        match self.roundtrip(&Request::Updates(updates.to_vec()))? {
+            Reply::UpdateAck {
+                accepted,
+                epochs_published,
+            } => Ok((accepted, epochs_published)),
+            other => Err(ClientError::Protocol(format!(
+                "expected update ack, got {other:?}"
+            ))),
+        }
+    }
+
+    /// Fetches the server's counter snapshot.
+    pub fn stats(&mut self) -> Result<StatsSnapshot, ClientError> {
+        match self.roundtrip(&Request::Stats)? {
+            Reply::Stats(s) => Ok(s),
+            other => Err(ClientError::Protocol(format!(
+                "expected stats reply, got {other:?}"
+            ))),
+        }
+    }
+
+    /// Asks the server to shut down; the final stats snapshot is the
+    /// acknowledgement.
+    pub fn shutdown_server(&mut self) -> Result<StatsSnapshot, ClientError> {
+        match self.roundtrip(&Request::Shutdown)? {
+            Reply::Stats(s) => Ok(s),
+            other => Err(ClientError::Protocol(format!(
+                "expected stats reply, got {other:?}"
+            ))),
+        }
+    }
+}

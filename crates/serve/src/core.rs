@@ -1,0 +1,694 @@
+//! The in-process service core: epoch-pinned query execution on reader
+//! threads, a single mutator thread publishing epochs, and shared
+//! counters for the stats reply.
+//!
+//! Transport-agnostic on purpose — [`crate::server`] wraps it in TCP,
+//! tests drive it directly.
+
+use crate::admission::{Admission, AdmissionQueue};
+use crate::epoch::{EpochCell, EpochState, WarmEntry};
+use crate::spec::{AlgSpec, ModeSpec};
+use gograph_engine::{
+    Bfs, ConnectedComponents, EngineError, PageRank, Pipeline, Sssp, Sswp, StreamingPipeline,
+    WarmStart,
+};
+use gograph_graph::{CsrGraph, EdgeUpdate, VertexId};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc::{self, Receiver, Sender};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// An algorithm the mutator keeps converged across epochs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WarmSpec {
+    /// The algorithm to maintain.
+    pub alg: AlgSpec,
+    /// Source vertex for sourced algorithms (ignored by global ones).
+    pub source: VertexId,
+}
+
+impl WarmSpec {
+    /// A warm spec for `alg` from `source`.
+    pub fn new(alg: AlgSpec, source: VertexId) -> WarmSpec {
+        WarmSpec { alg, source }
+    }
+}
+
+/// Service configuration.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Algorithms the mutator maintains warm across epochs. When empty,
+    /// a single global CC pipeline is used so the order still gets
+    /// maintained.
+    pub warm: Vec<WarmSpec>,
+    /// How long an admission-batch leader holds its slot open for
+    /// followers. Zero disables request combining.
+    pub admission_window: Duration,
+    /// Reorder parallelism handed to the mutator's pipelines.
+    pub reorder_threads: usize,
+    /// Whether the mutator uses partition-scoped re-reordering.
+    pub partition_scoped: bool,
+}
+
+impl Default for ServeConfig {
+    fn default() -> ServeConfig {
+        ServeConfig {
+            warm: vec![
+                WarmSpec::new(AlgSpec::Cc, 0),
+                WarmSpec::new(AlgSpec::Sssp, 0),
+            ],
+            admission_window: Duration::from_millis(2),
+            reorder_threads: 1,
+            partition_scoped: true,
+        }
+    }
+}
+
+/// Errors surfaced to clients.
+#[derive(Debug)]
+pub enum ServeError {
+    /// The request was malformed (bad algorithm, missing sources,
+    /// out-of-range vertex, ...).
+    InvalidRequest(String),
+    /// The engine failed to execute the query.
+    Engine(EngineError),
+    /// The service is shutting down.
+    Closed,
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::InvalidRequest(m) => write!(f, "invalid request: {m}"),
+            ServeError::Engine(e) => write!(f, "engine error: {e}"),
+            ServeError::Closed => write!(f, "service is shutting down"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+impl From<EngineError> for ServeError {
+    fn from(e: EngineError) -> ServeError {
+        ServeError::Engine(e)
+    }
+}
+
+/// One query as the core sees it (the wire layer decodes into this).
+#[derive(Debug, Clone)]
+pub struct QueryRequest {
+    /// Which algorithm to run.
+    pub alg: AlgSpec,
+    /// Execution mode.
+    pub mode: ModeSpec,
+    /// Source vertices (exactly the client's own; admission may widen).
+    pub sources: Vec<VertexId>,
+    /// Whether this request may be coalesced with concurrent
+    /// same-algorithm requests into one multi-source run.
+    pub combine: bool,
+}
+
+/// A finished query: the pinned epoch it ran against plus the full
+/// result. Shared by every coalesced follower via `Arc`.
+#[derive(Debug)]
+pub struct QueryOutcome {
+    /// The epoch snapshot the query executed against (still pinned as
+    /// long as this outcome is alive).
+    pub epoch: Arc<EpochState>,
+    /// Algorithm that ran.
+    pub alg: AlgSpec,
+    /// Mode it ran under.
+    pub mode: ModeSpec,
+    /// The *effective* source set — the admitted union when the run was
+    /// coalesced, the client's own sources otherwise. Replies carry
+    /// this so any client can reproduce the exact run.
+    pub effective_sources: Vec<VertexId>,
+    /// How many client requests this one execution served.
+    pub admitted: usize,
+    /// Whether the run warm-started from the epoch's converged states.
+    pub warm: bool,
+    /// Rounds the engine executed.
+    pub rounds: usize,
+    /// Rounds executed in the push direction (direction-optimizing
+    /// engines; 0 otherwise).
+    pub push_rounds: usize,
+    /// Engine state memory for the run.
+    pub state_memory_bytes: usize,
+    /// Whether the run converged within the round cap.
+    pub converged: bool,
+    /// Engine-side runtime of the iteration loop.
+    pub runtime: Duration,
+    /// Final per-vertex states (in original vertex ids).
+    pub states: Arc<Vec<f64>>,
+}
+
+/// Shared atomic counters, snapshotted into the wire stats reply.
+#[derive(Debug, Default)]
+pub struct ServeStats {
+    /// Queries answered (leaders and followers alike).
+    pub queries: AtomicU64,
+    /// Queries answered from another leader's execution.
+    pub coalesced: AtomicU64,
+    /// Executions that warm-started from epoch warm state.
+    pub warm_hits: AtomicU64,
+    /// Executions that ran cold.
+    pub cold_runs: AtomicU64,
+    /// Total rounds across query executions.
+    pub query_rounds: AtomicU64,
+    /// Total push-direction rounds across query executions.
+    pub query_push_rounds: AtomicU64,
+    /// State bytes of the most recent query execution.
+    pub last_state_bytes: AtomicU64,
+    /// Update batches accepted into the queue.
+    pub batches_enqueued: AtomicU64,
+    /// Update batches the mutator applied (== epochs published).
+    pub batches_applied: AtomicU64,
+    /// Individual edge updates applied.
+    pub updates_applied: AtomicU64,
+    /// Total rounds the mutator's warm pipelines spent re-converging.
+    pub mutator_rounds: AtomicU64,
+    /// Update batches the mutator failed to apply.
+    pub mutator_errors: AtomicU64,
+}
+
+/// A plain-value copy of every counter plus epoch/graph facts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct StatsSnapshot {
+    /// Current epoch number.
+    pub epoch: u64,
+    /// Epochs published since bootstrap.
+    pub epochs_published: u64,
+    /// Vertices in the current epoch's graph.
+    pub num_vertices: u64,
+    /// Edges in the current epoch's graph.
+    pub num_edges: u64,
+    /// Partitions tracked by the current epoch.
+    pub num_partitions: u64,
+    /// Queries answered.
+    pub queries: u64,
+    /// Queries served from a coalesced execution.
+    pub coalesced: u64,
+    /// Warm-started executions.
+    pub warm_hits: u64,
+    /// Cold executions.
+    pub cold_runs: u64,
+    /// Total query rounds.
+    pub query_rounds: u64,
+    /// Total query push rounds.
+    pub query_push_rounds: u64,
+    /// State bytes of the most recent execution.
+    pub last_state_bytes: u64,
+    /// Update batches enqueued.
+    pub batches_enqueued: u64,
+    /// Update batches applied.
+    pub batches_applied: u64,
+    /// Individual updates applied.
+    pub updates_applied: u64,
+    /// Mutator re-convergence rounds.
+    pub mutator_rounds: u64,
+    /// Mutator failures.
+    pub mutator_errors: u64,
+}
+
+enum MutatorMsg {
+    Batch(Vec<EdgeUpdate>),
+    Stop,
+}
+
+/// The service core. `Arc<ServeCore>` is shared by every connection
+/// handler; all methods take `&self`.
+pub struct ServeCore {
+    epoch: Arc<EpochCell>,
+    admission: AdmissionQueue<(u8, u8), Arc<QueryOutcome>>,
+    stats: Arc<ServeStats>,
+    update_tx: Mutex<Option<Sender<MutatorMsg>>>,
+    mutator: Mutex<Option<JoinHandle<()>>>,
+}
+
+impl ServeCore {
+    /// Boots the service over `graph`: builds one warm
+    /// [`StreamingPipeline`] per configured algorithm (cold bootstrap
+    /// runs happen here), publishes the bootstrap epoch, and starts the
+    /// mutator thread.
+    pub fn start(graph: &CsrGraph, config: ServeConfig) -> Result<Arc<ServeCore>, ServeError> {
+        let warm_specs = if config.warm.is_empty() {
+            vec![WarmSpec::new(AlgSpec::Cc, 0)]
+        } else {
+            config.warm.clone()
+        };
+        for w in &warm_specs {
+            if w.alg.needs_sources() && (w.source as usize) >= graph.num_vertices() {
+                return Err(ServeError::InvalidRequest(format!(
+                    "warm source {} out of range for {} vertices",
+                    w.source,
+                    graph.num_vertices()
+                )));
+            }
+        }
+
+        let mut pipelines: Vec<(WarmSpec, StreamingPipeline)> =
+            Vec::with_capacity(warm_specs.len());
+        for spec in &warm_specs {
+            let sp = build_warm_pipeline(graph, *spec, &config)?;
+            pipelines.push((*spec, sp));
+        }
+
+        let bootstrap = epoch_from_pipelines(0, &pipelines);
+        let epoch = Arc::new(EpochCell::new(bootstrap));
+        let stats = Arc::new(ServeStats::default());
+
+        // The mutator owns only the shared inner pieces (epoch cell +
+        // counters), never an `Arc<ServeCore>` — a core handle here
+        // would keep the thread and the core alive in a cycle.
+        let (tx, rx) = mpsc::channel();
+        let mcell = Arc::clone(&epoch);
+        let mstats = Arc::clone(&stats);
+        let handle = std::thread::Builder::new()
+            .name("gograph-mutator".into())
+            .spawn(move || mutator_loop(rx, pipelines, &mcell, &mstats))
+            .expect("spawn mutator thread");
+
+        Ok(Arc::new(ServeCore {
+            epoch,
+            admission: AdmissionQueue::new(config.admission_window),
+            stats,
+            update_tx: Mutex::new(Some(tx)),
+            mutator: Mutex::new(Some(handle)),
+        }))
+    }
+
+    /// Pins and returns the current epoch snapshot.
+    pub fn pin_epoch(&self) -> Arc<EpochState> {
+        self.epoch.pin()
+    }
+
+    /// Executes `req` against a pinned epoch, possibly coalescing it
+    /// with concurrent compatible requests (see [`crate::admission`]).
+    pub fn execute_query(&self, req: QueryRequest) -> Result<Arc<QueryOutcome>, ServeError> {
+        if req.alg.needs_sources() && req.sources.is_empty() {
+            return Err(ServeError::InvalidRequest(format!(
+                "{} requires at least one source vertex",
+                req.alg.name()
+            )));
+        }
+        let sources: &[VertexId] = if req.alg.needs_sources() {
+            &req.sources
+        } else {
+            &[]
+        };
+
+        let outcome = if req.combine {
+            let key = (req.alg.code(), req.mode.code());
+            match self.admission.submit(key, sources) {
+                Admission::Lead {
+                    slot,
+                    sources,
+                    admitted,
+                } => match self.run(req.alg, req.mode, sources, admitted) {
+                    Ok(outcome) => {
+                        self.admission.complete(&slot, Arc::clone(&outcome));
+                        outcome
+                    }
+                    Err(e) => {
+                        self.admission.poison(&slot);
+                        return Err(e);
+                    }
+                },
+                Admission::Follow(outcome) => {
+                    self.stats.coalesced.fetch_add(1, Ordering::Relaxed);
+                    outcome
+                }
+            }
+        } else {
+            self.run(req.alg, req.mode, sources.to_vec(), 1)?
+        };
+        self.stats.queries.fetch_add(1, Ordering::Relaxed);
+        Ok(outcome)
+    }
+
+    /// One execution against a freshly pinned epoch.
+    fn run(
+        &self,
+        alg: AlgSpec,
+        mode: ModeSpec,
+        sources: Vec<VertexId>,
+        admitted: usize,
+    ) -> Result<Arc<QueryOutcome>, ServeError> {
+        let epoch = self.epoch.pin();
+        let n = epoch.graph.num_vertices();
+        if let Some(&bad) = sources.iter().find(|&&s| (s as usize) >= n) {
+            return Err(ServeError::InvalidRequest(format!(
+                "source vertex {bad} out of range for {n} vertices"
+            )));
+        }
+
+        // Warm-start only exact-match single-source (or global) queries
+        // from the epoch's converged states.
+        let warm_entry: Option<&WarmEntry> = if sources.len() <= 1 {
+            epoch.warm_for(alg, sources.first().copied().unwrap_or(0))
+        } else {
+            None
+        };
+
+        let algorithm = alg.instantiate(&sources);
+        let mut builder = Pipeline::on(&epoch.graph)
+            .order_ref(&epoch.order)
+            .mode(mode.mode())
+            .algorithm_ref(algorithm.as_ref());
+        let warm = warm_entry.is_some();
+        if let Some(entry) = warm_entry {
+            builder = builder.warm_start(WarmStart::from_states((*entry.states).clone()));
+        }
+        let result = builder.execute()?;
+
+        let stats = result.stats;
+        if warm {
+            self.stats.warm_hits.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.stats.cold_runs.fetch_add(1, Ordering::Relaxed);
+        }
+        self.stats
+            .query_rounds
+            .fetch_add(stats.rounds as u64, Ordering::Relaxed);
+        self.stats
+            .query_push_rounds
+            .fetch_add(stats.push_rounds as u64, Ordering::Relaxed);
+        self.stats
+            .last_state_bytes
+            .store(stats.state_memory_bytes as u64, Ordering::Relaxed);
+
+        Ok(Arc::new(QueryOutcome {
+            epoch,
+            alg,
+            mode,
+            effective_sources: sources,
+            admitted,
+            warm,
+            rounds: stats.rounds,
+            push_rounds: stats.push_rounds,
+            state_memory_bytes: stats.state_memory_bytes,
+            converged: stats.converged,
+            runtime: stats.runtime,
+            states: Arc::new(stats.final_states),
+        }))
+    }
+
+    /// Queues an update batch for the mutator. Returns the number of
+    /// updates accepted.
+    pub fn enqueue_updates(&self, updates: Vec<EdgeUpdate>) -> Result<usize, ServeError> {
+        if updates.is_empty() {
+            return Err(ServeError::InvalidRequest("empty update batch".to_string()));
+        }
+        let n = updates.len();
+        let tx = self.update_tx.lock().unwrap();
+        match tx.as_ref() {
+            Some(tx) => tx
+                .send(MutatorMsg::Batch(updates))
+                .map_err(|_| ServeError::Closed)?,
+            None => return Err(ServeError::Closed),
+        }
+        self.stats.batches_enqueued.fetch_add(1, Ordering::Relaxed);
+        Ok(n)
+    }
+
+    /// A point-in-time copy of every counter.
+    pub fn stats_snapshot(&self) -> StatsSnapshot {
+        let ep = self.epoch.pin();
+        let s = &self.stats;
+        StatsSnapshot {
+            epoch: ep.epoch,
+            epochs_published: self.epoch.epochs_published(),
+            num_vertices: ep.graph.num_vertices() as u64,
+            num_edges: ep.graph.num_edges() as u64,
+            num_partitions: ep.num_partitions as u64,
+            queries: s.queries.load(Ordering::Relaxed),
+            coalesced: s.coalesced.load(Ordering::Relaxed),
+            warm_hits: s.warm_hits.load(Ordering::Relaxed),
+            cold_runs: s.cold_runs.load(Ordering::Relaxed),
+            query_rounds: s.query_rounds.load(Ordering::Relaxed),
+            query_push_rounds: s.query_push_rounds.load(Ordering::Relaxed),
+            last_state_bytes: s.last_state_bytes.load(Ordering::Relaxed),
+            batches_enqueued: s.batches_enqueued.load(Ordering::Relaxed),
+            batches_applied: s.batches_applied.load(Ordering::Relaxed),
+            updates_applied: s.updates_applied.load(Ordering::Relaxed),
+            mutator_rounds: s.mutator_rounds.load(Ordering::Relaxed),
+            mutator_errors: s.mutator_errors.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Stops the mutator after it drains every queued batch, and joins
+    /// it. Idempotent; queries keep working against the last epoch.
+    pub fn shutdown(&self) {
+        let tx = self.update_tx.lock().unwrap().take();
+        if let Some(tx) = tx {
+            let _ = tx.send(MutatorMsg::Stop);
+        }
+        let handle = self.mutator.lock().unwrap().take();
+        if let Some(handle) = handle {
+            let _ = handle.join();
+        }
+    }
+
+    /// Blocks until the mutator has applied every batch enqueued before
+    /// this call (used by tests and the CI smoke to make "≥ 1 epoch
+    /// published" deterministic).
+    pub fn quiesce(&self) {
+        loop {
+            let s = self.stats_snapshot();
+            if s.batches_applied + s.mutator_errors >= s.batches_enqueued {
+                return;
+            }
+            std::thread::sleep(Duration::from_millis(1));
+        }
+    }
+}
+
+fn mutator_loop(
+    rx: Receiver<MutatorMsg>,
+    mut pipelines: Vec<(WarmSpec, StreamingPipeline)>,
+    cell: &EpochCell,
+    stats: &ServeStats,
+) {
+    let mut epoch = 0u64;
+    while let Ok(msg) = rx.recv() {
+        let updates = match msg {
+            MutatorMsg::Batch(u) => u,
+            MutatorMsg::Stop => break,
+        };
+        let mut rounds = 0u64;
+        let mut failed = false;
+        for (_, sp) in pipelines.iter_mut() {
+            match sp.apply_batch(&updates) {
+                Ok(result) => rounds += result.stats.rounds as u64,
+                Err(_) => {
+                    failed = true;
+                    break;
+                }
+            }
+        }
+        if failed {
+            // A failed batch must not publish a half-applied epoch;
+            // pipelines that already applied it stay ahead until the
+            // next successful batch realigns the published snapshot.
+            stats.mutator_errors.fetch_add(1, Ordering::Relaxed);
+            continue;
+        }
+        epoch += 1;
+        cell.publish(epoch_from_pipelines(epoch, &pipelines));
+        stats.batches_applied.fetch_add(1, Ordering::Relaxed);
+        stats
+            .updates_applied
+            .fetch_add(updates.len() as u64, Ordering::Relaxed);
+        stats.mutator_rounds.fetch_add(rounds, Ordering::Relaxed);
+    }
+}
+
+impl Drop for ServeCore {
+    fn drop(&mut self) {
+        // Last owner going away: stop the mutator if still running.
+        let tx = self.update_tx.lock().unwrap().take();
+        drop(tx);
+        let handle = self.mutator.lock().unwrap().take();
+        if let Some(handle) = handle {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl std::fmt::Debug for ServeCore {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ServeCore")
+            .field("stats", &self.stats_snapshot())
+            .finish_non_exhaustive()
+    }
+}
+
+fn build_warm_pipeline(
+    graph: &CsrGraph,
+    spec: WarmSpec,
+    config: &ServeConfig,
+) -> Result<StreamingPipeline, EngineError> {
+    let b = StreamingPipeline::over(graph)
+        .reorder_parallelism(config.reorder_threads)
+        .partition_scoped_reorder(config.partition_scoped);
+    match spec.alg {
+        AlgSpec::Sssp => b.algorithm(Sssp::new(spec.source)).build(),
+        AlgSpec::Bfs => b.algorithm(Bfs::new(spec.source)).build(),
+        AlgSpec::Cc => b.algorithm(ConnectedComponents).build(),
+        AlgSpec::PageRank => b.algorithm(PageRank::default()).build(),
+        AlgSpec::Sswp => b.algorithm(Sswp::new(spec.source)).build(),
+    }
+}
+
+fn epoch_from_pipelines(epoch: u64, pipelines: &[(WarmSpec, StreamingPipeline)]) -> EpochState {
+    let (_, first) = &pipelines[0];
+    EpochState {
+        epoch,
+        // O(1): the CSR payloads are Arc-shared with the pipeline's
+        // copy, which stops aliasing them the moment it next mutates.
+        graph: first.graph().snapshot(),
+        order: Arc::new(first.order().clone()),
+        part_of: Arc::new(first.part_assignment().to_vec()),
+        num_partitions: first.num_partitions(),
+        warm: pipelines
+            .iter()
+            .map(|(spec, sp)| WarmEntry {
+                alg: spec.alg,
+                source: spec.source,
+                states: Arc::new(sp.states().to_vec()),
+            })
+            .collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gograph_graph::generators::{planted_partition, PlantedPartitionConfig};
+
+    fn test_graph() -> CsrGraph {
+        planted_partition(PlantedPartitionConfig {
+            num_vertices: 80,
+            num_edges: 400,
+            communities: 4,
+            p_intra: 0.8,
+            gamma: 2.4,
+            seed: 11,
+        })
+    }
+
+    fn core() -> Arc<ServeCore> {
+        ServeCore::start(
+            &test_graph(),
+            ServeConfig {
+                warm: vec![
+                    WarmSpec::new(AlgSpec::Sssp, 0),
+                    WarmSpec::new(AlgSpec::Cc, 0),
+                ],
+                admission_window: Duration::ZERO,
+                ..ServeConfig::default()
+            },
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn warm_query_matches_cold_run_exactly() {
+        let core = core();
+        let warm = core
+            .execute_query(QueryRequest {
+                alg: AlgSpec::Sssp,
+                mode: ModeSpec::Async,
+                sources: vec![0],
+                combine: false,
+            })
+            .unwrap();
+        assert!(warm.warm, "configured warm algorithm must warm-start");
+        assert_eq!(warm.rounds, 1, "fixpoint re-check is one round");
+
+        let cold = core
+            .execute_query(QueryRequest {
+                alg: AlgSpec::Sssp,
+                mode: ModeSpec::Async,
+                sources: vec![3],
+                combine: false,
+            })
+            .unwrap();
+        assert!(!cold.warm, "unconfigured source runs cold");
+
+        // Max-norm warm results are bit-identical to the stored fixpoint.
+        let ep = core.pin_epoch();
+        let entry = ep.warm_for(AlgSpec::Sssp, 0).unwrap();
+        assert_eq!(&*warm.states, &*entry.states);
+    }
+
+    #[test]
+    fn updates_publish_epochs_and_queries_stay_pinned() {
+        let core = core();
+        let before = core.pin_epoch();
+        assert_eq!(before.epoch, 0);
+
+        core.enqueue_updates(vec![EdgeUpdate::insert(0, 50), EdgeUpdate::insert(50, 70)])
+            .unwrap();
+        core.quiesce();
+        let snap = core.stats_snapshot();
+        assert_eq!(snap.epochs_published, 1);
+        assert_eq!(snap.batches_applied, 1);
+        assert_eq!(snap.updates_applied, 2);
+
+        let after = core.pin_epoch();
+        assert_eq!(after.epoch, 1);
+        // The pre-update pin still sees the old graph.
+        assert_eq!(before.graph.num_edges() + 2, after.graph.num_edges());
+        core.shutdown();
+    }
+
+    #[test]
+    fn global_queries_need_no_sources_and_sources_are_validated() {
+        let core = core();
+        let cc = core
+            .execute_query(QueryRequest {
+                alg: AlgSpec::Cc,
+                mode: ModeSpec::Async,
+                sources: vec![],
+                combine: false,
+            })
+            .unwrap();
+        assert!(cc.warm);
+        assert!(cc.converged);
+
+        let err = core.execute_query(QueryRequest {
+            alg: AlgSpec::Sssp,
+            mode: ModeSpec::Async,
+            sources: vec![],
+            combine: false,
+        });
+        assert!(matches!(err, Err(ServeError::InvalidRequest(_))));
+
+        let err = core.execute_query(QueryRequest {
+            alg: AlgSpec::Bfs,
+            mode: ModeSpec::Async,
+            sources: vec![10_000],
+            combine: false,
+        });
+        assert!(matches!(err, Err(ServeError::InvalidRequest(_))));
+    }
+
+    #[test]
+    fn enqueue_after_shutdown_is_refused() {
+        let core = core();
+        core.shutdown();
+        let err = core.enqueue_updates(vec![EdgeUpdate::insert(0, 1)]);
+        assert!(matches!(err, Err(ServeError::Closed)));
+        // Queries still work against the last epoch.
+        assert!(core
+            .execute_query(QueryRequest {
+                alg: AlgSpec::Cc,
+                mode: ModeSpec::Sync,
+                sources: vec![],
+                combine: false,
+            })
+            .is_ok());
+    }
+}

@@ -1,0 +1,175 @@
+//! RCU-style epoch publication.
+//!
+//! The mutator thread builds an immutable [`EpochState`] after every
+//! applied update batch and swaps it into the [`EpochCell`]; readers
+//! [`pin`](EpochCell::pin) the current epoch (an `Arc` clone taken
+//! under a short lock) and execute entirely against that snapshot, so a
+//! published swap never moves data out from under a running query.
+//! Retirement is the `Arc` refcount: when the last pinned reader drops
+//! its handle, the old epoch's storage goes with it — and because
+//! `CsrGraph`/`Permutation` payloads are themselves `Arc`-shared (see
+//! `CsrGraph::snapshot`), consecutive epochs share every array the
+//! update batch didn't rebuild.
+
+use crate::spec::AlgSpec;
+use gograph_graph::{CsrGraph, Permutation, VertexId};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Converged warm state for one algorithm, carried by an epoch.
+#[derive(Debug, Clone)]
+pub struct WarmEntry {
+    /// Which algorithm these states are a fixpoint of.
+    pub alg: AlgSpec,
+    /// The source the fixpoint was computed from (ignored by global
+    /// algorithms). Only queries for exactly this source may warm-start
+    /// from it.
+    pub source: VertexId,
+    /// The converged per-vertex states on this epoch's graph.
+    pub states: Arc<Vec<f64>>,
+}
+
+/// One immutable snapshot of the served graph: everything a reader
+/// needs to execute a query without touching shared mutable state.
+#[derive(Debug, Clone)]
+pub struct EpochState {
+    /// Monotone epoch number (0 = the bootstrap epoch).
+    pub epoch: u64,
+    /// The reordered CSR at this epoch (`Arc`-backed storage — cloning
+    /// out of the mutator's pipeline was O(1)).
+    pub graph: CsrGraph,
+    /// The maintained GoGraph processing order for this graph.
+    pub order: Arc<Permutation>,
+    /// Vertex → partition assignment from the last full reorder (empty
+    /// when the mutator runs without partition-scoped maintenance).
+    pub part_of: Arc<Vec<u32>>,
+    /// Partitions tracked at this epoch.
+    pub num_partitions: usize,
+    /// Converged warm states, one entry per configured warm algorithm.
+    pub warm: Vec<WarmEntry>,
+}
+
+impl EpochState {
+    /// The warm entry matching `alg` at `source`, if this epoch carries
+    /// one (global algorithms match regardless of `source`).
+    pub fn warm_for(&self, alg: AlgSpec, source: VertexId) -> Option<&WarmEntry> {
+        self.warm
+            .iter()
+            .find(|w| w.alg == alg && (!alg.needs_sources() || w.source == source))
+    }
+}
+
+/// The swap cell readers pin epochs from.
+///
+/// A plain `Mutex<Arc<_>>` rather than a lock-free pointer: the
+/// critical section is a single refcount bump, so the lock is held for
+/// nanoseconds and never across a query. (An `AtomicPtr` RCU would need
+/// a deferred-reclamation scheme the `Arc` already provides.)
+#[derive(Debug)]
+pub struct EpochCell {
+    current: Mutex<Arc<EpochState>>,
+    published: AtomicU64,
+}
+
+impl EpochCell {
+    /// Starts the cell at `initial` (the bootstrap epoch; it does not
+    /// count as a *published* epoch).
+    pub fn new(initial: EpochState) -> EpochCell {
+        EpochCell {
+            current: Mutex::new(Arc::new(initial)),
+            published: AtomicU64::new(0),
+        }
+    }
+
+    /// Pins the current epoch: the returned handle keeps every array of
+    /// that snapshot alive until dropped, regardless of how many epochs
+    /// are published meanwhile.
+    pub fn pin(&self) -> Arc<EpochState> {
+        Arc::clone(&self.current.lock().unwrap())
+    }
+
+    /// Publishes `next` as the current epoch and returns its epoch
+    /// number. The displaced epoch retires when its last reader unpins.
+    pub fn publish(&self, next: EpochState) -> u64 {
+        let epoch = next.epoch;
+        *self.current.lock().unwrap() = Arc::new(next);
+        self.published.fetch_add(1, Ordering::Relaxed);
+        epoch
+    }
+
+    /// Epochs published since the bootstrap epoch.
+    pub fn epochs_published(&self) -> u64 {
+        self.published.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gograph_graph::generators::regular::chain;
+
+    fn epoch(n: u64, g: &CsrGraph) -> EpochState {
+        EpochState {
+            epoch: n,
+            graph: g.snapshot(),
+            order: Arc::new(Permutation::identity(g.num_vertices())),
+            part_of: Arc::new(Vec::new()),
+            num_partitions: 0,
+            warm: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn pinned_epoch_survives_publication() {
+        let g = chain(6);
+        let cell = EpochCell::new(epoch(0, &g));
+        let pinned = cell.pin();
+        assert_eq!(pinned.epoch, 0);
+        assert_eq!(cell.epochs_published(), 0);
+
+        let g2 = chain(8);
+        cell.publish(epoch(1, &g2));
+        assert_eq!(cell.epochs_published(), 1);
+        // The old pin still sees the old snapshot...
+        assert_eq!(pinned.epoch, 0);
+        assert_eq!(pinned.graph.num_vertices(), 6);
+        // ...while new pins see the new epoch.
+        assert_eq!(cell.pin().epoch, 1);
+        assert_eq!(cell.pin().graph.num_vertices(), 8);
+    }
+
+    #[test]
+    fn retirement_is_the_refcount() {
+        let g = chain(4);
+        let cell = EpochCell::new(epoch(0, &g));
+        let pinned = cell.pin();
+        cell.publish(epoch(1, &g));
+        // The only remaining owners of epoch 0 are `pinned` itself.
+        assert_eq!(Arc::strong_count(&pinned), 1);
+        let again = Arc::clone(&pinned);
+        assert_eq!(Arc::strong_count(&again), 2);
+    }
+
+    #[test]
+    fn warm_lookup_respects_sources() {
+        let g = chain(5);
+        let mut e = epoch(0, &g);
+        e.warm.push(WarmEntry {
+            alg: AlgSpec::Sssp,
+            source: 2,
+            states: Arc::new(vec![0.0; 5]),
+        });
+        e.warm.push(WarmEntry {
+            alg: AlgSpec::Cc,
+            source: 0,
+            states: Arc::new(vec![0.0; 5]),
+        });
+        assert!(e.warm_for(AlgSpec::Sssp, 2).is_some());
+        assert!(e.warm_for(AlgSpec::Sssp, 3).is_none(), "wrong source");
+        assert!(
+            e.warm_for(AlgSpec::Cc, 99).is_some(),
+            "global ignores source"
+        );
+        assert!(e.warm_for(AlgSpec::Bfs, 2).is_none());
+    }
+}

@@ -1,0 +1,107 @@
+//! Epoch-snapshot graph query service.
+//!
+//! Turns the workspace's reordering + warm-start machinery into a
+//! long-running serving system, per the paper's "serve heavy traffic"
+//! motivation:
+//!
+//! - **[`epoch`]** — RCU-style snapshots: readers pin an immutable
+//!   [`EpochState`] (reordered CSR, processing order, converged warm
+//!   states) and never see a mutation; the mutator publishes the next
+//!   epoch with a swap and old epochs retire with their last reader.
+//! - **[`core`]** — [`ServeCore`], the transport-agnostic service:
+//!   epoch-pinned query execution, a single mutator thread draining
+//!   update batches through `StreamingPipeline::apply_batch`, and
+//!   counters.
+//! - **[`admission`]** — leader/follower combining of concurrent
+//!   same-algorithm queries into one multi-source run.
+//! - **[`spec`]** — wire-addressable algorithm/mode codes and the
+//!   [`MultiSource`] widening wrapper.
+//! - **[`wire`]** — the length-prefixed binary protocol.
+//! - **[`server`] / [`client`]** — thread-per-connection TCP front end
+//!   and the matching blocking client.
+
+#![warn(missing_docs)]
+
+pub mod admission;
+pub mod client;
+pub mod core;
+pub mod epoch;
+pub mod server;
+pub mod spec;
+pub mod wire;
+
+pub use crate::core::{
+    QueryOutcome, QueryRequest, ServeConfig, ServeCore, ServeError, StatsSnapshot, WarmSpec,
+};
+pub use admission::{Admission, AdmissionQueue};
+pub use client::{ClientError, ServeClient};
+pub use epoch::{EpochCell, EpochState, WarmEntry};
+pub use server::{serve, ServerHandle};
+pub use spec::{AlgSpec, ModeSpec, MultiSource};
+pub use wire::{QueryReply, Reply, Request, WireError};
+
+#[cfg(test)]
+mod end_to_end {
+    use super::*;
+    use gograph_graph::generators::{planted_partition, PlantedPartitionConfig};
+    use gograph_graph::EdgeUpdate;
+    use std::time::Duration;
+
+    #[test]
+    fn tcp_roundtrip_query_update_stats_shutdown() {
+        let g = planted_partition(PlantedPartitionConfig {
+            num_vertices: 60,
+            num_edges: 300,
+            communities: 3,
+            p_intra: 0.8,
+            gamma: 2.4,
+            seed: 5,
+        });
+        let core = ServeCore::start(
+            &g,
+            ServeConfig {
+                warm: vec![WarmSpec::new(AlgSpec::Sssp, 0)],
+                admission_window: Duration::ZERO,
+                ..ServeConfig::default()
+            },
+        )
+        .unwrap();
+        let server = serve("127.0.0.1:0", core).unwrap();
+        let addr = server.local_addr();
+
+        let mut c = ServeClient::connect(addr).unwrap();
+        let q = c
+            .query(AlgSpec::Sssp, ModeSpec::Async, false, &[0], &[0, 5, 59])
+            .unwrap();
+        assert_eq!(q.epoch, 0);
+        assert!(q.warm);
+        assert!(q.converged);
+        assert_eq!(q.effective_sources, vec![0]);
+        assert_eq!(q.values.len(), 3);
+        assert_eq!(q.values[0], (0, 0.0), "source distance is 0");
+
+        let (accepted, _) = c
+            .send_updates(&[EdgeUpdate::insert(0, 30), EdgeUpdate::insert(30, 59)])
+            .unwrap();
+        assert_eq!(accepted, 2);
+        server.core().quiesce();
+
+        let s = c.stats().unwrap();
+        assert_eq!(s.epochs_published, 1);
+        assert_eq!(s.queries, 1);
+        assert_eq!(s.num_edges, g.num_edges() as u64 + 2);
+
+        let q2 = c
+            .query(AlgSpec::Sssp, ModeSpec::Async, false, &[0], &[59])
+            .unwrap();
+        assert_eq!(q2.epoch, 1, "post-update queries pin the new epoch");
+
+        let last = c.shutdown_server().unwrap();
+        assert!(last.queries >= 2);
+        // The accept loop notices the flag; wait() would block until it
+        // has, shutdown() forces it.
+        let mut server = server;
+        server.shutdown();
+        assert!(server.is_stopped());
+    }
+}

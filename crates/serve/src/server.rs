@@ -1,0 +1,194 @@
+//! Thread-per-connection TCP front end over [`ServeCore`].
+
+use crate::core::{QueryRequest, ServeCore, ServeError};
+use crate::wire::{
+    decode_request, encode_reply, read_frame, write_frame, QueryReply, Reply, Request,
+};
+use std::net::{TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// A running TCP server. Dropping the handle (or calling
+/// [`shutdown`](ServerHandle::shutdown)) stops the accept loop and the
+/// core's mutator.
+pub struct ServerHandle {
+    addr: std::net::SocketAddr,
+    core: Arc<ServeCore>,
+    stop: Arc<AtomicBool>,
+    accept_thread: Option<JoinHandle<()>>,
+}
+
+/// Binds `addr` and serves `core` until shutdown. Each connection gets
+/// its own reader thread; queries on different connections execute
+/// concurrently against their pinned epochs.
+pub fn serve(addr: impl ToSocketAddrs, core: Arc<ServeCore>) -> std::io::Result<ServerHandle> {
+    let listener = TcpListener::bind(addr)?;
+    let addr = listener.local_addr()?;
+    // Non-blocking accept + poll keeps shutdown simple and portable (no
+    // self-connect tricks, no platform-specific listener close races).
+    listener.set_nonblocking(true)?;
+    let stop = Arc::new(AtomicBool::new(false));
+
+    let accept_stop = Arc::clone(&stop);
+    let accept_core = Arc::clone(&core);
+    let accept_thread = std::thread::Builder::new()
+        .name("gograph-accept".into())
+        .spawn(move || {
+            while !accept_stop.load(Ordering::Relaxed) {
+                match listener.accept() {
+                    Ok((stream, _)) => {
+                        // Replies are small frames; without nodelay the
+                        // kernel's Nagle + delayed-ACK pairing adds tens
+                        // of ms to every request.
+                        let _ = stream.set_nodelay(true);
+                        let core = Arc::clone(&accept_core);
+                        let stop = Arc::clone(&accept_stop);
+                        let _ = std::thread::Builder::new()
+                            .name("gograph-conn".into())
+                            .spawn(move || handle_connection(stream, &core, &stop));
+                    }
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                        std::thread::sleep(Duration::from_millis(2));
+                    }
+                    Err(_) => break,
+                }
+            }
+        })?;
+
+    Ok(ServerHandle {
+        addr,
+        core,
+        stop,
+        accept_thread: Some(accept_thread),
+    })
+}
+
+impl ServerHandle {
+    /// The bound address (useful with port 0).
+    pub fn local_addr(&self) -> std::net::SocketAddr {
+        self.addr
+    }
+
+    /// The served core.
+    pub fn core(&self) -> &Arc<ServeCore> {
+        &self.core
+    }
+
+    /// True once a client's Shutdown request (or [`shutdown`]) stopped
+    /// the accept loop.
+    ///
+    /// [`shutdown`]: ServerHandle::shutdown
+    pub fn is_stopped(&self) -> bool {
+        self.stop.load(Ordering::Relaxed)
+    }
+
+    /// Stops accepting, joins the accept loop, and shuts the core's
+    /// mutator down (draining queued update batches first).
+    pub fn shutdown(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+        self.core.shutdown();
+    }
+
+    /// Blocks until a client asks the server to shut down, then
+    /// completes the shutdown. Used by the `gograph_serve` binary.
+    pub fn wait(mut self) {
+        while !self.stop.load(Ordering::Relaxed) {
+            std::thread::sleep(Duration::from_millis(20));
+        }
+        self.shutdown();
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn handle_connection(stream: TcpStream, core: &Arc<ServeCore>, stop: &Arc<AtomicBool>) {
+    let mut reader = match stream.try_clone() {
+        Ok(s) => s,
+        Err(_) => return,
+    };
+    let mut writer = stream;
+    loop {
+        let frame = match read_frame(&mut reader) {
+            Ok(Some(f)) => f,
+            Ok(None) | Err(_) => return,
+        };
+        let reply = match decode_request(frame) {
+            Ok(request) => {
+                let is_shutdown = matches!(request, Request::Shutdown);
+                let reply = respond(core, request);
+                if is_shutdown {
+                    let _ = write_frame(&mut writer, &encode_reply(&reply));
+                    stop.store(true, Ordering::Relaxed);
+                    return;
+                }
+                reply
+            }
+            Err(e) => Reply::Error(e.to_string()),
+        };
+        if write_frame(&mut writer, &encode_reply(&reply)).is_err() {
+            return;
+        }
+        if stop.load(Ordering::Relaxed) {
+            return;
+        }
+    }
+}
+
+fn respond(core: &Arc<ServeCore>, request: Request) -> Reply {
+    match request {
+        Request::Query {
+            alg,
+            mode,
+            combine,
+            sources,
+            targets,
+        } => {
+            let outcome = core.execute_query(QueryRequest {
+                alg,
+                mode,
+                sources,
+                combine,
+            });
+            match outcome {
+                Ok(o) => {
+                    let values = targets
+                        .iter()
+                        .filter_map(|&v| o.states.get(v as usize).map(|&x| (v, x)))
+                        .collect();
+                    Reply::Query(QueryReply {
+                        epoch: o.epoch.epoch,
+                        alg: o.alg,
+                        warm: o.warm,
+                        converged: o.converged,
+                        admitted: o.admitted as u32,
+                        rounds: o.rounds as u64,
+                        push_rounds: o.push_rounds as u64,
+                        state_bytes: o.state_memory_bytes as u64,
+                        runtime_micros: o.runtime.as_micros() as u64,
+                        effective_sources: o.effective_sources.clone(),
+                        values,
+                    })
+                }
+                Err(e) => Reply::Error(e.to_string()),
+            }
+        }
+        Request::Updates(updates) => match core.enqueue_updates(updates) {
+            Ok(accepted) => Reply::UpdateAck {
+                accepted: accepted as u32,
+                epochs_published: core.stats_snapshot().epochs_published,
+            },
+            Err(ServeError::Closed) => Reply::Error(ServeError::Closed.to_string()),
+            Err(e) => Reply::Error(e.to_string()),
+        },
+        Request::Stats | Request::Shutdown => Reply::Stats(core.stats_snapshot()),
+    }
+}

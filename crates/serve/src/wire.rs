@@ -1,0 +1,550 @@
+//! Length-prefixed binary wire protocol.
+//!
+//! Every frame is `u32-LE body length` followed by the body; the body's
+//! first byte is the message type. All integers are little-endian,
+//! encoded with the workspace's `bytes` buffers. The protocol is
+//! strictly request/response: one reply per request, in order.
+//!
+//! Client → server:
+//!
+//! | type | message      | payload |
+//! |------|--------------|---------|
+//! | 1    | Query        | alg u8 · mode u8 · flags u8 (bit0 = combine) · n_sources u32 · sources u32× · n_targets u32 · targets u32× |
+//! | 2    | UpdateBatch  | n u32 · n × (kind u8 (0 insert / 1 remove) · src u32 · dst u32 · weight f64 if insert) |
+//! | 3    | Stats        | — |
+//! | 4    | Shutdown     | — |
+//!
+//! Server → client:
+//!
+//! | type | message      | payload |
+//! |------|--------------|---------|
+//! | 1    | QueryReply   | epoch u64 · alg u8 · flags u8 (bit0 warm, bit1 converged) · admitted u32 · rounds u64 · push_rounds u64 · state_bytes u64 · runtime_micros u64 · n_eff u32 · eff_sources u32× · n_values u32 · (vertex u32 · value f64)× |
+//! | 2    | UpdateAck    | accepted u32 · epochs_published u64 |
+//! | 3    | StatsReply   | the 17 [`StatsSnapshot`] fields as u64, in declaration order |
+//! | 0xFF | Error        | len u32 · utf-8 message |
+
+use crate::core::StatsSnapshot;
+use crate::spec::{AlgSpec, ModeSpec};
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use gograph_graph::{EdgeUpdate, VertexId};
+use std::io::{Read, Write};
+
+/// Frames larger than this are refused — nothing in the protocol needs
+/// them, and the cap keeps a corrupt length prefix from allocating GBs.
+pub const MAX_FRAME_BYTES: u32 = 64 << 20;
+
+/// A malformed frame.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WireError(pub String);
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "wire protocol error: {}", self.0)
+    }
+}
+
+impl std::error::Error for WireError {}
+
+fn err<T>(msg: impl Into<String>) -> Result<T, WireError> {
+    Err(WireError(msg.into()))
+}
+
+/// A client → server message.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Run an algorithm; reply with [`Reply::Query`].
+    Query {
+        /// Algorithm to run.
+        alg: AlgSpec,
+        /// Execution mode.
+        mode: ModeSpec,
+        /// May this query be admission-batched?
+        combine: bool,
+        /// Source vertices.
+        sources: Vec<VertexId>,
+        /// Vertices whose final state the reply should include.
+        targets: Vec<VertexId>,
+    },
+    /// Enqueue an update batch; reply with [`Reply::UpdateAck`].
+    Updates(Vec<EdgeUpdate>),
+    /// Request a [`Reply::Stats`] snapshot.
+    Stats,
+    /// Ask the server to shut down (acked with [`Reply::Stats`]).
+    Shutdown,
+}
+
+/// A server → client message.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Reply {
+    /// Query result.
+    Query(QueryReply),
+    /// Update batch accepted.
+    UpdateAck {
+        /// Updates accepted into the queue.
+        accepted: u32,
+        /// Epochs published when the ack was sent.
+        epochs_published: u64,
+    },
+    /// Counter snapshot.
+    Stats(StatsSnapshot),
+    /// The request failed.
+    Error(String),
+}
+
+/// The payload of [`Reply::Query`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueryReply {
+    /// Epoch the query executed against.
+    pub epoch: u64,
+    /// Algorithm that ran.
+    pub alg: AlgSpec,
+    /// Whether the run warm-started from epoch warm state.
+    pub warm: bool,
+    /// Whether the run converged.
+    pub converged: bool,
+    /// Requests served by this execution (>1 ⇒ coalesced).
+    pub admitted: u32,
+    /// Rounds executed.
+    pub rounds: u64,
+    /// Push-direction rounds.
+    pub push_rounds: u64,
+    /// Engine state memory for the run.
+    pub state_bytes: u64,
+    /// Engine-side runtime in microseconds.
+    pub runtime_micros: u64,
+    /// The effective (possibly admission-widened) source set.
+    pub effective_sources: Vec<VertexId>,
+    /// `(vertex, final state)` for each requested target.
+    pub values: Vec<(VertexId, f64)>,
+}
+
+const REQ_QUERY: u8 = 1;
+const REQ_UPDATES: u8 = 2;
+const REQ_STATS: u8 = 3;
+const REQ_SHUTDOWN: u8 = 4;
+
+const REP_QUERY: u8 = 1;
+const REP_UPDATE_ACK: u8 = 2;
+const REP_STATS: u8 = 3;
+const REP_ERROR: u8 = 0xFF;
+
+fn put_vertices(buf: &mut BytesMut, vs: &[VertexId]) {
+    buf.put_u32_le(vs.len() as u32);
+    for &v in vs {
+        buf.put_u32_le(v);
+    }
+}
+
+fn get_vertices(buf: &mut Bytes) -> Result<Vec<VertexId>, WireError> {
+    let n = buf.get_u32_le() as usize;
+    if buf.remaining() < n * 4 {
+        return err("vertex list length exceeds frame");
+    }
+    Ok((0..n).map(|_| buf.get_u32_le()).collect())
+}
+
+/// Encodes a request body (without the length prefix).
+pub fn encode_request(req: &Request) -> Bytes {
+    let mut buf = BytesMut::with_capacity(64);
+    match req {
+        Request::Query {
+            alg,
+            mode,
+            combine,
+            sources,
+            targets,
+        } => {
+            buf.put_slice(&[REQ_QUERY, alg.code(), mode.code(), u8::from(*combine)]);
+            put_vertices(&mut buf, sources);
+            put_vertices(&mut buf, targets);
+        }
+        Request::Updates(updates) => {
+            buf.put_slice(&[REQ_UPDATES]);
+            buf.put_u32_le(updates.len() as u32);
+            for u in updates {
+                match *u {
+                    EdgeUpdate::Insert { src, dst, weight } => {
+                        buf.put_slice(&[0]);
+                        buf.put_u32_le(src);
+                        buf.put_u32_le(dst);
+                        buf.put_f64_le(weight);
+                    }
+                    EdgeUpdate::Remove { src, dst } => {
+                        buf.put_slice(&[1]);
+                        buf.put_u32_le(src);
+                        buf.put_u32_le(dst);
+                    }
+                }
+            }
+        }
+        Request::Stats => buf.put_slice(&[REQ_STATS]),
+        Request::Shutdown => buf.put_slice(&[REQ_SHUTDOWN]),
+    }
+    buf.freeze()
+}
+
+/// Decodes a request body.
+pub fn decode_request(mut buf: Bytes) -> Result<Request, WireError> {
+    if buf.remaining() < 1 {
+        return err("empty request frame");
+    }
+    let mut tag = [0u8; 1];
+    buf.copy_to_slice(&mut tag);
+    match tag[0] {
+        REQ_QUERY => {
+            if buf.remaining() < 3 {
+                return err("truncated query header");
+            }
+            let mut hdr = [0u8; 3];
+            buf.copy_to_slice(&mut hdr);
+            let alg = AlgSpec::from_code(hdr[0])
+                .ok_or_else(|| WireError(format!("unknown algorithm code {}", hdr[0])))?;
+            let mode = ModeSpec::from_code(hdr[1])
+                .ok_or_else(|| WireError(format!("unknown mode code {}", hdr[1])))?;
+            let combine = hdr[2] & 1 != 0;
+            if buf.remaining() < 4 {
+                return err("truncated source list");
+            }
+            let sources = get_vertices(&mut buf)?;
+            if buf.remaining() < 4 {
+                return err("truncated target list");
+            }
+            let targets = get_vertices(&mut buf)?;
+            Ok(Request::Query {
+                alg,
+                mode,
+                combine,
+                sources,
+                targets,
+            })
+        }
+        REQ_UPDATES => {
+            if buf.remaining() < 4 {
+                return err("truncated update batch");
+            }
+            let n = buf.get_u32_le() as usize;
+            let mut updates = Vec::with_capacity(n.min(4096));
+            for _ in 0..n {
+                if buf.remaining() < 9 {
+                    return err("truncated update entry");
+                }
+                let mut kind = [0u8; 1];
+                buf.copy_to_slice(&mut kind);
+                let src = buf.get_u32_le();
+                let dst = buf.get_u32_le();
+                match kind[0] {
+                    0 => {
+                        if buf.remaining() < 8 {
+                            return err("truncated insert weight");
+                        }
+                        updates.push(EdgeUpdate::insert_weighted(src, dst, buf.get_f64_le()));
+                    }
+                    1 => updates.push(EdgeUpdate::remove(src, dst)),
+                    k => return err(format!("unknown update kind {k}")),
+                }
+            }
+            Ok(Request::Updates(updates))
+        }
+        REQ_STATS => Ok(Request::Stats),
+        REQ_SHUTDOWN => Ok(Request::Shutdown),
+        t => err(format!("unknown request type {t}")),
+    }
+}
+
+/// Encodes a reply body (without the length prefix).
+pub fn encode_reply(reply: &Reply) -> Bytes {
+    let mut buf = BytesMut::with_capacity(64);
+    match reply {
+        Reply::Query(q) => {
+            buf.put_slice(&[REP_QUERY]);
+            buf.put_u64_le(q.epoch);
+            let flags = u8::from(q.warm) | (u8::from(q.converged) << 1);
+            buf.put_slice(&[q.alg.code(), flags]);
+            buf.put_u32_le(q.admitted);
+            buf.put_u64_le(q.rounds);
+            buf.put_u64_le(q.push_rounds);
+            buf.put_u64_le(q.state_bytes);
+            buf.put_u64_le(q.runtime_micros);
+            put_vertices(&mut buf, &q.effective_sources);
+            buf.put_u32_le(q.values.len() as u32);
+            for &(v, x) in &q.values {
+                buf.put_u32_le(v);
+                buf.put_f64_le(x);
+            }
+        }
+        Reply::UpdateAck {
+            accepted,
+            epochs_published,
+        } => {
+            buf.put_slice(&[REP_UPDATE_ACK]);
+            buf.put_u32_le(*accepted);
+            buf.put_u64_le(*epochs_published);
+        }
+        Reply::Stats(s) => {
+            buf.put_slice(&[REP_STATS]);
+            for v in [
+                s.epoch,
+                s.epochs_published,
+                s.num_vertices,
+                s.num_edges,
+                s.num_partitions,
+                s.queries,
+                s.coalesced,
+                s.warm_hits,
+                s.cold_runs,
+                s.query_rounds,
+                s.query_push_rounds,
+                s.last_state_bytes,
+                s.batches_enqueued,
+                s.batches_applied,
+                s.updates_applied,
+                s.mutator_rounds,
+                s.mutator_errors,
+            ] {
+                buf.put_u64_le(v);
+            }
+        }
+        Reply::Error(msg) => {
+            buf.put_slice(&[REP_ERROR]);
+            buf.put_u32_le(msg.len() as u32);
+            buf.put_slice(msg.as_bytes());
+        }
+    }
+    buf.freeze()
+}
+
+/// Decodes a reply body.
+pub fn decode_reply(mut buf: Bytes) -> Result<Reply, WireError> {
+    if buf.remaining() < 1 {
+        return err("empty reply frame");
+    }
+    let mut tag = [0u8; 1];
+    buf.copy_to_slice(&mut tag);
+    match tag[0] {
+        REP_QUERY => {
+            if buf.remaining() < 8 + 2 + 4 + 4 * 8 {
+                return err("truncated query reply");
+            }
+            let epoch = buf.get_u64_le();
+            let mut hdr = [0u8; 2];
+            buf.copy_to_slice(&mut hdr);
+            let alg = AlgSpec::from_code(hdr[0])
+                .ok_or_else(|| WireError(format!("unknown algorithm code {}", hdr[0])))?;
+            let warm = hdr[1] & 1 != 0;
+            let converged = hdr[1] & 2 != 0;
+            let admitted = buf.get_u32_le();
+            let rounds = buf.get_u64_le();
+            let push_rounds = buf.get_u64_le();
+            let state_bytes = buf.get_u64_le();
+            let runtime_micros = buf.get_u64_le();
+            let effective_sources = get_vertices(&mut buf)?;
+            if buf.remaining() < 4 {
+                return err("truncated value list");
+            }
+            let n = buf.get_u32_le() as usize;
+            if buf.remaining() < n * 12 {
+                return err("value list length exceeds frame");
+            }
+            let values = (0..n)
+                .map(|_| (buf.get_u32_le(), buf.get_f64_le()))
+                .collect();
+            Ok(Reply::Query(QueryReply {
+                epoch,
+                alg,
+                warm,
+                converged,
+                admitted,
+                rounds,
+                push_rounds,
+                state_bytes,
+                runtime_micros,
+                effective_sources,
+                values,
+            }))
+        }
+        REP_UPDATE_ACK => {
+            if buf.remaining() < 12 {
+                return err("truncated update ack");
+            }
+            Ok(Reply::UpdateAck {
+                accepted: buf.get_u32_le(),
+                epochs_published: buf.get_u64_le(),
+            })
+        }
+        REP_STATS => {
+            if buf.remaining() < 17 * 8 {
+                return err("truncated stats reply");
+            }
+            let mut f = [0u64; 17];
+            for v in f.iter_mut() {
+                *v = buf.get_u64_le();
+            }
+            Ok(Reply::Stats(StatsSnapshot {
+                epoch: f[0],
+                epochs_published: f[1],
+                num_vertices: f[2],
+                num_edges: f[3],
+                num_partitions: f[4],
+                queries: f[5],
+                coalesced: f[6],
+                warm_hits: f[7],
+                cold_runs: f[8],
+                query_rounds: f[9],
+                query_push_rounds: f[10],
+                last_state_bytes: f[11],
+                batches_enqueued: f[12],
+                batches_applied: f[13],
+                updates_applied: f[14],
+                mutator_rounds: f[15],
+                mutator_errors: f[16],
+            }))
+        }
+        REP_ERROR => {
+            if buf.remaining() < 4 {
+                return err("truncated error reply");
+            }
+            let n = buf.get_u32_le() as usize;
+            if buf.remaining() < n {
+                return err("error message length exceeds frame");
+            }
+            let mut raw = vec![0u8; n];
+            buf.copy_to_slice(&mut raw);
+            match String::from_utf8(raw) {
+                Ok(msg) => Ok(Reply::Error(msg)),
+                Err(_) => err("error message is not utf-8"),
+            }
+        }
+        t => err(format!("unknown reply type {t}")),
+    }
+}
+
+/// Writes one frame: length prefix + body.
+pub fn write_frame(w: &mut impl Write, body: &Bytes) -> std::io::Result<()> {
+    let len = body.len() as u32;
+    debug_assert!(len <= MAX_FRAME_BYTES);
+    w.write_all(&len.to_le_bytes())?;
+    w.write_all(body.as_ref())?;
+    w.flush()
+}
+
+/// Reads one frame body. `Ok(None)` means the peer closed the
+/// connection cleanly (EOF at a frame boundary).
+pub fn read_frame(r: &mut impl Read) -> std::io::Result<Option<Bytes>> {
+    let mut len_bytes = [0u8; 4];
+    match r.read_exact(&mut len_bytes) {
+        Ok(()) => {}
+        Err(e) if e.kind() == std::io::ErrorKind::UnexpectedEof => return Ok(None),
+        Err(e) => return Err(e),
+    }
+    let len = u32::from_le_bytes(len_bytes);
+    if len > MAX_FRAME_BYTES {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            format!("frame of {len} bytes exceeds the {MAX_FRAME_BYTES}-byte cap"),
+        ));
+    }
+    let mut body = vec![0u8; len as usize];
+    r.read_exact(&mut body)?;
+    Ok(Some(Bytes::from(body)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn requests_roundtrip() {
+        let reqs = [
+            Request::Query {
+                alg: AlgSpec::Sssp,
+                mode: ModeSpec::Worklist,
+                combine: true,
+                sources: vec![3, 9],
+                targets: vec![0, 1, 2],
+            },
+            Request::Updates(vec![
+                EdgeUpdate::insert_weighted(1, 2, 0.5),
+                EdgeUpdate::remove(3, 4),
+            ]),
+            Request::Stats,
+            Request::Shutdown,
+        ];
+        for req in reqs {
+            let decoded = decode_request(encode_request(&req)).unwrap();
+            assert_eq!(decoded, req);
+        }
+    }
+
+    #[test]
+    fn replies_roundtrip() {
+        let replies = [
+            Reply::Query(QueryReply {
+                epoch: 7,
+                alg: AlgSpec::PageRank,
+                warm: true,
+                converged: true,
+                admitted: 3,
+                rounds: 12,
+                push_rounds: 4,
+                state_bytes: 4096,
+                runtime_micros: 1234,
+                effective_sources: vec![5, 6],
+                values: vec![(0, 1.5), (9, -2.0)],
+            }),
+            Reply::UpdateAck {
+                accepted: 8,
+                epochs_published: 3,
+            },
+            Reply::Stats(StatsSnapshot {
+                epoch: 2,
+                epochs_published: 2,
+                num_vertices: 100,
+                num_edges: 500,
+                num_partitions: 4,
+                queries: 42,
+                coalesced: 7,
+                warm_hits: 30,
+                cold_runs: 5,
+                query_rounds: 90,
+                query_push_rounds: 11,
+                last_state_bytes: 800,
+                batches_enqueued: 3,
+                batches_applied: 2,
+                updates_applied: 64,
+                mutator_rounds: 9,
+                mutator_errors: 0,
+            }),
+            Reply::Error("nope".to_string()),
+        ];
+        for reply in replies {
+            let decoded = decode_reply(encode_reply(&reply)).unwrap();
+            assert_eq!(decoded, reply);
+        }
+    }
+
+    #[test]
+    fn malformed_frames_are_errors_not_panics() {
+        assert!(decode_request(Bytes::from(vec![])).is_err());
+        assert!(decode_request(Bytes::from(vec![99])).is_err());
+        // Query with an absurd source count but no payload.
+        let mut b = BytesMut::with_capacity(16);
+        b.put_slice(&[1, 0, 0, 0]);
+        b.put_u32_le(u32::MAX);
+        assert!(decode_request(b.freeze()).is_err());
+        assert!(decode_reply(Bytes::from(vec![0x42])).is_err());
+    }
+
+    #[test]
+    fn frames_roundtrip_over_a_byte_stream() {
+        let body = encode_request(&Request::Stats);
+        let mut stream = Vec::new();
+        write_frame(&mut stream, &body).unwrap();
+        write_frame(&mut stream, &body).unwrap();
+        let mut cursor = std::io::Cursor::new(stream);
+        let one = read_frame(&mut cursor).unwrap().unwrap();
+        let two = read_frame(&mut cursor).unwrap().unwrap();
+        assert_eq!(decode_request(one).unwrap(), Request::Stats);
+        assert_eq!(decode_request(two).unwrap(), Request::Stats);
+        assert!(read_frame(&mut cursor).unwrap().is_none(), "clean EOF");
+    }
+}

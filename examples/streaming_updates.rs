@@ -66,7 +66,7 @@ fn main() {
     // edges. Batches are deliberately small relative to the graph —
     // the streaming regime warm-starting is built for.
     let arrivals: Vec<Edge> = edges[bootstrap_cut..].to_vec();
-    let batches = split_batches(&arrivals, 8);
+    let batches = split_batches(&arrivals, 8).expect("enough arrivals for 8 batches");
     assert!(
         !batches.is_empty() && batches.iter().all(|b| !b.is_empty()),
         "batch split must produce non-empty batches"

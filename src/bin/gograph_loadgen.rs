@@ -1,0 +1,419 @@
+//! `gograph_loadgen` — closed-loop load harness for `gograph_serve`.
+//!
+//! Sweeps client counts × update rates against a running server. Each
+//! cell runs for a fixed duration: C closed-loop client threads (each
+//! waits for its reply before issuing the next query) plus one updater
+//! thread streaming edge-update batches at the configured rate. Client
+//! side latencies give p50/p99; the server's stats reply (before/after
+//! deltas) gives epochs published, coalescing counts and engine
+//! `RunStats` aggregates. Results land in a JSON report comparable to
+//! `BENCH_PR2`–`PR5`.
+//!
+//! ```text
+//! gograph_loadgen --addr 127.0.0.1:7421 [--clients 1,4,8]
+//!                 [--update-rates 0,8] [--duration-secs 3]
+//!                 [--batch-size 16] [--output BENCH_PR6.json]
+//!                 [--shutdown]
+//! ```
+
+use gograph_graph::EdgeUpdate;
+use gograph_serve::{AlgSpec, ModeSpec, ServeClient};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+struct CellResult {
+    clients: usize,
+    update_rate: f64,
+    duration: Duration,
+    latencies_micros: Vec<u64>,
+    queries: u64,
+    client_rounds: u64,
+    client_push_rounds: u64,
+    max_state_bytes: u64,
+    warm_replies: u64,
+    coalesced_replies: u64,
+    update_batches_sent: u64,
+    stats_delta: gograph_serve::StatsSnapshot,
+    epoch_end: u64,
+}
+
+fn main() {
+    let mut addr = String::new();
+    let mut clients_arg = "1,4,8".to_string();
+    let mut rates_arg = "0,8".to_string();
+    let mut duration_secs: f64 = 3.0;
+    let mut batch_size: usize = 16;
+    let mut output = "BENCH_PR6.json".to_string();
+    let mut shutdown = false;
+
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < args.len() {
+        let value = |i: &mut usize| -> String {
+            *i += 1;
+            args.get(*i).cloned().unwrap_or_else(|| {
+                eprintln!("missing value for {}", args[*i - 1]);
+                std::process::exit(2);
+            })
+        };
+        match args[i].as_str() {
+            "--addr" => addr = value(&mut i),
+            "--clients" => clients_arg = value(&mut i),
+            "--update-rates" => rates_arg = value(&mut i),
+            "--duration-secs" => duration_secs = value(&mut i).parse().unwrap_or(3.0),
+            "--batch-size" => batch_size = value(&mut i).parse().unwrap_or(16),
+            "--output" => output = value(&mut i),
+            "--shutdown" => shutdown = true,
+            "--help" | "-h" => {
+                eprintln!(
+                    "usage: gograph_loadgen --addr HOST:PORT [--clients 1,4,8] \
+                     [--update-rates 0,8] [--duration-secs 3] [--batch-size 16] \
+                     [--output BENCH_PR6.json] [--shutdown]"
+                );
+                return;
+            }
+            other => {
+                eprintln!("unknown argument {other}");
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+    if addr.is_empty() {
+        eprintln!("--addr is required");
+        std::process::exit(2);
+    }
+
+    let client_counts: Vec<usize> = clients_arg
+        .split(',')
+        .filter_map(|s| s.trim().parse().ok())
+        .filter(|&c| c > 0)
+        .collect();
+    let update_rates: Vec<f64> = rates_arg
+        .split(',')
+        .filter_map(|s| s.trim().parse().ok())
+        .filter(|&r: &f64| r >= 0.0)
+        .collect();
+
+    let mut control = ServeClient::connect(&addr).unwrap_or_else(|e| {
+        eprintln!("cannot connect to {addr}: {e}");
+        std::process::exit(1);
+    });
+    let initial = control.stats().expect("stats request");
+    let num_vertices = initial.num_vertices as u32;
+    eprintln!(
+        "loadgen: server at {addr} has {} vertices / {} edges (epoch {})",
+        initial.num_vertices, initial.num_edges, initial.epoch
+    );
+
+    let mut cells = Vec::new();
+    for &clients in &client_counts {
+        for &rate in &update_rates {
+            let cell = run_cell(
+                &addr,
+                &mut control,
+                clients,
+                rate,
+                Duration::from_secs_f64(duration_secs),
+                batch_size,
+                num_vertices,
+            );
+            eprintln!(
+                "loadgen: clients={clients} rate={rate}/s -> {} queries ({:.0} q/s, p50 {}us p99 {}us, {} epochs)",
+                cell.queries,
+                cell.queries as f64 / cell.duration.as_secs_f64(),
+                percentile(&cell.latencies_micros, 0.50),
+                percentile(&cell.latencies_micros, 0.99),
+                cell.stats_delta.epochs_published,
+            );
+            cells.push(cell);
+        }
+    }
+
+    let report = render_report(&initial, &cells, batch_size);
+    std::fs::write(&output, report).unwrap_or_else(|e| {
+        eprintln!("cannot write {output}: {e}");
+        std::process::exit(1);
+    });
+    eprintln!("loadgen: wrote {output}");
+
+    if shutdown {
+        let last = control.shutdown_server().expect("shutdown request");
+        eprintln!(
+            "loadgen: server shut down after {} queries / {} epochs",
+            last.queries, last.epochs_published
+        );
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn run_cell(
+    addr: &str,
+    control: &mut ServeClient,
+    clients: usize,
+    update_rate: f64,
+    duration: Duration,
+    batch_size: usize,
+    num_vertices: u32,
+) -> CellResult {
+    let before = control.stats().expect("stats before cell");
+    let stop = Arc::new(AtomicBool::new(false));
+
+    // Updater thread: open-loop batches at `update_rate` per second.
+    let updater = {
+        let stop = Arc::clone(&stop);
+        let addr = addr.to_string();
+        std::thread::spawn(move || {
+            if update_rate <= 0.0 {
+                return 0u64;
+            }
+            let mut c = ServeClient::connect(&addr).expect("updater connect");
+            let mut rng = StdRng::seed_from_u64(0xfeed);
+            let period = Duration::from_secs_f64(1.0 / update_rate);
+            let mut sent = 0u64;
+            while !stop.load(Ordering::Relaxed) {
+                let started = Instant::now();
+                let mut batch = Vec::with_capacity(batch_size);
+                for _ in 0..batch_size {
+                    let src = rng.random_range(0..num_vertices);
+                    let dst = rng.random_range(0..num_vertices);
+                    if src != dst {
+                        if rng.random_bool(0.85) {
+                            batch.push(EdgeUpdate::insert_weighted(
+                                src,
+                                dst,
+                                rng.random_range(1.0..10.0),
+                            ));
+                        } else {
+                            batch.push(EdgeUpdate::remove(src, dst));
+                        }
+                    }
+                }
+                if !batch.is_empty() && c.send_updates(&batch).is_err() {
+                    break;
+                }
+                sent += 1;
+                let elapsed = started.elapsed();
+                if elapsed < period {
+                    std::thread::sleep(period - elapsed);
+                }
+            }
+            sent
+        })
+    };
+
+    // Closed-loop clients: one query in flight each.
+    let mut workers = Vec::with_capacity(clients);
+    for worker_id in 0..clients {
+        let stop = Arc::clone(&stop);
+        let addr = addr.to_string();
+        workers.push(std::thread::spawn(move || {
+            let mut c = ServeClient::connect(&addr).expect("client connect");
+            let mut rng = StdRng::seed_from_u64(0xc11e47 + worker_id as u64);
+            let mut latencies = Vec::with_capacity(4096);
+            let mut rounds = 0u64;
+            let mut push_rounds = 0u64;
+            let mut state_bytes = 0u64;
+            let mut warm_replies = 0u64;
+            let mut coalesced = 0u64;
+            while !stop.load(Ordering::Relaxed) {
+                // Query mix: mostly the warm hot source (coalescible),
+                // some cold sources, some global CC.
+                let roll: f64 = rng.random();
+                let (alg, sources): (AlgSpec, Vec<u32>) = if roll < 0.55 {
+                    (AlgSpec::Sssp, vec![0])
+                } else if roll < 0.80 {
+                    (AlgSpec::Sssp, vec![rng.random_range(0..num_vertices)])
+                } else if roll < 0.90 {
+                    (AlgSpec::Bfs, vec![rng.random_range(0..num_vertices)])
+                } else {
+                    (AlgSpec::Cc, vec![])
+                };
+                let target = rng.random_range(0..num_vertices);
+                let t = Instant::now();
+                match c.query(alg, ModeSpec::Async, true, &sources, &[target]) {
+                    Ok(reply) => {
+                        latencies.push(t.elapsed().as_micros() as u64);
+                        rounds += reply.rounds;
+                        push_rounds += reply.push_rounds;
+                        state_bytes = state_bytes.max(reply.state_bytes);
+                        warm_replies += u64::from(reply.warm);
+                        coalesced += u64::from(reply.admitted > 1);
+                    }
+                    Err(_) => break,
+                }
+            }
+            (
+                latencies,
+                rounds,
+                push_rounds,
+                state_bytes,
+                warm_replies,
+                coalesced,
+            )
+        }));
+    }
+
+    std::thread::sleep(duration);
+    stop.store(true, Ordering::Relaxed);
+
+    let mut latencies = Vec::new();
+    let mut rounds = 0u64;
+    let mut push_rounds = 0u64;
+    let mut max_state_bytes = 0u64;
+    let mut warm_replies = 0u64;
+    let mut coalesced_replies = 0u64;
+    for w in workers {
+        let (l, r, p, sb, wh, co) = w.join().expect("client thread");
+        latencies.extend(l);
+        rounds += r;
+        push_rounds += p;
+        max_state_bytes = max_state_bytes.max(sb);
+        warm_replies += wh;
+        coalesced_replies += co;
+    }
+    let update_batches_sent = updater.join().expect("updater thread");
+
+    let after = control.stats().expect("stats after cell");
+    let delta = diff_stats(&before, &after);
+    CellResult {
+        clients,
+        update_rate,
+        duration,
+        queries: latencies.len() as u64,
+        latencies_micros: {
+            let mut l = latencies;
+            l.sort_unstable();
+            l
+        },
+        client_rounds: rounds,
+        client_push_rounds: push_rounds,
+        max_state_bytes,
+        warm_replies,
+        coalesced_replies,
+        update_batches_sent,
+        stats_delta: delta,
+        epoch_end: after.epoch,
+    }
+}
+
+fn diff_stats(
+    a: &gograph_serve::StatsSnapshot,
+    b: &gograph_serve::StatsSnapshot,
+) -> gograph_serve::StatsSnapshot {
+    gograph_serve::StatsSnapshot {
+        epoch: b.epoch,
+        epochs_published: b.epochs_published - a.epochs_published,
+        num_vertices: b.num_vertices,
+        num_edges: b.num_edges,
+        num_partitions: b.num_partitions,
+        queries: b.queries - a.queries,
+        coalesced: b.coalesced - a.coalesced,
+        warm_hits: b.warm_hits - a.warm_hits,
+        cold_runs: b.cold_runs - a.cold_runs,
+        query_rounds: b.query_rounds - a.query_rounds,
+        query_push_rounds: b.query_push_rounds - a.query_push_rounds,
+        last_state_bytes: b.last_state_bytes,
+        batches_enqueued: b.batches_enqueued - a.batches_enqueued,
+        batches_applied: b.batches_applied - a.batches_applied,
+        updates_applied: b.updates_applied - a.updates_applied,
+        mutator_rounds: b.mutator_rounds - a.mutator_rounds,
+        mutator_errors: b.mutator_errors - a.mutator_errors,
+    }
+}
+
+fn percentile(sorted: &[u64], q: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let idx = ((sorted.len() - 1) as f64 * q).round() as usize;
+    sorted[idx.min(sorted.len() - 1)]
+}
+
+fn render_report(
+    initial: &gograph_serve::StatsSnapshot,
+    cells: &[CellResult],
+    batch_size: usize,
+) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "{{");
+    let _ = writeln!(out, "  \"bench\": \"serve_loadgen\",");
+    let _ = writeln!(
+        out,
+        "  \"description\": \"Closed-loop latency/throughput of the epoch-snapshot query service under concurrent readers and live update batches\","
+    );
+    let _ = writeln!(
+        out,
+        "  \"graph\": {{ \"vertices\": {}, \"edges\": {} }},",
+        initial.num_vertices, initial.num_edges
+    );
+    let _ = writeln!(out, "  \"update_batch_size\": {batch_size},");
+    let _ = writeln!(out, "  \"cells\": [");
+    for (i, c) in cells.iter().enumerate() {
+        let secs = c.duration.as_secs_f64();
+        let d = &c.stats_delta;
+        let _ = writeln!(out, "    {{");
+        let _ = writeln!(out, "      \"clients\": {},", c.clients);
+        let _ = writeln!(out, "      \"update_batches_per_sec\": {},", c.update_rate);
+        let _ = writeln!(out, "      \"duration_secs\": {secs},");
+        let _ = writeln!(out, "      \"queries\": {},", c.queries);
+        let _ = writeln!(
+            out,
+            "      \"queries_per_sec\": {:.2},",
+            c.queries as f64 / secs
+        );
+        let _ = writeln!(
+            out,
+            "      \"latency_micros\": {{ \"p50\": {}, \"p90\": {}, \"p99\": {}, \"max\": {} }},",
+            percentile(&c.latencies_micros, 0.50),
+            percentile(&c.latencies_micros, 0.90),
+            percentile(&c.latencies_micros, 0.99),
+            c.latencies_micros.last().copied().unwrap_or(0)
+        );
+        let _ = writeln!(
+            out,
+            "      \"run_stats\": {{ \"rounds\": {}, \"push_rounds\": {}, \"avg_rounds_per_query\": {:.3}, \"max_state_bytes\": {} }},",
+            c.client_rounds,
+            c.client_push_rounds,
+            if c.queries > 0 {
+                c.client_rounds as f64 / c.queries as f64
+            } else {
+                0.0
+            },
+            c.max_state_bytes
+        );
+        let _ = writeln!(
+            out,
+            "      \"warm_replies\": {}, \"coalesced_replies\": {},",
+            c.warm_replies, c.coalesced_replies
+        );
+        let _ = writeln!(
+            out,
+            "      \"server_delta\": {{ \"queries\": {}, \"coalesced\": {}, \"warm_hits\": {}, \"cold_runs\": {}, \"query_rounds\": {}, \"query_push_rounds\": {}, \"epochs_published\": {}, \"update_batches_applied\": {}, \"updates_applied\": {}, \"mutator_rounds\": {}, \"mutator_errors\": {} }},",
+            d.queries,
+            d.coalesced,
+            d.warm_hits,
+            d.cold_runs,
+            d.query_rounds,
+            d.query_push_rounds,
+            d.epochs_published,
+            d.batches_applied,
+            d.updates_applied,
+            d.mutator_rounds,
+            d.mutator_errors
+        );
+        let _ = writeln!(
+            out,
+            "      \"update_batches_sent\": {}, \"epoch_at_end\": {}",
+            c.update_batches_sent, c.epoch_end
+        );
+        let _ = writeln!(out, "    }}{}", if i + 1 < cells.len() { "," } else { "" });
+    }
+    let _ = writeln!(out, "  ]");
+    let _ = writeln!(out, "}}");
+    out
+}

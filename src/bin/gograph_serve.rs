@@ -1,0 +1,130 @@
+//! `gograph_serve` — boots the epoch-snapshot query service over a
+//! generated community graph and serves the wire protocol until a
+//! client sends Shutdown.
+//!
+//! ```text
+//! gograph_serve [--listen 127.0.0.1:7421] [--scale tiny|standard]
+//!               [--window-ms 2] [--warm cc,sssp:0,pagerank]
+//! ```
+//!
+//! `--scale` defaults to the `GOGRAPH_SCALE` environment variable
+//! (`standard` when unset). The ready line printed on stdout is stable:
+//! `gograph-serve: listening on <addr> ...` — the CI smoke greps it.
+
+use gograph_graph::generators::{planted_partition, shuffle_labels, PlantedPartitionConfig};
+use gograph_serve::{serve, AlgSpec, ServeConfig, ServeCore, WarmSpec};
+use std::time::Duration;
+
+fn main() {
+    let mut listen = "127.0.0.1:7421".to_string();
+    let mut scale = std::env::var("GOGRAPH_SCALE").unwrap_or_else(|_| "standard".to_string());
+    let mut window_ms: u64 = 2;
+    let mut warm_arg = "cc,sssp:0".to_string();
+
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < args.len() {
+        let value = |i: &mut usize| -> String {
+            *i += 1;
+            args.get(*i).cloned().unwrap_or_else(|| {
+                eprintln!("missing value for {}", args[*i - 1]);
+                std::process::exit(2);
+            })
+        };
+        match args[i].as_str() {
+            "--listen" => listen = value(&mut i),
+            "--scale" => scale = value(&mut i),
+            "--window-ms" => {
+                window_ms = value(&mut i).parse().unwrap_or_else(|_| {
+                    eprintln!("--window-ms wants an integer");
+                    std::process::exit(2);
+                })
+            }
+            "--warm" => warm_arg = value(&mut i),
+            "--help" | "-h" => {
+                eprintln!(
+                    "usage: gograph_serve [--listen ADDR] [--scale tiny|standard] \
+                     [--window-ms N] [--warm cc,sssp:0,...]"
+                );
+                return;
+            }
+            other => {
+                eprintln!("unknown argument {other}");
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+
+    let (n, m) = match scale.as_str() {
+        "tiny" | "small" | "test" => (400, 2_400),
+        _ => (40_000, 240_000),
+    };
+    let graph = shuffle_labels(
+        &planted_partition(PlantedPartitionConfig {
+            num_vertices: n,
+            num_edges: m,
+            communities: (n / 100).max(4),
+            p_intra: 0.8,
+            gamma: 2.4,
+            seed: 42,
+        }),
+        7,
+    );
+
+    let warm = parse_warm(&warm_arg);
+    let core = ServeCore::start(
+        &graph,
+        ServeConfig {
+            warm,
+            admission_window: Duration::from_millis(window_ms),
+            ..ServeConfig::default()
+        },
+    )
+    .unwrap_or_else(|e| {
+        eprintln!("failed to start service: {e}");
+        std::process::exit(1);
+    });
+
+    let handle = serve(listen.as_str(), core).unwrap_or_else(|e| {
+        eprintln!("failed to bind {listen}: {e}");
+        std::process::exit(1);
+    });
+    println!(
+        "gograph-serve: listening on {} ({} vertices, {} edges, epoch 0 ready)",
+        handle.local_addr(),
+        graph.num_vertices(),
+        graph.num_edges()
+    );
+    // The ready line must be visible even through a pipe before the
+    // (potentially long) serving phase.
+    use std::io::Write;
+    let _ = std::io::stdout().flush();
+
+    handle.wait();
+    println!("gograph-serve: shutdown complete");
+}
+
+fn parse_warm(arg: &str) -> Vec<WarmSpec> {
+    let mut warm = Vec::new();
+    for part in arg.split(',').filter(|p| !p.is_empty()) {
+        let (name, source) = match part.split_once(':') {
+            Some((name, src)) => (
+                name,
+                src.parse().unwrap_or_else(|_| {
+                    eprintln!("bad warm source in {part:?}");
+                    std::process::exit(2);
+                }),
+            ),
+            None => (part, 0),
+        };
+        match AlgSpec::from_name(name) {
+            Some(alg) => warm.push(WarmSpec::new(alg, source)),
+            None => {
+                eprintln!("unknown warm algorithm {name:?}");
+                std::process::exit(2);
+            }
+        }
+    }
+    warm
+}

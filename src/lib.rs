@@ -79,7 +79,8 @@ pub mod prelude {
         DeltaAlgorithm, DeltaAlgorithmKind, DeltaPageRank, DeltaSchedule, DeltaSssp,
         DirectionPolicy, DynOnly, DynOnlyDelta, EngineError, ExecutionStrategy, GatherContext,
         IterativeAlgorithm, Katz, Mode, PageRank, Php, Pipeline, PipelineResult, RunConfig,
-        RunStats, ScatterContext, Sssp, Sswp, StageTimings, StreamingPipeline, WarmStart,
+        RunStats, ScatterContext, SplitBatchesError, Sssp, Sswp, StageTimings, StreamingPipeline,
+        WarmStart,
     };
     pub use gograph_graph::generators::{
         barabasi_albert, erdos_renyi, planted_partition, rmat, shuffle_labels, with_random_weights,

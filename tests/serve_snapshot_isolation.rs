@@ -1,0 +1,265 @@
+//! Snapshot-isolation stress test for the epoch-snapshot query service.
+//!
+//! N reader threads hammer a [`ServeCore`] with queries while the
+//! mutator applies update batches and publishes epochs. Every reader
+//! verifies every reply *bit-identically* against an independent run on
+//! its pinned epoch's graph:
+//!
+//! - cold replies (and warm replies of max-norm algorithms, whose warm
+//!   re-run provably lands on the cold fixpoint) are compared against a
+//!   **fresh cold run** on the pinned epoch's graph + order;
+//! - warm sum-norm replies (PageRank) are compared against a replica of
+//!   the exact server configuration — a warm start from the epoch's
+//!   stored converged states — which is deterministic and therefore
+//!   also bit-identical.
+//!
+//! Any torn read (a query observing half an update batch, or states
+//! from one epoch paired with the graph of another) shows up as a float
+//! mismatch. The test also asserts the race was real: readers must have
+//! observed several distinct epochs.
+
+use gograph_engine::{Pipeline, WarmStart};
+use gograph_graph::generators::{planted_partition, shuffle_labels, PlantedPartitionConfig};
+use gograph_graph::{CsrGraph, EdgeUpdate};
+use gograph_serve::{
+    AlgSpec, ModeSpec, QueryOutcome, QueryRequest, ServeConfig, ServeCore, WarmSpec,
+};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::HashSet;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+fn stress_graph() -> CsrGraph {
+    shuffle_labels(
+        &planted_partition(PlantedPartitionConfig {
+            num_vertices: 150,
+            num_edges: 900,
+            communities: 5,
+            p_intra: 0.8,
+            gamma: 2.4,
+            seed: 23,
+        }),
+        9,
+    )
+}
+
+/// Re-executes the outcome's exact configuration against its own pinned
+/// epoch and demands bit-identical states.
+fn verify_bit_identical(outcome: &QueryOutcome) {
+    let epoch = &outcome.epoch;
+    let algorithm = outcome.alg.instantiate(&outcome.effective_sources);
+
+    // Replica of the server-side run: warm replies replay the warm
+    // start from the epoch's stored states, cold replies run cold.
+    let mut replica = Pipeline::on(&epoch.graph)
+        .order_ref(&epoch.order)
+        .mode(outcome.mode.mode())
+        .algorithm_ref(algorithm.as_ref());
+    if outcome.warm {
+        let entry = epoch
+            .warm_for(
+                outcome.alg,
+                outcome.effective_sources.first().copied().unwrap_or(0),
+            )
+            .expect("warm reply must match a warm entry of its own epoch");
+        replica = replica.warm_start(WarmStart::from_states((*entry.states).clone()));
+    }
+    let replica = replica.execute().expect("replica run").stats.final_states;
+    assert_eq!(
+        &*outcome.states,
+        &replica,
+        "epoch {} {}: server states diverge from a replica run on the pinned snapshot",
+        epoch.epoch,
+        outcome.alg.name(),
+    );
+
+    // For max-norm algorithms the warm fixpoint IS the cold fixpoint,
+    // so even warm replies must equal a literal fresh cold run.
+    if !outcome.warm || outcome.alg.warm_is_exact() {
+        let cold = Pipeline::on(&epoch.graph)
+            .order_ref(&epoch.order)
+            .mode(outcome.mode.mode())
+            .algorithm_ref(algorithm.as_ref())
+            .execute()
+            .expect("cold replica run")
+            .stats
+            .final_states;
+        assert_eq!(
+            &*outcome.states,
+            &cold,
+            "epoch {} {}: reader result must be bit-identical to a fresh cold run",
+            epoch.epoch,
+            outcome.alg.name(),
+        );
+    }
+}
+
+#[test]
+fn concurrent_readers_always_see_consistent_epochs() {
+    let g = stress_graph();
+    let core = ServeCore::start(
+        &g,
+        ServeConfig {
+            warm: vec![
+                WarmSpec::new(AlgSpec::Sssp, 0),
+                WarmSpec::new(AlgSpec::Cc, 0),
+                WarmSpec::new(AlgSpec::PageRank, 0),
+            ],
+            admission_window: Duration::from_millis(1),
+            ..ServeConfig::default()
+        },
+    )
+    .unwrap();
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let readers = 4;
+    let mut handles = Vec::new();
+    for reader_id in 0..readers {
+        let core = Arc::clone(&core);
+        let stop = Arc::clone(&stop);
+        handles.push(std::thread::spawn(move || {
+            let mut rng = StdRng::seed_from_u64(0x5eed + reader_id as u64);
+            let mut epochs_seen = HashSet::new();
+            let mut verified = 0usize;
+            while !stop.load(Ordering::Relaxed) {
+                let n = 150u32;
+                let roll: f64 = rng.random();
+                let (alg, sources, combine) = if roll < 0.35 {
+                    (AlgSpec::Sssp, vec![0], true) // warm hot source
+                } else if roll < 0.60 {
+                    (AlgSpec::Sssp, vec![rng.random_range(0..n)], true) // cold, coalescible
+                } else if roll < 0.75 {
+                    (AlgSpec::Bfs, vec![rng.random_range(0..n)], false) // cold, solo
+                } else if roll < 0.90 {
+                    (AlgSpec::Cc, vec![], false) // global max-norm, warm
+                } else {
+                    (AlgSpec::PageRank, vec![], false) // global sum-norm, warm
+                };
+                let outcome = core
+                    .execute_query(QueryRequest {
+                        alg,
+                        mode: ModeSpec::Async,
+                        sources,
+                        combine,
+                    })
+                    .expect("stress query");
+                verify_bit_identical(&outcome);
+                epochs_seen.insert(outcome.epoch.epoch);
+                verified += 1;
+            }
+            (verified, epochs_seen)
+        }));
+    }
+
+    // Mutator side: publish a stream of epochs while the readers run.
+    let mut rng = StdRng::seed_from_u64(77);
+    let total_batches = 6;
+    for _ in 0..total_batches {
+        let batch: Vec<EdgeUpdate> = (0..12)
+            .filter_map(|_| {
+                let src = rng.random_range(0..150u32);
+                let dst = rng.random_range(0..150u32);
+                if src == dst {
+                    None
+                } else if rng.random_bool(0.8) {
+                    Some(EdgeUpdate::insert_weighted(
+                        src,
+                        dst,
+                        rng.random_range(1.0..10.0),
+                    ))
+                } else {
+                    Some(EdgeUpdate::remove(src, dst))
+                }
+            })
+            .collect();
+        core.enqueue_updates(batch).unwrap();
+        core.quiesce();
+        // Give readers time to pin and verify against this epoch.
+        std::thread::sleep(Duration::from_millis(40));
+    }
+    stop.store(true, Ordering::Relaxed);
+
+    let mut total_verified = 0usize;
+    let mut all_epochs = HashSet::new();
+    for h in handles {
+        let (verified, epochs) = h.join().expect("reader thread");
+        assert!(verified > 0, "every reader must verify at least one query");
+        total_verified += verified;
+        all_epochs.extend(epochs);
+    }
+    assert_eq!(core.stats_snapshot().epochs_published, total_batches as u64);
+    assert!(
+        all_epochs.len() >= 3,
+        "readers must have raced across several epochs (saw {:?})",
+        all_epochs
+    );
+    // One final verification pinned at the terminal epoch.
+    let last = core
+        .execute_query(QueryRequest {
+            alg: AlgSpec::Sssp,
+            mode: ModeSpec::Async,
+            sources: vec![0],
+            combine: false,
+        })
+        .unwrap();
+    assert_eq!(last.epoch.epoch, total_batches as u64);
+    verify_bit_identical(&last);
+    core.shutdown();
+    println!(
+        "verified {total_verified} queries across {} epochs",
+        all_epochs.len()
+    );
+}
+
+/// The differential guarantee behind the stress test, pinned directly:
+/// a pinned epoch's graph is frozen — applying more updates to the
+/// serving side must not change what the pinned snapshot computes.
+#[test]
+fn pinned_epoch_is_immune_to_later_updates() {
+    let g = stress_graph();
+    let core = ServeCore::start(
+        &g,
+        ServeConfig {
+            warm: vec![WarmSpec::new(AlgSpec::Sssp, 0)],
+            admission_window: Duration::ZERO,
+            ..ServeConfig::default()
+        },
+    )
+    .unwrap();
+
+    let pinned = core.pin_epoch();
+    let before = Pipeline::on(&pinned.graph)
+        .order_ref(&pinned.order)
+        .algorithm_ref(AlgSpec::Sssp.instantiate(&[0]).as_ref())
+        .execute()
+        .unwrap()
+        .stats
+        .final_states;
+
+    // Heavily mutate the served graph.
+    for round in 0..4 {
+        let batch: Vec<EdgeUpdate> = (0..20)
+            .map(|k| EdgeUpdate::insert_weighted(round * 20 + k, (k + 1) % 150, 1.0))
+            .collect();
+        core.enqueue_updates(batch).unwrap();
+    }
+    core.quiesce();
+    assert_eq!(core.stats_snapshot().epochs_published, 4);
+
+    let after = Pipeline::on(&pinned.graph)
+        .order_ref(&pinned.order)
+        .algorithm_ref(AlgSpec::Sssp.instantiate(&[0]).as_ref())
+        .execute()
+        .unwrap()
+        .stats
+        .final_states;
+    assert_eq!(before, after, "a pinned epoch must be frozen");
+    assert_ne!(
+        pinned.graph.num_edges(),
+        core.pin_epoch().graph.num_edges(),
+        "the served graph must actually have moved on"
+    );
+    core.shutdown();
+}

@@ -61,7 +61,7 @@ fn insert_only_schedule() -> Schedule {
         .iter()
         .map(|e| EdgeUpdate::insert_weighted(e.src, e.dst, e.weight))
         .collect();
-    let batches = split_batches(&inserts, 4);
+    let batches = split_batches(&inserts, 4).unwrap();
     assert!(!batches.is_empty() && batches.iter().all(|b| !b.is_empty()));
     Schedule {
         name: "insert-only",
@@ -87,8 +87,8 @@ fn mixed_schedule() -> Schedule {
         .iter()
         .map(|e| EdgeUpdate::remove(e.src, e.dst))
         .collect();
-    let insert_batches = split_batches(&inserts, 4);
-    let remove_batches = split_batches(&removes, 4);
+    let insert_batches = split_batches(&inserts, 4).unwrap();
+    let remove_batches = split_batches(&removes, 4).unwrap();
     let batches: Vec<Vec<EdgeUpdate>> = (0..4)
         .map(|i| {
             let mut batch = insert_batches.get(i).cloned().unwrap_or_default();

@@ -72,6 +72,59 @@ impl IncrementalGoGraph {
         Self::from_graph_with_order(&CsrGraph::empty(n), &Permutation::identity(n))
     }
 
+    /// Full behavioral state of the maintained order: the per-vertex
+    /// float `val` keys plus the sticky head/tail bounds, as
+    /// `(vals, min_val, max_val)`.
+    ///
+    /// The induced [`Permutation`] is *not* sufficient to resume
+    /// maintenance bit-identically: repositioning decisions depend on
+    /// the exact `val`s (midpoints, collision nudges) and on bounds that
+    /// [`InsertionOrder::remove`] leaves deliberately stale-wide.
+    /// Feeding this snapshot to
+    /// [`IncrementalGoGraph::from_graph_with_saved_order`] yields a
+    /// maintainer whose every future decision coincides with this one's.
+    pub fn order_state(&self) -> (Vec<f64>, f64, f64) {
+        (
+            self.order.vals().to_vec(),
+            self.order.min_val(),
+            self.order.max_val(),
+        )
+    }
+
+    /// Rebuilds a maintainer from a graph and a saved order snapshot
+    /// (from [`IncrementalGoGraph::order_state`]), resuming maintenance
+    /// exactly where the exporting instance left off.
+    ///
+    /// # Panics
+    /// Panics if `vals` has an entry per vertex of `g` with none NaN, or
+    /// the bounds fail to cover the vals.
+    pub fn from_graph_with_saved_order(
+        g: &CsrGraph,
+        vals: &[f64],
+        min_val: f64,
+        max_val: f64,
+    ) -> Self {
+        let n = g.num_vertices();
+        assert_eq!(vals.len(), n, "saved vals must cover every vertex");
+        assert!(
+            vals.iter().all(|v| !v.is_nan()),
+            "saved vals must place every vertex"
+        );
+        let io = InsertionOrder::from_saved(vals, min_val, max_val);
+        let mut out = vec![Vec::new(); n];
+        let mut in_ = vec![Vec::new(); n];
+        for e in g.edges() {
+            out[e.src as usize].push(e.dst);
+            in_[e.dst as usize].push(e.src);
+        }
+        IncrementalGoGraph {
+            out,
+            in_,
+            order: io,
+            num_edges: g.num_edges(),
+        }
+    }
+
     /// Number of vertices.
     pub fn num_vertices(&self) -> usize {
         self.out.len()
@@ -551,6 +604,63 @@ mod tests {
         let g = inc.to_graph();
         assert_eq!(g.num_edges(), 1);
         assert_eq!(metric(&g, &inc.current_order()), 1);
+    }
+
+    #[test]
+    fn saved_order_resumes_bit_identically() {
+        // Evolve a maintainer through churn that leaves fractional vals
+        // and stale-wide bounds (removals at the extremes), snapshot it,
+        // rebuild from the snapshot, then drive both through identical
+        // further updates: every decision must coincide.
+        let g = shuffle_labels(
+            &planted_partition(PlantedPartitionConfig {
+                num_vertices: 80,
+                num_edges: 500,
+                communities: 4,
+                p_intra: 0.8,
+                gamma: 2.4,
+                seed: 31,
+            }),
+            5,
+        );
+        let mut inc = IncrementalGoGraph::from_graph(&g);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(13);
+        let churn: Vec<EdgeUpdate> = (0..120)
+            .map(|_| {
+                let src = rng.random_range(0..80u32);
+                let dst = rng.random_range(0..80u32);
+                if rng.random_bool(0.7) {
+                    EdgeUpdate::insert(src, dst)
+                } else {
+                    EdgeUpdate::remove(src, dst)
+                }
+            })
+            .collect();
+        inc.apply_updates(&churn[..60]);
+
+        let snapshot_graph = inc.to_graph();
+        let (vals, lo, hi) = inc.order_state();
+        let mut resumed =
+            IncrementalGoGraph::from_graph_with_saved_order(&snapshot_graph, &vals, lo, hi);
+        assert_eq!(resumed.current_order(), inc.current_order());
+
+        // A permutation-seeded rebuild is NOT enough: its integer vals
+        // and tight bounds can diverge under further churn — the exact
+        // failure the saved-order path exists to prevent.
+        inc.apply_updates(&churn[60..]);
+        resumed.apply_updates(&churn[60..]);
+        assert_eq!(resumed.current_order(), inc.current_order());
+        let (vals_a, lo_a, hi_a) = inc.order_state();
+        let (vals_b, lo_b, hi_b) = resumed.order_state();
+        assert_eq!(
+            vals_a.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            vals_b.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            "resumed maintainer's val keys must be bit-identical"
+        );
+        assert_eq!(
+            (lo_a.to_bits(), hi_a.to_bits()),
+            (lo_b.to_bits(), hi_b.to_bits())
+        );
     }
 
     #[test]

@@ -187,6 +187,36 @@ impl InsertionOrder {
         self.finish(id, val);
     }
 
+    /// Rebuilds an order from a previously-saved snapshot so that every
+    /// future insertion behaves exactly as it would have on the original.
+    ///
+    /// Seeding the raw [`InsertionOrder::vals`] alone is *not* enough:
+    /// `min_val`/`max_val` are sticky — [`InsertionOrder::remove`] never
+    /// shrinks them — so an evolved order can hold wider head/tail bounds
+    /// than its current vals imply, and head/tail placements (`min − 1` /
+    /// `max + 1`) would diverge on a tight rebuild. The saved bounds are
+    /// therefore restored verbatim. NaN entries mark uninserted items.
+    ///
+    /// # Panics
+    /// Panics if the saved bounds do not cover every non-NaN val.
+    pub fn from_saved(vals: &[f64], min_val: f64, max_val: f64) -> Self {
+        let mut o = InsertionOrder::new(vals.len());
+        for (id, &val) in vals.iter().enumerate() {
+            if !val.is_nan() {
+                assert!(
+                    min_val <= val && val <= max_val,
+                    "saved bounds [{min_val}, {max_val}] do not cover val {val} of item {id}"
+                );
+                o.finish(id, val);
+            }
+        }
+        if o.count > 0 {
+            o.min_val = min_val;
+            o.max_val = max_val;
+        }
+        o
+    }
+
     /// Picks an unused val strictly inside `(lo, hi)`, starting from the
     /// midpoint and halving toward `lo` on collision. Falls back to the
     /// midpoint if the interval is exhausted (float resolution), at which

@@ -56,7 +56,7 @@ pub use strategy::{
     SyncStrategy, WarmStart, WorklistStrategy,
 };
 pub use streaming::{
-    split_batches, SplitBatchesError, StreamingPipeline, StreamingPipelineBuilder,
+    split_batches, ResumableState, SplitBatchesError, StreamingPipeline, StreamingPipelineBuilder,
 };
 pub use sync::{run_sync, sync_kernel, sync_kernel_warm};
 #[allow(deprecated)]

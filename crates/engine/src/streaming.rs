@@ -168,51 +168,7 @@ impl StreamingPipelineBuilder {
             reorder_threads,
             partition_scoped,
         } = self;
-        if !(drift_threshold >= 0.0 && drift_threshold.is_finite()) {
-            return Err(EngineError::InvalidParameter {
-                name: "drift_threshold",
-                message: format!("must be finite and >= 0, got {drift_threshold}"),
-            });
-        }
-        if !(0.0..=1.0).contains(&quality_floor) {
-            return Err(EngineError::InvalidParameter {
-                name: "quality_floor",
-                message: format!("must be a fraction in [0, 1], got {quality_floor}"),
-            });
-        }
-        let strategy_name = strategy_for(mode).name();
-        match mode {
-            Mode::Delta(_) => {
-                if delta.is_none() {
-                    return Err(if gather.is_some() {
-                        EngineError::IncompatibleAlgorithm {
-                            mode: strategy_name,
-                            provided: "gather",
-                        }
-                    } else {
-                        EngineError::MissingAlgorithm {
-                            mode: strategy_name,
-                            expected: "delta",
-                        }
-                    });
-                }
-            }
-            _ => {
-                if gather.is_none() {
-                    return Err(if delta.is_some() {
-                        EngineError::IncompatibleAlgorithm {
-                            mode: strategy_name,
-                            provided: "delta",
-                        }
-                    } else {
-                        EngineError::MissingAlgorithm {
-                            mode: strategy_name,
-                            expected: "gather",
-                        }
-                    });
-                }
-            }
-        }
+        validate_streaming_params(mode, &gather, &delta, drift_threshold, quality_floor)?;
 
         // Bootstrap reorder: one full (optionally parallel) GoGraph run,
         // loaded into the incremental maintainer together with its
@@ -265,6 +221,261 @@ impl StreamingPipelineBuilder {
         pipeline.absorb(stats, reorder_time, execute_time);
         Ok(pipeline)
     }
+
+    /// Reconstructs a pipeline from a previously
+    /// [exported](StreamingPipeline::export_state) state instead of
+    /// bootstrapping: no reorder, no cold run — the graph, maintained
+    /// order, drift baselines and converged states are adopted as-is and
+    /// the incremental order maintainer is rebuilt from the saved
+    /// insertion-order keys ([`ResumableState::order_vals`]), restoring
+    /// its exact decision state.
+    ///
+    /// Given the same builder configuration (mode, algorithm, run
+    /// config, thresholds) as the exporting pipeline, the resumed
+    /// pipeline is **bit-identical going forward**: applying the same
+    /// batch sequence to both produces coinciding graphs, orders and
+    /// states. This is the foundation of crash recovery — a checkpoint
+    /// is an exported state, and WAL replay is `apply_batch` on the
+    /// resumed pipeline. The graph passed to [`StreamingPipeline::over`]
+    /// is ignored; `state.graph` is authoritative.
+    pub fn resume(self, state: ResumableState) -> Result<StreamingPipeline, EngineError> {
+        let StreamingPipelineBuilder {
+            graph: _,
+            mode,
+            gather,
+            delta,
+            cfg,
+            drift_threshold,
+            quality_floor,
+            reorder_threads,
+            partition_scoped,
+        } = self;
+        validate_streaming_params(mode, &gather, &delta, drift_threshold, quality_floor)?;
+        let ResumableState {
+            graph,
+            order_vals,
+            order_min_val,
+            order_max_val,
+            part_of,
+            part_members,
+            baseline_intra,
+            baseline_fraction,
+            baseline_density,
+            states,
+            total_rounds,
+            batches_applied,
+            full_reorders,
+            partition_reorders,
+            partition_repair_attempts,
+        } = state;
+        let n = graph.num_vertices();
+        let shape_err =
+            |name: &'static str, message: String| EngineError::InvalidParameter { name, message };
+        if order_vals.len() != n {
+            return Err(shape_err(
+                "order_vals",
+                format!("order val count {} != vertex count {n}", order_vals.len()),
+            ));
+        }
+        if order_vals.iter().any(|v| v.is_nan())
+            || order_vals
+                .iter()
+                .any(|&v| !(order_min_val <= v && v <= order_max_val))
+        {
+            return Err(shape_err(
+                "order_vals",
+                "order vals must be non-NaN and covered by the saved bounds".to_string(),
+            ));
+        }
+        if states.len() != n {
+            return Err(shape_err(
+                "states",
+                format!("state length {} != vertex count {n}", states.len()),
+            ));
+        }
+        if !part_of.is_empty() && part_of.len() != n {
+            return Err(shape_err(
+                "part_of",
+                format!(
+                    "partition assignment length {} != vertex count {n}",
+                    part_of.len()
+                ),
+            ));
+        }
+        if part_members.len() != baseline_intra.len() {
+            return Err(shape_err(
+                "part_members",
+                format!(
+                    "{} partitions but {} intra baselines",
+                    part_members.len(),
+                    baseline_intra.len()
+                ),
+            ));
+        }
+        if !(0.0..=1.0).contains(&baseline_fraction) {
+            return Err(shape_err(
+                "baseline_fraction",
+                format!("must be a fraction in [0, 1], got {baseline_fraction}"),
+            ));
+        }
+
+        let inc = IncrementalGoGraph::from_graph_with_saved_order(
+            &graph,
+            &order_vals,
+            order_min_val,
+            order_max_val,
+        );
+        let order = inc.current_order();
+        let mut pipeline = StreamingPipeline {
+            inc,
+            graph,
+            order,
+            mode,
+            gather,
+            delta,
+            cfg,
+            drift_threshold,
+            quality_floor,
+            reorder_threads,
+            partition_scoped,
+            baseline_fraction,
+            part_of,
+            part_members,
+            baseline_intra,
+            baseline_density,
+            states,
+            last: None,
+            total_rounds,
+            batches_applied,
+            full_reorders,
+            partition_reorders,
+            partition_repair_attempts,
+        };
+        // A synthetic last-result so `last_result()` is well-defined
+        // before the first post-resume batch: the adopted fixpoint.
+        let stats = crate::convergence::RunStats {
+            rounds: 0,
+            runtime: Duration::ZERO,
+            converged: true,
+            final_states: pipeline.states.clone(),
+            trace: Vec::new(),
+            state_memory_bytes: 0,
+            evaluations: None,
+            push_rounds: 0,
+        };
+        pipeline.last = Some(PipelineResult {
+            order: pipeline.order.clone(),
+            relabeled: None,
+            stats,
+            timings: StageTimings {
+                reorder: Duration::ZERO,
+                relabel: Duration::ZERO,
+                execute: Duration::ZERO,
+            },
+        });
+        Ok(pipeline)
+    }
+}
+
+/// Shared parameter validation for [`StreamingPipelineBuilder::build`]
+/// and [`StreamingPipelineBuilder::resume`].
+fn validate_streaming_params(
+    mode: Mode,
+    gather: &Option<Box<dyn IterativeAlgorithm>>,
+    delta: &Option<Box<dyn DeltaAlgorithm>>,
+    drift_threshold: f64,
+    quality_floor: f64,
+) -> Result<(), EngineError> {
+    if !(drift_threshold >= 0.0 && drift_threshold.is_finite()) {
+        return Err(EngineError::InvalidParameter {
+            name: "drift_threshold",
+            message: format!("must be finite and >= 0, got {drift_threshold}"),
+        });
+    }
+    if !(0.0..=1.0).contains(&quality_floor) {
+        return Err(EngineError::InvalidParameter {
+            name: "quality_floor",
+            message: format!("must be a fraction in [0, 1], got {quality_floor}"),
+        });
+    }
+    let strategy_name = strategy_for(mode).name();
+    match mode {
+        Mode::Delta(_) => {
+            if delta.is_none() {
+                return Err(if gather.is_some() {
+                    EngineError::IncompatibleAlgorithm {
+                        mode: strategy_name,
+                        provided: "gather",
+                    }
+                } else {
+                    EngineError::MissingAlgorithm {
+                        mode: strategy_name,
+                        expected: "delta",
+                    }
+                });
+            }
+        }
+        _ => {
+            if gather.is_none() {
+                return Err(if delta.is_some() {
+                    EngineError::IncompatibleAlgorithm {
+                        mode: strategy_name,
+                        provided: "delta",
+                    }
+                } else {
+                    EngineError::MissingAlgorithm {
+                        mode: strategy_name,
+                        expected: "gather",
+                    }
+                });
+            }
+        }
+    }
+    Ok(())
+}
+
+/// A value-complete snapshot of a [`StreamingPipeline`]'s evolving
+/// state — everything `apply_batch` reads that is not builder
+/// configuration. Exported by [`StreamingPipeline::export_state`] and
+/// consumed by [`StreamingPipelineBuilder::resume`]; the serve crate's
+/// checkpoint format is a serialization of this.
+#[derive(Debug, Clone)]
+pub struct ResumableState {
+    /// The evolved graph.
+    pub graph: CsrGraph,
+    /// Per-vertex float keys of the maintained insertion order — the
+    /// *full* behavioral state, from which the [`Permutation`] is
+    /// derived. The induced permutation alone is not enough for
+    /// bit-identical resume: future repositioning decisions depend on
+    /// the exact keys (midpoints, collision nudges).
+    pub order_vals: Vec<f64>,
+    /// Sticky head/tail bounds of the insertion order (`remove` never
+    /// shrinks them, so they can be wider than the vals imply).
+    pub order_min_val: f64,
+    /// See [`ResumableState::order_min_val`].
+    pub order_max_val: f64,
+    /// Vertex → partition of the last full reorder.
+    pub part_of: Vec<u32>,
+    /// Members of each partition, as of the last full reorder.
+    pub part_members: Vec<Vec<VertexId>>,
+    /// Per-partition intra positive-fraction baselines.
+    pub baseline_intra: Vec<PartitionContribution>,
+    /// The positive fraction the last full reorder achieved.
+    pub baseline_fraction: f64,
+    /// Edges-per-vertex at the last full reorder or re-baseline.
+    pub baseline_density: f64,
+    /// The converged per-vertex states.
+    pub states: Vec<f64>,
+    /// Engine rounds across the bootstrap and every batch.
+    pub total_rounds: usize,
+    /// Batches applied so far.
+    pub batches_applied: usize,
+    /// Full reorders executed (bootstrap included).
+    pub full_reorders: usize,
+    /// Partition-scoped re-reorders adopted.
+    pub partition_reorders: usize,
+    /// Partition-scoped repair attempts.
+    pub partition_repair_attempts: usize,
 }
 
 /// A pipeline over an **evolving** graph: converged state, the
@@ -435,6 +646,33 @@ impl StreamingPipeline {
         let execute_time = t.elapsed();
         self.batches_applied += 1;
         Ok(self.absorb(stats, maintain_time, execute_time))
+    }
+
+    /// Snapshots everything `apply_batch` evolves into a
+    /// [`ResumableState`], from which
+    /// [`StreamingPipelineBuilder::resume`] reconstructs a pipeline
+    /// that behaves bit-identically from this point on. The graph
+    /// payload is `Arc`-shared (cheap); orders, baselines and states
+    /// are value copies.
+    pub fn export_state(&self) -> ResumableState {
+        let (order_vals, order_min_val, order_max_val) = self.inc.order_state();
+        ResumableState {
+            graph: self.graph.snapshot(),
+            order_vals,
+            order_min_val,
+            order_max_val,
+            part_of: self.part_of.clone(),
+            part_members: self.part_members.clone(),
+            baseline_intra: self.baseline_intra.clone(),
+            baseline_fraction: self.baseline_fraction,
+            baseline_density: self.baseline_density,
+            states: self.states.clone(),
+            total_rounds: self.total_rounds,
+            batches_applied: self.batches_applied,
+            full_reorders: self.full_reorders,
+            partition_reorders: self.partition_reorders,
+            partition_repair_attempts: self.partition_repair_attempts,
+        }
     }
 
     /// The current graph (after all applied batches).
@@ -1241,6 +1479,143 @@ mod tests {
         // Exactly one batch per item is the tightest legal schedule.
         assert_eq!(split_batches(&[1, 2], 2).unwrap(), vec![vec![1], vec![2]]);
         assert_eq!(split_batches(&[7], 1).unwrap(), vec![vec![7]]);
+    }
+
+    #[test]
+    fn resume_is_bit_identical_going_forward() {
+        let g = seed_graph();
+        let build = || {
+            StreamingPipeline::over(&g)
+                .algorithm(Sssp::new(0))
+                .drift_threshold(0.01)
+                .build()
+                .unwrap()
+        };
+        let mut original = build();
+        let mut control = build();
+        // Drive both through a prefix, export mid-stream, resume a third.
+        let batches: Vec<Vec<EdgeUpdate>> = (0..6)
+            .map(|i| {
+                vec![
+                    EdgeUpdate::insert(i * 7 % 120, (i * 13 + 5) % 120),
+                    EdgeUpdate::remove(i, i + 1),
+                    EdgeUpdate::insert(119 - i, i * 3),
+                ]
+            })
+            .collect();
+        for b in &batches[..3] {
+            original.apply_batch(b).unwrap();
+            control.apply_batch(b).unwrap();
+        }
+        let state = original.export_state();
+        let mut resumed = StreamingPipeline::over(&g)
+            .algorithm(Sssp::new(0))
+            .drift_threshold(0.01)
+            .resume(state)
+            .unwrap();
+        assert_eq!(resumed.graph(), original.graph());
+        assert_eq!(resumed.order(), original.order());
+        assert_eq!(resumed.states(), original.states());
+        assert_eq!(resumed.batches_applied(), 3);
+        // The tail must evolve identically on all three pipelines.
+        for b in &batches[3..] {
+            original.apply_batch(b).unwrap();
+            control.apply_batch(b).unwrap();
+            resumed.apply_batch(b).unwrap();
+        }
+        assert_eq!(resumed.graph(), original.graph());
+        assert_eq!(resumed.order(), original.order());
+        assert_eq!(resumed.states(), original.states());
+        assert_eq!(resumed.full_reorders(), original.full_reorders());
+        assert_eq!(control.states(), original.states(), "control sanity");
+    }
+
+    #[test]
+    fn resume_at_bootstrap_equals_build() {
+        let g = seed_graph();
+        let built = StreamingPipeline::over(&g)
+            .algorithm(ConnectedComponents)
+            .build()
+            .unwrap();
+        let mut resumed = StreamingPipeline::over(&g)
+            .algorithm(ConnectedComponents)
+            .resume(built.export_state())
+            .unwrap();
+        assert_eq!(resumed.order(), built.order());
+        assert_eq!(resumed.states(), built.states());
+        assert_eq!(resumed.num_partitions(), built.num_partitions());
+        let r = resumed.apply_batch(&[EdgeUpdate::insert(0, 110)]).unwrap();
+        assert!(r.stats.converged);
+    }
+
+    #[test]
+    fn resume_validates_shapes_and_algorithms() {
+        let g = chain(10);
+        let sp = StreamingPipeline::over(&g)
+            .algorithm(Sssp::new(0))
+            .build()
+            .unwrap();
+        let good = sp.export_state();
+
+        let err = StreamingPipeline::over(&g)
+            .resume(good.clone())
+            .unwrap_err();
+        assert!(matches!(err, EngineError::MissingAlgorithm { .. }));
+
+        let mut short_states = good.clone();
+        short_states.states.pop();
+        let err = StreamingPipeline::over(&g)
+            .algorithm(Sssp::new(0))
+            .resume(short_states)
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            EngineError::InvalidParameter { name: "states", .. }
+        ));
+
+        let mut bad_fraction = good.clone();
+        bad_fraction.baseline_fraction = f64::NAN;
+        let err = StreamingPipeline::over(&g)
+            .algorithm(Sssp::new(0))
+            .resume(bad_fraction)
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            EngineError::InvalidParameter {
+                name: "baseline_fraction",
+                ..
+            }
+        ));
+
+        let mut bad_vals = good.clone();
+        bad_vals.order_vals[0] = f64::NAN;
+        let err = StreamingPipeline::over(&g)
+            .algorithm(Sssp::new(0))
+            .resume(bad_vals)
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            EngineError::InvalidParameter {
+                name: "order_vals",
+                ..
+            }
+        ));
+
+        let mut bad_parts = good;
+        bad_parts
+            .baseline_intra
+            .push(PartitionContribution::default());
+        let err = StreamingPipeline::over(&g)
+            .algorithm(Sssp::new(0))
+            .resume(bad_parts)
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            EngineError::InvalidParameter {
+                name: "part_members",
+                ..
+            }
+        ));
     }
 
     #[test]

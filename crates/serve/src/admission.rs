@@ -80,11 +80,11 @@ impl<Key: Eq + Hash + Clone, T: Clone> AdmissionQueue<Key, T> {
     /// leader.
     pub fn submit(&self, key: Key, sources: &[VertexId]) -> Admission<T> {
         let slot = {
-            let mut open = self.open.lock().unwrap();
+            let mut open = crate::lock_unpoisoned(&self.open);
             if let Some(slot) = open.get(&key) {
                 // Join the open batch.
                 let slot = Arc::clone(slot);
-                let mut st = slot.state.lock().unwrap();
+                let mut st = crate::lock_unpoisoned(&slot.state);
                 st.sources.extend_from_slice(sources);
                 st.admitted += 1;
                 drop(st);
@@ -109,9 +109,9 @@ impl<Key: Eq + Hash + Clone, T: Clone> AdmissionQueue<Key, T> {
         if !self.window.is_zero() {
             std::thread::sleep(self.window);
         }
-        self.open.lock().unwrap().remove(&key);
+        crate::lock_unpoisoned(&self.open).remove(&key);
 
-        let st = slot.state.lock().unwrap();
+        let st = crate::lock_unpoisoned(&slot.state);
         let mut union = st.sources.clone();
         let admitted = st.admitted;
         drop(st);
@@ -125,7 +125,7 @@ impl<Key: Eq + Hash + Clone, T: Clone> AdmissionQueue<Key, T> {
     }
 
     fn wait(&self, slot: &Arc<Slot<T>>, sources: &[VertexId]) -> Admission<T> {
-        let mut st = slot.state.lock().unwrap();
+        let mut st = crate::lock_unpoisoned(&slot.state);
         loop {
             if let Some(outcome) = st.outcome.clone() {
                 return Admission::Follow(outcome);
@@ -146,13 +146,13 @@ impl<Key: Eq + Hash + Clone, T: Clone> AdmissionQueue<Key, T> {
                     admitted: 1,
                 };
             }
-            st = slot.done.wait(st).unwrap();
+            st = slot.done.wait(st).unwrap_or_else(|e| e.into_inner());
         }
     }
 
     /// Leader hand-off: publishes `outcome` to every follower of `slot`.
     pub fn complete(&self, slot: &Arc<Slot<T>>, outcome: T) {
-        let mut st = slot.state.lock().unwrap();
+        let mut st = crate::lock_unpoisoned(&slot.state);
         st.outcome = Some(outcome);
         slot.done.notify_all();
     }
@@ -160,7 +160,7 @@ impl<Key: Eq + Hash + Clone, T: Clone> AdmissionQueue<Key, T> {
     /// Leader abort: wakes followers so they retry solo instead of
     /// waiting forever.
     pub fn poison(&self, slot: &Arc<Slot<T>>) {
-        let mut st = slot.state.lock().unwrap();
+        let mut st = crate::lock_unpoisoned(&slot.state);
         st.poisoned = true;
         slot.done.notify_all();
     }

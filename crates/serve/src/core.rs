@@ -1,23 +1,53 @@
 //! The in-process service core: epoch-pinned query execution on reader
-//! threads, a single mutator thread publishing epochs, and shared
-//! counters for the stats reply.
+//! threads, a single supervised mutator thread publishing epochs, and
+//! shared counters for the stats reply.
 //!
 //! Transport-agnostic on purpose — [`crate::server`] wraps it in TCP,
 //! tests drive it directly.
+//!
+//! # Durability and crash recovery
+//!
+//! With a [`DurabilityConfig`], every admitted update batch is appended
+//! to a write-ahead log (see [`crate::wal`]) **before** the enqueue
+//! call returns — the client's ack implies the batch is on disk. The
+//! mutator periodically captures its full decision state in an atomic
+//! checkpoint (see [`crate::checkpoint`]); [`ServeCore::recover`]
+//! resumes from the last checkpoint and replays the WAL tail, landing
+//! on **bit-identical** epochs to the uninterrupted run because the
+//! streaming pipeline is deterministic and the checkpoint carries the
+//! insertion order's exact float-key state.
+//!
+//! # Mutator supervision
+//!
+//! A panicking or failing batch application no longer halts epoch
+//! publication: the mutator exports each pipeline's resumable state
+//! before applying a batch, catches panics, and on any failure restores
+//! every pipeline to the pre-batch state. The failed batch is skipped
+//! (deterministically — a recovery replaying the same batches under the
+//! same [`FaultPlan`] skips the same ones), `mutator_restarts` counts
+//! the rollback, and the `degraded` flag stays raised until the next
+//! successful publish.
 
 use crate::admission::{Admission, AdmissionQueue};
+use crate::checkpoint::{read_checkpoint, write_checkpoint, Checkpoint, PipelineCheckpoint};
 use crate::epoch::{EpochCell, EpochState, WarmEntry};
+use crate::fault::FaultPlan;
 use crate::spec::{AlgSpec, ModeSpec};
+use crate::wal::{compact_wal, read_wal, truncate_wal, SyncPolicy, TailStatus, WalWriter};
 use gograph_engine::{
-    Bfs, ConnectedComponents, EngineError, PageRank, Pipeline, Sssp, Sswp, StreamingPipeline,
-    WarmStart,
+    Bfs, ConnectedComponents, EngineError, PageRank, Pipeline, ResumableState, Sssp, Sswp,
+    StreamingPipeline, WarmStart,
 };
 use gograph_graph::{CsrGraph, EdgeUpdate, VertexId};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc::{self, Receiver, Sender};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::Duration;
+
+/// Sentinel in the compaction watermark meaning "nothing pending".
+const NO_COMPACTION: u64 = u64::MAX;
 
 /// An algorithm the mutator keeps converged across epochs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -35,6 +65,42 @@ impl WarmSpec {
     }
 }
 
+/// Where and how the service persists update batches and checkpoints.
+#[derive(Debug, Clone)]
+pub struct DurabilityConfig {
+    /// Directory holding the log (`updates.wal`) and the checkpoint
+    /// (`epoch.ckpt`). Created on boot if missing.
+    pub dir: PathBuf,
+    /// Checkpoint (and schedule a WAL compaction) every this many
+    /// assigned sequence numbers. 0 disables periodic checkpoints —
+    /// one is still written at boot and on clean shutdown.
+    pub checkpoint_every_batches: u64,
+    /// How eagerly WAL appends reach stable storage.
+    pub sync: SyncPolicy,
+}
+
+impl DurabilityConfig {
+    /// Durability under `dir` with the defaults: checkpoint every 16
+    /// batches, fsync every append.
+    pub fn new(dir: impl Into<PathBuf>) -> DurabilityConfig {
+        DurabilityConfig {
+            dir: dir.into(),
+            checkpoint_every_batches: 16,
+            sync: SyncPolicy::EveryBatch,
+        }
+    }
+
+    /// Path of the write-ahead log.
+    pub fn wal_path(&self) -> PathBuf {
+        self.dir.join("updates.wal")
+    }
+
+    /// Path of the epoch checkpoint.
+    pub fn checkpoint_path(&self) -> PathBuf {
+        self.dir.join("epoch.ckpt")
+    }
+}
+
 /// Service configuration.
 #[derive(Debug, Clone)]
 pub struct ServeConfig {
@@ -49,6 +115,13 @@ pub struct ServeConfig {
     pub reorder_threads: usize,
     /// Whether the mutator uses partition-scoped re-reordering.
     pub partition_scoped: bool,
+    /// When set, updates are write-ahead logged and epochs checkpointed
+    /// so the service can [`recover`](ServeCore::recover) after a
+    /// crash. `None` keeps the pre-durability in-memory behavior.
+    pub durability: Option<DurabilityConfig>,
+    /// Injected faults (tests and chaos drills; [`FaultPlan::none`]
+    /// in production).
+    pub faults: FaultPlan,
 }
 
 impl Default for ServeConfig {
@@ -61,6 +134,8 @@ impl Default for ServeConfig {
             admission_window: Duration::from_millis(2),
             reorder_threads: 1,
             partition_scoped: true,
+            durability: None,
+            faults: FaultPlan::none(),
         }
     }
 }
@@ -75,6 +150,16 @@ pub enum ServeError {
     Engine(EngineError),
     /// The service is shutting down.
     Closed,
+    /// The current snapshot lags the newest admitted batch by more than
+    /// the query's `max_epoch_lag` bound.
+    Stale {
+        /// Batches admitted but not yet reflected in an epoch.
+        lag: u64,
+        /// The bound the query asked for.
+        max: u64,
+    },
+    /// The durability layer failed (WAL append, checkpoint I/O, ...).
+    Io(std::io::Error),
 }
 
 impl std::fmt::Display for ServeError {
@@ -83,6 +168,10 @@ impl std::fmt::Display for ServeError {
             ServeError::InvalidRequest(m) => write!(f, "invalid request: {m}"),
             ServeError::Engine(e) => write!(f, "engine error: {e}"),
             ServeError::Closed => write!(f, "service is shutting down"),
+            ServeError::Stale { lag, max } => {
+                write!(f, "snapshot lags by {lag} batches (bound {max})")
+            }
+            ServeError::Io(e) => write!(f, "durability I/O error: {e}"),
         }
     }
 }
@@ -92,6 +181,12 @@ impl std::error::Error for ServeError {}
 impl From<EngineError> for ServeError {
     fn from(e: EngineError) -> ServeError {
         ServeError::Engine(e)
+    }
+}
+
+impl From<std::io::Error> for ServeError {
+    fn from(e: std::io::Error) -> ServeError {
+        ServeError::Io(e)
     }
 }
 
@@ -107,6 +202,10 @@ pub struct QueryRequest {
     /// Whether this request may be coalesced with concurrent
     /// same-algorithm requests into one multi-source run.
     pub combine: bool,
+    /// Bounded staleness: reject (typed, retryable) instead of
+    /// answering when more than this many admitted batches are not yet
+    /// reflected in the pinned epoch. `None` accepts any staleness.
+    pub max_epoch_lag: Option<u64>,
 }
 
 /// A finished query: the pinned epoch it ran against plus the full
@@ -168,8 +267,28 @@ pub struct ServeStats {
     pub updates_applied: AtomicU64,
     /// Total rounds the mutator's warm pipelines spent re-converging.
     pub mutator_rounds: AtomicU64,
-    /// Update batches the mutator failed to apply.
+    /// Update batches the mutator failed to apply (skipped after
+    /// rollback).
     pub mutator_errors: AtomicU64,
+    /// Times the supervisor rolled the mutator back to its pre-batch
+    /// state after a panic or engine error.
+    pub mutator_restarts: AtomicU64,
+    /// Admission slots poisoned because their leader's execution
+    /// failed (followers retried solo).
+    pub poisoned_slots: AtomicU64,
+    /// 1 while the last batch application failed and no epoch has been
+    /// published since; 0 once publication resumes.
+    pub degraded: AtomicU64,
+    /// Batches appended to the write-ahead log.
+    pub wal_appends: AtomicU64,
+    /// Bytes appended to the write-ahead log.
+    pub wal_bytes: AtomicU64,
+    /// WAL records replayed during the last recovery.
+    pub wal_replayed: AtomicU64,
+    /// Checkpoints written (boot, periodic, and shutdown).
+    pub checkpoints_written: AtomicU64,
+    /// Connections refused at accept time because the cap was reached.
+    pub connections_shed: AtomicU64,
 }
 
 /// A plain-value copy of every counter plus epoch/graph facts.
@@ -207,13 +326,67 @@ pub struct StatsSnapshot {
     pub updates_applied: u64,
     /// Mutator re-convergence rounds.
     pub mutator_rounds: u64,
-    /// Mutator failures.
+    /// Mutator failures (skipped batches).
     pub mutator_errors: u64,
+    /// Supervisor rollbacks of the mutator.
+    pub mutator_restarts: u64,
+    /// Admission slots poisoned by failed leaders.
+    pub poisoned_slots: u64,
+    /// 1 while publication is stalled on a failed batch.
+    pub degraded: u64,
+    /// WAL appends.
+    pub wal_appends: u64,
+    /// WAL bytes written.
+    pub wal_bytes: u64,
+    /// WAL records replayed at recovery.
+    pub wal_replayed: u64,
+    /// Checkpoints written.
+    pub checkpoints_written: u64,
+    /// Connections shed at the accept cap.
+    pub connections_shed: u64,
 }
 
 enum MutatorMsg {
-    Batch(Vec<EdgeUpdate>),
+    Batch { seq: u64, updates: Vec<EdgeUpdate> },
     Stop,
+}
+
+/// The enqueue side of the update path: sequence assignment, the WAL
+/// writer (owner of the log's fd), and the mutator channel — all under
+/// one lock so "append, then send, then ack" is a single atomic step
+/// from any client's point of view.
+struct UpdateLane {
+    tx: Sender<MutatorMsg>,
+    next_seq: u64,
+    wal: Option<WalWriter>,
+}
+
+/// Pipeline construction knobs threaded to the supervisor so restored
+/// pipelines are built exactly like the originals.
+#[derive(Debug, Clone, Copy)]
+struct PipelineBuild {
+    reorder_threads: usize,
+    partition_scoped: bool,
+}
+
+impl PipelineBuild {
+    fn from_config(config: &ServeConfig) -> PipelineBuild {
+        PipelineBuild {
+            reorder_threads: config.reorder_threads,
+            partition_scoped: config.partition_scoped,
+        }
+    }
+}
+
+/// Everything the mutator thread owns.
+struct MutatorCtx {
+    pipelines: Vec<(WarmSpec, StreamingPipeline)>,
+    build: PipelineBuild,
+    faults: FaultPlan,
+    durability: Option<DurabilityConfig>,
+    compact_after: Arc<AtomicU64>,
+    epoch: u64,
+    last_seq: u64,
 }
 
 /// The service core. `Arc<ServeCore>` is shared by every connection
@@ -222,8 +395,11 @@ pub struct ServeCore {
     epoch: Arc<EpochCell>,
     admission: AdmissionQueue<(u8, u8), Arc<QueryOutcome>>,
     stats: Arc<ServeStats>,
-    update_tx: Mutex<Option<Sender<MutatorMsg>>>,
+    update_lane: Mutex<Option<UpdateLane>>,
     mutator: Mutex<Option<JoinHandle<()>>>,
+    compact_after: Arc<AtomicU64>,
+    durability: Option<DurabilityConfig>,
+    faults: FaultPlan,
 }
 
 impl ServeCore {
@@ -231,6 +407,11 @@ impl ServeCore {
     /// [`StreamingPipeline`] per configured algorithm (cold bootstrap
     /// runs happen here), publishes the bootstrap epoch, and starts the
     /// mutator thread.
+    ///
+    /// With durability configured, a fresh start refuses to run over
+    /// existing durable state (that is what [`recover`](Self::recover)
+    /// is for); it writes the bootstrap checkpoint and opens the WAL
+    /// before accepting any update.
     pub fn start(graph: &CsrGraph, config: ServeConfig) -> Result<Arc<ServeCore>, ServeError> {
         let warm_specs = if config.warm.is_empty() {
             vec![WarmSpec::new(AlgSpec::Cc, 0)]
@@ -247,34 +428,195 @@ impl ServeCore {
             }
         }
 
+        let build = PipelineBuild::from_config(&config);
         let mut pipelines: Vec<(WarmSpec, StreamingPipeline)> =
             Vec::with_capacity(warm_specs.len());
         for spec in &warm_specs {
-            let sp = build_warm_pipeline(graph, *spec, &config)?;
+            let sp = build_warm_pipeline(graph, *spec, build)?;
             pipelines.push((*spec, sp));
         }
 
-        let bootstrap = epoch_from_pipelines(0, &pipelines);
-        let epoch = Arc::new(EpochCell::new(bootstrap));
         let stats = Arc::new(ServeStats::default());
+        let mut wal = None;
+        if let Some(d) = &config.durability {
+            std::fs::create_dir_all(&d.dir)?;
+            if d.checkpoint_path().exists() || d.wal_path().exists() {
+                return Err(ServeError::InvalidRequest(format!(
+                    "durable state already present in {}; recover instead of starting fresh",
+                    d.dir.display()
+                )));
+            }
+            // Bootstrap checkpoint: recovery always has a base state,
+            // even if the process dies before the first periodic one.
+            write_checkpoint(
+                &d.checkpoint_path(),
+                &make_checkpoint(&pipelines, 0, 0, &stats),
+            )?;
+            stats.checkpoints_written.fetch_add(1, Ordering::Relaxed);
+            wal = Some(WalWriter::open(&d.wal_path(), d.sync)?);
+        }
 
+        let bootstrap = epoch_from_pipelines(0, &pipelines);
+        Self::launch(
+            Arc::new(EpochCell::new(bootstrap)),
+            pipelines,
+            stats,
+            config,
+            build,
+            wal,
+            0,
+            0,
+        )
+    }
+
+    /// Rebuilds the service from its durable state: resumes every warm
+    /// pipeline from the last checkpoint, truncates any torn WAL tail,
+    /// replays the records the checkpoint does not cover, and restores
+    /// the counters — the recovered epoch is bit-identical to the
+    /// epoch the crashed process would have served.
+    pub fn recover(config: ServeConfig) -> Result<Arc<ServeCore>, ServeError> {
+        let d = config.durability.clone().ok_or_else(|| {
+            ServeError::InvalidRequest("recover requires a durability config".to_string())
+        })?;
+        let ck = read_checkpoint(&d.checkpoint_path())?.ok_or_else(|| {
+            ServeError::InvalidRequest(format!(
+                "no checkpoint in {}; nothing to recover",
+                d.dir.display()
+            ))
+        })?;
+        if ck.pipelines.is_empty() {
+            return Err(ServeError::InvalidRequest(
+                "checkpoint carries no pipelines".to_string(),
+            ));
+        }
+
+        let build = PipelineBuild::from_config(&config);
+        let mut pipelines: Vec<(WarmSpec, StreamingPipeline)> =
+            Vec::with_capacity(ck.pipelines.len());
+        for p in ck.pipelines {
+            let sp = resume_warm_pipeline(p.warm, p.state, build)?;
+            pipelines.push((p.warm, sp));
+        }
+
+        // Only the longest intact WAL prefix is replayable; anything
+        // past it is a torn (never acked) append and is discarded.
+        let wal_path = d.wal_path();
+        let contents = read_wal(&wal_path)?;
+        if contents.tail == TailStatus::CorruptTail {
+            truncate_wal(&wal_path, contents.valid_bytes)?;
+        }
+
+        let stats = Arc::new(ServeStats::default());
+        // The checkpoint pins the counter identities: every assigned
+        // seq was enqueued, every published epoch was an applied batch,
+        // and the difference is the skipped (failed) batches.
+        stats.batches_applied.store(ck.epoch, Ordering::Relaxed);
+        stats
+            .mutator_errors
+            .store(ck.seq.saturating_sub(ck.epoch), Ordering::Relaxed);
+        stats
+            .updates_applied
+            .store(ck.updates_applied, Ordering::Relaxed);
+        stats
+            .mutator_rounds
+            .store(ck.mutator_rounds, Ordering::Relaxed);
+
+        let mut epoch = ck.epoch;
+        let mut last_seq = ck.seq;
+        let mut replayed = 0u64;
+        for rec in contents.records.iter().filter(|r| r.seq > ck.seq) {
+            last_seq = rec.seq;
+            replayed += 1;
+            if let Some(rounds) = apply_supervised(
+                &mut pipelines,
+                rec.seq,
+                &rec.updates,
+                &stats,
+                &config.faults,
+                build,
+            ) {
+                epoch += 1;
+                stats.batches_applied.fetch_add(1, Ordering::Relaxed);
+                stats
+                    .updates_applied
+                    .fetch_add(rec.updates.len() as u64, Ordering::Relaxed);
+                stats.mutator_rounds.fetch_add(rounds, Ordering::Relaxed);
+                stats.degraded.store(0, Ordering::Relaxed);
+            }
+        }
+        stats.batches_enqueued.store(last_seq, Ordering::Relaxed);
+        stats.wal_replayed.store(replayed, Ordering::Relaxed);
+
+        let cell = Arc::new(EpochCell::with_published(
+            epoch_from_pipelines(epoch, &pipelines),
+            epoch,
+        ));
+        let wal = Some(WalWriter::open(&wal_path, d.sync)?);
+        Self::launch(cell, pipelines, stats, config, build, wal, epoch, last_seq)
+    }
+
+    /// [`recover`](Self::recover) when durable state exists, otherwise
+    /// [`start`](Self::start) fresh over `graph`. The bool is true when
+    /// the service was recovered.
+    pub fn recover_or_start(
+        graph: &CsrGraph,
+        config: ServeConfig,
+    ) -> Result<(Arc<ServeCore>, bool), ServeError> {
+        let has_checkpoint = config
+            .durability
+            .as_ref()
+            .is_some_and(|d| d.checkpoint_path().exists());
+        if has_checkpoint {
+            Ok((Self::recover(config)?, true))
+        } else {
+            Ok((Self::start(graph, config)?, false))
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn launch(
+        cell: Arc<EpochCell>,
+        pipelines: Vec<(WarmSpec, StreamingPipeline)>,
+        stats: Arc<ServeStats>,
+        config: ServeConfig,
+        build: PipelineBuild,
+        wal: Option<WalWriter>,
+        epoch: u64,
+        last_seq: u64,
+    ) -> Result<Arc<ServeCore>, ServeError> {
+        let compact_after = Arc::new(AtomicU64::new(NO_COMPACTION));
+        let ctx = MutatorCtx {
+            pipelines,
+            build,
+            faults: config.faults.clone(),
+            durability: config.durability.clone(),
+            compact_after: Arc::clone(&compact_after),
+            epoch,
+            last_seq,
+        };
         // The mutator owns only the shared inner pieces (epoch cell +
         // counters), never an `Arc<ServeCore>` — a core handle here
         // would keep the thread and the core alive in a cycle.
         let (tx, rx) = mpsc::channel();
-        let mcell = Arc::clone(&epoch);
+        let mcell = Arc::clone(&cell);
         let mstats = Arc::clone(&stats);
         let handle = std::thread::Builder::new()
             .name("gograph-mutator".into())
-            .spawn(move || mutator_loop(rx, pipelines, &mcell, &mstats))
-            .expect("spawn mutator thread");
+            .spawn(move || mutator_loop(rx, ctx, &mcell, &mstats))?;
 
         Ok(Arc::new(ServeCore {
-            epoch,
+            epoch: cell,
             admission: AdmissionQueue::new(config.admission_window),
             stats,
-            update_tx: Mutex::new(Some(tx)),
+            update_lane: Mutex::new(Some(UpdateLane {
+                tx,
+                next_seq: last_seq,
+                wal,
+            })),
             mutator: Mutex::new(Some(handle)),
+            compact_after,
+            durability: config.durability,
+            faults: config.faults,
         }))
     }
 
@@ -283,9 +625,30 @@ impl ServeCore {
         self.epoch.pin()
     }
 
+    /// The shared counters (the server front end bumps shed/transport
+    /// counters directly).
+    pub(crate) fn stats(&self) -> &ServeStats {
+        &self.stats
+    }
+
+    /// The configured fault plan (the server front end consults it for
+    /// reply drops/delays).
+    pub(crate) fn fault_plan(&self) -> &FaultPlan {
+        &self.faults
+    }
+
     /// Executes `req` against a pinned epoch, possibly coalescing it
     /// with concurrent compatible requests (see [`crate::admission`]).
     pub fn execute_query(&self, req: QueryRequest) -> Result<Arc<QueryOutcome>, ServeError> {
+        if let Some(max) = req.max_epoch_lag {
+            let enqueued = self.stats.batches_enqueued.load(Ordering::Relaxed);
+            let settled = self.stats.batches_applied.load(Ordering::Relaxed)
+                + self.stats.mutator_errors.load(Ordering::Relaxed);
+            let lag = enqueued.saturating_sub(settled);
+            if lag > max {
+                return Err(ServeError::Stale { lag, max });
+            }
+        }
         if req.alg.needs_sources() && req.sources.is_empty() {
             return Err(ServeError::InvalidRequest(format!(
                 "{} requires at least one source vertex",
@@ -311,6 +674,7 @@ impl ServeCore {
                         outcome
                     }
                     Err(e) => {
+                        self.stats.poisoned_slots.fetch_add(1, Ordering::Relaxed);
                         self.admission.poison(&slot);
                         return Err(e);
                     }
@@ -394,20 +758,43 @@ impl ServeCore {
         }))
     }
 
-    /// Queues an update batch for the mutator. Returns the number of
-    /// updates accepted.
+    /// Queues an update batch for the mutator. With durability, the
+    /// batch is appended (and synced, per policy) to the WAL before
+    /// this returns — an acked batch survives a crash. Returns the
+    /// number of updates accepted.
     pub fn enqueue_updates(&self, updates: Vec<EdgeUpdate>) -> Result<usize, ServeError> {
         if updates.is_empty() {
             return Err(ServeError::InvalidRequest("empty update batch".to_string()));
         }
         let n = updates.len();
-        let tx = self.update_tx.lock().unwrap();
-        match tx.as_ref() {
-            Some(tx) => tx
-                .send(MutatorMsg::Batch(updates))
-                .map_err(|_| ServeError::Closed)?,
-            None => return Err(ServeError::Closed),
+        let mut guard = crate::lock_unpoisoned(&self.update_lane);
+        let lane = guard.as_mut().ok_or(ServeError::Closed)?;
+        let seq = lane.next_seq + 1;
+        if let Some(d) = &self.durability {
+            // A compaction watermark set by the mutator (post-
+            // checkpoint) is honored here, under the lane lock, because
+            // this thread owns the log's fd: compaction renames a fresh
+            // inode over the path, so the writer must be reopened.
+            let watermark = self.compact_after.swap(NO_COMPACTION, Ordering::AcqRel);
+            if watermark != NO_COMPACTION {
+                lane.wal = None; // close the fd the rename strands
+                if let Err(e) = compact_wal(&d.wal_path(), watermark) {
+                    eprintln!("gograph-serve: WAL compaction failed: {e}");
+                }
+            }
+            if lane.wal.is_none() {
+                lane.wal = Some(WalWriter::open(&d.wal_path(), d.sync)?);
+            }
+            if let Some(wal) = lane.wal.as_mut() {
+                let bytes = wal.append(seq, &updates)?;
+                self.stats.wal_appends.fetch_add(1, Ordering::Relaxed);
+                self.stats.wal_bytes.fetch_add(bytes, Ordering::Relaxed);
+            }
         }
+        lane.tx
+            .send(MutatorMsg::Batch { seq, updates })
+            .map_err(|_| ServeError::Closed)?;
+        lane.next_seq = seq;
         self.stats.batches_enqueued.fetch_add(1, Ordering::Relaxed);
         Ok(n)
     }
@@ -434,17 +821,28 @@ impl ServeCore {
             updates_applied: s.updates_applied.load(Ordering::Relaxed),
             mutator_rounds: s.mutator_rounds.load(Ordering::Relaxed),
             mutator_errors: s.mutator_errors.load(Ordering::Relaxed),
+            mutator_restarts: s.mutator_restarts.load(Ordering::Relaxed),
+            poisoned_slots: s.poisoned_slots.load(Ordering::Relaxed),
+            degraded: s.degraded.load(Ordering::Relaxed),
+            wal_appends: s.wal_appends.load(Ordering::Relaxed),
+            wal_bytes: s.wal_bytes.load(Ordering::Relaxed),
+            wal_replayed: s.wal_replayed.load(Ordering::Relaxed),
+            checkpoints_written: s.checkpoints_written.load(Ordering::Relaxed),
+            connections_shed: s.connections_shed.load(Ordering::Relaxed),
         }
     }
 
-    /// Stops the mutator after it drains every queued batch, and joins
+    /// Stops the mutator after it drains every queued batch (writing a
+    /// final checkpoint and compacting the WAL when durable), and joins
     /// it. Idempotent; queries keep working against the last epoch.
     pub fn shutdown(&self) {
-        let tx = self.update_tx.lock().unwrap().take();
-        if let Some(tx) = tx {
-            let _ = tx.send(MutatorMsg::Stop);
+        let lane = crate::lock_unpoisoned(&self.update_lane).take();
+        if let Some(lane) = lane {
+            let _ = lane.tx.send(MutatorMsg::Stop);
+            // Dropping the lane closes the WAL fd before the mutator's
+            // final compaction renames a fresh log over the path.
         }
-        let handle = self.mutator.lock().unwrap().take();
+        let handle = crate::lock_unpoisoned(&self.mutator).take();
         if let Some(handle) = handle {
             let _ = handle.join();
         }
@@ -464,52 +862,176 @@ impl ServeCore {
     }
 }
 
+/// Applies one batch to every pipeline under a supervisor: on a panic
+/// or engine error anywhere, every pipeline is restored to its
+/// pre-batch exported state and the batch is skipped. Returns the total
+/// re-convergence rounds on success, `None` on a (rolled-back) failure.
+fn apply_supervised(
+    pipelines: &mut [(WarmSpec, StreamingPipeline)],
+    seq: u64,
+    updates: &[EdgeUpdate],
+    stats: &ServeStats,
+    faults: &FaultPlan,
+    build: PipelineBuild,
+) -> Option<u64> {
+    if let Some(stall) = faults.mutator_stall(seq) {
+        std::thread::sleep(stall);
+    }
+    // Export the pre-batch state first: a panic can leave some
+    // pipelines one batch ahead of others, and publishing (or building
+    // on) that torn mix is exactly what the supervisor must prevent.
+    let saved: Vec<ResumableState> = pipelines.iter().map(|(_, sp)| sp.export_state()).collect();
+    let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        if faults.mutator_panic(seq) {
+            panic!("injected fault: mutator panic before batch {seq}");
+        }
+        let mut rounds = 0u64;
+        for (i, (_, sp)) in pipelines.iter_mut().enumerate() {
+            if i > 0 && faults.mutator_panic_mid(seq) {
+                panic!("injected fault: mutator panic mid-batch {seq}");
+            }
+            rounds += sp.apply_batch(updates)?.stats.rounds as u64;
+        }
+        Ok::<u64, EngineError>(rounds)
+    }));
+    match outcome {
+        Ok(Ok(rounds)) => Some(rounds),
+        failure => {
+            match &failure {
+                Ok(Err(e)) => {
+                    eprintln!("gograph-serve: mutator batch {seq} failed ({e}); rolling back")
+                }
+                _ => eprintln!("gograph-serve: mutator panicked on batch {seq}; rolling back"),
+            }
+            for ((spec, sp), state) in pipelines.iter_mut().zip(saved) {
+                match resume_warm_pipeline(*spec, state, build) {
+                    Ok(fresh) => *sp = fresh,
+                    // Resuming a just-exported state cannot ordinarily
+                    // fail; if it does, the old pipeline (a valid
+                    // state, never published) is the safest fallback.
+                    Err(e) => eprintln!(
+                        "gograph-serve: could not restore {} pipeline: {e}",
+                        spec.alg.name()
+                    ),
+                }
+            }
+            stats.mutator_errors.fetch_add(1, Ordering::Relaxed);
+            stats.mutator_restarts.fetch_add(1, Ordering::Relaxed);
+            stats.degraded.store(1, Ordering::Relaxed);
+            None
+        }
+    }
+}
+
+fn make_checkpoint(
+    pipelines: &[(WarmSpec, StreamingPipeline)],
+    seq: u64,
+    epoch: u64,
+    stats: &ServeStats,
+) -> Checkpoint {
+    Checkpoint {
+        seq,
+        epoch,
+        updates_applied: stats.updates_applied.load(Ordering::Relaxed),
+        mutator_rounds: stats.mutator_rounds.load(Ordering::Relaxed),
+        pipelines: pipelines
+            .iter()
+            .map(|(spec, sp)| PipelineCheckpoint {
+                warm: *spec,
+                state: sp.export_state(),
+            })
+            .collect(),
+    }
+}
+
+/// Writes a checkpoint; on success bumps the counter and (when given)
+/// publishes the compaction watermark. A failed write is not fatal —
+/// the WAL still covers everything since the last good checkpoint,
+/// recovery just replays more.
+fn checkpoint_now(
+    d: &DurabilityConfig,
+    pipelines: &[(WarmSpec, StreamingPipeline)],
+    seq: u64,
+    epoch: u64,
+    stats: &ServeStats,
+    compact_after: Option<&AtomicU64>,
+) -> bool {
+    match write_checkpoint(
+        &d.checkpoint_path(),
+        &make_checkpoint(pipelines, seq, epoch, stats),
+    ) {
+        Ok(()) => {
+            stats.checkpoints_written.fetch_add(1, Ordering::Relaxed);
+            if let Some(w) = compact_after {
+                w.store(seq, Ordering::Release);
+            }
+            true
+        }
+        Err(e) => {
+            eprintln!("gograph-serve: checkpoint write failed: {e}");
+            false
+        }
+    }
+}
+
 fn mutator_loop(
     rx: Receiver<MutatorMsg>,
-    mut pipelines: Vec<(WarmSpec, StreamingPipeline)>,
+    mut ctx: MutatorCtx,
     cell: &EpochCell,
     stats: &ServeStats,
 ) {
-    let mut epoch = 0u64;
-    while let Ok(msg) = rx.recv() {
-        let updates = match msg {
-            MutatorMsg::Batch(u) => u,
-            MutatorMsg::Stop => break,
-        };
-        let mut rounds = 0u64;
-        let mut failed = false;
-        for (_, sp) in pipelines.iter_mut() {
-            match sp.apply_batch(&updates) {
-                Ok(result) => rounds += result.stats.rounds as u64,
-                Err(_) => {
-                    failed = true;
-                    break;
-                }
-            }
-        }
-        if failed {
-            // A failed batch must not publish a half-applied epoch;
-            // pipelines that already applied it stay ahead until the
-            // next successful batch realigns the published snapshot.
-            stats.mutator_errors.fetch_add(1, Ordering::Relaxed);
+    while let Ok(MutatorMsg::Batch { seq, updates }) = rx.recv() {
+        ctx.last_seq = seq;
+        let Some(rounds) = apply_supervised(
+            &mut ctx.pipelines,
+            seq,
+            &updates,
+            stats,
+            &ctx.faults,
+            ctx.build,
+        ) else {
             continue;
-        }
-        epoch += 1;
-        cell.publish(epoch_from_pipelines(epoch, &pipelines));
+        };
+        ctx.epoch += 1;
+        cell.publish(epoch_from_pipelines(ctx.epoch, &ctx.pipelines));
         stats.batches_applied.fetch_add(1, Ordering::Relaxed);
         stats
             .updates_applied
             .fetch_add(updates.len() as u64, Ordering::Relaxed);
         stats.mutator_rounds.fetch_add(rounds, Ordering::Relaxed);
+        stats.degraded.store(0, Ordering::Relaxed);
+        if let Some(d) = &ctx.durability {
+            if d.checkpoint_every_batches > 0 && seq % d.checkpoint_every_batches == 0 {
+                checkpoint_now(
+                    d,
+                    &ctx.pipelines,
+                    seq,
+                    ctx.epoch,
+                    stats,
+                    Some(&ctx.compact_after),
+                );
+            }
+        }
+    }
+    // Clean shutdown: capture everything in a final checkpoint and
+    // compact the WAL directly — the update lane is already closed, so
+    // no append can race the rename.
+    if let Some(d) = &ctx.durability {
+        if checkpoint_now(d, &ctx.pipelines, ctx.last_seq, ctx.epoch, stats, None) {
+            if let Err(e) = compact_wal(&d.wal_path(), ctx.last_seq) {
+                eprintln!("gograph-serve: final WAL compaction failed: {e}");
+            }
+        }
     }
 }
 
 impl Drop for ServeCore {
     fn drop(&mut self) {
-        // Last owner going away: stop the mutator if still running.
-        let tx = self.update_tx.lock().unwrap().take();
-        drop(tx);
-        let handle = self.mutator.lock().unwrap().take();
+        // Last owner going away: stop the mutator if still running
+        // (dropping the lane closes the channel and the WAL fd).
+        let lane = crate::lock_unpoisoned(&self.update_lane).take();
+        drop(lane);
+        let handle = crate::lock_unpoisoned(&self.mutator).take();
         if let Some(handle) = handle {
             let _ = handle.join();
         }
@@ -527,17 +1049,36 @@ impl std::fmt::Debug for ServeCore {
 fn build_warm_pipeline(
     graph: &CsrGraph,
     spec: WarmSpec,
-    config: &ServeConfig,
+    build: PipelineBuild,
 ) -> Result<StreamingPipeline, EngineError> {
     let b = StreamingPipeline::over(graph)
-        .reorder_parallelism(config.reorder_threads)
-        .partition_scoped_reorder(config.partition_scoped);
+        .reorder_parallelism(build.reorder_threads)
+        .partition_scoped_reorder(build.partition_scoped);
     match spec.alg {
         AlgSpec::Sssp => b.algorithm(Sssp::new(spec.source)).build(),
         AlgSpec::Bfs => b.algorithm(Bfs::new(spec.source)).build(),
         AlgSpec::Cc => b.algorithm(ConnectedComponents).build(),
         AlgSpec::PageRank => b.algorithm(PageRank::default()).build(),
         AlgSpec::Sswp => b.algorithm(Sswp::new(spec.source)).build(),
+    }
+}
+
+/// Rebuilds a warm pipeline from an exported state — the restore half
+/// of both supervision (rollback) and recovery (checkpoint resume).
+fn resume_warm_pipeline(
+    spec: WarmSpec,
+    state: ResumableState,
+    build: PipelineBuild,
+) -> Result<StreamingPipeline, EngineError> {
+    let b = StreamingPipeline::over(&state.graph)
+        .reorder_parallelism(build.reorder_threads)
+        .partition_scoped_reorder(build.partition_scoped);
+    match spec.alg {
+        AlgSpec::Sssp => b.algorithm(Sssp::new(spec.source)).resume(state),
+        AlgSpec::Bfs => b.algorithm(Bfs::new(spec.source)).resume(state),
+        AlgSpec::Cc => b.algorithm(ConnectedComponents).resume(state),
+        AlgSpec::PageRank => b.algorithm(PageRank::default()).resume(state),
+        AlgSpec::Sswp => b.algorithm(Sswp::new(spec.source)).resume(state),
     }
 }
 
@@ -566,6 +1107,7 @@ fn epoch_from_pipelines(epoch: u64, pipelines: &[(WarmSpec, StreamingPipeline)])
 mod tests {
     use super::*;
     use gograph_graph::generators::{planted_partition, PlantedPartitionConfig};
+    use std::path::Path;
 
     fn test_graph() -> CsrGraph {
         planted_partition(PlantedPartitionConfig {
@@ -579,42 +1121,78 @@ mod tests {
     }
 
     fn core() -> Arc<ServeCore> {
-        ServeCore::start(
-            &test_graph(),
-            ServeConfig {
-                warm: vec![
-                    WarmSpec::new(AlgSpec::Sssp, 0),
-                    WarmSpec::new(AlgSpec::Cc, 0),
-                ],
-                admission_window: Duration::ZERO,
-                ..ServeConfig::default()
-            },
-        )
-        .unwrap()
+        core_with(ServeConfig {
+            warm: vec![
+                WarmSpec::new(AlgSpec::Sssp, 0),
+                WarmSpec::new(AlgSpec::Cc, 0),
+            ],
+            admission_window: Duration::ZERO,
+            ..ServeConfig::default()
+        })
+    }
+
+    fn core_with(config: ServeConfig) -> Arc<ServeCore> {
+        ServeCore::start(&test_graph(), config).unwrap()
+    }
+
+    fn query(alg: AlgSpec, sources: Vec<VertexId>) -> QueryRequest {
+        QueryRequest {
+            alg,
+            mode: ModeSpec::Async,
+            sources,
+            combine: false,
+            max_epoch_lag: None,
+        }
+    }
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("gograph-core-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    /// Deterministic churn batches over the test graph.
+    fn batches(count: usize) -> Vec<Vec<EdgeUpdate>> {
+        (0..count as u32)
+            .map(|k| {
+                vec![
+                    EdgeUpdate::insert(k % 80, (k * 7 + 13) % 80),
+                    EdgeUpdate::insert((k * 3 + 1) % 80, (k * 11 + 29) % 80),
+                    EdgeUpdate::remove(k % 80, (k + 1) % 80),
+                ]
+            })
+            .collect()
+    }
+
+    fn assert_epochs_bit_identical(a: &EpochState, b: &EpochState) {
+        assert_eq!(a.epoch, b.epoch, "epoch number");
+        assert_eq!(a.graph, b.graph, "graph");
+        assert_eq!(a.order, b.order, "processing order");
+        assert_eq!(a.part_of, b.part_of, "partition assignment");
+        assert_eq!(a.num_partitions, b.num_partitions, "partition count");
+        assert_eq!(a.warm.len(), b.warm.len(), "warm entries");
+        for (wa, wb) in a.warm.iter().zip(&b.warm) {
+            assert_eq!(wa.alg, wb.alg);
+            assert_eq!(wa.source, wb.source);
+            let bits = |xs: &[f64]| xs.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+            assert_eq!(
+                bits(&wa.states),
+                bits(&wb.states),
+                "warm states for {:?}",
+                wa.alg
+            );
+        }
     }
 
     #[test]
     fn warm_query_matches_cold_run_exactly() {
         let core = core();
-        let warm = core
-            .execute_query(QueryRequest {
-                alg: AlgSpec::Sssp,
-                mode: ModeSpec::Async,
-                sources: vec![0],
-                combine: false,
-            })
-            .unwrap();
+        let warm = core.execute_query(query(AlgSpec::Sssp, vec![0])).unwrap();
         assert!(warm.warm, "configured warm algorithm must warm-start");
         assert_eq!(warm.rounds, 1, "fixpoint re-check is one round");
 
-        let cold = core
-            .execute_query(QueryRequest {
-                alg: AlgSpec::Sssp,
-                mode: ModeSpec::Async,
-                sources: vec![3],
-                combine: false,
-            })
-            .unwrap();
+        let cold = core.execute_query(query(AlgSpec::Sssp, vec![3])).unwrap();
         assert!(!cold.warm, "unconfigured source runs cold");
 
         // Max-norm warm results are bit-identical to the stored fixpoint.
@@ -636,6 +1214,7 @@ mod tests {
         assert_eq!(snap.epochs_published, 1);
         assert_eq!(snap.batches_applied, 1);
         assert_eq!(snap.updates_applied, 2);
+        assert_eq!(snap.degraded, 0);
 
         let after = core.pin_epoch();
         assert_eq!(after.epoch, 1);
@@ -647,31 +1226,14 @@ mod tests {
     #[test]
     fn global_queries_need_no_sources_and_sources_are_validated() {
         let core = core();
-        let cc = core
-            .execute_query(QueryRequest {
-                alg: AlgSpec::Cc,
-                mode: ModeSpec::Async,
-                sources: vec![],
-                combine: false,
-            })
-            .unwrap();
+        let cc = core.execute_query(query(AlgSpec::Cc, vec![])).unwrap();
         assert!(cc.warm);
         assert!(cc.converged);
 
-        let err = core.execute_query(QueryRequest {
-            alg: AlgSpec::Sssp,
-            mode: ModeSpec::Async,
-            sources: vec![],
-            combine: false,
-        });
+        let err = core.execute_query(query(AlgSpec::Sssp, vec![]));
         assert!(matches!(err, Err(ServeError::InvalidRequest(_))));
 
-        let err = core.execute_query(QueryRequest {
-            alg: AlgSpec::Bfs,
-            mode: ModeSpec::Async,
-            sources: vec![10_000],
-            combine: false,
-        });
+        let err = core.execute_query(query(AlgSpec::Bfs, vec![10_000]));
         assert!(matches!(err, Err(ServeError::InvalidRequest(_))));
     }
 
@@ -688,7 +1250,235 @@ mod tests {
                 mode: ModeSpec::Sync,
                 sources: vec![],
                 combine: false,
+                max_epoch_lag: None,
             })
             .is_ok());
+    }
+
+    #[test]
+    fn stale_queries_are_rejected_then_served_after_catchup() {
+        // Stall the mutator on every batch so the lag window is wide
+        // open when the bounded-staleness query arrives.
+        let core = core_with(ServeConfig {
+            warm: vec![WarmSpec::new(AlgSpec::Sssp, 0)],
+            admission_window: Duration::ZERO,
+            faults: FaultPlan::seeded(5).with_mutator_stalls(1.0, Duration::from_millis(400)),
+            ..ServeConfig::default()
+        });
+        core.enqueue_updates(vec![EdgeUpdate::insert(0, 42)])
+            .unwrap();
+
+        let mut req = query(AlgSpec::Sssp, vec![0]);
+        req.max_epoch_lag = Some(0);
+        match core.execute_query(req.clone()) {
+            Err(ServeError::Stale { lag, max }) => {
+                assert_eq!(lag, 1);
+                assert_eq!(max, 0);
+            }
+            other => panic!("expected Stale, got {other:?}"),
+        }
+        // Unbounded queries are still answered (against the old epoch).
+        assert_eq!(
+            core.execute_query(query(AlgSpec::Sssp, vec![0]))
+                .unwrap()
+                .epoch
+                .epoch,
+            0
+        );
+
+        core.quiesce();
+        let served = core.execute_query(req).unwrap();
+        assert_eq!(served.epoch.epoch, 1, "after catch-up the bound holds");
+        core.shutdown();
+    }
+
+    #[test]
+    fn mutator_panics_are_rolled_back_and_publication_continues() {
+        // Pick a seed whose plan panics on some batches and passes
+        // others, so both paths are exercised deterministically.
+        let total = 6u64;
+        let (seed, plan) = (0..64)
+            .find_map(|seed| {
+                let plan = FaultPlan::seeded(seed).with_mutator_panics(0.4);
+                let fails = (1..=total).filter(|&s| plan.mutator_panic(s)).count();
+                (fails >= 1 && fails < total as usize && !plan.mutator_panic(total))
+                    .then_some((seed, plan))
+            })
+            .expect("some seed under 64 mixes panics and successes");
+        let failing: Vec<u64> = (1..=total).filter(|&s| plan.mutator_panic(s)).collect();
+
+        let config = ServeConfig {
+            warm: vec![
+                WarmSpec::new(AlgSpec::Sssp, 0),
+                WarmSpec::new(AlgSpec::Cc, 0),
+            ],
+            admission_window: Duration::ZERO,
+            ..ServeConfig::default()
+        };
+        let faulty = core_with(ServeConfig {
+            faults: FaultPlan::seeded(seed).with_mutator_panics(0.4),
+            ..config.clone()
+        });
+        let clean = core_with(config);
+
+        // The faulty core gets every batch; the clean core only the
+        // ones the plan lets through. Rollback must make them agree.
+        for (i, batch) in batches(total as usize).into_iter().enumerate() {
+            let seq = i as u64 + 1;
+            faulty.enqueue_updates(batch.clone()).unwrap();
+            if !failing.contains(&seq) {
+                clean.enqueue_updates(batch).unwrap();
+            }
+        }
+        faulty.quiesce();
+        clean.quiesce();
+
+        let s = faulty.stats_snapshot();
+        assert_eq!(s.mutator_errors, failing.len() as u64);
+        assert_eq!(s.mutator_restarts, failing.len() as u64);
+        assert_eq!(s.batches_applied, total - failing.len() as u64);
+        assert_eq!(s.epochs_published, s.batches_applied);
+        assert_eq!(s.degraded, 0, "last batch succeeded; flag must clear");
+
+        let fa = faulty.pin_epoch();
+        let cl = clean.pin_epoch();
+        // Epoch numbers differ only by the skipped batches' numbering.
+        assert_eq!(fa.epoch, cl.epoch);
+        assert_epochs_bit_identical(&fa, &cl);
+
+        // Queries keep flowing on the faulty core.
+        assert!(
+            faulty
+                .execute_query(query(AlgSpec::Sssp, vec![0]))
+                .unwrap()
+                .converged
+        );
+        faulty.shutdown();
+        clean.shutdown();
+    }
+
+    #[test]
+    fn durable_shutdown_recovers_bit_identically_with_empty_replay() {
+        let dir = tmp_dir("clean-shutdown");
+        let config = ServeConfig {
+            warm: vec![WarmSpec::new(AlgSpec::Sssp, 0)],
+            admission_window: Duration::ZERO,
+            durability: Some(DurabilityConfig::new(&dir)),
+            ..ServeConfig::default()
+        };
+        let core = ServeCore::start(&test_graph(), config.clone()).unwrap();
+        for batch in batches(5) {
+            core.enqueue_updates(batch).unwrap();
+        }
+        core.quiesce();
+        let live = core.pin_epoch();
+        let live_stats = core.stats_snapshot();
+        core.shutdown();
+        drop(core);
+
+        // A clean shutdown checkpointed everything: recovery resumes
+        // from the checkpoint and replays nothing.
+        let recovered = ServeCore::recover(config).unwrap();
+        let s = recovered.stats_snapshot();
+        assert_eq!(s.wal_replayed, 0, "final checkpoint covers the WAL");
+        assert_eq!(s.batches_enqueued, live_stats.batches_enqueued);
+        assert_eq!(s.batches_applied, live_stats.batches_applied);
+        assert_eq!(s.updates_applied, live_stats.updates_applied);
+        assert_eq!(s.epochs_published, live_stats.epochs_published);
+        assert_epochs_bit_identical(&recovered.pin_epoch(), &live);
+
+        // The recovered service accepts further updates and queries.
+        recovered
+            .enqueue_updates(vec![EdgeUpdate::insert(1, 60)])
+            .unwrap();
+        recovered.quiesce();
+        assert_eq!(recovered.pin_epoch().epoch, live.epoch + 1);
+        recovered.shutdown();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn crash_recovery_replays_wal_tail_bit_identically() {
+        let dir = tmp_dir("crash");
+        let crash_copy = tmp_dir("crash-copy");
+        let config = |d: &Path| ServeConfig {
+            warm: vec![
+                WarmSpec::new(AlgSpec::Sssp, 0),
+                WarmSpec::new(AlgSpec::Cc, 0),
+            ],
+            admission_window: Duration::ZERO,
+            durability: Some(DurabilityConfig {
+                checkpoint_every_batches: 3,
+                ..DurabilityConfig::new(d)
+            }),
+            ..ServeConfig::default()
+        };
+        let core = ServeCore::start(&test_graph(), config(&dir)).unwrap();
+        for batch in batches(7) {
+            core.enqueue_updates(batch).unwrap();
+        }
+        core.quiesce();
+        let live = core.pin_epoch();
+        let live_stats = core.stats_snapshot();
+
+        // Simulate kill -9 at this instant: snapshot the durable dir
+        // while the process is still running (every acked batch is on
+        // disk — SyncPolicy::EveryBatch), then never shut down cleanly.
+        for f in ["updates.wal", "epoch.ckpt"] {
+            std::fs::copy(dir.join(f), crash_copy.join(f)).unwrap();
+        }
+
+        let recovered = ServeCore::recover(config(&crash_copy)).unwrap();
+        let s = recovered.stats_snapshot();
+        assert!(s.wal_replayed >= 1, "batches past the checkpoint replay");
+        assert_eq!(s.batches_enqueued, live_stats.batches_enqueued);
+        assert_eq!(s.batches_applied, live_stats.batches_applied);
+        assert_eq!(s.updates_applied, live_stats.updates_applied);
+        assert_eq!(s.mutator_rounds, live_stats.mutator_rounds);
+        assert_eq!(s.epochs_published, live_stats.epochs_published);
+        assert_epochs_bit_identical(&recovered.pin_epoch(), &live);
+
+        // And the recovered core answers queries identically.
+        let qa = core.execute_query(query(AlgSpec::Sssp, vec![7])).unwrap();
+        let qb = recovered
+            .execute_query(query(AlgSpec::Sssp, vec![7]))
+            .unwrap();
+        let bits = |xs: &[f64]| xs.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+        assert_eq!(bits(&qa.states), bits(&qb.states));
+
+        core.shutdown();
+        recovered.shutdown();
+        let _ = std::fs::remove_dir_all(&dir);
+        let _ = std::fs::remove_dir_all(&crash_copy);
+    }
+
+    #[test]
+    fn fresh_start_refuses_existing_durable_state_and_recover_or_start_picks() {
+        let dir = tmp_dir("refuse");
+        let config = ServeConfig {
+            warm: vec![WarmSpec::new(AlgSpec::Cc, 0)],
+            admission_window: Duration::ZERO,
+            durability: Some(DurabilityConfig::new(&dir)),
+            ..ServeConfig::default()
+        };
+        let g = test_graph();
+        let (core, recovered) = ServeCore::recover_or_start(&g, config.clone()).unwrap();
+        assert!(!recovered, "empty dir boots fresh");
+        core.enqueue_updates(vec![EdgeUpdate::insert(0, 9)])
+            .unwrap();
+        core.quiesce();
+        core.shutdown();
+        drop(core);
+
+        let err = ServeCore::start(&g, config.clone());
+        assert!(
+            matches!(err, Err(ServeError::InvalidRequest(_))),
+            "fresh start over durable state must refuse"
+        );
+        let (core, recovered) = ServeCore::recover_or_start(&g, config).unwrap();
+        assert!(recovered, "existing checkpoint recovers");
+        assert_eq!(core.pin_epoch().epoch, 1);
+        core.shutdown();
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -81,18 +81,28 @@ impl EpochCell {
         }
     }
 
+    /// Starts the cell at a *recovered* epoch: `published` is restored
+    /// to `published_so_far` so the counter continues where the crashed
+    /// process left off instead of restarting at zero.
+    pub fn with_published(initial: EpochState, published_so_far: u64) -> EpochCell {
+        EpochCell {
+            current: Mutex::new(Arc::new(initial)),
+            published: AtomicU64::new(published_so_far),
+        }
+    }
+
     /// Pins the current epoch: the returned handle keeps every array of
     /// that snapshot alive until dropped, regardless of how many epochs
     /// are published meanwhile.
     pub fn pin(&self) -> Arc<EpochState> {
-        Arc::clone(&self.current.lock().unwrap())
+        Arc::clone(&crate::lock_unpoisoned(&self.current))
     }
 
     /// Publishes `next` as the current epoch and returns its epoch
     /// number. The displaced epoch retires when its last reader unpins.
     pub fn publish(&self, next: EpochState) -> u64 {
         let epoch = next.epoch;
-        *self.current.lock().unwrap() = Arc::new(next);
+        *crate::lock_unpoisoned(&self.current) = Arc::new(next);
         self.published.fetch_add(1, Ordering::Relaxed);
         epoch
     }

@@ -1,0 +1,215 @@
+//! Deterministic fault injection for the crash-recovery test harness.
+//!
+//! A [`FaultPlan`] decides, purely as a function of `(seed, fault
+//! kind, event number)`, whether a given event fails: the mutator
+//! panics before or mid-way through batch `seq`, a reply frame is
+//! dropped or delayed. Determinism matters twice over — a failing test
+//! reproduces from its seed alone, and a recovered process driven by
+//! the *same* plan re-injects the *same* faults, so the
+//! bit-identical-recovery property can be asserted even under
+//! repeated, planned failure.
+//!
+//! Decisions hash through SplitMix64 (no shared RNG state, so
+//! concurrent connection threads never contend or perturb each
+//! other's draws).
+
+use std::time::Duration;
+
+/// SplitMix64: a tiny, high-quality 64-bit mixer. Also used for client
+/// retry jitter, keeping the serve crate free of RNG dependencies
+/// outside dev-tests.
+pub(crate) fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+fn unit(seed: u64, kind: u64, event: u64) -> f64 {
+    let h = splitmix64(seed ^ kind.wrapping_mul(0xA076_1D64_78BD_642F) ^ event);
+    // 53 mantissa bits → uniform in [0, 1).
+    (h >> 11) as f64 / (1u64 << 53) as f64
+}
+
+const KIND_PANIC: u64 = 1;
+const KIND_PANIC_MID: u64 = 2;
+const KIND_DROP: u64 = 3;
+const KIND_DELAY: u64 = 4;
+const KIND_STALL: u64 = 5;
+
+/// A seeded, deterministic schedule of injected faults. The default
+/// ([`FaultPlan::none`]) injects nothing and costs one branch per
+/// check.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultPlan {
+    seed: u64,
+    mutator_panic_rate: f64,
+    mutator_panic_mid_rate: f64,
+    drop_reply_rate: f64,
+    delay_reply_rate: f64,
+    delay: Duration,
+    mutator_stall_rate: f64,
+    stall: Duration,
+}
+
+impl Default for FaultPlan {
+    fn default() -> Self {
+        FaultPlan::none()
+    }
+}
+
+impl FaultPlan {
+    /// No faults, ever.
+    pub fn none() -> FaultPlan {
+        FaultPlan::seeded(0)
+    }
+
+    /// A plan with the given seed and no faults enabled yet; chain the
+    /// `with_*` builders to arm specific kinds.
+    pub fn seeded(seed: u64) -> FaultPlan {
+        FaultPlan {
+            seed,
+            mutator_panic_rate: 0.0,
+            mutator_panic_mid_rate: 0.0,
+            drop_reply_rate: 0.0,
+            delay_reply_rate: 0.0,
+            delay: Duration::ZERO,
+            mutator_stall_rate: 0.0,
+            stall: Duration::ZERO,
+        }
+    }
+
+    /// Panic the mutator *before* applying a batch, at this rate.
+    pub fn with_mutator_panics(mut self, rate: f64) -> FaultPlan {
+        self.mutator_panic_rate = rate.clamp(0.0, 1.0);
+        self
+    }
+
+    /// Panic the mutator *mid-batch* (after the batch reached some
+    /// pipelines but not all), at this rate.
+    pub fn with_mid_batch_panics(mut self, rate: f64) -> FaultPlan {
+        self.mutator_panic_mid_rate = rate.clamp(0.0, 1.0);
+        self
+    }
+
+    /// Silently drop reply frames at this rate (the connection is
+    /// closed instead, as a crashed peer would).
+    pub fn with_dropped_replies(mut self, rate: f64) -> FaultPlan {
+        self.drop_reply_rate = rate.clamp(0.0, 1.0);
+        self
+    }
+
+    /// Delay reply frames by `delay` at this rate.
+    pub fn with_delayed_replies(mut self, rate: f64, delay: Duration) -> FaultPlan {
+        self.delay_reply_rate = rate.clamp(0.0, 1.0);
+        self.delay = delay;
+        self
+    }
+
+    /// Stall the mutator for `stall` before applying a batch, at this
+    /// rate — models a slow mutator so bounded-staleness rejection can
+    /// be exercised deterministically.
+    pub fn with_mutator_stalls(mut self, rate: f64, stall: Duration) -> FaultPlan {
+        self.mutator_stall_rate = rate.clamp(0.0, 1.0);
+        self.stall = stall;
+        self
+    }
+
+    /// True when no fault kind is armed (the hot-path short-circuit).
+    pub fn is_none(&self) -> bool {
+        self.mutator_panic_rate == 0.0
+            && self.mutator_panic_mid_rate == 0.0
+            && self.drop_reply_rate == 0.0
+            && self.delay_reply_rate == 0.0
+            && self.mutator_stall_rate == 0.0
+    }
+
+    /// Should the mutator panic before applying batch `seq`?
+    pub fn mutator_panic(&self, seq: u64) -> bool {
+        self.mutator_panic_rate > 0.0 && unit(self.seed, KIND_PANIC, seq) < self.mutator_panic_rate
+    }
+
+    /// Should the mutator panic mid-way through batch `seq`?
+    pub fn mutator_panic_mid(&self, seq: u64) -> bool {
+        self.mutator_panic_mid_rate > 0.0
+            && unit(self.seed, KIND_PANIC_MID, seq) < self.mutator_panic_mid_rate
+    }
+
+    /// Should reply number `k` be dropped (connection severed)?
+    pub fn drop_reply(&self, k: u64) -> bool {
+        self.drop_reply_rate > 0.0 && unit(self.seed, KIND_DROP, k) < self.drop_reply_rate
+    }
+
+    /// Should reply number `k` be delayed, and by how much?
+    pub fn delay_reply(&self, k: u64) -> Option<Duration> {
+        if self.delay_reply_rate > 0.0 && unit(self.seed, KIND_DELAY, k) < self.delay_reply_rate {
+            Some(self.delay)
+        } else {
+            None
+        }
+    }
+
+    /// Should the mutator stall before applying batch `seq`, and for
+    /// how long?
+    pub fn mutator_stall(&self, seq: u64) -> Option<Duration> {
+        if self.mutator_stall_rate > 0.0
+            && unit(self.seed, KIND_STALL, seq) < self.mutator_stall_rate
+        {
+            Some(self.stall)
+        } else {
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn none_injects_nothing() {
+        let p = FaultPlan::none();
+        assert!(p.is_none());
+        for k in 0..1000 {
+            assert!(!p.mutator_panic(k));
+            assert!(!p.mutator_panic_mid(k));
+            assert!(!p.drop_reply(k));
+            assert!(p.delay_reply(k).is_none());
+        }
+    }
+
+    #[test]
+    fn decisions_are_deterministic_and_seed_sensitive() {
+        let a = FaultPlan::seeded(7).with_mutator_panics(0.3);
+        let b = FaultPlan::seeded(7).with_mutator_panics(0.3);
+        let c = FaultPlan::seeded(8).with_mutator_panics(0.3);
+        let draws_a: Vec<bool> = (0..256).map(|s| a.mutator_panic(s)).collect();
+        let draws_b: Vec<bool> = (0..256).map(|s| b.mutator_panic(s)).collect();
+        let draws_c: Vec<bool> = (0..256).map(|s| c.mutator_panic(s)).collect();
+        assert_eq!(draws_a, draws_b, "same seed ⇒ same schedule");
+        assert_ne!(draws_a, draws_c, "different seed ⇒ different schedule");
+        let hits = draws_a.iter().filter(|&&x| x).count();
+        assert!(
+            (40..=115).contains(&hits),
+            "rate 0.3 over 256 draws landed wildly off: {hits}"
+        );
+    }
+
+    #[test]
+    fn kinds_draw_independently() {
+        let p = FaultPlan::seeded(42)
+            .with_mutator_panics(0.5)
+            .with_dropped_replies(0.5);
+        let panics: Vec<bool> = (0..512).map(|s| p.mutator_panic(s)).collect();
+        let drops: Vec<bool> = (0..512).map(|s| p.drop_reply(s)).collect();
+        assert_ne!(panics, drops, "kinds must not share a decision stream");
+    }
+
+    #[test]
+    fn delay_carries_the_configured_duration() {
+        let p = FaultPlan::seeded(3).with_delayed_replies(1.0, Duration::from_millis(25));
+        assert_eq!(p.delay_reply(0), Some(Duration::from_millis(25)));
+        assert!(!p.is_none());
+    }
+}

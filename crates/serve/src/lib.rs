@@ -19,26 +19,53 @@
 //! - **[`wire`]** — the length-prefixed binary protocol.
 //! - **[`server`] / [`client`]** — thread-per-connection TCP front end
 //!   and the matching blocking client.
+//! - **[`wal`] / [`checkpoint`]** — the durability layer: a CRC-framed
+//!   write-ahead log of admitted update batches plus atomic epoch
+//!   checkpoints, so a crashed server recovers to a bit-identical
+//!   epoch by replaying the WAL tail.
+//! - **[`fault`]** — deterministic, seeded fault injection
+//!   ([`FaultPlan`]) used by the crash-recovery test harness.
 
 #![warn(missing_docs)]
 
 pub mod admission;
+pub mod checkpoint;
 pub mod client;
 pub mod core;
 pub mod epoch;
+pub mod fault;
 pub mod server;
 pub mod spec;
+pub mod wal;
 pub mod wire;
 
 pub use crate::core::{
-    QueryOutcome, QueryRequest, ServeConfig, ServeCore, ServeError, StatsSnapshot, WarmSpec,
+    DurabilityConfig, QueryOutcome, QueryRequest, ServeConfig, ServeCore, ServeError,
+    StatsSnapshot, WarmSpec,
 };
 pub use admission::{Admission, AdmissionQueue};
-pub use client::{ClientError, ServeClient};
+pub use checkpoint::{read_checkpoint, write_checkpoint, Checkpoint, PipelineCheckpoint};
+pub use client::{ClientError, RetryPolicy, ServeClient};
 pub use epoch::{EpochCell, EpochState, WarmEntry};
-pub use server::{serve, ServerHandle};
+pub use fault::FaultPlan;
+pub use server::{serve, serve_with, ServerConfig, ServerHandle};
 pub use spec::{AlgSpec, ModeSpec, MultiSource};
-pub use wire::{QueryReply, Reply, Request, WireError};
+pub use wal::{
+    compact_wal, read_wal, truncate_wal, SyncPolicy, TailStatus, WalContents, WalRecord, WalWriter,
+};
+pub use wire::{ErrorCode, QueryReply, Reply, Request, WireError};
+
+use std::sync::{Mutex, MutexGuard};
+
+/// Locks `m`, recovering the guard if a previous holder panicked.
+///
+/// Every shared structure in this crate is left consistent at each
+/// instruction boundary (swaps of `Arc`s, counter bumps), so a
+/// poisoned mutex carries no torn state — propagating the poison
+/// would only turn one thread's panic into a service-wide outage.
+pub(crate) fn lock_unpoisoned<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
 
 #[cfg(test)]
 mod end_to_end {

@@ -1,14 +1,45 @@
-//! Thread-per-connection TCP front end over [`ServeCore`].
+//! Thread-per-connection TCP front end over [`ServeCore`], hardened
+//! for long-running serving: per-socket read/write deadlines (a stalled
+//! or slow-dripping peer cannot pin a connection thread forever), a
+//! connection cap with accept-time shedding (a typed
+//! [`ErrorCode::Capacity`] reply, then close), and hook points for the
+//! fault plan's reply drops/delays.
 
 use crate::core::{QueryRequest, ServeCore, ServeError};
 use crate::wire::{
-    decode_request, encode_reply, read_frame, write_frame, QueryReply, Reply, Request,
+    decode_request, encode_reply, read_frame, write_frame, ErrorCode, QueryReply, Reply, Request,
 };
 use std::net::{TcpListener, TcpStream, ToSocketAddrs};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
+
+/// Transport limits for [`serve_with`].
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Per-socket read deadline. A peer that opens a connection and
+    /// drips bytes (or nothing) slower than this is disconnected —
+    /// the classic slowloris hold-open no longer pins a thread.
+    pub read_timeout: Option<Duration>,
+    /// Per-socket write deadline: a peer that stops draining its
+    /// receive window cannot block a reply forever.
+    pub write_timeout: Option<Duration>,
+    /// Maximum concurrently served connections. Arrivals beyond the
+    /// cap are shed at accept time with an [`ErrorCode::Capacity`]
+    /// reply instead of queueing unboundedly.
+    pub max_connections: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> ServerConfig {
+        ServerConfig {
+            read_timeout: Some(Duration::from_secs(60)),
+            write_timeout: Some(Duration::from_secs(10)),
+            max_connections: 256,
+        }
+    }
+}
 
 /// A running TCP server. Dropping the handle (or calling
 /// [`shutdown`](ServerHandle::shutdown)) stops the accept loop and the
@@ -20,10 +51,19 @@ pub struct ServerHandle {
     accept_thread: Option<JoinHandle<()>>,
 }
 
+/// [`serve_with`] under [`ServerConfig::default`].
+pub fn serve(addr: impl ToSocketAddrs, core: Arc<ServeCore>) -> std::io::Result<ServerHandle> {
+    serve_with(addr, core, ServerConfig::default())
+}
+
 /// Binds `addr` and serves `core` until shutdown. Each connection gets
 /// its own reader thread; queries on different connections execute
 /// concurrently against their pinned epochs.
-pub fn serve(addr: impl ToSocketAddrs, core: Arc<ServeCore>) -> std::io::Result<ServerHandle> {
+pub fn serve_with(
+    addr: impl ToSocketAddrs,
+    core: Arc<ServeCore>,
+    config: ServerConfig,
+) -> std::io::Result<ServerHandle> {
     let listener = TcpListener::bind(addr)?;
     let addr = listener.local_addr()?;
     // Non-blocking accept + poll keeps shutdown simple and portable (no
@@ -33,21 +73,56 @@ pub fn serve(addr: impl ToSocketAddrs, core: Arc<ServeCore>) -> std::io::Result<
 
     let accept_stop = Arc::clone(&stop);
     let accept_core = Arc::clone(&core);
+    let active = Arc::new(AtomicUsize::new(0));
+    let reply_seq = Arc::new(AtomicU64::new(0));
     let accept_thread = std::thread::Builder::new()
         .name("gograph-accept".into())
         .spawn(move || {
             while !accept_stop.load(Ordering::Relaxed) {
                 match listener.accept() {
-                    Ok((stream, _)) => {
+                    Ok((mut stream, _)) => {
                         // Replies are small frames; without nodelay the
                         // kernel's Nagle + delayed-ACK pairing adds tens
                         // of ms to every request.
                         let _ = stream.set_nodelay(true);
+                        let _ = stream.set_read_timeout(config.read_timeout);
+                        let _ = stream.set_write_timeout(config.write_timeout);
+                        let prev = active.fetch_add(1, Ordering::SeqCst);
+                        if prev >= config.max_connections {
+                            active.fetch_sub(1, Ordering::SeqCst);
+                            accept_core
+                                .stats()
+                                .connections_shed
+                                .fetch_add(1, Ordering::Relaxed);
+                            let reply = Reply::Error {
+                                code: ErrorCode::Capacity,
+                                message: format!(
+                                    "connection limit ({}) reached; retry later",
+                                    config.max_connections
+                                ),
+                            };
+                            let _ = write_frame(&mut stream, &encode_reply(&reply));
+                            continue; // drops (closes) the stream
+                        }
                         let core = Arc::clone(&accept_core);
                         let stop = Arc::clone(&accept_stop);
-                        let _ = std::thread::Builder::new()
+                        let guard = ConnGuard {
+                            active: Arc::clone(&active),
+                        };
+                        let reply_seq = Arc::clone(&reply_seq);
+                        let spawned = std::thread::Builder::new()
                             .name("gograph-conn".into())
-                            .spawn(move || handle_connection(stream, &core, &stop));
+                            .spawn(move || {
+                                let _guard = guard;
+                                handle_connection(stream, &core, &stop, &reply_seq);
+                            });
+                        if spawned.is_err() {
+                            // Thread exhaustion: shed instead of dying.
+                            accept_core
+                                .stats()
+                                .connections_shed
+                                .fetch_add(1, Ordering::Relaxed);
+                        }
                     }
                     Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
                         std::thread::sleep(Duration::from_millis(2));
@@ -63,6 +138,18 @@ pub fn serve(addr: impl ToSocketAddrs, core: Arc<ServeCore>) -> std::io::Result<
         stop,
         accept_thread: Some(accept_thread),
     })
+}
+
+/// Decrements the live-connection count when its handler exits, however
+/// it exits (return, error, panic).
+struct ConnGuard {
+    active: Arc<AtomicUsize>,
+}
+
+impl Drop for ConnGuard {
+    fn drop(&mut self) {
+        self.active.fetch_sub(1, Ordering::SeqCst);
+    }
 }
 
 impl ServerHandle {
@@ -110,36 +197,72 @@ impl Drop for ServerHandle {
     }
 }
 
-fn handle_connection(stream: TcpStream, core: &Arc<ServeCore>, stop: &Arc<AtomicBool>) {
+fn handle_connection(
+    stream: TcpStream,
+    core: &Arc<ServeCore>,
+    stop: &Arc<AtomicBool>,
+    reply_seq: &AtomicU64,
+) {
     let mut reader = match stream.try_clone() {
         Ok(s) => s,
         Err(_) => return,
     };
     let mut writer = stream;
+    let faults = core.fault_plan().clone();
     loop {
         let frame = match read_frame(&mut reader) {
             Ok(Some(f)) => f,
+            // EOF, a malformed/oversized frame, or a deadline expiring
+            // all end the connection; the client reconnects.
             Ok(None) | Err(_) => return,
         };
-        let reply = match decode_request(frame) {
+        let (reply, is_shutdown) = match decode_request(frame) {
             Ok(request) => {
                 let is_shutdown = matches!(request, Request::Shutdown);
-                let reply = respond(core, request);
-                if is_shutdown {
-                    let _ = write_frame(&mut writer, &encode_reply(&reply));
-                    stop.store(true, Ordering::Relaxed);
-                    return;
-                }
-                reply
+                (respond(core, request), is_shutdown)
             }
-            Err(e) => Reply::Error(e.to_string()),
+            Err(e) => (
+                Reply::Error {
+                    code: ErrorCode::InvalidRequest,
+                    message: e.to_string(),
+                },
+                false,
+            ),
         };
+        if !faults.is_none() {
+            let k = reply_seq.fetch_add(1, Ordering::Relaxed);
+            if faults.drop_reply(k) {
+                // Sever without replying, as a crashed server would.
+                return;
+            }
+            if let Some(d) = faults.delay_reply(k) {
+                std::thread::sleep(d);
+            }
+        }
         if write_frame(&mut writer, &encode_reply(&reply)).is_err() {
+            return;
+        }
+        if is_shutdown {
+            stop.store(true, Ordering::Relaxed);
             return;
         }
         if stop.load(Ordering::Relaxed) {
             return;
         }
+    }
+}
+
+/// Maps a core error to its wire code.
+fn error_reply(e: ServeError) -> Reply {
+    let code = match &e {
+        ServeError::InvalidRequest(_) => ErrorCode::InvalidRequest,
+        ServeError::Stale { .. } => ErrorCode::Stale,
+        ServeError::Closed => ErrorCode::Closed,
+        ServeError::Engine(_) | ServeError::Io(_) => ErrorCode::Generic,
+    };
+    Reply::Error {
+        code,
+        message: e.to_string(),
     }
 }
 
@@ -149,6 +272,7 @@ fn respond(core: &Arc<ServeCore>, request: Request) -> Reply {
             alg,
             mode,
             combine,
+            max_epoch_lag,
             sources,
             targets,
         } => {
@@ -157,6 +281,7 @@ fn respond(core: &Arc<ServeCore>, request: Request) -> Reply {
                 mode,
                 sources,
                 combine,
+                max_epoch_lag,
             });
             match outcome {
                 Ok(o) => {
@@ -178,7 +303,7 @@ fn respond(core: &Arc<ServeCore>, request: Request) -> Reply {
                         values,
                     })
                 }
-                Err(e) => Reply::Error(e.to_string()),
+                Err(e) => error_reply(e),
             }
         }
         Request::Updates(updates) => match core.enqueue_updates(updates) {
@@ -186,8 +311,7 @@ fn respond(core: &Arc<ServeCore>, request: Request) -> Reply {
                 accepted: accepted as u32,
                 epochs_published: core.stats_snapshot().epochs_published,
             },
-            Err(ServeError::Closed) => Reply::Error(ServeError::Closed.to_string()),
-            Err(e) => Reply::Error(e.to_string()),
+            Err(e) => error_reply(e),
         },
         Request::Stats | Request::Shutdown => Reply::Stats(core.stats_snapshot()),
     }

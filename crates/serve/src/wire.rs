@@ -9,7 +9,7 @@
 //!
 //! | type | message      | payload |
 //! |------|--------------|---------|
-//! | 1    | Query        | alg u8 · mode u8 · flags u8 (bit0 = combine) · n_sources u32 · sources u32× · n_targets u32 · targets u32× |
+//! | 1    | Query        | alg u8 · mode u8 · flags u8 (bit0 = combine, bit1 = max_epoch_lag present) · \[max_epoch_lag u64\] · n_sources u32 · sources u32× · n_targets u32 · targets u32× |
 //! | 2    | UpdateBatch  | n u32 · n × (kind u8 (0 insert / 1 remove) · src u32 · dst u32 · weight f64 if insert) |
 //! | 3    | Stats        | — |
 //! | 4    | Shutdown     | — |
@@ -20,8 +20,12 @@
 //! |------|--------------|---------|
 //! | 1    | QueryReply   | epoch u64 · alg u8 · flags u8 (bit0 warm, bit1 converged) · admitted u32 · rounds u64 · push_rounds u64 · state_bytes u64 · runtime_micros u64 · n_eff u32 · eff_sources u32× · n_values u32 · (vertex u32 · value f64)× |
 //! | 2    | UpdateAck    | accepted u32 · epochs_published u64 |
-//! | 3    | StatsReply   | the 17 [`StatsSnapshot`] fields as u64, in declaration order |
-//! | 0xFF | Error        | len u32 · utf-8 message |
+//! | 3    | StatsReply   | the 25 [`StatsSnapshot`] fields as u64, in declaration order |
+//! | 0xFF | Error        | code u8 ([`ErrorCode`]) · len u32 · utf-8 message |
+//!
+//! Decoding is strict: a body with trailing bytes after a well-formed
+//! message is rejected, so no two distinct byte strings decode to the
+//! same message and fuzzers can assert prefix-freeness.
 
 use crate::core::StatsSnapshot;
 use crate::spec::{AlgSpec, ModeSpec};
@@ -49,6 +53,38 @@ fn err<T>(msg: impl Into<String>) -> Result<T, WireError> {
     Err(WireError(msg.into()))
 }
 
+/// Machine-readable classification of a [`Reply::Error`], so clients
+/// can distinguish retryable conditions (capacity shedding) from
+/// permanent ones (a malformed request) without parsing the message.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum ErrorCode {
+    /// Unclassified server-side failure.
+    Generic = 0,
+    /// The request itself was invalid (bad sources, empty batch, …).
+    InvalidRequest = 1,
+    /// The snapshot is staler than the query's `max_epoch_lag` bound.
+    Stale = 2,
+    /// The server is shutting down.
+    Closed = 3,
+    /// The connection cap was hit; retry later.
+    Capacity = 4,
+}
+
+impl ErrorCode {
+    /// Decodes a wire byte.
+    pub fn from_code(code: u8) -> Option<ErrorCode> {
+        match code {
+            0 => Some(ErrorCode::Generic),
+            1 => Some(ErrorCode::InvalidRequest),
+            2 => Some(ErrorCode::Stale),
+            3 => Some(ErrorCode::Closed),
+            4 => Some(ErrorCode::Capacity),
+            _ => None,
+        }
+    }
+}
+
 /// A client → server message.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Request {
@@ -60,6 +96,10 @@ pub enum Request {
         mode: ModeSpec,
         /// May this query be admission-batched?
         combine: bool,
+        /// Reject (with [`ErrorCode::Stale`]) instead of answering if
+        /// the serving snapshot lags the newest enqueued batch by more
+        /// than this many batches. `None` accepts any staleness.
+        max_epoch_lag: Option<u64>,
         /// Source vertices.
         sources: Vec<VertexId>,
         /// Vertices whose final state the reply should include.
@@ -88,7 +128,12 @@ pub enum Reply {
     /// Counter snapshot.
     Stats(StatsSnapshot),
     /// The request failed.
-    Error(String),
+    Error {
+        /// Machine-readable failure class.
+        code: ErrorCode,
+        /// Human-readable detail.
+        message: String,
+    },
 }
 
 /// The payload of [`Reply::Query`].
@@ -136,11 +181,75 @@ fn put_vertices(buf: &mut BytesMut, vs: &[VertexId]) {
 }
 
 fn get_vertices(buf: &mut Bytes) -> Result<Vec<VertexId>, WireError> {
+    if buf.remaining() < 4 {
+        return err("truncated vertex list");
+    }
     let n = buf.get_u32_le() as usize;
     if buf.remaining() < n * 4 {
         return err("vertex list length exceeds frame");
     }
     Ok((0..n).map(|_| buf.get_u32_le()).collect())
+}
+
+/// Encodes an update batch: `n u32 · n × (kind u8 · src u32 · dst u32 ·
+/// weight f64 if insert)`. Shared by the wire protocol and the
+/// write-ahead log so a WAL record replays through the same codec a
+/// client frame decodes through.
+pub(crate) fn put_updates(buf: &mut BytesMut, updates: &[EdgeUpdate]) {
+    buf.put_u32_le(updates.len() as u32);
+    for u in updates {
+        match *u {
+            EdgeUpdate::Insert { src, dst, weight } => {
+                buf.put_slice(&[0]);
+                buf.put_u32_le(src);
+                buf.put_u32_le(dst);
+                buf.put_f64_le(weight);
+            }
+            EdgeUpdate::Remove { src, dst } => {
+                buf.put_slice(&[1]);
+                buf.put_u32_le(src);
+                buf.put_u32_le(dst);
+            }
+        }
+    }
+}
+
+/// Decodes an update batch (see [`put_updates`]). Allocation is bounded
+/// by the actual bytes present, not the declared count.
+pub(crate) fn get_updates(buf: &mut Bytes) -> Result<Vec<EdgeUpdate>, WireError> {
+    if buf.remaining() < 4 {
+        return err("truncated update batch");
+    }
+    let n = buf.get_u32_le() as usize;
+    let mut updates = Vec::with_capacity(n.min(4096));
+    for _ in 0..n {
+        if buf.remaining() < 9 {
+            return err("truncated update entry");
+        }
+        let mut kind = [0u8; 1];
+        buf.copy_to_slice(&mut kind);
+        let src = buf.get_u32_le();
+        let dst = buf.get_u32_le();
+        match kind[0] {
+            0 => {
+                if buf.remaining() < 8 {
+                    return err("truncated insert weight");
+                }
+                updates.push(EdgeUpdate::insert_weighted(src, dst, buf.get_f64_le()));
+            }
+            1 => updates.push(EdgeUpdate::remove(src, dst)),
+            k => return err(format!("unknown update kind {k}")),
+        }
+    }
+    Ok(updates)
+}
+
+fn expect_consumed<T>(value: T, buf: &Bytes) -> Result<T, WireError> {
+    if buf.has_remaining() {
+        err(format!("{} trailing bytes after message", buf.remaining()))
+    } else {
+        Ok(value)
+    }
 }
 
 /// Encodes a request body (without the length prefix).
@@ -151,31 +260,21 @@ pub fn encode_request(req: &Request) -> Bytes {
             alg,
             mode,
             combine,
+            max_epoch_lag,
             sources,
             targets,
         } => {
-            buf.put_slice(&[REQ_QUERY, alg.code(), mode.code(), u8::from(*combine)]);
+            let flags = u8::from(*combine) | (u8::from(max_epoch_lag.is_some()) << 1);
+            buf.put_slice(&[REQ_QUERY, alg.code(), mode.code(), flags]);
+            if let Some(lag) = max_epoch_lag {
+                buf.put_u64_le(*lag);
+            }
             put_vertices(&mut buf, sources);
             put_vertices(&mut buf, targets);
         }
         Request::Updates(updates) => {
             buf.put_slice(&[REQ_UPDATES]);
-            buf.put_u32_le(updates.len() as u32);
-            for u in updates {
-                match *u {
-                    EdgeUpdate::Insert { src, dst, weight } => {
-                        buf.put_slice(&[0]);
-                        buf.put_u32_le(src);
-                        buf.put_u32_le(dst);
-                        buf.put_f64_le(weight);
-                    }
-                    EdgeUpdate::Remove { src, dst } => {
-                        buf.put_slice(&[1]);
-                        buf.put_u32_le(src);
-                        buf.put_u32_le(dst);
-                    }
-                }
-            }
+            put_updates(&mut buf, updates);
         }
         Request::Stats => buf.put_slice(&[REQ_STATS]),
         Request::Shutdown => buf.put_slice(&[REQ_SHUTDOWN]),
@@ -201,7 +300,18 @@ pub fn decode_request(mut buf: Bytes) -> Result<Request, WireError> {
                 .ok_or_else(|| WireError(format!("unknown algorithm code {}", hdr[0])))?;
             let mode = ModeSpec::from_code(hdr[1])
                 .ok_or_else(|| WireError(format!("unknown mode code {}", hdr[1])))?;
+            if hdr[2] & !0b11 != 0 {
+                return err(format!("unknown query flags {:#04x}", hdr[2]));
+            }
             let combine = hdr[2] & 1 != 0;
+            let max_epoch_lag = if hdr[2] & 2 != 0 {
+                if buf.remaining() < 8 {
+                    return err("truncated max_epoch_lag");
+                }
+                Some(buf.get_u64_le())
+            } else {
+                None
+            };
             if buf.remaining() < 4 {
                 return err("truncated source list");
             }
@@ -210,43 +320,24 @@ pub fn decode_request(mut buf: Bytes) -> Result<Request, WireError> {
                 return err("truncated target list");
             }
             let targets = get_vertices(&mut buf)?;
-            Ok(Request::Query {
-                alg,
-                mode,
-                combine,
-                sources,
-                targets,
-            })
+            expect_consumed(
+                Request::Query {
+                    alg,
+                    mode,
+                    combine,
+                    max_epoch_lag,
+                    sources,
+                    targets,
+                },
+                &buf,
+            )
         }
         REQ_UPDATES => {
-            if buf.remaining() < 4 {
-                return err("truncated update batch");
-            }
-            let n = buf.get_u32_le() as usize;
-            let mut updates = Vec::with_capacity(n.min(4096));
-            for _ in 0..n {
-                if buf.remaining() < 9 {
-                    return err("truncated update entry");
-                }
-                let mut kind = [0u8; 1];
-                buf.copy_to_slice(&mut kind);
-                let src = buf.get_u32_le();
-                let dst = buf.get_u32_le();
-                match kind[0] {
-                    0 => {
-                        if buf.remaining() < 8 {
-                            return err("truncated insert weight");
-                        }
-                        updates.push(EdgeUpdate::insert_weighted(src, dst, buf.get_f64_le()));
-                    }
-                    1 => updates.push(EdgeUpdate::remove(src, dst)),
-                    k => return err(format!("unknown update kind {k}")),
-                }
-            }
-            Ok(Request::Updates(updates))
+            let updates = get_updates(&mut buf)?;
+            expect_consumed(Request::Updates(updates), &buf)
         }
-        REQ_STATS => Ok(Request::Stats),
-        REQ_SHUTDOWN => Ok(Request::Shutdown),
+        REQ_STATS => expect_consumed(Request::Stats, &buf),
+        REQ_SHUTDOWN => expect_consumed(Request::Shutdown, &buf),
         t => err(format!("unknown request type {t}")),
     }
 }
@@ -300,14 +391,22 @@ pub fn encode_reply(reply: &Reply) -> Bytes {
                 s.updates_applied,
                 s.mutator_rounds,
                 s.mutator_errors,
+                s.mutator_restarts,
+                s.poisoned_slots,
+                s.degraded,
+                s.wal_appends,
+                s.wal_bytes,
+                s.wal_replayed,
+                s.checkpoints_written,
+                s.connections_shed,
             ] {
                 buf.put_u64_le(v);
             }
         }
-        Reply::Error(msg) => {
-            buf.put_slice(&[REP_ERROR]);
-            buf.put_u32_le(msg.len() as u32);
-            buf.put_slice(msg.as_bytes());
+        Reply::Error { code, message } => {
+            buf.put_slice(&[REP_ERROR, *code as u8]);
+            buf.put_u32_le(message.len() as u32);
+            buf.put_slice(message.as_bytes());
         }
     }
     buf.freeze()
@@ -348,61 +447,80 @@ pub fn decode_reply(mut buf: Bytes) -> Result<Reply, WireError> {
             let values = (0..n)
                 .map(|_| (buf.get_u32_le(), buf.get_f64_le()))
                 .collect();
-            Ok(Reply::Query(QueryReply {
-                epoch,
-                alg,
-                warm,
-                converged,
-                admitted,
-                rounds,
-                push_rounds,
-                state_bytes,
-                runtime_micros,
-                effective_sources,
-                values,
-            }))
+            expect_consumed(
+                Reply::Query(QueryReply {
+                    epoch,
+                    alg,
+                    warm,
+                    converged,
+                    admitted,
+                    rounds,
+                    push_rounds,
+                    state_bytes,
+                    runtime_micros,
+                    effective_sources,
+                    values,
+                }),
+                &buf,
+            )
         }
         REP_UPDATE_ACK => {
             if buf.remaining() < 12 {
                 return err("truncated update ack");
             }
-            Ok(Reply::UpdateAck {
+            let reply = Reply::UpdateAck {
                 accepted: buf.get_u32_le(),
                 epochs_published: buf.get_u64_le(),
-            })
+            };
+            expect_consumed(reply, &buf)
         }
         REP_STATS => {
-            if buf.remaining() < 17 * 8 {
+            if buf.remaining() < 25 * 8 {
                 return err("truncated stats reply");
             }
-            let mut f = [0u64; 17];
+            let mut f = [0u64; 25];
             for v in f.iter_mut() {
                 *v = buf.get_u64_le();
             }
-            Ok(Reply::Stats(StatsSnapshot {
-                epoch: f[0],
-                epochs_published: f[1],
-                num_vertices: f[2],
-                num_edges: f[3],
-                num_partitions: f[4],
-                queries: f[5],
-                coalesced: f[6],
-                warm_hits: f[7],
-                cold_runs: f[8],
-                query_rounds: f[9],
-                query_push_rounds: f[10],
-                last_state_bytes: f[11],
-                batches_enqueued: f[12],
-                batches_applied: f[13],
-                updates_applied: f[14],
-                mutator_rounds: f[15],
-                mutator_errors: f[16],
-            }))
+            expect_consumed(
+                Reply::Stats(StatsSnapshot {
+                    epoch: f[0],
+                    epochs_published: f[1],
+                    num_vertices: f[2],
+                    num_edges: f[3],
+                    num_partitions: f[4],
+                    queries: f[5],
+                    coalesced: f[6],
+                    warm_hits: f[7],
+                    cold_runs: f[8],
+                    query_rounds: f[9],
+                    query_push_rounds: f[10],
+                    last_state_bytes: f[11],
+                    batches_enqueued: f[12],
+                    batches_applied: f[13],
+                    updates_applied: f[14],
+                    mutator_rounds: f[15],
+                    mutator_errors: f[16],
+                    mutator_restarts: f[17],
+                    poisoned_slots: f[18],
+                    degraded: f[19],
+                    wal_appends: f[20],
+                    wal_bytes: f[21],
+                    wal_replayed: f[22],
+                    checkpoints_written: f[23],
+                    connections_shed: f[24],
+                }),
+                &buf,
+            )
         }
         REP_ERROR => {
-            if buf.remaining() < 4 {
+            if buf.remaining() < 5 {
                 return err("truncated error reply");
             }
+            let mut code_byte = [0u8; 1];
+            buf.copy_to_slice(&mut code_byte);
+            let code = ErrorCode::from_code(code_byte[0])
+                .ok_or_else(|| WireError(format!("unknown error code {}", code_byte[0])))?;
             let n = buf.get_u32_le() as usize;
             if buf.remaining() < n {
                 return err("error message length exceeds frame");
@@ -410,7 +528,7 @@ pub fn decode_reply(mut buf: Bytes) -> Result<Reply, WireError> {
             let mut raw = vec![0u8; n];
             buf.copy_to_slice(&mut raw);
             match String::from_utf8(raw) {
-                Ok(msg) => Ok(Reply::Error(msg)),
+                Ok(message) => expect_consumed(Reply::Error { code, message }, &buf),
                 Err(_) => err("error message is not utf-8"),
             }
         }
@@ -459,8 +577,17 @@ mod tests {
                 alg: AlgSpec::Sssp,
                 mode: ModeSpec::Worklist,
                 combine: true,
+                max_epoch_lag: None,
                 sources: vec![3, 9],
                 targets: vec![0, 1, 2],
+            },
+            Request::Query {
+                alg: AlgSpec::Cc,
+                mode: ModeSpec::Async,
+                combine: false,
+                max_epoch_lag: Some(2),
+                sources: vec![],
+                targets: vec![7],
             },
             Request::Updates(vec![
                 EdgeUpdate::insert_weighted(1, 2, 0.5),
@@ -513,8 +640,19 @@ mod tests {
                 updates_applied: 64,
                 mutator_rounds: 9,
                 mutator_errors: 0,
+                mutator_restarts: 1,
+                poisoned_slots: 2,
+                degraded: 0,
+                wal_appends: 12,
+                wal_bytes: 4096,
+                wal_replayed: 3,
+                checkpoints_written: 2,
+                connections_shed: 1,
             }),
-            Reply::Error("nope".to_string()),
+            Reply::Error {
+                code: ErrorCode::Stale,
+                message: "nope".to_string(),
+            },
         ];
         for reply in replies {
             let decoded = decode_reply(encode_reply(&reply)).unwrap();
@@ -532,6 +670,37 @@ mod tests {
         b.put_u32_le(u32::MAX);
         assert!(decode_request(b.freeze()).is_err());
         assert!(decode_reply(Bytes::from(vec![0x42])).is_err());
+        // Unknown query flag bits and unknown error codes are refused.
+        let mut b = BytesMut::new();
+        b.put_slice(&[1, 0, 0, 0b100]);
+        b.put_u32_le(0);
+        b.put_u32_le(0);
+        assert!(decode_request(b.freeze()).is_err());
+        let mut b = BytesMut::new();
+        b.put_slice(&[0xFF, 9]);
+        b.put_u32_le(0);
+        assert!(decode_reply(b.freeze()).is_err());
+    }
+
+    #[test]
+    fn trailing_bytes_are_rejected() {
+        for req in [
+            Request::Stats,
+            Request::Updates(vec![EdgeUpdate::insert(0, 1)]),
+        ] {
+            let mut body = BytesMut::from(encode_request(&req).as_ref());
+            body.put_u8(0);
+            assert!(decode_request(body.freeze()).is_err());
+        }
+        let mut body = BytesMut::from(
+            encode_reply(&Reply::UpdateAck {
+                accepted: 1,
+                epochs_published: 2,
+            })
+            .as_ref(),
+        );
+        body.put_u8(0);
+        assert!(decode_reply(body.freeze()).is_err());
     }
 
     #[test]

@@ -13,8 +13,14 @@
 //! gograph_loadgen --addr 127.0.0.1:7421 [--clients 1,4,8]
 //!                 [--update-rates 0,8] [--duration-secs 3]
 //!                 [--batch-size 16] [--output BENCH_PR6.json]
-//!                 [--shutdown]
+//!                 [--shutdown] [--probe]
 //! ```
+//!
+//! `--probe` skips the sweep: it runs one deterministic SSSP query
+//! (source 0, first 64 vertices as targets) and prints the result as
+//! one JSON line on stdout. The CI crash-recovery leg diffs a probe
+//! taken before `kill -9` against one taken after restart — recovery
+//! must reproduce the epoch bit-for-bit.
 
 use gograph_graph::EdgeUpdate;
 use gograph_serve::{AlgSpec, ModeSpec, ServeClient};
@@ -49,6 +55,7 @@ fn main() {
     let mut batch_size: usize = 16;
     let mut output = "BENCH_PR6.json".to_string();
     let mut shutdown = false;
+    let mut probe = false;
 
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
@@ -68,11 +75,12 @@ fn main() {
             "--batch-size" => batch_size = value(&mut i).parse().unwrap_or(16),
             "--output" => output = value(&mut i),
             "--shutdown" => shutdown = true,
+            "--probe" => probe = true,
             "--help" | "-h" => {
                 eprintln!(
                     "usage: gograph_loadgen --addr HOST:PORT [--clients 1,4,8] \
                      [--update-rates 0,8] [--duration-secs 3] [--batch-size 16] \
-                     [--output BENCH_PR6.json] [--shutdown]"
+                     [--output BENCH_PR6.json] [--shutdown] [--probe]"
                 );
                 return;
             }
@@ -105,6 +113,11 @@ fn main() {
     });
     let initial = control.stats().expect("stats request");
     let num_vertices = initial.num_vertices as u32;
+
+    if probe {
+        run_probe(&mut control, num_vertices);
+        return;
+    }
     eprintln!(
         "loadgen: server at {addr} has {} vertices / {} edges (epoch {})",
         initial.num_vertices, initial.num_edges, initial.epoch
@@ -148,6 +161,40 @@ fn main() {
             last.queries, last.epochs_published
         );
     }
+}
+
+/// One deterministic query, printed as one JSON line; comparing two
+/// probes byte-for-byte is the CI's bit-identical-recovery check.
+fn run_probe(control: &mut ServeClient, num_vertices: u32) {
+    // Quiesce first: recovery replays every *acked* batch, so the probe
+    // must observe the fully-applied epoch to be comparable across a
+    // crash, not whatever the mutator happened to have reached.
+    for _ in 0..600 {
+        let s = control.stats().expect("probe stats");
+        if s.batches_applied + s.mutator_errors >= s.batches_enqueued {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(50));
+    }
+    let targets: Vec<u32> = (0..num_vertices.min(64)).collect();
+    let reply = control
+        .query(AlgSpec::Sssp, ModeSpec::Async, false, &[0], &targets)
+        .unwrap_or_else(|e| {
+            eprintln!("probe query failed: {e}");
+            std::process::exit(1);
+        });
+    let mut values = String::new();
+    for (i, (v, x)) in reply.values.iter().enumerate() {
+        // The value rides as a string: `{:?}` is the shortest f64 form
+        // that parses back exactly (byte-stable across runs), and
+        // quoting keeps non-finite states (`inf` for unreachable
+        // vertices) valid JSON.
+        let _ = write!(values, "{}[{v},\"{x:?}\"]", if i > 0 { "," } else { "" });
+    }
+    println!(
+        "{{\"probe\":\"sssp:0\",\"epoch\":{},\"converged\":{},\"values\":[{}]}}",
+        reply.epoch, reply.converged, values
+    );
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -323,6 +370,14 @@ fn diff_stats(
         updates_applied: b.updates_applied - a.updates_applied,
         mutator_rounds: b.mutator_rounds - a.mutator_rounds,
         mutator_errors: b.mutator_errors - a.mutator_errors,
+        mutator_restarts: b.mutator_restarts - a.mutator_restarts,
+        poisoned_slots: b.poisoned_slots - a.poisoned_slots,
+        degraded: b.degraded, // gauge, not a counter
+        wal_appends: b.wal_appends - a.wal_appends,
+        wal_bytes: b.wal_bytes - a.wal_bytes,
+        wal_replayed: b.wal_replayed - a.wal_replayed,
+        checkpoints_written: b.checkpoints_written - a.checkpoints_written,
+        connections_shed: b.connections_shed - a.connections_shed,
     }
 }
 
@@ -393,7 +448,7 @@ fn render_report(
         );
         let _ = writeln!(
             out,
-            "      \"server_delta\": {{ \"queries\": {}, \"coalesced\": {}, \"warm_hits\": {}, \"cold_runs\": {}, \"query_rounds\": {}, \"query_push_rounds\": {}, \"epochs_published\": {}, \"update_batches_applied\": {}, \"updates_applied\": {}, \"mutator_rounds\": {}, \"mutator_errors\": {} }},",
+            "      \"server_delta\": {{ \"queries\": {}, \"coalesced\": {}, \"warm_hits\": {}, \"cold_runs\": {}, \"query_rounds\": {}, \"query_push_rounds\": {}, \"epochs_published\": {}, \"update_batches_applied\": {}, \"updates_applied\": {}, \"mutator_rounds\": {}, \"mutator_errors\": {}, \"mutator_restarts\": {}, \"degraded\": {}, \"wal_appends\": {}, \"checkpoints_written\": {}, \"connections_shed\": {} }},",
             d.queries,
             d.coalesced,
             d.warm_hits,
@@ -404,7 +459,12 @@ fn render_report(
             d.batches_applied,
             d.updates_applied,
             d.mutator_rounds,
-            d.mutator_errors
+            d.mutator_errors,
+            d.mutator_restarts,
+            d.degraded,
+            d.wal_appends,
+            d.checkpoints_written,
+            d.connections_shed
         );
         let _ = writeln!(
             out,

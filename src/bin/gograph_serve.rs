@@ -5,14 +5,21 @@
 //! ```text
 //! gograph_serve [--listen 127.0.0.1:7421] [--scale tiny|standard]
 //!               [--window-ms 2] [--warm cc,sssp:0,pagerank]
+//!               [--durable-dir DIR] [--checkpoint-every N]
 //! ```
 //!
 //! `--scale` defaults to the `GOGRAPH_SCALE` environment variable
-//! (`standard` when unset). The ready line printed on stdout is stable:
+//! (`standard` when unset). With `--durable-dir`, admitted update
+//! batches are WAL-logged before the ack and the server checkpoints
+//! every N batches; if the directory already holds durable state the
+//! server *recovers* from it (checkpoint + WAL tail replay) instead of
+//! booting fresh, printing
+//! `gograph-serve: recovered epoch <E> (replayed <K> batches)`.
+//! The ready line printed on stdout is stable:
 //! `gograph-serve: listening on <addr> ...` — the CI smoke greps it.
 
 use gograph_graph::generators::{planted_partition, shuffle_labels, PlantedPartitionConfig};
-use gograph_serve::{serve, AlgSpec, ServeConfig, ServeCore, WarmSpec};
+use gograph_serve::{serve, AlgSpec, DurabilityConfig, ServeConfig, ServeCore, WarmSpec};
 use std::time::Duration;
 
 fn main() {
@@ -20,6 +27,8 @@ fn main() {
     let mut scale = std::env::var("GOGRAPH_SCALE").unwrap_or_else(|_| "standard".to_string());
     let mut window_ms: u64 = 2;
     let mut warm_arg = "cc,sssp:0".to_string();
+    let mut durable_dir: Option<String> = None;
+    let mut checkpoint_every: u64 = 16;
 
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
@@ -41,10 +50,18 @@ fn main() {
                 })
             }
             "--warm" => warm_arg = value(&mut i),
+            "--durable-dir" => durable_dir = Some(value(&mut i)),
+            "--checkpoint-every" => {
+                checkpoint_every = value(&mut i).parse().unwrap_or_else(|_| {
+                    eprintln!("--checkpoint-every wants an integer");
+                    std::process::exit(2);
+                })
+            }
             "--help" | "-h" => {
                 eprintln!(
                     "usage: gograph_serve [--listen ADDR] [--scale tiny|standard] \
-                     [--window-ms N] [--warm cc,sssp:0,...]"
+                     [--window-ms N] [--warm cc,sssp:0,...] \
+                     [--durable-dir DIR] [--checkpoint-every N]"
                 );
                 return;
             }
@@ -73,28 +90,37 @@ fn main() {
     );
 
     let warm = parse_warm(&warm_arg);
-    let core = ServeCore::start(
-        &graph,
-        ServeConfig {
-            warm,
-            admission_window: Duration::from_millis(window_ms),
-            ..ServeConfig::default()
-        },
-    )
-    .unwrap_or_else(|e| {
+    let config = ServeConfig {
+        warm,
+        admission_window: Duration::from_millis(window_ms),
+        durability: durable_dir.as_ref().map(|dir| DurabilityConfig {
+            checkpoint_every_batches: checkpoint_every,
+            ..DurabilityConfig::new(dir)
+        }),
+        ..ServeConfig::default()
+    };
+    let (core, recovered) = ServeCore::recover_or_start(&graph, config).unwrap_or_else(|e| {
         eprintln!("failed to start service: {e}");
         std::process::exit(1);
     });
+    let boot = core.stats_snapshot();
+    if recovered {
+        println!(
+            "gograph-serve: recovered epoch {} (replayed {} batches)",
+            boot.epoch, boot.wal_replayed
+        );
+    }
 
     let handle = serve(listen.as_str(), core).unwrap_or_else(|e| {
         eprintln!("failed to bind {listen}: {e}");
         std::process::exit(1);
     });
     println!(
-        "gograph-serve: listening on {} ({} vertices, {} edges, epoch 0 ready)",
+        "gograph-serve: listening on {} ({} vertices, {} edges, epoch {} ready)",
         handle.local_addr(),
-        graph.num_vertices(),
-        graph.num_edges()
+        boot.num_vertices,
+        boot.num_edges,
+        boot.epoch
     );
     // The ready line must be visible even through a pipe before the
     // (potentially long) serving phase.

@@ -22,7 +22,7 @@ use gograph_engine::{Pipeline, WarmStart};
 use gograph_graph::generators::{planted_partition, shuffle_labels, PlantedPartitionConfig};
 use gograph_graph::{CsrGraph, EdgeUpdate};
 use gograph_serve::{
-    AlgSpec, ModeSpec, QueryOutcome, QueryRequest, ServeConfig, ServeCore, WarmSpec,
+    AlgSpec, FaultPlan, ModeSpec, QueryOutcome, QueryRequest, ServeConfig, ServeCore, WarmSpec,
 };
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -143,6 +143,7 @@ fn concurrent_readers_always_see_consistent_epochs() {
                         mode: ModeSpec::Async,
                         sources,
                         combine,
+                        max_epoch_lag: None,
                     })
                     .expect("stress query");
                 verify_bit_identical(&outcome);
@@ -202,6 +203,7 @@ fn concurrent_readers_always_see_consistent_epochs() {
             mode: ModeSpec::Async,
             sources: vec![0],
             combine: false,
+            max_epoch_lag: None,
         })
         .unwrap();
     assert_eq!(last.epoch.epoch, total_batches as u64);
@@ -261,5 +263,111 @@ fn pinned_epoch_is_immune_to_later_updates() {
         core.pin_epoch().graph.num_edges(),
         "the served graph must actually have moved on"
     );
+    core.shutdown();
+}
+
+/// Snapshot isolation must survive a *crashing* mutator: with injected
+/// panics (some before a batch, some mid-way through the pipelines),
+/// the supervisor rolls the failed batch back and readers keep seeing
+/// only whole, verifiable epochs — never a half-applied batch.
+#[test]
+fn readers_stay_consistent_while_the_mutator_panics_and_restarts() {
+    let total_batches = 8u64;
+    // Find a seed whose plan mixes failed and successful batches.
+    let plan = (0..64)
+        .map(|seed| {
+            FaultPlan::seeded(seed)
+                .with_mutator_panics(0.3)
+                .with_mid_batch_panics(0.2)
+        })
+        .find(|p| {
+            let fails = (1..=total_batches)
+                .filter(|&s| p.mutator_panic(s) || p.mutator_panic_mid(s))
+                .count();
+            // The last batch must succeed so `degraded` ends cleared.
+            fails >= 2
+                && fails < total_batches as usize
+                && !(p.mutator_panic(total_batches) || p.mutator_panic_mid(total_batches))
+        })
+        .expect("some seed in 0..64 mixes failures and successes");
+    let expected_fails = (1..=total_batches)
+        .filter(|&s| plan.mutator_panic(s) || plan.mutator_panic_mid(s))
+        .count() as u64;
+
+    let g = stress_graph();
+    let core = ServeCore::start(
+        &g,
+        ServeConfig {
+            warm: vec![
+                WarmSpec::new(AlgSpec::Sssp, 0),
+                WarmSpec::new(AlgSpec::Cc, 0),
+            ],
+            admission_window: Duration::ZERO,
+            faults: plan,
+            ..ServeConfig::default()
+        },
+    )
+    .unwrap();
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let mut handles = Vec::new();
+    for reader_id in 0..3 {
+        let core = Arc::clone(&core);
+        let stop = Arc::clone(&stop);
+        handles.push(std::thread::spawn(move || {
+            let mut rng = StdRng::seed_from_u64(0xdead + reader_id as u64);
+            let mut verified = 0usize;
+            while !stop.load(Ordering::Relaxed) {
+                let (alg, sources) = if rng.random_bool(0.6) {
+                    (AlgSpec::Sssp, vec![rng.random_range(0..150u32)])
+                } else {
+                    (AlgSpec::Cc, vec![])
+                };
+                let outcome = core
+                    .execute_query(QueryRequest {
+                        alg,
+                        mode: ModeSpec::Async,
+                        sources,
+                        combine: false,
+                        max_epoch_lag: None,
+                    })
+                    .expect("query under mutator crashes");
+                verify_bit_identical(&outcome);
+                verified += 1;
+            }
+            verified
+        }));
+    }
+
+    let mut rng = StdRng::seed_from_u64(99);
+    for _ in 0..total_batches {
+        let batch: Vec<EdgeUpdate> = (0..10)
+            .filter_map(|_| {
+                let src = rng.random_range(0..150u32);
+                let dst = rng.random_range(0..150u32);
+                (src != dst).then(|| EdgeUpdate::insert_weighted(src, dst, 2.0))
+            })
+            .collect();
+        core.enqueue_updates(batch).unwrap();
+        core.quiesce();
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    stop.store(true, Ordering::Relaxed);
+    for h in handles {
+        assert!(h.join().expect("reader thread") > 0);
+    }
+
+    let s = core.stats_snapshot();
+    assert_eq!(
+        s.mutator_errors, expected_fails,
+        "every planned panic fired"
+    );
+    assert_eq!(s.mutator_restarts, expected_fails);
+    assert_eq!(
+        s.epochs_published,
+        total_batches - expected_fails,
+        "failed batches roll back; the rest still publish"
+    );
+    assert_eq!(s.degraded, 0, "a successful publish clears degraded mode");
     core.shutdown();
 }

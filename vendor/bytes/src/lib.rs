@@ -12,11 +12,23 @@ pub trait Buf {
     /// Bytes left to consume.
     fn remaining(&self) -> usize;
 
+    /// True while at least one byte remains.
+    fn has_remaining(&self) -> bool {
+        self.remaining() > 0
+    }
+
     /// Consumes `dst.len()` bytes into `dst`.
     ///
     /// # Panics
     /// Panics if fewer than `dst.len()` bytes remain.
     fn copy_to_slice(&mut self, dst: &mut [u8]);
+
+    /// Consumes 1 byte.
+    fn get_u8(&mut self) -> u8 {
+        let mut b = [0u8; 1];
+        self.copy_to_slice(&mut b);
+        b[0]
+    }
 
     /// Consumes 4 bytes as a little-endian u32.
     fn get_u32_le(&mut self) -> u32 {
@@ -42,6 +54,11 @@ pub trait Buf {
 pub trait BufMut {
     /// Appends all of `src`.
     fn put_slice(&mut self, src: &[u8]);
+
+    /// Appends 1 byte.
+    fn put_u8(&mut self, v: u8) {
+        self.put_slice(&[v]);
+    }
 
     /// Appends a little-endian u32.
     fn put_u32_le(&mut self, v: u32) {
@@ -79,12 +96,23 @@ impl Bytes {
     }
 
     /// A sub-view of this buffer (O(1), shares storage).
-    pub fn slice(&self, range: std::ops::Range<usize>) -> Bytes {
-        assert!(range.start <= range.end && range.end <= self.len());
+    pub fn slice(&self, range: impl std::ops::RangeBounds<usize>) -> Bytes {
+        use std::ops::Bound;
+        let lo = match range.start_bound() {
+            Bound::Included(&n) => n,
+            Bound::Excluded(&n) => n + 1,
+            Bound::Unbounded => 0,
+        };
+        let hi = match range.end_bound() {
+            Bound::Included(&n) => n + 1,
+            Bound::Excluded(&n) => n,
+            Bound::Unbounded => self.len(),
+        };
+        assert!(lo <= hi && hi <= self.len());
         Bytes {
             data: Arc::clone(&self.data),
-            start: self.start + range.start,
-            end: self.start + range.end,
+            start: self.start + lo,
+            end: self.start + hi,
         }
     }
 
@@ -93,8 +121,37 @@ impl Bytes {
         self.as_slice().to_vec()
     }
 
+    /// An owned buffer copied out of `data`.
+    pub fn copy_from_slice(data: &[u8]) -> Bytes {
+        Bytes::from(data.to_vec())
+    }
+
+    /// Splits off and returns the first `at` bytes, advancing this view
+    /// past them (O(1), shares storage).
+    ///
+    /// # Panics
+    /// Panics if fewer than `at` bytes remain.
+    pub fn split_to(&mut self, at: usize) -> Bytes {
+        assert!(at <= self.len(), "split_to out of bounds");
+        let front = Bytes {
+            data: Arc::clone(&self.data),
+            start: self.start,
+            end: self.start + at,
+        };
+        self.start += at;
+        front
+    }
+
     fn as_slice(&self) -> &[u8] {
         &self.data[self.start..self.end]
+    }
+}
+
+impl std::ops::Deref for Bytes {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        self.as_slice()
     }
 }
 
@@ -134,6 +191,11 @@ pub struct BytesMut {
 }
 
 impl BytesMut {
+    /// An empty buffer.
+    pub fn new() -> BytesMut {
+        BytesMut::default()
+    }
+
     /// An empty buffer with `cap` bytes reserved.
     pub fn with_capacity(cap: usize) -> BytesMut {
         BytesMut {
@@ -154,6 +216,20 @@ impl BytesMut {
     /// Converts into an immutable [`Bytes`].
     pub fn freeze(self) -> Bytes {
         Bytes::from(self.data)
+    }
+}
+
+impl From<&[u8]> for BytesMut {
+    fn from(src: &[u8]) -> BytesMut {
+        BytesMut { data: src.to_vec() }
+    }
+}
+
+impl std::ops::Deref for BytesMut {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        &self.data
     }
 }
 

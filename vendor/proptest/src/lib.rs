@@ -1,9 +1,9 @@
 //! Offline stand-in for `proptest`, implementing the subset this
 //! workspace's property tests use: the [`Strategy`] trait with
 //! `prop_map` / `prop_flat_map`, range and tuple strategies,
-//! [`collection::vec`], [`Just`], [`ProptestConfig`], and the
-//! [`proptest!`] / [`prop_assert!`] / [`prop_assert_eq!`] /
-//! [`prop_assume!`] macros.
+//! [`collection::vec`], [`Just`], [`any`], [`option::of`],
+//! [`prop_oneof!`], [`ProptestConfig`], and the [`proptest!`] /
+//! [`prop_assert!`] / [`prop_assert_eq!`] / [`prop_assume!`] macros.
 //!
 //! Unlike upstream there is no shrinking and no persistence: each test
 //! runs `cases` deterministically seeded random cases (seed derived from
@@ -19,8 +19,8 @@ use std::ops::{Range, RangeInclusive};
 /// Everything a test file needs in scope.
 pub mod prelude {
     pub use crate::{
-        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest, Just, ProptestConfig,
-        Strategy,
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest, Just,
+        ProptestConfig, Strategy,
     };
 }
 
@@ -158,6 +158,126 @@ tuple_strategy! {
     (A 0, B 1, C 2)
     (A 0, B 1, C 2, D 3)
     (A 0, B 1, C 2, D 3, E 4)
+    (A 0, B 1, C 2, D 3, E 4, F 5)
+    (A 0, B 1, C 2, D 3, E 4, F 5, G 6)
+    (A 0, B 1, C 2, D 3, E 4, F 5, G 6, H 7)
+}
+
+/// Types with a natural full-domain strategy, for [`any`].
+pub trait Arbitrary {
+    /// Generates one arbitrary value.
+    fn arbitrary(rng: &mut StdRng) -> Self;
+}
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut StdRng) -> bool {
+        rand::Rng::random(rng)
+    }
+}
+
+impl Arbitrary for u32 {
+    fn arbitrary(rng: &mut StdRng) -> u32 {
+        rand::Rng::random(rng)
+    }
+}
+
+impl Arbitrary for u64 {
+    fn arbitrary(rng: &mut StdRng) -> u64 {
+        rand::Rng::random(rng)
+    }
+}
+
+macro_rules! arbitrary_from_u64 {
+    ($($t:ty),+) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut StdRng) -> $t {
+                rand::Rng::random::<u64>(rng) as $t
+            }
+        }
+    )+};
+}
+
+arbitrary_from_u64!(u8, u16, usize, i8, i16, i32, i64);
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut StdRng) -> f64 {
+        // Full-bit-pattern doubles (NaNs and infinities included), as
+        // upstream's `any::<f64>()` with its default strategy spirit:
+        // adversarial inputs should include the weird ones.
+        f64::from_bits(rand::Rng::random(rng))
+    }
+}
+
+/// The full-domain strategy for `T` — `any::<u32>()`, `any::<bool>()`, …
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(std::marker::PhantomData)
+}
+
+/// See [`any`].
+pub struct Any<T>(std::marker::PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut StdRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// A uniform choice between boxed strategies — built by [`prop_oneof!`].
+pub struct Union<T> {
+    options: Vec<Box<dyn Strategy<Value = T>>>,
+}
+
+impl<T> Union<T> {
+    /// A union over the given options (at least one).
+    pub fn new(options: Vec<Box<dyn Strategy<Value = T>>>) -> Union<T> {
+        assert!(!options.is_empty(), "prop_oneof! needs at least one option");
+        Union { options }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut StdRng) -> T {
+        let i = rand::Rng::random_range(rng, 0..self.options.len());
+        self.options[i].generate(rng)
+    }
+}
+
+/// Uniformly picks one of the listed strategies per generated value.
+/// All options must yield the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::Union::new(vec![$(::std::boxed::Box::new($strat) as _),+])
+    };
+}
+
+/// `Option<T>` strategies.
+pub mod option {
+    use super::Strategy;
+    use rand::rngs::StdRng;
+
+    /// `None` a quarter of the time, `Some(inner)` otherwise.
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy { inner }
+    }
+
+    /// See [`of`].
+    pub struct OptionStrategy<S> {
+        inner: S,
+    }
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+        fn generate(&self, rng: &mut StdRng) -> Option<S::Value> {
+            if rand::Rng::random_bool(rng, 0.75) {
+                Some(self.inner.generate(rng))
+            } else {
+                None
+            }
+        }
+    }
 }
 
 /// A vector of strategies generates element-wise (one value per entry).

@@ -1,45 +1,57 @@
 //! `direction_report` — recorded performance of direction-optimizing
-//! execution (PR 5).
+//! execution, sequential (PR 5) and block-parallel (PR 8).
 //!
 //! Runs BFS and SSSP through the worklist engine and PageRank through
 //! the asynchronous engine on a fixed-seed RMAT graph relabeled by the
-//! GoGraph order, under four kernel variants:
+//! GoGraph order, under four sequential kernel variants:
 //!
-//! - `pre_pr` — faithful reproductions of the **pre-PR** kernels (the
+//! - `pre_pr` — faithful reproductions of the **pre-PR-5** kernels (the
 //!   monomorphized PR-2 loops: full-sweep async, sort-and-dedup
 //!   worklist), kept here so the engine carries no dead legacy path;
 //! - `pull` — the direction-optimized kernels pinned to
 //!   [`DirectionPolicy::PullOnly`];
 //! - `push` — pinned to `PushOnly` (frontier algorithms only);
-//! - `auto` — the Beamer-style per-round choice.
+//! - `auto` — the Beamer-style per-round choice;
 //!
-//! Every variant must converge to the same final states (bit-identical
-//! here — all three workloads are deterministic under these kernels);
-//! the binary exits non-zero otherwise, so CI gates on correctness
-//! without gating on timing. Usage: `direction_report [OUT.json]`
-//! (default `BENCH_PR5.json`); `GOGRAPH_SCALE=tiny` shrinks the graph.
+//! and the same `pull`/`push`/`auto` variants through the block-parallel
+//! engine at `--threads N` blocks (default 2). The parallel BFS/SSSP
+//! cells are worklist-style warm runs: initial states seeded at the
+//! source, the warm frontier set to the source's out-neighbors, so the
+//! engine traverses outward instead of full-scanning — the workload
+//! where direction choice matters.
+//!
+//! Correctness gates (the binary exits non-zero otherwise):
+//! - every variant of an algorithm lands on the same final states —
+//!   bit-identical for the max-norm algorithms, within the
+//!   racing-accumulate tolerance for parallel PageRank;
+//! - every parallel max-norm cell is re-run at block counts {1, 2, N}
+//!   and must produce **bit-identical** final states across all three —
+//!   the cross-thread determinism pin.
+//!
+//! Usage: `direction_report [OUT.json] [--threads N]` (default
+//! `BENCH_PR8.json`, 2 threads); `GOGRAPH_SCALE=tiny` shrinks the graph.
 
 use gograph_bench::datasets::Scale;
 use gograph_core::GoGraph;
 use gograph_engine::convergence::DeltaAccumulator;
 use gograph_engine::{
-    async_kernel, worklist_kernel, Bfs, DirectionPolicy, GatherContext, IterativeAlgorithm,
-    PageRank, RunConfig, RunStats, Sssp,
+    async_kernel, parallel_kernel, parallel_kernel_warm, worklist_kernel, Bfs, DirectionPolicy,
+    GatherContext, IterativeAlgorithm, PageRank, RunConfig, RunStats, Sssp,
 };
 use gograph_graph::generators::rmat::{rmat, RmatConfig};
 use gograph_graph::generators::with_random_weights;
-use gograph_graph::{CsrGraph, Permutation, VertexId};
+use gograph_graph::{CsrGraph, Frontier, Permutation, VertexId};
 use std::fmt::Write as _;
 use std::time::{Duration, Instant};
 
 /// Wall-clock repetitions per cell, interleaved round-robin; the
 /// minimum is reported (a noisy system phase penalizes all cells
 /// instead of biasing one).
-const REPS: usize = 7;
+const REPS: usize = 5;
 
-/// The pre-PR asynchronous kernel: monomorphized full in-place sweep
+/// The pre-PR-5 asynchronous kernel: monomorphized full in-place sweep
 /// every round, no frontier, no direction choice — exactly the PR-2
-/// hot loop this PR's `pull`/`auto` variants replaced.
+/// hot loop the `pull`/`auto` variants replaced.
 fn pre_pr_async<A: IterativeAlgorithm>(g: &CsrGraph, alg: &A, cfg: &RunConfig) -> RunStats {
     let n = g.num_vertices();
     let ctx = GatherContext::new(g);
@@ -75,7 +87,7 @@ fn pre_pr_async<A: IterativeAlgorithm>(g: &CsrGraph, alg: &A, cfg: &RunConfig) -
     }
 }
 
-/// The pre-PR worklist kernel: active flags, a frontier vector
+/// The pre-PR-5 worklist kernel: active flags, a frontier vector
 /// re-sorted by order position and deduplicated **every round** — the
 /// `O(|F| log |F|)` loop the hybrid-bitmap frontier replaced.
 fn pre_pr_worklist<A: IterativeAlgorithm>(
@@ -147,6 +159,17 @@ fn pre_pr_worklist<A: IterativeAlgorithm>(
 enum Engine {
     Worklist,
     Async,
+    Parallel,
+}
+
+impl Engine {
+    fn name(self) -> &'static str {
+        match self {
+            Engine::Worklist => "worklist",
+            Engine::Async => "async",
+            Engine::Parallel => "parallel",
+        }
+    }
 }
 
 #[derive(Clone, Copy, PartialEq)]
@@ -178,11 +201,32 @@ impl Variant {
 
 struct Cell {
     algorithm: &'static str,
-    engine: &'static str,
+    engine: Engine,
     variant: Variant,
+    threads: usize,
     rounds: usize,
     push_rounds: usize,
     runtime: Duration,
+}
+
+/// Worklist-style seed for the parallel engine: init states plus the
+/// source's out-neighbors as the warm frontier. Seeding the neighbors —
+/// not the source itself — matters: the warm frontier is a set of pull
+/// *targets*, and re-gathering the source alone reproduces its init
+/// value, which would read as instant convergence.
+fn parallel_traversal<A: IterativeAlgorithm>(
+    g: &CsrGraph,
+    alg: &A,
+    order: &Permutation,
+    blocks: usize,
+    cfg: &RunConfig,
+    source: VertexId,
+) -> RunStats {
+    let init: Vec<f64> = (0..g.num_vertices() as u32)
+        .map(|v| alg.init(g, v))
+        .collect();
+    let seed = Frontier::from_members(g.num_vertices(), g.out_neighbors(source).iter().copied());
+    parallel_kernel_warm(g, alg, order, blocks, cfg, init, Some(&seed))
 }
 
 fn run_once(
@@ -192,6 +236,7 @@ fn run_once(
     variant: Variant,
     alg_name: &str,
     source: VertexId,
+    blocks: usize,
 ) -> RunStats {
     let cfg = RunConfig {
         direction: variant.policy(),
@@ -208,18 +253,38 @@ fn run_once(
             pre_pr_worklist(g, &Sssp::new(source), order, &cfg)
         }
         (Engine::Worklist, _, "sssp") => worklist_kernel(g, &Sssp::new(source), order, &cfg),
+        (Engine::Parallel, _, "pagerank") => {
+            parallel_kernel(g, &PageRank::default(), order, blocks, &cfg)
+        }
+        (Engine::Parallel, _, "bfs") => {
+            parallel_traversal(g, &Bfs::new(source), order, blocks, &cfg, source)
+        }
+        (Engine::Parallel, _, "sssp") => {
+            parallel_traversal(g, &Sssp::new(source), order, blocks, &cfg, source)
+        }
         _ => unreachable!("unknown cell"),
     }
 }
 
 fn main() {
-    let out_path = std::env::args()
-        .nth(1)
-        .unwrap_or_else(|| "BENCH_PR5.json".to_string());
+    let mut out_path = "BENCH_PR8.json".to_string();
+    let mut threads = 2usize;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        if arg == "--threads" {
+            threads = args
+                .next()
+                .and_then(|v| v.parse().ok())
+                .expect("--threads needs a positive integer");
+            assert!(threads >= 1, "--threads needs a positive integer");
+        } else {
+            out_path = arg;
+        }
+    }
     let scale = Scale::from_env();
     let (log2_n, edge_factor) = match scale {
         Scale::Tiny => (12, 8),
-        Scale::Standard => (17, 8),
+        Scale::Standard => (18, 8),
     };
     let seed = 42;
     let base = with_random_weights(
@@ -235,37 +300,48 @@ fn main() {
     let id = Permutation::identity(g.num_vertices());
     let source = order.new_id(0);
     eprintln!(
-        "direction_report: rmat scale={log2_n} |V|={} |E|={} (seed {seed}), gograph-relabeled",
+        "direction_report: rmat scale={log2_n} |V|={} |E|={} (seed {seed}), \
+         gograph-relabeled, {threads} threads",
         g.num_vertices(),
         g.num_edges()
     );
 
-    let specs: Vec<(&'static str, &'static str, Engine, Variant)> = vec![
-        ("bfs", "worklist", Engine::Worklist, Variant::PrePr),
-        ("bfs", "worklist", Engine::Worklist, Variant::Pull),
-        ("bfs", "worklist", Engine::Worklist, Variant::Push),
-        ("bfs", "worklist", Engine::Worklist, Variant::Auto),
-        ("sssp", "worklist", Engine::Worklist, Variant::PrePr),
-        ("sssp", "worklist", Engine::Worklist, Variant::Pull),
-        ("sssp", "worklist", Engine::Worklist, Variant::Push),
-        ("sssp", "worklist", Engine::Worklist, Variant::Auto),
-        ("pagerank", "async", Engine::Async, Variant::PrePr),
-        ("pagerank", "async", Engine::Async, Variant::Pull),
-        ("pagerank", "async", Engine::Async, Variant::Auto),
+    let seq = 0usize; // sequential cells carry threads = 0 in the table
+    let specs: Vec<(&'static str, Engine, Variant, usize)> = vec![
+        ("bfs", Engine::Worklist, Variant::PrePr, seq),
+        ("bfs", Engine::Worklist, Variant::Pull, seq),
+        ("bfs", Engine::Worklist, Variant::Push, seq),
+        ("bfs", Engine::Worklist, Variant::Auto, seq),
+        ("bfs", Engine::Parallel, Variant::Pull, threads),
+        ("bfs", Engine::Parallel, Variant::Push, threads),
+        ("bfs", Engine::Parallel, Variant::Auto, threads),
+        ("sssp", Engine::Worklist, Variant::PrePr, seq),
+        ("sssp", Engine::Worklist, Variant::Pull, seq),
+        ("sssp", Engine::Worklist, Variant::Push, seq),
+        ("sssp", Engine::Worklist, Variant::Auto, seq),
+        ("sssp", Engine::Parallel, Variant::Pull, threads),
+        ("sssp", Engine::Parallel, Variant::Push, threads),
+        ("sssp", Engine::Parallel, Variant::Auto, threads),
+        ("pagerank", Engine::Async, Variant::PrePr, seq),
+        ("pagerank", Engine::Async, Variant::Pull, seq),
+        ("pagerank", Engine::Async, Variant::Auto, seq),
+        ("pagerank", Engine::Parallel, Variant::Pull, threads),
+        ("pagerank", Engine::Parallel, Variant::Auto, threads),
     ];
 
-    // Interleaved repetitions; rep 0 is warmup and also the state
-    // cross-check: every variant of an algorithm must land on exactly
-    // the same final states (all three workloads are deterministic
-    // min/max selections or round-reproducible sweeps).
+    // Interleaved repetitions; rep 0 is warmup plus the correctness
+    // gates: state agreement across variants against the per-algorithm
+    // anchor cell, and for every parallel max-norm cell the bit-identity
+    // of final states across block counts {1, 2, threads}.
     let mut samples: Vec<Vec<RunStats>> = (0..specs.len()).map(|_| Vec::new()).collect();
     let mut reference: Vec<Option<Vec<f64>>> = vec![None; specs.len()];
     for rep in 0..REPS + 1 {
-        for (i, &(alg_name, _, engine, variant)) in specs.iter().enumerate() {
-            let stats = run_once(&g, &id, engine, variant, alg_name, source);
+        for (i, &(alg_name, engine, variant, blocks)) in specs.iter().enumerate() {
+            let stats = run_once(&g, &id, engine, variant, alg_name, source, blocks.max(1));
             assert!(
                 stats.converged,
-                "direction_report: {alg_name}/{} did not converge",
+                "direction_report: {alg_name}/{}/{} did not converge",
+                engine.name(),
                 variant.name()
             );
             if rep == 0 {
@@ -273,32 +349,67 @@ fn main() {
                     .iter()
                     .position(|&(a, _, _, _)| a == alg_name)
                     .expect("anchor cell");
+                let exact = alg_name != "pagerank" || engine != Engine::Parallel;
                 match &reference[anchor] {
                     None => reference[anchor] = Some(stats.final_states.clone()),
-                    Some(r) => assert_eq!(
+                    Some(r) if exact => assert_eq!(
                         r,
                         &stats.final_states,
-                        "direction_report: {alg_name}/{} diverged from {}",
-                        variant.name(),
-                        specs[anchor].3.name()
+                        "direction_report: {alg_name}/{}/{} diverged from the anchor",
+                        engine.name(),
+                        variant.name()
                     ),
+                    Some(r) => {
+                        // Parallel PageRank races its accumulations by
+                        // design; it must stay within tolerance of the
+                        // sequential fixpoint.
+                        for (v, (a, b)) in r.iter().zip(&stats.final_states).enumerate() {
+                            assert!(
+                                (a - b).abs() < 1e-3,
+                                "direction_report: pagerank/parallel/{} vertex {v} \
+                                 diverged ({a} vs {b})",
+                                variant.name()
+                            );
+                        }
+                    }
+                }
+                if engine == Engine::Parallel && alg_name != "pagerank" {
+                    // Cross-thread determinism pin: the max-norm
+                    // fixpoint is unique in floating point, so every
+                    // block count must land on bit-identical states.
+                    for other_blocks in [1usize, 2, threads] {
+                        let again =
+                            run_once(&g, &id, engine, variant, alg_name, source, other_blocks);
+                        assert_eq!(
+                            stats.final_states,
+                            again.final_states,
+                            "direction_report: {alg_name}/parallel/{} states drifted \
+                             between {} and {other_blocks} blocks",
+                            variant.name(),
+                            blocks.max(1)
+                        );
+                    }
                 }
             } else {
                 samples[i].push(stats);
             }
         }
     }
+    eprintln!(
+        "direction_report: cross-thread determinism pin held (blocks 1/2/{threads} bit-identical)"
+    );
 
     let cells: Vec<Cell> = specs
         .iter()
         .zip(samples)
-        .map(|(&(algorithm, engine, _, variant), mut runs)| {
+        .map(|(&(algorithm, engine, variant, threads), mut runs)| {
             runs.sort_by_key(|s| s.runtime);
             let best = &runs[0];
             Cell {
                 algorithm,
                 engine,
                 variant,
+                threads,
                 rounds: best.rounds,
                 push_rounds: best.push_rounds,
                 runtime: best.runtime,
@@ -307,45 +418,72 @@ fn main() {
         .collect();
     for c in &cells {
         eprintln!(
-            "  {:<9} {:<9} {:<7} rounds={:<4} push_rounds={:<4} runtime={:?}",
+            "  {:<9} {:<9} {:<7} threads={:<2} rounds={:<4} push_rounds={:<4} runtime={:?}",
             c.algorithm,
-            c.engine,
+            c.engine.name(),
             c.variant.name(),
+            c.threads,
             c.rounds,
             c.push_rounds,
             c.runtime
         );
     }
 
-    let runtime_of = |alg: &str, variant: Variant| {
+    let runtime_of = |alg: &str, engine: Engine, variant: Variant| {
         cells
             .iter()
-            .find(|c| c.algorithm == alg && c.variant == variant)
+            .find(|c| c.algorithm == alg && c.engine == engine && c.variant == variant)
             .expect("cell exists")
             .runtime
             .as_secs_f64()
             .max(1e-12)
     };
-    let speedup =
-        |alg: &str, baseline: Variant| runtime_of(alg, baseline) / runtime_of(alg, Variant::Auto);
-    let bfs_vs_pre = speedup("bfs", Variant::PrePr);
-    let sssp_vs_pre = speedup("sssp", Variant::PrePr);
-    let pr_vs_pre = speedup("pagerank", Variant::PrePr);
-    let bfs_vs_pull = speedup("bfs", Variant::Pull);
-    let sssp_vs_pull = speedup("sssp", Variant::Pull);
-    let pr_vs_pull = speedup("pagerank", Variant::Pull);
+    let seq_engine = |alg: &str| {
+        if alg == "pagerank" {
+            Engine::Async
+        } else {
+            Engine::Worklist
+        }
+    };
+    // Sequential speedups (the PR-5 ledger, still tracked).
+    let seq_speedup = |alg: &str, baseline: Variant| {
+        runtime_of(alg, seq_engine(alg), baseline) / runtime_of(alg, seq_engine(alg), Variant::Auto)
+    };
+    // Parallel speedups (the PR-8 ledger): auto over parallel pull-only,
+    // and parallel auto over the sequential auto baseline.
+    let par_vs_pull = |alg: &str| {
+        runtime_of(alg, Engine::Parallel, Variant::Pull)
+            / runtime_of(alg, Engine::Parallel, Variant::Auto)
+    };
+    let par_vs_seq = |alg: &str| {
+        runtime_of(alg, seq_engine(alg), Variant::Auto)
+            / runtime_of(alg, Engine::Parallel, Variant::Auto)
+    };
+    let bfs_vs_pre = seq_speedup("bfs", Variant::PrePr);
+    let sssp_vs_pre = seq_speedup("sssp", Variant::PrePr);
+    let pr_vs_pre = seq_speedup("pagerank", Variant::PrePr);
     eprintln!(
-        "  speedup auto/pre-PR: bfs {bfs_vs_pre:.2}x, sssp {sssp_vs_pre:.2}x, pagerank {pr_vs_pre:.2}x"
+        "  sequential auto/pre-PR: bfs {bfs_vs_pre:.2}x, sssp {sssp_vs_pre:.2}x, \
+         pagerank {pr_vs_pre:.2}x"
     );
     eprintln!(
-        "  speedup auto/pull-only: bfs {bfs_vs_pull:.2}x, sssp {sssp_vs_pull:.2}x, pagerank {pr_vs_pull:.2}x"
+        "  parallel auto/parallel pull-only: bfs {:.2}x, sssp {:.2}x, pagerank {:.2}x",
+        par_vs_pull("bfs"),
+        par_vs_pull("sssp"),
+        par_vs_pull("pagerank")
+    );
+    eprintln!(
+        "  parallel auto/sequential auto: bfs {:.2}x, sssp {:.2}x, pagerank {:.2}x",
+        par_vs_seq("bfs"),
+        par_vs_seq("sssp"),
+        par_vs_seq("pagerank")
     );
 
     // Hand-rolled JSON (no serde in the offline workspace).
     let mut json = String::new();
     json.push_str("{\n");
     let _ = writeln!(json, "  \"report\": \"direction_report\",");
-    let _ = writeln!(json, "  \"pr\": 5,");
+    let _ = writeln!(json, "  \"pr\": 8,");
     let _ = writeln!(
         json,
         "  \"graph\": {{\"generator\": \"rmat-graph500\", \"scale\": {log2_n}, \
@@ -356,18 +494,20 @@ fn main() {
     let _ = writeln!(
         json,
         "  \"configuration\": {{\"order\": \"gograph-relabeled\", \"reps\": {REPS}, \
-         \"statistic\": \"min-of-interleaved-reps\", \
-         \"equality\": \"final states bit-identical across variants (asserted)\"}},"
+         \"threads\": {threads}, \"statistic\": \"min-of-interleaved-reps\", \
+         \"equality\": \"final states agree across variants; parallel max-norm cells \
+         bit-identical across block counts 1/2/{threads} (asserted)\"}},"
     );
     json.push_str("  \"results\": [\n");
     for (i, c) in cells.iter().enumerate() {
         let _ = writeln!(
             json,
             "    {{\"algorithm\": \"{}\", \"engine\": \"{}\", \"variant\": \"{}\", \
-             \"rounds\": {}, \"push_rounds\": {}, \"runtime_seconds\": {:.6}}}{}",
+             \"threads\": {}, \"rounds\": {}, \"push_rounds\": {}, \"runtime_seconds\": {:.6}}}{}",
             c.algorithm,
-            c.engine,
+            c.engine.name(),
             c.variant.name(),
+            c.threads,
             c.rounds,
             c.push_rounds,
             c.runtime.as_secs_f64(),
@@ -377,13 +517,24 @@ fn main() {
     json.push_str("  ],\n");
     let _ = writeln!(
         json,
-        "  \"speedup_auto_over_pre_pr\": {{\"bfs\": {bfs_vs_pre:.3}, \"sssp\": {sssp_vs_pre:.3}, \
-         \"pagerank\": {pr_vs_pre:.3}}},"
+        "  \"speedup_sequential_auto_over_pre_pr\": {{\"bfs\": {bfs_vs_pre:.3}, \
+         \"sssp\": {sssp_vs_pre:.3}, \"pagerank\": {pr_vs_pre:.3}}},"
     );
     let _ = writeln!(
         json,
-        "  \"speedup_auto_over_pull_only\": {{\"bfs\": {bfs_vs_pull:.3}, \"sssp\": {sssp_vs_pull:.3}, \
-         \"pagerank\": {pr_vs_pull:.3}}}"
+        "  \"speedup_parallel_auto_over_parallel_pull\": {{\"bfs\": {:.3}, \"sssp\": {:.3}, \
+         \"pagerank\": {:.3}}},",
+        par_vs_pull("bfs"),
+        par_vs_pull("sssp"),
+        par_vs_pull("pagerank")
+    );
+    let _ = writeln!(
+        json,
+        "  \"speedup_parallel_auto_over_sequential_auto\": {{\"bfs\": {:.3}, \"sssp\": {:.3}, \
+         \"pagerank\": {:.3}}}",
+        par_vs_seq("bfs"),
+        par_vs_seq("sssp"),
+        par_vs_seq("pagerank")
     );
     json.push_str("}\n");
     std::fs::write(&out_path, json).expect("direction_report: failed to write output");

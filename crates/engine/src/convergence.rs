@@ -41,11 +41,10 @@ pub struct RunStats {
     /// (`Some` for the worklist engine; full-scan engines report `None`
     /// — their count is always `rounds * n`).
     pub evaluations: Option<usize>,
-    /// Rounds executed in the push (scatter) direction by a
-    /// direction-optimizing engine; 0 for pull-only runs and for the
-    /// delta engines. The block-parallel engine reports 0 except in its
-    /// single-block degenerate case, which delegates to the
-    /// (direction-optimizing) async kernel.
+    /// Rounds executed in the push (scatter) direction: scatter rounds
+    /// for the direction-optimizing gather engines (sequential and
+    /// block-parallel alike), sparse-sweep/batch rounds that actually
+    /// consumed a delta for the delta engines. 0 for pull-only runs.
     pub push_rounds: usize,
 }
 

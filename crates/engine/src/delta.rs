@@ -14,8 +14,11 @@
 //!   (PrIter), trading scheduling overhead for fewer updates.
 
 use crate::convergence::{trace_point, RunStats};
+use crate::direction::{
+    choose_push, push_mass, DirectionPolicy, PositionScan, DENSE_EVAL_DENOMINATOR,
+};
 use crate::runner::RunConfig;
-use gograph_graph::{CsrGraph, Permutation, VertexId, Weight};
+use gograph_graph::{CsrGraph, Frontier, Permutation, VertexId, Weight};
 use std::time::Instant;
 
 /// Scheduling discipline of the delta-accumulative engine family,
@@ -260,6 +263,18 @@ pub fn delta_round_robin_kernel<D: DeltaAlgorithm + ?Sized>(
 /// only the deltas seeded at the update frontier are still pending, so
 /// convergence is reached in as many rounds as the changes propagate.
 ///
+/// The round loop is direction-optimized with the gather engines'
+/// shared [`choose_push`] heuristic: while the pending-significance set
+/// is dense the round is the historical full order scan; once it turns
+/// narrow, a [`PositionScan`] sparse sweep visits only pending
+/// positions (with the same in-round consumption of forward
+/// contributions). The two shapes are **trajectory-identical** — the
+/// sparse sweep visits a superset of the significant positions in the
+/// same ascending order, and an insignificant visit is a no-op in both
+/// — so states, rounds, and convergence never depend on which shape
+/// ran. `RunStats::push_rounds` counts the rounds that actually
+/// scattered (consumed at least one significant delta).
+///
 /// # Panics
 /// Panics if `state.len()` or `delta.len()` differ from
 /// `g.num_vertices()` — callers go through
@@ -277,28 +292,103 @@ pub fn delta_round_robin_kernel_warm<D: DeltaAlgorithm + ?Sized>(
     assert_eq!(state.len(), n, "state length must match vertex count");
     assert_eq!(delta.len(), n, "delta length must match vertex count");
     let start = Instant::now();
+    let out_degrees = g.out_degrees();
+    let num_edges = g.num_edges();
+    let force_push = cfg.direction == DirectionPolicy::PushOnly;
     let mut trace = Vec::new();
     if cfg.record_trace {
         trace.push(trace_point(0, start.elapsed(), f64::INFINITY, &state));
     }
 
+    // Pending-significance set over order positions, exact at round
+    // boundaries: rebuilt by an O(n) scan after each full-scan round
+    // (cheap next to the O(n + m) scan itself), maintained incrementally
+    // through sparse rounds. Significance is monotone in the delta (a
+    // combine can only keep or gain it), so insert-on-contribution never
+    // misses a member.
+    let mut pending = Frontier::new(n);
+    let mut next_pending = Frontier::new(n);
+    let mut scan = PositionScan::new(n);
+    let rebuild = |state: &[f64], delta: &[f64], pending: &mut Frontier| {
+        pending.clear();
+        for pos in 0..n {
+            let vi = order.vertex_at(pos) as usize;
+            if alg.significant(state[vi], delta[vi]) {
+                pending.insert(pos as u32);
+            }
+        }
+    };
+    rebuild(&state, &delta, &mut pending);
+
     let mut rounds = 0usize;
+    let mut push_rounds = 0usize;
     let mut converged = false;
     while rounds < cfg.max_rounds {
         rounds += 1;
         let mut activity = 0usize;
-        for &v in order.order() {
-            let m = delta[v as usize];
-            if !alg.significant(state[v as usize], m) {
-                continue;
+        // The shared per-round direction choice: `sparse` plays the role
+        // of push (scatter only the pending set), the full scan is the
+        // delta family's dense-gather fallback. PullOnly pins the full
+        // scan, PushOnly the sparse sweep.
+        let sparse = force_push
+            || (pending.len() * DENSE_EVAL_DENOMINATOR <= n
+                && choose_push(
+                    cfg.direction,
+                    true,
+                    push_mass(&pending, order, out_degrees),
+                    num_edges,
+                ));
+        if sparse {
+            scan.load(&pending);
+            next_pending.clear();
+            let mut wi = 0usize;
+            while wi < scan.num_words() {
+                let Some(pos) = scan.take_lowest(wi) else {
+                    wi += 1;
+                    continue;
+                };
+                let v = order.vertex_at(pos as usize);
+                let m = delta[v as usize];
+                if !alg.significant(state[v as usize], m) {
+                    continue;
+                }
+                activity += 1;
+                delta[v as usize] = alg.identity();
+                state[v as usize] = alg.combine(state[v as usize], m);
+                for (w, weight) in g.out_edges(v) {
+                    let contrib = alg.propagate(g, v, w, weight, m);
+                    delta[w as usize] = alg.combine(delta[w as usize], contrib);
+                    if alg.significant(state[w as usize], delta[w as usize]) {
+                        let pw = order.position(w);
+                        if pw > pos {
+                            // Ahead of the cursor: consumed this round,
+                            // exactly as the full scan would.
+                            scan.set(pw);
+                        } else {
+                            next_pending.insert(pw);
+                        }
+                    }
+                }
             }
-            activity += 1;
-            delta[v as usize] = alg.identity();
-            state[v as usize] = alg.combine(state[v as usize], m);
-            for (w, weight) in g.out_edges(v) {
-                let contrib = alg.propagate(g, v, w, weight, m);
-                delta[w as usize] = alg.combine(delta[w as usize], contrib);
+            std::mem::swap(&mut pending, &mut next_pending);
+        } else {
+            for &v in order.order() {
+                let m = delta[v as usize];
+                if !alg.significant(state[v as usize], m) {
+                    continue;
+                }
+                activity += 1;
+                delta[v as usize] = alg.identity();
+                state[v as usize] = alg.combine(state[v as usize], m);
+                for (w, weight) in g.out_edges(v) {
+                    let contrib = alg.propagate(g, v, w, weight, m);
+                    delta[w as usize] = alg.combine(delta[w as usize], contrib);
+                }
             }
+            rebuild(&state, &delta, &mut pending);
+        }
+        if activity > 0 {
+            push_rounds += 1;
         }
         if cfg.record_trace {
             trace.push(trace_point(
@@ -320,10 +410,13 @@ pub fn delta_round_robin_kernel_warm<D: DeltaAlgorithm + ?Sized>(
         converged,
         final_states: state,
         trace,
-        // state + delta arrays
-        state_memory_bytes: 2 * n * std::mem::size_of::<f64>(),
+        // state + delta arrays, plus the pending-set machinery.
+        state_memory_bytes: 2 * n * std::mem::size_of::<f64>()
+            + pending.memory_bytes()
+            + next_pending.memory_bytes()
+            + scan.memory_bytes(),
         evaluations: None,
-        push_rounds: 0,
+        push_rounds,
     }
 }
 
@@ -394,6 +487,15 @@ pub fn delta_priority_kernel<D: DeltaAlgorithm + ?Sized>(
 /// pending deltas — the prioritized counterpart of
 /// [`delta_round_robin_kernel_warm`].
 ///
+/// The sort-and-truncate batch selection only pays while the active set
+/// is narrow; on dense rounds (pending out-degree mass at or above the
+/// edge total under the shared [`choose_push`] heuristic) the whole
+/// active set processes in vertex order instead — a gather-style dense
+/// fallback that cuts the priority-queue pressure of sorting nearly
+/// every vertex just to drop most of them. `DirectionPolicy::PushOnly`
+/// pins the historical always-prioritize behaviour; `PullOnly` never
+/// sorts. `RunStats::push_rounds` counts rounds that processed a batch.
+///
 /// # Panics
 /// Panics if `state.len()` or `delta.len()` differ from
 /// `g.num_vertices()` — callers go through
@@ -410,6 +512,8 @@ pub fn delta_priority_kernel_warm<D: DeltaAlgorithm + ?Sized>(
     assert_eq!(state.len(), n, "state length must match vertex count");
     assert_eq!(delta.len(), n, "delta length must match vertex count");
     let start = Instant::now();
+    let out_degrees = g.out_degrees();
+    let num_edges = g.num_edges();
     let batch = ((n as f64 * batch_fraction).ceil() as usize).clamp(1, n.max(1));
     let mut trace = Vec::new();
     if cfg.record_trace {
@@ -417,6 +521,7 @@ pub fn delta_priority_kernel_warm<D: DeltaAlgorithm + ?Sized>(
     }
 
     let mut rounds = 0usize;
+    let mut push_rounds = 0usize;
     let mut converged = false;
     let mut active: Vec<VertexId> = Vec::with_capacity(batch);
     while rounds < cfg.max_rounds {
@@ -434,13 +539,23 @@ pub fn delta_priority_kernel_warm<D: DeltaAlgorithm + ?Sized>(
             converged = true;
             break;
         }
+        push_rounds += 1;
         if active.len() > batch {
-            active.sort_by(|&a, &b| {
-                priority_key(alg, state[b as usize], delta[b as usize])
-                    .partial_cmp(&priority_key(alg, state[a as usize], delta[a as usize]))
-                    .unwrap()
-            });
-            active.truncate(batch);
+            let mass: usize = active
+                .iter()
+                .map(|&v| out_degrees[v as usize] as usize)
+                .sum();
+            // Dense fallback: once the batch would drop only a minority
+            // of the pending mass, sorting costs more than the work it
+            // defers — process the whole active set in vertex order.
+            if choose_push(cfg.direction, true, mass, num_edges) {
+                active.sort_by(|&a, &b| {
+                    priority_key(alg, state[b as usize], delta[b as usize])
+                        .partial_cmp(&priority_key(alg, state[a as usize], delta[a as usize]))
+                        .unwrap()
+                });
+                active.truncate(batch);
+            }
         }
         for &v in &active {
             let m = delta[v as usize];
@@ -467,9 +582,10 @@ pub fn delta_priority_kernel_warm<D: DeltaAlgorithm + ?Sized>(
         converged,
         final_states: state,
         trace,
-        state_memory_bytes: 2 * n * std::mem::size_of::<f64>(),
+        state_memory_bytes: 2 * n * std::mem::size_of::<f64>()
+            + active.capacity() * std::mem::size_of::<VertexId>(),
         evaluations: None,
-        push_rounds: 0,
+        push_rounds,
     }
 }
 

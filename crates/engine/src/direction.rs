@@ -162,7 +162,10 @@ impl PositionScan {
         }
         let b = w.trailing_zeros();
         self.words[wi] &= !(1u64 << b);
-        Some((wi * 64) as u32 + b)
+        // Compute in usize: `(wi * 64) as u32 + b` would silently wrap
+        // for word indices past 2^26 — fail loudly instead.
+        let pos = wi * 64 + b as usize;
+        Some(u32::try_from(pos).expect("PositionScan position exceeds u32"))
     }
 }
 

@@ -319,7 +319,10 @@ impl<'g> GatherContext<'g> {
 /// [`GatherContext`]: the flat out-adjacency streams plus the cached
 /// out-degree array, so a push round walks an active vertex's out-edges
 /// as one contiguous stream. Construction is `O(1)` (borrows the
-/// graph's arrays).
+/// graph's arrays). Holds only shared borrows, so the block-parallel
+/// engine scatters through one context from many workers concurrently
+/// (target-cell races are resolved by its CAS relaxation loop, not
+/// here).
 pub struct ScatterContext<'g> {
     pub(crate) out_offsets: &'g [usize],
     pub(crate) out_targets: &'g [VertexId],

@@ -299,6 +299,15 @@ impl<'a> Pipeline<'a> {
         self
     }
 
+    /// Traversal-direction policy (default
+    /// [`crate::DirectionPolicy::Auto`]). Composes with every mode —
+    /// including [`Mode::Parallel`], whose block-parallel engine runs
+    /// direction-optimized rounds at every block count.
+    pub fn direction(mut self, policy: crate::DirectionPolicy) -> Self {
+        self.cfg.direction = policy;
+        self
+    }
+
     /// Replaces the whole run configuration.
     pub fn config(mut self, cfg: RunConfig) -> Self {
         self.cfg = cfg;
@@ -507,6 +516,26 @@ mod tests {
             in_place.stats.final_states,
             relabeled.states_in_original_ids()
         );
+    }
+
+    #[test]
+    fn direction_builder_composes_with_parallel_mode() {
+        let g = chain(60);
+        let run = |policy: crate::DirectionPolicy| {
+            Pipeline::on(&g)
+                .mode(Mode::Parallel(3))
+                .direction(policy)
+                .algorithm(Sssp::new(0))
+                .execute()
+                .unwrap()
+        };
+        let auto = run(crate::DirectionPolicy::Auto);
+        let pull = run(crate::DirectionPolicy::PullOnly);
+        let push = run(crate::DirectionPolicy::PushOnly);
+        assert_eq!(auto.stats.final_states, pull.stats.final_states);
+        assert_eq!(auto.stats.final_states, push.stats.final_states);
+        assert_eq!(pull.stats.push_rounds, 0, "PullOnly never scatters");
+        assert!(push.stats.push_rounds > 0, "PushOnly must scatter");
     }
 
     #[test]

@@ -49,11 +49,12 @@ pub struct RunConfig {
     pub max_rounds: usize,
     /// Record a per-round [`crate::convergence::TracePoint`].
     pub record_trace: bool,
-    /// Traversal-direction policy for the sync/async/worklist engines
-    /// (default [`DirectionPolicy::Auto`]: Beamer-style per-round
-    /// choice). The delta engines ignore it; the block-parallel engine
-    /// ignores it except in its single-block degenerate case, which
-    /// delegates to the (direction-optimizing) async kernel.
+    /// Traversal-direction policy (default [`DirectionPolicy::Auto`]:
+    /// Beamer-style per-round choice). Honoured by every engine: the
+    /// sequential sync/async/worklist kernels, the block-parallel engine
+    /// at every block count, and the delta engines (where push = the
+    /// sparse pending sweep or prioritized batch, pull = the dense
+    /// full-scan fallback).
     pub direction: DirectionPolicy,
     /// Last-level-cache budget the synchronous engine's blocked dense
     /// pull sweep sizes its order-position blocks to (default

@@ -69,9 +69,11 @@ pub struct WarmStart {
     pub states: Vec<f64>,
     /// Vertices whose inputs changed and that must be re-evaluated
     /// first, as a hybrid [`Frontier`] set. Consumed by the worklist
-    /// engine (activation spreads from here) and by the delta engines
-    /// (pending deltas are seeded here); the full-scan engines
-    /// re-evaluate everything regardless. `None` means every vertex.
+    /// engine (activation spreads from here), the block-parallel engine
+    /// (first round pulls exactly this set, then activation spreads),
+    /// and the delta engines (pending deltas are seeded here); the
+    /// remaining full-scan engines re-evaluate everything regardless.
+    /// `None` means every vertex.
     pub frontier: Option<Frontier>,
     /// Pending per-vertex deltas for the delta-family engines (length =
     /// vertex count). `None` derives frontier deltas by gathering each
@@ -330,7 +332,11 @@ impl ExecutionStrategy for AsyncStrategy {
 }
 
 /// Block-parallel asynchronous execution —
-/// [`crate::parallel::run_parallel`].
+/// [`crate::parallel::run_parallel`]. Direction-optimized like the
+/// sequential engines (`parallelism(n)` × [`DirectionPolicy`] compose),
+/// so `PushOnly` validation matches the async strategy at every block
+/// count, and a [`WarmStart::with_frontier`] seed flows into the kernel
+/// as the first round's exact pull set.
 #[derive(Debug, Clone, Copy)]
 pub struct ParallelStrategy {
     /// Number of order blocks executed concurrently per round. Clamped
@@ -353,11 +359,7 @@ impl ExecutionStrategy for ParallelStrategy {
     ) -> Result<RunStats, EngineError> {
         check_order(g, order)?;
         let alg = require_gather(self, alg)?;
-        // One block delegates to the direction-optimizing async kernel,
-        // so the single-block case validates like the async strategy.
-        if self.blocks.clamp(1, g.num_vertices().max(1)) == 1 {
-            check_push_only(cfg, alg)?;
-        }
+        check_push_only(cfg, alg)?;
         Ok(run_parallel(g, alg, order, self.blocks, cfg))
     }
 
@@ -373,13 +375,14 @@ impl ExecutionStrategy for ParallelStrategy {
         check_warm(g, &warm)?;
         reject_deltas(self, &warm)?;
         let alg = require_gather(self, alg)?;
-        if self.blocks.clamp(1, g.num_vertices().max(1)) == 1 {
-            check_push_only(cfg, alg)?;
-        }
+        check_push_only(cfg, alg)?;
         let blocks = self.blocks;
+        let WarmStart {
+            states, frontier, ..
+        } = warm;
         Ok(dispatch_gather!(
             alg,
-            a => parallel_kernel_warm(g, a, order, blocks, cfg, warm.states)
+            a => parallel_kernel_warm(g, a, order, blocks, cfg, states, frontier.as_ref())
         ))
     }
 }

@@ -609,7 +609,10 @@ impl StreamingPipeline {
 
         // Warm-start preparation: extend state over new vertices, then
         // either carry the converged states (max-norm / min-style) with
-        // the affected frontier reset, or restart (sum-norm).
+        // the affected frontier reset, or restart (sum-norm). The
+        // frontier reaches every frontier-consuming engine — worklist,
+        // block-parallel (its first round pulls exactly this set), and
+        // the delta family.
         let n = self.graph.num_vertices();
         for v in self.states.len() as VertexId..n as VertexId {
             self.states.push(self.init_state_of(v));

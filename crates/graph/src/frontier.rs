@@ -209,6 +209,41 @@ impl Frontier {
         out
     }
 
+    /// Merges every member of `other` into `self` (set union) — the
+    /// round barrier of the block-parallel engine, where per-worker
+    /// output buffers collapse into one frontier.
+    ///
+    /// A sparse `other` merges member-by-member (`O(|other|)`); a dense
+    /// one merges by word-level OR (`O(universe / 64)`), after which
+    /// `self` is dense too (a dense operand alone exceeds the density
+    /// threshold).
+    ///
+    /// # Panics
+    /// Panics if the universes differ.
+    pub fn union_with(&mut self, other: &Frontier) {
+        assert_eq!(
+            self.universe, other.universe,
+            "frontier union requires matching universes"
+        );
+        if !other.dense {
+            for &v in &other.sparse {
+                self.insert(v);
+            }
+            return;
+        }
+        let mut len = 0usize;
+        for (w, (dst, &src)) in self.bits.iter_mut().zip(&other.bits).enumerate() {
+            *dst |= src;
+            if *dst != 0 {
+                self.summary[w / 64] |= 1 << (w % 64);
+                len += dst.count_ones() as usize;
+            }
+        }
+        self.len = len;
+        self.dense = true;
+        self.sparse.clear();
+    }
+
     /// Grows the universe to `new_universe` (members are preserved).
     /// Shrinking is not supported; smaller values are ignored.
     pub fn grow(&mut self, new_universe: usize) {
@@ -336,6 +371,46 @@ mod tests {
     #[should_panic(expected = "out of range")]
     fn out_of_range_insert_panics() {
         Frontier::new(4).insert(4);
+    }
+
+    #[test]
+    fn union_merges_across_representations() {
+        let n = 200;
+        // sparse ∪ sparse
+        let mut a = Frontier::from_members(n, [1u32, 5, 9]);
+        let b = Frontier::from_members(n, [5u32, 6, 199]);
+        a.union_with(&b);
+        assert_eq!(a.to_sorted_vec(), vec![1, 5, 6, 9, 199]);
+        assert!(!a.is_dense());
+        // sparse ∪ dense: word OR, result dense, count exact.
+        let dense = Frontier::from_members(n, (0..40u32).map(|v| 2 * v));
+        assert!(dense.is_dense());
+        a.union_with(&dense);
+        assert!(a.is_dense());
+        let mut expect: Vec<u32> = (0..40u32).map(|v| 2 * v).collect();
+        for v in [1u32, 5, 9, 199] {
+            if !expect.contains(&v) {
+                expect.push(v);
+            }
+        }
+        expect.sort_unstable();
+        assert_eq!(a.len(), expect.len());
+        assert_eq!(a.to_sorted_vec(), expect);
+        // dense ∪ sparse: inserts through the bitmap.
+        let c = Frontier::from_members(n, [3u32, 4]);
+        a.union_with(&c);
+        assert!(a.contains(3) && a.contains(4));
+        // Union with an empty set is a no-op.
+        let before = a.to_sorted_vec();
+        a.union_with(&Frontier::new(n));
+        assert_eq!(a.to_sorted_vec(), before);
+    }
+
+    #[test]
+    #[should_panic(expected = "matching universes")]
+    fn union_rejects_universe_mismatch() {
+        let mut a = Frontier::new(10);
+        a.union_with(&Frontier::new(11));
     }
 
     #[test]

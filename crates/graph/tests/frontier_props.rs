@@ -55,6 +55,44 @@ proptest! {
     }
 
     #[test]
+    fn union_of_worker_partitions_equals_sequential_build(
+        (n, members) in arb_inserts(),
+        workers in 1usize..6,
+        assignment_seed in any::<u64>(),
+    ) {
+        // The parallel engine's barrier merge: members land in per-worker
+        // scratch frontiers by an arbitrary assignment, then union into
+        // one. Whatever the partition and whichever representations the
+        // scratch sets happen to be in, the union must equal the frontier
+        // built by inserting every member sequentially.
+        let mut scratch: Vec<Frontier> = (0..workers).map(|_| Frontier::new(n)).collect();
+        let mut seq = Frontier::new(n);
+        let mut rng = assignment_seed;
+        for &v in &members {
+            // Cheap xorshift so the partition varies independently of the
+            // member sequence.
+            rng ^= rng << 13;
+            rng ^= rng >> 7;
+            rng ^= rng << 17;
+            scratch[(rng % workers as u64) as usize].insert(v);
+            seq.insert(v);
+        }
+        let mut merged = Frontier::new(n);
+        for s in &scratch {
+            merged.union_with(s);
+        }
+        prop_assert_eq!(merged.len(), seq.len());
+        prop_assert_eq!(merged.to_sorted_vec(), seq.to_sorted_vec());
+        // Merging into a non-empty accumulator is a true union, not an
+        // overwrite.
+        let mut again = scratch.swap_remove(0);
+        for s in &scratch {
+            again.union_with(s);
+        }
+        prop_assert_eq!(again.to_sorted_vec(), seq.to_sorted_vec());
+    }
+
+    #[test]
     fn growth_preserves_member_set((n, members) in arb_inserts(), extra in 1usize..1000) {
         let mut f = Frontier::from_members(n, members.iter().copied());
         let before = f.to_sorted_vec();

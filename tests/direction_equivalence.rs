@@ -233,6 +233,137 @@ fn warm_push_pull_and_legacy_kernels_agree() {
 }
 
 #[test]
+fn parallel_engine_joins_the_direction_matrix_cold() {
+    // The block-parallel engine composes with every direction policy:
+    // its fixpoints must match the async reference (bit-for-bit for the
+    // max-norm algorithms, within the racing-accumulate tolerance for
+    // sum-norm PageRank), one block must delegate to the async engine
+    // bit-identically, and max-norm runs must be deterministic across
+    // repeats at a fixed block count.
+    let (g, order) = workload();
+    for (name, alg, exact) in algorithms() {
+        let alg = alg.as_ref();
+        let reference = run_with(&g, &order, Mode::Async, alg, DirectionPolicy::Auto);
+        assert!(reference.converged);
+        let mut policies = vec![DirectionPolicy::Auto, DirectionPolicy::PullOnly];
+        if alg.supports_push() {
+            policies.push(DirectionPolicy::PushOnly);
+        }
+        for policy in policies {
+            for blocks in [1usize, 2, 4] {
+                let label = format!("{name}/parallel({blocks})/{policy:?} cold");
+                let got = run_with(&g, &order, Mode::Parallel(blocks), alg, policy);
+                assert!(got.converged, "{label}");
+                if exact {
+                    assert_eq!(
+                        reference.final_states, got.final_states,
+                        "{label}: max-norm states must be exact"
+                    );
+                    let again = run_with(&g, &order, Mode::Parallel(blocks), alg, policy);
+                    assert_eq!(
+                        got.final_states, again.final_states,
+                        "{label}: repeat runs must be bit-identical"
+                    );
+                } else {
+                    for (i, (a, b)) in reference
+                        .final_states
+                        .iter()
+                        .zip(&got.final_states)
+                        .enumerate()
+                    {
+                        assert!(
+                            (a - b).abs() < 1e-3,
+                            "{label}: vertex {i} diverged ({a} vs {b})"
+                        );
+                    }
+                }
+                if policy == DirectionPolicy::PullOnly {
+                    assert_eq!(got.push_rounds, 0, "{label}: PullOnly must never push");
+                }
+                if blocks == 1 {
+                    // One block delegates straight to the async kernel:
+                    // bit-identical for every algorithm, PageRank included.
+                    let sequential = run_with(&g, &order, Mode::Async, alg, policy);
+                    assert_eq!(
+                        got.final_states, sequential.final_states,
+                        "{label}: one block must equal async"
+                    );
+                    assert_eq!(got.rounds, sequential.rounds, "{label}: one-block rounds");
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn parallel_engine_joins_the_direction_matrix_warm() {
+    // The warm scenario of warm_push_pull_and_legacy_kernels_agree, with
+    // the parallel engine consuming the seed frontier (`WarmStart`'s
+    // frontier now flows into the block-parallel path): converge without
+    // the last 15% of edges, insert them, warm-start from the stale
+    // states seeded at the insertion targets.
+    let (g, order) = workload();
+    let edges: Vec<Edge> = g.edges().collect();
+    let cut = edges.len() * 85 / 100;
+    let mut b = GraphBuilder::with_capacity(g.num_vertices(), cut);
+    b.reserve_vertices(g.num_vertices());
+    for e in &edges[..cut] {
+        b.add_edge(e.src, e.dst, e.weight);
+    }
+    let stale_graph = b.build();
+    let seeds: Vec<VertexId> = edges[cut..].iter().map(|e| e.dst).collect();
+
+    for (name, alg, exact) in algorithms() {
+        let alg = alg.as_ref();
+        let stale_states = if exact {
+            run_with(
+                &stale_graph,
+                &order,
+                Mode::Async,
+                alg,
+                DirectionPolicy::PullOnly,
+            )
+            .final_states
+        } else {
+            run_with(&g, &order, Mode::Async, alg, DirectionPolicy::PullOnly).final_states
+        };
+        let reference = {
+            let cfg = RunConfig::default();
+            strategy_for(Mode::Async)
+                .run_warm(
+                    &g,
+                    AlgorithmRef::Gather(alg),
+                    &order,
+                    &cfg,
+                    WarmStart::from_states(stale_states.clone()),
+                )
+                .expect("valid warm reference")
+        };
+        assert!(reference.converged);
+        let mut policies = vec![DirectionPolicy::Auto, DirectionPolicy::PullOnly];
+        if alg.supports_push() {
+            policies.push(DirectionPolicy::PushOnly);
+        }
+        for policy in policies {
+            for blocks in [1usize, 2, 4] {
+                let label = format!("{name}/parallel({blocks})/{policy:?} warm");
+                let cfg = RunConfig {
+                    direction: policy,
+                    ..Default::default()
+                };
+                let warm =
+                    WarmStart::from_states(stale_states.clone()).with_frontier(seeds.clone());
+                let got = strategy_for(Mode::Parallel(blocks))
+                    .run_warm(&g, AlgorithmRef::Gather(alg), &order, &cfg, warm)
+                    .expect("valid warm run");
+                assert!(got.converged, "{label}");
+                assert_states_agree(exact, &reference.final_states, &got.final_states, &label);
+            }
+        }
+    }
+}
+
+#[test]
 fn auto_direction_actually_pushes_on_frontier_algorithms() {
     // On a long weighted chain under a reversed order the frontier is a
     // single vertex per round — the heuristic must flip to push.
@@ -285,7 +416,15 @@ fn push_only_rejected_for_accumulative_algorithms() {
         direction: DirectionPolicy::PushOnly,
         ..Default::default()
     };
-    for mode in [Mode::Sync, Mode::Async, Mode::Worklist] {
+    // Parallel(1) included deliberately: the one-block fast path must
+    // validate the policy before delegating, same as every block count.
+    for mode in [
+        Mode::Sync,
+        Mode::Async,
+        Mode::Worklist,
+        Mode::Parallel(1),
+        Mode::Parallel(2),
+    ] {
         let pr = PageRank::default();
         let err = strategy_for(mode)
             .run(&g, AlgorithmRef::Gather(&pr), &id, &cfg)

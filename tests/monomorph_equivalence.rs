@@ -131,31 +131,42 @@ fn every_algorithm_bit_identical_across_sequential_modes() {
 fn every_algorithm_equivalent_under_parallel() {
     let g = workload_graph();
     let order = workload_order(&g);
-    let mode = Mode::Parallel(4);
-    for (name, alg) in gather_algorithms(&g) {
-        let mono = run_gather(&g, &order, mode, alg.as_ref());
-        let dynamic = run_gather(&g, &order, mode, &DynRef(alg.as_ref()));
-        assert!(mono.converged && dynamic.converged, "{name} parallel");
-        match alg.norm() {
-            // Exact-stability algorithms reach the unique fixpoint
-            // bit-identically regardless of block interleaving.
-            gograph::engine::ConvergenceNorm::Max => {
-                assert_eq!(mono.final_states, dynamic.final_states, "{name} parallel");
-            }
-            // Sum-norm algorithms stop within epsilon of the fixpoint;
-            // racing blocks shift *where* within that band each run
-            // lands.
-            gograph::engine::ConvergenceNorm::Sum => {
-                for (i, (a, b)) in mono
-                    .final_states
-                    .iter()
-                    .zip(&dynamic.final_states)
-                    .enumerate()
-                {
-                    assert!(
-                        (a - b).abs() < 1e-3,
-                        "{name} parallel vertex {i}: mono {a} vs dyn {b}"
+    // Every block count runs the same direction-optimized engine (one
+    // block delegates to async); the equivalence must hold across the
+    // whole thread axis, not just one count.
+    for blocks in [1usize, 2, 4] {
+        let mode = Mode::Parallel(blocks);
+        for (name, alg) in gather_algorithms(&g) {
+            let mono = run_gather(&g, &order, mode, alg.as_ref());
+            let dynamic = run_gather(&g, &order, mode, &DynRef(alg.as_ref()));
+            assert!(
+                mono.converged && dynamic.converged,
+                "{name} parallel({blocks})"
+            );
+            match alg.norm() {
+                // Exact-stability algorithms reach the unique fixpoint
+                // bit-identically regardless of block interleaving.
+                gograph::engine::ConvergenceNorm::Max => {
+                    assert_eq!(
+                        mono.final_states, dynamic.final_states,
+                        "{name} parallel({blocks})"
                     );
+                }
+                // Sum-norm algorithms stop within epsilon of the fixpoint;
+                // racing blocks shift *where* within that band each run
+                // lands.
+                gograph::engine::ConvergenceNorm::Sum => {
+                    for (i, (a, b)) in mono
+                        .final_states
+                        .iter()
+                        .zip(&dynamic.final_states)
+                        .enumerate()
+                    {
+                        assert!(
+                            (a - b).abs() < 1e-3,
+                            "{name} parallel({blocks}) vertex {i}: mono {a} vs dyn {b}"
+                        );
+                    }
                 }
             }
         }

@@ -123,12 +123,12 @@ fn pre_pr_worklist<A: IterativeAlgorithm>(
             states[v as usize] = new;
             if state_delta(old, new) > eps {
                 round_changed = true;
-                for &w in g.out_neighbors(v) {
+                g.for_each_out_neighbor(v, |w| {
                     if !active[w as usize] {
                         active[w as usize] = true;
                         next.push(w);
                     }
-                }
+                });
             }
         }
         if !round_changed {
@@ -225,7 +225,9 @@ fn parallel_traversal<A: IterativeAlgorithm>(
     let init: Vec<f64> = (0..g.num_vertices() as u32)
         .map(|v| alg.init(g, v))
         .collect();
-    let seed = Frontier::from_members(g.num_vertices(), g.out_neighbors(source).iter().copied());
+    let mut source_out = Vec::with_capacity(g.out_degree(source));
+    g.for_each_out_neighbor(source, |w| source_out.push(w));
+    let seed = Frontier::from_members(g.num_vertices(), source_out);
     parallel_kernel_warm(g, alg, order, blocks, cfg, init, Some(&seed))
 }
 
@@ -269,6 +271,7 @@ fn run_once(
 fn main() {
     let mut out_path = "BENCH_PR8.json".to_string();
     let mut threads = 2usize;
+    let mut storage = "flat".to_string();
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         if arg == "--threads" {
@@ -277,6 +280,12 @@ fn main() {
                 .and_then(|v| v.parse().ok())
                 .expect("--threads needs a positive integer");
             assert!(threads >= 1, "--threads needs a positive integer");
+        } else if arg == "--storage" {
+            storage = args.next().expect("--storage needs flat|compressed");
+            assert!(
+                storage == "flat" || storage == "compressed",
+                "--storage needs flat|compressed"
+            );
         } else {
             out_path = arg;
         }
@@ -296,12 +305,19 @@ fn main() {
     // Deployment configuration: GoGraph order applied as a physical
     // relabeling, engines then scan 0..n sequentially.
     let order = GoGraph::default().run(&base);
-    let g = base.relabeled(&order);
+    let flat = base.relabeled(&order);
+    // `--storage compressed` runs every cell on the delta-varint
+    // backend; the flat graph stays around as the equality anchor.
+    let g = if storage == "compressed" {
+        flat.compress()
+    } else {
+        flat.clone()
+    };
     let id = Permutation::identity(g.num_vertices());
     let source = order.new_id(0);
     eprintln!(
         "direction_report: rmat scale={log2_n} |V|={} |E|={} (seed {seed}), \
-         gograph-relabeled, {threads} threads",
+         gograph-relabeled, {threads} threads, {storage} storage",
         g.num_vertices(),
         g.num_edges()
     );
@@ -351,7 +367,31 @@ fn main() {
                     .expect("anchor cell");
                 let exact = alg_name != "pagerank" || engine != Engine::Parallel;
                 match &reference[anchor] {
-                    None => reference[anchor] = Some(stats.final_states.clone()),
+                    None => {
+                        if storage == "compressed" {
+                            // Cross-storage gate: the anchor cell (a
+                            // sequential kernel) must land bit-identical
+                            // on flat storage.
+                            let flat_stats = run_once(
+                                &flat,
+                                &id,
+                                engine,
+                                variant,
+                                alg_name,
+                                source,
+                                blocks.max(1),
+                            );
+                            assert_eq!(
+                                flat_stats.final_states,
+                                stats.final_states,
+                                "direction_report: {alg_name}/{}/{} diverged between \
+                                 compressed and flat storage",
+                                engine.name(),
+                                variant.name()
+                            );
+                        }
+                        reference[anchor] = Some(stats.final_states.clone());
+                    }
                     Some(r) if exact => assert_eq!(
                         r,
                         &stats.final_states,

@@ -14,4 +14,4 @@ pub mod trace;
 
 pub use cache::{Cache, CacheStats};
 pub use hierarchy::{CacheHierarchy, HierarchyStats};
-pub use trace::{cache_misses_of_order, simulate_pagerank_rounds};
+pub use trace::{cache_misses_of_order, simulate_compressed_pull_rounds, simulate_pagerank_rounds};

@@ -131,12 +131,9 @@ pub fn evaluate_vertex<A: IterativeAlgorithm + ?Sized>(
     v: VertexId,
     states: &[f64],
 ) -> f64 {
-    let ins = g.in_neighbors(v);
-    let ws = g.in_weights(v);
     let mut acc = alg.gather_identity();
-    for i in 0..ins.len() {
-        let u = ins[i];
-        acc = alg.gather(acc, states[u as usize], ws[i], g.out_degree(u));
+    for (u, w) in g.in_edges(v) {
+        acc = alg.gather(acc, states[u as usize], w, g.out_degree(u));
     }
     alg.apply(g, v, states[v as usize], acc)
 }

@@ -43,7 +43,9 @@ pub fn monotonicity_probe<A: IterativeAlgorithm>(alg: &A, g: &CsrGraph) -> Resul
         for v in 0..n as u32 {
             let base = evaluate_vertex(alg, g, v, &states);
             // Perturb each in-neighbor one at a time.
-            for &u in g.in_neighbors(v) {
+            let mut ins = Vec::new();
+            g.for_each_in_neighbor(v, |u| ins.push(u));
+            for u in ins {
                 if u == v {
                     continue;
                 }

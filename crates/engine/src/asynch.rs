@@ -319,16 +319,16 @@ pub fn async_kernel_warm<A: IterativeAlgorithm + ?Sized>(
                         if !push_ok {
                             scan.set(p); // self re-evaluation (per-target plan)
                         }
-                        for &w in g.out_neighbors(order.vertex_at(p as usize)) {
+                        g.for_each_out_neighbor(order.vertex_at(p as usize), |w| {
                             scan.set(order.position(w));
-                        }
+                        });
                     });
                 }
                 Work::Sources => {
                     work_set.for_each(|p| {
-                        for &w in g.out_neighbors(order.vertex_at(p as usize)) {
+                        g.for_each_out_neighbor(order.vertex_at(p as usize), |w| {
                             scan.set(order.position(w));
-                        }
+                        });
                     });
                 }
                 _ => scan.load(&work_set),

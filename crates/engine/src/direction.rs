@@ -185,14 +185,14 @@ pub(crate) fn activate_per_source(
     pending: &mut Frontier,
 ) {
     let mut behind = false;
-    for &w in g.out_neighbors(v) {
+    g.for_each_out_neighbor(v, |w| {
         let pw = order.position(w);
         if pw > pos {
             scan.set(pw);
         } else {
             behind = true;
         }
-    }
+    });
     if behind {
         pending.insert(pos);
     }
@@ -214,14 +214,14 @@ pub(crate) fn activate_per_target(
     pending: &mut Frontier,
     include_self: bool,
 ) {
-    for &w in g.out_neighbors(v) {
+    g.for_each_out_neighbor(v, |w| {
         let pw = order.position(w);
         if pw > pos {
             scan.set(pw);
         } else {
             pending.insert(pw);
         }
-    }
+    });
     if include_self {
         pending.insert(pos);
     }
@@ -264,11 +264,13 @@ impl BlockedSweep {
     /// Builds the span partition (shared with the cache simulator via
     /// [`CsrGraph::in_source_block_spans`], so the simulated access
     /// pattern can never drift from the executed one), or `None` when
-    /// blocking cannot help: fewer than two blocks, or an edge stream
-    /// too large for the u32 span indices.
+    /// blocking cannot help: fewer than two blocks, an edge stream
+    /// too large for the u32 span indices, or compressed storage (whose
+    /// rows are byte blocks with no flat index ranges to span; the
+    /// dense sweep falls back to the unblocked path there).
     pub(crate) fn build(g: &CsrGraph, block_positions: usize) -> Option<Self> {
         let num_blocks = g.num_vertices().div_ceil(block_positions.max(1));
-        if num_blocks < 2 || g.num_edges() > u32::MAX as usize {
+        if num_blocks < 2 || g.num_edges() > u32::MAX as usize || g.is_compressed() {
             return None;
         }
         Some(BlockedSweep {

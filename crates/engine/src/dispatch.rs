@@ -213,8 +213,7 @@ macro_rules! dispatch_delta {
 }
 pub(crate) use dispatch_delta;
 
-/// Prebuilt per-run gather inputs: the flat in-adjacency streams
-/// (sources and weights, contiguous across all vertices) plus the
+/// Prebuilt per-run gather inputs: the in-adjacency streams plus the
 /// graph's cached out-degree array — so the per-edge loop walks
 /// contiguous streams with one index instead of re-deriving per-vertex
 /// slices and offset pairs, and the PageRank-family `out_degree(u)`
@@ -222,30 +221,69 @@ pub(crate) use dispatch_delta;
 /// ([`IterativeAlgorithm::uses_edge_weights`] `== false`) skip the
 /// weight stream entirely.
 ///
-/// Construction is `O(1)`: the context borrows the graph's own arrays.
+/// The streams come in two variants matching the graph's storage
+/// backend: flat slices of the raw CSR arrays, or a decode-per-row view
+/// of the compressed adjacency ([`gograph_graph::CompressedAdjacency`])
+/// whose varint blocks are decoded inline in the gather loop — no
+/// materialized adjacency, same fold order, bit-identical results.
+///
+/// Construction is `O(1)`: the context borrows the graph's own storage.
 pub struct GatherContext<'g> {
-    pub(crate) in_offsets: &'g [usize],
-    pub(crate) in_sources: &'g [VertexId],
-    pub(crate) in_weights: &'g [Weight],
+    streams: GatherStreams<'g>,
     pub(crate) out_degrees: &'g [u32],
 }
 
+/// The per-backend in-edge streams of a [`GatherContext`].
+enum GatherStreams<'g> {
+    Flat {
+        in_offsets: &'g [usize],
+        in_sources: &'g [VertexId],
+        in_weights: &'g [Weight],
+    },
+    Compressed {
+        adj: &'g gograph_graph::CompressedAdjacency,
+        /// `(offsets, weights)` parallel to the decoded rows; `None` for
+        /// unit-weight graphs (every edge weight is `1.0`).
+        weights: Option<(&'g [usize], &'g [Weight])>,
+    },
+}
+
 impl<'g> GatherContext<'g> {
-    /// Builds the context for `g`.
+    /// Builds the context for `g` (either storage backend).
     pub fn new(g: &'g CsrGraph) -> Self {
+        let streams = match g.compressed_in_adjacency() {
+            Some(adj) => GatherStreams::Compressed {
+                adj,
+                weights: g.compressed_in_weight_streams(),
+            },
+            None => GatherStreams::Flat {
+                in_offsets: g.raw_in_offsets(),
+                in_sources: g.raw_in_sources(),
+                in_weights: g.raw_in_weights(),
+            },
+        };
         GatherContext {
-            in_offsets: g.raw_in_offsets(),
-            in_sources: g.raw_in_sources(),
-            in_weights: g.raw_in_weights(),
+            streams,
             out_degrees: g.out_degrees(),
         }
     }
 
     /// The in-edge index range of `v` into the flat streams.
+    ///
+    /// # Panics
+    /// Panics on compressed storage — rows there are byte blocks, not
+    /// index ranges; use [`GatherContext::gather_with`].
     #[inline(always)]
     pub fn in_range(&self, v: VertexId) -> (usize, usize) {
-        let v = v as usize;
-        (self.in_offsets[v], self.in_offsets[v + 1])
+        match &self.streams {
+            GatherStreams::Flat { in_offsets, .. } => {
+                let v = v as usize;
+                (in_offsets[v], in_offsets[v + 1])
+            }
+            GatherStreams::Compressed { .. } => {
+                panic!("in_range requires flat storage; compressed rows are byte blocks")
+            }
+        }
     }
 
     /// The cached out-degree array (indexed by vertex id).
@@ -279,13 +317,51 @@ impl<'g> GatherContext<'g> {
         v: VertexId,
         read: impl Fn(usize) -> f64,
     ) -> f64 {
-        let (s, e) = self.in_range(v);
-        self.gather_range(alg, alg.gather_identity(), s, e, read)
+        match &self.streams {
+            GatherStreams::Flat { in_offsets, .. } => {
+                let (s, e) = (in_offsets[v as usize], in_offsets[v as usize + 1]);
+                self.gather_range(alg, alg.gather_identity(), s, e, read)
+            }
+            GatherStreams::Compressed { adj, weights } => {
+                let mut acc = alg.gather_identity();
+                if alg.uses_edge_weights() {
+                    match weights {
+                        Some((offsets, ws)) => {
+                            // Weighted graph: walk the flat weight stream
+                            // in lockstep with the decoded id stream.
+                            let mut i = offsets[v as usize];
+                            adj.for_each(v, |u| {
+                                let u = u as usize;
+                                acc = alg.gather(acc, read(u), ws[i], self.out_degrees[u] as usize);
+                                i += 1;
+                            });
+                        }
+                        None => {
+                            // Weight streams are dropped exactly when
+                            // every weight is 1.0, so the constant is the
+                            // true per-edge weight here.
+                            adj.for_each(v, |u| {
+                                let u = u as usize;
+                                acc = alg.gather(acc, read(u), 1.0, self.out_degrees[u] as usize);
+                            });
+                        }
+                    }
+                } else {
+                    adj.for_each(v, |u| {
+                        let u = u as usize;
+                        acc = alg.gather(acc, read(u), 1.0, self.out_degrees[u] as usize);
+                    });
+                }
+                acc
+            }
+        }
     }
 
     /// Folds the in-edge stream slice `[s, e)` into `acc` — the
     /// innermost per-edge loop, also entered mid-list by the blocked
-    /// sweep, which folds one source-block span at a time.
+    /// sweep, which folds one source-block span at a time. Flat storage
+    /// only ([`crate::BlockedSweep`] declines to build on compressed
+    /// graphs, whose rows have no flat index ranges).
     #[inline(always)]
     pub(crate) fn gather_range<A: IterativeAlgorithm + ?Sized>(
         &self,
@@ -295,18 +371,23 @@ impl<'g> GatherContext<'g> {
         e: usize,
         read: impl Fn(usize) -> f64,
     ) -> f64 {
+        let (in_sources, in_weights) = match &self.streams {
+            GatherStreams::Flat {
+                in_sources,
+                in_weights,
+                ..
+            } => (*in_sources, *in_weights),
+            GatherStreams::Compressed { .. } => {
+                panic!("gather_range requires flat storage; compressed rows are byte blocks")
+            }
+        };
         if alg.uses_edge_weights() {
             for i in s..e {
-                let u = self.in_sources[i] as usize;
-                acc = alg.gather(
-                    acc,
-                    read(u),
-                    self.in_weights[i],
-                    self.out_degrees[u] as usize,
-                );
+                let u = in_sources[i] as usize;
+                acc = alg.gather(acc, read(u), in_weights[i], self.out_degrees[u] as usize);
             }
         } else {
-            for &u in &self.in_sources[s..e] {
+            for &u in &in_sources[s..e] {
                 let u = u as usize;
                 acc = alg.gather(acc, read(u), 1.0, self.out_degrees[u] as usize);
             }
@@ -316,18 +397,30 @@ impl<'g> GatherContext<'g> {
 }
 
 /// Prebuilt per-run scatter inputs — the push-direction counterpart of
-/// [`GatherContext`]: the flat out-adjacency streams plus the cached
+/// [`GatherContext`]: the out-adjacency streams plus the cached
 /// out-degree array, so a push round walks an active vertex's out-edges
-/// as one contiguous stream. Construction is `O(1)` (borrows the
-/// graph's arrays). Holds only shared borrows, so the block-parallel
-/// engine scatters through one context from many workers concurrently
-/// (target-cell races are resolved by its CAS relaxation loop, not
-/// here).
+/// as one contiguous stream (flat slices, or rows decoded from the
+/// compressed out-adjacency inline). Construction is `O(1)` (borrows
+/// the graph's storage). Holds only shared borrows, so the
+/// block-parallel engine scatters through one context from many workers
+/// concurrently (target-cell races are resolved by its CAS relaxation
+/// loop, not here).
 pub struct ScatterContext<'g> {
-    pub(crate) out_offsets: &'g [usize],
-    pub(crate) out_targets: &'g [VertexId],
-    pub(crate) out_weights: &'g [Weight],
+    streams: ScatterStreams<'g>,
     pub(crate) out_degrees: &'g [u32],
+}
+
+/// The per-backend out-edge streams of a [`ScatterContext`].
+enum ScatterStreams<'g> {
+    Flat {
+        out_offsets: &'g [usize],
+        out_targets: &'g [VertexId],
+        out_weights: &'g [Weight],
+    },
+    Compressed {
+        adj: &'g gograph_graph::CompressedAdjacency,
+        weights: Option<(&'g [usize], &'g [Weight])>,
+    },
 }
 
 // Compile-time thread-safety audit: parallel strategies and snapshot
@@ -340,12 +433,21 @@ const _: () = {
 };
 
 impl<'g> ScatterContext<'g> {
-    /// Builds the context for `g`.
+    /// Builds the context for `g` (either storage backend).
     pub fn new(g: &'g CsrGraph) -> Self {
+        let streams = match g.compressed_out_adjacency() {
+            Some(adj) => ScatterStreams::Compressed {
+                adj,
+                weights: g.compressed_out_weight_streams(),
+            },
+            None => ScatterStreams::Flat {
+                out_offsets: g.raw_out_offsets(),
+                out_targets: g.raw_out_targets(),
+                out_weights: g.raw_out_weights(),
+            },
+        };
         ScatterContext {
-            out_offsets: g.raw_out_offsets(),
-            out_targets: g.raw_out_targets(),
-            out_weights: g.raw_out_weights(),
+            streams,
             out_degrees: g.out_degrees(),
         }
     }
@@ -372,18 +474,46 @@ impl<'g> ScatterContext<'g> {
         mut visit: impl FnMut(VertexId, f64),
     ) {
         let ui = u as usize;
-        let (s, e) = (self.out_offsets[ui], self.out_offsets[ui + 1]);
         let du = self.out_degrees[ui] as usize;
         let identity = alg.gather_identity();
-        if alg.uses_edge_weights() {
-            for i in s..e {
-                let cand = alg.gather(identity, state_u, self.out_weights[i], du);
-                visit(self.out_targets[i], cand);
+        match &self.streams {
+            ScatterStreams::Flat {
+                out_offsets,
+                out_targets,
+                out_weights,
+            } => {
+                let (s, e) = (out_offsets[ui], out_offsets[ui + 1]);
+                if alg.uses_edge_weights() {
+                    for i in s..e {
+                        let cand = alg.gather(identity, state_u, out_weights[i], du);
+                        visit(out_targets[i], cand);
+                    }
+                } else {
+                    let cand = alg.gather(identity, state_u, 1.0, du);
+                    for &v in &out_targets[s..e] {
+                        visit(v, cand);
+                    }
+                }
             }
-        } else {
-            let cand = alg.gather(identity, state_u, 1.0, du);
-            for &v in &self.out_targets[s..e] {
-                visit(v, cand);
+            ScatterStreams::Compressed { adj, weights } => {
+                if alg.uses_edge_weights() {
+                    match weights {
+                        Some((offsets, ws)) => {
+                            let mut i = offsets[ui];
+                            adj.for_each(u, |v| {
+                                visit(v, alg.gather(identity, state_u, ws[i], du));
+                                i += 1;
+                            });
+                        }
+                        None => {
+                            let cand = alg.gather(identity, state_u, 1.0, du);
+                            adj.for_each(u, |v| visit(v, cand));
+                        }
+                    }
+                } else {
+                    let cand = alg.gather(identity, state_u, 1.0, du);
+                    adj.for_each(u, |v| visit(v, cand));
+                }
             }
         }
     }
@@ -435,14 +565,73 @@ mod tests {
         );
         let ctx = GatherContext::new(&g);
         let (s, e) = ctx.in_range(3);
-        assert_eq!(&ctx.in_sources[s..e], &[0, 1, 2]);
-        assert_eq!(&ctx.in_weights[s..e], &[2.0, 4.0, 1.0]);
+        assert_eq!(&g.raw_in_sources()[s..e], &[0, 1, 2]);
+        assert_eq!(&g.raw_in_weights()[s..e], &[2.0, 4.0, 1.0]);
         assert_eq!(ctx.out_degrees(), g.out_degrees());
         let alg = Sssp::new(0);
         let states = vec![0.0, 1.0, 7.0, f64::INFINITY];
         let acc = ctx.gather(&alg, 3, &states);
         let new = alg.apply(&g, 3, states[3], acc);
         assert_eq!(new, evaluate_vertex(&alg, &g, 3, &states));
+    }
+
+    #[test]
+    fn compressed_contexts_match_flat_contexts() {
+        // Weighted and unit-weight graphs, across shard counts: the
+        // decode-per-row gather/scatter must reproduce the flat streams'
+        // folds bit for bit.
+        let weighted = CsrGraph::from_edges(
+            5,
+            [
+                (0u32, 3u32, 2.0f64),
+                (1, 3, 4.0),
+                (2, 3, 1.0),
+                (0, 1, 1.5),
+                (3, 4, 0.5),
+                (4, 0, 7.0),
+            ],
+        );
+        let unit = CsrGraph::from_edges(5, [(0u32, 3u32), (1, 3), (2, 3), (0, 1), (3, 4), (4, 0)]);
+        for g in [&weighted, &unit] {
+            let flat_g = GatherContext::new(g);
+            let flat_s = ScatterContext::new(g);
+            let states = vec![0.3, 1.0, 7.0, 2.0, 0.9];
+            for shards in [&[][..], &[2][..], &[1, 2, 3, 4][..]] {
+                let c = g.compress_with_shards(shards);
+                let ctx = GatherContext::new(&c);
+                let sctx = ScatterContext::new(&c);
+                let algs: Vec<Box<dyn IterativeAlgorithm>> = vec![
+                    Box::new(Sssp::new(0)),
+                    Box::new(PageRank::default()),
+                    Box::new(Bfs::new(0)),
+                ];
+                for alg in &algs {
+                    let alg = alg.as_ref();
+                    for v in g.vertices() {
+                        assert_eq!(
+                            ctx.gather(alg, v, &states).to_bits(),
+                            flat_g.gather(alg, v, &states).to_bits(),
+                            "{} gather at {v}",
+                            alg.name()
+                        );
+                        let mut got = Vec::new();
+                        sctx.scatter(alg, v, states[v as usize], |t, cand| got.push((t, cand)));
+                        let mut want = Vec::new();
+                        flat_s.scatter(alg, v, states[v as usize], |t, cand| want.push((t, cand)));
+                        assert_eq!(got, want, "{} scatter at {v}", alg.name());
+                        assert_eq!(sctx.out_degree(v), flat_s.out_degree(v));
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "flat storage")]
+    fn gather_range_panics_on_compressed() {
+        let g = CsrGraph::from_edges(3, [(0u32, 1u32), (1, 2)]).compress();
+        let ctx = GatherContext::new(&g);
+        let _ = ctx.in_range(1);
     }
 
     #[test]

@@ -413,9 +413,9 @@ pub fn parallel_kernel_warm<A: IterativeAlgorithm + ?Sized>(
                             // algorithm whose apply reads `cur`).
                             expand.insert(p);
                         }
-                        for &w in g.out_neighbors(order.vertex_at(p as usize)) {
+                        g.for_each_out_neighbor(order.vertex_at(p as usize), |w| {
                             expand.insert(order.position(w));
-                        }
+                        });
                     });
                     expand.for_each_ascending(|p| sched.push(p));
                 }

@@ -1025,12 +1025,12 @@ impl StreamingPipeline {
                 out.push(v);
                 // Everything this vertex may have been supporting needs
                 // a recheck.
-                for &w in g.out_neighbors(v) {
+                g.for_each_out_neighbor(v, |w| {
                     if !affected[w as usize] && !queued[w as usize] {
                         queued[w as usize] = true;
                         queue.push_back(w);
                     }
-                }
+                });
             }
         }
         out

@@ -220,9 +220,9 @@ pub fn sync_kernel_warm<A: IterativeAlgorithm + ?Sized>(
             affected.clear();
             c.for_each(|p| {
                 affected.insert(p);
-                for &w in g.out_neighbors(order.vertex_at(p as usize)) {
+                g.for_each_out_neighbor(order.vertex_at(p as usize), |w| {
                     affected.insert(order.position(w));
-                }
+                });
             });
             affected.for_each_ascending(|p| {
                 let v = order.vertex_at(p as usize);

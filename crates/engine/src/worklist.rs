@@ -169,9 +169,9 @@ pub fn worklist_kernel_warm<A: IterativeAlgorithm + ?Sized>(
             Work::PullAll => (0..n as u32).for_each(|p| scan.set(p)),
             Work::PullTargets | Work::Push => scan.load(&work_set),
             Work::PullFromSources => work_set.for_each(|p| {
-                for &w in g.out_neighbors(order.vertex_at(p as usize)) {
+                g.for_each_out_neighbor(order.vertex_at(p as usize), |w| {
                     scan.set(order.position(w));
-                }
+                });
             }),
         }
         let is_push = matches!(work, Work::Push);

@@ -20,7 +20,7 @@ pub use ba::barabasi_albert;
 pub use erdos_renyi::erdos_renyi;
 pub use planted::{planted_partition, PlantedPartitionConfig};
 pub use regular::{binary_tree, chain, complete, cycle, grid, layered_dag, star};
-pub use rmat::{rmat, RmatConfig};
+pub use rmat::{rmat, rmat_streaming, RmatConfig};
 pub use small_world::watts_strogatz;
 
 use crate::csr::CsrGraph;

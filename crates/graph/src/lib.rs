@@ -6,6 +6,8 @@
 //!
 //! Provides:
 //! - [`csr::CsrGraph`] — CSR storage with both out- and in-adjacency,
+//! - [`compressed::CompressedAdjacency`] — delta-varint sharded neighbor
+//!   blocks behind [`csr::CsrGraph::compress`],
 //! - [`builder::GraphBuilder`] — edge-stream construction with dedup,
 //! - [`frontier::Frontier`] — hybrid sparse/dense active-vertex sets,
 //! - [`permutation::Permutation`] — processing orders / ordinal numbers,
@@ -18,6 +20,7 @@
 #![warn(missing_docs)]
 
 pub mod builder;
+pub mod compressed;
 pub mod csr;
 pub mod frontier;
 pub mod generators;
@@ -29,6 +32,7 @@ pub mod traversal;
 pub mod types;
 
 pub use builder::GraphBuilder;
+pub use compressed::CompressedAdjacency;
 pub use csr::CsrGraph;
 pub use frontier::Frontier;
 pub use permutation::Permutation;
@@ -41,6 +45,7 @@ pub use types::{Direction, Edge, EdgeId, EdgeUpdate, VertexId, Weight};
 const _: () = {
     const fn require_send_sync<T: Send + Sync>() {}
     require_send_sync::<CsrGraph>();
+    require_send_sync::<CompressedAdjacency>();
     require_send_sync::<Permutation>();
     require_send_sync::<Frontier>();
 };

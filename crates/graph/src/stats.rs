@@ -56,6 +56,70 @@ pub fn degree_stats(g: &CsrGraph) -> DegreeStats {
     }
 }
 
+/// Storage footprint of a graph's in-memory representation, split the
+/// way the compressed backend changes it: adjacency structure vs.
+/// weight payload. Makes compression wins visible in every report, not
+/// just the bench tables.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MemoryFootprint {
+    /// `"uncompressed"` or `"compressed"` (see [`CsrGraph::storage_kind`]).
+    pub storage_kind: &'static str,
+    /// Shard count of the adjacency structure (1 for flat storage).
+    pub num_shards: usize,
+    /// Heap bytes of the adjacency structure (offsets + targets, or
+    /// delta-varint payload + offset tables + degrees).
+    pub adjacency_bytes: usize,
+    /// Heap bytes of edge-weight payloads (0 when the compressed
+    /// backend drops unit weights).
+    pub weight_bytes: usize,
+    /// Adjacency bytes per directed edge — the compression headline.
+    /// Counts both CSR directions; flat storage costs ~8 bytes/edge in
+    /// ids alone. `0.0` for an edgeless graph.
+    pub bytes_per_edge: f64,
+}
+
+impl MemoryFootprint {
+    /// Total heap bytes (adjacency + weights).
+    pub fn total_bytes(&self) -> usize {
+        self.adjacency_bytes + self.weight_bytes
+    }
+}
+
+impl std::fmt::Display for MemoryFootprint {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} storage, {} shard(s), {:.2} bytes/edge ({} adjacency + {} weight bytes)",
+            self.storage_kind,
+            self.num_shards,
+            self.bytes_per_edge,
+            self.adjacency_bytes,
+            self.weight_bytes
+        )
+    }
+}
+
+/// Computes the [`MemoryFootprint`] of `g`'s current backend.
+pub fn memory_footprint(g: &CsrGraph) -> MemoryFootprint {
+    MemoryFootprint {
+        storage_kind: g.storage_kind(),
+        num_shards: g.num_shards(),
+        adjacency_bytes: g.adjacency_bytes(),
+        weight_bytes: g.weight_bytes(),
+        bytes_per_edge: bytes_per_edge(g),
+    }
+}
+
+/// Adjacency bytes per directed edge on the current backend (both CSR
+/// directions counted). `0.0` for an edgeless graph.
+pub fn bytes_per_edge(g: &CsrGraph) -> f64 {
+    if g.num_edges() == 0 {
+        0.0
+    } else {
+        g.adjacency_bytes() as f64 / g.num_edges() as f64
+    }
+}
+
 /// Vertices sorted by total degree descending (ties by id ascending).
 pub fn vertices_by_degree_desc(g: &CsrGraph) -> Vec<VertexId> {
     let mut v: Vec<VertexId> = (0..g.num_vertices() as u32).collect();
@@ -161,5 +225,36 @@ mod tests {
     fn power_law_none_on_tiny() {
         let g = chain(5);
         assert!(power_law_exponent(&g, 100).is_none());
+    }
+
+    #[test]
+    fn memory_footprint_tracks_compression() {
+        let g = chain(2000);
+        let flat = memory_footprint(&g);
+        assert_eq!(flat.storage_kind, "uncompressed");
+        assert_eq!(flat.num_shards, 1);
+        assert_eq!(flat.total_bytes(), g.memory_bytes());
+        // Flat CSR: ≥8 bytes of 4-byte ids per edge (both directions)
+        // before offsets.
+        assert!(flat.bytes_per_edge > 8.0, "{}", flat.bytes_per_edge);
+
+        let c = g.compress();
+        let comp = memory_footprint(&c);
+        assert_eq!(comp.storage_kind, "compressed");
+        assert!(
+            comp.bytes_per_edge < flat.bytes_per_edge,
+            "compressed {} vs flat {}",
+            comp.bytes_per_edge,
+            flat.bytes_per_edge
+        );
+        // Display renders the headline number.
+        assert!(format!("{comp}").contains("compressed storage"));
+    }
+
+    #[test]
+    fn bytes_per_edge_zero_on_edgeless() {
+        let mut b = crate::builder::GraphBuilder::new();
+        b.reserve_vertices(3);
+        assert_eq!(bytes_per_edge(&b.build()), 0.0);
     }
 }

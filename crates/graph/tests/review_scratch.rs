@@ -1,0 +1,41 @@
+// Scratch test (review only): does validate() accept a crafted row whose
+// hot-path decode emits an out-of-range neighbor id?
+use gograph_graph::compressed::{AdjacencyShard, CompressedAdjacency};
+
+fn put_varint(out: &mut Vec<u8>, mut v: u64) {
+    while v >= 0x80 {
+        out.push((v as u8) | 0x80);
+        v >>= 7;
+    }
+    out.push(v as u8);
+}
+
+#[test]
+fn crafted_huge_gap_passes_validate_but_decodes_out_of_range() {
+    let n = 4usize;
+    // Row for vertex 0, degree 2: first neighbor = 0 (zigzag delta 0),
+    // then gap token = 2^63 + n  (i64-negative, u64-huge).
+    let mut bytes = Vec::new();
+    put_varint(&mut bytes, 0); // first neighbor: v + 0 = 0
+    put_varint(&mut bytes, (1u64 << 63) + n as u64);
+    let row_len = bytes.len() as u32;
+    let mut offsets = vec![0u32, row_len];
+    for _ in 1..n {
+        offsets.push(row_len);
+    }
+    let shard = AdjacencyShard::from_parts(offsets, bytes).unwrap();
+    let mut degrees = vec![0u32; n];
+    degrees[0] = 2;
+    let adj =
+        CompressedAdjacency::from_raw_parts(n, 2, degrees, vec![0, n as u32], vec![shard]).unwrap();
+    let v = adj.validate();
+    println!("validate: {v:?}");
+    if v.is_ok() {
+        let ids = adj.decode_row(0);
+        println!("decoded ids: {ids:?} (n = {n})");
+        assert!(
+            ids.iter().all(|&w| (w as usize) < n),
+            "validate() accepted a row that decodes out of range: {ids:?}"
+        );
+    }
+}

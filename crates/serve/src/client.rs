@@ -9,11 +9,12 @@
 //! batches are *not* auto-retried — the ack may have been lost after
 //! the WAL append, and resending would double-apply.
 
-use crate::core::StatsSnapshot;
+use crate::core::{SegmentRecords, StatsSnapshot};
 use crate::fault::splitmix64;
 use crate::spec::{AlgSpec, ModeSpec};
 use crate::wire::{
-    decode_reply, encode_request, read_frame, write_frame, ErrorCode, QueryReply, Reply, Request,
+    decode_reply, encode_request, read_frame, write_frame, ErrorCode, ProbeVerdict, QueryReply,
+    Reply, Request,
 };
 use gograph_graph::{EdgeUpdate, VertexId};
 use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
@@ -142,6 +143,11 @@ impl ServeClient {
         }
     }
 
+    /// The server address this client talks (and reconnects) to.
+    pub fn peer_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
     /// One request/reply exchange with no retry (used for updates and
     /// shutdown, which must not be replayed blindly).
     fn roundtrip(&mut self, req: &Request) -> Result<Reply, ClientError> {
@@ -254,6 +260,102 @@ impl ServeClient {
     /// acknowledgement. Not retried (a repeat would hit a dead server).
     pub fn shutdown_server(&mut self) -> Result<StatsSnapshot, ClientError> {
         match self.roundtrip(&Request::Shutdown)? {
+            Reply::Stats(s) => Ok(s),
+            other => Err(ClientError::Protocol(format!(
+                "expected stats reply, got {other:?}"
+            ))),
+        }
+    }
+
+    /// Follower → primary: registers with `after_seq` as the cumulative
+    /// ack and pulls the next WAL segment. Returns `(primary_seq,
+    /// resync, records)`. Idempotent — re-asking for the same records
+    /// is harmless, so transport failures are retried.
+    pub fn subscribe(
+        &mut self,
+        follower: u64,
+        after_seq: u64,
+        max_records: u32,
+    ) -> Result<(u64, bool, SegmentRecords), ClientError> {
+        match self.roundtrip_idempotent(&Request::Subscribe {
+            follower,
+            after_seq,
+            max_records,
+        })? {
+            Reply::WalSegment {
+                primary_seq,
+                resync,
+                records,
+            } => Ok((primary_seq, resync, records)),
+            other => Err(ClientError::Protocol(format!(
+                "expected wal segment, got {other:?}"
+            ))),
+        }
+    }
+
+    /// Follower → primary: acks everything through `seq` and submits
+    /// this follower's probe fingerprints at that watermark for
+    /// comparison. A divergence surfaces as
+    /// [`ErrorCode::Divergent`]. Idempotent (re-acking the same
+    /// watermark is harmless), so transport failures are retried.
+    pub fn replica_ack(
+        &mut self,
+        follower: u64,
+        seq: u64,
+        fingerprints: &[u64],
+    ) -> Result<(ProbeVerdict, u64, Vec<u64>), ClientError> {
+        match self.roundtrip_idempotent(&Request::ReplicaAck {
+            follower,
+            seq,
+            fingerprints: fingerprints.to_vec(),
+        })? {
+            Reply::Probe {
+                seq,
+                verdict,
+                fingerprints,
+                ..
+            } => Ok((verdict, seq, fingerprints)),
+            other => Err(ClientError::Protocol(format!(
+                "expected probe reply, got {other:?}"
+            ))),
+        }
+    }
+
+    /// Fetches the node's probe fingerprints at `at_seq` (or its
+    /// newest settled watermark). `(seq, epoch, verdict, fingerprints)`;
+    /// idempotent, retried.
+    pub fn probe(
+        &mut self,
+        at_seq: Option<u64>,
+    ) -> Result<(u64, u64, ProbeVerdict, Vec<u64>), ClientError> {
+        match self.roundtrip_idempotent(&Request::Probe { at_seq })? {
+            Reply::Probe {
+                seq,
+                epoch,
+                verdict,
+                fingerprints,
+            } => Ok((seq, epoch, verdict, fingerprints)),
+            other => Err(ClientError::Protocol(format!(
+                "expected probe reply, got {other:?}"
+            ))),
+        }
+    }
+
+    /// Downloads the primary's latest checkpoint (encoded) for
+    /// follower bootstrap or re-sync. Idempotent, retried.
+    pub fn fetch_checkpoint(&mut self) -> Result<Vec<u8>, ClientError> {
+        match self.roundtrip_idempotent(&Request::FetchCheckpoint)? {
+            Reply::Checkpoint(bytes) => Ok(bytes),
+            other => Err(ClientError::Protocol(format!(
+                "expected checkpoint reply, got {other:?}"
+            ))),
+        }
+    }
+
+    /// Promotes the node to primary (failover); the stats snapshot is
+    /// the acknowledgement. Idempotent, retried.
+    pub fn promote(&mut self) -> Result<StatsSnapshot, ClientError> {
+        match self.roundtrip_idempotent(&Request::Promote)? {
             Reply::Stats(s) => Ok(s),
             other => Err(ClientError::Protocol(format!(
                 "expected stats reply, got {other:?}"

@@ -27,20 +27,42 @@
 //! same [`FaultPlan`] skips the same ones), `mutator_restarts` counts
 //! the rollback, and the `degraded` flag stays raised until the next
 //! successful publish.
+//!
+//! # Replication
+//!
+//! A core runs as the [`Role::Primary`] (accepts updates, owns the WAL)
+//! or as a [`Role::Follower`] (replays the primary's WAL records through
+//! the *same* supervised apply path — a follower is a crash recovery
+//! that never stops replaying). Because batch application and batch
+//! *failure* are deterministic, a healthy follower's epochs are
+//! bit-identical to the primary's; both sides record a per-pipeline
+//! state fingerprint after every settled batch, and the primary
+//! compares the follower's fingerprints on every ack — a mismatch is a
+//! detected divergence (typed error + counter), repaired by re-syncing
+//! the follower from the primary's checkpoint. WAL compaction on the
+//! primary is clamped to the slowest live follower's ack, with a
+//! max-lag escape hatch that evicts a dead follower to checkpoint
+//! re-sync instead of letting it pin the log forever.
 
 use crate::admission::{Admission, AdmissionQueue};
-use crate::checkpoint::{read_checkpoint, write_checkpoint, Checkpoint, PipelineCheckpoint};
+use crate::checkpoint::{
+    delta_path, diff_checkpoint, read_checkpoint_chain, remove_deltas, write_checkpoint,
+    write_delta, Checkpoint, PipelineCheckpoint,
+};
 use crate::epoch::{EpochCell, EpochState, WarmEntry};
-use crate::fault::FaultPlan;
+use crate::fault::{splitmix64, FaultPlan};
 use crate::spec::{AlgSpec, ModeSpec};
-use crate::wal::{compact_wal, read_wal, truncate_wal, SyncPolicy, TailStatus, WalWriter};
+use crate::wal::{
+    compact_wal, read_wal, read_wal_segment, truncate_wal, SyncPolicy, TailStatus, WalWriter,
+};
 use gograph_engine::{
     Bfs, ConnectedComponents, EngineError, PageRank, Pipeline, ResumableState, Sssp, Sswp,
     StreamingPipeline, WarmStart,
 };
 use gograph_graph::{CsrGraph, EdgeUpdate, VertexId};
+use std::collections::{HashMap, VecDeque};
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
 use std::sync::mpsc::{self, Receiver, Sender};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
@@ -77,16 +99,28 @@ pub struct DurabilityConfig {
     pub checkpoint_every_batches: u64,
     /// How eagerly WAL appends reach stable storage.
     pub sync: SyncPolicy,
+    /// When true, periodic checkpoints write only the state changed
+    /// since the previous one (sparse patches + the applied batches),
+    /// cutting the fsync burst at high update rates. Boot and shutdown
+    /// checkpoints are always full; recovery chains base + deltas and
+    /// is bit-identical to full-checkpoint recovery.
+    pub delta_checkpoints: bool,
+    /// With delta checkpoints: rebase onto a fresh full checkpoint
+    /// after this many consecutive deltas (bounds the recovery chain).
+    /// 0 forces every checkpoint full.
+    pub full_rebase_every: u32,
 }
 
 impl DurabilityConfig {
     /// Durability under `dir` with the defaults: checkpoint every 16
-    /// batches, fsync every append.
+    /// batches, fsync every append, full (non-delta) checkpoints.
     pub fn new(dir: impl Into<PathBuf>) -> DurabilityConfig {
         DurabilityConfig {
             dir: dir.into(),
             checkpoint_every_batches: 16,
             sync: SyncPolicy::EveryBatch,
+            delta_checkpoints: false,
+            full_rebase_every: 4,
         }
     }
 
@@ -122,6 +156,12 @@ pub struct ServeConfig {
     /// Injected faults (tests and chaos drills; [`FaultPlan::none`]
     /// in production).
     pub faults: FaultPlan,
+    /// Primary-side escape hatch for WAL compaction: a follower whose
+    /// ack trails a proposed compaction watermark by more than this
+    /// many batches is marked for checkpoint re-sync instead of
+    /// pinning the log (a dead follower must not hold the WAL open
+    /// forever).
+    pub max_follower_lag: u64,
 }
 
 impl Default for ServeConfig {
@@ -136,6 +176,7 @@ impl Default for ServeConfig {
             partition_scoped: true,
             durability: None,
             faults: FaultPlan::none(),
+            max_follower_lag: 1024,
         }
     }
 }
@@ -160,6 +201,16 @@ pub enum ServeError {
     },
     /// The durability layer failed (WAL append, checkpoint I/O, ...).
     Io(std::io::Error),
+    /// A write (or a replication request only the primary can serve)
+    /// reached a follower. Retryable against the primary.
+    NotPrimary,
+    /// A follower's probe fingerprints disagree with the primary's at
+    /// the same settled sequence number: its replayed state has
+    /// diverged and it must re-sync from a checkpoint.
+    Divergent {
+        /// The sequence watermark the fingerprints were compared at.
+        seq: u64,
+    },
 }
 
 impl std::fmt::Display for ServeError {
@@ -172,6 +223,10 @@ impl std::fmt::Display for ServeError {
                 write!(f, "snapshot lags by {lag} batches (bound {max})")
             }
             ServeError::Io(e) => write!(f, "durability I/O error: {e}"),
+            ServeError::NotPrimary => write!(f, "this node is not the primary"),
+            ServeError::Divergent { seq } => {
+                write!(f, "replica state diverged at seq {seq}; re-sync required")
+            }
         }
     }
 }
@@ -289,6 +344,31 @@ pub struct ServeStats {
     pub checkpoints_written: AtomicU64,
     /// Connections refused at accept time because the cap was reached.
     pub connections_shed: AtomicU64,
+    /// WAL segments shipped to followers (primary side).
+    pub repl_segments_shipped: AtomicU64,
+    /// WAL records shipped inside those segments (primary side).
+    pub repl_records_shipped: AtomicU64,
+    /// Follower acks received (primary side).
+    pub repl_acks: AtomicU64,
+    /// Worst live-follower lag in batches behind the settled sequence
+    /// number, at the last subscribe/ack (primary side; gauge).
+    pub repl_follower_lag: AtomicU64,
+    /// Follower fingerprint mismatches detected (primary side).
+    pub repl_divergences: AtomicU64,
+    /// Checkpoint re-syncs: served with `resync` set on the primary,
+    /// performed on the follower.
+    pub repl_resyncs: AtomicU64,
+    /// Last sequence number this node settled and fingerprinted
+    /// (gauge; both roles).
+    pub repl_last_seq: AtomicU64,
+    /// The primary's settled sequence number as of the last received
+    /// segment (follower side; gauge — the bounded-staleness
+    /// reference point).
+    pub repl_primary_seq: AtomicU64,
+    /// Checkpoints written as deltas against the previous one.
+    pub delta_checkpoints_written: AtomicU64,
+    /// Total bytes of checkpoint files written (full and delta).
+    pub checkpoint_bytes_written: AtomicU64,
 }
 
 /// A plain-value copy of every counter plus epoch/graph facts.
@@ -344,10 +424,186 @@ pub struct StatsSnapshot {
     pub checkpoints_written: u64,
     /// Connections shed at the accept cap.
     pub connections_shed: u64,
+    /// WAL segments shipped to followers.
+    pub repl_segments_shipped: u64,
+    /// WAL records shipped to followers.
+    pub repl_records_shipped: u64,
+    /// Follower acks received.
+    pub repl_acks: u64,
+    /// Worst live-follower lag behind the settled seq (gauge).
+    pub repl_follower_lag: u64,
+    /// Follower divergences detected by probe comparison.
+    pub repl_divergences: u64,
+    /// Checkpoint re-syncs (served or performed).
+    pub repl_resyncs: u64,
+    /// Last settled-and-fingerprinted sequence number (gauge).
+    pub repl_last_seq: u64,
+    /// Last known primary settled seq (follower gauge).
+    pub repl_primary_seq: u64,
+    /// Delta checkpoints written.
+    pub delta_checkpoints_written: u64,
+    /// Checkpoint bytes written (full + delta).
+    pub checkpoint_bytes_written: u64,
+}
+
+/// Which side of a replicated pair this node is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Role {
+    /// Accepts updates, owns the WAL, streams it to followers.
+    Primary,
+    /// Replays the primary's WAL through the supervised apply path;
+    /// serves reads, refuses writes (until promoted).
+    Follower,
+}
+
+const ROLE_PRIMARY: u8 = 0;
+const ROLE_FOLLOWER: u8 = 1;
+
+/// Probe-history entries kept per node (one per settled batch).
+const PROBE_HISTORY: usize = 1024;
+
+/// One registered follower, as the primary tracks it.
+#[derive(Debug, Default)]
+struct FollowerEntry {
+    acked_seq: u64,
+    needs_resync: bool,
+}
+
+/// One quiesced fingerprint record: the per-pipeline state hashes
+/// after the batch with sequence number `seq` settled.
+#[derive(Debug, Clone)]
+struct ProbeEntry {
+    seq: u64,
+    epoch: u64,
+    fingerprints: Vec<u64>,
+}
+
+/// Shared replication bookkeeping: the role, the follower registry,
+/// the bounded probe-fingerprint history, and the compaction floor.
+#[derive(Debug)]
+struct ReplicationState {
+    role: AtomicU8,
+    followers: Mutex<HashMap<u64, FollowerEntry>>,
+    probes: Mutex<VecDeque<ProbeEntry>>,
+    /// Seq through which the WAL has been compacted: records at or
+    /// below it may no longer be on disk.
+    compacted_through: AtomicU64,
+    /// Generation counter bumped by the mutator after each completed
+    /// re-sync ([`ServeCore::resync_from`] blocks on it).
+    resync_done: AtomicU64,
+}
+
+impl ReplicationState {
+    fn new(role: Role) -> ReplicationState {
+        ReplicationState {
+            role: AtomicU8::new(match role {
+                Role::Primary => ROLE_PRIMARY,
+                Role::Follower => ROLE_FOLLOWER,
+            }),
+            followers: Mutex::new(HashMap::new()),
+            probes: Mutex::new(VecDeque::new()),
+            compacted_through: AtomicU64::new(0),
+            resync_done: AtomicU64::new(0),
+        }
+    }
+
+    fn role(&self) -> Role {
+        if self.role.load(Ordering::Acquire) == ROLE_FOLLOWER {
+            Role::Follower
+        } else {
+            Role::Primary
+        }
+    }
+
+    fn record_probe(&self, seq: u64, epoch: u64, fingerprints: Vec<u64>) {
+        let mut probes = crate::lock_unpoisoned(&self.probes);
+        if probes.len() == PROBE_HISTORY {
+            probes.pop_front();
+        }
+        probes.push_back(ProbeEntry {
+            seq,
+            epoch,
+            fingerprints,
+        });
+    }
+
+    fn probe_at(&self, at_seq: Option<u64>) -> Option<ProbeEntry> {
+        let probes = crate::lock_unpoisoned(&self.probes);
+        match at_seq {
+            None => probes.back().cloned(),
+            Some(s) => probes.iter().rev().find(|p| p.seq == s).cloned(),
+        }
+    }
+
+    /// Clamps a proposed compaction watermark to the acks of live
+    /// followers. A follower trailing `proposed` by more than
+    /// `max_lag` is marked for checkpoint re-sync instead of pinning
+    /// the log (the escape hatch for dead followers).
+    fn clamp_watermark(&self, proposed: u64, max_lag: u64) -> u64 {
+        let mut w = proposed;
+        let mut followers = crate::lock_unpoisoned(&self.followers);
+        for entry in followers.values_mut() {
+            if entry.needs_resync {
+                continue; // re-syncs from a checkpoint; needs no WAL records
+            }
+            if proposed.saturating_sub(entry.acked_seq) > max_lag {
+                entry.needs_resync = true;
+            } else {
+                w = w.min(entry.acked_seq);
+            }
+        }
+        w
+    }
+}
+
+/// The payload of one shipped WAL segment: `(seq, updates)` pairs in
+/// ascending seq order, exactly as the primary's mutator settled them.
+pub type SegmentRecords = Vec<(u64, Vec<EdgeUpdate>)>;
+
+/// A fingerprint probe answer: the per-pipeline state hashes this node
+/// recorded when `seq` settled.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProbeReport {
+    /// The sequence watermark the fingerprints were captured at.
+    pub seq: u64,
+    /// The epoch counter at that watermark.
+    pub epoch: u64,
+    /// Whether this node still holds a record at the requested
+    /// watermark (the history is bounded; old entries age out).
+    pub known: bool,
+    /// One hash per warm pipeline, in `ServeConfig::warm` order.
+    pub fingerprints: Vec<u64>,
+}
+
+/// A 64-bit fingerprint of one pipeline's externally visible state:
+/// graph shape, exact converged-state bits, and the processing order.
+/// Two pipelines that replayed the same batches from the same start
+/// hash identically (the bit-identical-replay guarantee); any
+/// divergence flips the hash with overwhelming probability.
+fn pipeline_fingerprint(sp: &StreamingPipeline) -> u64 {
+    let mut h: u64 = 0x9e37_79b9_7f4a_7c15;
+    let mut mix = |x: u64| h = splitmix64(h ^ x);
+    mix(sp.graph().num_vertices() as u64);
+    mix(sp.graph().num_edges() as u64);
+    for &s in sp.states() {
+        mix(s.to_bits());
+    }
+    for &v in sp.order().order() {
+        mix(v as u64);
+    }
+    h
+}
+
+fn fingerprints(pipelines: &[(WarmSpec, StreamingPipeline)]) -> Vec<u64> {
+    pipelines
+        .iter()
+        .map(|(_, sp)| pipeline_fingerprint(sp))
+        .collect()
 }
 
 enum MutatorMsg {
     Batch { seq: u64, updates: Vec<EdgeUpdate> },
+    Resync(Box<Checkpoint>),
     Stop,
 }
 
@@ -385,8 +641,26 @@ struct MutatorCtx {
     faults: FaultPlan,
     durability: Option<DurabilityConfig>,
     compact_after: Arc<AtomicU64>,
+    repl: Arc<ReplicationState>,
+    max_follower_lag: u64,
     epoch: u64,
     last_seq: u64,
+    /// Base of the next delta checkpoint (kept only when delta
+    /// checkpoints are enabled — it holds full exported state).
+    ckpt_base: Option<Checkpoint>,
+    /// Successfully applied batches since `ckpt_base` was captured.
+    pending_batches: Vec<(u64, Vec<EdgeUpdate>)>,
+    /// Delta files written since the last full rebase.
+    deltas_since_rebase: u32,
+}
+
+/// Delta-checkpoint bookkeeping carried from `start`/`recover` into
+/// the mutator (empty for followers and non-delta configurations).
+#[derive(Default)]
+struct RecoverySeed {
+    ckpt_base: Option<Checkpoint>,
+    pending_batches: Vec<(u64, Vec<EdgeUpdate>)>,
+    deltas_since_rebase: u32,
 }
 
 /// The service core. `Arc<ServeCore>` is shared by every connection
@@ -400,6 +674,8 @@ pub struct ServeCore {
     compact_after: Arc<AtomicU64>,
     durability: Option<DurabilityConfig>,
     faults: FaultPlan,
+    repl: Arc<ReplicationState>,
+    max_follower_lag: u64,
 }
 
 impl ServeCore {
@@ -438,6 +714,7 @@ impl ServeCore {
 
         let stats = Arc::new(ServeStats::default());
         let mut wal = None;
+        let mut seed = RecoverySeed::default();
         if let Some(d) = &config.durability {
             std::fs::create_dir_all(&d.dir)?;
             if d.checkpoint_path().exists() || d.wal_path().exists() {
@@ -448,11 +725,15 @@ impl ServeCore {
             }
             // Bootstrap checkpoint: recovery always has a base state,
             // even if the process dies before the first periodic one.
-            write_checkpoint(
-                &d.checkpoint_path(),
-                &make_checkpoint(&pipelines, 0, 0, &stats),
-            )?;
+            let ck = make_checkpoint(&pipelines, 0, 0, &stats);
+            let bytes = write_checkpoint(&d.checkpoint_path(), &ck)?;
             stats.checkpoints_written.fetch_add(1, Ordering::Relaxed);
+            stats
+                .checkpoint_bytes_written
+                .fetch_add(bytes, Ordering::Relaxed);
+            if d.delta_checkpoints {
+                seed.ckpt_base = Some(ck);
+            }
             wal = Some(WalWriter::open(&d.wal_path(), d.sync)?);
         }
 
@@ -466,6 +747,8 @@ impl ServeCore {
             wal,
             0,
             0,
+            Role::Primary,
+            seed,
         )
     }
 
@@ -478,7 +761,10 @@ impl ServeCore {
         let d = config.durability.clone().ok_or_else(|| {
             ServeError::InvalidRequest("recover requires a durability config".to_string())
         })?;
-        let ck = read_checkpoint(&d.checkpoint_path())?.ok_or_else(|| {
+        // Chained read: the base checkpoint plus any delta files a
+        // delta-checkpointing run left behind (stale deltas from a
+        // crashed rebase are detected by their base_seq and ignored).
+        let (ck, chained) = read_checkpoint_chain(&d.checkpoint_path())?.ok_or_else(|| {
             ServeError::InvalidRequest(format!(
                 "no checkpoint in {}; nothing to recover",
                 d.dir.display()
@@ -489,6 +775,11 @@ impl ServeCore {
                 "checkpoint carries no pipelines".to_string(),
             ));
         }
+        let mut seed = RecoverySeed {
+            ckpt_base: d.delta_checkpoints.then(|| ck.clone()),
+            pending_batches: Vec::new(),
+            deltas_since_rebase: chained,
+        };
 
         let build = PipelineBuild::from_config(&config);
         let mut pipelines: Vec<(WarmSpec, StreamingPipeline)> =
@@ -542,6 +833,10 @@ impl ServeCore {
                     .fetch_add(rec.updates.len() as u64, Ordering::Relaxed);
                 stats.mutator_rounds.fetch_add(rounds, Ordering::Relaxed);
                 stats.degraded.store(0, Ordering::Relaxed);
+                if seed.ckpt_base.is_some() {
+                    // The replayed tail belongs to the next delta.
+                    seed.pending_batches.push((rec.seq, rec.updates.clone()));
+                }
             }
         }
         stats.batches_enqueued.store(last_seq, Ordering::Relaxed);
@@ -552,7 +847,18 @@ impl ServeCore {
             epoch,
         ));
         let wal = Some(WalWriter::open(&wal_path, d.sync)?);
-        Self::launch(cell, pipelines, stats, config, build, wal, epoch, last_seq)
+        Self::launch(
+            cell,
+            pipelines,
+            stats,
+            config,
+            build,
+            wal,
+            epoch,
+            last_seq,
+            Role::Primary,
+            seed,
+        )
     }
 
     /// [`recover`](Self::recover) when durable state exists, otherwise
@@ -583,16 +889,28 @@ impl ServeCore {
         wal: Option<WalWriter>,
         epoch: u64,
         last_seq: u64,
+        role: Role,
+        seed: RecoverySeed,
     ) -> Result<Arc<ServeCore>, ServeError> {
         let compact_after = Arc::new(AtomicU64::new(NO_COMPACTION));
+        let repl = Arc::new(ReplicationState::new(role));
+        // Seed the probe history: an ack or probe at the boot
+        // watermark has an answer before any batch settles.
+        repl.record_probe(last_seq, epoch, fingerprints(&pipelines));
+        stats.repl_last_seq.store(last_seq, Ordering::Relaxed);
         let ctx = MutatorCtx {
             pipelines,
             build,
             faults: config.faults.clone(),
             durability: config.durability.clone(),
             compact_after: Arc::clone(&compact_after),
+            repl: Arc::clone(&repl),
+            max_follower_lag: config.max_follower_lag,
             epoch,
             last_seq,
+            ckpt_base: seed.ckpt_base,
+            pending_batches: seed.pending_batches,
+            deltas_since_rebase: seed.deltas_since_rebase,
         };
         // The mutator owns only the shared inner pieces (epoch cell +
         // counters), never an `Arc<ServeCore>` — a core handle here
@@ -617,6 +935,8 @@ impl ServeCore {
             compact_after,
             durability: config.durability,
             faults: config.faults,
+            repl,
+            max_follower_lag: config.max_follower_lag,
         }))
     }
 
@@ -641,7 +961,14 @@ impl ServeCore {
     /// with concurrent compatible requests (see [`crate::admission`]).
     pub fn execute_query(&self, req: QueryRequest) -> Result<Arc<QueryOutcome>, ServeError> {
         if let Some(max) = req.max_epoch_lag {
-            let enqueued = self.stats.batches_enqueued.load(Ordering::Relaxed);
+            // On a follower the freshest reference is the primary's
+            // settled seq from the last WAL segment — bounded staleness
+            // holds against the primary, not just the local queue.
+            let enqueued = self
+                .stats
+                .batches_enqueued
+                .load(Ordering::Relaxed)
+                .max(self.stats.repl_primary_seq.load(Ordering::Relaxed));
             let settled = self.stats.batches_applied.load(Ordering::Relaxed)
                 + self.stats.mutator_errors.load(Ordering::Relaxed);
             let lag = enqueued.saturating_sub(settled);
@@ -763,6 +1090,9 @@ impl ServeCore {
     /// this returns — an acked batch survives a crash. Returns the
     /// number of updates accepted.
     pub fn enqueue_updates(&self, updates: Vec<EdgeUpdate>) -> Result<usize, ServeError> {
+        if self.role() != Role::Primary {
+            return Err(ServeError::NotPrimary);
+        }
         if updates.is_empty() {
             return Err(ServeError::InvalidRequest("empty update batch".to_string()));
         }
@@ -774,12 +1104,22 @@ impl ServeCore {
             // A compaction watermark set by the mutator (post-
             // checkpoint) is honored here, under the lane lock, because
             // this thread owns the log's fd: compaction renames a fresh
-            // inode over the path, so the writer must be reopened.
+            // inode over the path, so the writer must be reopened. The
+            // proposal is clamped to the slowest live follower's ack so
+            // compaction never discards a record a follower still
+            // needs (laggards past `max_follower_lag` are evicted to
+            // checkpoint re-sync instead).
             let watermark = self.compact_after.swap(NO_COMPACTION, Ordering::AcqRel);
             if watermark != NO_COMPACTION {
+                let watermark = self.repl.clamp_watermark(watermark, self.max_follower_lag);
                 lane.wal = None; // close the fd the rename strands
-                if let Err(e) = compact_wal(&d.wal_path(), watermark) {
-                    eprintln!("gograph-serve: WAL compaction failed: {e}");
+                match compact_wal(&d.wal_path(), watermark) {
+                    Ok(_) => {
+                        self.repl
+                            .compacted_through
+                            .store(watermark, Ordering::Release);
+                    }
+                    Err(e) => eprintln!("gograph-serve: WAL compaction failed: {e}"),
                 }
             }
             if lane.wal.is_none() {
@@ -829,6 +1169,16 @@ impl ServeCore {
             wal_replayed: s.wal_replayed.load(Ordering::Relaxed),
             checkpoints_written: s.checkpoints_written.load(Ordering::Relaxed),
             connections_shed: s.connections_shed.load(Ordering::Relaxed),
+            repl_segments_shipped: s.repl_segments_shipped.load(Ordering::Relaxed),
+            repl_records_shipped: s.repl_records_shipped.load(Ordering::Relaxed),
+            repl_acks: s.repl_acks.load(Ordering::Relaxed),
+            repl_follower_lag: s.repl_follower_lag.load(Ordering::Relaxed),
+            repl_divergences: s.repl_divergences.load(Ordering::Relaxed),
+            repl_resyncs: s.repl_resyncs.load(Ordering::Relaxed),
+            repl_last_seq: s.repl_last_seq.load(Ordering::Relaxed),
+            repl_primary_seq: s.repl_primary_seq.load(Ordering::Relaxed),
+            delta_checkpoints_written: s.delta_checkpoints_written.load(Ordering::Relaxed),
+            checkpoint_bytes_written: s.checkpoint_bytes_written.load(Ordering::Relaxed),
         }
     }
 
@@ -859,6 +1209,310 @@ impl ServeCore {
             }
             std::thread::sleep(Duration::from_millis(1));
         }
+    }
+
+    /// This node's current replication role.
+    pub fn role(&self) -> Role {
+        self.repl.role()
+    }
+
+    /// Promotes this node to primary (failover): its puller observes
+    /// the flip and stops, and writes are accepted from then on.
+    /// Idempotent. A promoted follower has no durability of its own —
+    /// post-failover writes are in-memory until it is given a WAL.
+    pub fn promote(&self) {
+        self.repl.role.store(ROLE_PRIMARY, Ordering::Release);
+    }
+
+    /// Registers (or refreshes) a follower and returns the settled WAL
+    /// records after its ack watermark: `(primary_seq, resync,
+    /// records)`. `primary_seq` is this primary's settled sequence
+    /// number (the follower's staleness reference). When `resync` is
+    /// true the follower was marked divergent or fell behind the
+    /// compaction floor: it must re-bootstrap from
+    /// [`fetch_checkpoint`](Self::fetch_checkpoint) before
+    /// re-subscribing.
+    pub fn replica_subscribe(
+        &self,
+        follower: u64,
+        after_seq: u64,
+        max_records: u32,
+    ) -> Result<(u64, bool, SegmentRecords), ServeError> {
+        if self.role() != Role::Primary {
+            return Err(ServeError::NotPrimary);
+        }
+        let d = self.durability.as_ref().ok_or_else(|| {
+            ServeError::InvalidRequest(
+                "replication requires a durable primary (no WAL to ship)".to_string(),
+            )
+        })?;
+        let settled = self.stats.batches_applied.load(Ordering::Relaxed)
+            + self.stats.mutator_errors.load(Ordering::Relaxed);
+        let marked = {
+            let mut followers = crate::lock_unpoisoned(&self.repl.followers);
+            let entry = followers.entry(follower).or_default();
+            if entry.needs_resync {
+                entry.needs_resync = false; // it re-bootstraps now
+                entry.acked_seq = after_seq;
+                true
+            } else {
+                entry.acked_seq = entry.acked_seq.max(after_seq);
+                false
+            }
+        };
+        let compacted = self.repl.compacted_through.load(Ordering::Acquire);
+        if marked || after_seq < compacted {
+            self.stats.repl_resyncs.fetch_add(1, Ordering::Relaxed);
+            return Ok((settled, true, Vec::new()));
+        }
+        // Read under the lane lock: a concurrent compaction swaps the
+        // log's inode, and the read must see one or the other whole.
+        let records: SegmentRecords = {
+            let _guard = crate::lock_unpoisoned(&self.update_lane);
+            read_wal_segment(&d.wal_path(), after_seq, settled, max_records.min(4096))?
+                .into_iter()
+                .map(|r| (r.seq, r.updates))
+                .collect()
+        };
+        // Belt and braces: if the log no longer covers the record right
+        // after the follower's watermark (e.g. a compaction that ran
+        // before this follower registered), force a re-sync rather
+        // than silently skipping records.
+        let gap = match records.first() {
+            Some((first, _)) => *first != after_seq + 1,
+            None => settled > after_seq,
+        };
+        if gap {
+            self.stats.repl_resyncs.fetch_add(1, Ordering::Relaxed);
+            return Ok((settled, true, Vec::new()));
+        }
+        self.stats
+            .repl_segments_shipped
+            .fetch_add(1, Ordering::Relaxed);
+        self.stats
+            .repl_records_shipped
+            .fetch_add(records.len() as u64, Ordering::Relaxed);
+        self.update_follower_lag(settled);
+        Ok((settled, false, records))
+    }
+
+    /// Records a follower's cumulative ack and compares its probe
+    /// fingerprints against this primary's own at the same watermark.
+    /// A mismatch marks the follower divergent (its next subscribe is
+    /// answered with `resync`) and returns [`ServeError::Divergent`].
+    pub fn replica_ack(
+        &self,
+        follower: u64,
+        seq: u64,
+        fingerprints: &[u64],
+    ) -> Result<ProbeReport, ServeError> {
+        if self.role() != Role::Primary {
+            return Err(ServeError::NotPrimary);
+        }
+        self.stats.repl_acks.fetch_add(1, Ordering::Relaxed);
+        {
+            let mut followers = crate::lock_unpoisoned(&self.repl.followers);
+            let entry = followers.entry(follower).or_default();
+            entry.acked_seq = entry.acked_seq.max(seq);
+        }
+        let settled = self.stats.batches_applied.load(Ordering::Relaxed)
+            + self.stats.mutator_errors.load(Ordering::Relaxed);
+        self.update_follower_lag(settled);
+        match self.repl.probe_at(Some(seq)) {
+            Some(own) if own.fingerprints == fingerprints => Ok(ProbeReport {
+                seq,
+                epoch: own.epoch,
+                known: true,
+                fingerprints: own.fingerprints,
+            }),
+            Some(_) => {
+                self.stats.repl_divergences.fetch_add(1, Ordering::Relaxed);
+                let mut followers = crate::lock_unpoisoned(&self.repl.followers);
+                if let Some(entry) = followers.get_mut(&follower) {
+                    entry.needs_resync = true;
+                }
+                Err(ServeError::Divergent { seq })
+            }
+            // The watermark aged out of the bounded history: nothing
+            // to judge against, accept the ack.
+            None => Ok(ProbeReport {
+                seq,
+                epoch: 0,
+                known: false,
+                fingerprints: Vec::new(),
+            }),
+        }
+    }
+
+    /// This node's own probe fingerprints at `at_seq`, or at the
+    /// newest settled watermark when `None`. Works on both roles (the
+    /// CI smoke compares a primary's and a follower's reports).
+    pub fn probe(&self, at_seq: Option<u64>) -> ProbeReport {
+        match self.repl.probe_at(at_seq) {
+            Some(p) => ProbeReport {
+                seq: p.seq,
+                epoch: p.epoch,
+                known: true,
+                fingerprints: p.fingerprints,
+            },
+            None => ProbeReport {
+                seq: at_seq.unwrap_or(0),
+                epoch: 0,
+                known: false,
+                fingerprints: Vec::new(),
+            },
+        }
+    }
+
+    /// The latest on-disk checkpoint (base plus delta chain) — what a
+    /// bootstrapping or re-syncing follower resumes from.
+    pub fn fetch_checkpoint(&self) -> Result<Checkpoint, ServeError> {
+        if self.role() != Role::Primary {
+            return Err(ServeError::NotPrimary);
+        }
+        let d = self.durability.as_ref().ok_or_else(|| {
+            ServeError::InvalidRequest("no durability configured; nothing to ship".to_string())
+        })?;
+        read_checkpoint_chain(&d.checkpoint_path())?
+            .map(|(ck, _)| ck)
+            .ok_or_else(|| ServeError::InvalidRequest("no checkpoint on disk yet".to_string()))
+    }
+
+    /// Boots a read-serving follower from a primary's checkpoint: the
+    /// same resume path as [`recover`](Self::recover), but with no
+    /// local durability (the primary's WAL is the record of truth) and
+    /// writes refused — batches arrive only through
+    /// [`replicate_batch`](Self::replicate_batch).
+    pub fn follow_from_checkpoint(
+        ck: Checkpoint,
+        config: ServeConfig,
+    ) -> Result<Arc<ServeCore>, ServeError> {
+        if config.durability.is_some() {
+            return Err(ServeError::InvalidRequest(
+                "a follower keeps no durable state of its own; drop the durability config"
+                    .to_string(),
+            ));
+        }
+        if ck.pipelines.is_empty() {
+            return Err(ServeError::InvalidRequest(
+                "checkpoint carries no pipelines".to_string(),
+            ));
+        }
+        let build = PipelineBuild::from_config(&config);
+        let mut pipelines: Vec<(WarmSpec, StreamingPipeline)> =
+            Vec::with_capacity(ck.pipelines.len());
+        for p in ck.pipelines {
+            let sp = resume_warm_pipeline(p.warm, p.state, build)?;
+            pipelines.push((p.warm, sp));
+        }
+        let stats = Arc::new(ServeStats::default());
+        stats.batches_applied.store(ck.epoch, Ordering::Relaxed);
+        stats
+            .mutator_errors
+            .store(ck.seq.saturating_sub(ck.epoch), Ordering::Relaxed);
+        stats
+            .updates_applied
+            .store(ck.updates_applied, Ordering::Relaxed);
+        stats
+            .mutator_rounds
+            .store(ck.mutator_rounds, Ordering::Relaxed);
+        stats.batches_enqueued.store(ck.seq, Ordering::Relaxed);
+        stats.repl_primary_seq.store(ck.seq, Ordering::Relaxed);
+        let cell = Arc::new(EpochCell::with_published(
+            epoch_from_pipelines(ck.epoch, &pipelines),
+            ck.epoch,
+        ));
+        Self::launch(
+            cell,
+            pipelines,
+            stats,
+            config,
+            build,
+            None,
+            ck.epoch,
+            ck.seq,
+            Role::Follower,
+            RecoverySeed::default(),
+        )
+    }
+
+    /// Hands one replicated batch to the mutator — the follower-side
+    /// twin of [`enqueue_updates`](Self::enqueue_updates): no WAL
+    /// append (the primary's log is the record of truth), and the
+    /// primary's sequence number is kept verbatim so both sides'
+    /// fingerprints line up at the same watermarks.
+    pub fn replicate_batch(&self, seq: u64, updates: Vec<EdgeUpdate>) -> Result<(), ServeError> {
+        if self.role() != Role::Follower {
+            return Err(ServeError::InvalidRequest(
+                "replicate_batch is follower-only; the primary applies its own WAL".to_string(),
+            ));
+        }
+        let mut guard = crate::lock_unpoisoned(&self.update_lane);
+        let lane = guard.as_mut().ok_or(ServeError::Closed)?;
+        if seq != lane.next_seq + 1 {
+            return Err(ServeError::InvalidRequest(format!(
+                "replicated batch {seq} is not contiguous with {}",
+                lane.next_seq
+            )));
+        }
+        lane.tx
+            .send(MutatorMsg::Batch { seq, updates })
+            .map_err(|_| ServeError::Closed)?;
+        lane.next_seq = seq;
+        // On a follower "enqueued" is the last primary seq received —
+        // the counter identity enqueued == last assigned seq holds on
+        // both roles.
+        self.stats.batches_enqueued.store(seq, Ordering::Relaxed);
+        Ok(())
+    }
+
+    /// Records the primary's settled sequence number from the latest
+    /// WAL segment — the follower's bounded-staleness reference.
+    pub fn note_primary_seq(&self, seq: u64) {
+        let cur = self.stats.repl_primary_seq.load(Ordering::Relaxed);
+        if seq > cur {
+            self.stats.repl_primary_seq.store(seq, Ordering::Relaxed);
+        }
+    }
+
+    /// Resets this follower onto a primary checkpoint (divergence
+    /// repair, or catch-up after falling behind the compaction floor).
+    /// Blocks until the mutator has swapped the restored state in and
+    /// published it.
+    pub fn resync_from(&self, ck: Checkpoint) -> Result<(), ServeError> {
+        if ck.pipelines.is_empty() {
+            return Err(ServeError::InvalidRequest(
+                "checkpoint carries no pipelines".to_string(),
+            ));
+        }
+        let seq = ck.seq;
+        let gen = self.repl.resync_done.load(Ordering::Acquire);
+        {
+            let mut guard = crate::lock_unpoisoned(&self.update_lane);
+            let lane = guard.as_mut().ok_or(ServeError::Closed)?;
+            lane.tx
+                .send(MutatorMsg::Resync(Box::new(ck)))
+                .map_err(|_| ServeError::Closed)?;
+            lane.next_seq = seq;
+            self.stats.batches_enqueued.store(seq, Ordering::Relaxed);
+        }
+        self.stats.repl_resyncs.fetch_add(1, Ordering::Relaxed);
+        while self.repl.resync_done.load(Ordering::Acquire) <= gen {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        Ok(())
+    }
+
+    /// Refreshes the worst-live-follower-lag gauge.
+    fn update_follower_lag(&self, settled: u64) {
+        let followers = crate::lock_unpoisoned(&self.repl.followers);
+        let worst = followers
+            .values()
+            .filter(|e| !e.needs_resync)
+            .map(|e| settled.saturating_sub(e.acked_seq))
+            .max()
+            .unwrap_or(0);
+        self.stats.repl_follower_lag.store(worst, Ordering::Relaxed);
     }
 }
 
@@ -944,34 +1598,141 @@ fn make_checkpoint(
     }
 }
 
-/// Writes a checkpoint; on success bumps the counter and (when given)
-/// publishes the compaction watermark. A failed write is not fatal —
-/// the WAL still covers everything since the last good checkpoint,
-/// recovery just replays more.
-fn checkpoint_now(
-    d: &DurabilityConfig,
-    pipelines: &[(WarmSpec, StreamingPipeline)],
+/// Writes the periodic checkpoint — a delta against the previous one
+/// when enabled and the rebase cadence allows, a full (rebasing)
+/// checkpoint otherwise. On success optionally publishes `seq` as the
+/// compaction watermark *proposal* (clamping to follower acks happens
+/// at the compaction site). A failed write is not fatal — the WAL
+/// still covers everything since the last good checkpoint, recovery
+/// just replays more.
+fn checkpoint_step(
+    ctx: &mut MutatorCtx,
     seq: u64,
-    epoch: u64,
     stats: &ServeStats,
-    compact_after: Option<&AtomicU64>,
+    force_full: bool,
+    propose_compaction: bool,
 ) -> bool {
-    match write_checkpoint(
-        &d.checkpoint_path(),
-        &make_checkpoint(pipelines, seq, epoch, stats),
-    ) {
-        Ok(()) => {
-            stats.checkpoints_written.fetch_add(1, Ordering::Relaxed);
-            if let Some(w) = compact_after {
-                w.store(seq, Ordering::Release);
+    let Some(d) = ctx.durability.clone() else {
+        return false;
+    };
+    let cur = make_checkpoint(&ctx.pipelines, seq, ctx.epoch, stats);
+    let mut wrote = false;
+    let want_delta = d.delta_checkpoints
+        && !force_full
+        && ctx.ckpt_base.is_some()
+        && ctx.deltas_since_rebase < d.full_rebase_every;
+    if want_delta {
+        let base = ctx.ckpt_base.as_ref().expect("delta base present");
+        match diff_checkpoint(base, &cur, ctx.pending_batches.clone()) {
+            Ok(delta) => {
+                let k = ctx.deltas_since_rebase + 1;
+                match write_delta(&delta_path(&d.checkpoint_path(), k), &delta) {
+                    Ok(bytes) => {
+                        stats.checkpoints_written.fetch_add(1, Ordering::Relaxed);
+                        stats
+                            .delta_checkpoints_written
+                            .fetch_add(1, Ordering::Relaxed);
+                        stats
+                            .checkpoint_bytes_written
+                            .fetch_add(bytes, Ordering::Relaxed);
+                        ctx.deltas_since_rebase = k;
+                        ctx.pending_batches.clear();
+                        wrote = true;
+                    }
+                    Err(e) => eprintln!("gograph-serve: delta checkpoint write failed: {e}"),
+                }
             }
-            true
-        }
-        Err(e) => {
-            eprintln!("gograph-serve: checkpoint write failed: {e}");
-            false
+            Err(e) => eprintln!("gograph-serve: delta diff failed: {e}"),
         }
     }
+    if !wrote {
+        // Full checkpoint (rebase): write the new base first, then
+        // drop the old chain — a crash in between leaves stale deltas
+        // whose base_seq no longer matches, which chain reading
+        // detects and ignores.
+        match write_checkpoint(&d.checkpoint_path(), &cur) {
+            Ok(bytes) => {
+                stats.checkpoints_written.fetch_add(1, Ordering::Relaxed);
+                stats
+                    .checkpoint_bytes_written
+                    .fetch_add(bytes, Ordering::Relaxed);
+                if let Err(e) = remove_deltas(&d.checkpoint_path()) {
+                    eprintln!("gograph-serve: stale delta removal failed: {e}");
+                }
+                ctx.deltas_since_rebase = 0;
+                ctx.pending_batches.clear();
+                wrote = true;
+            }
+            Err(e) => eprintln!("gograph-serve: checkpoint write failed: {e}"),
+        }
+    }
+    if wrote {
+        if d.delta_checkpoints {
+            ctx.ckpt_base = Some(cur);
+        }
+        if propose_compaction {
+            ctx.compact_after.store(seq, Ordering::Release);
+        }
+    }
+    wrote
+}
+
+/// Chaos drill (armed only by follower test plans): flips one
+/// converged state in the first pipeline to an impossible value and
+/// resumes the pipeline over it, so subsequent epochs and fingerprints
+/// silently diverge from the primary's — exactly the fault the probe
+/// comparison must catch.
+fn corrupt_pipeline_state(ctx: &mut MutatorCtx, seq: u64) {
+    let (spec, sp) = &mut ctx.pipelines[0];
+    let mut st = sp.export_state();
+    if st.states.is_empty() {
+        return;
+    }
+    let idx = seq as usize % st.states.len();
+    st.states[idx] = -4096.5;
+    match resume_warm_pipeline(*spec, st, ctx.build) {
+        Ok(fresh) => {
+            *sp = fresh;
+            eprintln!("gograph-serve: injected state corruption after batch {seq}");
+        }
+        Err(e) => eprintln!("gograph-serve: corruption injection failed to resume: {e}"),
+    }
+}
+
+/// Swaps the mutator's entire decision state for a primary checkpoint
+/// (divergence repair). Publishes the restored epoch and resets the
+/// probe history — stale fingerprints of diverged state must not
+/// answer probes at watermarks the follower is about to replay again.
+fn resync_mutator(ctx: &mut MutatorCtx, ck: Checkpoint, cell: &EpochCell, stats: &ServeStats) {
+    let mut pipelines = Vec::with_capacity(ck.pipelines.len());
+    for p in &ck.pipelines {
+        match resume_warm_pipeline(p.warm, p.state.clone(), ctx.build) {
+            Ok(sp) => pipelines.push((p.warm, sp)),
+            Err(e) => {
+                eprintln!("gograph-serve: re-sync resume failed: {e}; keeping current state");
+                return;
+            }
+        }
+    }
+    ctx.pipelines = pipelines;
+    ctx.epoch = ck.epoch;
+    ctx.last_seq = ck.seq;
+    stats.batches_applied.store(ck.epoch, Ordering::Relaxed);
+    stats
+        .mutator_errors
+        .store(ck.seq.saturating_sub(ck.epoch), Ordering::Relaxed);
+    stats
+        .updates_applied
+        .store(ck.updates_applied, Ordering::Relaxed);
+    stats
+        .mutator_rounds
+        .store(ck.mutator_rounds, Ordering::Relaxed);
+    stats.degraded.store(0, Ordering::Relaxed);
+    cell.publish(epoch_from_pipelines(ctx.epoch, &ctx.pipelines));
+    crate::lock_unpoisoned(&ctx.repl.probes).clear();
+    ctx.repl
+        .record_probe(ck.seq, ck.epoch, fingerprints(&ctx.pipelines));
+    stats.repl_last_seq.store(ck.seq, Ordering::Relaxed);
 }
 
 fn mutator_loop(
@@ -980,46 +1741,65 @@ fn mutator_loop(
     cell: &EpochCell,
     stats: &ServeStats,
 ) {
-    while let Ok(MutatorMsg::Batch { seq, updates }) = rx.recv() {
-        ctx.last_seq = seq;
-        let Some(rounds) = apply_supervised(
-            &mut ctx.pipelines,
-            seq,
-            &updates,
-            stats,
-            &ctx.faults,
-            ctx.build,
-        ) else {
-            continue;
-        };
-        ctx.epoch += 1;
-        cell.publish(epoch_from_pipelines(ctx.epoch, &ctx.pipelines));
-        stats.batches_applied.fetch_add(1, Ordering::Relaxed);
-        stats
-            .updates_applied
-            .fetch_add(updates.len() as u64, Ordering::Relaxed);
-        stats.mutator_rounds.fetch_add(rounds, Ordering::Relaxed);
-        stats.degraded.store(0, Ordering::Relaxed);
-        if let Some(d) = &ctx.durability {
-            if d.checkpoint_every_batches > 0 && seq % d.checkpoint_every_batches == 0 {
-                checkpoint_now(
-                    d,
-                    &ctx.pipelines,
+    loop {
+        match rx.recv() {
+            Ok(MutatorMsg::Batch { seq, updates }) => {
+                ctx.last_seq = seq;
+                if let Some(rounds) = apply_supervised(
+                    &mut ctx.pipelines,
                     seq,
-                    ctx.epoch,
+                    &updates,
                     stats,
-                    Some(&ctx.compact_after),
-                );
+                    &ctx.faults,
+                    ctx.build,
+                ) {
+                    ctx.epoch += 1;
+                    if ctx.faults.corrupt_state(seq) {
+                        corrupt_pipeline_state(&mut ctx, seq);
+                    }
+                    cell.publish(epoch_from_pipelines(ctx.epoch, &ctx.pipelines));
+                    stats.batches_applied.fetch_add(1, Ordering::Relaxed);
+                    stats
+                        .updates_applied
+                        .fetch_add(updates.len() as u64, Ordering::Relaxed);
+                    stats.mutator_rounds.fetch_add(rounds, Ordering::Relaxed);
+                    stats.degraded.store(0, Ordering::Relaxed);
+                    if ctx.ckpt_base.is_some() {
+                        ctx.pending_batches.push((seq, updates));
+                    }
+                    let every = ctx
+                        .durability
+                        .as_ref()
+                        .map_or(0, |d| d.checkpoint_every_batches);
+                    if every > 0 && seq % every == 0 {
+                        checkpoint_step(&mut ctx, seq, stats, false, true);
+                    }
+                }
+                // Fingerprint every settled batch, applied or skipped:
+                // failure is deterministic, so a healthy replicated
+                // pair records identical hashes at every watermark.
+                ctx.repl
+                    .record_probe(seq, ctx.epoch, fingerprints(&ctx.pipelines));
+                stats.repl_last_seq.store(seq, Ordering::Relaxed);
             }
+            Ok(MutatorMsg::Resync(ck)) => {
+                resync_mutator(&mut ctx, *ck, cell, stats);
+                ctx.repl.resync_done.fetch_add(1, Ordering::AcqRel);
+            }
+            Ok(MutatorMsg::Stop) | Err(_) => break,
         }
     }
-    // Clean shutdown: capture everything in a final checkpoint and
-    // compact the WAL directly — the update lane is already closed, so
-    // no append can race the rename.
-    if let Some(d) = &ctx.durability {
-        if checkpoint_now(d, &ctx.pipelines, ctx.last_seq, ctx.epoch, stats, None) {
-            if let Err(e) = compact_wal(&d.wal_path(), ctx.last_seq) {
-                eprintln!("gograph-serve: final WAL compaction failed: {e}");
+    // Clean shutdown: capture everything in a final (always full)
+    // checkpoint and compact the WAL directly — the update lane is
+    // already closed, so no append can race the rename. The watermark
+    // is still clamped to live-follower acks.
+    if let Some(d) = ctx.durability.clone() {
+        let last_seq = ctx.last_seq;
+        if checkpoint_step(&mut ctx, last_seq, stats, true, false) {
+            let w = ctx.repl.clamp_watermark(last_seq, ctx.max_follower_lag);
+            match compact_wal(&d.wal_path(), w) {
+                Ok(_) => ctx.repl.compacted_through.store(w, Ordering::Release),
+                Err(e) => eprintln!("gograph-serve: final WAL compaction failed: {e}"),
             }
         }
     }

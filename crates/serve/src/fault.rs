@@ -3,7 +3,9 @@
 //! A [`FaultPlan`] decides, purely as a function of `(seed, fault
 //! kind, event number)`, whether a given event fails: the mutator
 //! panics before or mid-way through batch `seq`, a reply frame is
-//! dropped or delayed. Determinism matters twice over — a failing test
+//! dropped or delayed, a replication link is severed mid-segment, a
+//! follower crashes mid-replay or silently corrupts its warm state.
+//! Determinism matters twice over — a failing test
 //! reproduces from its seed alone, and a recovered process driven by
 //! the *same* plan re-injects the *same* faults, so the
 //! bit-identical-recovery property can be asserted even under
@@ -37,6 +39,10 @@ const KIND_PANIC_MID: u64 = 2;
 const KIND_DROP: u64 = 3;
 const KIND_DELAY: u64 = 4;
 const KIND_STALL: u64 = 5;
+const KIND_LINK_DROP: u64 = 6;
+const KIND_FOLLOWER_CRASH: u64 = 7;
+const KIND_ACK_DELAY: u64 = 8;
+const KIND_CORRUPT: u64 = 9;
 
 /// A seeded, deterministic schedule of injected faults. The default
 /// ([`FaultPlan::none`]) injects nothing and costs one branch per
@@ -51,6 +57,11 @@ pub struct FaultPlan {
     delay: Duration,
     mutator_stall_rate: f64,
     stall: Duration,
+    link_drop_rate: f64,
+    follower_crash_rate: f64,
+    ack_delay_rate: f64,
+    ack_delay: Duration,
+    corrupt_state_rate: f64,
 }
 
 impl Default for FaultPlan {
@@ -77,6 +88,11 @@ impl FaultPlan {
             delay: Duration::ZERO,
             mutator_stall_rate: 0.0,
             stall: Duration::ZERO,
+            link_drop_rate: 0.0,
+            follower_crash_rate: 0.0,
+            ack_delay_rate: 0.0,
+            ack_delay: Duration::ZERO,
+            corrupt_state_rate: 0.0,
         }
     }
 
@@ -116,6 +132,39 @@ impl FaultPlan {
         self
     }
 
+    /// Sever the replication link mid-segment (the follower applies a
+    /// prefix of the segment, then the connection dies), at this rate
+    /// per shipped segment.
+    pub fn with_link_drops(mut self, rate: f64) -> FaultPlan {
+        self.link_drop_rate = rate.clamp(0.0, 1.0);
+        self
+    }
+
+    /// Crash the follower mid-replay (it loses all in-memory state and
+    /// re-bootstraps from the primary's checkpoint), at this rate per
+    /// shipped segment.
+    pub fn with_follower_crashes(mut self, rate: f64) -> FaultPlan {
+        self.follower_crash_rate = rate.clamp(0.0, 1.0);
+        self
+    }
+
+    /// Delay follower acks by `delay` at this rate — models a slow
+    /// replication link so ack-clamped WAL compaction and laggard
+    /// eviction can be exercised deterministically.
+    pub fn with_delayed_acks(mut self, rate: f64, delay: Duration) -> FaultPlan {
+        self.ack_delay_rate = rate.clamp(0.0, 1.0);
+        self.ack_delay = delay;
+        self
+    }
+
+    /// Silently corrupt the replica's warm state after applying batch
+    /// `seq`, at this rate — the injected divergence that probe
+    /// fingerprint comparison must catch.
+    pub fn with_state_corruption(mut self, rate: f64) -> FaultPlan {
+        self.corrupt_state_rate = rate.clamp(0.0, 1.0);
+        self
+    }
+
     /// True when no fault kind is armed (the hot-path short-circuit).
     pub fn is_none(&self) -> bool {
         self.mutator_panic_rate == 0.0
@@ -123,6 +172,10 @@ impl FaultPlan {
             && self.drop_reply_rate == 0.0
             && self.delay_reply_rate == 0.0
             && self.mutator_stall_rate == 0.0
+            && self.link_drop_rate == 0.0
+            && self.follower_crash_rate == 0.0
+            && self.ack_delay_rate == 0.0
+            && self.corrupt_state_rate == 0.0
     }
 
     /// Should the mutator panic before applying batch `seq`?
@@ -160,6 +213,36 @@ impl FaultPlan {
         } else {
             None
         }
+    }
+
+    /// Should the replication link be severed mid-way through shipped
+    /// segment number `k`?
+    pub fn link_drop(&self, k: u64) -> bool {
+        self.link_drop_rate > 0.0 && unit(self.seed, KIND_LINK_DROP, k) < self.link_drop_rate
+    }
+
+    /// Should the follower crash (lose all in-memory state) while
+    /// replaying shipped segment number `k`?
+    pub fn follower_crash(&self, k: u64) -> bool {
+        self.follower_crash_rate > 0.0
+            && unit(self.seed, KIND_FOLLOWER_CRASH, k) < self.follower_crash_rate
+    }
+
+    /// Should the follower's ack for segment number `k` be delayed,
+    /// and by how much?
+    pub fn ack_delay(&self, k: u64) -> Option<Duration> {
+        if self.ack_delay_rate > 0.0 && unit(self.seed, KIND_ACK_DELAY, k) < self.ack_delay_rate {
+            Some(self.ack_delay)
+        } else {
+            None
+        }
+    }
+
+    /// Should the warm state be silently corrupted after applying
+    /// batch `seq`?
+    pub fn corrupt_state(&self, seq: u64) -> bool {
+        self.corrupt_state_rate > 0.0
+            && unit(self.seed, KIND_CORRUPT, seq) < self.corrupt_state_rate
     }
 }
 
@@ -211,5 +294,27 @@ mod tests {
         let p = FaultPlan::seeded(3).with_delayed_replies(1.0, Duration::from_millis(25));
         assert_eq!(p.delay_reply(0), Some(Duration::from_millis(25)));
         assert!(!p.is_none());
+    }
+
+    #[test]
+    fn replication_kinds_draw_independently_and_arm_is_none() {
+        let p = FaultPlan::seeded(9)
+            .with_link_drops(0.5)
+            .with_follower_crashes(0.5)
+            .with_state_corruption(0.5);
+        assert!(!p.is_none());
+        let drops: Vec<bool> = (0..512).map(|k| p.link_drop(k)).collect();
+        let crashes: Vec<bool> = (0..512).map(|k| p.follower_crash(k)).collect();
+        let corrupts: Vec<bool> = (0..512).map(|k| p.corrupt_state(k)).collect();
+        assert_ne!(drops, crashes);
+        assert_ne!(drops, corrupts);
+        let again: Vec<bool> = (0..512).map(|k| p.link_drop(k)).collect();
+        assert_eq!(drops, again, "replication draws must be deterministic");
+
+        let acks = FaultPlan::seeded(4).with_delayed_acks(1.0, Duration::from_millis(5));
+        assert_eq!(acks.ack_delay(7), Some(Duration::from_millis(5)));
+        assert!(!acks.is_none());
+        assert!(FaultPlan::none().ack_delay(7).is_none());
+        assert!(!FaultPlan::none().corrupt_state(7));
     }
 }

@@ -21,10 +21,15 @@
 //!   and the matching blocking client.
 //! - **[`wal`] / [`checkpoint`]** — the durability layer: a CRC-framed
 //!   write-ahead log of admitted update batches plus atomic epoch
-//!   checkpoints, so a crashed server recovers to a bit-identical
-//!   epoch by replaying the WAL tail.
+//!   checkpoints (full or delta-chained), so a crashed server recovers
+//!   to a bit-identical epoch by replaying the WAL tail.
+//! - **[`replication`]** — WAL-shipping primary/follower pairs: the
+//!   follower replays the primary's records through the same
+//!   supervised apply path (bit-identical epochs), fingerprint probes
+//!   detect divergence, checkpoint re-sync repairs it.
 //! - **[`fault`]** — deterministic, seeded fault injection
-//!   ([`FaultPlan`]) used by the crash-recovery test harness.
+//!   ([`FaultPlan`]) used by the crash-recovery and replication test
+//!   harnesses.
 
 #![warn(missing_docs)]
 
@@ -34,26 +39,35 @@ pub mod client;
 pub mod core;
 pub mod epoch;
 pub mod fault;
+pub mod replication;
 pub mod server;
 pub mod spec;
 pub mod wal;
 pub mod wire;
 
 pub use crate::core::{
-    DurabilityConfig, QueryOutcome, QueryRequest, ServeConfig, ServeCore, ServeError,
-    StatsSnapshot, WarmSpec,
+    DurabilityConfig, ProbeReport, QueryOutcome, QueryRequest, Role, SegmentRecords, ServeConfig,
+    ServeCore, ServeError, StatsSnapshot, WarmSpec,
 };
 pub use admission::{Admission, AdmissionQueue};
-pub use checkpoint::{read_checkpoint, write_checkpoint, Checkpoint, PipelineCheckpoint};
+pub use checkpoint::{
+    read_checkpoint, read_checkpoint_chain, write_checkpoint, Checkpoint, DeltaCheckpoint,
+    PipelineCheckpoint,
+};
 pub use client::{ClientError, RetryPolicy, ServeClient};
 pub use epoch::{EpochCell, EpochState, WarmEntry};
 pub use fault::FaultPlan;
-pub use server::{serve, serve_with, ServerConfig, ServerHandle};
-pub use spec::{AlgSpec, ModeSpec, MultiSource};
-pub use wal::{
-    compact_wal, read_wal, truncate_wal, SyncPolicy, TailStatus, WalContents, WalRecord, WalWriter,
+pub use replication::{
+    bootstrap_follower, start_follower, FollowerHandle, ReplicaPuller, ReplicationConfig,
+    StepOutcome,
 };
-pub use wire::{ErrorCode, QueryReply, Reply, Request, WireError};
+pub use server::{serve, serve_with, ServerConfig, ServerHandle};
+pub use spec::{AlgSpec, ModeSpec, MultiSource, RoleSpec};
+pub use wal::{
+    compact_wal, read_wal, read_wal_segment, truncate_wal, SyncPolicy, TailStatus, WalContents,
+    WalRecord, WalWriter,
+};
+pub use wire::{ErrorCode, ProbeVerdict, QueryReply, Reply, Request, WireError};
 
 use std::sync::{Mutex, MutexGuard};
 

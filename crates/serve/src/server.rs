@@ -5,9 +5,11 @@
 //! [`ErrorCode::Capacity`] reply, then close), and hook points for the
 //! fault plan's reply drops/delays.
 
+use crate::checkpoint::encode_checkpoint;
 use crate::core::{QueryRequest, ServeCore, ServeError};
 use crate::wire::{
-    decode_request, encode_reply, read_frame, write_frame, ErrorCode, QueryReply, Reply, Request,
+    decode_request, encode_reply, read_frame, write_frame, ErrorCode, ProbeVerdict, QueryReply,
+    Reply, Request,
 };
 use std::net::{TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
@@ -258,6 +260,8 @@ fn error_reply(e: ServeError) -> Reply {
         ServeError::InvalidRequest(_) => ErrorCode::InvalidRequest,
         ServeError::Stale { .. } => ErrorCode::Stale,
         ServeError::Closed => ErrorCode::Closed,
+        ServeError::NotPrimary => ErrorCode::NotPrimary,
+        ServeError::Divergent { .. } => ErrorCode::Divergent,
         ServeError::Engine(_) | ServeError::Io(_) => ErrorCode::Generic,
     };
     Reply::Error {
@@ -313,6 +317,56 @@ fn respond(core: &Arc<ServeCore>, request: Request) -> Reply {
             },
             Err(e) => error_reply(e),
         },
+        Request::Subscribe {
+            follower,
+            after_seq,
+            max_records,
+        } => match core.replica_subscribe(follower, after_seq, max_records) {
+            Ok((primary_seq, resync, records)) => Reply::WalSegment {
+                primary_seq,
+                resync,
+                records,
+            },
+            Err(e) => error_reply(e),
+        },
+        Request::ReplicaAck {
+            follower,
+            seq,
+            fingerprints,
+        } => match core.replica_ack(follower, seq, &fingerprints) {
+            Ok(report) => Reply::Probe {
+                seq: report.seq,
+                epoch: report.epoch,
+                verdict: if report.known {
+                    ProbeVerdict::Match
+                } else {
+                    ProbeVerdict::Unknown
+                },
+                fingerprints: report.fingerprints,
+            },
+            Err(e) => error_reply(e),
+        },
+        Request::Probe { at_seq } => {
+            let report = core.probe(at_seq);
+            Reply::Probe {
+                seq: report.seq,
+                epoch: report.epoch,
+                verdict: if report.known {
+                    ProbeVerdict::Report
+                } else {
+                    ProbeVerdict::Unknown
+                },
+                fingerprints: report.fingerprints,
+            }
+        }
+        Request::FetchCheckpoint => match core.fetch_checkpoint() {
+            Ok(ck) => Reply::Checkpoint(encode_checkpoint(&ck).to_vec()),
+            Err(e) => error_reply(e),
+        },
+        Request::Promote => {
+            core.promote();
+            Reply::Stats(core.stats_snapshot())
+        }
         Request::Stats | Request::Shutdown => Reply::Stats(core.stats_snapshot()),
     }
 }

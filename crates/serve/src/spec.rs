@@ -113,6 +113,39 @@ impl AlgSpec {
     }
 }
 
+/// A serving role, nameable on the `gograph_serve` command line.
+///
+/// Distinct from [`crate::core::Role`] (the core's *live* role, which
+/// flips on promotion): this is the role a process is *launched* with.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RoleSpec {
+    /// Accepts writes, fsyncs them to its WAL, ships the log to
+    /// subscribed followers.
+    Primary,
+    /// Bootstraps from a primary's checkpoint and replays its WAL;
+    /// serves bounded-staleness reads.
+    Follower,
+}
+
+impl RoleSpec {
+    /// Parses the CLI name.
+    pub fn from_name(name: &str) -> Option<RoleSpec> {
+        match name {
+            "primary" => Some(RoleSpec::Primary),
+            "follower" => Some(RoleSpec::Follower),
+            _ => None,
+        }
+    }
+
+    /// The CLI / display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            RoleSpec::Primary => "primary",
+            RoleSpec::Follower => "follower",
+        }
+    }
+}
+
 /// A wire-addressable execution mode (the subset of [`Mode`] a query
 /// may request; the delta engines need a separate algorithm object and
 /// are not served).
@@ -294,6 +327,10 @@ mod tests {
             assert_eq!(m.code(), code);
         }
         assert_eq!(ModeSpec::from_code(9), None);
+        for role in [RoleSpec::Primary, RoleSpec::Follower] {
+            assert_eq!(RoleSpec::from_name(role.name()), Some(role));
+        }
+        assert_eq!(RoleSpec::from_name("observer"), None);
     }
 
     #[test]

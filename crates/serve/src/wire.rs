@@ -13,6 +13,11 @@
 //! | 2    | UpdateBatch  | n u32 · n × (kind u8 (0 insert / 1 remove) · src u32 · dst u32 · weight f64 if insert) |
 //! | 3    | Stats        | — |
 //! | 4    | Shutdown     | — |
+//! | 5    | Subscribe    | follower u64 · after_seq u64 · max_records u32 — follower asks for the WAL tail after `after_seq` (which doubles as its cumulative ack) |
+//! | 6    | ReplicaAck   | follower u64 · seq u64 · n u32 · fingerprints u64× — follower reports its per-pipeline state fingerprints at applied watermark `seq` |
+//! | 7    | Probe        | flags u8 (bit0 = at_seq present) · \[at_seq u64\] — ask for the node's state fingerprints (at a past watermark, or the latest) |
+//! | 8    | FetchCheckpoint | — follower bootstrap: ship the effective checkpoint |
+//! | 9    | Promote      | — flip a follower to primary (failover) |
 //!
 //! Server → client:
 //!
@@ -20,7 +25,10 @@
 //! |------|--------------|---------|
 //! | 1    | QueryReply   | epoch u64 · alg u8 · flags u8 (bit0 warm, bit1 converged) · admitted u32 · rounds u64 · push_rounds u64 · state_bytes u64 · runtime_micros u64 · n_eff u32 · eff_sources u32× · n_values u32 · (vertex u32 · value f64)× |
 //! | 2    | UpdateAck    | accepted u32 · epochs_published u64 |
-//! | 3    | StatsReply   | the 25 [`StatsSnapshot`] fields as u64, in declaration order |
+//! | 3    | StatsReply   | the 35 [`StatsSnapshot`] fields as u64, in declaration order |
+//! | 4    | WalSegment   | primary_seq u64 · flags u8 (bit0 = resync: the tail is gone, re-bootstrap from checkpoint) · n u32 · n × (seq u64 · update batch) |
+//! | 5    | ProbeReply   | seq u64 · epoch u64 · verdict u8 ([`ProbeVerdict`]) · n u32 · fingerprints u64× |
+//! | 6    | CheckpointReply | n u32 · n bytes (an encoded checkpoint, opaque at the wire layer) |
 //! | 0xFF | Error        | code u8 ([`ErrorCode`]) · len u32 · utf-8 message |
 //!
 //! Decoding is strict: a body with trailing bytes after a well-formed
@@ -69,6 +77,12 @@ pub enum ErrorCode {
     Closed = 3,
     /// The connection cap was hit; retry later.
     Capacity = 4,
+    /// The follower's state fingerprints diverge from the primary's;
+    /// it must re-sync from checkpoint.
+    Divergent = 5,
+    /// A primary-only request hit a follower (or a replication request
+    /// hit a node that cannot serve it).
+    NotPrimary = 6,
 }
 
 impl ErrorCode {
@@ -80,6 +94,35 @@ impl ErrorCode {
             2 => Some(ErrorCode::Stale),
             3 => Some(ErrorCode::Closed),
             4 => Some(ErrorCode::Capacity),
+            5 => Some(ErrorCode::Divergent),
+            6 => Some(ErrorCode::NotPrimary),
+            _ => None,
+        }
+    }
+}
+
+/// How a [`Reply::Probe`] relates the reported fingerprints to the
+/// request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum ProbeVerdict {
+    /// A plain report of the node's fingerprints at `seq` (no
+    /// comparison was requested or possible).
+    Report = 0,
+    /// The caller's fingerprints matched this node's at `seq`.
+    Match = 1,
+    /// The requested watermark is no longer in the probe history; no
+    /// comparison could be made.
+    Unknown = 2,
+}
+
+impl ProbeVerdict {
+    /// Decodes a wire byte.
+    pub fn from_code(code: u8) -> Option<ProbeVerdict> {
+        match code {
+            0 => Some(ProbeVerdict::Report),
+            1 => Some(ProbeVerdict::Match),
+            2 => Some(ProbeVerdict::Unknown),
             _ => None,
         }
     }
@@ -111,6 +154,44 @@ pub enum Request {
     Stats,
     /// Ask the server to shut down (acked with [`Reply::Stats`]).
     Shutdown,
+    /// A follower asks the primary for the WAL tail after `after_seq`;
+    /// reply with [`Reply::WalSegment`].
+    Subscribe {
+        /// Follower identity (stable across reconnects).
+        follower: u64,
+        /// The highest batch seq the follower has applied; records
+        /// shipped start at `after_seq + 1`. Doubles as the cumulative
+        /// ack that clamps WAL compaction.
+        after_seq: u64,
+        /// Cap on records per segment.
+        max_records: u32,
+    },
+    /// A follower reports its per-pipeline state fingerprints at
+    /// applied watermark `seq`; the primary compares them against its
+    /// own probe history and replies [`Reply::Probe`] (verdict
+    /// [`ProbeVerdict::Match`]/[`ProbeVerdict::Unknown`]) or
+    /// [`ErrorCode::Divergent`].
+    ReplicaAck {
+        /// Follower identity.
+        follower: u64,
+        /// Applied watermark the fingerprints were taken at.
+        seq: u64,
+        /// Per-pipeline state fingerprints, in warm-spec order.
+        fingerprints: Vec<u64>,
+    },
+    /// Ask for the node's state fingerprints (at a past watermark if
+    /// `at_seq` is given, else the latest settled one); reply with
+    /// [`Reply::Probe`].
+    Probe {
+        /// Watermark to report at; `None` means the latest.
+        at_seq: Option<u64>,
+    },
+    /// Follower bootstrap: ship the primary's effective checkpoint;
+    /// reply with [`Reply::Checkpoint`].
+    FetchCheckpoint,
+    /// Flip a follower to primary (failover); acked with
+    /// [`Reply::Stats`].
+    Promote,
 }
 
 /// A server → client message.
@@ -127,6 +208,34 @@ pub enum Reply {
     },
     /// Counter snapshot.
     Stats(StatsSnapshot),
+    /// A chunk of the primary's WAL tail (reply to
+    /// [`Request::Subscribe`]).
+    WalSegment {
+        /// The primary's settled seq when the segment was cut — the
+        /// follower measures its staleness lag against this.
+        primary_seq: u64,
+        /// The requested tail has been compacted away (or the follower
+        /// was marked divergent/laggard); it must re-bootstrap from
+        /// the checkpoint. `records` is empty when set.
+        resync: bool,
+        /// `(seq, updates)` records, contiguous from `after_seq + 1`.
+        records: Vec<(u64, Vec<EdgeUpdate>)>,
+    },
+    /// State fingerprints at a seq watermark (reply to
+    /// [`Request::Probe`] and [`Request::ReplicaAck`]).
+    Probe {
+        /// Watermark the fingerprints were taken at.
+        seq: u64,
+        /// Epoch published at that watermark.
+        epoch: u64,
+        /// How the fingerprints relate to the request.
+        verdict: ProbeVerdict,
+        /// Per-pipeline state fingerprints, in warm-spec order.
+        fingerprints: Vec<u64>,
+    },
+    /// An encoded checkpoint (reply to [`Request::FetchCheckpoint`]);
+    /// opaque bytes at the wire layer, decoded by the checkpoint codec.
+    Checkpoint(Vec<u8>),
     /// The request failed.
     Error {
         /// Machine-readable failure class.
@@ -167,10 +276,18 @@ const REQ_QUERY: u8 = 1;
 const REQ_UPDATES: u8 = 2;
 const REQ_STATS: u8 = 3;
 const REQ_SHUTDOWN: u8 = 4;
+const REQ_SUBSCRIBE: u8 = 5;
+const REQ_REPLICA_ACK: u8 = 6;
+const REQ_PROBE: u8 = 7;
+const REQ_FETCH_CHECKPOINT: u8 = 8;
+const REQ_PROMOTE: u8 = 9;
 
 const REP_QUERY: u8 = 1;
 const REP_UPDATE_ACK: u8 = 2;
 const REP_STATS: u8 = 3;
+const REP_WAL_SEGMENT: u8 = 4;
+const REP_PROBE: u8 = 5;
+const REP_CHECKPOINT: u8 = 6;
 const REP_ERROR: u8 = 0xFF;
 
 fn put_vertices(buf: &mut BytesMut, vs: &[VertexId]) {
@@ -244,6 +361,24 @@ pub(crate) fn get_updates(buf: &mut Bytes) -> Result<Vec<EdgeUpdate>, WireError>
     Ok(updates)
 }
 
+fn put_fingerprints(buf: &mut BytesMut, fps: &[u64]) {
+    buf.put_u32_le(fps.len() as u32);
+    for &fp in fps {
+        buf.put_u64_le(fp);
+    }
+}
+
+fn get_fingerprints(buf: &mut Bytes) -> Result<Vec<u64>, WireError> {
+    if buf.remaining() < 4 {
+        return err("truncated fingerprint list");
+    }
+    let n = buf.get_u32_le() as usize;
+    if buf.remaining() < n * 8 {
+        return err("fingerprint list length exceeds frame");
+    }
+    Ok((0..n).map(|_| buf.get_u64_le()).collect())
+}
+
 fn expect_consumed<T>(value: T, buf: &Bytes) -> Result<T, WireError> {
     if buf.has_remaining() {
         err(format!("{} trailing bytes after message", buf.remaining()))
@@ -278,6 +413,34 @@ pub fn encode_request(req: &Request) -> Bytes {
         }
         Request::Stats => buf.put_slice(&[REQ_STATS]),
         Request::Shutdown => buf.put_slice(&[REQ_SHUTDOWN]),
+        Request::Subscribe {
+            follower,
+            after_seq,
+            max_records,
+        } => {
+            buf.put_slice(&[REQ_SUBSCRIBE]);
+            buf.put_u64_le(*follower);
+            buf.put_u64_le(*after_seq);
+            buf.put_u32_le(*max_records);
+        }
+        Request::ReplicaAck {
+            follower,
+            seq,
+            fingerprints,
+        } => {
+            buf.put_slice(&[REQ_REPLICA_ACK]);
+            buf.put_u64_le(*follower);
+            buf.put_u64_le(*seq);
+            put_fingerprints(&mut buf, fingerprints);
+        }
+        Request::Probe { at_seq } => {
+            buf.put_slice(&[REQ_PROBE, u8::from(at_seq.is_some())]);
+            if let Some(seq) = at_seq {
+                buf.put_u64_le(*seq);
+            }
+        }
+        Request::FetchCheckpoint => buf.put_slice(&[REQ_FETCH_CHECKPOINT]),
+        Request::Promote => buf.put_slice(&[REQ_PROMOTE]),
     }
     buf.freeze()
 }
@@ -338,6 +501,54 @@ pub fn decode_request(mut buf: Bytes) -> Result<Request, WireError> {
         }
         REQ_STATS => expect_consumed(Request::Stats, &buf),
         REQ_SHUTDOWN => expect_consumed(Request::Shutdown, &buf),
+        REQ_SUBSCRIBE => {
+            if buf.remaining() < 20 {
+                return err("truncated subscribe");
+            }
+            let req = Request::Subscribe {
+                follower: buf.get_u64_le(),
+                after_seq: buf.get_u64_le(),
+                max_records: buf.get_u32_le(),
+            };
+            expect_consumed(req, &buf)
+        }
+        REQ_REPLICA_ACK => {
+            if buf.remaining() < 16 {
+                return err("truncated replica ack");
+            }
+            let follower = buf.get_u64_le();
+            let seq = buf.get_u64_le();
+            let fingerprints = get_fingerprints(&mut buf)?;
+            expect_consumed(
+                Request::ReplicaAck {
+                    follower,
+                    seq,
+                    fingerprints,
+                },
+                &buf,
+            )
+        }
+        REQ_PROBE => {
+            if buf.remaining() < 1 {
+                return err("truncated probe");
+            }
+            let mut flags = [0u8; 1];
+            buf.copy_to_slice(&mut flags);
+            if flags[0] & !0b1 != 0 {
+                return err(format!("unknown probe flags {:#04x}", flags[0]));
+            }
+            let at_seq = if flags[0] & 1 != 0 {
+                if buf.remaining() < 8 {
+                    return err("truncated probe at_seq");
+                }
+                Some(buf.get_u64_le())
+            } else {
+                None
+            };
+            expect_consumed(Request::Probe { at_seq }, &buf)
+        }
+        REQ_FETCH_CHECKPOINT => expect_consumed(Request::FetchCheckpoint, &buf),
+        REQ_PROMOTE => expect_consumed(Request::Promote, &buf),
         t => err(format!("unknown request type {t}")),
     }
 }
@@ -399,9 +610,50 @@ pub fn encode_reply(reply: &Reply) -> Bytes {
                 s.wal_replayed,
                 s.checkpoints_written,
                 s.connections_shed,
+                s.repl_segments_shipped,
+                s.repl_records_shipped,
+                s.repl_acks,
+                s.repl_follower_lag,
+                s.repl_divergences,
+                s.repl_resyncs,
+                s.repl_last_seq,
+                s.repl_primary_seq,
+                s.delta_checkpoints_written,
+                s.checkpoint_bytes_written,
             ] {
                 buf.put_u64_le(v);
             }
+        }
+        Reply::WalSegment {
+            primary_seq,
+            resync,
+            records,
+        } => {
+            buf.put_slice(&[REP_WAL_SEGMENT]);
+            buf.put_u64_le(*primary_seq);
+            buf.put_slice(&[u8::from(*resync)]);
+            buf.put_u32_le(records.len() as u32);
+            for (seq, updates) in records {
+                buf.put_u64_le(*seq);
+                put_updates(&mut buf, updates);
+            }
+        }
+        Reply::Probe {
+            seq,
+            epoch,
+            verdict,
+            fingerprints,
+        } => {
+            buf.put_slice(&[REP_PROBE]);
+            buf.put_u64_le(*seq);
+            buf.put_u64_le(*epoch);
+            buf.put_slice(&[*verdict as u8]);
+            put_fingerprints(&mut buf, fingerprints);
+        }
+        Reply::Checkpoint(bytes) => {
+            buf.put_slice(&[REP_CHECKPOINT]);
+            buf.put_u32_le(bytes.len() as u32);
+            buf.put_slice(bytes);
         }
         Reply::Error { code, message } => {
             buf.put_slice(&[REP_ERROR, *code as u8]);
@@ -475,10 +727,10 @@ pub fn decode_reply(mut buf: Bytes) -> Result<Reply, WireError> {
             expect_consumed(reply, &buf)
         }
         REP_STATS => {
-            if buf.remaining() < 25 * 8 {
+            if buf.remaining() < 35 * 8 {
                 return err("truncated stats reply");
             }
-            let mut f = [0u64; 25];
+            let mut f = [0u64; 35];
             for v in f.iter_mut() {
                 *v = buf.get_u64_le();
             }
@@ -509,9 +761,85 @@ pub fn decode_reply(mut buf: Bytes) -> Result<Reply, WireError> {
                     wal_replayed: f[22],
                     checkpoints_written: f[23],
                     connections_shed: f[24],
+                    repl_segments_shipped: f[25],
+                    repl_records_shipped: f[26],
+                    repl_acks: f[27],
+                    repl_follower_lag: f[28],
+                    repl_divergences: f[29],
+                    repl_resyncs: f[30],
+                    repl_last_seq: f[31],
+                    repl_primary_seq: f[32],
+                    delta_checkpoints_written: f[33],
+                    checkpoint_bytes_written: f[34],
                 }),
                 &buf,
             )
+        }
+        REP_WAL_SEGMENT => {
+            if buf.remaining() < 13 {
+                return err("truncated wal segment");
+            }
+            let primary_seq = buf.get_u64_le();
+            let mut flags = [0u8; 1];
+            buf.copy_to_slice(&mut flags);
+            if flags[0] & !0b1 != 0 {
+                return err(format!("unknown wal segment flags {:#04x}", flags[0]));
+            }
+            let resync = flags[0] & 1 != 0;
+            if buf.remaining() < 4 {
+                return err("truncated wal segment record count");
+            }
+            let n = buf.get_u32_le() as usize;
+            let mut records = Vec::with_capacity(n.min(4096));
+            for _ in 0..n {
+                if buf.remaining() < 8 {
+                    return err("truncated wal segment record seq");
+                }
+                let seq = buf.get_u64_le();
+                let updates = get_updates(&mut buf)?;
+                records.push((seq, updates));
+            }
+            expect_consumed(
+                Reply::WalSegment {
+                    primary_seq,
+                    resync,
+                    records,
+                },
+                &buf,
+            )
+        }
+        REP_PROBE => {
+            if buf.remaining() < 17 {
+                return err("truncated probe reply");
+            }
+            let seq = buf.get_u64_le();
+            let epoch = buf.get_u64_le();
+            let mut code = [0u8; 1];
+            buf.copy_to_slice(&mut code);
+            let verdict = ProbeVerdict::from_code(code[0])
+                .ok_or_else(|| WireError(format!("unknown probe verdict {}", code[0])))?;
+            let fingerprints = get_fingerprints(&mut buf)?;
+            expect_consumed(
+                Reply::Probe {
+                    seq,
+                    epoch,
+                    verdict,
+                    fingerprints,
+                },
+                &buf,
+            )
+        }
+        REP_CHECKPOINT => {
+            if buf.remaining() < 4 {
+                return err("truncated checkpoint reply");
+            }
+            let n = buf.get_u32_le() as usize;
+            if buf.remaining() < n {
+                return err("checkpoint length exceeds frame");
+            }
+            let mut bytes = vec![0u8; n];
+            buf.copy_to_slice(&mut bytes);
+            expect_consumed(Reply::Checkpoint(bytes), &buf)
         }
         REP_ERROR => {
             if buf.remaining() < 5 {
@@ -595,6 +923,20 @@ mod tests {
             ]),
             Request::Stats,
             Request::Shutdown,
+            Request::Subscribe {
+                follower: 0xfeed,
+                after_seq: 42,
+                max_records: 128,
+            },
+            Request::ReplicaAck {
+                follower: 0xfeed,
+                seq: 42,
+                fingerprints: vec![1, u64::MAX, 0],
+            },
+            Request::Probe { at_seq: None },
+            Request::Probe { at_seq: Some(7) },
+            Request::FetchCheckpoint,
+            Request::Promote,
         ];
         for req in reqs {
             let decoded = decode_request(encode_request(&req)).unwrap();
@@ -648,9 +990,39 @@ mod tests {
                 wal_replayed: 3,
                 checkpoints_written: 2,
                 connections_shed: 1,
+                repl_segments_shipped: 5,
+                repl_records_shipped: 17,
+                repl_acks: 5,
+                repl_follower_lag: 1,
+                repl_divergences: 0,
+                repl_resyncs: 1,
+                repl_last_seq: 40,
+                repl_primary_seq: 41,
+                delta_checkpoints_written: 3,
+                checkpoint_bytes_written: 9999,
             }),
+            Reply::WalSegment {
+                primary_seq: 9,
+                resync: false,
+                records: vec![
+                    (8, vec![EdgeUpdate::insert_weighted(1, 2, 0.5)]),
+                    (9, vec![EdgeUpdate::remove(3, 4)]),
+                ],
+            },
+            Reply::WalSegment {
+                primary_seq: 3,
+                resync: true,
+                records: vec![],
+            },
+            Reply::Probe {
+                seq: 12,
+                epoch: 11,
+                verdict: ProbeVerdict::Match,
+                fingerprints: vec![0xdead_beef, 7],
+            },
+            Reply::Checkpoint(vec![1, 2, 3, 255, 0]),
             Reply::Error {
-                code: ErrorCode::Stale,
+                code: ErrorCode::Divergent,
                 message: "nope".to_string(),
             },
         ];
@@ -680,6 +1052,28 @@ mod tests {
         b.put_slice(&[0xFF, 9]);
         b.put_u32_le(0);
         assert!(decode_reply(b.freeze()).is_err());
+        // Unknown probe flags / wal-segment flags / probe verdicts.
+        assert!(decode_request(Bytes::from(vec![7, 0b10])).is_err());
+        let mut b = BytesMut::new();
+        b.put_slice(&[4]);
+        b.put_u64_le(1);
+        b.put_slice(&[0b10]);
+        b.put_u32_le(0);
+        assert!(decode_reply(b.freeze()).is_err());
+        let mut b = BytesMut::new();
+        b.put_slice(&[5]);
+        b.put_u64_le(1);
+        b.put_u64_le(1);
+        b.put_slice(&[3]);
+        b.put_u32_le(0);
+        assert!(decode_reply(b.freeze()).is_err());
+        // Absurd declared counts with no payload must not over-allocate.
+        let mut b = BytesMut::new();
+        b.put_slice(&[6]);
+        b.put_u64_le(0);
+        b.put_u64_le(0);
+        b.put_u32_le(u32::MAX);
+        assert!(decode_request(b.freeze()).is_err());
     }
 
     #[test]

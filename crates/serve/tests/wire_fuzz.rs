@@ -10,7 +10,9 @@ use gograph_graph::EdgeUpdate;
 use gograph_serve::wire::{
     decode_reply, decode_request, encode_reply, encode_request, read_frame, MAX_FRAME_BYTES,
 };
-use gograph_serve::{AlgSpec, ErrorCode, ModeSpec, QueryReply, Reply, Request, StatsSnapshot};
+use gograph_serve::{
+    AlgSpec, ErrorCode, ModeSpec, ProbeVerdict, QueryReply, Reply, Request, StatsSnapshot,
+};
 use proptest::prelude::*;
 
 fn arb_alg() -> impl Strategy<Value = AlgSpec> {
@@ -72,7 +74,41 @@ fn arb_request() -> impl Strategy<Value = Request> {
         arb_updates().prop_map(Request::Updates),
         Just(Request::Stats),
         Just(Request::Shutdown),
+        (any::<u64>(), any::<u64>(), any::<u32>()).prop_map(
+            |(follower, after_seq, max_records)| {
+                Request::Subscribe {
+                    follower,
+                    after_seq,
+                    max_records,
+                }
+            }
+        ),
+        (
+            any::<u64>(),
+            any::<u64>(),
+            proptest::collection::vec(any::<u64>(), 0..6),
+        )
+            .prop_map(|(follower, seq, fingerprints)| Request::ReplicaAck {
+                follower,
+                seq,
+                fingerprints,
+            }),
+        proptest::option::of(any::<u64>()).prop_map(|at_seq| Request::Probe { at_seq }),
+        Just(Request::FetchCheckpoint),
+        Just(Request::Promote),
     ]
+}
+
+fn arb_verdict() -> impl Strategy<Value = ProbeVerdict> {
+    prop_oneof![
+        Just(ProbeVerdict::Report),
+        Just(ProbeVerdict::Match),
+        Just(ProbeVerdict::Unknown),
+    ]
+}
+
+fn arb_wal_records() -> impl Strategy<Value = Vec<(u64, Vec<EdgeUpdate>)>> {
+    proptest::collection::vec((any::<u64>(), arb_updates()), 0..6)
 }
 
 fn arb_error_code() -> impl Strategy<Value = ErrorCode> {
@@ -82,6 +118,8 @@ fn arb_error_code() -> impl Strategy<Value = ErrorCode> {
         Just(ErrorCode::Stale),
         Just(ErrorCode::Closed),
         Just(ErrorCode::Capacity),
+        Just(ErrorCode::Divergent),
+        Just(ErrorCode::NotPrimary),
     ]
 }
 
@@ -117,7 +155,7 @@ fn arb_reply() -> impl Strategy<Value = Reply> {
                 epochs_published,
             }
         }),
-        proptest::collection::vec(any::<u64>(), 25..=25).prop_map(|f| {
+        proptest::collection::vec(any::<u64>(), 35..=35).prop_map(|f| {
             Reply::Stats(StatsSnapshot {
                 epoch: f[0],
                 epochs_published: f[1],
@@ -144,8 +182,38 @@ fn arb_reply() -> impl Strategy<Value = Reply> {
                 wal_replayed: f[22],
                 checkpoints_written: f[23],
                 connections_shed: f[24],
+                repl_segments_shipped: f[25],
+                repl_records_shipped: f[26],
+                repl_acks: f[27],
+                repl_follower_lag: f[28],
+                repl_divergences: f[29],
+                repl_resyncs: f[30],
+                repl_last_seq: f[31],
+                repl_primary_seq: f[32],
+                delta_checkpoints_written: f[33],
+                checkpoint_bytes_written: f[34],
             })
         }),
+        (any::<u64>(), any::<bool>(), arb_wal_records()).prop_map(
+            |(primary_seq, resync, records)| Reply::WalSegment {
+                primary_seq,
+                resync,
+                records,
+            }
+        ),
+        (
+            any::<u64>(),
+            any::<u64>(),
+            arb_verdict(),
+            proptest::collection::vec(any::<u64>(), 0..6),
+        )
+            .prop_map(|(seq, epoch, verdict, fingerprints)| Reply::Probe {
+                seq,
+                epoch,
+                verdict,
+                fingerprints,
+            }),
+        proptest::collection::vec(any::<u8>(), 0..96).prop_map(Reply::Checkpoint),
         (
             arb_error_code(),
             proptest::collection::vec(32u8..127, 0..48),

@@ -21,9 +21,16 @@
 //! one JSON line on stdout. The CI crash-recovery leg diffs a probe
 //! taken before `kill -9` against one taken after restart — recovery
 //! must reproduce the epoch bit-for-bit.
+//!
+//! `--fingerprint` prints the server's latest state-fingerprint probe
+//! (seq, epoch, per-pipeline hashes) as one JSON line;
+//! `--fingerprint-at SEQ` polls until the server can answer for that
+//! exact seq. The CI replication leg `cmp`s a primary's fingerprint
+//! line against the follower's at the same watermark — bit-identical
+//! replay makes them byte-equal.
 
 use gograph_graph::EdgeUpdate;
-use gograph_serve::{AlgSpec, ModeSpec, ServeClient};
+use gograph_serve::{AlgSpec, ModeSpec, ProbeVerdict, ServeClient};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::fmt::Write as _;
@@ -56,6 +63,8 @@ fn main() {
     let mut output = "BENCH_PR6.json".to_string();
     let mut shutdown = false;
     let mut probe = false;
+    let mut fingerprint = false;
+    let mut fingerprint_at: Option<u64> = None;
 
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
@@ -76,11 +85,19 @@ fn main() {
             "--output" => output = value(&mut i),
             "--shutdown" => shutdown = true,
             "--probe" => probe = true,
+            "--fingerprint" => fingerprint = true,
+            "--fingerprint-at" => {
+                fingerprint_at = Some(value(&mut i).parse().unwrap_or_else(|_| {
+                    eprintln!("--fingerprint-at wants a sequence number");
+                    std::process::exit(2);
+                }))
+            }
             "--help" | "-h" => {
                 eprintln!(
                     "usage: gograph_loadgen --addr HOST:PORT [--clients 1,4,8] \
                      [--update-rates 0,8] [--duration-secs 3] [--batch-size 16] \
-                     [--output BENCH_PR6.json] [--shutdown] [--probe]"
+                     [--output BENCH_PR6.json] [--shutdown] [--probe] \
+                     [--fingerprint | --fingerprint-at SEQ]"
                 );
                 return;
             }
@@ -116,6 +133,10 @@ fn main() {
 
     if probe {
         run_probe(&mut control, num_vertices);
+        return;
+    }
+    if fingerprint || fingerprint_at.is_some() {
+        run_fingerprint_probe(&mut control, fingerprint_at);
         return;
     }
     eprintln!(
@@ -194,6 +215,44 @@ fn run_probe(control: &mut ServeClient, num_vertices: u32) {
     println!(
         "{{\"probe\":\"sssp:0\",\"epoch\":{},\"converged\":{},\"values\":[{}]}}",
         reply.epoch, reply.converged, values
+    );
+}
+
+/// Prints one state-fingerprint probe as a JSON line. With `at_seq`,
+/// polls until the server's probe history covers that seq (a follower
+/// may still be replaying toward it); byte-comparing a primary's line
+/// against a follower's at the same seq is the CI replication leg's
+/// bit-identical-replay check.
+fn run_fingerprint_probe(control: &mut ServeClient, at_seq: Option<u64>) {
+    let mut last = (0u64, 0u64, ProbeVerdict::Unknown, Vec::new());
+    for _ in 0..600 {
+        // Let the mutator settle everything enqueued so a no-seq probe
+        // reflects the final state, then ask.
+        let s = control.stats().expect("fingerprint stats");
+        let settled = s.batches_applied + s.mutator_errors >= s.batches_enqueued;
+        last = control.probe(at_seq).unwrap_or_else(|e| {
+            eprintln!("fingerprint probe failed: {e}");
+            std::process::exit(1);
+        });
+        if last.2 != ProbeVerdict::Unknown && (at_seq.is_some() || settled) {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(50));
+    }
+    let (seq, epoch, verdict, fingerprints) = last;
+    if verdict == ProbeVerdict::Unknown {
+        eprintln!(
+            "fingerprint probe: server cannot answer for seq {:?} (aged out or not reached)",
+            at_seq
+        );
+        std::process::exit(1);
+    }
+    let mut fps = String::new();
+    for (i, f) in fingerprints.iter().enumerate() {
+        let _ = write!(fps, "{}\"{f:016x}\"", if i > 0 { "," } else { "" });
+    }
+    println!(
+        "{{\"fingerprint_probe\":{{\"seq\":{seq},\"epoch\":{epoch},\"fingerprints\":[{fps}]}}}}"
     );
 }
 
@@ -378,6 +437,16 @@ fn diff_stats(
         wal_replayed: b.wal_replayed - a.wal_replayed,
         checkpoints_written: b.checkpoints_written - a.checkpoints_written,
         connections_shed: b.connections_shed - a.connections_shed,
+        repl_segments_shipped: b.repl_segments_shipped - a.repl_segments_shipped,
+        repl_records_shipped: b.repl_records_shipped - a.repl_records_shipped,
+        repl_acks: b.repl_acks - a.repl_acks,
+        repl_follower_lag: b.repl_follower_lag, // gauge, not a counter
+        repl_divergences: b.repl_divergences - a.repl_divergences,
+        repl_resyncs: b.repl_resyncs - a.repl_resyncs,
+        repl_last_seq: b.repl_last_seq,       // gauge
+        repl_primary_seq: b.repl_primary_seq, // gauge
+        delta_checkpoints_written: b.delta_checkpoints_written - a.delta_checkpoints_written,
+        checkpoint_bytes_written: b.checkpoint_bytes_written - a.checkpoint_bytes_written,
     }
 }
 
@@ -465,6 +534,18 @@ fn render_report(
             d.wal_appends,
             d.checkpoints_written,
             d.connections_shed
+        );
+        let _ = writeln!(
+            out,
+            "      \"replication_delta\": {{ \"segments_shipped\": {}, \"records_shipped\": {}, \"acks\": {}, \"follower_lag\": {}, \"divergences\": {}, \"resyncs\": {}, \"delta_checkpoints_written\": {}, \"checkpoint_bytes_written\": {} }},",
+            d.repl_segments_shipped,
+            d.repl_records_shipped,
+            d.repl_acks,
+            d.repl_follower_lag,
+            d.repl_divergences,
+            d.repl_resyncs,
+            d.delta_checkpoints_written,
+            d.checkpoint_bytes_written
         );
         let _ = writeln!(
             out,

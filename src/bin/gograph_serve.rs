@@ -6,20 +6,32 @@
 //! gograph_serve [--listen 127.0.0.1:7421] [--scale tiny|standard]
 //!               [--window-ms 2] [--warm cc,sssp:0,pagerank]
 //!               [--durable-dir DIR] [--checkpoint-every N]
+//!               [--delta-checkpoints]
+//!               [--role primary|follower] [--peer ADDR]
 //! ```
 //!
 //! `--scale` defaults to the `GOGRAPH_SCALE` environment variable
 //! (`standard` when unset). With `--durable-dir`, admitted update
 //! batches are WAL-logged before the ack and the server checkpoints
-//! every N batches; if the directory already holds durable state the
-//! server *recovers* from it (checkpoint + WAL tail replay) instead of
-//! booting fresh, printing
-//! `gograph-serve: recovered epoch <E> (replayed <K> batches)`.
+//! every N batches (delta-chained when `--delta-checkpoints` is set);
+//! if the directory already holds durable state the server *recovers*
+//! from it (checkpoint + WAL tail replay) instead of booting fresh,
+//! printing `gograph-serve: recovered epoch <E> (replayed <K> batches)`.
+//!
+//! `--role follower --peer ADDR` boots a read replica instead: the
+//! graph is shipped from the primary's checkpoint (no local generation,
+//! no `--durable-dir`), a background puller replays the primary's WAL
+//! through the same apply path, and queries are served with the usual
+//! bounded-staleness contract against the last known primary seq.
+//!
 //! The ready line printed on stdout is stable:
 //! `gograph-serve: listening on <addr> ...` — the CI smoke greps it.
 
 use gograph_graph::generators::{planted_partition, shuffle_labels, PlantedPartitionConfig};
-use gograph_serve::{serve, AlgSpec, DurabilityConfig, ServeConfig, ServeCore, WarmSpec};
+use gograph_serve::{
+    bootstrap_follower, serve, AlgSpec, DurabilityConfig, ReplicationConfig, RoleSpec, ServeConfig,
+    ServeCore, WarmSpec,
+};
 use std::time::Duration;
 
 fn main() {
@@ -29,6 +41,9 @@ fn main() {
     let mut warm_arg = "cc,sssp:0".to_string();
     let mut durable_dir: Option<String> = None;
     let mut checkpoint_every: u64 = 16;
+    let mut delta_checkpoints = false;
+    let mut role = RoleSpec::Primary;
+    let mut peer: Option<String> = None;
 
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
@@ -57,11 +72,21 @@ fn main() {
                     std::process::exit(2);
                 })
             }
+            "--delta-checkpoints" => delta_checkpoints = true,
+            "--role" => {
+                let name = value(&mut i);
+                role = RoleSpec::from_name(&name).unwrap_or_else(|| {
+                    eprintln!("--role wants primary or follower, got {name:?}");
+                    std::process::exit(2);
+                })
+            }
+            "--peer" => peer = Some(value(&mut i)),
             "--help" | "-h" => {
                 eprintln!(
                     "usage: gograph_serve [--listen ADDR] [--scale tiny|standard] \
                      [--window-ms N] [--warm cc,sssp:0,...] \
-                     [--durable-dir DIR] [--checkpoint-every N]"
+                     [--durable-dir DIR] [--checkpoint-every N] \
+                     [--delta-checkpoints] [--role primary|follower] [--peer ADDR]"
                 );
                 return;
             }
@@ -71,6 +96,54 @@ fn main() {
             }
         }
         i += 1;
+    }
+
+    let warm = parse_warm(&warm_arg);
+
+    if role == RoleSpec::Follower {
+        let peer = peer.unwrap_or_else(|| {
+            eprintln!("--role follower needs --peer ADDR (the primary to ship WAL from)");
+            std::process::exit(2);
+        });
+        if durable_dir.is_some() {
+            eprintln!("a follower keeps no durable state of its own; drop --durable-dir");
+            std::process::exit(2);
+        }
+        let config = ServeConfig {
+            warm,
+            admission_window: Duration::from_millis(window_ms),
+            ..ServeConfig::default()
+        };
+        let (core, puller) =
+            bootstrap_follower(peer.as_str(), config, ReplicationConfig::default()).unwrap_or_else(
+                |e| {
+                    eprintln!("failed to bootstrap follower from {peer}: {e}");
+                    std::process::exit(1);
+                },
+            );
+        let boot = core.stats_snapshot();
+        println!(
+            "gograph-serve: follower synced to primary seq {} (epoch {})",
+            boot.repl_primary_seq, boot.epoch
+        );
+        let handle = serve(listen.as_str(), core).unwrap_or_else(|e| {
+            eprintln!("failed to bind {listen}: {e}");
+            std::process::exit(1);
+        });
+        println!(
+            "gograph-serve: listening on {} ({} vertices, {} edges, epoch {} ready)",
+            handle.local_addr(),
+            boot.num_vertices,
+            boot.num_edges,
+            boot.epoch
+        );
+        use std::io::Write;
+        let _ = std::io::stdout().flush();
+        let replica = gograph_serve::start_follower(puller);
+        handle.wait();
+        drop(replica);
+        println!("gograph-serve: shutdown complete");
+        return;
     }
 
     let (n, m) = match scale.as_str() {
@@ -89,12 +162,12 @@ fn main() {
         7,
     );
 
-    let warm = parse_warm(&warm_arg);
     let config = ServeConfig {
         warm,
         admission_window: Duration::from_millis(window_ms),
         durability: durable_dir.as_ref().map(|dir| DurabilityConfig {
             checkpoint_every_batches: checkpoint_every,
+            delta_checkpoints,
             ..DurabilityConfig::new(dir)
         }),
         ..ServeConfig::default()

@@ -19,8 +19,9 @@
 use gograph_graph::generators::{planted_partition, shuffle_labels, PlantedPartitionConfig};
 use gograph_graph::{CsrGraph, EdgeUpdate};
 use gograph_serve::{
-    read_checkpoint, read_wal, serve_with, AlgSpec, ClientError, DurabilityConfig, ErrorCode,
-    FaultPlan, ModeSpec, RetryPolicy, ServeClient, ServeConfig, ServeCore, ServerConfig, WarmSpec,
+    bootstrap_follower, read_checkpoint, read_checkpoint_chain, read_wal, serve_with, AlgSpec,
+    ClientError, DurabilityConfig, ErrorCode, FaultPlan, ModeSpec, ReplicationConfig, RetryPolicy,
+    Role, ServeClient, ServeConfig, ServeCore, ServeError, ServerConfig, StepOutcome, WarmSpec,
 };
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
@@ -351,6 +352,469 @@ fn client_rides_out_dropped_replies() {
         core.stats_snapshot().queries
     );
     handle.shutdown();
+}
+
+/// Clean-prefix reference cores: `make_references(g, n)[k]` pins
+/// exactly the first `k` batches of the deterministic stream.
+fn make_references(g: &CsrGraph, n: u64) -> Vec<Arc<ServeCore>> {
+    let mut refs = vec![ServeCore::start(g, base_config()).unwrap()];
+    for k in 1..=n {
+        let r = ServeCore::start(g, base_config()).unwrap();
+        for j in 1..=k {
+            r.enqueue_updates(batch(j)).unwrap();
+        }
+        r.quiesce();
+        refs.push(r);
+    }
+    refs
+}
+
+/// Steps the puller until the follower is caught up (Idle), returning
+/// every non-idle outcome on the way.
+fn catch_up(puller: &mut gograph_serve::ReplicaPuller) -> Vec<StepOutcome> {
+    let mut outcomes = Vec::new();
+    for _ in 0..200 {
+        match puller.step().expect("replication step") {
+            StepOutcome::Idle => return outcomes,
+            o => outcomes.push(o),
+        }
+    }
+    panic!("follower never caught up; outcomes so far: {outcomes:?}");
+}
+
+/// The tentpole guarantee, acceptance (a): every update acked by both
+/// the primary and the follower is served bit-identically by the
+/// follower after the primary dies — at *every* intermediate ack
+/// watermark, which subsumes killing the primary at an arbitrary WAL
+/// byte (whatever was torn past the watermark was never acked by the
+/// pair). After the kill the follower is promoted and serves writes.
+#[test]
+fn follower_replays_bit_identically_and_survives_primary_failover() {
+    let g = graph();
+    let dir = tmp_dir("repl-failover");
+    let primary = ServeCore::start(&g, durable_config(&dir, 4)).unwrap();
+    let mut handle =
+        serve_with("127.0.0.1:0", Arc::clone(&primary), ServerConfig::default()).unwrap();
+
+    let (follower, mut puller) = bootstrap_follower(
+        handle.local_addr(),
+        base_config(),
+        ReplicationConfig {
+            follower_id: 1,
+            max_records_per_segment: 2,
+            ..ReplicationConfig::default()
+        },
+    )
+    .unwrap();
+    // Register with the primary before any traffic so compaction
+    // proposals clamp to this follower's (zero) ack from the start.
+    assert_eq!(puller.step().unwrap(), StepOutcome::Idle);
+
+    let total = 9u64;
+    let references = make_references(&g, total + 1);
+    for k in 1..=total {
+        primary.enqueue_updates(batch(k)).unwrap();
+    }
+    primary.quiesce();
+
+    // Catch up in ≤2-record segments; after every applied segment the
+    // follower must be bit-identical to the clean prefix at its acked
+    // watermark — the state it would serve if the primary died there.
+    let mut applied_watermarks = Vec::new();
+    loop {
+        match puller.step().unwrap() {
+            StepOutcome::Applied(_) => {
+                let acked = puller.acked_seq();
+                applied_watermarks.push(acked);
+                assert_cores_bit_identical(
+                    &follower,
+                    &references[acked as usize],
+                    &format!("follower at acked seq {acked}"),
+                );
+            }
+            StepOutcome::Idle => break,
+            other => panic!("unexpected replication outcome {other:?}"),
+        }
+    }
+    assert_eq!(puller.acked_seq(), total);
+    assert!(
+        applied_watermarks.len() >= 4,
+        "segment cap 2 must spread {total} records over several acks, saw {applied_watermarks:?}"
+    );
+    assert_cores_bit_identical(&follower, &primary, "caught-up follower vs primary");
+
+    let ps = primary.stats_snapshot();
+    assert_eq!(ps.repl_records_shipped, total);
+    assert_eq!(ps.repl_follower_lag, 0);
+    assert_eq!(ps.repl_divergences, 0);
+    let fs = follower.stats_snapshot();
+    assert_eq!(fs.repl_primary_seq, total);
+    assert_eq!(fs.repl_last_seq, total);
+    assert_eq!(fs.repl_resyncs, 0);
+
+    // Kill the primary. The follower keeps serving its acked state,
+    // rejects writes until promoted, then takes them.
+    handle.shutdown();
+    drop(handle);
+    assert_eq!(follower.role(), Role::Follower);
+    assert!(matches!(
+        follower.enqueue_updates(batch(total + 1)),
+        Err(ServeError::NotPrimary)
+    ));
+    follower.promote();
+    assert_eq!(follower.role(), Role::Primary);
+    assert_eq!(
+        puller.step().unwrap(),
+        StepOutcome::Stopped,
+        "a promoted node's puller stops"
+    );
+    follower.enqueue_updates(batch(total + 1)).unwrap();
+    follower.quiesce();
+    assert_cores_bit_identical(
+        &follower,
+        &references[(total + 1) as usize],
+        "promoted follower serving writes",
+    );
+
+    for r in references {
+        r.shutdown();
+    }
+    follower.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Acceptance (b): silently corrupting the follower's in-memory state
+/// (the fault plan flips one converged value after a batch applies) is
+/// *detected* by the primary's probe-fingerprint comparison on the very
+/// next ack — within one probe interval — and *repaired* by checkpoint
+/// re-sync, after which the pair is bit-identical again.
+#[test]
+fn injected_follower_corruption_is_detected_and_repaired() {
+    let g = graph();
+    let dir = tmp_dir("repl-corrupt");
+    // Checkpoint every batch so the repair checkpoint always covers the
+    // corrupted seq (replaying it again would just re-corrupt).
+    let primary = ServeCore::start(&g, durable_config(&dir, 1)).unwrap();
+    let mut handle =
+        serve_with("127.0.0.1:0", Arc::clone(&primary), ServerConfig::default()).unwrap();
+
+    let (follower, mut puller) = bootstrap_follower(
+        handle.local_addr(),
+        ServeConfig {
+            faults: FaultPlan::seeded(13).with_state_corruption(1.0),
+            ..base_config()
+        },
+        ReplicationConfig {
+            follower_id: 7,
+            max_records_per_segment: 1,
+            ..ReplicationConfig::default()
+        },
+    )
+    .unwrap();
+    assert_eq!(puller.step().unwrap(), StepOutcome::Idle);
+
+    for k in 1..=6 {
+        primary.enqueue_updates(batch(k)).unwrap();
+    }
+    primary.quiesce();
+
+    let outcomes = catch_up(&mut puller);
+    assert!(
+        outcomes.contains(&StepOutcome::Resynced),
+        "corruption must force at least one re-sync, saw {outcomes:?}"
+    );
+    let ps = primary.stats_snapshot();
+    assert!(
+        ps.repl_divergences >= 1,
+        "the probe comparison must flag the corrupted fingerprints"
+    );
+    let fs = follower.stats_snapshot();
+    assert!(fs.repl_resyncs >= 1, "the follower must have re-synced");
+    // The repair checkpoint is past every shipped record, so nothing
+    // replays through the (always-corrupting) fault plan afterwards:
+    // the pair converges bit-identically.
+    assert_eq!(puller.acked_seq(), 6);
+    assert_cores_bit_identical(&follower, &primary, "repaired follower");
+
+    handle.shutdown();
+    follower.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Acceptance (c), first half: WAL compaction never discards a record
+/// an alive (registered, within-lag) follower still needs — the
+/// follower's zero ack pins the log across several checkpoint cycles,
+/// and it later catches up from the log alone, no re-sync.
+#[test]
+fn compaction_waits_for_live_follower_acks() {
+    let g = graph();
+    let dir = tmp_dir("repl-pin");
+    let primary = ServeCore::start(&g, durable_config(&dir, 2)).unwrap();
+    let mut handle =
+        serve_with("127.0.0.1:0", Arc::clone(&primary), ServerConfig::default()).unwrap();
+
+    let (follower, mut puller) = bootstrap_follower(
+        handle.local_addr(),
+        base_config(),
+        ReplicationConfig {
+            follower_id: 2,
+            max_records_per_segment: 4,
+            ..ReplicationConfig::default()
+        },
+    )
+    .unwrap();
+    assert_eq!(puller.step().unwrap(), StepOutcome::Idle);
+
+    // Checkpoints at 2, 4, 6, 8 each propose compaction; every proposal
+    // must clamp to this follower's ack (0).
+    for k in 1..=8 {
+        primary.enqueue_updates(batch(k)).unwrap();
+        primary.quiesce();
+    }
+    let wal = read_wal(&dir.join("updates.wal")).unwrap();
+    assert_eq!(
+        wal.records.len(),
+        8,
+        "an alive follower's pending records must pin the WAL"
+    );
+
+    let outcomes = catch_up(&mut puller);
+    assert!(
+        outcomes
+            .iter()
+            .all(|o| matches!(o, StepOutcome::Applied(_))),
+        "catch-up from the pinned log must not need a re-sync: {outcomes:?}"
+    );
+    assert_eq!(follower.stats_snapshot().repl_resyncs, 0);
+    assert_eq!(puller.acked_seq(), 8);
+    assert_cores_bit_identical(&follower, &primary, "follower after pinned catch-up");
+
+    handle.shutdown();
+    follower.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Acceptance (c), second half (the escape hatch): a follower lagging
+/// past `max_follower_lag` is evicted — compaction proceeds without its
+/// ack, and the follower's next subscribe routes it through checkpoint
+/// re-sync instead of silently skipping discarded records.
+#[test]
+fn slow_followers_are_evicted_to_checkpoint_resync() {
+    let g = graph();
+    let dir = tmp_dir("repl-evict");
+    let primary = ServeCore::start(
+        &g,
+        ServeConfig {
+            max_follower_lag: 2,
+            ..durable_config(&dir, 2)
+        },
+    )
+    .unwrap();
+    let mut handle =
+        serve_with("127.0.0.1:0", Arc::clone(&primary), ServerConfig::default()).unwrap();
+
+    let (follower, mut puller) = bootstrap_follower(
+        handle.local_addr(),
+        base_config(),
+        ReplicationConfig {
+            follower_id: 3,
+            max_records_per_segment: 8,
+            ..ReplicationConfig::default()
+        },
+    )
+    .unwrap();
+    assert_eq!(puller.step().unwrap(), StepOutcome::Idle);
+
+    // The follower stalls while the primary moves on. Two extra
+    // quiesced batches at the end guarantee the last checkpoint's
+    // compaction proposal is actually consumed by a later enqueue.
+    for k in 1..=10 {
+        primary.enqueue_updates(batch(k)).unwrap();
+        primary.quiesce();
+    }
+    let wal = read_wal(&dir.join("updates.wal")).unwrap();
+    let first_seq = wal.records.first().map(|r| r.seq).unwrap_or(u64::MAX);
+    assert!(
+        first_seq >= 5,
+        "the evicted follower's zero ack must stop pinning the log (first surviving seq {first_seq})"
+    );
+
+    // Its next pull is a re-sync, not a gap-skipping segment.
+    assert_eq!(puller.step().unwrap(), StepOutcome::Resynced);
+    assert!(follower.stats_snapshot().repl_resyncs >= 1);
+    let outcomes = catch_up(&mut puller);
+    assert!(
+        outcomes
+            .iter()
+            .all(|o| matches!(o, StepOutcome::Applied(_))),
+        "post-re-sync catch-up runs from the log: {outcomes:?}"
+    );
+    assert_eq!(puller.acked_seq(), 10);
+    assert_cores_bit_identical(&follower, &primary, "evicted follower after re-sync");
+
+    handle.shutdown();
+    follower.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Copies every durable artifact (WAL, base checkpoint, delta files) —
+/// what `kill -9` preserves.
+fn crash_copy(from: &Path, tag: &str) -> PathBuf {
+    let to = tmp_dir(tag);
+    for entry in std::fs::read_dir(from).unwrap() {
+        let entry = entry.unwrap();
+        let name = entry.file_name();
+        std::fs::copy(entry.path(), to.join(&name)).unwrap();
+    }
+    to
+}
+
+/// Delta checkpoints are an encoding, not a semantic: recovery through
+/// a base + delta chain is pinned bit-identical to recovery from full
+/// checkpoints of the same history, both mid-chain (deltas on disk)
+/// and after a periodic full rebase (deltas retired), and stale delta
+/// files left by a crash-during-rebase are cut, not applied.
+#[test]
+fn delta_checkpoint_recovery_is_bit_identical_to_full() {
+    let g = graph();
+    let delta_dir = tmp_dir("delta-ckpt");
+    let full_dir = tmp_dir("full-ckpt");
+    let durable = |dir: &Path, delta: bool| ServeConfig {
+        durability: Some(DurabilityConfig {
+            checkpoint_every_batches: 2,
+            delta_checkpoints: delta,
+            full_rebase_every: 3,
+            ..DurabilityConfig::new(dir)
+        }),
+        ..base_config()
+    };
+
+    let delta_core = ServeCore::start(&g, durable(&delta_dir, true)).unwrap();
+    let full_core = ServeCore::start(&g, durable(&full_dir, false)).unwrap();
+    // Checkpoints land at 2 (d1), 4 (d2), 6 (d3); batch 7 leaves a WAL
+    // tail past the chain. The full-rebase threshold (3) retires the
+    // chain at the next checkpoint, seq 8.
+    for k in 1..=7 {
+        delta_core.enqueue_updates(batch(k)).unwrap();
+        full_core.enqueue_updates(batch(k)).unwrap();
+        delta_core.quiesce();
+        full_core.quiesce();
+    }
+    let ds = delta_core.stats_snapshot();
+    assert_eq!(ds.delta_checkpoints_written, 3);
+    assert!(ds.checkpoint_bytes_written > 0);
+    assert_eq!(full_core.stats_snapshot().delta_checkpoints_written, 0);
+
+    // Crash both mid-chain and recover.
+    let delta_crash = crash_copy(&delta_dir, "delta-ckpt-crash");
+    let full_crash = crash_copy(&full_dir, "full-ckpt-crash");
+    let (ck, chained) = read_checkpoint_chain(&delta_crash.join("epoch.ckpt"))
+        .unwrap()
+        .expect("chain present");
+    assert_eq!(chained, 3, "three deltas chain onto the base");
+    assert_eq!(ck.seq, 6);
+    let delta_rec = ServeCore::recover(durable(&delta_crash, true)).unwrap();
+    let full_rec = ServeCore::recover(durable(&full_crash, false)).unwrap();
+    assert_cores_bit_identical(&delta_rec, &delta_core, "delta recovery vs live");
+    assert_cores_bit_identical(&delta_rec, &full_rec, "delta vs full recovery");
+    delta_rec.shutdown();
+    full_rec.shutdown();
+
+    // Cross the rebase threshold: seq 8's checkpoint is full and the
+    // chain retires.
+    for k in 8..=9 {
+        delta_core.enqueue_updates(batch(k)).unwrap();
+        full_core.enqueue_updates(batch(k)).unwrap();
+        delta_core.quiesce();
+        full_core.quiesce();
+    }
+    let rebased_crash = crash_copy(&delta_dir, "delta-ckpt-rebased");
+    let (ck, chained) = read_checkpoint_chain(&rebased_crash.join("epoch.ckpt"))
+        .unwrap()
+        .expect("chain present");
+    assert_eq!(chained, 0, "the full rebase retires the delta chain");
+    assert_eq!(ck.seq, 8);
+
+    // A crash between the rebase write and the delta removal leaves
+    // stale delta files; their base-seq chain no longer matches the
+    // rebased base, so recovery must cut them, not apply them.
+    for d in std::fs::read_dir(&delta_crash).unwrap() {
+        let d = d.unwrap();
+        let name = d.file_name().into_string().unwrap();
+        if name.starts_with("epoch.ckpt.d") {
+            std::fs::copy(d.path(), rebased_crash.join(&name)).unwrap();
+        }
+    }
+    let rebased_rec = ServeCore::recover(durable(&rebased_crash, true)).unwrap();
+    assert_cores_bit_identical(
+        &rebased_rec,
+        &delta_core,
+        "rebased recovery ignores stale deltas",
+    );
+
+    rebased_rec.shutdown();
+    delta_core.shutdown();
+    full_core.shutdown();
+    for d in [delta_dir, full_dir, delta_crash, full_crash, rebased_crash] {
+        let _ = std::fs::remove_dir_all(&d);
+    }
+}
+
+/// The deterministic link/crash/delay faults: a link dropped
+/// mid-segment loses only the ack (the next subscribe resumes from the
+/// applied prefix), a follower crash mid-replay re-bootstraps via
+/// checkpoint re-sync, delayed acks just slow things down — and under
+/// all of it the pair still converges bit-identically with no
+/// divergence ever flagged.
+#[test]
+fn replication_faults_converge_without_divergence() {
+    let g = graph();
+    let dir = tmp_dir("repl-chaos");
+    let primary = ServeCore::start(&g, durable_config(&dir, 3)).unwrap();
+    let mut handle =
+        serve_with("127.0.0.1:0", Arc::clone(&primary), ServerConfig::default()).unwrap();
+
+    let (follower, mut puller) = bootstrap_follower(
+        handle.local_addr(),
+        ServeConfig {
+            faults: FaultPlan::seeded(41)
+                .with_link_drops(0.4)
+                .with_follower_crashes(0.25)
+                .with_delayed_acks(0.5, Duration::from_millis(2)),
+            ..base_config()
+        },
+        ReplicationConfig {
+            follower_id: 9,
+            max_records_per_segment: 2,
+            ..ReplicationConfig::default()
+        },
+    )
+    .unwrap();
+    assert_eq!(puller.step().unwrap(), StepOutcome::Idle);
+
+    for k in 1..=12 {
+        primary.enqueue_updates(batch(k)).unwrap();
+    }
+    primary.quiesce();
+
+    let outcomes = catch_up(&mut puller);
+    assert!(
+        outcomes
+            .iter()
+            .any(|o| matches!(o, StepOutcome::LinkDropped | StepOutcome::Crashed)),
+        "the chaos plan must actually fire: {outcomes:?}"
+    );
+    assert_eq!(puller.acked_seq(), 12);
+    assert_eq!(
+        primary.stats_snapshot().repl_divergences,
+        0,
+        "faults lose progress, never correctness"
+    );
+    assert_cores_bit_identical(&follower, &primary, "follower after link/crash chaos");
+
+    handle.shutdown();
+    follower.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
 }
 
 /// End-to-end crash recovery over TCP: kill the server abruptly (the

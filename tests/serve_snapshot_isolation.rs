@@ -22,7 +22,8 @@ use gograph_engine::{Pipeline, WarmStart};
 use gograph_graph::generators::{planted_partition, shuffle_labels, PlantedPartitionConfig};
 use gograph_graph::{CsrGraph, EdgeUpdate};
 use gograph_serve::{
-    AlgSpec, FaultPlan, ModeSpec, QueryOutcome, QueryRequest, ServeConfig, ServeCore, WarmSpec,
+    bootstrap_follower, serve, AlgSpec, DurabilityConfig, FaultPlan, ModeSpec, QueryOutcome,
+    QueryRequest, ReplicationConfig, ServeConfig, ServeCore, ServeError, StepOutcome, WarmSpec,
 };
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -264,6 +265,101 @@ fn pinned_epoch_is_immune_to_later_updates() {
         "the served graph must actually have moved on"
     );
     core.shutdown();
+}
+
+/// A follower's reads carry the same snapshot-isolation and
+/// bounded-staleness contracts as a primary's, with the lag measured
+/// against the last *known* primary seq: mid-catch-up, a tight bound is
+/// rejected as `Stale` while an unbounded query still serves the
+/// pinned (bit-identically verifiable) epoch; once caught up, the
+/// tight bound is satisfiable again.
+#[test]
+fn follower_reads_are_pinned_and_staleness_bounded() {
+    let g = stress_graph();
+    let dir = std::env::temp_dir().join(format!("gograph-snapiso-repl-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+
+    let config = || ServeConfig {
+        warm: vec![
+            WarmSpec::new(AlgSpec::Sssp, 0),
+            WarmSpec::new(AlgSpec::Cc, 0),
+        ],
+        admission_window: Duration::ZERO,
+        ..ServeConfig::default()
+    };
+    let primary = ServeCore::start(
+        &g,
+        ServeConfig {
+            durability: Some(DurabilityConfig::new(&dir)),
+            ..config()
+        },
+    )
+    .unwrap();
+    let handle = serve("127.0.0.1:0", Arc::clone(&primary)).unwrap();
+    let (follower, mut puller) = bootstrap_follower(
+        handle.local_addr(),
+        config(),
+        ReplicationConfig {
+            follower_id: 4,
+            max_records_per_segment: 1,
+            ..ReplicationConfig::default()
+        },
+    )
+    .unwrap();
+    assert_eq!(puller.step().unwrap(), StepOutcome::Idle);
+
+    let mut rng = StdRng::seed_from_u64(55);
+    for _ in 0..4 {
+        let batch: Vec<EdgeUpdate> = (0..10)
+            .filter_map(|_| {
+                let src = rng.random_range(0..150u32);
+                let dst = rng.random_range(0..150u32);
+                (src != dst).then(|| EdgeUpdate::insert_weighted(src, dst, 3.0))
+            })
+            .collect();
+        primary.enqueue_updates(batch).unwrap();
+    }
+    primary.quiesce();
+
+    // One 1-record segment: the follower now knows the primary is at
+    // seq 4 but has only applied seq 1 — a lag of 3.
+    assert_eq!(puller.step().unwrap(), StepOutcome::Applied(1));
+    let query = |max_epoch_lag| QueryRequest {
+        alg: AlgSpec::Sssp,
+        mode: ModeSpec::Async,
+        sources: vec![0],
+        combine: false,
+        max_epoch_lag,
+    };
+    match follower.execute_query(query(Some(1))) {
+        Err(ServeError::Stale { lag, .. }) => {
+            assert_eq!(lag, 3, "lag counts against the known primary seq")
+        }
+        other => panic!("expected a Stale rejection mid-catch-up, got {other:?}"),
+    }
+    let pinned = follower.execute_query(query(None)).expect("unbounded read");
+    assert_eq!(pinned.epoch.epoch, 1, "pinned at the follower's own epoch");
+    verify_bit_identical(&pinned);
+
+    // Catch up; the tight bound becomes satisfiable and still verifies.
+    loop {
+        match puller.step().unwrap() {
+            StepOutcome::Applied(_) => continue,
+            StepOutcome::Idle => break,
+            other => panic!("unexpected outcome {other:?}"),
+        }
+    }
+    let fresh = follower
+        .execute_query(query(Some(0)))
+        .expect("caught-up bounded read");
+    assert_eq!(fresh.epoch.epoch, 4);
+    verify_bit_identical(&fresh);
+
+    let mut handle = handle;
+    handle.shutdown();
+    follower.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
 }
 
 /// Snapshot isolation must survive a *crashing* mutator: with injected
